@@ -1,0 +1,661 @@
+//! The synthetic vulnerable browser.
+//!
+//! The Red Team exercise protected Firefox 1.0.0 and attacked it through web pages that
+//! exploited ten known defects (Section 4.3). This module builds a stand-in: a guest
+//! program whose "pages" are word streams read from the input port. The first word of a
+//! page selects a browser *feature* (dispatched through a bounds-checked jump table);
+//! each feature routine contains one seeded defect reproducing the error class of the
+//! corresponding Bugzilla entry — the same invariant is learnable, the same monitor
+//! detects the failure, and the same repair strategy corrects it.
+//!
+//! | Feature | Bugzilla | Error class | Detection | Successful repair |
+//! |---|---|---|---|---|
+//! | 1 | 290162 | unchecked JS type → corrupted virtual call | Memory Firewall | set function pointer to an observed callee |
+//! | 2 | 295854 | unchecked JS type, object payload also corrupted | Memory Firewall | skip the call |
+//! | 3 | 312278 | object erroneously collected and reallocated | Memory Firewall | set function pointer to an observed callee |
+//! | 4 | 269095 | reallocated memory not reinitialized | Memory Firewall | return from the enclosing procedure |
+//! | 5 | 320182 | reallocated memory not reinitialized (copy of 4) | Memory Firewall | return from the enclosing procedure |
+//! | 6 | 296134 | negative string length passed to a copy | Memory Firewall | enforce lower bound on the length |
+//! | 7 | 311710 | negative array index, three copy-pasted defects | Memory Firewall | enforce lower bound on the index (three patches) |
+//! | 8 | 285595 | GIF extension sign bug, one frame above the failure | Heap Guard | lower bound in the caller (needs stack walking) |
+//! | 9 | 325403 | buffer-size integer overflow | Heap Guard | enforce copy-length ≤ buffer-size (needs expanded learning) |
+//! | 10 | 307259 | soft-hyphen host-name length bug | Heap Guard | not repairable (needs a sum-of-lengths invariant) |
+//!
+//! The "type confusion" defects treat any page word at or above
+//! [`NATIVE_TAG_THRESHOLD`] as a trusted native-object pointer, mirroring the missing
+//! type checks in the real defects: legitimate pages only carry small scalar values, so
+//! the corruption paths never execute during learning.
+//!
+//! The builder also records, in a side symbol table used only by tests and the
+//! experiment harnesses, the addresses of the seeded defect sites and expected failure
+//! locations. ClearView never sees this table.
+
+use cv_isa::{Addr, BinaryImage, Cond, MemRef, Operand, Port, ProgramBuilder, Reg, Word};
+use std::collections::BTreeMap;
+
+/// The page word that selects each feature.
+pub mod feature {
+    /// Unchecked JS type (Bugzilla 290162).
+    pub const JS_TYPE_290162: u32 = 1;
+    /// Unchecked JS type with corrupted payload (Bugzilla 295854).
+    pub const JS_TYPE_295854: u32 = 2;
+    /// Garbage-collection reallocation (Bugzilla 312278).
+    pub const GC_REALLOC_312278: u32 = 3;
+    /// Uninitialized reallocated memory (Bugzilla 269095).
+    pub const WIDGET_269095: u32 = 4;
+    /// Uninitialized reallocated memory, copy-paste twin (Bugzilla 320182).
+    pub const WIDGET_320182: u32 = 5;
+    /// Negative string length (Bugzilla 296134).
+    pub const STRING_296134: u32 = 6;
+    /// Negative array index, three defects (Bugzilla 311710).
+    pub const ARRAY_311710: u32 = 7;
+    /// GIF extension heap overflow (Bugzilla 285595).
+    pub const GIF_285595: u32 = 8;
+    /// Buffer growth integer overflow (Bugzilla 325403).
+    pub const GROW_325403: u32 = 9;
+    /// Soft-hyphen host-name overflow (Bugzilla 307259).
+    pub const HOSTNAME_307259: u32 = 10;
+}
+
+/// Page words at or above this value are (incorrectly) trusted as native-object
+/// pointers by the type-confusion defects. Legitimate content stays well below it.
+pub const NATIVE_TAG_THRESHOLD: Word = 0x50000;
+
+/// The marker word rendered after a feature routine returns successfully.
+pub const DONE_MARKER: Word = 0xD00E;
+
+/// The marker rendered for an unknown feature selector.
+pub const UNKNOWN_FEATURE_MARKER: Word = 0xEE0F;
+
+/// The built browser: a stripped image plus a test-only symbol table.
+#[derive(Debug, Clone)]
+pub struct Browser {
+    /// The stripped binary image ClearView protects.
+    pub image: BinaryImage,
+    /// Debug symbols (defect sites, expected failure locations). Tests and harnesses
+    /// only — never given to ClearView.
+    pub symbols: BTreeMap<String, Addr>,
+}
+
+impl Browser {
+    /// Build the browser.
+    pub fn build() -> Browser {
+        let mut b = ProgramBuilder::new();
+
+        // ---- Handlers ("compiled JavaScript methods" / widget callbacks) ------------
+        // Handlers are assembled first so feature routines can embed their addresses as
+        // immediates, the way compiled code embeds absolute method addresses.
+        let mut handler_addrs: BTreeMap<&'static str, Addr> = BTreeMap::new();
+        let simple_handler = |b: &mut ProgramBuilder, name: &'static str, marker: u32| {
+            let l = b.function(name);
+            let addr = b.label_addr(l).expect("just bound");
+            b.output(marker, Port::Render);
+            b.ret();
+            addr
+        };
+        handler_addrs.insert("h1a", simple_handler(&mut b, "h1a", 0x1A1));
+        handler_addrs.insert("h1b", simple_handler(&mut b, "h1b", 0x1B1));
+        handler_addrs.insert("h3a", simple_handler(&mut b, "h3a", 0x3A1));
+        handler_addrs.insert("h3b", simple_handler(&mut b, "h3b", 0x3B1));
+        handler_addrs.insert("h7a", simple_handler(&mut b, "h7a", 0x7A1));
+        handler_addrs.insert("h7b", simple_handler(&mut b, "h7b", 0x7B1));
+        // Handlers that render *through the object's data pointer*: forcing the call to
+        // them still crashes when the object is corrupted.
+        let deref_handler = |b: &mut ProgramBuilder, name: &'static str| {
+            let l = b.function(name);
+            let addr = b.label_addr(l).unwrap();
+            b.mov(Reg::Ebx, Operand::Mem(MemRef::base_disp(Reg::Esi, 1)));
+            b.mov(Reg::Ebx, Operand::Mem(MemRef::base(Reg::Ebx)));
+            b.output(Reg::Ebx, Port::Render);
+            b.ret();
+            addr
+        };
+        handler_addrs.insert("h2a", deref_handler(&mut b, "h2a"));
+        handler_addrs.insert("h4a", deref_handler(&mut b, "h4a"));
+        handler_addrs.insert("h5a", deref_handler(&mut b, "h5a"));
+
+        // ---- Feature routines --------------------------------------------------------
+        let f1 = build_js_type_290162(&mut b, handler_addrs["h1a"], handler_addrs["h1b"]);
+        let f2 = build_js_type_295854(&mut b, handler_addrs["h2a"]);
+        let f3 = build_gc_realloc_312278(&mut b, handler_addrs["h3a"], handler_addrs["h3b"]);
+        let f4 = build_widget(&mut b, "269095", handler_addrs["h4a"]);
+        let f5 = build_widget(&mut b, "320182", handler_addrs["h5a"]);
+        let f6 = build_string_296134(&mut b);
+        let f7 = build_array_311710(&mut b, handler_addrs["h7a"], handler_addrs["h7b"]);
+        let f8 = build_gif_285595(&mut b);
+        let f9 = build_grow_325403(&mut b);
+        let f10 = build_hostname_307259(&mut b);
+
+        // ---- Dispatch stubs ----------------------------------------------------------
+        // Each stub calls its feature routine and then renders the completion marker.
+        let stub = |b: &mut ProgramBuilder, name: &str, target: cv_isa::Label| {
+            let l = b.new_label(name);
+            b.bind(l);
+            b.call(target);
+            b.output(DONE_MARKER, Port::Render);
+            b.halt();
+            l
+        };
+        let unknown_stub = {
+            let l = b.new_label("stub_unknown");
+            b.bind(l);
+            b.output(UNKNOWN_FEATURE_MARKER, Port::Render);
+            b.output(DONE_MARKER, Port::Render);
+            b.halt();
+            l
+        };
+        let stubs = [
+            stub(&mut b, "stub_1", f1),
+            stub(&mut b, "stub_2", f2),
+            stub(&mut b, "stub_3", f3),
+            stub(&mut b, "stub_4", f4),
+            stub(&mut b, "stub_5", f5),
+            stub(&mut b, "stub_6", f6),
+            stub(&mut b, "stub_7", f7),
+            stub(&mut b, "stub_8", f8),
+            stub(&mut b, "stub_9", f9),
+            stub(&mut b, "stub_10", f10),
+        ];
+
+        // ---- Dispatch table (static data holding code addresses) --------------------
+        let table = b.data_here();
+        b.data_code_ref(unknown_stub); // selector 0 is invalid
+        for s in stubs {
+            b.data_code_ref(s);
+        }
+
+        // ---- main: bounds-checked jump-table dispatch --------------------------------
+        let main = b.function("main");
+        b.input(Reg::Eax, Port::Input);
+        let unknown = b.new_label("selector_out_of_range");
+        b.cmp(Reg::Eax, 11u32);
+        b.jcc(Cond::AboveEq, unknown);
+        b.jmp_indirect(Operand::Mem(MemRef {
+            base: None,
+            index: Some(Reg::Eax),
+            scale: 1,
+            disp: table as i32,
+        }));
+        b.bind(unknown);
+        b.output(UNKNOWN_FEATURE_MARKER, Port::Render);
+        b.output(DONE_MARKER, Port::Render);
+        b.halt();
+        b.set_entry(main);
+
+        for (name, addr) in &handler_addrs {
+            b.note_symbol(name, *addr);
+        }
+        let (image, symbols) = b.build_with_symbols().expect("browser assembles");
+        Browser { image, symbols }
+    }
+
+    /// Look up a symbol recorded by the builder (tests/harnesses only).
+    pub fn sym(&self, name: &str) -> Addr {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown browser symbol `{name}`"))
+    }
+
+    /// The guest heap base — attack pages embed heap addresses as "downloaded code"
+    /// pointers, exactly like heap-spray payloads.
+    pub fn heap_base(&self) -> Addr {
+        self.image.layout.heap_base
+    }
+}
+
+impl Default for Browser {
+    fn default() -> Self {
+        Browser::build()
+    }
+}
+
+/// Emit the range-tagged type-confusion check: if the payload in `payload_reg` looks
+/// like a native-object pointer (≥ [`NATIVE_TAG_THRESHOLD`]) the routine trusts it.
+/// Returns the label of the "not native" continuation, which the caller must bind after
+/// emitting the corruption path.
+fn emit_native_tag_check(b: &mut ProgramBuilder, payload_reg: Reg) -> cv_isa::Label {
+    let not_native = b.new_label("not_native");
+    b.cmp(payload_reg, NATIVE_TAG_THRESHOLD);
+    b.jcc(Cond::Below, not_native);
+    not_native
+}
+
+/// Feature 1 — Bugzilla 290162: a JavaScript system routine fails to check an object's
+/// type; content that claims to be a native object overwrites the object's method
+/// pointer, and the ensuing virtual call jumps to downloaded data.
+///
+/// Page words (after the feature selector): `[payload, handler_selector]`.
+fn build_js_type_290162(b: &mut ProgramBuilder, h_a: Addr, h_b: Addr) -> cv_isa::Label {
+    let f = b.new_label("f_290162");
+    b.bind(f);
+    b.input(Reg::Edx, Port::Input); // payload ("downloaded data")
+    b.input(Reg::Ecx, Port::Input); // handler selector (0 or 1)
+    b.alloc(Reg::Esi, 2); // the object
+    b.alloc(Reg::Edi, 2); // the downloaded-content buffer
+    b.mov(Operand::Mem(MemRef::base(Reg::Edi)), Reg::Edx);
+    // Benign initialization: method pointer chosen by the (checked) selector.
+    let use_b = b.new_label("f1_use_b");
+    let init_done = b.new_label("f1_init_done");
+    b.cmp(Reg::Ecx, 0u32);
+    b.jcc(Cond::Ne, use_b);
+    b.mov(Operand::Mem(MemRef::base(Reg::Esi)), h_a);
+    b.jmp(init_done);
+    b.bind(use_b);
+    b.mov(Operand::Mem(MemRef::base(Reg::Esi)), h_b);
+    b.bind(init_done);
+    // The defect: payloads that look like native objects are trusted and their word
+    // becomes the method pointer, with no type check.
+    let not_native = emit_native_tag_check(b, Reg::Edx);
+    b.mov(Reg::Ebx, Operand::Mem(MemRef::base(Reg::Edi)));
+    b.mov(Operand::Mem(MemRef::base(Reg::Esi)), Reg::Ebx);
+    b.bind(not_native);
+    let call_site = b.call_indirect(Operand::Mem(MemRef::base(Reg::Esi)));
+    b.note_symbol("vuln_290162_call", call_site);
+    b.ret();
+    f
+}
+
+/// Feature 2 — Bugzilla 295854: same type-confusion defect, but the corruption also
+/// clobbers the object's data pointer, so forcing the call to a previously observed
+/// method still crashes; only skipping the call survives.
+///
+/// Page words: `[payload_fptr, payload_data]`.
+fn build_js_type_295854(b: &mut ProgramBuilder, h_a: Addr) -> cv_isa::Label {
+    let f = b.new_label("f_295854");
+    b.bind(f);
+    b.input(Reg::Edx, Port::Input); // payload: would-be method pointer
+    b.input(Reg::Ecx, Port::Input); // payload: would-be data pointer
+    b.alloc(Reg::Esi, 2); // object: [0] method pointer, [1] data pointer
+    b.alloc(Reg::Edi, 2); // downloaded-content buffer
+    b.mov(Operand::Mem(MemRef::base(Reg::Edi)), Reg::Edx);
+    b.mov(Operand::Mem(MemRef::base_disp(Reg::Edi, 1)), Reg::Ecx);
+    // Benign initialization: a fresh data cell and the single observed method.
+    b.alloc(Reg::Ebx, 1);
+    b.mov(Operand::Mem(MemRef::base(Reg::Ebx)), 0x77u32);
+    b.mov(Operand::Mem(MemRef::base_disp(Reg::Esi, 1)), Reg::Ebx);
+    b.mov(Operand::Mem(MemRef::base(Reg::Esi)), h_a);
+    // The defect: trusted "native" content overwrites both object fields.
+    let not_native = emit_native_tag_check(b, Reg::Edx);
+    b.mov(Reg::Ecx, Operand::Mem(MemRef::base(Reg::Edi)));
+    b.mov(Operand::Mem(MemRef::base(Reg::Esi)), Reg::Ecx);
+    b.mov(Reg::Ecx, Operand::Mem(MemRef::base_disp(Reg::Edi, 1)));
+    b.mov(Operand::Mem(MemRef::base_disp(Reg::Esi, 1)), Reg::Ecx);
+    b.bind(not_native);
+    let call_site = b.call_indirect(Operand::Mem(MemRef::base(Reg::Esi)));
+    b.note_symbol("vuln_295854_call", call_site);
+    b.ret();
+    f
+}
+
+/// Feature 3 — Bugzilla 312278: downloaded script obtains a reference to an object that
+/// is erroneously garbage-collected and reallocated; the script then overwrites the new
+/// occupant's method pointer, and the stale reference is used for a virtual call.
+///
+/// Page words: `[payload, handler_selector]`.
+fn build_gc_realloc_312278(b: &mut ProgramBuilder, h_a: Addr, h_b: Addr) -> cv_isa::Label {
+    let f = b.new_label("f_312278");
+    b.bind(f);
+    b.input(Reg::Edx, Port::Input); // payload
+    b.input(Reg::Ecx, Port::Input); // handler selector
+    b.alloc(Reg::Esi, 2);
+    let use_b = b.new_label("f3_use_b");
+    let init_done = b.new_label("f3_init_done");
+    b.cmp(Reg::Ecx, 0u32);
+    b.jcc(Cond::Ne, use_b);
+    b.mov(Operand::Mem(MemRef::base(Reg::Esi)), h_a);
+    b.jmp(init_done);
+    b.bind(use_b);
+    b.mov(Operand::Mem(MemRef::base(Reg::Esi)), h_b);
+    b.bind(init_done);
+    // The defect: native-looking content makes the routine treat the object as garbage;
+    // it is freed while `esi` still references it, and the storage is immediately
+    // reused for data the page controls.
+    let not_native = emit_native_tag_check(b, Reg::Edx);
+    b.free(Reg::Esi);
+    b.alloc(Reg::Ebx, 2);
+    b.mov(Operand::Mem(MemRef::base(Reg::Ebx)), Reg::Edx);
+    b.bind(not_native);
+    let call_site = b.call_indirect(Operand::Mem(MemRef::base(Reg::Esi)));
+    b.note_symbol("vuln_312278_call", call_site);
+    b.ret();
+    f
+}
+
+/// Features 4 and 5 — Bugzilla 269095 / 320182: memory that is reallocated without
+/// reinitialization is treated as a live widget; both its callback pointer and its data
+/// pointer end up attacker-controlled. Forcing the callback or skipping the call still
+/// uses the corrupted data; only returning from the enclosing procedure survives.
+///
+/// Page words: `[payload_fptr, payload_data]`.
+fn build_widget(b: &mut ProgramBuilder, tag: &str, handler: Addr) -> cv_isa::Label {
+    let f = b.new_label(&format!("f_{tag}"));
+    b.bind(f);
+    b.input(Reg::Edx, Port::Input); // payload: would-be callback pointer
+    b.input(Reg::Ecx, Port::Input); // payload: would-be data pointer
+    b.alloc(Reg::Esi, 2); // the widget: [0] callback, [1] data pointer
+    b.alloc(Reg::Edi, 1); // the widget's data cell
+    b.mov(Operand::Mem(MemRef::base(Reg::Edi)), 0x55u32);
+    b.mov(Operand::Mem(MemRef::base_disp(Reg::Esi, 1)), Reg::Edi);
+    b.mov(Operand::Mem(MemRef::base(Reg::Esi)), handler);
+    // The defect: a native-looking payload releases the widget and reuses its storage
+    // without reinitialization; the page's words land in both fields.
+    let not_native = emit_native_tag_check(b, Reg::Edx);
+    b.free(Reg::Esi);
+    b.alloc(Reg::Ebx, 2);
+    b.mov(Operand::Mem(MemRef::base(Reg::Ebx)), Reg::Edx);
+    b.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 1)), Reg::Ecx);
+    b.bind(not_native);
+    let call_site = b.call_indirect(Operand::Mem(MemRef::base(Reg::Esi)));
+    b.note_symbol(&format!("vuln_{tag}_call"), call_site);
+    // Post-call use of the widget: skipping the call is not enough to survive.
+    b.mov(Reg::Ecx, Operand::Mem(MemRef::base_disp(Reg::Esi, 1)));
+    b.mov(Reg::Ecx, Operand::Mem(MemRef::base(Reg::Ecx)));
+    b.output(Reg::Ecx, Port::Render);
+    b.ret();
+    f
+}
+
+/// Feature 6 — Bugzilla 296134: the length of a string is computed without a sign
+/// check; a negative length becomes a huge unsigned `memcpy` that overwrites the stack,
+/// including the return address.
+///
+/// Page words: `[field_len, w0, w1, w2, w3]` (the four words are the "string data").
+fn build_string_296134(b: &mut ProgramBuilder) -> cv_isa::Label {
+    let f = b.new_label("f_296134");
+    b.bind(f);
+    b.input(Reg::Ecx, Port::Input); // field length from the page
+    b.alloc(Reg::Esi, 8); // downloaded string data
+    for i in 0..4 {
+        b.input(Reg::Eax, Port::Input);
+        b.mov(Operand::Mem(MemRef::base_disp(Reg::Esi, i)), Reg::Eax);
+    }
+    // The defect: len = field_len - 4 with no check that the result is positive.
+    let len_site = b.sub(Reg::Ecx, 4u32);
+    b.note_symbol("vuln_296134_len", len_site);
+    b.sub(Reg::Esp, 8u32); // stack-local copy buffer (8 words)
+    b.mov(Reg::Edi, Reg::Esp);
+    let copy_site = b.copy(Reg::Edi, Reg::Esi, Reg::Ecx);
+    b.note_symbol("vuln_296134_copy", copy_site);
+    b.add(Reg::Esp, 8u32);
+    let ret_site = b.ret();
+    b.note_symbol("vuln_296134_ret", ret_site);
+    f
+}
+
+/// Feature 7 — Bugzilla 311710: three copy-pasted routines each compute an array index
+/// from page content without checking for negative values; the retrieved "object" is
+/// then invoked, jumping through attacker-controlled memory.
+///
+/// Page words: `[rawA, a0, a1, a2, a3, rawB, b0..b3, rawC, c0..c3]`.
+fn build_array_311710(b: &mut ProgramBuilder, h_a: Addr, h_b: Addr) -> cv_isa::Label {
+    let build_get_elem = |b: &mut ProgramBuilder, tag: &str| -> cv_isa::Label {
+        let f = b.new_label(&format!("get_elem_{tag}"));
+        b.bind(f);
+        b.input(Reg::Ecx, Port::Input); // raw index field
+        b.alloc(Reg::Edi, 4); // "sprayed" buffer the page fills
+        for i in 0..4 {
+            b.input(Reg::Eax, Port::Input);
+            b.mov(Operand::Mem(MemRef::base_disp(Reg::Edi, i)), Reg::Eax);
+        }
+        b.alloc(Reg::Ebx, 4); // the method-pointer array (directly after the spray)
+        b.mov(Operand::Mem(MemRef::base(Reg::Ebx)), h_a);
+        b.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 1)), h_b);
+        b.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 2)), h_a);
+        b.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 3)), h_b);
+        // The defect: idx = raw - 10, never checked for negative values.
+        let idx_site = b.sub(Reg::Ecx, 10u32);
+        b.note_symbol(&format!("vuln_311710{tag}_idx"), idx_site);
+        let call_site = b.call_indirect(Operand::Mem(MemRef::indexed(Reg::Ebx, Reg::Ecx, 1, 0)));
+        b.note_symbol(&format!("vuln_311710{tag}_call"), call_site);
+        b.ret();
+        f
+    };
+    let ga = build_get_elem(b, "a");
+    let gb = build_get_elem(b, "b");
+    let gc = build_get_elem(b, "c");
+    let f = b.new_label("f_311710");
+    b.bind(f);
+    b.call(ga);
+    b.call(gb);
+    b.call(gc);
+    b.ret();
+    f
+}
+
+/// Feature 8 — Bugzilla 285595: the GIF extension parser never checks the sign of a
+/// count read from the file; the pixel writer one call below then writes before the
+/// start of its buffer. The invariant that fixes it lives in the caller, one procedure
+/// above the failure location.
+///
+/// Page words: `[ext_count, pixel_value]`.
+fn build_gif_285595(b: &mut ProgramBuilder) -> cv_isa::Label {
+    // The leaf: writes one pixel through a precomputed pointer. It has learnable
+    // invariants (the mode flag), but none of them correlate with the failure.
+    let write_pixel = b.new_label("write_pixel");
+    b.bind(write_pixel);
+    let skip = b.new_label("wp_skip");
+    b.cmp(Reg::Esi, 0u32); // mode flag, always 1 on observed executions
+    b.jcc(Cond::Eq, skip);
+    let store_site = b.mov(Operand::Mem(MemRef::base(Reg::Edi)), Reg::Edx);
+    b.note_symbol("vuln_285595_store", store_site);
+    b.bind(skip);
+    b.ret();
+
+    let f = b.new_label("f_285595");
+    b.bind(f);
+    b.input(Reg::Ecx, Port::Input); // extension block count from the GIF data
+    b.input(Reg::Edx, Port::Input); // pixel value
+    b.mov(Reg::Esi, 1u32); // mode flag
+    b.alloc(Reg::Ebx, 16); // pixel buffer
+    // The defect: idx = count - 4, sign never checked (the caller's invariant).
+    let count_site = b.sub(Reg::Ecx, 4u32);
+    b.note_symbol("vuln_285595_count", count_site);
+    b.lea(Reg::Edi, MemRef::indexed(Reg::Ebx, Reg::Ecx, 1, 0));
+    b.call(write_pixel);
+    b.ret();
+    f
+}
+
+/// Feature 9 — Bugzilla 325403: a buffer growth size computed from page content wraps
+/// around, so the allocated buffer is smaller than the data copied into it.
+///
+/// Page words: `[data_len, seed_word]`.
+fn build_grow_325403(b: &mut ProgramBuilder) -> cv_isa::Label {
+    let f = b.new_label("f_325403");
+    b.bind(f);
+    b.input(Reg::Ecx, Port::Input); // requested data length
+    b.alloc(Reg::Esi, 128); // source data
+    b.input(Reg::Eax, Port::Input);
+    b.mov(Operand::Mem(MemRef::base(Reg::Esi)), Reg::Eax);
+    // The defect: the new size is computed in a 16-bit field, so it can wrap.
+    b.mov(Reg::Edx, Reg::Ecx);
+    b.add(Reg::Edx, 8u32);
+    b.and(Reg::Edx, 0xFFFFu32);
+    let alloc_site = b.alloc(Reg::Ebx, Reg::Edx);
+    b.note_symbol("vuln_325403_alloc", alloc_site);
+    let copy_site = b.copy(Reg::Ebx, Reg::Esi, Reg::Ecx);
+    b.note_symbol("vuln_325403_copy", copy_site);
+    b.ret();
+    f
+}
+
+/// Feature 10 — Bugzilla 307259: the host-name buffer size is computed from two segment
+/// lengths; each individually looks normal, but their sum overflows the buffer. The
+/// invariant needed (a sum of lengths bounded by a buffer length) is outside the
+/// invariant templates, so ClearView cannot repair it.
+///
+/// Page words: `[len1, len2]`.
+fn build_hostname_307259(b: &mut ProgramBuilder) -> cv_isa::Label {
+    let f = b.new_label("f_307259");
+    b.bind(f);
+    b.input(Reg::Ecx, Port::Input); // first segment length
+    b.input(Reg::Edx, Port::Input); // second segment length
+    b.alloc(Reg::Esi, 32); // source
+    b.alloc(Reg::Ebx, 12); // host-name buffer (12 words)
+    let copy1 = b.copy(Reg::Ebx, Reg::Esi, Reg::Ecx);
+    b.note_symbol("vuln_307259_copy1", copy1);
+    b.lea(Reg::Edi, MemRef::indexed(Reg::Ebx, Reg::Ecx, 1, 0));
+    let copy2 = b.copy(Reg::Edi, Reg::Esi, Reg::Edx);
+    b.note_symbol("vuln_307259_copy2", copy2);
+    b.ret();
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_runtime::{EnvConfig, ManagedExecutionEnvironment, MonitorConfig};
+
+    #[test]
+    fn browser_builds_and_runs_benign_pages() {
+        let browser = Browser::build();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        // Feature 1, benign: small payload, handler 0 then handler 1.
+        let r = env.run(&[feature::JS_TYPE_290162, 1234, 0]);
+        assert!(r.is_completed(), "{:?}", r.status);
+        assert_eq!(r.rendered, vec![0x1A1, DONE_MARKER]);
+        let r = env.run(&[feature::JS_TYPE_290162, 1234, 1]);
+        assert_eq!(r.rendered, vec![0x1B1, DONE_MARKER]);
+        // Feature 2 renders through the object's data cell.
+        let r = env.run(&[feature::JS_TYPE_295854, 777, 3]);
+        assert_eq!(r.rendered, vec![0x77, DONE_MARKER]);
+        // Feature 6, benign length.
+        let r = env.run(&[feature::STRING_296134, 8, 11, 12, 13, 14]);
+        assert!(r.is_completed());
+        assert_eq!(r.rendered, vec![DONE_MARKER]);
+        // Feature 7, benign indices.
+        let page = {
+            let mut p = vec![feature::ARRAY_311710];
+            for raw in [10u32, 11, 12] {
+                p.push(raw);
+                p.extend([1, 2, 3, 4]);
+            }
+            p
+        };
+        let r = env.run(&page);
+        assert!(r.is_completed());
+        assert_eq!(r.rendered, vec![0x7A1, 0x7B1, 0x7A1, DONE_MARKER]);
+        // Unknown feature selectors render the error marker but still complete.
+        for bad in [0u32, 11, 999] {
+            let r = env.run(&[bad]);
+            assert!(r.is_completed());
+            assert_eq!(r.rendered, vec![UNKNOWN_FEATURE_MARKER, DONE_MARKER]);
+        }
+    }
+
+    #[test]
+    fn widget_feature_renders_through_its_data_pointer() {
+        let browser = Browser::build();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        let r = env.run(&[feature::WIDGET_269095, 11, 3]);
+        assert!(r.is_completed());
+        // Handler renders 0x55 (via data pointer) and the post-call use renders it again.
+        assert_eq!(r.rendered, vec![0x55, 0x55, DONE_MARKER]);
+        let r = env.run(&[feature::WIDGET_320182, 12, 4]);
+        assert_eq!(r.rendered, vec![0x55, 0x55, DONE_MARKER]);
+    }
+
+    #[test]
+    fn type_confusion_attack_subverts_an_unprotected_browser() {
+        let browser = Browser::build();
+        let heap = browser.heap_base();
+        let mut env = ManagedExecutionEnvironment::new(
+            browser.image.clone(),
+            EnvConfig::with_monitors(MonitorConfig::bare()),
+        );
+        let r = env.run(&[feature::JS_TYPE_290162, heap + 2, 0]);
+        assert!(
+            !r.is_completed(),
+            "the unprotected browser is compromised (control flow subverted)"
+        );
+    }
+
+    #[test]
+    fn type_confusion_attack_is_detected_by_the_memory_firewall() {
+        let browser = Browser::build();
+        let heap = browser.heap_base();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        let r = env.run(&[feature::JS_TYPE_290162, heap + 2, 0]);
+        let f = r.failure().expect("monitor detects the attack");
+        assert_eq!(f.location, browser.sym("vuln_290162_call"));
+        assert!(r.rendered.is_empty(), "terminated before rendering");
+        // The shadow stack shows the dispatch stub's call into the feature routine.
+        assert_eq!(f.call_stack.len(), 1);
+    }
+
+    #[test]
+    fn gc_and_widget_attacks_are_detected() {
+        let browser = Browser::build();
+        let heap = browser.heap_base();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        let r = env.run(&[feature::GC_REALLOC_312278, heap + 2, 0]);
+        assert_eq!(r.failure().unwrap().location, browser.sym("vuln_312278_call"));
+        let r = env.run(&[feature::WIDGET_269095, heap + 2, 7]);
+        assert_eq!(r.failure().unwrap().location, browser.sym("vuln_269095_call"));
+        let r = env.run(&[feature::WIDGET_320182, heap + 2, 7]);
+        assert_eq!(r.failure().unwrap().location, browser.sym("vuln_320182_call"));
+        let r = env.run(&[feature::JS_TYPE_295854, heap + 2, 7]);
+        assert_eq!(r.failure().unwrap().location, browser.sym("vuln_295854_call"));
+    }
+
+    #[test]
+    fn negative_length_attack_is_detected_at_the_return() {
+        let browser = Browser::build();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        // field_len = 3 -> len = -1 -> runaway copy overwrites the return address.
+        let r = env.run(&[feature::STRING_296134, 3, 11, 12, 13, 14]);
+        let f = r.failure().expect("monitor detects the attack");
+        assert_eq!(f.location, browser.sym("vuln_296134_ret"));
+    }
+
+    #[test]
+    fn gif_attack_is_detected_by_heap_guard_in_the_leaf() {
+        let browser = Browser::build();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        // ext_count = 3 -> idx = -1 -> the pixel store hits the leading canary.
+        let r = env.run(&[feature::GIF_285595, 3, 0x1234]);
+        let f = r.failure().expect("heap guard detects the attack");
+        assert_eq!(f.location, browser.sym("vuln_285595_store"));
+        // Without Heap Guard the write silently corrupts the heap and the run completes.
+        let mut env = ManagedExecutionEnvironment::new(
+            browser.image.clone(),
+            EnvConfig::with_monitors(MonitorConfig::firewall_and_shadow_stack()),
+        );
+        let r = env.run(&[feature::GIF_285595, 3, 0x1234]);
+        assert!(r.is_completed());
+    }
+
+    #[test]
+    fn buffer_growth_overflow_is_detected_by_heap_guard() {
+        let browser = Browser::build();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        let r = env.run(&[feature::GROW_325403, 0xFFFC, 42]);
+        let f = r.failure().expect("heap guard detects the attack");
+        assert_eq!(f.location, browser.sym("vuln_325403_copy"));
+    }
+
+    #[test]
+    fn hostname_attack_is_detected() {
+        let browser = Browser::build();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        let r = env.run(&[feature::HOSTNAME_307259, 8, 8]);
+        let f = r.failure().expect("heap guard detects the attack");
+        assert_eq!(f.location, browser.sym("vuln_307259_copy2"));
+    }
+
+    #[test]
+    fn array_attack_fails_in_the_first_copy_pasted_routine() {
+        let browser = Browser::build();
+        let heap = browser.heap_base();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        let mut page = vec![feature::ARRAY_311710];
+        for _ in 0..3 {
+            page.push(4); // raw = 4 -> idx = -6 -> reads the sprayed buffer
+            page.extend([heap + 2, heap + 2, heap + 2, heap + 2]);
+        }
+        let r = env.run(&page);
+        let f = r.failure().expect("monitor detects the attack");
+        assert_eq!(f.location, browser.sym("vuln_311710a_call"));
+    }
+}

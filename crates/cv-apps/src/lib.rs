@@ -1,0 +1,30 @@
+//! # cv-apps — the synthetic vulnerable browser and its workloads
+//!
+//! The Red Team exercise protected Firefox 1.0.0 and attacked it with ten exploits
+//! through web pages (Section 4 of the paper). This crate provides the equivalent
+//! application and workloads for the simulated substrate:
+//!
+//! * [`Browser`] — a guest program with ten seeded defects, one per Bugzilla entry the
+//!   Red Team targeted, each reproducing the paper's error class, learnable invariant,
+//!   detection monitor, and successful repair strategy.
+//! * [`red_team_exploits`] / [`Exploit`] — the attack pages (plus variants) and the
+//!   per-exploit metadata of Table 1.
+//! * [`learning_suite`], [`expanded_learning_suite`], [`evaluation_suite`] — the benign
+//!   page workloads used for learning, for the post-exercise reconfiguration of exploit
+//!   325403, and for the 57-page repair-quality / false-positive evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod browser;
+mod exploits;
+mod pages;
+
+pub use browser::{feature, Browser, DONE_MARKER};
+pub use exploits::{red_team_exploits, Exploit, Reconfiguration};
+pub use pages::{
+    benign_array_311710, benign_gc_realloc_312278, benign_gif_285595, benign_grow_325403,
+    benign_hostname_307259, benign_js_type_290162, benign_js_type_295854, benign_string_296134,
+    benign_widget_269095, benign_widget_320182, evaluation_suite, expanded_learning_suite,
+    learning_suite,
+};

@@ -1,0 +1,217 @@
+//! Benign page workloads: the learning suite and the evaluation suite.
+//!
+//! The Blue Team prepared an invariant database from learning pages exercising
+//! functionality related to known vulnerabilities, and the Red Team selected 57
+//! legitimate evaluation pages used for the repair-quality and false-positive
+//! evaluations (Section 4.2.2). This module generates the equivalents for the synthetic
+//! browser: deterministic benign pages per feature, a default learning suite, an
+//! expanded learning suite (the 325403 reconfiguration), and a 57-page evaluation suite.
+//!
+//! The learning pages are chosen so that the invariants Daikon retains are the ones the
+//! paper describes: "downloaded content" words take more than [`cv_inference::ONE_OF_LIMIT`]
+//! distinct values (so no accidental one-of invariants constrain them), while call
+//! targets, type flags, lengths, and indices keep their meaningful invariants.
+
+use crate::browser::feature;
+use cv_isa::Word;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A benign page exercising feature 1 (290162): a small scalar payload, handler
+/// `selector`.
+pub fn benign_js_type_290162(payload: Word, selector: Word) -> Vec<Word> {
+    vec![feature::JS_TYPE_290162, 1 + payload % 40_000, selector % 2]
+}
+
+/// A benign page exercising feature 2 (295854): small payload and data words.
+pub fn benign_js_type_295854(payload: Word, data: Word) -> Vec<Word> {
+    vec![feature::JS_TYPE_295854, 1 + payload % 40_000, 1 + data % 6]
+}
+
+/// A benign page exercising feature 3 (312278).
+pub fn benign_gc_realloc_312278(payload: Word, selector: Word) -> Vec<Word> {
+    vec![feature::GC_REALLOC_312278, 1 + payload % 40_000, selector % 2]
+}
+
+/// A benign page exercising feature 4 (269095).
+pub fn benign_widget_269095(payload: Word, data: Word) -> Vec<Word> {
+    vec![feature::WIDGET_269095, 1 + payload % 40_000, 1 + data % 6]
+}
+
+/// A benign page exercising feature 5 (320182).
+pub fn benign_widget_320182(payload: Word, data: Word) -> Vec<Word> {
+    vec![feature::WIDGET_320182, 1 + payload % 40_000, 1 + data % 6]
+}
+
+/// A benign page exercising feature 6 (296134): `field_len` is clamped into the range
+/// a legitimate page would use (the string fits the stack buffer).
+pub fn benign_string_296134(field_len: Word, seed: Word) -> Vec<Word> {
+    let len = field_len.clamp(6, 12);
+    vec![
+        feature::STRING_296134,
+        len,
+        100 + seed % 500,
+        200 + seed % 700,
+        300 + seed % 900,
+        400 + seed % 1100,
+    ]
+}
+
+/// A benign page exercising feature 7 (311710): raw indices in 10..=13 and varied
+/// "image data" words.
+pub fn benign_array_311710(raw_a: Word, raw_b: Word, raw_c: Word, seed: Word) -> Vec<Word> {
+    let mut p = vec![feature::ARRAY_311710];
+    for (k, raw) in [raw_a, raw_b, raw_c].into_iter().enumerate() {
+        p.push(10 + raw % 4);
+        for i in 0..4u32 {
+            p.push(1 + (seed * 13 + k as Word * 7 + i * 3) % 30_000);
+        }
+    }
+    p
+}
+
+/// A benign page exercising feature 8 (285595): `ext_count` at least 4, at most 19.
+pub fn benign_gif_285595(ext_count: Word, pixel: Word) -> Vec<Word> {
+    vec![feature::GIF_285595, 4 + ext_count % 16, 512 + pixel % 20_000]
+}
+
+/// A benign page exercising feature 9 (325403): modest data lengths.
+pub fn benign_grow_325403(data_len: Word, seed: Word) -> Vec<Word> {
+    vec![feature::GROW_325403, 1 + data_len % 90, 1 + seed % 6]
+}
+
+/// A benign page exercising feature 10 (307259): segment lengths whose sum fits.
+pub fn benign_hostname_307259(len1: Word) -> Vec<Word> {
+    let l1 = 1 + len1 % 6;
+    vec![feature::HOSTNAME_307259, l1, 7 - l1]
+}
+
+/// The default learning suite: benign pages covering every feature the Blue Team's
+/// learning regions covered — everything except the buffer-growth feature (325403),
+/// whose lack of coverage is exactly why the paper's ClearView could not patch that
+/// exploit during the exercise.
+pub fn learning_suite() -> Vec<Vec<Word>> {
+    let mut pages = Vec::new();
+    // Virtual-dispatch features: six distinct payloads each, both observed handlers.
+    for i in 0..6u32 {
+        pages.push(benign_js_type_290162(201 + i * 97, i));
+        pages.push(benign_js_type_295854(111 + i * 113, i));
+        pages.push(benign_gc_realloc_312278(4321 + i * 131, i + 1));
+        pages.push(benign_widget_269095(11 + i * 151, i));
+        pages.push(benign_widget_320182(17 + i * 173, i));
+    }
+    // Length-driven features: enough distinct values that no one-of survives and the
+    // lower bounds / less-than relations are meaningful.
+    for (i, len) in (6..=12).enumerate() {
+        pages.push(benign_string_296134(len, 10 + i as Word * 7));
+    }
+    for i in 0..6u32 {
+        pages.push(benign_array_311710(i, i + 1, i + 2, 5 + i * 11));
+    }
+    for (i, count) in (0..=6u32).enumerate() {
+        pages.push(benign_gif_285595(count, 37 * (i as Word + 1)));
+    }
+    for l1 in 1..=6 {
+        pages.push(benign_hostname_307259(l1 - 1));
+    }
+    pages
+}
+
+/// The expanded learning suite of Section 4.3.2: the default suite plus coverage of the
+/// buffer-growth feature, which lets Daikon learn the less-than invariant needed for
+/// exploit 325403.
+pub fn expanded_learning_suite() -> Vec<Vec<Word>> {
+    let mut pages = learning_suite();
+    for (i, len) in [1u32, 5, 10, 20, 40, 80].iter().enumerate() {
+        pages.push(benign_grow_325403(*len - 1, i as Word));
+    }
+    pages
+}
+
+/// The 57 legitimate evaluation pages used for repair-quality and false-positive
+/// evaluation. Deterministic for reproducibility, and drawn from the same value ranges
+/// as the learning suite (legitimate content looks like legitimate content).
+pub fn evaluation_suite() -> Vec<Vec<Word>> {
+    let mut rng = StdRng::seed_from_u64(0x5EED_CA5E);
+    let mut pages = Vec::with_capacity(57);
+    while pages.len() < 57 {
+        let pick = pages.len() % 9;
+        let page = match pick {
+            0 => benign_js_type_290162(rng.gen_range(1..5000), rng.gen_range(0..2)),
+            1 => benign_js_type_295854(rng.gen_range(1..5000), rng.gen_range(0..6)),
+            2 => benign_gc_realloc_312278(rng.gen_range(1..5000), rng.gen_range(0..2)),
+            3 => benign_widget_269095(rng.gen_range(1..500), rng.gen_range(0..6)),
+            4 => benign_widget_320182(rng.gen_range(1..500), rng.gen_range(0..6)),
+            5 => benign_string_296134(rng.gen_range(6..=12), rng.gen_range(1..1000)),
+            6 => benign_array_311710(
+                rng.gen_range(0..4),
+                rng.gen_range(0..4),
+                rng.gen_range(0..4),
+                rng.gen_range(1..1000),
+            ),
+            7 => benign_gif_285595(rng.gen_range(0..6), rng.gen_range(1..1000)),
+            8 => benign_hostname_307259(rng.gen_range(0..6)),
+            _ => unreachable!(),
+        };
+        pages.push(page);
+    }
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::browser::{Browser, DONE_MARKER, NATIVE_TAG_THRESHOLD};
+    use cv_runtime::{EnvConfig, ManagedExecutionEnvironment};
+
+    #[test]
+    fn every_learning_and_evaluation_page_completes_normally() {
+        let browser = Browser::build();
+        let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+        let mut all = learning_suite();
+        all.extend(expanded_learning_suite());
+        all.extend(evaluation_suite());
+        for (i, page) in all.iter().enumerate() {
+            let r = env.run(page);
+            assert!(r.is_completed(), "benign page {i} must complete, got {:?}", r.status);
+            assert_eq!(
+                r.rendered.last().copied(),
+                Some(DONE_MARKER),
+                "benign page {i} renders to completion"
+            );
+        }
+    }
+
+    #[test]
+    fn benign_pages_never_carry_native_looking_payloads() {
+        for page in learning_suite().iter().chain(evaluation_suite().iter()) {
+            for w in &page[1..] {
+                assert!(
+                    *w < NATIVE_TAG_THRESHOLD,
+                    "legitimate content stays below the native tag threshold"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suites_have_the_documented_sizes() {
+        assert_eq!(evaluation_suite().len(), 57, "57 Red Team evaluation pages");
+        assert!(learning_suite().len() >= 40);
+        assert_eq!(expanded_learning_suite().len(), learning_suite().len() + 6);
+    }
+
+    #[test]
+    fn evaluation_suite_is_deterministic() {
+        assert_eq!(evaluation_suite(), evaluation_suite());
+    }
+
+    #[test]
+    fn hostname_pages_never_overflow_the_buffer() {
+        for l1 in 0..20 {
+            let p = benign_hostname_307259(l1);
+            assert!(p[1] + p[2] <= 12, "len1 + len2 must fit the 12-word buffer");
+            assert!(p[1] >= 1 && p[2] >= 1);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion bench backing Section 4.4.1: traced (learning) versus untraced execution
+//! of the learning suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cv_apps::{learning_suite, Browser};
+use cv_core::learn_model;
+use cv_runtime::{EnvConfig, ManagedExecutionEnvironment, MonitorConfig};
+
+fn learning_overhead(c: &mut Criterion) {
+    let browser = Browser::build();
+    let pages: Vec<Vec<u32>> = learning_suite().into_iter().take(12).collect();
+    let mut group = c.benchmark_group("learning_overhead");
+    group.sample_size(10);
+    group.bench_function("without_learning", |b| {
+        b.iter(|| {
+            let mut env =
+                ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+            for page in &pages {
+                std::hint::black_box(env.run(page));
+            }
+        });
+    });
+    group.bench_function("with_learning", |b| {
+        b.iter(|| std::hint::black_box(learn_model(&browser.image, &pages, MonitorConfig::full())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, learning_overhead);
+criterion_main!(benches);

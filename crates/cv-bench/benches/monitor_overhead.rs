@@ -1,0 +1,37 @@
+//! Criterion bench backing Table 2: real wall-clock cost of loading evaluation pages
+//! under each monitor configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cv_apps::{evaluation_suite, Browser};
+use cv_runtime::{EnvConfig, ManagedExecutionEnvironment, MonitorConfig};
+
+fn monitor_overhead(c: &mut Criterion) {
+    let browser = Browser::build();
+    let pages: Vec<Vec<u32>> = evaluation_suite().into_iter().take(12).collect();
+    let configs = [
+        ("bare", MonitorConfig::bare()),
+        ("mf", MonitorConfig::memory_firewall_only()),
+        ("mf_ss", MonitorConfig::firewall_and_shadow_stack()),
+        ("mf_hg", MonitorConfig::firewall_and_heap_guard()),
+        ("mf_hg_ss", MonitorConfig::full()),
+    ];
+    let mut group = c.benchmark_group("page_load_overhead");
+    group.sample_size(20);
+    for (name, monitors) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &monitors, |b, monitors| {
+            b.iter(|| {
+                let mut env = ManagedExecutionEnvironment::new(
+                    browser.image.clone(),
+                    EnvConfig::with_monitors(*monitors),
+                );
+                for page in &pages {
+                    std::hint::black_box(env.run(page));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, monitor_overhead);
+criterion_main!(benches);

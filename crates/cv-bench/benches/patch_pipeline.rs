@@ -1,0 +1,30 @@
+//! Criterion bench for the end-to-end patch pipeline (the Table 1 / Table 3 driver):
+//! from first exposure to a successful patch for a representative exploit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cv_apps::{learning_suite, red_team_exploits, Browser};
+use cv_bench::run_single_variant;
+use cv_core::{learn_model, ClearViewConfig};
+use cv_runtime::MonitorConfig;
+
+fn patch_pipeline(c: &mut Criterion) {
+    let browser = Browser::build();
+    let (model, _) = learn_model(&browser.image, &learning_suite(), MonitorConfig::full());
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 290162)
+        .unwrap();
+    let mut group = c.benchmark_group("patch_pipeline");
+    group.sample_size(10);
+    group.bench_function("exploit_290162_to_patch", |b| {
+        b.iter(|| {
+            let run = run_single_variant(&browser, &exploit, model.clone(), ClearViewConfig::default());
+            assert_eq!(run.presentations, Some(4));
+            std::hint::black_box(run)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, patch_pipeline);
+criterion_main!(benches);

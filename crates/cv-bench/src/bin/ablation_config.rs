@@ -1,0 +1,82 @@
+//! Ablation of the design choices DESIGN.md calls out (Sections 2.4.1, 4.3.2, 4.4.4):
+//! how many exploits ClearView can patch as the configuration varies — Heap Guard
+//! on/off, call-stack search depth, and the same-basic-block restriction on
+//! two-variable candidate invariants.
+
+use cv_apps::{expanded_learning_suite, red_team_exploits, Browser};
+use cv_bench::{print_table, run_single_variant, MAX_PRESENTATIONS};
+use cv_core::{learn_model, ClearViewConfig};
+use cv_inference::LearnedModel;
+use cv_runtime::MonitorConfig;
+
+fn patched_count(browser: &Browser, model: &LearnedModel, config: ClearViewConfig, monitors: MonitorConfig) -> (usize, usize) {
+    let mut patched = 0;
+    let mut detected = 0;
+    for exploit in red_team_exploits(browser) {
+        // Reuse the learned model; only the configuration varies.
+        let mut app = cv_core::ProtectedApplication::with_monitors(
+            browser.image.clone(),
+            model.clone(),
+            config,
+            monitors,
+        );
+        let mut got_patch = false;
+        let mut got_detection = false;
+        for _ in 0..MAX_PRESENTATIONS {
+            let out = app.present(exploit.page());
+            match out.status {
+                cv_runtime::RunStatus::Completed => {
+                    // Only counts as a patch if a monitor detected the attack first;
+                    // with Heap Guard disabled, some exploits silently corrupt the heap
+                    // and the run "completes" without any response being possible.
+                    got_patch = got_detection;
+                    break;
+                }
+                cv_runtime::RunStatus::Failure(_) => got_detection = true,
+                cv_runtime::RunStatus::Crash(_) => {}
+            }
+        }
+        if got_patch {
+            patched += 1;
+        }
+        if got_detection {
+            detected += 1;
+        }
+    }
+    (patched, detected)
+}
+
+fn main() {
+    let _ = run_single_variant; // re-exported driver used by other binaries
+    let browser = Browser::build();
+    let (model, _) = learn_model(&browser.image, &expanded_learning_suite(), MonitorConfig::full());
+
+    let mut no_two_var_restriction = ClearViewConfig::default();
+    no_two_var_restriction.restrict_two_variable_to_failure_block = false;
+
+    let configs: Vec<(&str, ClearViewConfig, MonitorConfig)> = vec![
+        ("Red Team defaults (depth 1, HG on)", ClearViewConfig::default(), MonitorConfig::full()),
+        ("Stack walk depth 2", ClearViewConfig::with_stack_walk(2), MonitorConfig::full()),
+        ("Stack walk depth 3", ClearViewConfig::with_stack_walk(3), MonitorConfig::full()),
+        ("Heap Guard disabled", ClearViewConfig::with_stack_walk(2), MonitorConfig::firewall_and_shadow_stack()),
+        ("No same-block restriction on pair invariants", no_two_var_restriction, MonitorConfig::full()),
+    ];
+
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|(name, config, monitors)| {
+            let (patched, detected) = patched_count(&browser, &model, *config, *monitors);
+            vec![name.to_string(), format!("{detected}/10"), format!("{patched}/10")]
+        })
+        .collect();
+    print_table(
+        "Ablation — exploits detected and patched under configuration variants (expanded learning suite)",
+        &["Configuration", "Detected", "Patched"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: the defaults patch 8/10 with the expanded suite (285595 needs the deeper\n\
+         stack walk, 307259 is never patchable); disabling Heap Guard loses the heap-overflow\n\
+         detections (285595, 325403, 307259 are no longer even detected)."
+    );
+}

@@ -1,0 +1,70 @@
+//! Regenerates the learning-overhead result of Section 4.4.1: loading the learning
+//! pages with the Daikon front end attached is orders of magnitude slower than loading
+//! them without learning (the paper reports 5.2 s vs 1600 s, a factor of ≈300).
+
+use cv_apps::{learning_suite, Browser};
+use cv_bench::print_table;
+use cv_core::learn_model;
+use cv_runtime::{CostModel, EnvConfig, ManagedExecutionEnvironment, MonitorConfig};
+use std::time::Instant;
+
+fn main() {
+    let browser = Browser::build();
+    let pages = learning_suite();
+    let cost = CostModel::default();
+
+    // Without learning.
+    let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+    let wall_start = Instant::now();
+    for page in &pages {
+        env.run(page);
+    }
+    let untraced_wall = wall_start.elapsed().as_secs_f64();
+    let untraced = env.cumulative_stats();
+
+    // With learning (full tracing + inference).
+    let wall_start = Instant::now();
+    let (model, traced) = learn_model(&browser.image, &pages, MonitorConfig::full());
+    let traced_wall = wall_start.elapsed().as_secs_f64();
+
+    let sim_ratio = cost.cost(&traced) / cost.cost(&untraced);
+    let wall_ratio = traced_wall / untraced_wall;
+    let rows = vec![
+        vec![
+            "Without learning".to_string(),
+            format!("{:.0}", cost.cost(&untraced)),
+            format!("{untraced_wall:.4}"),
+            "1.0".to_string(),
+            "1.0 (5.2 s)".to_string(),
+        ],
+        vec![
+            "With learning (Daikon front end)".to_string(),
+            format!("{:.0}", cost.cost(&traced)),
+            format!("{traced_wall:.4}"),
+            format!("{sim_ratio:.0}x / {wall_ratio:.0}x (sim/wall)"),
+            "~300x (1600 s)".to_string(),
+        ],
+    ];
+    print_table(
+        &format!(
+            "Learning overhead over {} learning pages ({} invariants learned)",
+            pages.len(),
+            model.invariants.len()
+        ),
+        &["Configuration", "Simulated cost", "Wall clock (s)", "Slowdown (measured)", "Slowdown (paper)"],
+        &rows,
+    );
+    println!(
+        "\nLearning statistics: {} trace events, {} variables, {} invariants \
+         ({} one-of, {} lower-bound, {} less-than, {} sp-offset), {} duplicates removed, {} pointers.",
+        model.invariants.stats.events_processed,
+        model.invariants.stats.variables_observed,
+        model.invariants.len(),
+        model.invariants.stats.one_of,
+        model.invariants.stats.lower_bound,
+        model.invariants.stats.less_than,
+        model.invariants.stats.sp_offset,
+        model.invariants.stats.duplicates_removed,
+        model.invariants.stats.pointers_classified,
+    );
+}

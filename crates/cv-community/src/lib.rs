@@ -1,0 +1,20 @@
+//! # cv-community — the application community
+//!
+//! ClearView is deployed across an *application community*: a set of machines running
+//! the same application that cooperate to learn invariants, detect attacks, and share
+//! patches, so that members that have never been exposed to an attack become immune once
+//! a few members have been attacked (Section 3 of the paper).
+//!
+//! * [`Community`] — the member nodes, the central ClearView manager (merged invariant
+//!   database, per-failure responders), and patch distribution.
+//! * [`Message`] — the protocol messages recorded in the console log (failure
+//!   notifications, invariant uploads, check/repair distribution).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod community;
+mod messages;
+
+pub use community::{Community, CommunityOutcome};
+pub use messages::{Message, NodeId};

@@ -1,0 +1,99 @@
+//! The messages exchanged between community members and the central ClearView manager.
+//!
+//! In the deployed system these travel over the Determina Management Console's secure
+//! (SSL) channels between the central server and the Node Managers (Section 3). Here
+//! they are recorded in a message log so tests and harnesses can observe the protocol:
+//! failure notifications flow up, invariant databases and observations flow up, and
+//! patch distribution directives flow down to every member.
+
+use cv_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a community member.
+pub type NodeId = usize;
+
+/// A protocol message, as recorded in the console's log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message {
+    /// A node uploaded its locally inferred invariants (amortized parallel learning).
+    InvariantUpload {
+        /// The uploading node.
+        node: NodeId,
+        /// How many invariants were uploaded.
+        invariants: usize,
+    },
+    /// A monitor on a node detected a failure and terminated the application.
+    FailureNotification {
+        /// The reporting node.
+        node: NodeId,
+        /// The failure location (the key that identifies this failure community-wide).
+        location: Addr,
+    },
+    /// A node reported invariant-check observations for a failure.
+    ObservationReport {
+        /// The reporting node.
+        node: NodeId,
+        /// The failure the observations belong to.
+        location: Addr,
+        /// Number of observations reported.
+        observations: usize,
+    },
+    /// The console pushed invariant-checking patches to every member.
+    ChecksDistributed {
+        /// The failure the checks belong to.
+        location: Addr,
+        /// Number of invariants checked.
+        invariants: usize,
+    },
+    /// The console removed the invariant-checking patches from every member.
+    ChecksRemoved {
+        /// The failure the checks belonged to.
+        location: Addr,
+    },
+    /// The console pushed a candidate repair patch to every member.
+    RepairDistributed {
+        /// The failure the repair addresses.
+        location: Addr,
+        /// Human-readable description of the repair.
+        description: String,
+    },
+    /// The console removed a repair patch from every member.
+    RepairRemoved {
+        /// The failure the repair addressed.
+        location: Addr,
+    },
+}
+
+impl Message {
+    /// The failure location this message concerns, if any.
+    pub fn location(&self) -> Option<Addr> {
+        match self {
+            Message::FailureNotification { location, .. }
+            | Message::ObservationReport { location, .. }
+            | Message::ChecksDistributed { location, .. }
+            | Message::ChecksRemoved { location }
+            | Message::RepairDistributed { location, .. }
+            | Message::RepairRemoved { location } => Some(*location),
+            Message::InvariantUpload { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_extraction() {
+        assert_eq!(
+            Message::FailureNotification { node: 1, location: 0x40100 }.location(),
+            Some(0x40100)
+        );
+        assert_eq!(Message::InvariantUpload { node: 0, invariants: 5 }.location(), None);
+        let m = Message::RepairDistributed {
+            location: 0x40200,
+            description: "enforce".into(),
+        };
+        assert_eq!(m.location(), Some(0x40200));
+    }
+}

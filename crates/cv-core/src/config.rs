@@ -1,0 +1,81 @@
+//! ClearView configuration.
+
+use cv_patch::PatchCostModel;
+use serde::{Deserialize, Serialize};
+
+/// Tunable policy knobs for the ClearView response pipeline.
+///
+/// The defaults reproduce the configuration used during the Red Team exercise
+/// (Section 4.2.2): Memory Firewall, Heap Guard, and the Shadow Stack always on;
+/// candidate correlated invariants drawn from the lowest procedure on the call stack
+/// that has invariants; two-variable invariants restricted to the failure's basic
+/// block; and a patch judged successful after an attack-free evaluation period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClearViewConfig {
+    /// How many *additional* failing executions (after the one that made ClearView aware
+    /// of the failure) are observed with invariant-checking patches in place before the
+    /// checks are removed and correlated invariants are computed. The paper uses two
+    /// (Section 4.3.1), giving the canonical minimum of four presentations to a patch.
+    pub check_runs_required: u32,
+    /// How many procedures on the call stack (starting from the innermost procedure
+    /// that has any invariants) contribute candidate correlated invariants. The Red Team
+    /// configuration used 1; raising it is the reconfiguration that fixed exploit
+    /// 285595 (Section 4.3.2).
+    pub stack_procedures_considered: usize,
+    /// Enforce the Section 2.4.1 restriction that an invariant relating two variables is
+    /// only a candidate if its check instruction is in the failure's basic block.
+    pub restrict_two_variable_to_failure_block: bool,
+    /// The score bonus `b` granted to repairs that have never failed (Section 2.6).
+    pub untried_bonus: i64,
+    /// Simulated patch build/install costs (Table 3 accounting).
+    pub patch_costs: PatchCostModel,
+    /// Simulated seconds of successful execution required before a repair is
+    /// (tentatively) judged successful — ten seconds in the paper (Section 2.6).
+    pub success_observation_seconds: f64,
+}
+
+impl Default for ClearViewConfig {
+    fn default() -> Self {
+        ClearViewConfig {
+            check_runs_required: 2,
+            stack_procedures_considered: 1,
+            restrict_two_variable_to_failure_block: true,
+            untried_bonus: 1,
+            patch_costs: PatchCostModel::default(),
+            success_observation_seconds: 10.0,
+        }
+    }
+}
+
+impl ClearViewConfig {
+    /// The reconfiguration used after the Red Team exercise to patch exploit 285595:
+    /// consider additional procedures up the call stack.
+    pub fn with_stack_walk(depth: usize) -> Self {
+        ClearViewConfig {
+            stack_procedures_considered: depth,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_red_team_configuration() {
+        let c = ClearViewConfig::default();
+        assert_eq!(c.check_runs_required, 2);
+        assert_eq!(c.stack_procedures_considered, 1);
+        assert!(c.restrict_two_variable_to_failure_block);
+        assert_eq!(c.untried_bonus, 1);
+        assert_eq!(c.success_observation_seconds, 10.0);
+    }
+
+    #[test]
+    fn stack_walk_reconfiguration() {
+        let c = ClearViewConfig::with_stack_walk(3);
+        assert_eq!(c.stack_procedures_considered, 3);
+        assert_eq!(c.check_runs_required, 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Candidate correlated invariant selection and correlation classification
+//! (Section 2.4 of the paper).
+
+use crate::config::ClearViewConfig;
+use cv_inference::{Invariant, LearnedModel};
+use cv_isa::Addr;
+use cv_runtime::Failure;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How strongly an invariant's violations correlate with a failure (Section 2.4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Correlation {
+    /// Always satisfied: not correlated.
+    Not,
+    /// Violated at least once during at least one failing execution.
+    Slightly,
+    /// Violated the last time it was checked before every failure, and violated at some
+    /// other point during at least one failing execution.
+    Moderately,
+    /// Violated the last time it was checked before every failure, and satisfied at
+    /// every other check.
+    Highly,
+}
+
+/// Classify an invariant from its per-failing-run observation sequences.
+///
+/// Each inner slice is the sequence of satisfied (`true`) / violated (`false`)
+/// observations the invariant's check produced during one execution that ended in the
+/// failure. Runs in which the invariant was never checked contribute nothing.
+pub fn classify(observations_per_failure: &[Vec<bool>]) -> Correlation {
+    let runs: Vec<&Vec<bool>> = observations_per_failure.iter().filter(|r| !r.is_empty()).collect();
+    if runs.is_empty() {
+        return Correlation::Not;
+    }
+    let violated_last_every_time = runs.iter().all(|r| !*r.last().expect("non-empty"));
+    let any_violation = runs.iter().any(|r| r.iter().any(|s| !*s));
+    let violated_elsewhere_some_run = runs
+        .iter()
+        .any(|r| r[..r.len() - 1].iter().any(|s| !*s));
+    let satisfied_all_other_times = runs
+        .iter()
+        .all(|r| r[..r.len() - 1].iter().all(|s| *s));
+
+    if violated_last_every_time && satisfied_all_other_times {
+        Correlation::Highly
+    } else if violated_last_every_time && violated_elsewhere_some_run {
+        Correlation::Moderately
+    } else if any_violation {
+        Correlation::Slightly
+    } else {
+        Correlation::Not
+    }
+}
+
+/// The candidate correlated invariants for one failure, grouped by the procedure (on
+/// the call stack) they belong to, innermost first.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    /// The candidate invariants in selection order.
+    pub invariants: Vec<Invariant>,
+    /// For each candidate, the entry address of the procedure it was drawn from.
+    pub procedure_of: HashMap<Invariant, Addr>,
+}
+
+impl CandidateSet {
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// True if no candidates were found.
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+}
+
+/// Select the candidate correlated invariants for `failure` (Section 2.4.1).
+///
+/// Starting from the innermost procedure on the (shadow) call stack that contains the
+/// failure location, and walking outwards through at most
+/// `config.stack_procedures_considered` procedures *that have candidate invariants*, the
+/// candidates are every learned invariant checked at an instruction that predominates
+/// the relevant instruction of that procedure (the failure location for the innermost
+/// procedure; the call site for outer frames). Invariants relating two variables are
+/// kept only if they are checked in the same basic block as that instruction (unless the
+/// restriction is disabled in the configuration).
+pub fn candidate_invariants(
+    failure: &Failure,
+    model: &LearnedModel,
+    config: &ClearViewConfig,
+) -> CandidateSet {
+    let mut set = CandidateSet::default();
+
+    // Build the list of (procedure entry, instruction of interest) pairs innermost
+    // first: the failure location in its own procedure, then each call site recorded on
+    // the shadow stack, outermost last.
+    let mut frames: Vec<(Addr, Addr)> = Vec::new();
+    if let Some(proc) = model.procedures.proc_of_inst(failure.location) {
+        frames.push((proc, failure.location));
+    }
+    for frame in failure.call_stack.iter().rev() {
+        if let Some(proc) = model.procedures.proc_of_inst(frame.call_site) {
+            let already = frames.iter().any(|(p, _)| *p == proc);
+            if !already {
+                frames.push((proc, frame.call_site));
+            }
+        }
+    }
+
+    let mut procedures_used = 0usize;
+    for (proc_entry, site) in frames {
+        if procedures_used >= config.stack_procedures_considered {
+            break;
+        }
+        let cfg = match model.procedures.proc(proc_entry) {
+            Some(c) => c,
+            None => continue,
+        };
+        if !cfg.contains_inst(site) {
+            continue;
+        }
+        let site_block = cfg.block_of_inst(site);
+        let mut found_any = false;
+        for check_addr in cfg.predominating_insts(site) {
+            for inv in model.invariants.invariants_at(check_addr) {
+                if matches!(inv, Invariant::StackPointerOffset { .. }) {
+                    continue;
+                }
+                if inv.is_two_variable()
+                    && config.restrict_two_variable_to_failure_block
+                    && cfg.block_of_inst(check_addr) != site_block
+                {
+                    continue;
+                }
+                found_any = true;
+                if !set.procedure_of.contains_key(inv) {
+                    set.invariants.push(inv.clone());
+                    set.procedure_of.insert(inv.clone(), proc_entry);
+                }
+            }
+        }
+        if found_any {
+            procedures_used += 1;
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_section_2_4_3() {
+        // Highly: violated at the last check, satisfied at all others, on every failure.
+        assert_eq!(
+            classify(&[vec![true, true, false], vec![true, false]]),
+            Correlation::Highly
+        );
+        // A single-observation run that is violated is also "highly".
+        assert_eq!(classify(&[vec![false]]), Correlation::Highly);
+        // Moderately: always violated at the last check, but also violated earlier in
+        // at least one failing run.
+        assert_eq!(
+            classify(&[vec![true, false, false], vec![true, false]]),
+            Correlation::Moderately
+        );
+        // Slightly: violated somewhere, but not at the last check of every failure.
+        assert_eq!(
+            classify(&[vec![false, true], vec![true, true]]),
+            Correlation::Slightly
+        );
+        // Not: never violated.
+        assert_eq!(classify(&[vec![true, true], vec![true]]), Correlation::Not);
+        // No observations at all: not correlated.
+        assert_eq!(classify(&[]), Correlation::Not);
+        assert_eq!(classify(&[vec![]]), Correlation::Not);
+    }
+
+    #[test]
+    fn correlation_ordering_prefers_higher_classes() {
+        assert!(Correlation::Highly > Correlation::Moderately);
+        assert!(Correlation::Moderately > Correlation::Slightly);
+        assert!(Correlation::Slightly > Correlation::Not);
+    }
+}

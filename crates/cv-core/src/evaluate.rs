@@ -1,0 +1,220 @@
+//! Candidate repair evaluation (Section 2.6).
+//!
+//! ClearView evaluates repairs by observing patched executions: a repair's score is
+//! `(s - f) + b`, where `s` is its number of successes, `f` its number of failures, and
+//! `b` a bonus granted only to repairs that have never failed. At each point ClearView
+//! applies the most highly ranked repair; ties are broken by the static ordering
+//! produced by repair generation (earlier repairs first, state-only repairs before
+//! control-flow changes).
+
+use crate::repairgen::RepairCandidate;
+use serde::{Deserialize, Serialize};
+
+/// The evaluation record of one candidate repair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairScore {
+    /// The candidate being evaluated.
+    pub candidate: RepairCandidate,
+    /// Number of successful evaluations (runs with no failure or crash).
+    pub successes: u64,
+    /// Number of failed evaluations (the failure recurred, a new failure appeared, or
+    /// the application crashed).
+    pub failures: u64,
+}
+
+impl RepairScore {
+    /// The score `(s - f) + b` of Section 2.6.
+    pub fn score(&self, untried_bonus: i64) -> i64 {
+        let base = self.successes as i64 - self.failures as i64;
+        if self.failures == 0 {
+            base + untried_bonus
+        } else {
+            base
+        }
+    }
+
+    /// True if the repair has never failed an evaluation.
+    pub fn never_failed(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+/// The repair evaluator: holds every candidate's score and selects which repair to
+/// apply next.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairEvaluator {
+    scores: Vec<RepairScore>,
+    untried_bonus: i64,
+}
+
+impl RepairEvaluator {
+    /// Create an evaluator over an ordered list of candidates (the order is the
+    /// tie-breaking order).
+    pub fn new(candidates: Vec<RepairCandidate>, untried_bonus: i64) -> Self {
+        RepairEvaluator {
+            scores: candidates
+                .into_iter()
+                .map(|candidate| RepairScore {
+                    candidate,
+                    successes: 0,
+                    failures: 0,
+                })
+                .collect(),
+            untried_bonus,
+        }
+    }
+
+    /// Number of candidates under evaluation.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True if there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// The index and candidate that should be applied now: the highest-scoring
+    /// candidate, ties broken by candidate order.
+    pub fn best(&self) -> Option<(usize, &RepairCandidate)> {
+        let mut best: Option<(usize, i64)> = None;
+        for (idx, s) in self.scores.iter().enumerate() {
+            let score = s.score(self.untried_bonus);
+            match best {
+                Some((_, best_score)) if best_score >= score => {}
+                _ => best = Some((idx, score)),
+            }
+        }
+        best.map(|(idx, _)| (idx, &self.scores[idx].candidate))
+    }
+
+    /// Record that the repair at `idx` survived an evaluation period.
+    pub fn record_success(&mut self, idx: usize) {
+        if let Some(s) = self.scores.get_mut(idx) {
+            s.successes += 1;
+        }
+    }
+
+    /// Record that the repair at `idx` failed an evaluation (failure recurred, new
+    /// failure appeared, or the application crashed).
+    pub fn record_failure(&mut self, idx: usize) {
+        if let Some(s) = self.scores.get_mut(idx) {
+            s.failures += 1;
+        }
+    }
+
+    /// The score records (for reports).
+    pub fn scores(&self) -> &[RepairScore] {
+        &self.scores
+    }
+
+    /// Number of candidates that have failed at least one evaluation.
+    pub fn failed_candidates(&self) -> usize {
+        self.scores.iter().filter(|s| s.failures > 0).count()
+    }
+
+    /// True if every candidate has failed at least once (nothing promising remains).
+    pub fn exhausted(&self) -> bool {
+        !self.scores.is_empty() && self.scores.iter().all(|s| s.failures > 0 && s.successes == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::Correlation;
+    use cv_inference::{Invariant, Variable};
+    use cv_isa::{Operand, Reg};
+    use cv_patch::{RepairPatch, RepairStrategy};
+
+    fn candidate(addr: u32, strategy: RepairStrategy) -> RepairCandidate {
+        RepairCandidate {
+            repair: RepairPatch {
+                invariant: Invariant::LowerBound {
+                    var: Variable::read(addr, 0, Operand::Reg(Reg::Ecx)),
+                    min: 1,
+                },
+                strategy,
+            },
+            correlation: Correlation::Highly,
+            stack_rank: 0,
+            check_addr: addr,
+        }
+    }
+
+    #[test]
+    fn untried_repairs_start_with_the_bonus_and_ties_break_by_order() {
+        let eval = RepairEvaluator::new(
+            vec![
+                candidate(0x41000, RepairStrategy::ClampToLowerBound),
+                candidate(0x41010, RepairStrategy::ClampToLowerBound),
+            ],
+            1,
+        );
+        let (idx, c) = eval.best().unwrap();
+        assert_eq!(idx, 0, "tie broken by candidate order");
+        assert_eq!(c.check_addr, 0x41000);
+    }
+
+    #[test]
+    fn failures_demote_a_repair_below_untried_ones() {
+        let mut eval = RepairEvaluator::new(
+            vec![
+                candidate(0x41000, RepairStrategy::ClampToLowerBound),
+                candidate(0x41010, RepairStrategy::ClampToLowerBound),
+            ],
+            1,
+        );
+        eval.record_failure(0);
+        let (idx, _) = eval.best().unwrap();
+        assert_eq!(idx, 1, "the failed repair loses its bonus and its rank");
+        assert_eq!(eval.failed_candidates(), 1);
+        assert!(!eval.exhausted());
+        eval.record_failure(1);
+        assert!(eval.exhausted());
+    }
+
+    #[test]
+    fn successes_keep_a_working_repair_on_top() {
+        let mut eval = RepairEvaluator::new(
+            vec![
+                candidate(0x41000, RepairStrategy::ClampToLowerBound),
+                candidate(0x41010, RepairStrategy::ClampToLowerBound),
+            ],
+            1,
+        );
+        eval.record_success(1);
+        eval.record_success(1);
+        let (idx, _) = eval.best().unwrap();
+        assert_eq!(idx, 1);
+        // A later failure of the leader demotes it again.
+        eval.record_failure(1);
+        eval.record_failure(1);
+        eval.record_failure(1);
+        let (idx, _) = eval.best().unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn score_formula_matches_the_paper() {
+        let mut s = RepairScore {
+            candidate: candidate(0x41000, RepairStrategy::ClampToLowerBound),
+            successes: 0,
+            failures: 0,
+        };
+        assert_eq!(s.score(1), 1, "never tried: bonus only");
+        s.successes = 3;
+        assert_eq!(s.score(1), 4, "(3 - 0) + 1");
+        s.failures = 1;
+        assert_eq!(s.score(1), 2, "(3 - 1), bonus lost");
+        assert!(!s.never_failed());
+    }
+
+    #[test]
+    fn empty_evaluator() {
+        let eval = RepairEvaluator::new(vec![], 1);
+        assert!(eval.is_empty());
+        assert!(eval.best().is_none());
+        assert!(!eval.exhausted());
+    }
+}

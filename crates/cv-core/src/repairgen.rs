@@ -1,0 +1,209 @@
+//! Candidate repair generation and ordering (Sections 2.5 and 2.6).
+
+use crate::config::ClearViewConfig;
+use crate::correlate::{CandidateSet, Correlation};
+use cv_inference::{Invariant, LearnedModel};
+use cv_isa::{Addr, Inst};
+use cv_patch::RepairPatch;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A generated candidate repair together with the information used to order it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairCandidate {
+    /// The repair patch.
+    pub repair: RepairPatch,
+    /// How strongly the enforced invariant correlates with the failure.
+    pub correlation: Correlation,
+    /// Position of the owning procedure on the call stack, innermost = 0.
+    pub stack_rank: usize,
+    /// The address at which the repair takes effect.
+    pub check_addr: Addr,
+}
+
+impl RepairCandidate {
+    /// The static ordering key of Section 2.6: earlier repairs first (outer procedures
+    /// first across frames, lower addresses first inside a procedure), and repairs that
+    /// only change state before repairs that change control flow.
+    fn order_key(&self) -> (usize, Addr, u8) {
+        (
+            self.stack_rank,
+            self.check_addr,
+            u8::from(self.repair.changes_control_flow()),
+        )
+    }
+}
+
+/// Generate and order the candidate repairs for a set of classified correlated
+/// invariants.
+///
+/// Following Section 2.5, repairs are generated only for the most strongly correlated
+/// class available: if any invariant is highly correlated, only highly correlated
+/// invariants are considered; otherwise moderately correlated invariants are used; if
+/// neither exists, no repairs are generated.
+pub fn generate_repairs(
+    candidates: &CandidateSet,
+    classifications: &HashMap<Invariant, Correlation>,
+    model: &LearnedModel,
+    _config: &ClearViewConfig,
+) -> Vec<RepairCandidate> {
+    let best_class = classifications
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(Correlation::Not);
+    let selected_class = match best_class {
+        Correlation::Highly => Correlation::Highly,
+        Correlation::Moderately => Correlation::Moderately,
+        _ => return Vec::new(),
+    };
+
+    let mut out = Vec::new();
+    for inv in candidates.invariants.iter() {
+        let correlation = classifications.get(inv).copied().unwrap_or(Correlation::Not);
+        if correlation != selected_class {
+            continue;
+        }
+        let check_addr = inv.check_addr();
+        let is_call_target = is_indirect_call_target(model, inv);
+        let sp_adjust = candidates
+            .procedure_of
+            .get(inv)
+            .and_then(|proc| model.invariants.sp_offset(*proc, check_addr));
+        for repair in RepairPatch::candidates(inv, is_call_target, sp_adjust) {
+            out.push(RepairCandidate {
+                repair,
+                correlation,
+                stack_rank: rank_of_procedure(candidates, inv),
+                check_addr,
+            });
+        }
+    }
+    out.sort_by_key(|c| c.order_key());
+    out
+}
+
+/// True if the invariant's variable is the target operand of an indirect call at the
+/// invariant's check address — the condition under which the skip-call repair applies.
+fn is_indirect_call_target(model: &LearnedModel, inv: &Invariant) -> bool {
+    let check_addr = inv.check_addr();
+    let vars = inv.variables();
+    let Some(var) = vars.iter().find(|v| v.addr == check_addr) else {
+        return false;
+    };
+    match model.procedures.inst_at(check_addr).map(|i| i.inst) {
+        Some(Inst::CallIndirect { target }) => var.operand == Some(target),
+        _ => false,
+    }
+}
+
+/// Position of the invariant's procedure among the distinct procedures in the candidate
+/// set (innermost procedure first = rank 0).
+fn rank_of_procedure(candidates: &CandidateSet, inv: &Invariant) -> usize {
+    let proc = match candidates.procedure_of.get(inv) {
+        Some(p) => *p,
+        None => return 0,
+    };
+    let mut seen: Vec<Addr> = Vec::new();
+    for i in &candidates.invariants {
+        if let Some(p) = candidates.procedure_of.get(i) {
+            if !seen.contains(p) {
+                seen.push(*p);
+            }
+        }
+    }
+    seen.iter().position(|p| *p == proc).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_inference::Variable;
+    use cv_isa::{Operand, Reg};
+    use cv_patch::RepairStrategy;
+
+    fn make_model() -> LearnedModel {
+        // A minimal model with no procedures; sufficient for ordering tests that do not
+        // need call-site or sp-offset information.
+        let mut b = cv_isa::ProgramBuilder::new();
+        let main = b.function("main");
+        b.halt();
+        b.set_entry(main);
+        let image = b.build().unwrap();
+        LearnedModel {
+            invariants: cv_inference::InvariantDatabase::new(),
+            procedures: cv_inference::ProcedureDatabase::new(image),
+        }
+    }
+
+    fn lb(addr: Addr, reg: Reg, min: i32) -> Invariant {
+        Invariant::LowerBound {
+            var: Variable::read(addr, 0, Operand::Reg(reg)),
+            min,
+        }
+    }
+
+    #[test]
+    fn only_highest_correlation_class_is_used() {
+        let i1 = lb(0x41000, Reg::Ecx, 1);
+        let i2 = lb(0x41010, Reg::Edx, 0);
+        let mut candidates = CandidateSet::default();
+        candidates.invariants = vec![i1.clone(), i2.clone()];
+        candidates.procedure_of.insert(i1.clone(), 0x40000);
+        candidates.procedure_of.insert(i2.clone(), 0x40000);
+        let mut cls = HashMap::new();
+        cls.insert(i1.clone(), Correlation::Highly);
+        cls.insert(i2.clone(), Correlation::Moderately);
+        let repairs = generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default());
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].repair.invariant, i1);
+        assert_eq!(repairs[0].correlation, Correlation::Highly);
+    }
+
+    #[test]
+    fn moderately_correlated_used_when_no_highly() {
+        let i1 = lb(0x41000, Reg::Ecx, 1);
+        let mut candidates = CandidateSet::default();
+        candidates.invariants = vec![i1.clone()];
+        candidates.procedure_of.insert(i1.clone(), 0x40000);
+        let mut cls = HashMap::new();
+        cls.insert(i1.clone(), Correlation::Moderately);
+        let repairs = generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default());
+        assert_eq!(repairs.len(), 1);
+    }
+
+    #[test]
+    fn slight_or_no_correlation_generates_nothing() {
+        let i1 = lb(0x41000, Reg::Ecx, 1);
+        let mut candidates = CandidateSet::default();
+        candidates.invariants = vec![i1.clone()];
+        candidates.procedure_of.insert(i1.clone(), 0x40000);
+        let mut cls = HashMap::new();
+        cls.insert(i1.clone(), Correlation::Slightly);
+        assert!(generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default()).is_empty());
+        cls.insert(i1.clone(), Correlation::Not);
+        assert!(generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn ordering_prefers_earlier_addresses_and_state_only_repairs() {
+        let early = Invariant::OneOf {
+            var: Variable::read(0x41000, 0, Operand::Reg(Reg::Ebx)),
+            values: [0x41100u32].into_iter().collect(),
+        };
+        let late = lb(0x41020, Reg::Ecx, 1);
+        let mut candidates = CandidateSet::default();
+        candidates.invariants = vec![late.clone(), early.clone()];
+        candidates.procedure_of.insert(late.clone(), 0x40000);
+        candidates.procedure_of.insert(early.clone(), 0x40000);
+        let mut cls = HashMap::new();
+        cls.insert(early.clone(), Correlation::Highly);
+        cls.insert(late.clone(), Correlation::Highly);
+        let repairs = generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default());
+        assert!(repairs.len() >= 2);
+        assert_eq!(repairs[0].check_addr, 0x41000, "earlier instruction first");
+        // Within the same invariant/address, state changes come before control-flow
+        // changes; the set-value repair is first.
+        assert!(matches!(repairs[0].repair.strategy, RepairStrategy::SetValue { .. }));
+    }
+}

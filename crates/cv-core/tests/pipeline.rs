@@ -1,0 +1,188 @@
+//! End-to-end tests of the ClearView pipeline on a small vulnerable guest program.
+//!
+//! The guest dispatches a "handler" through a function-pointer table indexed by an
+//! unchecked selector read from the page — the same error class as the unchecked
+//! JavaScript type exploits (Bugzilla 290162 / 295854). Benign pages use selectors 0 and
+//! 1; the attack page uses an out-of-range selector, which makes the indirect call
+//! target a non-code value and triggers a Memory Firewall failure.
+
+use cv_core::{learn_model, ClearViewConfig, Phase, ProtectedApplication};
+use cv_isa::{Addr, BinaryImage, MemRef, Operand, Port, ProgramBuilder, Reg};
+use cv_runtime::{MonitorConfig, RunStatus};
+use std::collections::BTreeMap;
+
+fn vulnerable_browser() -> (BinaryImage, BTreeMap<String, Addr>) {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main");
+    // eax <- selector
+    b.input(Reg::Eax, Port::Input);
+    // ecx <- a payload word the page controls (rendered by handlers)
+    b.input(Reg::Ecx, Port::Input);
+    let f0 = b.new_label("handler0");
+    let f1 = b.new_label("handler1");
+    let vtable = b.data_here();
+    // ebx <- vtable[eax]  (no bounds check on the selector: the seeded defect)
+    let load_site = b.mov(
+        Reg::Ebx,
+        Operand::Mem(MemRef {
+            base: None,
+            index: Some(Reg::Eax),
+            scale: 1,
+            disp: vtable as i32,
+        }),
+    );
+    b.note_symbol("load_site", load_site);
+    let call_site = b.call_indirect(Reg::Ebx);
+    b.note_symbol("call_site", call_site);
+    b.output(Reg::Eax, Port::Render);
+    b.halt();
+    b.bind(f0);
+    b.output(Reg::Ecx, Port::Render);
+    b.ret();
+    b.bind(f1);
+    b.mov(Reg::Edx, Reg::Ecx);
+    b.add(Reg::Edx, Reg::Edx);
+    b.output(Reg::Edx, Port::Render);
+    b.ret();
+    b.set_entry(main);
+    b.data_code_ref(f0);
+    b.data_code_ref(f1);
+    b.build_with_symbols().unwrap()
+}
+
+fn benign_pages() -> Vec<Vec<u32>> {
+    vec![vec![0, 7], vec![1, 9], vec![0, 3], vec![1, 11], vec![0, 21]]
+}
+
+/// An out-of-range selector: `vtable[40]` reads a zeroed data word, so the indirect call
+/// targets address 0 — an illegal control transfer.
+fn attack_page() -> Vec<u32> {
+    vec![40, 0xBAD]
+}
+
+fn learned_app() -> (ProtectedApplication, BTreeMap<String, Addr>) {
+    let (image, syms) = vulnerable_browser();
+    let (model, _) = learn_model(&image, &benign_pages(), MonitorConfig::full());
+    let app = ProtectedApplication::new(image, model, ClearViewConfig::default());
+    (app, syms)
+}
+
+#[test]
+fn benign_pages_pass_through_unmodified() {
+    let (mut app, _) = learned_app();
+    for page in benign_pages() {
+        let out = app.present(&page);
+        assert!(matches!(out.status, RunStatus::Completed));
+        assert!(!out.blocked);
+    }
+    assert!(app.failure_locations().is_empty(), "no false positives: no responses started");
+    assert_eq!(app.applied_hook_count(), 0, "no patches applied in the absence of failures");
+}
+
+#[test]
+fn attack_is_blocked_and_eventually_patched() {
+    let (mut app, syms) = learned_app();
+    let call_site = syms["call_site"];
+
+    // Presentation 1: detection. The attack is blocked; checks get installed.
+    let out = app.present(&attack_page());
+    assert!(out.blocked, "the Memory Firewall blocks the attack");
+    assert_eq!(app.failure_locations(), vec![call_site]);
+    assert_eq!(app.phase_of(call_site), Some(Phase::Checking));
+    assert!(app.applied_hook_count() > 0, "invariant-checking patches installed");
+
+    // Presentations 2 and 3: invariant checking over repeated attacks.
+    let out = app.present(&attack_page());
+    assert!(out.blocked);
+    let out = app.present(&attack_page());
+    assert!(out.blocked);
+    assert_eq!(
+        app.phase_of(call_site),
+        Some(Phase::Repairing),
+        "after two checked failures the checks come off and a repair goes on"
+    );
+
+    // Presentation 4: the repair corrects the error; the application survives.
+    let out = app.present(&attack_page());
+    assert!(
+        matches!(out.status, RunStatus::Completed),
+        "patched application survives the attack, got {:?}",
+        out.status
+    );
+    assert!(out.newly_protected.contains(&call_site));
+    assert!(app.is_protected_against(call_site));
+
+    // Subsequent attacks are survived too, and benign pages still render correctly.
+    let out = app.present(&attack_page());
+    assert!(matches!(out.status, RunStatus::Completed));
+    for page in benign_pages() {
+        let out = app.present(&page);
+        assert!(matches!(out.status, RunStatus::Completed));
+    }
+}
+
+#[test]
+fn patched_application_preserves_benign_behaviour() {
+    // Autoimmune check: the rendered output of benign pages must be identical before
+    // and after patching.
+    let (image, _) = vulnerable_browser();
+    let (model, _) = learn_model(&image, &benign_pages(), MonitorConfig::full());
+    let mut unpatched = ProtectedApplication::new(image.clone(), model.clone(), ClearViewConfig::default());
+    let baseline: Vec<Vec<u32>> = benign_pages().iter().map(|p| unpatched.present(p).rendered).collect();
+
+    let mut app = ProtectedApplication::new(image, model, ClearViewConfig::default());
+    for _ in 0..4 {
+        app.present(&attack_page());
+    }
+    assert!(!app.failure_locations().is_empty());
+    let after: Vec<Vec<u32>> = benign_pages().iter().map(|p| app.present(p).rendered).collect();
+    assert_eq!(baseline, after, "bit-identical rendering on legitimate pages");
+}
+
+#[test]
+fn timeline_and_report_describe_the_response() {
+    let (mut app, syms) = learned_app();
+    for _ in 0..4 {
+        app.present(&attack_page());
+    }
+    let timelines = app.timelines();
+    assert_eq!(timelines.len(), 1);
+    let t = &timelines[0];
+    assert_eq!(t.failure_location, syms["call_site"]);
+    assert!(t.detection_run_seconds > 0.0);
+    assert!(t.check_build_seconds > 0.0);
+    assert!(t.check_install_seconds > 0.0);
+    assert!(t.check_run_seconds > 0.0);
+    assert!(t.check_executions >= 2, "checks executed during the two replays");
+    assert!(t.check_violations >= 2, "the correlated invariant was violated in both");
+    assert!(t.repair_build_seconds > 0.0);
+    assert!(t.repair_install_seconds > 0.0);
+    assert!(t.successful_repair_seconds >= 10.0, "includes the evaluation window");
+    assert!(t.total_seconds() > 60.0);
+    assert!(t.presentations >= 3);
+
+    let reports = app.reports();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!(r.failure_location, syms["call_site"]);
+    assert!(!r.correlated.is_empty(), "correlated invariants reported to maintainers");
+    assert!(r.active_repair.is_some());
+    let text = r.to_string();
+    assert!(text.contains("active repair"));
+}
+
+#[test]
+fn attacks_without_learning_are_blocked_but_not_patched() {
+    // With an empty model there are no candidate invariants, so ClearView cannot repair
+    // — but the monitor still blocks every attack (availability of the monitor does not
+    // depend on learning).
+    let (image, syms) = vulnerable_browser();
+    let (model, _) = learn_model(&image, &[], MonitorConfig::full());
+    let mut app = ProtectedApplication::new(image, model, ClearViewConfig::default());
+    for _ in 0..5 {
+        let out = app.present(&attack_page());
+        assert!(out.blocked);
+    }
+    assert_eq!(app.phase_of(syms["call_site"]), Some(Phase::Unprotected));
+    assert!(!app.is_protected_against(syms["call_site"]));
+}

@@ -1,0 +1,463 @@
+//! Dynamic procedure discovery, control-flow graphs, and predominators.
+//!
+//! ClearView builds a control-flow graph per *dynamically discovered* procedure using a
+//! combined static and dynamic analysis (Section 2.2.3): the first time a basic block
+//! executes, if it is not already part of a known CFG it is assumed to be the entry
+//! point of a new procedure, whose blocks are then traced out symbolically. Predominator
+//! information over these CFGs determines which variables are in scope for invariant
+//! inference at an instruction and which invariants are candidates once a failure is
+//! reported.
+
+use cv_isa::{Addr, BinaryImage, Inst, InstWithAddr};
+use cv_runtime::{CodeCache, RuntimeError};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// A node of a procedure CFG: one basic block plus its successor edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgBlock {
+    /// Address of the first instruction.
+    pub start: Addr,
+    /// The block's instructions in order.
+    pub insts: Vec<InstWithAddr>,
+    /// Successor block start addresses within the same procedure.
+    pub succs: Vec<Addr>,
+}
+
+impl CfgBlock {
+    /// The position of the instruction at `addr` within the block, if present.
+    pub fn position_of(&self, addr: Addr) -> Option<usize> {
+        self.insts.iter().position(|i| i.addr == addr)
+    }
+}
+
+/// The control-flow graph of one dynamically discovered procedure.
+#[derive(Debug, Clone)]
+pub struct ProcedureCfg {
+    /// The procedure entry address (its first basic block).
+    pub entry: Addr,
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<Addr, CfgBlock>,
+    /// For each block, the set of blocks that dominate it (including itself).
+    dominators: HashMap<Addr, BTreeSet<Addr>>,
+    /// Instruction address → owning block start.
+    inst_to_block: HashMap<Addr, Addr>,
+}
+
+/// Upper bound on blocks traced per procedure (defensive limit for pathological images).
+const MAX_BLOCKS_PER_PROCEDURE: usize = 4096;
+
+impl ProcedureCfg {
+    /// Symbolically trace the procedure whose entry block starts at `entry`.
+    ///
+    /// Tracing follows direct jumps, both arms of conditional jumps, and falls through
+    /// direct/indirect calls; it stops at `ret`, `halt`, and indirect jumps whose targets
+    /// cannot be computed — exactly the stopping rule of Section 2.2.3. Call targets are
+    /// *not* traced into: they belong to other procedures.
+    pub fn discover(image: &BinaryImage, entry: Addr) -> Result<ProcedureCfg, RuntimeError> {
+        let mut blocks: BTreeMap<Addr, CfgBlock> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(entry);
+        while let Some(start) = queue.pop_front() {
+            if blocks.contains_key(&start) || blocks.len() >= MAX_BLOCKS_PER_PROCEDURE {
+                continue;
+            }
+            let raw = CodeCache::build_block(image, start)?;
+            let last = raw.insts.last().copied();
+            let mut succs = Vec::new();
+            if let Some(last) = last {
+                match last.inst {
+                    Inst::Jmp { target } => {
+                        if image.contains_code_addr(target) {
+                            succs.push(target);
+                        }
+                    }
+                    Inst::Jcc { target, .. } => {
+                        if image.contains_code_addr(target) {
+                            succs.push(target);
+                        }
+                        if image.contains_code_addr(last.next_addr()) {
+                            succs.push(last.next_addr());
+                        }
+                    }
+                    Inst::Call { .. } | Inst::CallIndirect { .. } => {
+                        // The callee is a different procedure; control returns to the
+                        // fall-through block.
+                        if image.contains_code_addr(last.next_addr()) {
+                            succs.push(last.next_addr());
+                        }
+                    }
+                    Inst::Ret | Inst::Halt | Inst::JmpIndirect { .. } => {}
+                    // A block that ran off the end of the image has no successors.
+                    _ => {}
+                }
+            }
+            for s in &succs {
+                queue.push_back(*s);
+            }
+            blocks.insert(
+                start,
+                CfgBlock {
+                    start,
+                    insts: raw.insts,
+                    succs,
+                },
+            );
+        }
+        let mut inst_to_block = HashMap::new();
+        for block in blocks.values() {
+            for i in &block.insts {
+                inst_to_block.entry(i.addr).or_insert(block.start);
+            }
+        }
+        let dominators = compute_dominators(entry, &blocks);
+        Ok(ProcedureCfg {
+            entry,
+            blocks,
+            dominators,
+            inst_to_block,
+        })
+    }
+
+    /// True if the procedure contains the instruction at `addr`.
+    pub fn contains_inst(&self, addr: Addr) -> bool {
+        self.inst_to_block.contains_key(&addr)
+    }
+
+    /// The start address of the block containing the instruction at `addr`.
+    pub fn block_of_inst(&self, addr: Addr) -> Option<Addr> {
+        self.inst_to_block.get(&addr).copied()
+    }
+
+    /// The instruction at `addr`, if this procedure contains it.
+    pub fn inst_at(&self, addr: Addr) -> Option<InstWithAddr> {
+        let block = self.block_of_inst(addr)?;
+        self.blocks[&block].insts.iter().find(|i| i.addr == addr).copied()
+    }
+
+    /// All instruction addresses in the procedure.
+    pub fn instruction_addrs(&self) -> Vec<Addr> {
+        let mut out: Vec<Addr> = self.inst_to_block.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// True if block `a` dominates block `b` (both are block start addresses).
+    pub fn block_dominates(&self, a: Addr, b: Addr) -> bool {
+        self.dominators.get(&b).map(|d| d.contains(&a)).unwrap_or(false)
+    }
+
+    /// True if the instruction at `i` predominates the instruction at `j`:
+    /// every control-flow path to `j` first executes `i`. An instruction predominates
+    /// itself.
+    pub fn inst_predominates(&self, i: Addr, j: Addr) -> bool {
+        if i == j {
+            return true;
+        }
+        let (bi, bj) = match (self.block_of_inst(i), self.block_of_inst(j)) {
+            (Some(bi), Some(bj)) => (bi, bj),
+            _ => return false,
+        };
+        if bi == bj {
+            let block = &self.blocks[&bi];
+            match (block.position_of(i), block.position_of(j)) {
+                (Some(pi), Some(pj)) => pi < pj,
+                _ => false,
+            }
+        } else {
+            self.block_dominates(bi, bj)
+        }
+    }
+
+    /// Instruction addresses that predominate `j` (including `j` itself), in ascending
+    /// address order. This is the scope over which candidate correlated invariants are
+    /// drawn for a failure at `j` (Section 2.4.1).
+    pub fn predominating_insts(&self, j: Addr) -> Vec<Addr> {
+        let mut out: Vec<Addr> = self
+            .inst_to_block
+            .keys()
+            .copied()
+            .filter(|&i| self.inst_predominates(i, j))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of blocks in the procedure.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Standard iterative dominator computation over the block graph.
+fn compute_dominators(entry: Addr, blocks: &BTreeMap<Addr, CfgBlock>) -> HashMap<Addr, BTreeSet<Addr>> {
+    let all: BTreeSet<Addr> = blocks.keys().copied().collect();
+    let mut preds: HashMap<Addr, Vec<Addr>> = HashMap::new();
+    for block in blocks.values() {
+        for s in &block.succs {
+            preds.entry(*s).or_default().push(block.start);
+        }
+    }
+    let mut dom: HashMap<Addr, BTreeSet<Addr>> = HashMap::new();
+    for &b in blocks.keys() {
+        if b == entry {
+            dom.insert(b, [b].into_iter().collect());
+        } else {
+            dom.insert(b, all.clone());
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in blocks.keys() {
+            if b == entry {
+                continue;
+            }
+            let mut new_set: Option<BTreeSet<Addr>> = None;
+            if let Some(ps) = preds.get(&b) {
+                for p in ps {
+                    let pd = &dom[p];
+                    new_set = Some(match new_set {
+                        None => pd.clone(),
+                        Some(cur) => cur.intersection(pd).copied().collect(),
+                    });
+                }
+            }
+            let mut new_set = new_set.unwrap_or_default();
+            new_set.insert(b);
+            if new_set != dom[&b] {
+                dom.insert(b, new_set);
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// The database of dynamically discovered procedures for one application image.
+#[derive(Debug, Clone)]
+pub struct ProcedureDatabase {
+    image: BinaryImage,
+    procs: BTreeMap<Addr, ProcedureCfg>,
+    inst_to_proc: HashMap<Addr, Addr>,
+    /// Count of single static procedures split into multiple dynamic ones (diagnostic
+    /// for the "procedure fission" phenomenon discussed in Section 2.2.3).
+    pub discovery_events: u64,
+}
+
+impl ProcedureDatabase {
+    /// Create an empty database for `image`.
+    pub fn new(image: BinaryImage) -> Self {
+        ProcedureDatabase {
+            image,
+            procs: BTreeMap::new(),
+            inst_to_proc: HashMap::new(),
+            discovery_events: 0,
+        }
+    }
+
+    /// The image the database describes.
+    pub fn image(&self) -> &BinaryImage {
+        &self.image
+    }
+
+    /// Record that the basic block starting at `block_start` executed. If the block is
+    /// not part of any known procedure, a new procedure rooted at it is discovered.
+    /// Returns the entry of the newly discovered procedure, if any.
+    pub fn observe_block(&mut self, block_start: Addr) -> Option<Addr> {
+        if self.inst_to_proc.contains_key(&block_start) {
+            return None;
+        }
+        if !self.image.contains_code_addr(block_start) {
+            return None;
+        }
+        match ProcedureCfg::discover(&self.image, block_start) {
+            Ok(cfg) => {
+                for addr in cfg.instruction_addrs() {
+                    self.inst_to_proc.entry(addr).or_insert(block_start);
+                }
+                self.procs.insert(block_start, cfg);
+                self.discovery_events += 1;
+                Some(block_start)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Record an observed call target (procedure entries discovered from calls are the
+    /// most reliable kind).
+    pub fn observe_call_target(&mut self, target: Addr) -> Option<Addr> {
+        self.observe_block(target)
+    }
+
+    /// The entry address of the procedure containing the instruction at `addr`.
+    pub fn proc_of_inst(&self, addr: Addr) -> Option<Addr> {
+        self.inst_to_proc.get(&addr).copied()
+    }
+
+    /// The CFG of the procedure whose entry is `entry`.
+    pub fn proc(&self, entry: Addr) -> Option<&ProcedureCfg> {
+        self.procs.get(&entry)
+    }
+
+    /// The CFG of the procedure containing the instruction at `addr`.
+    pub fn proc_containing(&self, addr: Addr) -> Option<&ProcedureCfg> {
+        self.proc_of_inst(addr).and_then(|e| self.proc(e))
+    }
+
+    /// The instruction at `addr`, if some discovered procedure contains it.
+    pub fn inst_at(&self, addr: Addr) -> Option<InstWithAddr> {
+        self.proc_containing(addr).and_then(|p| p.inst_at(addr))
+    }
+
+    /// Iterate over all discovered procedures.
+    pub fn procedures(&self) -> impl Iterator<Item = &ProcedureCfg> {
+        self.procs.values()
+    }
+
+    /// Number of discovered procedures.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True if no procedures have been discovered yet.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::{Cond, Port, ProgramBuilder, Reg};
+
+    /// main: reads x; if x >= 10 calls helper; renders; halts.
+    /// helper: doubles eax, returns.
+    fn sample_image() -> (BinaryImage, std::collections::BTreeMap<String, Addr>) {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.input(Reg::Eax, Port::Input);
+        b.cmp(Reg::Eax, 10u32);
+        let small = b.new_label("small");
+        b.jcc(Cond::Lt, small);
+        let helper = b.new_label("helper");
+        b.call(helper);
+        b.bind(small);
+        b.output(Reg::Eax, Port::Render);
+        b.halt();
+        let helper_addr = b.here();
+        b.bind(helper);
+        b.note_symbol("helper", helper_addr);
+        b.add(Reg::Eax, Reg::Eax);
+        b.ret();
+        b.set_entry(main);
+        b.build_with_symbols().unwrap()
+    }
+
+    #[test]
+    fn discovery_traces_branches_but_not_callees() {
+        let (image, syms) = sample_image();
+        let cfg = ProcedureCfg::discover(&image, syms["main"]).unwrap();
+        // Blocks: entry..jcc, call block, join (output/halt). The helper is not part of
+        // this procedure.
+        assert!(cfg.block_count() >= 3);
+        assert!(!cfg.contains_inst(syms["helper"]));
+        assert!(cfg.contains_inst(syms["main"]));
+    }
+
+    #[test]
+    fn predominators_within_and_across_blocks() {
+        let (image, syms) = sample_image();
+        let cfg = ProcedureCfg::discover(&image, syms["main"]).unwrap();
+        let addrs = cfg.instruction_addrs();
+        let first = addrs[0];
+        let last = *addrs.last().unwrap();
+        assert!(cfg.inst_predominates(first, last), "entry predominates everything");
+        assert!(!cfg.inst_predominates(last, first));
+        assert!(cfg.inst_predominates(first, first), "reflexive");
+        // The call instruction does NOT predominate the output instruction, because the
+        // branch can skip it.
+        let call_addr = cfg
+            .blocks
+            .values()
+            .flat_map(|b| &b.insts)
+            .find(|i| matches!(i.inst, Inst::Call { .. }))
+            .unwrap()
+            .addr;
+        let out_addr = cfg
+            .blocks
+            .values()
+            .flat_map(|b| &b.insts)
+            .find(|i| matches!(i.inst, Inst::Out { .. }))
+            .unwrap()
+            .addr;
+        assert!(!cfg.inst_predominates(call_addr, out_addr));
+        // But the cmp (in the entry block) does.
+        let cmp_addr = cfg
+            .blocks
+            .values()
+            .flat_map(|b| &b.insts)
+            .find(|i| matches!(i.inst, Inst::Cmp { .. }))
+            .unwrap()
+            .addr;
+        assert!(cfg.inst_predominates(cmp_addr, out_addr));
+        let preds = cfg.predominating_insts(out_addr);
+        assert!(preds.contains(&cmp_addr));
+        assert!(preds.contains(&out_addr));
+        assert!(!preds.contains(&call_addr));
+    }
+
+    #[test]
+    fn database_discovers_procedures_from_blocks_and_calls() {
+        let (image, syms) = sample_image();
+        let mut db = ProcedureDatabase::new(image);
+        assert!(db.is_empty());
+        assert_eq!(db.observe_block(syms["main"]), Some(syms["main"]));
+        assert_eq!(db.observe_block(syms["main"]), None, "already known");
+        // The branch-target block inside main is already covered, so it is not a new
+        // procedure.
+        let main_cfg_blocks: Vec<Addr> = db.proc(syms["main"]).unwrap().blocks.keys().copied().collect();
+        for b in main_cfg_blocks {
+            assert_eq!(db.observe_block(b), None);
+        }
+        // The helper is new.
+        assert_eq!(db.observe_call_target(syms["helper"]), Some(syms["helper"]));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.proc_of_inst(syms["helper"]), Some(syms["helper"]));
+        assert!(db.proc_containing(syms["main"]).is_some());
+    }
+
+    #[test]
+    fn observe_block_outside_code_is_ignored() {
+        let (image, _) = sample_image();
+        let mut db = ProcedureDatabase::new(image);
+        assert_eq!(db.observe_block(0x9_0000), None);
+    }
+
+    #[test]
+    fn loop_cfg_dominators_converge() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.mov(Reg::Ecx, 5u32);
+        let top = b.new_label("top");
+        b.bind(top);
+        b.sub(Reg::Ecx, 1u32);
+        b.cmp(Reg::Ecx, 0u32);
+        b.jcc(Cond::Ne, top);
+        b.halt();
+        b.set_entry(main);
+        let image = b.build().unwrap();
+        let cfg = ProcedureCfg::discover(&image, image.entry).unwrap();
+        // The loop head block (the jcc target, distinct from the entry block) is
+        // dominated by the entry block.
+        let loop_block = cfg
+            .blocks
+            .values()
+            .find(|blk| {
+                blk.start != cfg.entry && blk.insts.iter().any(|i| matches!(i.inst, Inst::Sub { .. }))
+            })
+            .unwrap()
+            .start;
+        assert!(cfg.block_dominates(cfg.entry, loop_block));
+        assert!(!cfg.block_dominates(loop_block, cfg.entry));
+    }
+}

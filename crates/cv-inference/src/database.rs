@@ -1,0 +1,346 @@
+//! The invariant database: learned invariants indexed by their check location.
+//!
+//! Community members upload locally inferred invariants to the central ClearView
+//! manager, which merges them into a database of invariants consistent with every
+//! execution observed so far (Section 3.1). The database — not the raw trace data — is
+//! what crosses the network, and it is what the correlated-invariant identification step
+//! consults when a failure is reported.
+
+use crate::invariant::{Invariant, ONE_OF_LIMIT};
+use crate::variable::Variable;
+use cv_isa::Addr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters describing a learning session; carried with the database for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LearningStats {
+    /// Trace events processed.
+    pub events_processed: u64,
+    /// Normal runs committed into the model.
+    pub runs_committed: u64,
+    /// Erroneous runs whose samples were discarded.
+    pub runs_discarded: u64,
+    /// Distinct variables observed.
+    pub variables_observed: u64,
+    /// Variables dropped by the equal-value deduplication optimization (Section 2.2.4).
+    pub duplicates_removed: u64,
+    /// Variables classified as pointers (lower-bound / less-than inference suppressed).
+    pub pointers_classified: u64,
+    /// One-of invariants inferred.
+    pub one_of: u64,
+    /// Lower-bound invariants inferred.
+    pub lower_bound: u64,
+    /// Less-than invariants inferred.
+    pub less_than: u64,
+    /// Stack-pointer-offset invariants inferred.
+    pub sp_offset: u64,
+}
+
+impl LearningStats {
+    /// Total number of invariants.
+    pub fn total_invariants(&self) -> u64 {
+        self.one_of + self.lower_bound + self.less_than + self.sp_offset
+    }
+}
+
+/// Identity of an invariant irrespective of its learned parameters; used when merging
+/// databases from different community members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum InvariantKey {
+    OneOf(Variable),
+    LowerBound(Variable),
+    LessThan(Variable, Variable),
+    StackPointerOffset(Addr, Addr),
+}
+
+fn key_of(inv: &Invariant) -> InvariantKey {
+    match inv {
+        Invariant::OneOf { var, .. } => InvariantKey::OneOf(*var),
+        Invariant::LowerBound { var, .. } => InvariantKey::LowerBound(*var),
+        Invariant::LessThan { a, b } => InvariantKey::LessThan(*a, *b),
+        Invariant::StackPointerOffset { proc_entry, at, .. } => {
+            InvariantKey::StackPointerOffset(*proc_entry, *at)
+        }
+    }
+}
+
+/// Combine two learned instances of the "same" invariant into the weakest property that
+/// is consistent with both sets of observations, or `None` if no such property of the
+/// template remains.
+fn combine(a: &Invariant, b: &Invariant) -> Option<Invariant> {
+    match (a, b) {
+        (Invariant::OneOf { var, values: va }, Invariant::OneOf { values: vb, .. }) => {
+            let union: std::collections::BTreeSet<_> = va.union(vb).copied().collect();
+            if union.len() <= ONE_OF_LIMIT {
+                Some(Invariant::OneOf {
+                    var: *var,
+                    values: union,
+                })
+            } else {
+                None
+            }
+        }
+        (Invariant::LowerBound { var, min: ma }, Invariant::LowerBound { min: mb, .. }) => {
+            Some(Invariant::LowerBound {
+                var: *var,
+                min: (*ma).min(*mb),
+            })
+        }
+        (Invariant::LessThan { .. }, Invariant::LessThan { .. }) => Some(a.clone()),
+        (
+            Invariant::StackPointerOffset {
+                proc_entry,
+                at,
+                offset: oa,
+            },
+            Invariant::StackPointerOffset { offset: ob, .. },
+        ) => {
+            if oa == ob {
+                Some(Invariant::StackPointerOffset {
+                    proc_entry: *proc_entry,
+                    at: *at,
+                    offset: *oa,
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Learned invariants indexed by the address at which they are checked.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InvariantDatabase {
+    by_addr: BTreeMap<Addr, Vec<Invariant>>,
+    /// Learning counters.
+    pub stats: LearningStats,
+}
+
+impl InvariantDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an invariant (indexed by its check address).
+    pub fn insert(&mut self, inv: Invariant) {
+        self.by_addr.entry(inv.check_addr()).or_default().push(inv);
+    }
+
+    /// The invariants checked at `addr`.
+    pub fn invariants_at(&self, addr: Addr) -> &[Invariant] {
+        self.by_addr.get(&addr).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterate over every invariant.
+    pub fn iter(&self) -> impl Iterator<Item = &Invariant> {
+        self.by_addr.values().flatten()
+    }
+
+    /// Total number of invariants.
+    pub fn len(&self) -> usize {
+        self.by_addr.values().map(|v| v.len()).sum()
+    }
+
+    /// True if no invariants are stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_addr.is_empty()
+    }
+
+    /// Addresses that carry at least one invariant.
+    pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.by_addr.keys().copied()
+    }
+
+    /// The learned stack-pointer offset at instruction `at` for the procedure entered at
+    /// `proc_entry`, if a unique one was observed. Used by return-from-procedure repairs.
+    pub fn sp_offset(&self, proc_entry: Addr, at: Addr) -> Option<i32> {
+        self.by_addr.get(&at).and_then(|invs| {
+            invs.iter().find_map(|inv| match inv {
+                Invariant::StackPointerOffset {
+                    proc_entry: p,
+                    offset,
+                    ..
+                } if *p == proc_entry => Some(*offset),
+                _ => None,
+            })
+        })
+    }
+
+    /// Merge another database into this one.
+    ///
+    /// For invariants over a variable both members observed, the result is the weakest
+    /// property consistent with both (one-of value sets union, lower bounds take the
+    /// minimum); an invariant that cannot be reconciled is dropped. Invariants over
+    /// variables only one member observed are kept — with amortized parallel learning
+    /// each member traces a different part of the application, so its invariants are the
+    /// only evidence for that region (Section 3.1).
+    pub fn merge(&mut self, other: &InvariantDatabase) {
+        for (addr, invs) in &other.by_addr {
+            for inv in invs {
+                let slot = self.by_addr.entry(*addr).or_default();
+                let key = key_of(inv);
+                if let Some(pos) = slot.iter().position(|existing| key_of(existing) == key) {
+                    match combine(&slot[pos], inv) {
+                        Some(combined) => slot[pos] = combined,
+                        None => {
+                            slot.remove(pos);
+                        }
+                    }
+                } else {
+                    slot.push(inv.clone());
+                }
+            }
+        }
+        // Keep the aggregate counters roughly meaningful after a merge.
+        self.stats.events_processed += other.stats.events_processed;
+        self.stats.runs_committed += other.stats.runs_committed;
+        self.stats.runs_discarded += other.stats.runs_discarded;
+        self.recount();
+    }
+
+    /// Recompute the per-kind invariant counters from the stored invariants.
+    pub fn recount(&mut self) {
+        let (mut one_of, mut lower_bound, mut less_than, mut sp_offset) = (0u64, 0u64, 0u64, 0u64);
+        for inv in self.iter() {
+            match inv {
+                Invariant::OneOf { .. } => one_of += 1,
+                Invariant::LowerBound { .. } => lower_bound += 1,
+                Invariant::LessThan { .. } => less_than += 1,
+                Invariant::StackPointerOffset { .. } => sp_offset += 1,
+            }
+        }
+        self.stats.one_of = one_of;
+        self.stats.lower_bound = lower_bound;
+        self.stats.less_than = less_than;
+        self.stats.sp_offset = sp_offset;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::{Operand, Reg};
+
+    fn var(addr: Addr) -> Variable {
+        Variable::read(addr, 0, Operand::Reg(Reg::Ecx))
+    }
+
+    fn one_of(addr: Addr, values: &[u32]) -> Invariant {
+        Invariant::OneOf {
+            var: var(addr),
+            values: values.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup_by_check_addr() {
+        let mut db = InvariantDatabase::new();
+        db.insert(one_of(0x1000, &[1, 2]));
+        db.insert(Invariant::LowerBound { var: var(0x1000), min: 0 });
+        db.insert(Invariant::LowerBound { var: var(0x2000), min: 5 });
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.invariants_at(0x1000).len(), 2);
+        assert_eq!(db.invariants_at(0x2000).len(), 1);
+        assert!(db.invariants_at(0x3000).is_empty());
+        assert_eq!(db.addrs().count(), 2);
+    }
+
+    #[test]
+    fn merge_unions_one_of_values() {
+        let mut a = InvariantDatabase::new();
+        a.insert(one_of(0x1000, &[1, 2]));
+        let mut b = InvariantDatabase::new();
+        b.insert(one_of(0x1000, &[2, 3]));
+        a.merge(&b);
+        assert_eq!(a.len(), 1);
+        match &a.invariants_at(0x1000)[0] {
+            Invariant::OneOf { values, .. } => {
+                assert_eq!(values.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3])
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn merge_drops_one_of_that_grows_past_the_limit() {
+        let mut a = InvariantDatabase::new();
+        a.insert(one_of(0x1000, &[1, 2, 3]));
+        let mut b = InvariantDatabase::new();
+        b.insert(one_of(0x1000, &[4, 5, 6]));
+        a.merge(&b);
+        assert!(a.invariants_at(0x1000).is_empty());
+    }
+
+    #[test]
+    fn merge_takes_minimum_lower_bound() {
+        let mut a = InvariantDatabase::new();
+        a.insert(Invariant::LowerBound { var: var(0x1000), min: 3 });
+        let mut b = InvariantDatabase::new();
+        b.insert(Invariant::LowerBound { var: var(0x1000), min: -1 });
+        a.merge(&b);
+        match &a.invariants_at(0x1000)[0] {
+            Invariant::LowerBound { min, .. } => assert_eq!(*min, -1),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn merge_keeps_invariants_only_one_member_observed() {
+        let mut a = InvariantDatabase::new();
+        a.insert(one_of(0x1000, &[1]));
+        let mut b = InvariantDatabase::new();
+        b.insert(one_of(0x2000, &[7]));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn merge_drops_conflicting_sp_offsets() {
+        let mut a = InvariantDatabase::new();
+        a.insert(Invariant::StackPointerOffset {
+            proc_entry: 0x1000,
+            at: 0x1004,
+            offset: 2,
+        });
+        let mut b = InvariantDatabase::new();
+        b.insert(Invariant::StackPointerOffset {
+            proc_entry: 0x1000,
+            at: 0x1004,
+            offset: 3,
+        });
+        a.merge(&b);
+        assert!(a.invariants_at(0x1004).is_empty());
+        assert_eq!(a.sp_offset(0x1000, 0x1004), None);
+    }
+
+    #[test]
+    fn sp_offset_lookup() {
+        let mut db = InvariantDatabase::new();
+        db.insert(Invariant::StackPointerOffset {
+            proc_entry: 0x1000,
+            at: 0x1010,
+            offset: 4,
+        });
+        assert_eq!(db.sp_offset(0x1000, 0x1010), Some(4));
+        assert_eq!(db.sp_offset(0x2000, 0x1010), None);
+    }
+
+    #[test]
+    fn recount_tracks_kinds() {
+        let mut db = InvariantDatabase::new();
+        db.insert(one_of(0x1000, &[1]));
+        db.insert(Invariant::LowerBound { var: var(0x1001), min: 0 });
+        db.insert(Invariant::LessThan {
+            a: var(0x1002),
+            b: var(0x1003),
+        });
+        db.recount();
+        assert_eq!(db.stats.one_of, 1);
+        assert_eq!(db.stats.lower_bound, 1);
+        assert_eq!(db.stats.less_than, 1);
+        assert_eq!(db.stats.total_invariants(), 3);
+    }
+}

@@ -1,0 +1,677 @@
+//! The learning front end: consumes execution traces and infers invariants.
+//!
+//! This is the reproduction's Daikon: the front end receives per-instruction trace
+//! records from the managed execution environment (the values of all operands read and
+//! all addresses computed — Section 2.2.1), discovers procedures and their CFGs as
+//! blocks execute (Section 2.2.3), and infers one-of, lower-bound, less-than, and
+//! stack-pointer-offset invariants with the optimizations of Section 2.2.4
+//! (equal-variable deduplication and pointer classification).
+//!
+//! Samples are buffered per run and only committed when the caller declares the run
+//! normal ([`LearningFrontend::commit_run`]); erroneous runs are discarded
+//! ([`LearningFrontend::discard_run`]), implementing the "discard any invariants from
+//! executions with errors" rule of Section 3.1.
+
+use crate::cfg::ProcedureDatabase;
+use crate::database::{InvariantDatabase, LearningStats};
+use crate::invariant::{Invariant, ONE_OF_LIMIT};
+use crate::variable::Variable;
+use cv_isa::{Addr, BinaryImage, Inst, Operand, Word};
+use cv_runtime::{ExecEvent, Tracer};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-variable sample statistics.
+#[derive(Debug, Clone)]
+struct VarStats {
+    count: u64,
+    values: BTreeSet<Word>,
+    overflowed: bool,
+    min_signed: i32,
+    nonpointer_evidence: bool,
+}
+
+impl VarStats {
+    fn new() -> Self {
+        VarStats {
+            count: 0,
+            values: BTreeSet::new(),
+            overflowed: false,
+            min_signed: i32::MAX,
+            nonpointer_evidence: false,
+        }
+    }
+
+    fn update(&mut self, value: Word) {
+        self.count += 1;
+        if !self.overflowed {
+            self.values.insert(value);
+            if self.values.len() > ONE_OF_LIMIT {
+                self.overflowed = true;
+                self.values.clear();
+            }
+        }
+        let signed = value as i32;
+        if signed < self.min_signed {
+            self.min_signed = signed;
+        }
+        // Pointer classification heuristic from Section 2.2.4: a value that is negative
+        // or between 1 and 100,000 is evidence that the variable is not a pointer.
+        if signed < 0 || (1..=100_000).contains(&signed) {
+            self.nonpointer_evidence = true;
+        }
+    }
+
+    fn is_pointer(&self) -> bool {
+        !self.nonpointer_evidence
+    }
+}
+
+/// Per-pair sample statistics (for less-than and equal-variable detection).
+#[derive(Debug, Clone, Copy)]
+struct PairStats {
+    count: u64,
+    a_le_b: bool,
+    b_le_a: bool,
+    always_eq: bool,
+}
+
+impl PairStats {
+    fn new() -> Self {
+        PairStats {
+            count: 0,
+            a_le_b: true,
+            b_le_a: true,
+            always_eq: true,
+        }
+    }
+
+    fn update(&mut self, va: Word, vb: Word) {
+        self.count += 1;
+        let (sa, sb) = (va as i32, vb as i32);
+        if sa > sb {
+            self.a_le_b = false;
+        }
+        if sb > sa {
+            self.b_le_a = false;
+        }
+        if sa != sb {
+            self.always_eq = false;
+        }
+    }
+}
+
+/// A complete learned model: the invariants plus the procedure CFGs they were inferred
+/// over (the latter is needed for predominator queries during correlated-invariant
+/// identification).
+#[derive(Debug, Clone)]
+pub struct LearnedModel {
+    /// The inferred invariants.
+    pub invariants: InvariantDatabase,
+    /// The dynamically discovered procedures.
+    pub procedures: ProcedureDatabase,
+}
+
+/// The Daikon-style learning front end. Implements [`Tracer`] so it can be handed
+/// directly to [`cv_runtime::ManagedExecutionEnvironment::run_with_tracer`].
+pub struct LearningFrontend {
+    procedures: ProcedureDatabase,
+    filter_procs: Option<BTreeSet<Addr>>,
+    var_stats: HashMap<Variable, VarStats>,
+    pair_stats: HashMap<(Variable, Variable), PairStats>,
+    sp_offsets: HashMap<(Addr, Addr), BTreeSet<i32>>,
+    pending: Vec<ExecEvent>,
+    events_processed: u64,
+    runs_committed: u64,
+    runs_discarded: u64,
+}
+
+impl LearningFrontend {
+    /// Create a front end for `image`.
+    pub fn new(image: BinaryImage) -> Self {
+        LearningFrontend {
+            procedures: ProcedureDatabase::new(image),
+            filter_procs: None,
+            var_stats: HashMap::new(),
+            pair_stats: HashMap::new(),
+            sp_offsets: HashMap::new(),
+            pending: Vec::new(),
+            events_processed: 0,
+            runs_committed: 0,
+            runs_discarded: 0,
+        }
+    }
+
+    /// Restrict tracing to the given procedure entries (amortized community learning:
+    /// each member instruments only part of the application, Section 3.1). Instructions
+    /// in procedures not yet discovered are still traced.
+    pub fn restrict_to_procedures(&mut self, procs: impl IntoIterator<Item = Addr>) {
+        self.filter_procs = Some(procs.into_iter().collect());
+    }
+
+    /// Remove any procedure restriction.
+    pub fn trace_everything(&mut self) {
+        self.filter_procs = None;
+    }
+
+    /// The discovered procedures.
+    pub fn procedures(&self) -> &ProcedureDatabase {
+        &self.procedures
+    }
+
+    /// Number of trace events committed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of buffered (not yet committed or discarded) events for the current run.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Commit the buffered run as a *normal* execution: its samples become part of the
+    /// model.
+    pub fn commit_run(&mut self) {
+        let events = std::mem::take(&mut self.pending);
+        let mut last_values: HashMap<Variable, Word> = HashMap::new();
+        let mut call_stack: Vec<(Addr, Word)> = Vec::new();
+        for event in &events {
+            self.events_processed += 1;
+            if call_stack.is_empty() {
+                let proc = self.procedures.proc_of_inst(event.addr).unwrap_or(event.addr);
+                call_stack.push((proc, event.sp));
+            }
+            if let Some(&(proc_entry, entry_sp)) = call_stack.last() {
+                let offset = (entry_sp as i64 - event.sp as i64) as i32;
+                self.sp_offsets
+                    .entry((proc_entry, event.addr))
+                    .or_default()
+                    .insert(offset);
+            }
+
+            // Single-variable samples.
+            let mut current_vars: Vec<(Variable, Word)> = Vec::new();
+            for r in &event.reads {
+                if matches!(r.operand, Operand::Imm(_)) {
+                    continue;
+                }
+                let var = Variable::read(event.addr, r.slot, r.operand);
+                self.var_stats.entry(var).or_insert_with(VarStats::new).update(r.value);
+                current_vars.push((var, r.value));
+            }
+
+            // Pairwise samples, restricted to variables within the same basic block
+            // (the earlier instruction of a block trivially predominates the later one).
+            if let Some(cfg) = self.procedures.proc_containing(event.addr) {
+                if let Some(bstart) = cfg.block_of_inst(event.addr) {
+                    let block = &cfg.blocks[&bstart];
+                    if let Some(pos) = block.position_of(event.addr) {
+                        for prior_inst in &block.insts[..pos] {
+                            for (slot, op) in prior_inst.inst.operands_read().into_iter().enumerate() {
+                                if matches!(op, Operand::Imm(_)) {
+                                    continue;
+                                }
+                                let prior = Variable::read(prior_inst.addr, slot as u8, op);
+                                if let Some(&pv) = last_values.get(&prior) {
+                                    for &(cur, cv) in &current_vars {
+                                        if prior == cur {
+                                            continue;
+                                        }
+                                        update_pair(&mut self.pair_stats, prior, pv, cur, cv);
+                                    }
+                                }
+                            }
+                        }
+                        for i in 0..current_vars.len() {
+                            for j in (i + 1)..current_vars.len() {
+                                let (va, a) = current_vars[i];
+                                let (vb, bv) = current_vars[j];
+                                update_pair(&mut self.pair_stats, va, a, vb, bv);
+                            }
+                        }
+                    }
+                }
+            }
+
+            for &(v, val) in &current_vars {
+                last_values.insert(v, val);
+            }
+
+            // Track the call stack for stack-pointer-offset invariants.
+            match event.inst {
+                Inst::Call { target } => call_stack.push((target, event.sp.wrapping_sub(1))),
+                Inst::CallIndirect { .. } => {
+                    let target = event.reads.first().map(|r| r.value).unwrap_or(0);
+                    call_stack.push((target, event.sp.wrapping_sub(1)));
+                }
+                Inst::Ret => {
+                    call_stack.pop();
+                }
+                _ => {}
+            }
+        }
+        self.runs_committed += 1;
+    }
+
+    /// Discard the buffered run (an erroneous execution must not contribute samples).
+    pub fn discard_run(&mut self) {
+        self.pending.clear();
+        self.runs_discarded += 1;
+    }
+
+    /// True if the control-flow graph guarantees that `a` and `b` always hold the same
+    /// value: both read the same register within one basic block, and no instruction in
+    /// between (nor the earlier instruction itself) writes that register or calls out.
+    ///
+    /// The paper's deduplication (Section 2.2.4) is a CFG analysis, not an
+    /// observation-based one: two variables that merely happened to be equal on the
+    /// learning inputs must not be merged, or invariants that distinguish them (such as
+    /// the pre- and post-truncation buffer sizes in exploit 325403) would be lost.
+    fn statically_redundant(&self, a: &Variable, b: &Variable) -> bool {
+        let (Some(Operand::Reg(ra)), Some(Operand::Reg(rb))) = (a.operand, b.operand) else {
+            return false;
+        };
+        if ra != rb {
+            return false;
+        }
+        let Some(cfg) = self.procedures.proc_containing(a.addr) else {
+            return false;
+        };
+        let (Some(ba), Some(bb)) = (cfg.block_of_inst(a.addr), cfg.block_of_inst(b.addr)) else {
+            return false;
+        };
+        if ba != bb {
+            return false;
+        }
+        let block = &cfg.blocks[&ba];
+        let (Some(pa), Some(pb)) = (block.position_of(a.addr), block.position_of(b.addr)) else {
+            return false;
+        };
+        let (lo, hi) = if pa <= pb { (pa, pb) } else { (pb, pa) };
+        block.insts[lo..hi]
+            .iter()
+            .all(|i| !i.inst.is_call() && !i.inst.writes_register(ra))
+    }
+
+    /// Infer the invariant database from every committed sample.
+    pub fn infer(&self) -> InvariantDatabase {
+        // Equal-variable deduplication: when the CFG guarantees two variables always
+        // hold the same value, keep only the one from the earlier instruction
+        // (Section 2.2.4). Variables read by indirect control transfers are exempt from
+        // removal: the invariants at call sites admit the call-specific repairs of
+        // Section 2.5.1 (skip the call, return from the enclosing procedure), so they
+        // must stay attached to the call.
+        let mut duplicates: BTreeSet<Variable> = BTreeSet::new();
+        for ((a, b), st) in &self.pair_stats {
+            if st.count > 0 && st.always_eq && self.statically_redundant(a, b) {
+                let later = (*a).max(*b);
+                let later_is_indirect_transfer = self
+                    .procedures
+                    .inst_at(later.addr)
+                    .map(|i| i.inst.is_indirect_transfer())
+                    .unwrap_or(false);
+                if !later_is_indirect_transfer {
+                    duplicates.insert(later);
+                }
+            }
+        }
+
+        let mut db = InvariantDatabase::new();
+        let mut pointers = 0u64;
+        for (var, st) in &self.var_stats {
+            if st.count == 0 || duplicates.contains(var) {
+                continue;
+            }
+            if st.is_pointer() {
+                pointers += 1;
+            }
+            if !st.overflowed && !st.values.is_empty() {
+                db.insert(Invariant::OneOf {
+                    var: *var,
+                    values: st.values.clone(),
+                });
+            }
+            if !st.is_pointer() {
+                db.insert(Invariant::LowerBound {
+                    var: *var,
+                    min: st.min_signed,
+                });
+            }
+        }
+        for ((a, b), st) in &self.pair_stats {
+            if st.count == 0 || st.always_eq {
+                continue;
+            }
+            if duplicates.contains(a) || duplicates.contains(b) {
+                continue;
+            }
+            let a_pointer = self.var_stats.get(a).map(|s| s.is_pointer()).unwrap_or(true);
+            let b_pointer = self.var_stats.get(b).map(|s| s.is_pointer()).unwrap_or(true);
+            if a_pointer || b_pointer {
+                continue;
+            }
+            if st.a_le_b {
+                db.insert(Invariant::LessThan { a: *a, b: *b });
+            } else if st.b_le_a {
+                db.insert(Invariant::LessThan { a: *b, b: *a });
+            }
+        }
+        for ((proc_entry, at), offsets) in &self.sp_offsets {
+            if offsets.len() == 1 {
+                db.insert(Invariant::StackPointerOffset {
+                    proc_entry: *proc_entry,
+                    at: *at,
+                    offset: *offsets.iter().next().expect("len checked"),
+                });
+            }
+        }
+
+        db.stats = LearningStats {
+            events_processed: self.events_processed,
+            runs_committed: self.runs_committed,
+            runs_discarded: self.runs_discarded,
+            variables_observed: self.var_stats.len() as u64,
+            duplicates_removed: duplicates.len() as u64,
+            pointers_classified: pointers,
+            ..Default::default()
+        };
+        db.recount();
+        db
+    }
+
+    /// Consume the front end, producing the learned model (invariants + procedures).
+    pub fn into_model(self) -> LearnedModel {
+        let invariants = self.infer();
+        LearnedModel {
+            invariants,
+            procedures: self.procedures,
+        }
+    }
+}
+
+fn update_pair(
+    map: &mut HashMap<(Variable, Variable), PairStats>,
+    a_var: Variable,
+    a_val: Word,
+    b_var: Variable,
+    b_val: Word,
+) {
+    // Canonical order: the "a" side is the earlier variable (by address, then slot).
+    let (ka, va, kb, vb) = if a_var <= b_var {
+        (a_var, a_val, b_var, b_val)
+    } else {
+        (b_var, b_val, a_var, a_val)
+    };
+    map.entry((ka, kb)).or_insert_with(PairStats::new).update(va, vb);
+}
+
+impl Tracer for LearningFrontend {
+    fn on_block_first_execution(&mut self, block_start: Addr) {
+        self.procedures.observe_block(block_start);
+    }
+
+    fn on_inst(&mut self, event: &ExecEvent) {
+        self.pending.push(event.clone());
+    }
+
+    fn wants_addr(&self, addr: Addr) -> bool {
+        match &self.filter_procs {
+            None => true,
+            Some(filter) => match self.procedures.proc_of_inst(addr) {
+                Some(proc) => filter.contains(&proc),
+                None => true,
+            },
+        }
+    }
+
+    fn on_call(&mut self, _call_site: Addr, target: Addr) {
+        self.procedures.observe_call_target(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::{MemRef, Port, ProgramBuilder, Reg};
+    use cv_runtime::{EnvConfig, ManagedExecutionEnvironment};
+
+    /// A program with a virtual call through a small function-pointer table and a
+    /// length-guarded copy, exercised with benign inputs.
+    ///
+    /// main:
+    ///   eax  <- input (selector, 0 or 1)
+    ///   ecx  <- input (length, >= 1 in benign pages)
+    ///   ebx  <- vtable[selector]         ; one-of invariant target
+    ///   call *ebx
+    ///   copy [buffer], [source], ecx     ; lower-bound invariant target (1 <= ecx)
+    ///   halt
+    fn build_program() -> (cv_isa::BinaryImage, std::collections::BTreeMap<String, Addr>) {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.input(Reg::Eax, Port::Input);
+        b.input(Reg::Ecx, Port::Input);
+        let f0 = b.new_label("f0");
+        let f1 = b.new_label("f1");
+        // Virtual dispatch.
+        let vtable = b.data_here();
+        b.note_symbol("vtable", vtable);
+        b.mov(
+            Reg::Ebx,
+            Operand::Mem(MemRef {
+                base: None,
+                index: Some(Reg::Eax),
+                scale: 1,
+                disp: vtable as i32,
+            }),
+        );
+        let call_site = b.call_indirect(Reg::Ebx);
+        b.note_symbol("call_site", call_site);
+        // Guarded copy into a heap buffer.
+        b.alloc(Reg::Edi, 16u32);
+        b.alloc(Reg::Esi, 16u32);
+        let copy_site = b.copy(Reg::Edi, Reg::Esi, Reg::Ecx);
+        b.note_symbol("copy_site", copy_site);
+        b.output(Reg::Eax, Port::Render);
+        b.halt();
+        b.bind(f0);
+        b.output(100u32, Port::Render);
+        b.ret();
+        b.bind(f1);
+        b.output(200u32, Port::Render);
+        b.ret();
+        b.set_entry(main);
+        // Fill the vtable after binding the functions.
+        let f0_addr = b.label_addr(f0).unwrap();
+        let f1_addr = b.label_addr(f1).unwrap();
+        b.note_symbol("f0", f0_addr);
+        b.note_symbol("f1", f1_addr);
+        b.data_code_ref(f0);
+        b.data_code_ref(f1);
+        b.build_with_symbols().unwrap()
+    }
+
+    fn learn(pages: &[Vec<u32>]) -> (LearningFrontend, std::collections::BTreeMap<String, Addr>) {
+        let (image, syms) = build_program();
+        let mut env = ManagedExecutionEnvironment::new(image.clone(), EnvConfig::default());
+        let mut fe = LearningFrontend::new(image);
+        for page in pages {
+            let r = env.run_with_tracer(page, &mut fe);
+            assert!(r.is_completed(), "learning page must complete: {:?}", r.status);
+            fe.commit_run();
+        }
+        (fe, syms)
+    }
+
+    #[test]
+    fn vtable_fixup_points_at_functions() {
+        let (image, syms) = build_program();
+        let vt = (syms["vtable"] - image.layout.data_base) as usize;
+        assert_eq!(image.data[vt], syms["f0"]);
+        assert_eq!(image.data[vt + 1], syms["f1"]);
+    }
+
+    #[test]
+    fn one_of_invariant_learned_at_indirect_call() {
+        let (fe, syms) = learn(&[vec![0, 3], vec![1, 5], vec![0, 2]]);
+        let db = fe.infer();
+        let invs = db.invariants_at(syms["call_site"]);
+        let one_of = invs
+            .iter()
+            .find(|i| matches!(i, Invariant::OneOf { .. }))
+            .expect("one-of at the virtual call site");
+        match one_of {
+            Invariant::OneOf { values, .. } => {
+                assert!(values.contains(&syms["f0"]));
+                assert!(values.contains(&syms["f1"]));
+                assert_eq!(values.len(), 2);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn lower_bound_learned_on_copy_length() {
+        let (fe, syms) = learn(&[vec![0, 3], vec![1, 5], vec![0, 2]]);
+        let db = fe.infer();
+        let invs = db.invariants_at(syms["copy_site"]);
+        let lb = invs
+            .iter()
+            .filter_map(|i| match i {
+                Invariant::LowerBound { var, min }
+                    if var.operand == Some(Operand::Reg(Reg::Ecx)) =>
+                {
+                    Some(*min)
+                }
+                _ => None,
+            })
+            .next()
+            .expect("lower bound on the copy length");
+        assert_eq!(lb, 2, "smallest benign length observed");
+    }
+
+    #[test]
+    fn function_pointers_are_classified_as_pointers() {
+        let (fe, syms) = learn(&[vec![0, 3], vec![1, 5]]);
+        let db = fe.infer();
+        // No lower-bound invariant on the call-target variable: it is a pointer.
+        let invs = db.invariants_at(syms["call_site"]);
+        assert!(invs
+            .iter()
+            .all(|i| !matches!(i, Invariant::LowerBound { .. })));
+        assert!(db.stats.pointers_classified > 0);
+    }
+
+    #[test]
+    fn sp_offset_invariants_cover_procedure_bodies() {
+        let (fe, syms) = learn(&[vec![0, 3]]);
+        let db = fe.infer();
+        // At the indirect call site, the stack pointer equals its value at main's entry.
+        assert_eq!(db.sp_offset(syms["main"], syms["call_site"]), Some(0));
+    }
+
+    #[test]
+    fn discarded_runs_do_not_contribute() {
+        let (image, syms) = build_program();
+        let mut env = ManagedExecutionEnvironment::new(image.clone(), EnvConfig::default());
+        let mut fe = LearningFrontend::new(image);
+        // A run with a smaller length would weaken the lower bound; discard it as if it
+        // had been flagged erroneous.
+        let r = env.run_with_tracer(&[0, 1], &mut fe);
+        assert!(r.is_completed());
+        fe.discard_run();
+        let r = env.run_with_tracer(&[0, 4], &mut fe);
+        assert!(r.is_completed());
+        fe.commit_run();
+        let db = fe.infer();
+        let invs = db.invariants_at(syms["copy_site"]);
+        let lb = invs.iter().find_map(|i| match i {
+            Invariant::LowerBound { var, min } if var.operand == Some(Operand::Reg(Reg::Ecx)) => Some(*min),
+            _ => None,
+        });
+        assert_eq!(lb, Some(4));
+        assert_eq!(db.stats.runs_discarded, 1);
+        assert_eq!(db.stats.runs_committed, 1);
+    }
+
+    #[test]
+    fn procedure_restriction_limits_tracing() {
+        let (image, syms) = build_program();
+        let mut env = ManagedExecutionEnvironment::new(image.clone(), EnvConfig::default());
+        let mut fe = LearningFrontend::new(image.clone());
+        // First run discovers procedures (trace everything).
+        env.run_with_tracer(&[0, 3], &mut fe);
+        fe.commit_run();
+        let full_events = fe.events_processed();
+        // Now restrict to the helper f0 only and run again.
+        fe.restrict_to_procedures([syms["f0"]]);
+        env.run_with_tracer(&[0, 3], &mut fe);
+        fe.commit_run();
+        let delta = fe.events_processed() - full_events;
+        assert!(
+            delta < full_events,
+            "restricted run traces fewer instructions ({delta} vs {full_events})"
+        );
+        assert!(delta >= 2, "the selected procedure is still traced");
+    }
+
+    #[test]
+    fn model_includes_procedures_and_invariants() {
+        let (fe, syms) = learn(&[vec![0, 3]]);
+        let model = fe.into_model();
+        assert!(model.procedures.proc(syms["main"]).is_some());
+        assert!(model.procedures.proc(syms["f0"]).is_some());
+        assert!(model.invariants.len() > 3);
+        assert!(model.invariants.stats.total_invariants() as usize == model.invariants.len());
+    }
+
+    #[test]
+    fn dedup_removes_statically_equal_variables() {
+        // ecx is read at the cmp and again at the add with no intervening write: the
+        // CFG guarantees both reads see the same value, so the later variable is
+        // removed from the model.
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.input(Reg::Ecx, Port::Input);
+        b.cmp(Reg::Ecx, 5u32);
+        b.add(Reg::Eax, Reg::Ecx);
+        b.output(Reg::Eax, Port::Render);
+        b.halt();
+        b.set_entry(main);
+        let image = b.build().unwrap();
+        let mut env = ManagedExecutionEnvironment::new(image.clone(), EnvConfig::default());
+        let mut fe = LearningFrontend::new(image);
+        for v in [5u32, 9, 12] {
+            env.run_with_tracer(&[v], &mut fe);
+            fe.commit_run();
+        }
+        let db = fe.infer();
+        assert!(db.stats.duplicates_removed >= 1, "equal variables deduplicated");
+    }
+
+    #[test]
+    fn dedup_is_not_fooled_by_coincidental_equality() {
+        // ebx = ecx & 0xFFFF: equal to ecx for all observed (small) inputs, but the CFG
+        // does not guarantee it, so both variables keep their invariants.
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.input(Reg::Ecx, Port::Input);
+        b.mov(Reg::Ebx, Reg::Ecx);
+        b.and(Reg::Ebx, 0xFFFFu32);
+        let use_site = b.add(Reg::Eax, Reg::Ebx);
+        b.output(Reg::Eax, Port::Render);
+        b.halt();
+        b.set_entry(main);
+        let image = b.build().unwrap();
+        let mut env = ManagedExecutionEnvironment::new(image.clone(), EnvConfig::default());
+        let mut fe = LearningFrontend::new(image);
+        for v in [5u32, 9, 12, 44, 100, 3] {
+            env.run_with_tracer(&[v], &mut fe);
+            fe.commit_run();
+        }
+        let db = fe.infer();
+        // The truncated value read at the add keeps its own lower-bound invariant.
+        assert!(db
+            .invariants_at(use_site)
+            .iter()
+            .any(|i| matches!(i, Invariant::LowerBound { .. })));
+    }
+}

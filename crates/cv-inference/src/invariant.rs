@@ -1,0 +1,238 @@
+//! Invariant templates: the properties Daikon infers and ClearView enforces.
+//!
+//! The Red Team exercise used three enforceable invariant kinds (Section 2.5): *one-of*
+//! (`v ∈ {c1..cn}`), *lower-bound* (`c ≤ v`), and *less-than* (`v1 ≤ v2`). The learning
+//! component additionally infers stack-pointer-offset facts (`sp_entry = sp_here + c`,
+//! Section 2.2.4), which are not enforced directly but let the return-from-procedure
+//! repair adjust the stack pointer correctly.
+
+use crate::variable::Variable;
+use cv_isa::{Addr, Word};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The maximum number of distinct values for which a one-of invariant is retained.
+pub const ONE_OF_LIMIT: usize = 5;
+
+/// A learned invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Invariant {
+    /// `var ∈ values` — the variable only ever took on these values.
+    OneOf {
+        /// The constrained variable.
+        var: Variable,
+        /// The observed value set (at most [`ONE_OF_LIMIT`] entries).
+        values: BTreeSet<Word>,
+    },
+    /// `min ≤ var` under signed interpretation.
+    LowerBound {
+        /// The constrained variable.
+        var: Variable,
+        /// The smallest observed (signed) value.
+        min: i32,
+    },
+    /// `a ≤ b` under signed interpretation; `a` and `b` are read at instructions in the
+    /// same basic block, with the check performed at the later of the two.
+    LessThan {
+        /// The smaller variable.
+        a: Variable,
+        /// The larger variable.
+        b: Variable,
+    },
+    /// `sp_at_entry = sp_at_instruction + offset` for the enclosing procedure.
+    StackPointerOffset {
+        /// The procedure entry address.
+        proc_entry: Addr,
+        /// The instruction the offset is valid at.
+        at: Addr,
+        /// Words to add to the stack pointer at `at` to recover the entry stack pointer.
+        offset: i32,
+    },
+}
+
+impl Invariant {
+    /// The instruction address at which this invariant is checked (and enforced).
+    ///
+    /// Single-variable invariants are checked at the variable's instruction;
+    /// two-variable invariants at the later (larger-address) of the two instructions,
+    /// mirroring Section 2.4.2.
+    pub fn check_addr(&self) -> Addr {
+        match self {
+            Invariant::OneOf { var, .. } => var.addr,
+            Invariant::LowerBound { var, .. } => var.addr,
+            Invariant::LessThan { a, b } => a.addr.max(b.addr),
+            Invariant::StackPointerOffset { at, .. } => *at,
+        }
+    }
+
+    /// The variables the invariant mentions.
+    pub fn variables(&self) -> Vec<Variable> {
+        match self {
+            Invariant::OneOf { var, .. } | Invariant::LowerBound { var, .. } => vec![*var],
+            Invariant::LessThan { a, b } => vec![*a, *b],
+            Invariant::StackPointerOffset { .. } => vec![],
+        }
+    }
+
+    /// True if the invariant relates two variables (subject to the same-basic-block
+    /// candidate restriction of Section 2.4.1).
+    pub fn is_two_variable(&self) -> bool {
+        matches!(self, Invariant::LessThan { .. })
+    }
+
+    /// True for invariant kinds that ClearView can turn into repair patches.
+    pub fn is_enforceable(&self) -> bool {
+        match self {
+            Invariant::OneOf { var, .. } | Invariant::LowerBound { var, .. } => var.is_enforceable(),
+            Invariant::LessThan { a, b } => a.is_enforceable() || b.is_enforceable(),
+            Invariant::StackPointerOffset { .. } => false,
+        }
+    }
+
+    /// Evaluate the invariant against concrete values (used by invariant-check patches).
+    ///
+    /// `value_of` must return the current value of a variable; returning `None` means
+    /// the value is unavailable and the invariant cannot be checked (treated as
+    /// satisfied, since monitors must not produce false violations).
+    pub fn holds(&self, value_of: &dyn Fn(&Variable) -> Option<Word>) -> bool {
+        match self {
+            Invariant::OneOf { var, values } => match value_of(var) {
+                Some(v) => values.contains(&v),
+                None => true,
+            },
+            Invariant::LowerBound { var, min } => match value_of(var) {
+                Some(v) => (v as i32) >= *min,
+                None => true,
+            },
+            Invariant::LessThan { a, b } => match (value_of(a), value_of(b)) {
+                (Some(va), Some(vb)) => (va as i32) <= (vb as i32),
+                _ => true,
+            },
+            Invariant::StackPointerOffset { .. } => true,
+        }
+    }
+
+    /// A short kind label used in reports and in the Table 3 `[one-of, lower-bound,
+    /// less-than]` breakdowns.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Invariant::OneOf { .. } => "one-of",
+            Invariant::LowerBound { .. } => "lower-bound",
+            Invariant::LessThan { .. } => "less-than",
+            Invariant::StackPointerOffset { .. } => "sp-offset",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Invariant::OneOf { var, values } => {
+                let vals: Vec<String> = values.iter().map(|v| format!("0x{v:x}")).collect();
+                write!(f, "{var} in {{{}}}", vals.join(", "))
+            }
+            Invariant::LowerBound { var, min } => write!(f, "{min} <= {var}"),
+            Invariant::LessThan { a, b } => write!(f, "{a} <= {b}"),
+            Invariant::StackPointerOffset { proc_entry, at, offset } => {
+                write!(f, "sp@0x{proc_entry:x} = sp@0x{at:x} + {offset}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::{Operand, Reg};
+    use std::collections::HashMap;
+
+    fn var(addr: Addr) -> Variable {
+        Variable::read(addr, 0, Operand::Reg(Reg::Eax))
+    }
+
+    fn lookup(map: &HashMap<Variable, Word>) -> impl Fn(&Variable) -> Option<Word> + '_ {
+        move |v: &Variable| map.get(v).copied()
+    }
+
+    #[test]
+    fn one_of_holds_only_for_observed_values() {
+        let v = var(0x1000);
+        let inv = Invariant::OneOf {
+            var: v,
+            values: [0x2000u32, 0x2010].into_iter().collect(),
+        };
+        let mut vals = HashMap::new();
+        vals.insert(v, 0x2000);
+        assert!(inv.holds(&lookup(&vals)));
+        vals.insert(v, 0x9999);
+        assert!(!inv.holds(&lookup(&vals)));
+        assert_eq!(inv.check_addr(), 0x1000);
+        assert_eq!(inv.kind_name(), "one-of");
+    }
+
+    #[test]
+    fn lower_bound_uses_signed_comparison() {
+        let v = var(0x1000);
+        let inv = Invariant::LowerBound { var: v, min: 1 };
+        let mut vals = HashMap::new();
+        vals.insert(v, 5);
+        assert!(inv.holds(&lookup(&vals)));
+        vals.insert(v, (-3i32) as u32);
+        assert!(!inv.holds(&lookup(&vals)), "negative value violates 1 <= v");
+        vals.insert(v, 0);
+        assert!(!inv.holds(&lookup(&vals)));
+    }
+
+    #[test]
+    fn less_than_uses_signed_comparison_and_later_check_addr() {
+        let a = var(0x1000);
+        let b = var(0x1008);
+        let inv = Invariant::LessThan { a, b };
+        assert_eq!(inv.check_addr(), 0x1008);
+        let mut vals = HashMap::new();
+        vals.insert(a, 4);
+        vals.insert(b, 10);
+        assert!(inv.holds(&lookup(&vals)));
+        vals.insert(a, 11);
+        assert!(!inv.holds(&lookup(&vals)));
+        // Signed: -1 <= 10 holds even though it is a huge unsigned value.
+        vals.insert(a, (-1i32) as u32);
+        assert!(inv.holds(&lookup(&vals)));
+    }
+
+    #[test]
+    fn missing_values_do_not_report_violations() {
+        let inv = Invariant::LowerBound { var: var(0x1000), min: 0 };
+        let empty = HashMap::new();
+        assert!(inv.holds(&lookup(&empty)));
+    }
+
+    #[test]
+    fn enforceability_requires_writable_operand() {
+        let writable = Invariant::LowerBound {
+            var: Variable::read(1, 0, Operand::Reg(Reg::Ecx)),
+            min: 0,
+        };
+        assert!(writable.is_enforceable());
+        let imm = Invariant::LowerBound {
+            var: Variable::read(1, 0, Operand::Imm(4)),
+            min: 0,
+        };
+        assert!(!imm.is_enforceable());
+        let sp = Invariant::StackPointerOffset {
+            proc_entry: 1,
+            at: 2,
+            offset: 0,
+        };
+        assert!(!sp.is_enforceable());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let inv = Invariant::LowerBound { var: var(0x1043), min: 1 };
+        let s = inv.to_string();
+        assert!(s.contains("1 <="));
+        assert!(s.contains("0x1043"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # cv-inference — Daikon-style dynamic invariant inference over binary traces
+//!
+//! ClearView's learning component observes normal executions and infers a model of
+//! normal behaviour: a set of invariants over the values of registers and memory
+//! locations at specific instructions (Section 2.2 of the paper). This crate is that
+//! component for the simulated substrate:
+//!
+//! * [`Variable`] — a binary-level variable: an operand value read at an instruction.
+//! * [`Invariant`] — the invariant templates used in the Red Team exercise: one-of,
+//!   lower-bound, less-than, plus the stack-pointer-offset facts used by
+//!   return-from-procedure repairs.
+//! * [`ProcedureCfg`] / [`ProcedureDatabase`] — dynamic procedure discovery, CFG
+//!   construction by symbolic block tracing, and predominator queries (Section 2.2.3).
+//! * [`LearningFrontend`] — the Daikon front end + inference engine: feed it execution
+//!   traces (it implements [`cv_runtime::Tracer`]), commit normal runs, discard
+//!   erroneous ones, and call [`LearningFrontend::infer`] to obtain an
+//!   [`InvariantDatabase`].
+//! * [`InvariantDatabase`] — learned invariants indexed by check location, with the
+//!   merge operation used by the application community's amortized parallel learning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfg;
+mod database;
+mod frontend;
+mod invariant;
+mod variable;
+
+pub use cfg::{CfgBlock, ProcedureCfg, ProcedureDatabase};
+pub use database::{InvariantDatabase, LearningStats};
+pub use frontend::{LearnedModel, LearningFrontend};
+pub use invariant::{Invariant, ONE_OF_LIMIT};
+pub use variable::{VarSlot, Variable};

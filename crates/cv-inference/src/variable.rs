@@ -1,0 +1,120 @@
+//! Binary-level variables: the things invariants talk about.
+//!
+//! Because ClearView operates on stripped binaries, "variables" are not source-level
+//! names — they are the values of registers and memory locations read at a specific
+//! instruction (Section 2.2). A [`Variable`] therefore names an instruction address plus
+//! an operand slot, and carries the operand expression so that a repair patch knows what
+//! to overwrite when it enforces an invariant on the variable.
+
+use cv_isa::{Addr, Operand};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which value at an instruction a variable refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VarSlot {
+    /// The `n`-th operand the instruction reads (in `Inst::operands_read` order).
+    Read(u8),
+    /// The `n`-th effective address the instruction computes (in `Inst::mem_refs` order).
+    ComputedAddr(u8),
+    /// The stack pointer immediately before the instruction executes.
+    StackPointer,
+}
+
+impl fmt::Display for VarSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarSlot::Read(n) => write!(f, "read{n}"),
+            VarSlot::ComputedAddr(n) => write!(f, "addr{n}"),
+            VarSlot::StackPointer => write!(f, "sp"),
+        }
+    }
+}
+
+/// A binary-level variable: a value observed at a specific instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Variable {
+    /// The instruction at which the value is observed.
+    pub addr: Addr,
+    /// Which of the instruction's values this is.
+    pub slot: VarSlot,
+    /// The operand expression, when the slot is a read (used by enforcement patches to
+    /// overwrite the value). `None` for computed addresses and the stack pointer.
+    pub operand: Option<Operand>,
+}
+
+impl Variable {
+    /// A variable for the `slot`-th read operand of the instruction at `addr`.
+    pub fn read(addr: Addr, slot: u8, operand: Operand) -> Variable {
+        Variable {
+            addr,
+            slot: VarSlot::Read(slot),
+            operand: Some(operand),
+        }
+    }
+
+    /// A variable for the `slot`-th computed address of the instruction at `addr`.
+    pub fn computed_addr(addr: Addr, slot: u8) -> Variable {
+        Variable {
+            addr,
+            slot: VarSlot::ComputedAddr(slot),
+            operand: None,
+        }
+    }
+
+    /// The stack-pointer variable at `addr`.
+    pub fn stack_pointer(addr: Addr) -> Variable {
+        Variable {
+            addr,
+            slot: VarSlot::StackPointer,
+            operand: None,
+        }
+    }
+
+    /// True if an enforcement patch can overwrite this variable (it names a register or
+    /// memory operand the instruction reads).
+    pub fn is_enforceable(&self) -> bool {
+        matches!(self.operand, Some(op) if op.is_writable())
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.operand {
+            Some(op) => write!(f, "0x{:x}:{}({})", self.addr, self.slot, op),
+            None => write!(f, "0x{:x}:{}", self.addr, self.slot),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::Reg;
+
+    #[test]
+    fn display_includes_address_slot_and_operand() {
+        let v = Variable::read(0x1043, 0, Operand::Reg(Reg::Ecx));
+        let s = v.to_string();
+        assert!(s.contains("0x1043"));
+        assert!(s.contains("read0"));
+        assert!(s.contains("ecx"));
+        let sp = Variable::stack_pointer(0x1000);
+        assert!(sp.to_string().contains("sp"));
+    }
+
+    #[test]
+    fn enforceability() {
+        assert!(Variable::read(1, 0, Operand::Reg(Reg::Eax)).is_enforceable());
+        assert!(!Variable::read(1, 0, Operand::Imm(3)).is_enforceable());
+        assert!(!Variable::computed_addr(1, 0).is_enforceable());
+        assert!(!Variable::stack_pointer(1).is_enforceable());
+    }
+
+    #[test]
+    fn ordering_is_by_address_then_slot() {
+        let a = Variable::read(1, 0, Operand::Imm(0));
+        let b = Variable::read(2, 0, Operand::Imm(0));
+        assert!(a < b);
+    }
+}

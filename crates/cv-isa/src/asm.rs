@@ -1,0 +1,508 @@
+//! A small assembler for constructing guest programs.
+//!
+//! `cv-apps` uses [`ProgramBuilder`] to assemble the synthetic vulnerable browser. The
+//! builder produces a [`BinaryImage`] — a stripped binary — plus an optional *side
+//! table* of symbols that exists purely for tests and debugging. ClearView itself never
+//! consumes the symbol table; it sees only the image, exactly as the real system sees
+//! only a stripped executable.
+
+use crate::{encode, Addr, BinaryImage, Cond, Inst, IsaError, MemRef, Operand, Reg, Word};
+use std::collections::BTreeMap;
+
+/// A forward-referenceable code or data label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone)]
+struct LabelState {
+    name: String,
+    addr: Option<Addr>,
+}
+
+/// Where a fixup must be written once the referenced label is bound.
+#[derive(Debug, Clone, Copy)]
+enum FixupSite {
+    /// Index into the code word vector.
+    Code(usize),
+    /// Index into the data word vector.
+    Data(usize),
+}
+
+/// Builds a [`BinaryImage`] incrementally.
+///
+/// Instructions are emitted at monotonically increasing addresses starting at the code
+/// base of the layout, so [`ProgramBuilder::here`] is always the address the *next*
+/// instruction will occupy, and emit methods return the address of the instruction they
+/// emitted — which lets guest-application authors record the addresses of seeded defect
+/// sites for test assertions without giving ClearView any symbol information.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    layout: crate::MemoryLayout,
+    code: Vec<Word>,
+    data: Vec<Word>,
+    labels: Vec<LabelState>,
+    fixups: Vec<(FixupSite, Label)>,
+    symbols: BTreeMap<String, Addr>,
+    entry: Option<Label>,
+}
+
+impl ProgramBuilder {
+    /// Create a builder against the default [`crate::MemoryLayout`].
+    pub fn new() -> Self {
+        Self::with_layout(crate::MemoryLayout::default())
+    }
+
+    /// Create a builder against an explicit layout.
+    pub fn with_layout(layout: crate::MemoryLayout) -> Self {
+        ProgramBuilder {
+            layout,
+            code: Vec::new(),
+            data: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            symbols: BTreeMap::new(),
+            entry: None,
+        }
+    }
+
+    /// The layout this builder assembles against.
+    pub fn layout(&self) -> crate::MemoryLayout {
+        self.layout
+    }
+
+    /// The address at which the next instruction will be emitted.
+    pub fn here(&self) -> Addr {
+        self.layout.code_base + self.code.len() as u32
+    }
+
+    /// The address at which the next data word will be placed.
+    pub fn data_here(&self) -> Addr {
+        self.layout.data_base + self.data.len() as u32
+    }
+
+    /// Create a new, unbound label.
+    pub fn new_label(&mut self, name: &str) -> Label {
+        let l = Label(self.labels.len());
+        self.labels.push(LabelState {
+            name: name.to_string(),
+            addr: None,
+        });
+        l
+    }
+
+    /// Bind `label` to the current code address.
+    ///
+    /// Returns the bound address. Binding the same label twice is an error surfaced at
+    /// [`ProgramBuilder::build`] time via [`IsaError::DuplicateLabel`].
+    pub fn bind(&mut self, label: Label) -> Addr {
+        let here = self.here();
+        let state = &mut self.labels[label.0];
+        if state.addr.is_some() {
+            // Record the duplicate by clearing the address; build() reports it.
+            self.fixups.push((FixupSite::Code(usize::MAX), label));
+        }
+        state.addr = Some(here);
+        here
+    }
+
+    /// Create a label, bind it here, and record it in the debug symbol table.
+    pub fn function(&mut self, name: &str) -> Label {
+        let l = self.new_label(name);
+        let addr = self.bind(l);
+        self.symbols.insert(name.to_string(), addr);
+        l
+    }
+
+    /// The address a label is bound to, if bound.
+    pub fn label_addr(&self, label: Label) -> Option<Addr> {
+        self.labels[label.0].addr
+    }
+
+    /// Set the entry point of the program.
+    pub fn set_entry(&mut self, label: Label) {
+        self.entry = Some(label);
+    }
+
+    /// Emit a raw instruction and return its address.
+    pub fn emit(&mut self, inst: Inst) -> Addr {
+        let addr = self.here();
+        self.code.extend(encode(inst));
+        addr
+    }
+
+    /// Emit an instruction whose last encoded word is a code-label reference
+    /// (direct jumps and calls). The word is fixed up at build time.
+    fn emit_with_target_fixup(&mut self, inst: Inst, label: Label) -> Addr {
+        let addr = self.here();
+        let words = encode(inst);
+        let target_pos = self.code.len() + words.len() - 1;
+        self.code.extend(words);
+        self.fixups.push((FixupSite::Code(target_pos), label));
+        addr
+    }
+
+    // ----- Convenience emitters -------------------------------------------------
+
+    /// `mov dst, src`.
+    pub fn mov(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Mov {
+            dst: dst.into(),
+            src: src.into(),
+        })
+    }
+
+    /// `lea dst, mem`.
+    pub fn lea(&mut self, dst: Reg, mem: MemRef) -> Addr {
+        self.emit(Inst::Lea { dst, mem })
+    }
+
+    /// `add dst, src`.
+    pub fn add(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Add {
+            dst: dst.into(),
+            src: src.into(),
+        })
+    }
+
+    /// `sub dst, src`.
+    pub fn sub(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Sub {
+            dst: dst.into(),
+            src: src.into(),
+        })
+    }
+
+    /// `imul dst, src`.
+    pub fn mul(&mut self, dst: Reg, src: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Mul { dst, src: src.into() })
+    }
+
+    /// `and dst, src`.
+    pub fn and(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> Addr {
+        self.emit(Inst::And {
+            dst: dst.into(),
+            src: src.into(),
+        })
+    }
+
+    /// `shl dst, amount`.
+    pub fn shl(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Shl {
+            dst: dst.into(),
+            src: src.into(),
+        })
+    }
+
+    /// `shr dst, amount`.
+    pub fn shr(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Shr {
+            dst: dst.into(),
+            src: src.into(),
+        })
+    }
+
+    /// `cmp a, b`.
+    pub fn cmp(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Cmp {
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// `test a, b`.
+    pub fn test(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Test {
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// `push src`.
+    pub fn push(&mut self, src: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Push { src: src.into() })
+    }
+
+    /// `pop dst`.
+    pub fn pop(&mut self, dst: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Pop { dst: dst.into() })
+    }
+
+    /// `jmp label`.
+    pub fn jmp(&mut self, label: Label) -> Addr {
+        self.emit_with_target_fixup(Inst::Jmp { target: 0 }, label)
+    }
+
+    /// `jmp *target`.
+    pub fn jmp_indirect(&mut self, target: impl Into<Operand>) -> Addr {
+        self.emit(Inst::JmpIndirect { target: target.into() })
+    }
+
+    /// `jcc label`.
+    pub fn jcc(&mut self, cond: Cond, label: Label) -> Addr {
+        self.emit_with_target_fixup(Inst::Jcc { cond, target: 0 }, label)
+    }
+
+    /// `call label`.
+    pub fn call(&mut self, label: Label) -> Addr {
+        self.emit_with_target_fixup(Inst::Call { target: 0 }, label)
+    }
+
+    /// `call *target`.
+    pub fn call_indirect(&mut self, target: impl Into<Operand>) -> Addr {
+        self.emit(Inst::CallIndirect { target: target.into() })
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) -> Addr {
+        self.emit(Inst::Ret)
+    }
+
+    /// `alloc dst, size`.
+    pub fn alloc(&mut self, dst: Reg, size: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Alloc {
+            size: size.into(),
+            dst,
+        })
+    }
+
+    /// `free ptr`.
+    pub fn free(&mut self, ptr: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Free { ptr: ptr.into() })
+    }
+
+    /// `copy dst, src, len`.
+    pub fn copy(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>, len: impl Into<Operand>) -> Addr {
+        self.emit(Inst::Copy {
+            dst: dst.into(),
+            src: src.into(),
+            len: len.into(),
+        })
+    }
+
+    /// `in dst, port`.
+    pub fn input(&mut self, dst: Reg, port: crate::Port) -> Addr {
+        self.emit(Inst::In { dst, port })
+    }
+
+    /// `out src, port`.
+    pub fn output(&mut self, src: impl Into<Operand>, port: crate::Port) -> Addr {
+        self.emit(Inst::Out {
+            src: src.into(),
+            port,
+        })
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) -> Addr {
+        self.emit(Inst::Halt)
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> Addr {
+        self.emit(Inst::Nop)
+    }
+
+    // ----- Data section ----------------------------------------------------------
+
+    /// Append one word of static data; returns its address.
+    pub fn data_word(&mut self, w: Word) -> Addr {
+        let addr = self.data_here();
+        self.data.push(w);
+        addr
+    }
+
+    /// Append several words of static data; returns the address of the first.
+    pub fn data_words(&mut self, ws: &[Word]) -> Addr {
+        let addr = self.data_here();
+        self.data.extend_from_slice(ws);
+        addr
+    }
+
+    /// Append a data word holding the (eventual) address of a code label — how the
+    /// guest applications build virtual-function tables. Returns the word's address.
+    pub fn data_code_ref(&mut self, label: Label) -> Addr {
+        let addr = self.data_here();
+        self.fixups.push((FixupSite::Data(self.data.len()), label));
+        self.data.push(0);
+        addr
+    }
+
+    /// Record a named address in the debug symbol table (tests only).
+    pub fn note_symbol(&mut self, name: &str, addr: Addr) {
+        self.symbols.insert(name.to_string(), addr);
+    }
+
+    /// Assemble the program into a stripped [`BinaryImage`].
+    pub fn build(self) -> Result<BinaryImage, IsaError> {
+        self.build_with_symbols().map(|(image, _)| image)
+    }
+
+    /// Assemble and also return the debug symbol table (used only by tests and the
+    /// experiment harnesses; never by ClearView components).
+    pub fn build_with_symbols(mut self) -> Result<(BinaryImage, BTreeMap<String, Addr>), IsaError> {
+        if self.code.len() > self.layout.code_size as usize {
+            return Err(IsaError::CodeTooLarge {
+                required: self.code.len(),
+                available: self.layout.code_size as usize,
+            });
+        }
+        if self.data.len() > self.layout.data_size as usize {
+            return Err(IsaError::DataTooLarge {
+                required: self.data.len(),
+                available: self.layout.data_size as usize,
+            });
+        }
+        for (site, label) in &self.fixups {
+            let state = &self.labels[label.0];
+            if let FixupSite::Code(usize::MAX) = site {
+                return Err(IsaError::DuplicateLabel(state.name.clone()));
+            }
+            let addr = state
+                .addr
+                .ok_or_else(|| IsaError::UndefinedLabel(state.name.clone()))?;
+            match *site {
+                FixupSite::Code(pos) => self.code[pos] = addr,
+                FixupSite::Data(pos) => self.data[pos] = addr,
+            }
+        }
+        let entry = match self.entry {
+            Some(l) => self.labels[l.0]
+                .addr
+                .ok_or_else(|| IsaError::UndefinedLabel(self.labels[l.0].name.clone()))?,
+            None => self.layout.code_base,
+        };
+        Ok((
+            BinaryImage {
+                layout: self.layout,
+                code: self.code,
+                data: self.data,
+                entry,
+            },
+            self.symbols,
+        ))
+    }
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_all, Port};
+
+    #[test]
+    fn assembles_a_simple_loop() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.function("main");
+        b.mov(Reg::Ecx, 3u32);
+        let loop_top = b.new_label("loop");
+        b.bind(loop_top);
+        b.sub(Reg::Ecx, 1u32);
+        b.cmp(Reg::Ecx, 0u32);
+        b.jcc(Cond::Ne, loop_top);
+        b.halt();
+        b.set_entry(entry);
+        let image = b.build().expect("build");
+        assert_eq!(image.entry, image.layout.code_base);
+        let decoded = decode_all(&image.code, image.layout.code_base).expect("decode");
+        // mov, sub, cmp, jcc, halt
+        assert_eq!(decoded.len(), 5);
+        // The jcc target must point back at the sub instruction.
+        let sub_addr = decoded[1].addr;
+        match decoded[3].inst {
+            Inst::Jcc { target, .. } => assert_eq!(target, sub_addr),
+            other => panic!("expected jcc, got {other}"),
+        }
+    }
+
+    #[test]
+    fn forward_references_are_fixed_up() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.function("main");
+        let done = b.new_label("done");
+        b.jmp(done);
+        b.nop();
+        b.nop();
+        let done_addr_expected = b.here();
+        b.bind(done);
+        b.halt();
+        b.set_entry(entry);
+        let image = b.build().expect("build");
+        let decoded = decode_all(&image.code, image.layout.code_base).expect("decode");
+        match decoded[0].inst {
+            Inst::Jmp { target } => assert_eq!(target, done_addr_expected),
+            other => panic!("expected jmp, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.function("main");
+        let nowhere = b.new_label("nowhere");
+        b.jmp(nowhere);
+        b.set_entry(entry);
+        assert!(matches!(b.build(), Err(IsaError::UndefinedLabel(name)) if name == "nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.function("main");
+        let l = b.new_label("twice");
+        b.bind(l);
+        b.nop();
+        b.bind(l);
+        b.halt();
+        b.set_entry(entry);
+        assert!(matches!(b.build(), Err(IsaError::DuplicateLabel(name)) if name == "twice"));
+    }
+
+    #[test]
+    fn data_code_refs_hold_function_addresses() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.function("main");
+        b.halt();
+        let callee = b.function("callee");
+        b.ret();
+        let vtable = b.data_code_ref(callee);
+        b.set_entry(entry);
+        let callee_addr = b.label_addr(callee).unwrap();
+        let image = b.build().expect("build");
+        let data_index = (vtable - image.layout.data_base) as usize;
+        assert_eq!(image.data[data_index], callee_addr);
+    }
+
+    #[test]
+    fn symbols_are_returned_separately_from_the_image() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.function("main");
+        b.input(Reg::Eax, Port::Input);
+        b.output(Reg::Eax, Port::Render);
+        b.halt();
+        b.set_entry(entry);
+        let (image, symbols) = b.build_with_symbols().expect("build");
+        assert!(symbols.contains_key("main"));
+        assert_eq!(symbols["main"], image.entry);
+        // The image itself carries no symbol data; its public fields are only
+        // layout, code, data, and entry.
+        assert!(!image.code.is_empty());
+    }
+
+    #[test]
+    fn code_too_large_is_reported() {
+        let mut layout = crate::MemoryLayout::default();
+        layout.code_size = 4;
+        let mut b = ProgramBuilder::with_layout(layout);
+        let entry = b.function("main");
+        for _ in 0..8 {
+            b.nop();
+        }
+        b.set_entry(entry);
+        assert!(matches!(b.build(), Err(IsaError::CodeTooLarge { .. })));
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for encoding, decoding, and assembly.
+
+use std::fmt;
+
+/// Errors produced by the ISA layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// The word stream ended in the middle of an instruction.
+    TruncatedInstruction,
+    /// An opcode byte that does not correspond to any instruction.
+    UnknownOpcode(u32),
+    /// A descriptor word with invalid fields (register index, operand kind, ...).
+    InvalidEncoding(u32),
+    /// A label was referenced but never defined by the assembler.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// The program does not fit in the code segment.
+    CodeTooLarge {
+        /// Words required by the assembled program.
+        required: usize,
+        /// Words available in the code segment.
+        available: usize,
+    },
+    /// The static data does not fit in the data segment.
+    DataTooLarge {
+        /// Words required by the static data.
+        required: usize,
+        /// Words available in the data segment.
+        available: usize,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::TruncatedInstruction => write!(f, "instruction stream ended unexpectedly"),
+            IsaError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:x}"),
+            IsaError::InvalidEncoding(w) => write!(f, "invalid encoding word 0x{w:x}"),
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            IsaError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            IsaError::CodeTooLarge { required, available } => {
+                write!(f, "code segment overflow: need {required} words, have {available}")
+            }
+            IsaError::DataTooLarge { required, available } => {
+                write!(f, "data segment overflow: need {required} words, have {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(IsaError::UnknownOpcode(0xff).to_string().contains("0xff"));
+        assert!(IsaError::UndefinedLabel("loop".into()).to_string().contains("loop"));
+        let e = IsaError::CodeTooLarge {
+            required: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+    }
+}

@@ -1,0 +1,88 @@
+//! # cv-isa — simulated x86-like instruction set
+//!
+//! ClearView operates on *stripped Windows x86 binaries*: it learns invariants over the
+//! values of registers and memory locations at specific instructions, discovers
+//! procedures and basic blocks dynamically, and applies patches keyed by instruction
+//! address. None of that requires the full x86 encoding — it requires a binary-level
+//! program representation with:
+//!
+//! * registers and a flat addressable memory,
+//! * `base + index*scale + displacement` addressing,
+//! * direct and *indirect* control transfers (indirect calls are the attack surface for
+//!   the code-injection exploits in the Red Team exercise),
+//! * a call stack manipulated through `push`/`pop`/`call`/`ret`,
+//! * a linear code segment with instruction addresses and *no symbol information*.
+//!
+//! This crate provides exactly that substrate:
+//!
+//! * [`Reg`], [`Operand`], [`MemRef`] — the operand model.
+//! * [`Inst`] — the instruction set, including the allocator and copy intrinsics that
+//!   stand in for the C runtime library calls (`malloc`/`free`/`memcpy`) which the real
+//!   system intercepts at the binary level.
+//! * [`encode`] / [`decode`] — a word-oriented binary encoding so that programs exist as
+//!   opaque numeric images (a "stripped binary") rather than as structured Rust values.
+//! * [`BinaryImage`] and [`MemoryLayout`] — the program image and the address-space
+//!   layout shared by the runtime, the inference engine, and the guest applications.
+//! * [`ProgramBuilder`] — a small assembler with labels and procedures used by
+//!   `cv-apps` to construct the synthetic vulnerable browser.
+//!
+//! Memory is word-granular: every address names a 32-bit cell. This is a documented
+//! simplification relative to byte-addressed x86; it preserves everything ClearView
+//! depends on (addresses, bounds, canaries, pointer/function-pointer values) while
+//! keeping the interpreter and the learning traces simple.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod encode;
+mod error;
+mod image;
+mod inst;
+mod operand;
+mod reg;
+
+pub use asm::{Label, ProgramBuilder};
+pub use encode::{decode, decode_all, encode, encoded_len, InstWithAddr};
+pub use error::IsaError;
+pub use image::{BinaryImage, MemoryLayout, Segment};
+pub use inst::{Cond, Inst, Port};
+pub use operand::{MemRef, Operand};
+pub use reg::{Flags, Reg};
+
+/// A guest address. Addresses are indices of 32-bit memory cells.
+pub type Addr = u32;
+
+/// A guest machine word.
+pub type Word = u32;
+
+/// Interpret a guest word as a signed 32-bit value.
+#[inline]
+pub fn as_signed(w: Word) -> i32 {
+    w as i32
+}
+
+/// Interpret a signed value as a guest word.
+#[inline]
+pub fn as_word(v: i32) -> Word {
+    v as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [-5i32, 0, 1, i32::MAX, i32::MIN, -100_000] {
+            assert_eq!(as_signed(as_word(v)), v);
+        }
+    }
+
+    #[test]
+    fn word_round_trip() {
+        for w in [0u32, 1, u32::MAX, 0x8000_0000, 12345] {
+            assert_eq!(as_word(as_signed(w)), w);
+        }
+    }
+}

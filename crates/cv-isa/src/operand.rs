@@ -1,0 +1,190 @@
+//! Operands and memory references.
+
+use crate::Reg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A memory reference of the form `[base + index*scale + disp]`.
+///
+/// This mirrors the x86 SIB addressing mode; it is the address computation that the
+/// Daikon x86 front end records for every executed instruction ("all addresses that the
+/// instruction computes", Section 2.2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register, if any.
+    pub index: Option<Reg>,
+    /// Scale applied to the index register (1, 2, 4 or 8). Ignored when `index` is `None`.
+    pub scale: u8,
+    /// Signed displacement in words.
+    pub disp: i32,
+}
+
+impl MemRef {
+    /// A reference to an absolute address.
+    pub fn abs(addr: u32) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp: addr as i32,
+        }
+    }
+
+    /// `[base + disp]`.
+    pub fn base_disp(base: Reg, disp: i32) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
+    }
+
+    /// `[base]`.
+    pub fn base(base: Reg) -> MemRef {
+        MemRef::base_disp(base, 0)
+    }
+
+    /// `[base + index*scale + disp]`.
+    pub fn indexed(base: Reg, index: Reg, scale: u8, disp: i32) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+        }
+    }
+
+    /// Registers read when computing this address.
+    pub fn regs_read(&self) -> Vec<Reg> {
+        let mut out = Vec::with_capacity(2);
+        if let Some(b) = self.base {
+            out.push(b);
+        }
+        if let Some(i) = self.index {
+            out.push(i);
+        }
+        out
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some(i) = self.index {
+            if wrote {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{}", self.scale.max(1))?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote && self.disp >= 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{}", self.disp)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An instruction operand: register, immediate, or memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate 32-bit value.
+    Imm(u32),
+    /// A memory operand.
+    Mem(MemRef),
+}
+
+impl Operand {
+    /// Convenience constructor for a signed immediate.
+    pub fn imm_i32(v: i32) -> Operand {
+        Operand::Imm(v as u32)
+    }
+
+    /// True if this operand can be written to (registers and memory, not immediates).
+    pub fn is_writable(&self) -> bool {
+        !matches!(self, Operand::Imm(_))
+    }
+
+    /// True if this operand is a memory reference.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<MemRef> for Operand {
+    fn from(m: MemRef) -> Self {
+        Operand::Mem(m)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "0x{v:x}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_display() {
+        let m = MemRef::base_disp(Reg::Ebp, 12);
+        assert_eq!(m.to_string(), "[ebp+12]");
+        let m = MemRef::base_disp(Reg::Ebp, -4);
+        assert_eq!(m.to_string(), "[ebp-4]");
+        let m = MemRef::indexed(Reg::Ebx, Reg::Ecx, 4, 0);
+        assert_eq!(m.to_string(), "[ebx+ecx*4]");
+        let m = MemRef::abs(0x1000);
+        assert_eq!(m.to_string(), "[4096]");
+    }
+
+    #[test]
+    fn regs_read_collects_base_and_index() {
+        let m = MemRef::indexed(Reg::Ebx, Reg::Ecx, 4, 8);
+        assert_eq!(m.regs_read(), vec![Reg::Ebx, Reg::Ecx]);
+        assert!(MemRef::abs(1).regs_read().is_empty());
+    }
+
+    #[test]
+    fn operand_writability() {
+        assert!(Operand::Reg(Reg::Eax).is_writable());
+        assert!(Operand::Mem(MemRef::base(Reg::Esp)).is_writable());
+        assert!(!Operand::Imm(3).is_writable());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg::Eax), Operand::Reg(Reg::Eax));
+        assert_eq!(Operand::from(5u32), Operand::Imm(5));
+        assert_eq!(Operand::imm_i32(-1), Operand::Imm(u32::MAX));
+    }
+}

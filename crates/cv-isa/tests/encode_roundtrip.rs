@@ -1,0 +1,122 @@
+//! Property-based tests: every representable instruction survives an encode/decode
+//! round trip, and arbitrary instruction sequences decode back to themselves with
+//! consistent addresses.
+
+use cv_isa::{decode, decode_all, encode, Cond, Inst, MemRef, Operand, Port, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop::sample::select(Reg::ALL.to_vec())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn arb_port() -> impl Strategy<Value = Port> {
+    prop::sample::select(Port::ALL.to_vec())
+}
+
+fn arb_memref() -> impl Strategy<Value = MemRef> {
+    (
+        prop::option::of(arb_reg()),
+        prop::option::of(arb_reg()),
+        prop::sample::select(vec![1u8, 2, 4, 8]),
+        -1_000_000i32..1_000_000i32,
+    )
+        .prop_map(|(base, index, scale, disp)| MemRef {
+            base,
+            index,
+            scale,
+            disp,
+        })
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        any::<u32>().prop_map(Operand::Imm),
+        arb_memref().prop_map(Operand::Mem),
+    ]
+}
+
+fn arb_writable_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        arb_memref().prop_map(Operand::Mem),
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_writable_operand(), arb_operand()).prop_map(|(dst, src)| Inst::Mov { dst, src }),
+        (arb_reg(), arb_memref()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
+        (arb_writable_operand(), arb_operand()).prop_map(|(dst, src)| Inst::Add { dst, src }),
+        (arb_writable_operand(), arb_operand()).prop_map(|(dst, src)| Inst::Sub { dst, src }),
+        (arb_reg(), arb_operand()).prop_map(|(dst, src)| Inst::Mul { dst, src }),
+        (arb_writable_operand(), arb_operand()).prop_map(|(dst, src)| Inst::And { dst, src }),
+        (arb_writable_operand(), arb_operand()).prop_map(|(dst, src)| Inst::Or { dst, src }),
+        (arb_writable_operand(), arb_operand()).prop_map(|(dst, src)| Inst::Xor { dst, src }),
+        (arb_writable_operand(), arb_operand()).prop_map(|(dst, src)| Inst::Shl { dst, src }),
+        (arb_writable_operand(), arb_operand()).prop_map(|(dst, src)| Inst::Shr { dst, src }),
+        (arb_operand(), arb_operand()).prop_map(|(a, b)| Inst::Cmp { a, b }),
+        (arb_operand(), arb_operand()).prop_map(|(a, b)| Inst::Test { a, b }),
+        any::<u32>().prop_map(|target| Inst::Jmp { target }),
+        arb_operand().prop_map(|target| Inst::JmpIndirect { target }),
+        (arb_cond(), any::<u32>()).prop_map(|(cond, target)| Inst::Jcc { cond, target }),
+        any::<u32>().prop_map(|target| Inst::Call { target }),
+        arb_operand().prop_map(|target| Inst::CallIndirect { target }),
+        Just(Inst::Ret),
+        arb_operand().prop_map(|src| Inst::Push { src }),
+        arb_writable_operand().prop_map(|dst| Inst::Pop { dst }),
+        (arb_operand(), arb_reg()).prop_map(|(size, dst)| Inst::Alloc { size, dst }),
+        arb_operand().prop_map(|ptr| Inst::Free { ptr }),
+        (arb_operand(), arb_operand(), arb_operand())
+            .prop_map(|(dst, src, len)| Inst::Copy { dst, src, len }),
+        (arb_reg(), arb_port()).prop_map(|(dst, port)| Inst::In { dst, port }),
+        (arb_operand(), arb_port()).prop_map(|(src, port)| Inst::Out { src, port }),
+        Just(Inst::Halt),
+        Just(Inst::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trip(inst in arb_inst()) {
+        let words = encode(inst);
+        prop_assert!(!words.is_empty());
+        prop_assert!(words.len() <= 8);
+        let (decoded, len) = decode(&words, 0).expect("decode");
+        prop_assert_eq!(decoded, inst);
+        prop_assert_eq!(len as usize, words.len());
+    }
+
+    #[test]
+    fn sequences_round_trip_with_consistent_addresses(insts in prop::collection::vec(arb_inst(), 1..64)) {
+        let base = 0x1000u32;
+        let mut words = Vec::new();
+        let mut addrs = Vec::new();
+        for inst in &insts {
+            addrs.push(base + words.len() as u32);
+            words.extend(encode(*inst));
+        }
+        let decoded = decode_all(&words, base).expect("decode_all");
+        prop_assert_eq!(decoded.len(), insts.len());
+        for (d, (inst, addr)) in decoded.iter().zip(insts.iter().zip(addrs.iter())) {
+            prop_assert_eq!(d.inst, *inst);
+            prop_assert_eq!(d.addr, *addr);
+            prop_assert_eq!(d.next_addr(), d.addr + d.len);
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(inst in arb_inst(), cut in 0usize..8) {
+        let words = encode(inst);
+        let cut = cut.min(words.len());
+        let truncated = &words[..words.len() - cut];
+        // Either decodes (cut == 0) or reports an error; never panics.
+        let _ = decode(truncated, 0);
+    }
+}

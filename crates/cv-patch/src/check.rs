@@ -1,0 +1,223 @@
+//! Invariant-checking patches (Section 2.4.2).
+//!
+//! When a failure is reported, ClearView deploys patches that *check* each candidate
+//! correlated invariant and emit an observation (satisfied / violated) every time the
+//! check executes. Single-variable invariants are checked at the variable's instruction;
+//! two-variable invariants are checked at the later of the two instructions, with an
+//! auxiliary patch at the earlier instruction storing the first variable's value for
+//! retrieval by the check.
+
+use cv_inference::{Invariant, Variable};
+use cv_isa::{Addr, Word};
+use cv_runtime::{Hook, HookAction, HookContext, ObservationKind};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Read the current value of a variable from the machine, if it has a readable operand.
+pub(crate) fn read_variable(ctx: &HookContext<'_>, var: &Variable) -> Option<Word> {
+    let op = var.operand?;
+    ctx.machine.read_operand(&op).ok()
+}
+
+/// The auxiliary patch of Section 2.4.2: at the earlier instruction of a two-variable
+/// invariant, store the variable's value for later retrieval by the check patch.
+pub struct AuxStoreHook {
+    var: Variable,
+    cell: Arc<Mutex<Option<Word>>>,
+}
+
+impl AuxStoreHook {
+    /// Create an auxiliary store for `var`, writing into `cell`.
+    pub(crate) fn new(var: Variable, cell: Arc<Mutex<Option<Word>>>) -> Self {
+        AuxStoreHook { var, cell }
+    }
+}
+
+impl Hook for AuxStoreHook {
+    fn on_execute(&mut self, ctx: &mut HookContext<'_>) -> HookAction {
+        *self.cell.lock() = read_variable(ctx, &self.var);
+        HookAction::Continue
+    }
+
+    fn describe(&self) -> String {
+        format!("aux-store {}", self.var)
+    }
+}
+
+/// The invariant-check patch: evaluates the invariant and emits an observation.
+pub struct CheckHook {
+    invariant: Invariant,
+    /// For two-variable invariants: the stored value of the variable read at the
+    /// earlier instruction.
+    earlier: Option<(Variable, Arc<Mutex<Option<Word>>>)>,
+}
+
+impl CheckHook {
+    fn value_of(&self, ctx: &HookContext<'_>, var: &Variable) -> Option<Word> {
+        if let Some((earlier_var, cell)) = &self.earlier {
+            if earlier_var == var {
+                return *cell.lock();
+            }
+        }
+        read_variable(ctx, var)
+    }
+}
+
+impl Hook for CheckHook {
+    fn on_execute(&mut self, ctx: &mut HookContext<'_>) -> HookAction {
+        // Split borrows: evaluate first, then observe.
+        let holds = {
+            let lookup = |var: &Variable| self.value_of(ctx, var);
+            self.invariant.holds(&lookup)
+        };
+        ctx.observe(if holds {
+            ObservationKind::Satisfied
+        } else {
+            ObservationKind::Violated
+        });
+        HookAction::Continue
+    }
+
+    fn describe(&self) -> String {
+        format!("check {}", self.invariant)
+    }
+}
+
+/// An invariant-check patch, ready to be compiled into hooks.
+#[derive(Debug, Clone)]
+pub struct CheckPatch {
+    /// The invariant being checked.
+    pub invariant: Invariant,
+}
+
+impl CheckPatch {
+    /// Create a check patch for `invariant`.
+    pub fn new(invariant: Invariant) -> Self {
+        CheckPatch { invariant }
+    }
+
+    /// The address at which the check observes the invariant.
+    pub fn check_addr(&self) -> Addr {
+        self.invariant.check_addr()
+    }
+
+    /// Compile the patch into hooks: `(address, hook)` pairs to apply to the managed
+    /// environment. Two-variable invariants compile to an auxiliary store at the earlier
+    /// instruction plus the check at the later one.
+    pub fn build_hooks(&self) -> Vec<(Addr, Box<dyn Hook>)> {
+        let check_addr = self.check_addr();
+        match &self.invariant {
+            Invariant::LessThan { a, b } if a.addr != b.addr => {
+                let (earlier, _later) = if a.addr < b.addr { (a, b) } else { (b, a) };
+                let cell = Arc::new(Mutex::new(None));
+                vec![
+                    (
+                        earlier.addr,
+                        Box::new(AuxStoreHook {
+                            var: *earlier,
+                            cell: Arc::clone(&cell),
+                        }) as Box<dyn Hook>,
+                    ),
+                    (
+                        check_addr,
+                        Box::new(CheckHook {
+                            invariant: self.invariant.clone(),
+                            earlier: Some((*earlier, cell)),
+                        }),
+                    ),
+                ]
+            }
+            _ => vec![(
+                check_addr,
+                Box::new(CheckHook {
+                    invariant: self.invariant.clone(),
+                    earlier: None,
+                }) as Box<dyn Hook>,
+            )],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::{Operand, Port, ProgramBuilder, Reg};
+    use cv_runtime::{EnvConfig, ManagedExecutionEnvironment, ObservationKind};
+
+    /// in ecx; mov ebx, ecx; add ebx 1; copy-less program used to exercise checks.
+    fn program() -> (cv_isa::BinaryImage, std::collections::BTreeMap<String, u32>) {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.input(Reg::Ecx, Port::Input);
+        let mov_site = b.mov(Reg::Ebx, Reg::Ecx);
+        b.note_symbol("mov_site", mov_site);
+        let add_site = b.add(Reg::Ebx, 5u32);
+        b.note_symbol("add_site", add_site);
+        let out_site = b.output(Reg::Ebx, Port::Render);
+        b.note_symbol("out_site", out_site);
+        b.halt();
+        b.set_entry(main);
+        b.build_with_symbols().unwrap()
+    }
+
+    #[test]
+    fn single_variable_check_emits_observations() {
+        let (image, syms) = program();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let inv = Invariant::LowerBound {
+            var: Variable::read(syms["mov_site"], 0, Operand::Reg(Reg::Ecx)),
+            min: 1,
+        };
+        let patch = CheckPatch::new(inv);
+        assert_eq!(patch.check_addr(), syms["mov_site"]);
+        for (addr, hook) in patch.build_hooks() {
+            env.apply_hook(addr, hook);
+        }
+        let ok = env.run(&[5]);
+        assert_eq!(ok.observations.len(), 1);
+        assert_eq!(ok.observations[0].kind, ObservationKind::Satisfied);
+        let bad = env.run(&[0]);
+        assert_eq!(bad.observations.len(), 1);
+        assert_eq!(bad.observations[0].kind, ObservationKind::Violated);
+    }
+
+    #[test]
+    fn two_variable_check_uses_stored_earlier_value() {
+        let (image, syms) = program();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        // Invariant: ecx (at the mov) <= ebx (at the out). Since ebx = ecx + 5 this
+        // always holds — but only if the check retrieves ecx's value from the aux store
+        // rather than re-reading it at the out instruction (where it is unchanged here,
+        // so to make the test meaningful the attacker-style run clobbers ecx).
+        let a = Variable::read(syms["mov_site"], 0, Operand::Reg(Reg::Ecx));
+        let b = Variable::read(syms["out_site"], 0, Operand::Reg(Reg::Ebx));
+        let patch = CheckPatch::new(Invariant::LessThan { a, b });
+        let hooks = patch.build_hooks();
+        assert_eq!(hooks.len(), 2, "aux store + check");
+        for (addr, hook) in hooks {
+            env.apply_hook(addr, hook);
+        }
+        let r = env.run(&[7]);
+        assert!(r.is_completed());
+        assert_eq!(r.observations.len(), 1);
+        assert_eq!(r.observations[0].kind, ObservationKind::Satisfied);
+        assert_eq!(r.observations[0].addr, syms["out_site"]);
+    }
+
+    #[test]
+    fn check_of_unreadable_variable_reports_satisfied() {
+        // A monitor-style check must never produce a false violation; if the value is
+        // unavailable the check treats the invariant as satisfied.
+        let (image, syms) = program();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let inv = Invariant::LowerBound {
+            var: Variable::stack_pointer(syms["mov_site"]),
+            min: 0,
+        };
+        for (addr, hook) in CheckPatch::new(inv).build_hooks() {
+            env.apply_hook(addr, hook);
+        }
+        let r = env.run(&[1]);
+        assert_eq!(r.observations[0].kind, ObservationKind::Satisfied);
+    }
+}

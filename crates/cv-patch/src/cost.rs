@@ -1,0 +1,155 @@
+//! Simulated patch build and install costs.
+//!
+//! In the real system, ClearView generates a snippet of C code per invariant check or
+//! repair, compiles it into a DLL, and pushes it through the Determina patch management
+//! system to the client machines (Section 3.2); Table 3 reports those build and install
+//! times per exploit. Our patches are compiled Rust hooks, so the real cost is
+//! negligible — this model assigns simulated seconds to the same activities so the
+//! Table 3 harness can reproduce the per-phase breakdown's shape.
+
+use cv_inference::Invariant;
+use serde::{Deserialize, Serialize};
+
+/// Per-kind counts of invariants (the `[x, y, z]` annotations in Table 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvariantCounts {
+    /// One-of invariants.
+    pub one_of: u32,
+    /// Lower-bound invariants.
+    pub lower_bound: u32,
+    /// Less-than invariants.
+    pub less_than: u32,
+}
+
+impl InvariantCounts {
+    /// Count invariants by kind.
+    pub fn of<'a>(invariants: impl IntoIterator<Item = &'a Invariant>) -> Self {
+        let mut c = InvariantCounts::default();
+        for inv in invariants {
+            match inv {
+                Invariant::OneOf { .. } => c.one_of += 1,
+                Invariant::LowerBound { .. } => c.lower_bound += 1,
+                Invariant::LessThan { .. } => c.less_than += 1,
+                Invariant::StackPointerOffset { .. } => {}
+            }
+        }
+        c
+    }
+
+    /// Total invariants counted.
+    pub fn total(&self) -> u32 {
+        self.one_of + self.lower_bound + self.less_than
+    }
+
+    /// The Table 3 annotation form `[one-of, lower-bound, less-than]`.
+    pub fn annotation(&self) -> String {
+        format!("[{},{},{}]", self.one_of, self.lower_bound, self.less_than)
+    }
+}
+
+/// Simulated costs (in seconds) for generating, compiling, and installing patches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatchCostModel {
+    /// Fixed cost per batch of patches built (code generation + compiler start-up).
+    pub build_base: f64,
+    /// Additional cost per one-of invariant in a batch.
+    pub build_one_of: f64,
+    /// Additional cost per lower-bound invariant in a batch.
+    pub build_lower_bound: f64,
+    /// Additional cost per less-than invariant in a batch.
+    pub build_less_than: f64,
+    /// Fixed cost per batch pushed through the patch management system.
+    pub install_base: f64,
+    /// Additional install cost per patch in the batch.
+    pub install_per_patch: f64,
+}
+
+impl Default for PatchCostModel {
+    fn default() -> Self {
+        PatchCostModel {
+            build_base: 7.5,
+            build_one_of: 2.2,
+            build_lower_bound: 1.0,
+            build_less_than: 1.6,
+            install_base: 5.5,
+            install_per_patch: 0.6,
+        }
+    }
+}
+
+impl PatchCostModel {
+    /// Simulated seconds to build a batch of patches for `counts` invariants.
+    pub fn build_time(&self, counts: InvariantCounts) -> f64 {
+        if counts.total() == 0 {
+            return 0.0;
+        }
+        self.build_base
+            + counts.one_of as f64 * self.build_one_of
+            + counts.lower_bound as f64 * self.build_lower_bound
+            + counts.less_than as f64 * self.build_less_than
+    }
+
+    /// Simulated seconds to install a batch of `patches` patches on a client.
+    pub fn install_time(&self, patches: u32) -> f64 {
+        if patches == 0 {
+            return 0.0;
+        }
+        self.install_base + patches as f64 * self.install_per_patch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_inference::Variable;
+    use cv_isa::{Operand, Reg};
+
+    #[test]
+    fn counts_and_annotation() {
+        let var = Variable::read(0x41000, 0, Operand::Reg(Reg::Ecx));
+        let invs = vec![
+            Invariant::OneOf {
+                var,
+                values: [1u32].into_iter().collect(),
+            },
+            Invariant::LowerBound { var, min: 0 },
+            Invariant::LowerBound { var, min: 1 },
+            Invariant::LessThan { a: var, b: var },
+            Invariant::StackPointerOffset {
+                proc_entry: 1,
+                at: 2,
+                offset: 0,
+            },
+        ];
+        let c = InvariantCounts::of(&invs);
+        assert_eq!((c.one_of, c.lower_bound, c.less_than), (1, 2, 1));
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.annotation(), "[1,2,1]");
+    }
+
+    #[test]
+    fn build_time_scales_with_counts_and_is_zero_for_empty_batches() {
+        let m = PatchCostModel::default();
+        assert_eq!(m.build_time(InvariantCounts::default()), 0.0);
+        let small = m.build_time(InvariantCounts {
+            one_of: 1,
+            lower_bound: 0,
+            less_than: 1,
+        });
+        let large = m.build_time(InvariantCounts {
+            one_of: 1,
+            lower_bound: 40,
+            less_than: 10,
+        });
+        assert!(small > 5.0, "includes the compiler start-up base cost");
+        assert!(large > small * 2.0, "large batches take appreciably longer");
+    }
+
+    #[test]
+    fn install_time_scales_with_patch_count() {
+        let m = PatchCostModel::default();
+        assert_eq!(m.install_time(0), 0.0);
+        assert!(m.install_time(1) > 5.0);
+        assert!(m.install_time(10) > m.install_time(1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Applying and removing compiled patches on a managed execution environment.
+//!
+//! ClearView applies and removes patches to and from *running* applications without
+//! restarts by ejecting the affected code-cache blocks (Section 2.1). A [`PatchHandle`]
+//! remembers the hook ids a patch installed so the patch can later be removed as a unit
+//! (for example when invariant checking ends, or when repair evaluation discards an
+//! unsuccessful repair).
+
+use cv_isa::Addr;
+use cv_runtime::{Hook, HookId, ManagedExecutionEnvironment, RuntimeError};
+
+/// The installed form of one logical patch (which may consist of several hooks, e.g. an
+/// auxiliary store plus a check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchHandle {
+    hook_ids: Vec<HookId>,
+    addrs: Vec<Addr>,
+}
+
+impl PatchHandle {
+    /// The hook ids the patch installed.
+    pub fn hook_ids(&self) -> &[HookId] {
+        &self.hook_ids
+    }
+
+    /// The instruction addresses the patch instruments.
+    pub fn addrs(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// Number of hooks installed.
+    pub fn len(&self) -> usize {
+        self.hook_ids.len()
+    }
+
+    /// True if the patch installed no hooks.
+    pub fn is_empty(&self) -> bool {
+        self.hook_ids.is_empty()
+    }
+}
+
+/// Apply a compiled patch (a set of `(address, hook)` pairs) to the environment.
+pub fn install_hooks(
+    env: &mut ManagedExecutionEnvironment,
+    hooks: Vec<(Addr, Box<dyn Hook>)>,
+) -> PatchHandle {
+    let mut hook_ids = Vec::with_capacity(hooks.len());
+    let mut addrs = Vec::with_capacity(hooks.len());
+    for (addr, hook) in hooks {
+        hook_ids.push(env.apply_hook(addr, hook));
+        addrs.push(addr);
+    }
+    PatchHandle { hook_ids, addrs }
+}
+
+/// Remove a previously installed patch. Removing a patch twice reports an error for the
+/// missing hooks but removes any that remain.
+pub fn uninstall(env: &mut ManagedExecutionEnvironment, handle: &PatchHandle) -> Result<(), RuntimeError> {
+    let mut first_err = None;
+    for id in &handle.hook_ids {
+        if let Err(e) = env.remove_hook(*id) {
+            first_err.get_or_insert(e);
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::CheckPatch;
+    use cv_inference::{Invariant, Variable};
+    use cv_isa::{Operand, Port, ProgramBuilder, Reg};
+    use cv_runtime::{EnvConfig, ObservationKind};
+
+    fn env_and_site() -> (ManagedExecutionEnvironment, Addr) {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.input(Reg::Ecx, Port::Input);
+        let site = b.mov(Reg::Ebx, Reg::Ecx);
+        b.output(Reg::Ebx, Port::Render);
+        b.halt();
+        b.set_entry(main);
+        let image = b.build().unwrap();
+        (ManagedExecutionEnvironment::new(image, EnvConfig::default()), site)
+    }
+
+    #[test]
+    fn install_and_uninstall_round_trip() {
+        let (mut env, site) = env_and_site();
+        let patch = CheckPatch::new(Invariant::LowerBound {
+            var: Variable::read(site, 0, Operand::Reg(Reg::Ecx)),
+            min: 1,
+        });
+        let handle = install_hooks(&mut env, patch.build_hooks());
+        assert_eq!(handle.len(), 1);
+        assert!(!handle.is_empty());
+        assert_eq!(handle.addrs(), &[site]);
+        assert_eq!(env.hook_count(), 1);
+        let r = env.run(&[0]);
+        assert_eq!(r.observations[0].kind, ObservationKind::Violated);
+        uninstall(&mut env, &handle).unwrap();
+        assert_eq!(env.hook_count(), 0);
+        let r = env.run(&[0]);
+        assert!(r.observations.is_empty());
+        // Double removal reports the error.
+        assert!(uninstall(&mut env, &handle).is_err());
+    }
+}

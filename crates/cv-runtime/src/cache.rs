@@ -1,0 +1,232 @@
+//! The code cache: basic blocks decoded on first execution.
+//!
+//! The Determina Managed Program Execution Environment executes all code out of a code
+//! cache of dynamically built basic blocks; patches are applied by ejecting the affected
+//! blocks and re-building them with instrumentation (Section 2.1). The cache here plays
+//! the same role: it decodes blocks out of the stripped image on demand, counts builds
+//! and ejections (which dominate the "cache warm-up" component of the paper's Table 3
+//! timing), and supports ejecting the blocks that contain a patched address.
+
+use crate::error::RuntimeError;
+use cv_isa::{decode, Addr, BinaryImage, InstWithAddr};
+use std::collections::HashMap;
+
+/// A decoded basic block: a maximal straight-line instruction sequence ending at a
+/// control transfer (or at the end of the loaded code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: Addr,
+    /// The instructions of the block, in order.
+    pub insts: Vec<InstWithAddr>,
+}
+
+impl BasicBlock {
+    /// One past the last word of the block.
+    pub fn end(&self) -> Addr {
+        self.insts.last().map(|i| i.next_addr()).unwrap_or(self.start)
+    }
+
+    /// True if `addr` is the address of one of the block's instructions.
+    pub fn contains_inst(&self, addr: Addr) -> bool {
+        self.insts.iter().any(|i| i.addr == addr)
+    }
+}
+
+/// The code cache.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    blocks: HashMap<Addr, BasicBlock>,
+    /// Instruction lookup across all cached blocks.
+    inst_index: HashMap<Addr, InstWithAddr>,
+    /// Blocks decoded since creation (includes re-builds after ejection).
+    pub blocks_built: u64,
+    /// Blocks ejected (for patch application/removal).
+    pub blocks_ejected: u64,
+    /// Instruction fetches served from the cache.
+    pub hits: u64,
+}
+
+impl CodeCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Fetch the instruction at `addr`, building the containing block if needed.
+    ///
+    /// Returns the instruction and, when a new block was built to satisfy the fetch, the
+    /// start address of that block (so the environment can notify the tracer of a
+    /// first-time block execution).
+    pub fn fetch(
+        &mut self,
+        image: &BinaryImage,
+        addr: Addr,
+    ) -> Result<(InstWithAddr, Option<Addr>), RuntimeError> {
+        if let Some(iwa) = self.inst_index.get(&addr) {
+            self.hits += 1;
+            return Ok((*iwa, None));
+        }
+        let block = Self::build_block(image, addr)?;
+        let start = block.start;
+        for iwa in &block.insts {
+            self.inst_index.insert(iwa.addr, *iwa);
+        }
+        let first = block.insts[0];
+        self.blocks.insert(start, block);
+        self.blocks_built += 1;
+        Ok((first, Some(start)))
+    }
+
+    /// Decode the basic block starting at `addr` without caching it (used by the
+    /// learning component's procedure discovery as well).
+    pub fn build_block(image: &BinaryImage, addr: Addr) -> Result<BasicBlock, RuntimeError> {
+        if !image.contains_code_addr(addr) {
+            return Err(RuntimeError::AddressOutsideCode(addr));
+        }
+        let mut insts = Vec::new();
+        let mut cur = addr;
+        loop {
+            let offset = (cur - image.layout.code_base) as usize;
+            let (inst, len) = decode(&image.code, offset)?;
+            let iwa = InstWithAddr { addr: cur, inst, len };
+            let ends = inst.ends_basic_block();
+            cur = iwa.next_addr();
+            insts.push(iwa);
+            if ends || !image.contains_code_addr(cur) {
+                break;
+            }
+        }
+        Ok(BasicBlock { start: addr, insts })
+    }
+
+    /// Eject every cached block containing the instruction at `addr`. Returns the number
+    /// of blocks ejected. This is how patches are applied to (and removed from) a
+    /// running application: the stale block leaves the cache and is re-built, now passing
+    /// through the instrumentation plugins, the next time it executes.
+    pub fn eject_blocks_containing(&mut self, addr: Addr) -> usize {
+        let stale: Vec<Addr> = self
+            .blocks
+            .values()
+            .filter(|b| b.contains_inst(addr))
+            .map(|b| b.start)
+            .collect();
+        for start in &stale {
+            if let Some(block) = self.blocks.remove(start) {
+                for iwa in &block.insts {
+                    self.inst_index.remove(&iwa.addr);
+                }
+                self.blocks_ejected += 1;
+            }
+        }
+        stale.len()
+    }
+
+    /// Drop every cached block (a "cold cache", as after a restart).
+    pub fn flush(&mut self) {
+        self.blocks.clear();
+        self.inst_index.clear();
+    }
+
+    /// The cached block starting exactly at `addr`, if any.
+    pub fn block_at(&self, addr: Addr) -> Option<&BasicBlock> {
+        self.blocks.get(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::{Cond, ProgramBuilder, Reg};
+
+    fn image_with_branches() -> BinaryImage {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.mov(Reg::Eax, 1u32);
+        b.cmp(Reg::Eax, 0u32);
+        let skip = b.new_label("skip");
+        b.jcc(Cond::Eq, skip);
+        b.add(Reg::Eax, 2u32);
+        b.bind(skip);
+        b.halt();
+        b.set_entry(main);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fetch_builds_block_ending_at_branch() {
+        let image = image_with_branches();
+        let mut cache = CodeCache::new();
+        let (first, built) = cache.fetch(&image, image.entry).unwrap();
+        assert_eq!(first.addr, image.entry);
+        assert_eq!(built, Some(image.entry));
+        let block = cache.block_at(image.entry).unwrap();
+        // mov, cmp, jcc — the block ends at the conditional jump.
+        assert_eq!(block.insts.len(), 3);
+        assert!(block.insts.last().unwrap().inst.ends_basic_block());
+    }
+
+    #[test]
+    fn second_fetch_is_a_hit() {
+        let image = image_with_branches();
+        let mut cache = CodeCache::new();
+        cache.fetch(&image, image.entry).unwrap();
+        let (_, built) = cache.fetch(&image, image.entry).unwrap();
+        assert_eq!(built, None);
+        assert_eq!(cache.blocks_built, 1);
+        assert_eq!(cache.hits, 1);
+    }
+
+    #[test]
+    fn fetch_mid_block_instruction_hits_after_block_built() {
+        let image = image_with_branches();
+        let mut cache = CodeCache::new();
+        let (first, _) = cache.fetch(&image, image.entry).unwrap();
+        // The cmp instruction directly follows the mov.
+        let cmp_addr = first.next_addr();
+        let (cmp, built) = cache.fetch(&image, cmp_addr).unwrap();
+        assert_eq!(built, None, "served from the already-built block");
+        assert_eq!(cmp.addr, cmp_addr);
+    }
+
+    #[test]
+    fn eject_removes_blocks_containing_address() {
+        let image = image_with_branches();
+        let mut cache = CodeCache::new();
+        let (first, _) = cache.fetch(&image, image.entry).unwrap();
+        let cmp_addr = first.next_addr();
+        assert_eq!(cache.eject_blocks_containing(cmp_addr), 1);
+        assert_eq!(cache.block_count(), 0);
+        assert_eq!(cache.blocks_ejected, 1);
+        // Re-fetching rebuilds.
+        let (_, built) = cache.fetch(&image, image.entry).unwrap();
+        assert!(built.is_some());
+        assert_eq!(cache.blocks_built, 2);
+    }
+
+    #[test]
+    fn fetch_outside_code_is_an_error() {
+        let image = image_with_branches();
+        let mut cache = CodeCache::new();
+        assert!(matches!(
+            cache.fetch(&image, 0x9_0000),
+            Err(RuntimeError::AddressOutsideCode(_))
+        ));
+    }
+
+    #[test]
+    fn flush_empties_the_cache() {
+        let image = image_with_branches();
+        let mut cache = CodeCache::new();
+        cache.fetch(&image, image.entry).unwrap();
+        cache.flush();
+        assert_eq!(cache.block_count(), 0);
+        let (_, built) = cache.fetch(&image, image.entry).unwrap();
+        assert!(built.is_some());
+    }
+}

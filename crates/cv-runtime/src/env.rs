@@ -1,0 +1,920 @@
+//! The managed program execution environment.
+//!
+//! This is the reproduction's equivalent of the Determina Managed Program Execution
+//! Environment built on DynamoRIO (Section 2.1): it executes a stripped binary out of a
+//! code cache of dynamically decoded basic blocks, lets instrumentation hooks (patches)
+//! run before instructions and mutate state or redirect control, validates every control
+//! transfer through the Memory Firewall, applies Heap Guard to heap writes, maintains
+//! the Shadow Stack, and reports failures with their failure locations.
+
+use crate::cache::CodeCache;
+use crate::error::{CrashInfo, CrashKind, RuntimeError};
+use crate::hooks::{Hook, HookAction, HookContext, HookId, HookRegistry, Observation};
+use crate::machine::{Machine, MemFault};
+use crate::monitors::{Failure, FailureKind, MonitorConfig, ShadowStack, StackFrame};
+use crate::stats::ExecutionStats;
+use crate::trace::{AddrComputation, ExecEvent, OperandValue, Tracer};
+use cv_isa::{decode, Addr, BinaryImage, Inst, InstWithAddr, Reg, Word};
+
+/// Configuration of one managed environment instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvConfig {
+    /// Which monitors are enabled.
+    pub monitors: MonitorConfig,
+    /// Runaway-loop guard: the maximum number of guest instructions per run.
+    pub max_instructions: u64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            monitors: MonitorConfig::full(),
+            max_instructions: 2_000_000,
+        }
+    }
+}
+
+impl EnvConfig {
+    /// A configuration with the given monitors and the default instruction budget.
+    pub fn with_monitors(monitors: MonitorConfig) -> Self {
+        EnvConfig {
+            monitors,
+            ..Default::default()
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The guest executed `halt`.
+    Completed,
+    /// A monitor detected a failure and terminated the run.
+    Failure(Failure),
+    /// The guest crashed without a monitor detecting anything.
+    Crash(CrashInfo),
+}
+
+/// The full result of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Words the guest wrote to the render port (the "display" used for the autoimmune
+    /// and false-positive evaluations).
+    pub rendered: Vec<Word>,
+    /// Words the guest wrote to the debug port.
+    pub debug: Vec<Word>,
+    /// Event counts for this run.
+    pub stats: ExecutionStats,
+    /// Invariant-check observations emitted by hooks during the run.
+    pub observations: Vec<Observation>,
+}
+
+impl RunResult {
+    /// True if the guest halted normally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self.status, RunStatus::Completed)
+    }
+
+    /// True if the run ended in a crash.
+    pub fn is_crash(&self) -> bool {
+        matches!(self.status, RunStatus::Crash(_))
+    }
+
+    /// The failure, if a monitor detected one.
+    pub fn failure(&self) -> Option<&Failure> {
+        match &self.status {
+            RunStatus::Failure(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Internal: how a single step ended.
+enum StepEnd {
+    Continue,
+    Halt,
+    Fail(Failure),
+    Crash(CrashInfo),
+}
+
+/// The managed execution environment for one application image.
+pub struct ManagedExecutionEnvironment {
+    image: BinaryImage,
+    config: EnvConfig,
+    cache: CodeCache,
+    hooks: HookRegistry,
+    cumulative: ExecutionStats,
+}
+
+impl ManagedExecutionEnvironment {
+    /// Create an environment for `image`.
+    pub fn new(image: BinaryImage, config: EnvConfig) -> Self {
+        ManagedExecutionEnvironment {
+            image,
+            config,
+            cache: CodeCache::new(),
+            hooks: HookRegistry::new(),
+            cumulative: ExecutionStats::default(),
+        }
+    }
+
+    /// The loaded image.
+    pub fn image(&self) -> &BinaryImage {
+        &self.image
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> EnvConfig {
+        self.config
+    }
+
+    /// Change the monitor configuration (takes effect on the next run).
+    pub fn set_monitors(&mut self, monitors: MonitorConfig) {
+        self.config.monitors = monitors;
+    }
+
+    /// Statistics accumulated across all runs of this environment.
+    pub fn cumulative_stats(&self) -> ExecutionStats {
+        self.cumulative
+    }
+
+    /// Reset the accumulated statistics.
+    pub fn reset_cumulative_stats(&mut self) {
+        self.cumulative = ExecutionStats::default();
+    }
+
+    /// Number of registered hooks (applied patches).
+    pub fn hook_count(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Addresses that currently carry hooks.
+    pub fn hooked_addrs(&self) -> Vec<Addr> {
+        self.hooks.hooked_addrs()
+    }
+
+    /// Apply a hook (patch) at `addr` without restarting the application: the cached
+    /// blocks containing the address are ejected and rebuilt on next execution.
+    pub fn apply_hook(&mut self, addr: Addr, hook: Box<dyn Hook>) -> HookId {
+        self.cache.eject_blocks_containing(addr);
+        self.hooks.add(addr, hook)
+    }
+
+    /// Remove a previously applied hook.
+    pub fn remove_hook(&mut self, id: HookId) -> Result<(), RuntimeError> {
+        match self.hooks.remove(id) {
+            Some(addr) => {
+                self.cache.eject_blocks_containing(addr);
+                Ok(())
+            }
+            None => Err(RuntimeError::UnknownHook(id)),
+        }
+    }
+
+    /// Remove every hook.
+    pub fn clear_hooks(&mut self) {
+        for addr in self.hooks.hooked_addrs() {
+            self.cache.eject_blocks_containing(addr);
+        }
+        self.hooks.clear();
+    }
+
+    /// Drop all cached blocks (simulates a cold start / application restart).
+    pub fn flush_cache(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Run the application on `input` without tracing.
+    pub fn run(&mut self, input: &[Word]) -> RunResult {
+        self.run_traced(input, None)
+    }
+
+    /// Run the application on `input`, delivering a full execution trace to `tracer`.
+    pub fn run_with_tracer(&mut self, input: &[Word], tracer: &mut dyn Tracer) -> RunResult {
+        self.run_traced(input, Some(tracer))
+    }
+
+    /// Run the application on `input`, optionally delivering a full execution trace to
+    /// `tracer` (the learning configuration).
+    pub fn run_traced(&mut self, input: &[Word], mut tracer: Option<&mut dyn Tracer>) -> RunResult {
+        let mut machine = Machine::new(&self.image, input.to_vec(), self.config.monitors.heap_guard);
+        let mut shadow = ShadowStack::new();
+        let mut observations: Vec<Observation> = Vec::new();
+        let mut stats = ExecutionStats {
+            runs: 1,
+            ..Default::default()
+        };
+        let blocks_built_before = self.cache.blocks_built;
+        let blocks_ejected_before = self.cache.blocks_ejected;
+
+        let status = loop {
+            if stats.instructions >= self.config.max_instructions {
+                break RunStatus::Crash(CrashInfo {
+                    kind: CrashKind::InstructionBudgetExhausted,
+                    location: machine.eip,
+                });
+            }
+            let eip = machine.eip;
+
+            // ---- Fetch ------------------------------------------------------------
+            let iwa = if self.image.contains_code_addr(eip) {
+                match self.cache.fetch(&self.image, eip) {
+                    Ok((iwa, newly_built)) => {
+                        if let Some(start) = newly_built {
+                            if let Some(tr) = tracer.as_mut() {
+                                tr.on_block_first_execution(start);
+                            }
+                        }
+                        iwa
+                    }
+                    Err(_) => {
+                        break RunStatus::Crash(CrashInfo {
+                            kind: CrashKind::InvalidInstruction { addr: eip },
+                            location: eip,
+                        })
+                    }
+                }
+            } else {
+                // Executing outside the loaded image (injected code). Only reachable
+                // when the Memory Firewall is disabled; decode directly from memory.
+                match Self::decode_from_memory(&machine, eip) {
+                    Some(iwa) => iwa,
+                    None => {
+                        break RunStatus::Crash(CrashInfo {
+                            kind: CrashKind::InvalidInstruction { addr: eip },
+                            location: eip,
+                        })
+                    }
+                }
+            };
+
+            stats.instructions += 1;
+
+            // ---- Trace ------------------------------------------------------------
+            if let Some(tr) = tracer.as_mut() {
+                if tr.wants_addr(eip) {
+                    let event = Self::build_exec_event(&machine, &iwa);
+                    tr.on_inst(&event);
+                    stats.trace_events += 1;
+                }
+                // Procedure discovery: report resolved call targets.
+                match iwa.inst {
+                    Inst::Call { target } => tr.on_call(eip, target),
+                    Inst::CallIndirect { target } => {
+                        if let Ok(t) = machine.read_operand(&target) {
+                            tr.on_call(eip, t);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // ---- Hooks (applied patches) -------------------------------------------
+            let mut action = HookAction::Continue;
+            if let Some(entries) = self.hooks.by_addr.get_mut(&eip) {
+                for (id, hook) in entries.iter_mut() {
+                    stats.hook_invocations += 1;
+                    let mut ctx = HookContext::new(&mut machine, iwa.inst, eip, *id, &mut observations);
+                    let a = hook.on_execute(&mut ctx);
+                    if !matches!(a, HookAction::Continue) {
+                        action = a;
+                        break;
+                    }
+                }
+            }
+
+            let end = match action {
+                HookAction::SkipInstruction => {
+                    machine.eip = iwa.next_addr();
+                    StepEnd::Continue
+                }
+                HookAction::ReturnFromProcedure { sp_adjust } => {
+                    let sp = machine.reg(Reg::Esp);
+                    machine.set_reg(Reg::Esp, sp.wrapping_add(sp_adjust as u32));
+                    Self::do_return(
+                        &self.image,
+                        &self.config,
+                        &mut machine,
+                        &mut shadow,
+                        &mut stats,
+                        eip,
+                    )
+                }
+                HookAction::Continue => {
+                    self.execute_instruction(&iwa, &mut machine, &mut shadow, &mut stats)
+                }
+            };
+
+            match end {
+                StepEnd::Continue => {}
+                StepEnd::Halt => break RunStatus::Completed,
+                StepEnd::Fail(f) => break RunStatus::Failure(f),
+                StepEnd::Crash(c) => break RunStatus::Crash(c),
+            }
+        };
+
+        stats.heap_guard_checks = machine.heap_guard_checks;
+        stats.shadow_stack_ops = shadow.ops;
+        stats.blocks_built = self.cache.blocks_built - blocks_built_before;
+        stats.blocks_ejected = self.cache.blocks_ejected - blocks_ejected_before;
+        if let Some(tr) = tracer.as_mut() {
+            tr.on_run_end();
+        }
+        self.cumulative.merge(&stats);
+
+        RunResult {
+            status,
+            rendered: machine.render_output().to_vec(),
+            debug: machine.debug_output().to_vec(),
+            stats,
+            observations,
+        }
+    }
+
+    /// Build the per-instruction trace record: the values of all operands read and all
+    /// addresses computed, plus the stack pointer.
+    fn build_exec_event(machine: &Machine, iwa: &InstWithAddr) -> ExecEvent {
+        let mut reads = Vec::new();
+        for (slot, op) in iwa.inst.operands_read().into_iter().enumerate() {
+            if let Ok(value) = machine.read_operand(&op) {
+                reads.push(OperandValue {
+                    slot: slot as u8,
+                    operand: op,
+                    value,
+                });
+            }
+        }
+        let mut addrs = Vec::new();
+        for (slot, mem) in iwa.inst.mem_refs().into_iter().enumerate() {
+            addrs.push(AddrComputation {
+                slot: slot as u8,
+                mem,
+                addr: machine.effective_addr(&mem),
+            });
+        }
+        ExecEvent {
+            addr: iwa.addr,
+            inst: iwa.inst,
+            reads,
+            addrs,
+            sp: machine.reg(Reg::Esp),
+        }
+    }
+
+    /// Decode one instruction directly from guest memory (execution of injected code
+    /// when the Memory Firewall is disabled).
+    fn decode_from_memory(machine: &Machine, eip: Addr) -> Option<InstWithAddr> {
+        let mut words = Vec::with_capacity(8);
+        for i in 0..8 {
+            match machine.read_mem(eip.wrapping_add(i)) {
+                Ok(w) => words.push(w),
+                Err(_) => break,
+            }
+        }
+        match decode(&words, 0) {
+            Ok((inst, len)) => Some(InstWithAddr {
+                addr: eip,
+                inst,
+                len,
+            }),
+            Err(_) => None,
+        }
+    }
+
+    /// Validate a control transfer from `location` to `target`.
+    ///
+    /// With the Memory Firewall enabled, a target outside the loaded code image is an
+    /// illegal control transfer failure (detected *before* the transfer happens, so
+    /// injected code never executes). Without the firewall, transfers to mapped memory
+    /// are allowed (injected code executes) and transfers to unmapped memory crash.
+    fn validate_transfer(
+        image: &BinaryImage,
+        config: &EnvConfig,
+        stats: &mut ExecutionStats,
+        shadow: &ShadowStack,
+        location: Addr,
+        target: Addr,
+    ) -> Option<StepEnd> {
+        if config.monitors.memory_firewall {
+            stats.firewall_checks += 1;
+            if !image.contains_code_addr(target) {
+                return Some(StepEnd::Fail(Failure {
+                    kind: FailureKind::IllegalControlTransfer { target },
+                    location,
+                    call_stack: shadow.frames().to_vec(),
+                }));
+            }
+            None
+        } else if image.contains_code_addr(target) || image.layout.is_mapped(target) {
+            None
+        } else {
+            Some(StepEnd::Crash(CrashInfo {
+                kind: CrashKind::WildJump { target },
+                location,
+            }))
+        }
+    }
+
+    /// Perform `ret` semantics: pop the return address, validate it, update the shadow
+    /// stack, and transfer.
+    fn do_return(
+        image: &BinaryImage,
+        config: &EnvConfig,
+        machine: &mut Machine,
+        shadow: &mut ShadowStack,
+        stats: &mut ExecutionStats,
+        location: Addr,
+    ) -> StepEnd {
+        let ra = match machine.pop() {
+            Ok(v) => v,
+            Err(fault) => return Self::fault_to_end(fault, location, shadow),
+        };
+        if let Some(end) = Self::validate_transfer(image, config, stats, shadow, location, ra) {
+            return end;
+        }
+        if config.monitors.shadow_stack {
+            shadow.pop();
+        }
+        machine.eip = ra;
+        StepEnd::Continue
+    }
+
+    fn fault_to_end(fault: MemFault, location: Addr, shadow: &ShadowStack) -> StepEnd {
+        match fault {
+            MemFault::Crash(kind) => StepEnd::Crash(CrashInfo { kind, location }),
+            MemFault::HeapGuardViolation { addr } => StepEnd::Fail(Failure {
+                kind: FailureKind::OutOfBoundsWrite { addr },
+                location,
+                call_stack: shadow.frames().to_vec(),
+            }),
+        }
+    }
+
+    /// Execute one instruction (the hook stage has already run).
+    fn execute_instruction(
+        &mut self,
+        iwa: &InstWithAddr,
+        machine: &mut Machine,
+        shadow: &mut ShadowStack,
+        stats: &mut ExecutionStats,
+    ) -> StepEnd {
+        let eip = iwa.addr;
+        let next = iwa.next_addr();
+        match iwa.inst {
+            Inst::Halt => StepEnd::Halt,
+            Inst::Jmp { target } => {
+                if let Some(end) =
+                    Self::validate_transfer(&self.image, &self.config, stats, shadow, eip, target)
+                {
+                    return end;
+                }
+                machine.eip = target;
+                StepEnd::Continue
+            }
+            Inst::Jcc { cond, target } => {
+                if cond.eval(machine.flags) {
+                    if let Some(end) =
+                        Self::validate_transfer(&self.image, &self.config, stats, shadow, eip, target)
+                    {
+                        return end;
+                    }
+                    machine.eip = target;
+                } else {
+                    machine.eip = next;
+                }
+                StepEnd::Continue
+            }
+            Inst::JmpIndirect { target } => {
+                let tval = match machine.read_operand(&target) {
+                    Ok(v) => v,
+                    Err(fault) => return Self::fault_to_end(fault, eip, shadow),
+                };
+                if let Some(end) =
+                    Self::validate_transfer(&self.image, &self.config, stats, shadow, eip, tval)
+                {
+                    return end;
+                }
+                machine.eip = tval;
+                StepEnd::Continue
+            }
+            Inst::Call { target } => self.do_call(machine, shadow, stats, eip, next, target),
+            Inst::CallIndirect { target } => {
+                let tval = match machine.read_operand(&target) {
+                    Ok(v) => v,
+                    Err(fault) => return Self::fault_to_end(fault, eip, shadow),
+                };
+                self.do_call(machine, shadow, stats, eip, next, tval)
+            }
+            Inst::Ret => Self::do_return(&self.image, &self.config, machine, shadow, stats, eip),
+            _ => match machine.exec_data_inst(&iwa.inst) {
+                Ok(()) => {
+                    machine.eip = next;
+                    StepEnd::Continue
+                }
+                Err(fault) => Self::fault_to_end(fault, eip, shadow),
+            },
+        }
+    }
+
+    /// Perform call semantics to the already-resolved target `tval`.
+    ///
+    /// The Memory Firewall validation happens before any state changes so that a blocked
+    /// call never pushes a frame and injected code never runs.
+    fn do_call(
+        &self,
+        machine: &mut Machine,
+        shadow: &mut ShadowStack,
+        stats: &mut ExecutionStats,
+        eip: Addr,
+        next: Addr,
+        tval: Addr,
+    ) -> StepEnd {
+        if let Some(end) = Self::validate_transfer(&self.image, &self.config, stats, shadow, eip, tval) {
+            return end;
+        }
+        if let Err(fault) = machine.push(next) {
+            return Self::fault_to_end(fault, eip, shadow);
+        }
+        if self.config.monitors.shadow_stack {
+            shadow.push(StackFrame {
+                proc_entry: tval,
+                call_site: eip,
+                return_addr: next,
+            });
+        }
+        machine.eip = tval;
+        StepEnd::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::ObservationKind;
+    use crate::trace::RecordingTracer;
+    use cv_isa::{Cond, MemRef, Operand, Port, ProgramBuilder};
+
+    /// A program that reads a word, doubles it via a helper call, and renders it.
+    fn double_program() -> BinaryImage {
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        let double = b.new_label("double");
+        b.bind(main);
+        b.input(Reg::Eax, Port::Input);
+        b.call(double);
+        b.output(Reg::Eax, Port::Render);
+        b.halt();
+        b.bind(double);
+        b.add(Reg::Eax, Reg::Eax);
+        b.ret();
+        b.set_entry(main);
+        b.build().unwrap()
+    }
+
+    /// A program that makes an indirect call through a register loaded from input.
+    fn indirect_call_program() -> (BinaryImage, Addr) {
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        let callee = b.new_label("callee");
+        b.bind(main);
+        b.input(Reg::Eax, Port::Input);
+        let call_site = b.call_indirect(Reg::Eax);
+        b.output(1u32, Port::Render);
+        b.halt();
+        b.bind(callee);
+        b.output(2u32, Port::Render);
+        b.ret();
+        b.set_entry(main);
+        let callee_addr = b.label_addr(callee).unwrap();
+        let image = b.build().unwrap();
+        let _ = call_site;
+        (image, callee_addr)
+    }
+
+    #[test]
+    fn completes_and_renders_output() {
+        let mut env = ManagedExecutionEnvironment::new(double_program(), EnvConfig::default());
+        let r = env.run(&[21]);
+        assert!(r.is_completed());
+        assert_eq!(r.rendered, vec![42]);
+        assert!(r.stats.instructions >= 6);
+    }
+
+    #[test]
+    fn legal_indirect_call_is_allowed() {
+        let (image, callee) = indirect_call_program();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let r = env.run(&[callee]);
+        assert!(r.is_completed());
+        assert_eq!(r.rendered, vec![2, 1]);
+        assert!(r.stats.firewall_checks > 0);
+    }
+
+    #[test]
+    fn memory_firewall_blocks_illegal_indirect_call() {
+        let (image, _) = indirect_call_program();
+        let heap_target = image.layout.heap_base + 5;
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let r = env.run(&[heap_target]);
+        let f = r.failure().expect("failure detected");
+        assert_eq!(
+            f.kind,
+            FailureKind::IllegalControlTransfer { target: heap_target }
+        );
+        // The injected target never executed: nothing was rendered.
+        assert!(r.rendered.is_empty());
+    }
+
+    #[test]
+    fn without_firewall_wild_jump_to_unmapped_crashes() {
+        let (image, _) = indirect_call_program();
+        let mut env = ManagedExecutionEnvironment::new(
+            image,
+            EnvConfig::with_monitors(MonitorConfig::bare()),
+        );
+        let r = env.run(&[3]); // address 3 is unmapped
+        assert!(r.is_crash());
+    }
+
+    #[test]
+    fn without_firewall_injected_code_executes() {
+        // The attacker's "shellcode" is a rendered marker followed by halt, staged in
+        // the data segment by the program itself (simulating downloaded content).
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        b.bind(main);
+        // Write encoded `out 0xEV1L, Render; halt` into the heap, then call it.
+        let payload: Vec<u32> = {
+            let mut w = cv_isa::encode(Inst::Out {
+                src: Operand::Imm(0xEE11),
+                port: Port::Render,
+            });
+            w.extend(cv_isa::encode(Inst::Halt));
+            w
+        };
+        let payload_addr = b.data_words(&payload);
+        b.call_indirect(payload_addr);
+        b.halt();
+        b.set_entry(main);
+        let image = b.build().unwrap();
+
+        // Unprotected: the injected code runs and emits the marker.
+        let mut env = ManagedExecutionEnvironment::new(
+            image.clone(),
+            EnvConfig::with_monitors(MonitorConfig::bare()),
+        );
+        let r = env.run(&[]);
+        assert!(r.is_completed());
+        assert_eq!(r.rendered, vec![0xEE11]);
+
+        // Protected: the Memory Firewall terminates the run before the payload runs.
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let r = env.run(&[]);
+        assert!(r.failure().is_some());
+        assert!(r.rendered.is_empty());
+    }
+
+    #[test]
+    fn heap_guard_failure_reports_copy_location_and_call_stack() {
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        let writer = b.new_label("writer");
+        b.bind(main);
+        b.call(writer);
+        b.halt();
+        b.bind(writer);
+        b.alloc(Reg::Ebx, 2u32);
+        // Out-of-bounds store two words past the allocation start (onto the canary).
+        let store_addr = b.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 2)), 7u32);
+        b.ret();
+        b.set_entry(main);
+        let image = b.build().unwrap();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let r = env.run(&[]);
+        let f = r.failure().expect("heap guard failure");
+        assert!(matches!(f.kind, FailureKind::OutOfBoundsWrite { .. }));
+        assert_eq!(f.location, store_addr);
+        assert_eq!(f.call_stack.len(), 1, "shadow stack has the caller frame");
+    }
+
+    #[test]
+    fn shadow_stack_disabled_gives_empty_call_stack() {
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        let writer = b.new_label("writer");
+        b.bind(main);
+        b.call(writer);
+        b.halt();
+        b.bind(writer);
+        b.alloc(Reg::Ebx, 2u32);
+        b.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 2)), 7u32);
+        b.ret();
+        b.set_entry(main);
+        let image = b.build().unwrap();
+        let mut env = ManagedExecutionEnvironment::new(
+            image,
+            EnvConfig::with_monitors(MonitorConfig::firewall_and_heap_guard()),
+        );
+        let r = env.run(&[]);
+        let f = r.failure().expect("failure");
+        assert!(f.call_stack.is_empty());
+    }
+
+    #[test]
+    fn tracer_receives_events_and_blocks() {
+        let mut env = ManagedExecutionEnvironment::new(double_program(), EnvConfig::default());
+        let mut tracer = RecordingTracer::new();
+        let r = env.run_with_tracer(&[5], &mut tracer);
+        assert!(r.is_completed());
+        assert_eq!(r.stats.trace_events, r.stats.instructions);
+        assert_eq!(tracer.events.len() as u64, r.stats.trace_events);
+        assert!(!tracer.blocks.is_empty());
+        assert_eq!(tracer.calls.len(), 1);
+        assert_eq!(tracer.runs, 1);
+        // The add instruction saw eax = 5 for both of its read slots.
+        let add_event = tracer
+            .events
+            .iter()
+            .find(|e| matches!(e.inst, Inst::Add { .. }))
+            .expect("add traced");
+        assert_eq!(add_event.reads.len(), 2);
+        assert!(add_event.reads.iter().all(|r| r.value == 5));
+    }
+
+    #[test]
+    fn selective_tracing_skips_other_addresses() {
+        let image = double_program();
+        let entry = image.entry;
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let mut tracer = RecordingTracer::with_filter([entry]);
+        let r = env.run_with_tracer(&[5], &mut tracer);
+        assert!(r.is_completed());
+        assert_eq!(tracer.events.len(), 1);
+        assert_eq!(r.stats.trace_events, 1);
+    }
+
+    #[test]
+    fn hooks_can_observe_and_mutate_state() {
+        struct ForceValue {
+            observed: u32,
+        }
+        impl Hook for ForceValue {
+            fn on_execute(&mut self, ctx: &mut HookContext<'_>) -> HookAction {
+                self.observed = ctx.machine.reg(Reg::Eax);
+                ctx.observe(ObservationKind::Violated);
+                ctx.machine.set_reg(Reg::Eax, 100);
+                HookAction::Continue
+            }
+        }
+        let image = double_program();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        // Hook the `add eax, eax` instruction inside `double`. Find it by scanning.
+        let insts = cv_isa::decode_all(&env.image().code, env.image().layout.code_base).unwrap();
+        let add_addr = insts
+            .iter()
+            .find(|i| matches!(i.inst, Inst::Add { .. }))
+            .unwrap()
+            .addr;
+        env.apply_hook(add_addr, Box::new(ForceValue { observed: 0 }));
+        let r = env.run(&[5]);
+        assert!(r.is_completed());
+        assert_eq!(r.rendered, vec![200], "hook forced eax to 100 before doubling");
+        assert_eq!(r.observations.len(), 1);
+        assert_eq!(r.observations[0].kind, ObservationKind::Violated);
+        assert_eq!(r.stats.hook_invocations, 1);
+    }
+
+    #[test]
+    fn skip_instruction_hook_prevents_execution() {
+        struct Skip;
+        impl Hook for Skip {
+            fn on_execute(&mut self, _ctx: &mut HookContext<'_>) -> HookAction {
+                HookAction::SkipInstruction
+            }
+        }
+        let image = double_program();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let insts = cv_isa::decode_all(&env.image().code, env.image().layout.code_base).unwrap();
+        let add_addr = insts
+            .iter()
+            .find(|i| matches!(i.inst, Inst::Add { .. }))
+            .unwrap()
+            .addr;
+        env.apply_hook(add_addr, Box::new(Skip));
+        let r = env.run(&[5]);
+        assert!(r.is_completed());
+        assert_eq!(r.rendered, vec![5], "the doubling add was skipped");
+    }
+
+    #[test]
+    fn return_from_procedure_hook_unwinds_correctly() {
+        struct EarlyReturn;
+        impl Hook for EarlyReturn {
+            fn on_execute(&mut self, _ctx: &mut HookContext<'_>) -> HookAction {
+                // At this point in `double` nothing has been pushed since entry, so the
+                // stack pointer already points at the return address.
+                HookAction::ReturnFromProcedure { sp_adjust: 0 }
+            }
+        }
+        let image = double_program();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let insts = cv_isa::decode_all(&env.image().code, env.image().layout.code_base).unwrap();
+        let add_addr = insts
+            .iter()
+            .find(|i| matches!(i.inst, Inst::Add { .. }))
+            .unwrap()
+            .addr;
+        env.apply_hook(add_addr, Box::new(EarlyReturn));
+        let r = env.run(&[9]);
+        assert!(r.is_completed());
+        assert_eq!(r.rendered, vec![9], "procedure returned before doubling");
+    }
+
+    #[test]
+    fn removing_a_hook_restores_behaviour() {
+        struct Skip;
+        impl Hook for Skip {
+            fn on_execute(&mut self, _ctx: &mut HookContext<'_>) -> HookAction {
+                HookAction::SkipInstruction
+            }
+        }
+        let image = double_program();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        let insts = cv_isa::decode_all(&env.image().code, env.image().layout.code_base).unwrap();
+        let add_addr = insts
+            .iter()
+            .find(|i| matches!(i.inst, Inst::Add { .. }))
+            .unwrap()
+            .addr;
+        let id = env.apply_hook(add_addr, Box::new(Skip));
+        assert_eq!(env.run(&[5]).rendered, vec![5]);
+        env.remove_hook(id).unwrap();
+        assert_eq!(env.run(&[5]).rendered, vec![10]);
+        assert!(env.remove_hook(id).is_err());
+        // Patch application and removal ejected cache blocks.
+        assert!(env.cumulative_stats().blocks_built >= 2);
+    }
+
+    #[test]
+    fn instruction_budget_guards_runaway_loops() {
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        b.bind(main);
+        let spin = b.new_label("spin");
+        b.bind(spin);
+        b.jmp(spin);
+        b.set_entry(main);
+        let image = b.build().unwrap();
+        let mut env = ManagedExecutionEnvironment::new(
+            image,
+            EnvConfig {
+                max_instructions: 1000,
+                ..Default::default()
+            },
+        );
+        let r = env.run(&[]);
+        assert!(matches!(
+            r.status,
+            RunStatus::Crash(CrashInfo {
+                kind: CrashKind::InstructionBudgetExhausted,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn conditional_branches_follow_flags() {
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        b.bind(main);
+        b.input(Reg::Eax, Port::Input);
+        b.cmp(Reg::Eax, 10u32);
+        let big = b.new_label("big");
+        b.jcc(Cond::Ge, big);
+        b.output(0u32, Port::Render);
+        b.halt();
+        b.bind(big);
+        b.output(1u32, Port::Render);
+        b.halt();
+        b.set_entry(main);
+        let image = b.build().unwrap();
+        let mut env = ManagedExecutionEnvironment::new(image, EnvConfig::default());
+        assert_eq!(env.run(&[3]).rendered, vec![0]);
+        assert_eq!(env.run(&[10]).rendered, vec![1]);
+        assert_eq!(env.run(&[55]).rendered, vec![1]);
+    }
+
+    #[test]
+    fn cumulative_stats_accumulate_across_runs() {
+        let mut env = ManagedExecutionEnvironment::new(double_program(), EnvConfig::default());
+        env.run(&[1]);
+        env.run(&[2]);
+        let c = env.cumulative_stats();
+        assert_eq!(c.runs, 2);
+        assert!(c.instructions > 10);
+        env.reset_cumulative_stats();
+        assert_eq!(env.cumulative_stats().runs, 0);
+    }
+}

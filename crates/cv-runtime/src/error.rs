@@ -1,0 +1,135 @@
+//! Error and crash classification for the managed execution environment.
+
+use cv_isa::Addr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Reasons a guest execution can *crash* (terminate abnormally without a monitor
+/// detecting a failure).
+///
+/// The paper distinguishes *failures* (errors detected by a ClearView monitor) from
+/// *crashes* (other terminations). Crashes matter to repair evaluation: a patched run
+/// that crashes counts against the patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrashKind {
+    /// A read or write touched an unmapped address.
+    UnmappedAccess {
+        /// The faulting address.
+        addr: Addr,
+    },
+    /// A write targeted the code segment.
+    CodeWrite {
+        /// The faulting address.
+        addr: Addr,
+    },
+    /// The stack pointer left the stack segment during a push/pop/call/ret.
+    StackFault {
+        /// The faulting stack pointer value.
+        sp: Addr,
+    },
+    /// The instruction pointer left the loaded code image without the Memory Firewall
+    /// enabled to catch it.
+    WildJump {
+        /// The bogus target address.
+        target: Addr,
+    },
+    /// An undecodable instruction was fetched.
+    InvalidInstruction {
+        /// The address of the invalid instruction word.
+        addr: Addr,
+    },
+    /// The run exceeded its instruction budget (runaway loop guard).
+    InstructionBudgetExhausted,
+    /// The guest freed an address that is not a live allocation.
+    InvalidFree {
+        /// The bogus pointer.
+        addr: Addr,
+    },
+    /// The guest heap is exhausted.
+    OutOfMemory,
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashKind::UnmappedAccess { addr } => write!(f, "unmapped access at 0x{addr:x}"),
+            CrashKind::CodeWrite { addr } => write!(f, "write to code segment at 0x{addr:x}"),
+            CrashKind::StackFault { sp } => write!(f, "stack fault, sp=0x{sp:x}"),
+            CrashKind::WildJump { target } => write!(f, "wild jump to 0x{target:x}"),
+            CrashKind::InvalidInstruction { addr } => write!(f, "invalid instruction at 0x{addr:x}"),
+            CrashKind::InstructionBudgetExhausted => write!(f, "instruction budget exhausted"),
+            CrashKind::InvalidFree { addr } => write!(f, "invalid free of 0x{addr:x}"),
+            CrashKind::OutOfMemory => write!(f, "guest heap exhausted"),
+        }
+    }
+}
+
+/// A crash record: what happened and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashInfo {
+    /// The crash class.
+    pub kind: CrashKind,
+    /// The address of the instruction that was executing.
+    pub location: Addr,
+}
+
+impl fmt::Display for CrashInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "crash at 0x{:x}: {}", self.location, self.kind)
+    }
+}
+
+/// Errors returned by runtime APIs (not guest crashes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The binary image does not fit the layout it claims.
+    ImageDoesNotFit,
+    /// An instruction address does not fall inside the loaded code image.
+    AddressOutsideCode(Addr),
+    /// Decoding the code image failed.
+    Decode(cv_isa::IsaError),
+    /// A hook id was not found (already removed or never registered).
+    UnknownHook(u64),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ImageDoesNotFit => write!(f, "binary image does not fit its layout"),
+            RuntimeError::AddressOutsideCode(a) => write!(f, "address 0x{a:x} is outside the loaded code"),
+            RuntimeError::Decode(e) => write!(f, "decode error: {e}"),
+            RuntimeError::UnknownHook(id) => write!(f, "unknown hook id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<cv_isa::IsaError> for RuntimeError {
+    fn from(e: cv_isa::IsaError) -> Self {
+        RuntimeError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_kind_display() {
+        let c = CrashInfo {
+            kind: CrashKind::UnmappedAccess { addr: 0x99 },
+            location: 0x1000,
+        };
+        let s = c.to_string();
+        assert!(s.contains("0x1000"));
+        assert!(s.contains("0x99"));
+    }
+
+    #[test]
+    fn runtime_error_from_isa_error() {
+        let e: RuntimeError = cv_isa::IsaError::TruncatedInstruction.into();
+        assert!(matches!(e, RuntimeError::Decode(_)));
+        assert!(e.to_string().contains("decode"));
+    }
+}

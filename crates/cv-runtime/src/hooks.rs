@@ -1,0 +1,229 @@
+//! Instrumentation hooks: the plugin interface of the managed execution environment.
+//!
+//! The Determina environment "allows plugins to validate and (if desired) transform new
+//! code blocks before they enter the cache for execution" and to eject previously
+//! inserted blocks, which is how ClearView applies and removes patches from running
+//! applications (Section 2.1). In this reproduction a patch is a [`Hook`] attached to an
+//! instruction address: it runs immediately before the instruction executes, may read
+//! and write machine state, may emit invariant-check [`Observation`]s, and may redirect
+//! control (skip the instruction or return from the enclosing procedure) — the three
+//! repair actions of Section 2.5.
+
+use crate::machine::Machine;
+use cv_isa::{Addr, Inst};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a registered hook (and therefore an applied patch).
+pub type HookId = u64;
+
+/// What the hook asks the environment to do after it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookAction {
+    /// Execute the instruction normally (possibly after the hook mutated state).
+    Continue,
+    /// Do not execute the instruction; continue at the next instruction. Implements the
+    /// "skip the call" repair for one-of invariants on function pointers.
+    SkipInstruction,
+    /// Return immediately from the enclosing procedure: adjust the stack pointer by
+    /// `sp_adjust` (derived from a learned stack-pointer-offset invariant) so that it
+    /// points at the saved return address, then perform a normal `ret`.
+    ReturnFromProcedure {
+        /// Words to add to the stack pointer before popping the return address.
+        sp_adjust: i32,
+    },
+}
+
+/// Whether a checked invariant held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObservationKind {
+    /// The invariant was satisfied at this execution of the check.
+    Satisfied,
+    /// The invariant was violated.
+    Violated,
+}
+
+/// One observation produced by an invariant-checking patch (Section 2.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The hook (patch) that produced the observation.
+    pub hook: HookId,
+    /// The instruction address the patch is attached to.
+    pub addr: Addr,
+    /// Satisfied or violated.
+    pub kind: ObservationKind,
+}
+
+/// The state a hook can inspect and mutate when it runs.
+pub struct HookContext<'a> {
+    /// The guest machine (registers, memory, heap, I/O).
+    pub machine: &'a mut Machine,
+    /// The instruction about to execute.
+    pub inst: Inst,
+    /// The instruction's address.
+    pub addr: Addr,
+    /// The id of the hook currently running.
+    pub hook_id: HookId,
+    observations: &'a mut Vec<Observation>,
+}
+
+impl<'a> HookContext<'a> {
+    pub(crate) fn new(
+        machine: &'a mut Machine,
+        inst: Inst,
+        addr: Addr,
+        hook_id: HookId,
+        observations: &'a mut Vec<Observation>,
+    ) -> Self {
+        HookContext {
+            machine,
+            inst,
+            addr,
+            hook_id,
+            observations,
+        }
+    }
+
+    /// Record an invariant-check observation for this run.
+    pub fn observe(&mut self, kind: ObservationKind) {
+        self.observations.push(Observation {
+            hook: self.hook_id,
+            addr: self.addr,
+            kind,
+        });
+    }
+}
+
+/// A hook attached to an instruction address.
+pub trait Hook: Send {
+    /// Runs immediately before the instruction at the hook's address executes.
+    fn on_execute(&mut self, ctx: &mut HookContext<'_>) -> HookAction;
+
+    /// Human-readable description used in logs and repair reports.
+    fn describe(&self) -> String {
+        "hook".to_string()
+    }
+}
+
+/// A registered hook together with its id.
+pub(crate) type HookEntry = (HookId, Box<dyn Hook>);
+
+/// The per-environment registry of hooks, keyed by instruction address.
+#[derive(Default)]
+pub struct HookRegistry {
+    pub(crate) by_addr: HashMap<Addr, Vec<HookEntry>>,
+    addr_of: HashMap<HookId, Addr>,
+    next_id: HookId,
+}
+
+impl HookRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a hook at `addr`; returns its id.
+    pub fn add(&mut self, addr: Addr, hook: Box<dyn Hook>) -> HookId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_addr.entry(addr).or_default().push((id, hook));
+        self.addr_of.insert(id, addr);
+        id
+    }
+
+    /// Remove a hook by id. Returns the address it was attached to, if it existed.
+    pub fn remove(&mut self, id: HookId) -> Option<Addr> {
+        let addr = self.addr_of.remove(&id)?;
+        if let Some(list) = self.by_addr.get_mut(&addr) {
+            list.retain(|(hid, _)| *hid != id);
+            if list.is_empty() {
+                self.by_addr.remove(&addr);
+            }
+        }
+        Some(addr)
+    }
+
+    /// The address a hook is attached to.
+    pub fn addr_of(&self, id: HookId) -> Option<Addr> {
+        self.addr_of.get(&id).copied()
+    }
+
+    /// Total number of registered hooks.
+    pub fn len(&self) -> usize {
+        self.addr_of.len()
+    }
+
+    /// True when no hooks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.addr_of.is_empty()
+    }
+
+    /// True if any hook is registered at `addr`.
+    pub fn has_hooks_at(&self, addr: Addr) -> bool {
+        self.by_addr.contains_key(&addr)
+    }
+
+    /// All addresses that currently have hooks.
+    pub fn hooked_addrs(&self) -> Vec<Addr> {
+        self.by_addr.keys().copied().collect()
+    }
+
+    /// Remove every hook.
+    pub fn clear(&mut self) {
+        self.by_addr.clear();
+        self.addr_of.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NopHook;
+    impl Hook for NopHook {
+        fn on_execute(&mut self, _ctx: &mut HookContext<'_>) -> HookAction {
+            HookAction::Continue
+        }
+    }
+
+    #[test]
+    fn add_and_remove_hooks() {
+        let mut reg = HookRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.add(0x1000, Box::new(NopHook));
+        let b = reg.add(0x1000, Box::new(NopHook));
+        let c = reg.add(0x2000, Box::new(NopHook));
+        assert_eq!(reg.len(), 3);
+        assert!(reg.has_hooks_at(0x1000));
+        assert_eq!(reg.addr_of(b), Some(0x1000));
+        assert_eq!(reg.remove(a), Some(0x1000));
+        assert!(reg.has_hooks_at(0x1000), "second hook still present");
+        assert_eq!(reg.remove(b), Some(0x1000));
+        assert!(!reg.has_hooks_at(0x1000));
+        assert_eq!(reg.remove(b), None, "double remove is a no-op");
+        assert_eq!(reg.len(), 1);
+        let mut addrs = reg.hooked_addrs();
+        addrs.sort_unstable();
+        assert_eq!(addrs, vec![0x2000]);
+        assert_eq!(reg.remove(c), Some(0x2000));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut reg = HookRegistry::new();
+        reg.add(1, Box::new(NopHook));
+        reg.add(2, Box::new(NopHook));
+        reg.clear();
+        assert!(reg.is_empty());
+        assert!(!reg.has_hooks_at(1));
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut reg = HookRegistry::new();
+        let a = reg.add(1, Box::new(NopHook));
+        let b = reg.add(1, Box::new(NopHook));
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,165 @@
+//! The guest's flat, word-granular memory.
+
+use crate::error::CrashKind;
+use cv_isa::{Addr, BinaryImage, MemoryLayout, Segment, Word};
+
+/// The guest memory: a flat array of 32-bit words, partitioned by [`MemoryLayout`].
+///
+/// All accesses are bounds- and segment-checked; violations are reported as
+/// [`CrashKind`] values so the environment can turn them into guest crashes rather than
+/// host panics.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    layout: MemoryLayout,
+    words: Vec<Word>,
+    /// When true, writes into the code segment crash (the normal W^X configuration).
+    protect_code: bool,
+}
+
+impl Memory {
+    /// Create a zeroed memory for `layout`.
+    pub fn new(layout: MemoryLayout) -> Memory {
+        Memory {
+            layout,
+            words: vec![0; layout.total_words()],
+            protect_code: true,
+        }
+    }
+
+    /// Create a memory with the image's code and data loaded at their segment bases.
+    pub fn load(image: &BinaryImage) -> Memory {
+        let mut mem = Memory::new(image.layout);
+        let cb = image.layout.code_base as usize;
+        mem.words[cb..cb + image.code.len()].copy_from_slice(&image.code);
+        let db = image.layout.data_base as usize;
+        mem.words[db..db + image.data.len()].copy_from_slice(&image.data);
+        mem
+    }
+
+    /// The layout this memory was created with.
+    pub fn layout(&self) -> MemoryLayout {
+        self.layout
+    }
+
+    /// Read the word at `addr`.
+    pub fn read(&self, addr: Addr) -> Result<Word, CrashKind> {
+        if !self.layout.is_mapped(addr) {
+            return Err(CrashKind::UnmappedAccess { addr });
+        }
+        Ok(self.words[addr as usize])
+    }
+
+    /// Write the word at `addr`.
+    ///
+    /// Writes to the code segment crash (the image is mapped read-only/execute, as in a
+    /// normal Win32 process).
+    pub fn write(&mut self, addr: Addr, value: Word) -> Result<(), CrashKind> {
+        match self.layout.segment_of(addr) {
+            Segment::Unmapped => Err(CrashKind::UnmappedAccess { addr }),
+            Segment::Code if self.protect_code => Err(CrashKind::CodeWrite { addr }),
+            _ => {
+                self.words[addr as usize] = value;
+                Ok(())
+            }
+        }
+    }
+
+    /// Read without segment checks (used by diagnostics and the heap allocator, which
+    /// operates entirely inside the heap segment).
+    pub(crate) fn read_raw(&self, addr: Addr) -> Word {
+        self.words[addr as usize]
+    }
+
+    /// Write without segment checks (heap allocator book-keeping).
+    pub(crate) fn write_raw(&mut self, addr: Addr, value: Word) {
+        self.words[addr as usize] = value;
+    }
+
+    /// Copy `src.len()` words into guest memory starting at `dst`, bypassing protection
+    /// (used by the environment to stage input data in the data segment).
+    pub fn write_slice_raw(&mut self, dst: Addr, src: &[Word]) -> Result<(), CrashKind> {
+        let end = dst as usize + src.len();
+        if end > self.words.len() {
+            return Err(CrashKind::UnmappedAccess { addr: end as Addr });
+        }
+        self.words[dst as usize..end].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Snapshot `len` words starting at `addr` (diagnostics and tests).
+    pub fn read_slice(&self, addr: Addr, len: usize) -> Result<Vec<Word>, CrashKind> {
+        let end = addr as usize + len;
+        if end > self.words.len() {
+            return Err(CrashKind::UnmappedAccess { addr: end as Addr });
+        }
+        Ok(self.words[addr as usize..end].to_vec())
+    }
+
+    /// Total mapped words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Never empty for a valid layout, but provided for completeness.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::ProgramBuilder;
+
+    fn tiny_image() -> BinaryImage {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.halt();
+        b.set_entry(main);
+        b.data_words(&[7, 8, 9]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn load_places_code_and_data() {
+        let image = tiny_image();
+        let mem = Memory::load(&image);
+        assert_eq!(mem.read(image.layout.code_base).unwrap(), image.code[0]);
+        assert_eq!(mem.read(image.layout.data_base).unwrap(), 7);
+        assert_eq!(mem.read(image.layout.data_base + 2).unwrap(), 9);
+    }
+
+    #[test]
+    fn unmapped_read_is_a_crash() {
+        let mem = Memory::new(MemoryLayout::default());
+        assert!(matches!(mem.read(0), Err(CrashKind::UnmappedAccess { .. })));
+        let end = MemoryLayout::default().stack_end();
+        assert!(matches!(mem.read(end), Err(CrashKind::UnmappedAccess { .. })));
+    }
+
+    #[test]
+    fn code_writes_are_rejected() {
+        let image = tiny_image();
+        let mut mem = Memory::load(&image);
+        let err = mem.write(image.layout.code_base, 0xdead).unwrap_err();
+        assert!(matches!(err, CrashKind::CodeWrite { .. }));
+    }
+
+    #[test]
+    fn heap_and_stack_writes_succeed() {
+        let layout = MemoryLayout::default();
+        let mut mem = Memory::new(layout);
+        mem.write(layout.heap_base + 10, 123).unwrap();
+        assert_eq!(mem.read(layout.heap_base + 10).unwrap(), 123);
+        mem.write(layout.stack_base + 10, 456).unwrap();
+        assert_eq!(mem.read(layout.stack_base + 10).unwrap(), 456);
+    }
+
+    #[test]
+    fn read_slice_bounds_checked() {
+        let layout = MemoryLayout::default();
+        let mem = Memory::new(layout);
+        assert!(mem.read_slice(layout.stack_end() - 2, 4).is_err());
+        assert_eq!(mem.read_slice(layout.heap_base, 3).unwrap(), vec![0, 0, 0]);
+    }
+}

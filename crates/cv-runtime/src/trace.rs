@@ -1,0 +1,183 @@
+//! The trace interface consumed by the learning component.
+//!
+//! The Daikon x86 front end described in Section 2.2.1 instruments every instruction to
+//! emit, on each execution, "the values of all operands that the instruction reads and
+//! all addresses that the instruction computes". [`ExecEvent`] is that record;
+//! [`Tracer`] is the consumer interface the inference engine implements.
+
+use cv_isa::{Addr, Inst, MemRef, Operand, Word};
+use serde::{Deserialize, Serialize};
+
+/// The value of one operand read by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperandValue {
+    /// Which read slot of the instruction this is (0-based, in `operands_read` order).
+    pub slot: u8,
+    /// The operand as written in the instruction.
+    pub operand: Operand,
+    /// The value observed.
+    pub value: Word,
+}
+
+/// One address computed by an instruction (one per memory operand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrComputation {
+    /// Which memory-reference slot this is (0-based, in `mem_refs` order).
+    pub slot: u8,
+    /// The memory reference as written in the instruction.
+    pub mem: MemRef,
+    /// The effective address computed.
+    pub addr: Addr,
+}
+
+/// A complete per-instruction trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecEvent {
+    /// The instruction's address.
+    pub addr: Addr,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// The values of all operands the instruction reads.
+    pub reads: Vec<OperandValue>,
+    /// All addresses the instruction computes.
+    pub addrs: Vec<AddrComputation>,
+    /// The stack pointer before the instruction executes (used for the stack-pointer
+    /// offset invariants of Section 2.2.4).
+    pub sp: Word,
+}
+
+/// A consumer of execution traces (implemented by the learning front end).
+pub trait Tracer {
+    /// Called the first time a basic block enters the code cache.
+    fn on_block_first_execution(&mut self, _block_start: Addr) {}
+
+    /// Called for every traced instruction execution.
+    fn on_inst(&mut self, event: &ExecEvent);
+
+    /// Return `false` to skip tracing for an address. This is how a community member
+    /// traces only its assigned procedures and pays no learning overhead for the rest
+    /// of the application (Section 3.1).
+    fn wants_addr(&self, _addr: Addr) -> bool {
+        true
+    }
+
+    /// Called when a call transfers control to `target` from `call_site` — used by the
+    /// learning component to discover procedure entry points dynamically.
+    fn on_call(&mut self, _call_site: Addr, _target: Addr) {}
+
+    /// Called when a run ends (normally or otherwise), so the tracer can close out
+    /// per-run bookkeeping.
+    fn on_run_end(&mut self) {}
+}
+
+/// A tracer that records every event into memory; useful for tests and for feeding the
+/// inference engine offline.
+#[derive(Debug, Default)]
+pub struct RecordingTracer {
+    /// All recorded events in execution order.
+    pub events: Vec<ExecEvent>,
+    /// Basic block first executions in order.
+    pub blocks: Vec<Addr>,
+    /// Observed (call site, target) pairs.
+    pub calls: Vec<(Addr, Addr)>,
+    /// Number of completed runs.
+    pub runs: u32,
+    /// Optional address filter: when non-empty, only these addresses are traced.
+    pub filter: Option<std::collections::BTreeSet<Addr>>,
+}
+
+impl RecordingTracer {
+    /// A tracer that records everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tracer restricted to the given instruction addresses.
+    pub fn with_filter(addrs: impl IntoIterator<Item = Addr>) -> Self {
+        RecordingTracer {
+            filter: Some(addrs.into_iter().collect()),
+            ..Self::default()
+        }
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn on_block_first_execution(&mut self, block_start: Addr) {
+        self.blocks.push(block_start);
+    }
+
+    fn on_inst(&mut self, event: &ExecEvent) {
+        self.events.push(event.clone());
+    }
+
+    fn wants_addr(&self, addr: Addr) -> bool {
+        match &self.filter {
+            Some(f) => f.contains(&addr),
+            None => true,
+        }
+    }
+
+    fn on_call(&mut self, call_site: Addr, target: Addr) {
+        self.calls.push((call_site, target));
+    }
+
+    fn on_run_end(&mut self) {
+        self.runs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::Reg;
+
+    #[test]
+    fn recording_tracer_collects_events() {
+        let mut t = RecordingTracer::new();
+        let ev = ExecEvent {
+            addr: 0x1000,
+            inst: Inst::Nop,
+            reads: vec![],
+            addrs: vec![],
+            sp: 0x60000,
+        };
+        t.on_block_first_execution(0x1000);
+        t.on_inst(&ev);
+        t.on_call(0x1001, 0x1010);
+        t.on_run_end();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.blocks, vec![0x1000]);
+        assert_eq!(t.calls, vec![(0x1001, 0x1010)]);
+        assert_eq!(t.runs, 1);
+    }
+
+    #[test]
+    fn filter_restricts_addresses() {
+        let t = RecordingTracer::with_filter([0x1000, 0x1004]);
+        assert!(t.wants_addr(0x1000));
+        assert!(!t.wants_addr(0x1001));
+    }
+
+    #[test]
+    fn exec_event_clone_and_equality() {
+        let ev = ExecEvent {
+            addr: 0x1000,
+            inst: Inst::Mov {
+                dst: Operand::Reg(Reg::Eax),
+                src: Operand::Imm(1),
+            },
+            reads: vec![OperandValue {
+                slot: 0,
+                operand: Operand::Imm(1),
+                value: 1,
+            }],
+            addrs: vec![AddrComputation {
+                slot: 0,
+                mem: MemRef::base(Reg::Ebp),
+                addr: 0x50000,
+            }],
+            sp: 5,
+        };
+        assert_eq!(ev.clone(), ev);
+    }
+}

@@ -1,0 +1,72 @@
+//! The application community (Section 3): amortized learning across members, an attack
+//! on one member, and immunity for members that were never exposed.
+//!
+//! Run with: `cargo run --example application_community`
+
+use clearview::apps::{learning_suite, red_team_exploits, Browser};
+use clearview::community::{Community, Message};
+use clearview::core::ClearViewConfig;
+use clearview::runtime::RunStatus;
+
+fn main() {
+    let browser = Browser::build();
+    let mut community = Community::new(browser.image.clone(), ClearViewConfig::default(), 4);
+
+    // Amortized parallel learning: the learning pages are divided among the members;
+    // each uploads only its locally inferred invariants.
+    community.distributed_learning(&learning_suite());
+    println!(
+        "community of {} members learned {} invariants",
+        community.node_count(),
+        community.model().invariants.len()
+    );
+
+    // The attacker repeatedly targets member 0 with one exploit.
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 312278)
+        .unwrap();
+    for attempt in 1..=8 {
+        let out = community.browse(0, exploit.page());
+        let status = match out.status {
+            RunStatus::Completed => "survived",
+            RunStatus::Failure(_) => "blocked",
+            RunStatus::Crash(_) => "crashed",
+        };
+        println!("attack {attempt} on member 0: {status}");
+        if matches!(out.status, RunStatus::Completed) {
+            break;
+        }
+    }
+
+    // Member 3 has never seen this attack; the distributed patch protects it anyway.
+    let out = community.browse(3, exploit.page());
+    println!(
+        "member 3 (never exposed) presented with the exploit: {}",
+        if matches!(out.status, RunStatus::Completed) { "survived — protection without exposure" } else { "NOT protected" }
+    );
+
+    // The console's message log shows the protocol.
+    println!("\nmanagement console log:");
+    for message in community.log() {
+        match message {
+            Message::InvariantUpload { node, invariants } => {
+                println!("  member {node} uploaded {invariants} invariants")
+            }
+            Message::FailureNotification { node, location } => {
+                println!("  member {node} reported a failure at 0x{location:x}")
+            }
+            Message::ChecksDistributed { location, invariants } => {
+                println!("  distributed {invariants} invariant checks for 0x{location:x}")
+            }
+            Message::ChecksRemoved { location } => println!("  removed invariant checks for 0x{location:x}"),
+            Message::RepairDistributed { location, description } => {
+                println!("  distributed repair for 0x{location:x}: {description}")
+            }
+            Message::RepairRemoved { location } => println!("  removed repair for 0x{location:x}"),
+            Message::ObservationReport { node, location, observations } => {
+                println!("  member {node} reported {observations} observations for 0x{location:x}")
+            }
+        }
+    }
+}

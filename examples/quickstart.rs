@@ -1,0 +1,60 @@
+//! Quickstart: the Figure 1 pipeline end to end on the synthetic browser.
+//!
+//! Learning → monitoring → correlated invariant identification → candidate repair
+//! generation → candidate repair evaluation, driven by repeatedly presenting one
+//! exploit to a protected application.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use clearview::apps::{learning_suite, red_team_exploits, Browser};
+use clearview::core::{learn_model, ClearViewConfig, Phase, ProtectedApplication};
+use clearview::runtime::{MonitorConfig, RunStatus};
+
+fn main() {
+    // 1. Learning: observe normal executions of the stripped binary and infer a model
+    //    of normal behaviour (a database of invariants over registers and memory).
+    let browser = Browser::build();
+    let (model, learn_stats) = learn_model(&browser.image, &learning_suite(), MonitorConfig::full());
+    println!(
+        "learned {} invariants from {} pages ({} trace events)",
+        model.invariants.len(),
+        learning_suite().len(),
+        learn_stats.trace_events
+    );
+
+    // 2. Monitoring: run the application under the Memory Firewall, Heap Guard, and
+    //    Shadow Stack, and present an exploit the Red Team would use.
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 290162)
+        .expect("exploit exists");
+    let mut app = ProtectedApplication::new(browser.image.clone(), model, ClearViewConfig::default());
+
+    for presentation in 1..=6 {
+        let outcome = app.present(exploit.page());
+        let phase = app
+            .phase_of(browser.sym("vuln_290162_call"))
+            .map(|p| format!("{p:?}"))
+            .unwrap_or_else(|| "-".to_string());
+        let status = match outcome.status {
+            RunStatus::Completed => "survived (patched)".to_string(),
+            RunStatus::Failure(f) => format!("blocked: {f}"),
+            RunStatus::Crash(c) => format!("crashed: {c}"),
+        };
+        println!("presentation {presentation}: {status}  [response phase: {phase}]");
+        if matches!(app.phase_of(browser.sym("vuln_290162_call")), Some(Phase::Protected)) {
+            break;
+        }
+    }
+
+    // 3–5. Correlated invariants, the generated repairs, and their evaluation are all
+    //      summarized in the maintainer-facing report.
+    for report in app.reports() {
+        println!("\n{report}");
+    }
+
+    // The patched application still renders legitimate pages exactly as before.
+    let page = &learning_suite()[0];
+    let rendered = app.present(page).rendered;
+    println!("legitimate page renders {rendered:?} with the patch in place");
+}

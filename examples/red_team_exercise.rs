@@ -1,0 +1,56 @@
+//! The Red Team exercise (Section 4): attack the protected browser with all ten
+//! exploits and report which ones ClearView blocks and patches.
+//!
+//! Run with: `cargo run --example red_team_exercise`
+//! Add `--reconfigured` to apply the paper's post-exercise reconfigurations
+//! (deeper stack walk for 285595, expanded learning suite for 325403).
+
+use clearview::apps::{
+    expanded_learning_suite, learning_suite, red_team_exploits, Browser, Reconfiguration,
+};
+use clearview::core::{learn_model, ClearViewConfig, ProtectedApplication};
+use clearview::runtime::{MonitorConfig, RunStatus};
+
+fn main() {
+    let reconfigured = std::env::args().any(|a| a == "--reconfigured");
+    let browser = Browser::build();
+    let mut patched = 0;
+    let mut blocked = 0;
+
+    println!("exploit   error type                     result");
+    println!("-------   ----------                     ------");
+    for exploit in red_team_exploits(&browser) {
+        let (pages, config) = if reconfigured {
+            match exploit.reconfiguration {
+                Reconfiguration::ExpandedLearning => (expanded_learning_suite(), ClearViewConfig::default()),
+                Reconfiguration::StackWalk => (learning_suite(), ClearViewConfig::with_stack_walk(2)),
+                _ => (learning_suite(), ClearViewConfig::default()),
+            }
+        } else {
+            (learning_suite(), ClearViewConfig::default())
+        };
+        let (model, _) = learn_model(&browser.image, &pages, MonitorConfig::full());
+        let mut app = ProtectedApplication::new(browser.image.clone(), model, config);
+
+        let mut result = "never patched (all attacks blocked)".to_string();
+        let mut contained = true;
+        for presentation in 1..=30 {
+            let out = app.present(exploit.page());
+            match out.status {
+                RunStatus::Completed => {
+                    result = format!("patched after {presentation} presentations");
+                    patched += 1;
+                    break;
+                }
+                RunStatus::Failure(_) => {}
+                RunStatus::Crash(_) => contained = false,
+            }
+        }
+        if contained {
+            blocked += 1;
+        }
+        println!("{:<9} {:<30} {result}", exploit.bugzilla, exploit.error_type);
+    }
+    println!("\nattacks contained: {blocked}/10, exploits patched: {patched}/10");
+    println!("(paper: 10/10 blocked; 7/10 patched in the exercise, 9/10 after reconfiguration)");
+}

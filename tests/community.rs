@@ -1,0 +1,64 @@
+//! Cross-crate integration tests for the application community (Section 3 and
+//! Section 4.3.5 of the paper).
+
+use clearview::apps::{learning_suite, red_team_exploits, Browser};
+use clearview::community::{Community, Message};
+use clearview::core::ClearViewConfig;
+use clearview::runtime::RunStatus;
+
+#[test]
+fn simultaneous_exploits_across_members_are_repaired_independently() {
+    let browser = Browser::build();
+    let mut community = Community::new(browser.image.clone(), ClearViewConfig::default(), 3);
+    community.distributed_learning(&learning_suite());
+
+    let exploits = red_team_exploits(&browser);
+    let a = exploits.iter().find(|e| e.bugzilla == 312278).unwrap();
+    let b = exploits.iter().find(|e| e.bugzilla == 311710).unwrap();
+
+    // Different members are attacked with different exploits, interleaved
+    // (Section 4.3.5: multiple concurrent failures).
+    for _ in 0..15 {
+        community.browse(0, a.page());
+        community.browse(1, b.page());
+    }
+    assert!(community.is_protected_against(browser.sym("vuln_312278_call")));
+    assert!(community.is_protected_against(browser.sym("vuln_311710a_call")));
+    assert!(community.is_protected_against(browser.sym("vuln_311710b_call")));
+    assert!(community.is_protected_against(browser.sym("vuln_311710c_call")));
+
+    // Every member — including one never attacked — survives both exploits.
+    for node in 0..3 {
+        assert!(matches!(community.browse(node, a.page()).status, RunStatus::Completed));
+        assert!(matches!(community.browse(node, b.page()).status, RunStatus::Completed));
+    }
+
+    // The learning data for the two failures was kept separate: reports exist for both
+    // and each repairs its own failure location.
+    let reports = community.reports();
+    assert!(reports.len() >= 4, "one response per repaired defect, got {}", reports.len());
+    // Patch distribution messages exist for both exploits' failure locations.
+    let distributed: Vec<_> = community
+        .log()
+        .iter()
+        .filter_map(|m| match m {
+            Message::RepairDistributed { location, .. } => Some(*location),
+            _ => None,
+        })
+        .collect();
+    assert!(distributed.contains(&browser.sym("vuln_312278_call")));
+    assert!(distributed.contains(&browser.sym("vuln_311710a_call")));
+}
+
+#[test]
+fn benign_browsing_across_the_community_is_untouched() {
+    let browser = Browser::build();
+    let mut community = Community::new(browser.image.clone(), ClearViewConfig::default(), 2);
+    community.distributed_learning(&learning_suite());
+    for (i, page) in learning_suite().iter().enumerate() {
+        let out = community.browse(i % 2, page);
+        assert!(matches!(out.status, RunStatus::Completed));
+        assert!(!out.blocked);
+    }
+    assert!(community.reports().is_empty());
+}

@@ -1,0 +1,292 @@
+//! The Red Team exercise (Section 4 of the paper), reproduced end to end.
+//!
+//! These tests drive the full ClearView pipeline — learning, monitoring, correlated
+//! invariant identification, repair generation, and repair evaluation — against the ten
+//! exploits of Table 1 and check the paper's headline results:
+//!
+//! * every attack is detected and blocked;
+//! * seven of the ten exploits are patched under the Red Team configuration;
+//! * two more are patched after reconfiguration (deeper stack walk, expanded learning);
+//! * exploit 307259 is never patched (its invariant is outside the template set);
+//! * interleaved exploit variants produce the same patch after the same number of
+//!   attacks;
+//! * the final patched browser renders every evaluation page identically to the
+//!   unpatched browser (no induced autoimmune behaviour);
+//! * legitimate pages never trigger patch generation (no false positives).
+
+use clearview::apps::{
+    evaluation_suite, expanded_learning_suite, learning_suite, red_team_exploits, Browser, Exploit,
+    Reconfiguration,
+};
+use clearview::core::{learn_model, ClearViewConfig, ProtectedApplication};
+use clearview::inference::LearnedModel;
+use clearview::runtime::{MonitorConfig, RunStatus};
+
+const MAX_PRESENTATIONS: u32 = 40;
+
+fn model_from(pages: &[Vec<u32>]) -> (Browser, LearnedModel) {
+    let browser = Browser::build();
+    let (model, _) = learn_model(&browser.image, pages, MonitorConfig::full());
+    (browser, model)
+}
+
+/// Present the exploit repeatedly until the patched application survives it. Returns the
+/// number of presentations when a presentation finally completes normally, or `None`
+/// if ClearView never finds a successful patch.
+fn presentations_to_survive(app: &mut ProtectedApplication, pages: &[Vec<u32>]) -> Option<u32> {
+    for i in 1..=MAX_PRESENTATIONS {
+        let page = &pages[(i as usize - 1) % pages.len()];
+        let out = app.present(page);
+        match out.status {
+            RunStatus::Completed => return Some(i),
+            RunStatus::Failure(_) | RunStatus::Crash(_) => {}
+        }
+    }
+    None
+}
+
+fn protect_against(exploit: &Exploit, config: ClearViewConfig, learning: &[Vec<u32>]) -> Option<u32> {
+    let (browser, model) = model_from(learning);
+    let mut app = ProtectedApplication::new(browser.image.clone(), model, config);
+    presentations_to_survive(&mut app, &[exploit.page().to_vec()])
+}
+
+#[test]
+fn every_attack_is_detected_and_blocked() {
+    let (browser, model) = model_from(&learning_suite());
+    for exploit in red_team_exploits(&browser) {
+        let mut app =
+            ProtectedApplication::new(browser.image.clone(), model.clone(), ClearViewConfig::default());
+        let out = app.present(exploit.page());
+        assert!(
+            out.blocked,
+            "exploit {} must be blocked on first presentation",
+            exploit.bugzilla
+        );
+        assert!(
+            out.rendered.is_empty(),
+            "exploit {} terminated before rendering anything",
+            exploit.bugzilla
+        );
+    }
+}
+
+#[test]
+fn seven_of_ten_exploits_are_patched_under_the_red_team_configuration() {
+    let browser = Browser::build();
+    let exploits = red_team_exploits(&browser);
+    let mut patched = Vec::new();
+    let mut unpatched = Vec::new();
+    for exploit in &exploits {
+        let presentations =
+            protect_against(exploit, ClearViewConfig::default(), &learning_suite());
+        match presentations {
+            Some(n) => patched.push((exploit.bugzilla, n)),
+            None => unpatched.push(exploit.bugzilla),
+        }
+    }
+    let patched_ids: Vec<u32> = patched.iter().map(|(b, _)| *b).collect();
+    for exploit in &exploits {
+        if exploit.patched_in_exercise() {
+            assert!(
+                patched_ids.contains(&exploit.bugzilla),
+                "exploit {} should be patched under the default configuration (patched: {patched:?})",
+                exploit.bugzilla
+            );
+        } else {
+            assert!(
+                unpatched.contains(&exploit.bugzilla),
+                "exploit {} should NOT be patched under the default configuration",
+                exploit.bugzilla
+            );
+        }
+    }
+    assert_eq!(patched.len(), 7, "seven of ten exploits patched: {patched:?}");
+    assert_eq!(unpatched.len(), 3, "three remain unpatched: {unpatched:?}");
+}
+
+#[test]
+fn presentation_counts_have_the_shape_of_table_1() {
+    // The paper's minimum is four presentations (detect, two checked replays, one
+    // successful repair evaluation); exploits whose first repairs fail take more; the
+    // three-defect exploit 311710 takes the most.
+    let browser = Browser::build();
+    let exploits = red_team_exploits(&browser);
+    let mut counts = std::collections::BTreeMap::new();
+    for exploit in exploits.iter().filter(|e| e.patched_in_exercise()) {
+        let n = protect_against(exploit, ClearViewConfig::default(), &learning_suite())
+            .unwrap_or_else(|| panic!("exploit {} should be patched", exploit.bugzilla));
+        counts.insert(exploit.bugzilla, n);
+    }
+    for (bugzilla, n) in &counts {
+        assert!(
+            *n >= 4,
+            "exploit {bugzilla}: at least four presentations are required, got {n}"
+        );
+    }
+    // First-repair-works exploits need exactly the minimum.
+    assert_eq!(counts[&290162], 4);
+    assert_eq!(counts[&312278], 4);
+    assert_eq!(counts[&296134], 4);
+    // Exploits whose earlier candidate repairs fail need more presentations.
+    assert!(counts[&295854] > 4, "295854's first repair fails: {}", counts[&295854]);
+    assert!(counts[&269095] > 4, "269095 needs a control-flow repair: {}", counts[&269095]);
+    assert!(counts[&320182] > 4, "320182 needs a control-flow repair: {}", counts[&320182]);
+    // The three chained defects of 311710 dominate the table.
+    assert!(
+        counts[&311710] >= 10,
+        "311710 repairs three defects in sequence: {}",
+        counts[&311710]
+    );
+    let max = counts.values().max().unwrap();
+    assert_eq!(counts[&311710], *max, "311710 is the outlier, as in Table 1");
+}
+
+#[test]
+fn stack_walk_reconfiguration_patches_285595() {
+    let browser = Browser::build();
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 285595)
+        .unwrap();
+    assert_eq!(exploit.reconfiguration, Reconfiguration::StackWalk);
+    // Default configuration: not patched.
+    assert_eq!(
+        protect_against(&exploit, ClearViewConfig::default(), &learning_suite()),
+        None
+    );
+    // Considering one more procedure up the call stack finds the caller's invariant.
+    let n = protect_against(&exploit, ClearViewConfig::with_stack_walk(2), &learning_suite());
+    assert!(n.is_some(), "285595 is patched once the stack walk is enabled");
+}
+
+#[test]
+fn expanded_learning_suite_patches_325403() {
+    let browser = Browser::build();
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 325403)
+        .unwrap();
+    assert_eq!(exploit.reconfiguration, Reconfiguration::ExpandedLearning);
+    assert_eq!(
+        protect_against(&exploit, ClearViewConfig::default(), &learning_suite()),
+        None,
+        "the default learning suite lacks coverage of the vulnerable feature"
+    );
+    let n = protect_against(&exploit, ClearViewConfig::default(), &expanded_learning_suite());
+    assert!(n.is_some(), "325403 is patched once learning covers the feature");
+}
+
+#[test]
+fn exploit_307259_is_never_patched_but_always_blocked() {
+    let browser = Browser::build();
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 307259)
+        .unwrap();
+    assert_eq!(exploit.reconfiguration, Reconfiguration::NotRepairable);
+    for learning in [learning_suite(), expanded_learning_suite()] {
+        let (b, model) = model_from(&learning);
+        let _ = b;
+        let browser = Browser::build();
+        let mut app = ProtectedApplication::new(
+            browser.image.clone(),
+            model,
+            ClearViewConfig::with_stack_walk(3),
+        );
+        for _ in 0..12 {
+            let out = app.present(exploit.page());
+            assert!(
+                !matches!(out.status, RunStatus::Completed),
+                "307259 must keep being blocked, never survived"
+            );
+            assert!(out.blocked || matches!(out.status, RunStatus::Crash(_)));
+        }
+    }
+}
+
+#[test]
+fn multiple_variant_attacks_yield_one_patch_covering_all_variants() {
+    let (browser, model) = model_from(&learning_suite());
+    for bugzilla in [269095u32, 290162, 296134] {
+        let exploit = red_team_exploits(&browser)
+            .into_iter()
+            .find(|e| e.bugzilla == bugzilla)
+            .unwrap();
+        assert!(exploit.pages.len() >= 2, "exploit {bugzilla} has variants");
+
+        // Baseline: single-variant attack.
+        let mut app =
+            ProtectedApplication::new(browser.image.clone(), model.clone(), ClearViewConfig::default());
+        let single = presentations_to_survive(&mut app, &[exploit.page().to_vec()])
+            .expect("single-variant attack is patched");
+
+        // Interleaved variants.
+        let mut app =
+            ProtectedApplication::new(browser.image.clone(), model.clone(), ClearViewConfig::default());
+        let interleaved = presentations_to_survive(&mut app, &exploit.pages)
+            .expect("interleaved variants are patched");
+        assert_eq!(
+            single, interleaved,
+            "exploit {bugzilla}: the same patch arrives after the same number of attacks"
+        );
+        // And the resulting patch protects every variant.
+        for page in &exploit.pages {
+            let out = app.present(page);
+            assert!(
+                matches!(out.status, RunStatus::Completed),
+                "exploit {bugzilla}: patched browser survives every variant"
+            );
+        }
+    }
+}
+
+#[test]
+fn autoimmune_evaluation_rendering_is_bit_identical() {
+    let (browser, model) = model_from(&expanded_learning_suite());
+    // Unpatched baseline rendering of the 57 evaluation pages.
+    let mut baseline_app =
+        ProtectedApplication::new(browser.image.clone(), model.clone(), ClearViewConfig::default());
+    let baseline: Vec<Vec<u32>> = evaluation_suite()
+        .iter()
+        .map(|p| baseline_app.present(p).rendered)
+        .collect();
+
+    // Attack with every patchable exploit until patched, accumulating patches.
+    let mut app = ProtectedApplication::new(
+        browser.image.clone(),
+        model,
+        ClearViewConfig::with_stack_walk(2),
+    );
+    for exploit in red_team_exploits(&browser) {
+        if exploit.reconfiguration == Reconfiguration::NotRepairable {
+            continue;
+        }
+        presentations_to_survive(&mut app, &[exploit.page().to_vec()]);
+    }
+    assert!(app.applied_hook_count() > 0, "patches are in place");
+
+    // The Red Team then displayed all evaluation pages on the patched browser.
+    let patched: Vec<Vec<u32>> = evaluation_suite()
+        .iter()
+        .map(|p| app.present(p).rendered)
+        .collect();
+    assert_eq!(baseline, patched, "bit-identical displays on all 57 evaluation pages");
+}
+
+#[test]
+fn false_positive_evaluation_no_patches_for_legitimate_pages() {
+    let (browser, model) = model_from(&learning_suite());
+    let mut app =
+        ProtectedApplication::new(browser.image.clone(), model, ClearViewConfig::default());
+    for page in evaluation_suite() {
+        let out = app.present(&page);
+        assert!(matches!(out.status, RunStatus::Completed));
+        assert!(!out.blocked);
+    }
+    assert!(
+        app.failure_locations().is_empty(),
+        "no failure response was ever started"
+    );
+    assert_eq!(app.applied_hook_count(), 0, "no patches were generated");
+}
