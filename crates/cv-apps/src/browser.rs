@@ -448,7 +448,7 @@ fn build_gif_285595(b: &mut ProgramBuilder) -> cv_isa::Label {
     b.input(Reg::Edx, Port::Input); // pixel value
     b.mov(Reg::Esi, 1u32); // mode flag
     b.alloc(Reg::Ebx, 16); // pixel buffer
-    // The defect: idx = count - 4, sign never checked (the caller's invariant).
+                           // The defect: idx = count - 4, sign never checked (the caller's invariant).
     let count_site = b.sub(Reg::Ecx, 4u32);
     b.note_symbol("vuln_285595_count", count_site);
     b.lea(Reg::Edi, MemRef::indexed(Reg::Ebx, Reg::Ecx, 1, 0));
@@ -590,13 +590,25 @@ mod tests {
         let heap = browser.heap_base();
         let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
         let r = env.run(&[feature::GC_REALLOC_312278, heap + 2, 0]);
-        assert_eq!(r.failure().unwrap().location, browser.sym("vuln_312278_call"));
+        assert_eq!(
+            r.failure().unwrap().location,
+            browser.sym("vuln_312278_call")
+        );
         let r = env.run(&[feature::WIDGET_269095, heap + 2, 7]);
-        assert_eq!(r.failure().unwrap().location, browser.sym("vuln_269095_call"));
+        assert_eq!(
+            r.failure().unwrap().location,
+            browser.sym("vuln_269095_call")
+        );
         let r = env.run(&[feature::WIDGET_320182, heap + 2, 7]);
-        assert_eq!(r.failure().unwrap().location, browser.sym("vuln_320182_call"));
+        assert_eq!(
+            r.failure().unwrap().location,
+            browser.sym("vuln_320182_call")
+        );
         let r = env.run(&[feature::JS_TYPE_295854, heap + 2, 7]);
-        assert_eq!(r.failure().unwrap().location, browser.sym("vuln_295854_call"));
+        assert_eq!(
+            r.failure().unwrap().location,
+            browser.sym("vuln_295854_call")
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub fn benign_js_type_295854(payload: Word, data: Word) -> Vec<Word> {
 
 /// A benign page exercising feature 3 (312278).
 pub fn benign_gc_realloc_312278(payload: Word, selector: Word) -> Vec<Word> {
-    vec![feature::GC_REALLOC_312278, 1 + payload % 40_000, selector % 2]
+    vec![
+        feature::GC_REALLOC_312278,
+        1 + payload % 40_000,
+        selector % 2,
+    ]
 }
 
 /// A benign page exercising feature 4 (269095).
@@ -72,7 +76,11 @@ pub fn benign_array_311710(raw_a: Word, raw_b: Word, raw_c: Word, seed: Word) ->
 
 /// A benign page exercising feature 8 (285595): `ext_count` at least 4, at most 19.
 pub fn benign_gif_285595(ext_count: Word, pixel: Word) -> Vec<Word> {
-    vec![feature::GIF_285595, 4 + ext_count % 16, 512 + pixel % 20_000]
+    vec![
+        feature::GIF_285595,
+        4 + ext_count % 16,
+        512 + pixel % 20_000,
+    ]
 }
 
 /// A benign page exercising feature 9 (325403): modest data lengths.
@@ -173,7 +181,11 @@ mod tests {
         all.extend(evaluation_suite());
         for (i, page) in all.iter().enumerate() {
             let r = env.run(page);
-            assert!(r.is_completed(), "benign page {i} must complete, got {:?}", r.status);
+            assert!(
+                r.is_completed(),
+                "benign page {i} must complete, got {:?}",
+                r.status
+            );
             assert_eq!(
                 r.rendered.last().copied(),
                 Some(DONE_MARKER),

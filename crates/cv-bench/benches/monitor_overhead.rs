@@ -18,17 +18,21 @@ fn monitor_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("page_load_overhead");
     group.sample_size(20);
     for (name, monitors) in configs {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &monitors, |b, monitors| {
-            b.iter(|| {
-                let mut env = ManagedExecutionEnvironment::new(
-                    browser.image.clone(),
-                    EnvConfig::with_monitors(*monitors),
-                );
-                for page in &pages {
-                    std::hint::black_box(env.run(page));
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &monitors,
+            |b, monitors| {
+                b.iter(|| {
+                    let mut env = ManagedExecutionEnvironment::new(
+                        browser.image.clone(),
+                        EnvConfig::with_monitors(*monitors),
+                    );
+                    for page in &pages {
+                        std::hint::black_box(env.run(page));
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }

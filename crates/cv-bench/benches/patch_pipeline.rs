@@ -18,7 +18,12 @@ fn patch_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("exploit_290162_to_patch", |b| {
         b.iter(|| {
-            let run = run_single_variant(&browser, &exploit, model.clone(), ClearViewConfig::default());
+            let run = run_single_variant(
+                &browser,
+                &exploit,
+                model.clone(),
+                ClearViewConfig::default(),
+            );
             assert_eq!(run.presentations, Some(4));
             std::hint::black_box(run)
         });

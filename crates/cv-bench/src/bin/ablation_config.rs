@@ -9,7 +9,12 @@ use cv_core::{learn_model, ClearViewConfig};
 use cv_inference::LearnedModel;
 use cv_runtime::MonitorConfig;
 
-fn patched_count(browser: &Browser, model: &LearnedModel, config: ClearViewConfig, monitors: MonitorConfig) -> (usize, usize) {
+fn patched_count(
+    browser: &Browser,
+    model: &LearnedModel,
+    config: ClearViewConfig,
+    monitors: MonitorConfig,
+) -> (usize, usize) {
     let mut patched = 0;
     let mut detected = 0;
     for exploit in red_team_exploits(browser) {
@@ -49,24 +54,54 @@ fn patched_count(browser: &Browser, model: &LearnedModel, config: ClearViewConfi
 fn main() {
     let _ = run_single_variant; // re-exported driver used by other binaries
     let browser = Browser::build();
-    let (model, _) = learn_model(&browser.image, &expanded_learning_suite(), MonitorConfig::full());
+    let (model, _) = learn_model(
+        &browser.image,
+        &expanded_learning_suite(),
+        MonitorConfig::full(),
+    );
 
-    let mut no_two_var_restriction = ClearViewConfig::default();
-    no_two_var_restriction.restrict_two_variable_to_failure_block = false;
+    let no_two_var_restriction = ClearViewConfig {
+        restrict_two_variable_to_failure_block: false,
+        ..Default::default()
+    };
 
     let configs: Vec<(&str, ClearViewConfig, MonitorConfig)> = vec![
-        ("Red Team defaults (depth 1, HG on)", ClearViewConfig::default(), MonitorConfig::full()),
-        ("Stack walk depth 2", ClearViewConfig::with_stack_walk(2), MonitorConfig::full()),
-        ("Stack walk depth 3", ClearViewConfig::with_stack_walk(3), MonitorConfig::full()),
-        ("Heap Guard disabled", ClearViewConfig::with_stack_walk(2), MonitorConfig::firewall_and_shadow_stack()),
-        ("No same-block restriction on pair invariants", no_two_var_restriction, MonitorConfig::full()),
+        (
+            "Red Team defaults (depth 1, HG on)",
+            ClearViewConfig::default(),
+            MonitorConfig::full(),
+        ),
+        (
+            "Stack walk depth 2",
+            ClearViewConfig::with_stack_walk(2),
+            MonitorConfig::full(),
+        ),
+        (
+            "Stack walk depth 3",
+            ClearViewConfig::with_stack_walk(3),
+            MonitorConfig::full(),
+        ),
+        (
+            "Heap Guard disabled",
+            ClearViewConfig::with_stack_walk(2),
+            MonitorConfig::firewall_and_shadow_stack(),
+        ),
+        (
+            "No same-block restriction on pair invariants",
+            no_two_var_restriction,
+            MonitorConfig::full(),
+        ),
     ];
 
     let rows: Vec<Vec<String>> = configs
         .iter()
         .map(|(name, config, monitors)| {
             let (patched, detected) = patched_count(&browser, &model, *config, *monitors);
-            vec![name.to_string(), format!("{detected}/10"), format!("{patched}/10")]
+            vec![
+                name.to_string(),
+                format!("{detected}/10"),
+                format!("{patched}/10"),
+            ]
         })
         .collect();
     print_table(

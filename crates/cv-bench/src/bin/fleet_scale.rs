@@ -1,0 +1,161 @@
+//! Fleet-scale benchmark: sequential vs. parallel epoch scheduling throughput
+//! (pages/sec) and monolithic vs. sharded invariant-store merge, at community sizes
+//! the seed's for-loop community could not reach. A captured run is recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run --release -p cv-bench --bin fleet_scale`
+
+use cv_apps::{evaluation_suite, learning_suite, Browser};
+use cv_bench::print_table;
+use cv_core::ClearViewConfig;
+use cv_fleet::{Fleet, FleetConfig, Presentation, ShardedInvariantStore};
+use cv_inference::{InvariantDatabase, LearningFrontend};
+use cv_runtime::{EnvConfig, ManagedExecutionEnvironment};
+use std::time::Instant;
+
+const NODES: usize = 256;
+const EPOCHS: usize = 4;
+const MERGE_MEMBERS: usize = 64;
+const MERGE_ROUNDS: usize = 50;
+
+/// Run `EPOCHS` epochs of benign traffic (every member loads four pages per epoch)
+/// and return (pages processed, execution seconds, pages/sec).
+fn throughput(parallel: bool, workers: usize) -> (u64, f64, f64) {
+    let browser = Browser::build();
+    let mut config = FleetConfig::new(NODES).with_workers(workers);
+    if !parallel {
+        config = config.sequential();
+    }
+    let mut fleet = Fleet::new(browser.image.clone(), ClearViewConfig::default(), config);
+    fleet.distributed_learning(&learning_suite());
+
+    let pages = evaluation_suite();
+    let mut batch = Vec::with_capacity(NODES * 4);
+    for node in 0..NODES {
+        for k in 0..4 {
+            batch.push(Presentation::new(
+                node,
+                pages[(node * 4 + k) % pages.len()].clone(),
+            ));
+        }
+    }
+
+    for _ in 0..EPOCHS {
+        let outcome = fleet.run_epoch(&batch);
+        assert_eq!(
+            outcome.completed(),
+            batch.len(),
+            "benign pages all complete"
+        );
+    }
+    let metrics = fleet.metrics();
+    (
+        metrics.pages_processed,
+        metrics.execution_time.as_secs_f64(),
+        metrics.pages_per_second(),
+    )
+}
+
+/// Produce `MERGE_MEMBERS` member uploads via amortized learning.
+fn uploads() -> Vec<InvariantDatabase> {
+    let browser = Browser::build();
+    let pages = learning_suite();
+    (0..MERGE_MEMBERS)
+        .map(|member| {
+            let mut env =
+                ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::default());
+            let mut frontend = LearningFrontend::new(browser.image.clone());
+            for page in pages.iter().skip(member % pages.len()).step_by(4) {
+                let result = env.run_with_tracer(page, &mut frontend);
+                if result.is_completed() {
+                    frontend.commit_run();
+                } else {
+                    frontend.discard_run();
+                }
+            }
+            frontend.into_model().invariants
+        })
+        .collect()
+}
+
+/// Time `MERGE_ROUNDS` rounds of merging the uploads into a store.
+fn merge_time(shards: usize, parallel: bool, uploads: &[InvariantDatabase]) -> f64 {
+    let start = Instant::now();
+    for _ in 0..MERGE_ROUNDS {
+        let mut store = ShardedInvariantStore::new(shards);
+        if parallel {
+            store.merge_uploads(uploads);
+        } else {
+            store.merge_uploads_sequential(uploads);
+        }
+        std::hint::black_box(store.len());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "fleet_scale: {NODES} members, {EPOCHS} epochs x {} pages/epoch, {cores} cores",
+        NODES * 4
+    );
+
+    let (seq_pages, seq_secs, seq_rate) = throughput(false, 1);
+    let (par_pages, par_secs, par_rate) = throughput(true, 0);
+    assert_eq!(seq_pages, par_pages);
+    let speedup = par_rate / seq_rate;
+
+    print_table(
+        "Epoch scheduling throughput",
+        &["scheduler", "pages", "exec seconds", "pages/sec", "speedup"],
+        &[
+            vec![
+                "sequential (1 worker)".into(),
+                seq_pages.to_string(),
+                format!("{seq_secs:.3}"),
+                format!("{seq_rate:.0}"),
+                "1.00x".into(),
+            ],
+            vec![
+                format!("parallel ({cores} workers)"),
+                par_pages.to_string(),
+                format!("{par_secs:.3}"),
+                format!("{par_rate:.0}"),
+                format!("{speedup:.2}x"),
+            ],
+        ],
+    );
+
+    let ups = uploads();
+    let invariants: usize = ups.iter().map(|u| u.len()).sum();
+    let mono = merge_time(1, false, &ups);
+    let sharded_seq = merge_time(8, false, &ups);
+    let sharded_par = merge_time(8, true, &ups);
+    print_table(
+        &format!(
+            "Invariant-store merge ({MERGE_MEMBERS} uploads, {invariants} invariants, {MERGE_ROUNDS} rounds)"
+        ),
+        &["store", "seconds", "speedup vs monolithic"],
+        &[
+            vec!["monolithic".into(), format!("{mono:.3}"), "1.00x".into()],
+            vec![
+                "8 shards, 1 thread".into(),
+                format!("{sharded_seq:.3}"),
+                format!("{:.2}x", mono / sharded_seq),
+            ],
+            vec![
+                "8 shards, parallel".into(),
+                format!("{sharded_par:.3}"),
+                format!("{:.2}x", mono / sharded_par),
+            ],
+        ],
+    );
+
+    if speedup > 1.0 {
+        println!("\nparallel epoch scheduling speedup: {speedup:.2}x (> 1 on this machine)");
+    } else {
+        println!("\nWARNING: no scheduling speedup measured (single-core machine?)");
+    }
+}

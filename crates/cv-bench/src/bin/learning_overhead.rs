@@ -51,7 +51,13 @@ fn main() {
             pages.len(),
             model.invariants.len()
         ),
-        &["Configuration", "Simulated cost", "Wall clock (s)", "Slowdown (measured)", "Slowdown (paper)"],
+        &[
+            "Configuration",
+            "Simulated cost",
+            "Wall clock (s)",
+            "Slowdown (measured)",
+            "Slowdown (paper)",
+        ],
         &rows,
     );
     println!(

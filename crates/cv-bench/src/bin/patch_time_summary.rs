@@ -26,7 +26,12 @@ fn main() {
     }
     print_table(
         "Patch generation time per successfully patched exploit",
-        &["Bugzilla", "Minutes to patch (simulated)", "Executions", "Defects repaired"],
+        &[
+            "Bugzilla",
+            "Minutes to patch (simulated)",
+            "Executions",
+            "Defects repaired",
+        ],
         &rows,
     );
     let avg_min = totals.iter().sum::<f64>() / totals.len() as f64 / 60.0;

@@ -40,7 +40,12 @@ fn main() {
     };
     print_table(
         &format!("Table 1 — presentations before a successful patch ({mode})"),
-        &["Bugzilla", "Error type", "Presentations (measured)", "Presentations (paper)"],
+        &[
+            "Bugzilla",
+            "Error type",
+            "Presentations (measured)",
+            "Presentations (paper)",
+        ],
         &rows,
     );
 
@@ -56,7 +61,8 @@ fn main() {
     // False-positive check: legitimate pages must not trigger patch generation.
     let browser = Browser::build();
     let (model, _) = learn_model(&browser.image, &learning_suite(), MonitorConfig::full());
-    let mut app = ProtectedApplication::new(browser.image.clone(), model, ClearViewConfig::default());
+    let mut app =
+        ProtectedApplication::new(browser.image.clone(), model, ClearViewConfig::default());
     let mut fp = 0;
     for page in evaluation_suite() {
         let out = app.present(&page);

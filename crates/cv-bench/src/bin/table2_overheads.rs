@@ -8,11 +8,14 @@
 
 use cv_apps::{evaluation_suite, Browser};
 use cv_bench::print_table;
-use cv_runtime::{CostModel, EnvConfig, ExecutionStats, ManagedExecutionEnvironment, MonitorConfig};
+use cv_runtime::{
+    CostModel, EnvConfig, ExecutionStats, ManagedExecutionEnvironment, MonitorConfig,
+};
 use std::time::Instant;
 
 fn run_suite(browser: &Browser, monitors: MonitorConfig) -> (ExecutionStats, f64) {
-    let mut env = ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::with_monitors(monitors));
+    let mut env =
+        ManagedExecutionEnvironment::new(browser.image.clone(), EnvConfig::with_monitors(monitors));
     let pages = evaluation_suite();
     let start = Instant::now();
     for page in &pages {
@@ -27,10 +30,26 @@ fn main() {
     let cost = CostModel::default();
     let configs = [
         ("Bare application", MonitorConfig::bare(), 1.0),
-        ("Memory Firewall", MonitorConfig::memory_firewall_only(), 1.47),
-        ("MF + Shadow Stack", MonitorConfig::firewall_and_shadow_stack(), 1.97),
-        ("MF + Heap Guard", MonitorConfig::firewall_and_heap_guard(), 2.53),
-        ("MF + Heap Guard + Shadow Stack", MonitorConfig::full(), 3.03),
+        (
+            "Memory Firewall",
+            MonitorConfig::memory_firewall_only(),
+            1.47,
+        ),
+        (
+            "MF + Shadow Stack",
+            MonitorConfig::firewall_and_shadow_stack(),
+            1.97,
+        ),
+        (
+            "MF + Heap Guard",
+            MonitorConfig::firewall_and_heap_guard(),
+            2.53,
+        ),
+        (
+            "MF + Heap Guard + Shadow Stack",
+            MonitorConfig::full(),
+            3.03,
+        ),
     ];
     let baseline = run_suite(&browser, MonitorConfig::bare());
     let base_cost = cost.cost(&baseline.0);

@@ -28,13 +28,27 @@ fn main() {
             rows.push(vec![
                 name,
                 format!("{:.2}", t.detection_run_seconds),
-                format!("{:.2} {}", t.check_build_seconds, t.check_counts.annotation()),
+                format!(
+                    "{:.2} {}",
+                    t.check_build_seconds,
+                    t.check_counts.annotation()
+                ),
                 format!("{:.2}", t.check_install_seconds),
-                format!("{:.2} ({}/{})", t.check_run_seconds, t.check_violations, t.check_executions),
-                format!("{:.2} {}", t.repair_build_seconds, t.repair_counts.annotation()),
+                format!(
+                    "{:.2} ({}/{})",
+                    t.check_run_seconds, t.check_violations, t.check_executions
+                ),
+                format!(
+                    "{:.2} {}",
+                    t.repair_build_seconds,
+                    t.repair_counts.annotation()
+                ),
                 format!("{:.2}", t.repair_install_seconds),
                 if t.unsuccessful_repair_runs > 0 {
-                    format!("{:.2} ({})", t.unsuccessful_repair_seconds, t.unsuccessful_repair_runs)
+                    format!(
+                        "{:.2} ({})",
+                        t.unsuccessful_repair_seconds, t.unsuccessful_repair_runs
+                    )
                 } else {
                     "-".to_string()
                 },

@@ -13,11 +13,14 @@
 //! | `learning_overhead` | Section 4.4.1 (≈300× learning slowdown) |
 //! | `patch_time_summary` | Section 4.4.3 (average minutes / executions to a patch) |
 //! | `ablation_config` | Section 4.3.2 / 2.4.1 design-choice ablations |
+//! | `fleet_scale` | Community-scale throughput: sequential vs. parallel epoch scheduling and monolithic vs. sharded invariant merges (`cv-fleet`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cv_apps::{expanded_learning_suite, learning_suite, red_team_exploits, Browser, Exploit, Reconfiguration};
+use cv_apps::{
+    expanded_learning_suite, learning_suite, red_team_exploits, Browser, Exploit, Reconfiguration,
+};
 use cv_core::{learn_model, AttackTimeline, ClearViewConfig, ProtectedApplication};
 use cv_inference::LearnedModel;
 use cv_runtime::{MonitorConfig, RunStatus};
@@ -58,7 +61,12 @@ pub fn config_for(exploit: &Exploit) -> ClearViewConfig {
 }
 
 /// Run the single-variant attack protocol (Section 4.3.1) for one exploit.
-pub fn run_single_variant(browser: &Browser, exploit: &Exploit, model: LearnedModel, config: ClearViewConfig) -> ExploitRun {
+pub fn run_single_variant(
+    browser: &Browser,
+    exploit: &Exploit,
+    model: LearnedModel,
+    config: ClearViewConfig,
+) -> ExploitRun {
     let mut app = ProtectedApplication::new(browser.image.clone(), model, config);
     let mut presentations = None;
     let mut always_contained = true;
@@ -123,8 +131,18 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -1,35 +1,24 @@
 //! The application community: many machines running the same application, cooperating
 //! to learn, detect, and repair (Section 3 of the paper).
 //!
-//! The [`Community`] owns one [`ManagedExecutionEnvironment`] per member node plus the
-//! central ClearView manager state: the merged invariant database, one
-//! [`FailureResponder`] per failure location, and the patch directory. Learning is
-//! amortized across members (each member traces a share of the learning workload and
-//! uploads only its inferred invariants); failures reported by any member drive a single
-//! community-wide response; and successful patches are distributed to every member —
-//! including members that have never been exposed to the attack.
+//! Since the `cv-fleet` engine landed, [`Community`] is a thin N=small facade over
+//! [`cv_fleet::Fleet`]: every `browse` is a one-presentation epoch, which makes the
+//! fleet's batched protocol degenerate to exactly the seed's sequential protocol
+//! (digest routing, responder directives, and patch distribution happen in the same
+//! order, so presentation counts like "four presentations to a patch" are preserved).
+//! The facade also expands the fleet's batched console log back into the legacy
+//! per-event [`Message`] stream that tests and harnesses observe. The expanded
+//! stream carries the same events with the same payloads; within one browse the
+//! interleaving differs slightly from the pre-fleet implementation (observation
+//! reports, then failure notifications, then all patch messages — the seed emitted
+//! patch messages per location as directives were applied).
 
 use crate::messages::{Message, NodeId};
-use cv_core::{ClearViewConfig, DigestStatus, Directive, FailureResponder, Phase, RepairReport, RunDigest};
-use cv_inference::{InvariantDatabase, Invariant, LearnedModel, LearningFrontend, ProcedureDatabase};
+use cv_core::{ClearViewConfig, Phase, RepairReport};
+use cv_fleet::{Fleet, FleetConfig, FleetMessage, PatchPushKind, Presentation};
+use cv_inference::LearnedModel;
 use cv_isa::{Addr, BinaryImage, Word};
-use cv_patch::{install_hooks, uninstall, PatchHandle};
-use cv_runtime::{EnvConfig, HookId, ManagedExecutionEnvironment, MonitorConfig, ObservationKind, RunResult, RunStatus};
-use std::collections::BTreeMap;
-
-/// Patches currently installed on one node for one failure.
-#[derive(Default)]
-struct NodePatchState {
-    checks: Vec<(Invariant, PatchHandle, HookId)>,
-    repair: Option<PatchHandle>,
-}
-
-/// The community-wide response to one failure location.
-struct ResponseState {
-    responder: FailureResponder,
-    /// Patch bookkeeping per node.
-    per_node: BTreeMap<NodeId, NodePatchState>,
-}
+use cv_runtime::{MonitorConfig, RunStatus};
 
 /// The outcome of presenting a page to one community member.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,13 +35,12 @@ pub struct CommunityOutcome {
 
 /// An application community protected by ClearView.
 pub struct Community {
+    fleet: Fleet,
     image: BinaryImage,
-    config: ClearViewConfig,
     monitors: MonitorConfig,
-    nodes: Vec<ManagedExecutionEnvironment>,
-    model: LearnedModel,
-    responses: BTreeMap<Addr, ResponseState>,
     log: Vec<Message>,
+    /// Fleet log batches already expanded into `log`.
+    translated: usize,
 }
 
 impl Community {
@@ -68,26 +56,24 @@ impl Community {
         node_count: usize,
         monitors: MonitorConfig,
     ) -> Self {
-        let nodes = (0..node_count.max(1))
-            .map(|_| ManagedExecutionEnvironment::new(image.clone(), EnvConfig::with_monitors(monitors)))
-            .collect();
+        // One worker: a handful of members browsing one page at a time gains nothing
+        // from fan-out, and single-threaded execution keeps the facade deterministic.
+        let fleet_config = FleetConfig::new(node_count.max(1))
+            .with_workers(1)
+            .with_shards(4)
+            .with_monitors(monitors);
         Community {
-            model: LearnedModel {
-                invariants: InvariantDatabase::new(),
-                procedures: ProcedureDatabase::new(image.clone()),
-            },
+            fleet: Fleet::new(image.clone(), config, fleet_config),
             image,
-            config,
             monitors,
-            nodes,
-            responses: BTreeMap::new(),
             log: Vec::new(),
+            translated: 0,
         }
     }
 
     /// Number of community members.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.fleet.node_count()
     }
 
     /// The message log (failure notifications, patch distributions, ...).
@@ -95,215 +81,125 @@ impl Community {
         &self.log
     }
 
+    /// The underlying fleet engine (batched log, metrics, epoch API).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
     /// The merged, community-wide learned model.
     pub fn model(&self) -> &LearnedModel {
-        &self.model
+        self.fleet.model()
     }
 
     /// Maintainer-facing reports for every failure the community has responded to.
     pub fn reports(&self) -> Vec<RepairReport> {
-        self.responses.values().map(|r| r.responder.report()).collect()
+        self.fleet.reports()
     }
 
     /// True if a successful repair is distributed for the failure at `location`.
     pub fn is_protected_against(&self, location: Addr) -> bool {
-        self.responses
-            .get(&location)
-            .map(|r| r.responder.is_protected())
-            .unwrap_or(false)
+        self.fleet.is_protected_against(location)
     }
 
     /// The response phase for the failure at `location`.
     pub fn phase_of(&self, location: Addr) -> Option<Phase> {
-        self.responses.get(&location).map(|r| r.responder.phase())
+        self.fleet.phase_of(location)
     }
 
     /// Amortized parallel learning (Section 3.1): the learning pages are divided among
     /// the members round-robin; each member traces only its share, infers invariants
-    /// locally, and uploads them; the central manager merges the uploads into the
+    /// locally, and uploads them; shard workers merge the uploads into the
     /// community-wide invariant database.
     ///
     /// Runs that fail or crash are discarded, so erroneous executions never contribute
     /// invariants.
     pub fn distributed_learning(&mut self, pages: &[Vec<Word>]) {
-        let node_count = self.nodes.len();
-        let mut frontends: Vec<LearningFrontend> = (0..node_count)
-            .map(|_| LearningFrontend::new(self.image.clone()))
-            .collect();
-        for (i, page) in pages.iter().enumerate() {
-            let node = i % node_count;
-            let result = self.nodes[node].run_with_tracer(page, &mut frontends[node]);
-            if result.is_completed() {
-                frontends[node].commit_run();
-            } else {
-                frontends[node].discard_run();
-            }
-        }
-        for (node, frontend) in frontends.into_iter().enumerate() {
-            let local = frontend.into_model();
-            self.log.push(Message::InvariantUpload {
-                node,
-                invariants: local.invariants.len(),
-            });
-            self.model.invariants.merge(&local.invariants);
-            // The central manager also accumulates the procedure CFGs (these are
-            // rebuilt from the image, not uploaded; merging here models the manager
-            // performing the same discovery).
-            for proc in local.procedures.procedures() {
-                self.model.procedures.observe_block(proc.entry);
-            }
-        }
+        self.fleet.distributed_learning(pages);
+        self.translate_new_batches();
     }
 
     /// Centralized learning on a single member (used by experiments that need the exact
     /// single-machine model).
     pub fn centralized_learning(&mut self, pages: &[Vec<Word>]) {
         let (model, _) = cv_core::learn_model(&self.image, pages, self.monitors);
-        self.model = model;
+        self.fleet.set_model(model);
     }
 
     /// A member loads a page. Failures are reported to the central manager, which
     /// drives the response and distributes patches to every member.
     pub fn browse(&mut self, node: NodeId, page: &[Word]) -> CommunityOutcome {
-        assert!(node < self.nodes.len(), "unknown node {node}");
-        self.nodes[node].flush_cache();
-        let result = self.nodes[node].run(page);
-        let status = match &result.status {
-            RunStatus::Completed => DigestStatus::Completed,
-            RunStatus::Failure(f) => DigestStatus::FailureAt(f.location),
-            RunStatus::Crash(_) => DigestStatus::Crashed,
-        };
-
-        // Route the outcome through every active response (the reporting node's
-        // observations are the ones that matter for invariant checking).
-        let locations: Vec<Addr> = self.responses.keys().copied().collect();
-        for loc in locations {
-            let directives = {
-                let state = self.responses.get_mut(&loc).expect("response exists");
-                let digest = Self::build_digest(state, node, &result, status);
-                if !digest.observations.is_empty() {
-                    self.log.push(Message::ObservationReport {
-                        node,
-                        location: loc,
-                        observations: digest.observations.values().map(|v| v.len()).sum(),
-                    });
-                }
-                state.responder.on_run(&digest, &self.model)
-            };
-            self.apply_directives(loc, directives);
-        }
-
-        // A failure at a new location starts a new community-wide response.
-        if let RunStatus::Failure(failure) = &result.status {
-            self.log.push(Message::FailureNotification {
-                node,
-                location: failure.location,
-            });
-            if !self.responses.contains_key(&failure.location) {
-                let (responder, directives) =
-                    FailureResponder::new(failure, &self.model, self.config);
-                self.responses.insert(
-                    failure.location,
-                    ResponseState {
-                        responder,
-                        per_node: BTreeMap::new(),
-                    },
-                );
-                self.apply_directives(failure.location, directives);
-            }
-        }
-
+        assert!(node < self.fleet.node_count(), "unknown node {node}");
+        let mut epoch = self.fleet.run_epoch(&[Presentation::new(node, page)]);
+        let outcome = epoch.outcomes.remove(0);
+        self.translate_new_batches();
         CommunityOutcome {
-            node,
-            blocked: matches!(result.status, RunStatus::Failure(_)),
-            status: result.status,
-            rendered: result.rendered,
+            node: outcome.node,
+            status: outcome.status,
+            rendered: outcome.rendered,
+            blocked: outcome.blocked,
         }
     }
 
-    fn build_digest(
-        state: &ResponseState,
-        node: NodeId,
-        result: &RunResult,
-        status: DigestStatus,
-    ) -> RunDigest {
-        let mut digest = RunDigest::with_status(status);
-        if let Some(node_state) = state.per_node.get(&node) {
-            for (inv, _, check_hook) in &node_state.checks {
-                let seq: Vec<bool> = result
-                    .observations
-                    .iter()
-                    .filter(|o| o.hook == *check_hook)
-                    .map(|o| o.kind == ObservationKind::Satisfied)
-                    .collect();
-                if !seq.is_empty() {
-                    digest.observations.insert(inv.clone(), seq);
-                }
-            }
-        }
-        digest
-    }
-
-    /// Apply the responder's directives to *every* member of the community: this is the
-    /// patch distribution step that gives unexposed members immunity.
-    fn apply_directives(&mut self, loc: Addr, directives: Vec<Directive>) {
-        for directive in directives {
-            match directive {
-                Directive::InstallChecks(checks) => {
-                    self.log.push(Message::ChecksDistributed {
-                        location: loc,
-                        invariants: checks.len(),
-                    });
-                    for node in 0..self.nodes.len() {
-                        let mut installed = Vec::new();
-                        for check in &checks {
-                            let handle = install_hooks(&mut self.nodes[node], check.build_hooks());
-                            let hook = *handle.hook_ids().last().expect("check hook");
-                            installed.push((check.invariant.clone(), handle, hook));
-                        }
-                        let state = self.responses.get_mut(&loc).expect("response exists");
-                        state.per_node.entry(node).or_default().checks = installed;
+    /// Expand fleet log batches recorded since the last call into the legacy
+    /// per-event message stream.
+    fn translate_new_batches(&mut self) {
+        let batches = self.fleet.log().messages();
+        for batch in &batches[self.translated..] {
+            match batch {
+                FleetMessage::InvariantUploads { uploads, .. } => {
+                    for (node, invariants) in uploads {
+                        self.log.push(Message::InvariantUpload {
+                            node: *node,
+                            invariants: *invariants,
+                        });
                     }
                 }
-                Directive::RemoveChecks => {
-                    self.log.push(Message::ChecksRemoved { location: loc });
-                    for node in 0..self.nodes.len() {
-                        let state = self.responses.get_mut(&loc).expect("response exists");
-                        let checks = state
-                            .per_node
-                            .entry(node)
-                            .or_default()
-                            .checks
-                            .drain(..)
-                            .collect::<Vec<_>>();
-                        for (_, handle, _) in checks {
-                            let _ = uninstall(&mut self.nodes[node], &handle);
-                        }
+                FleetMessage::Failures { failures, .. } => {
+                    for (node, location) in failures {
+                        self.log.push(Message::FailureNotification {
+                            node: *node,
+                            location: *location,
+                        });
                     }
                 }
-                Directive::InstallRepair(repair) => {
-                    self.log.push(Message::RepairDistributed {
-                        location: loc,
-                        description: repair.description(),
-                    });
-                    for node in 0..self.nodes.len() {
-                        let handle = install_hooks(&mut self.nodes[node], repair.build_hooks());
-                        let state = self.responses.get_mut(&loc).expect("response exists");
-                        state.per_node.entry(node).or_default().repair = Some(handle);
+                FleetMessage::Observations {
+                    location, reports, ..
+                } => {
+                    for (node, observations) in reports {
+                        self.log.push(Message::ObservationReport {
+                            node: *node,
+                            location: *location,
+                            observations: *observations,
+                        });
                     }
                 }
-                Directive::RemoveRepair => {
-                    self.log.push(Message::RepairRemoved { location: loc });
-                    for node in 0..self.nodes.len() {
-                        let state = self.responses.get_mut(&loc).expect("response exists");
-                        let repair = state.per_node.entry(node).or_default().repair.take();
-                        if let Some(handle) = repair {
-                            let _ = uninstall(&mut self.nodes[node], &handle);
-                        }
+                FleetMessage::PatchPushes { pushes, .. } => {
+                    for push in pushes {
+                        self.log.push(match &push.kind {
+                            PatchPushKind::InstallChecks { invariants } => {
+                                Message::ChecksDistributed {
+                                    location: push.location,
+                                    invariants: *invariants,
+                                }
+                            }
+                            PatchPushKind::RemoveChecks => Message::ChecksRemoved {
+                                location: push.location,
+                            },
+                            PatchPushKind::InstallRepair { description } => {
+                                Message::RepairDistributed {
+                                    location: push.location,
+                                    description: description.clone(),
+                                }
+                            }
+                            PatchPushKind::RemoveRepair => Message::RepairRemoved {
+                                location: push.location,
+                            },
+                        });
                     }
                 }
             }
         }
+        self.translated = batches.len();
     }
 }
 
@@ -314,7 +210,8 @@ mod tests {
 
     fn protected_community(nodes: usize) -> (Community, Browser) {
         let browser = Browser::build();
-        let mut community = Community::new(browser.image.clone(), ClearViewConfig::default(), nodes);
+        let mut community =
+            Community::new(browser.image.clone(), ClearViewConfig::default(), nodes);
         community.distributed_learning(&learning_suite());
         (community, browser)
     }
@@ -347,7 +244,10 @@ mod tests {
                 break;
             }
         }
-        assert!(survived_at.is_some(), "the attacked member eventually survives");
+        assert!(
+            survived_at.is_some(),
+            "the attacked member eventually survives"
+        );
         // Node 2 has never seen the attack, but the distributed patch protects it.
         let out = community.browse(2, exploit.page());
         assert!(
@@ -375,12 +275,26 @@ mod tests {
         }
         let a_loc = browser.sym("vuln_290162_call");
         let b_loc = browser.sym("vuln_296134_ret");
-        assert!(community.is_protected_against(a_loc), "{:?}", community.phase_of(a_loc));
-        assert!(community.is_protected_against(b_loc), "{:?}", community.phase_of(b_loc));
+        assert!(
+            community.is_protected_against(a_loc),
+            "{:?}",
+            community.phase_of(a_loc)
+        );
+        assert!(
+            community.is_protected_against(b_loc),
+            "{:?}",
+            community.phase_of(b_loc)
+        );
         // Both members now survive both attacks.
         for node in 0..2 {
-            assert!(matches!(community.browse(node, a.page()).status, RunStatus::Completed));
-            assert!(matches!(community.browse(node, b.page()).status, RunStatus::Completed));
+            assert!(matches!(
+                community.browse(node, a.page()).status,
+                RunStatus::Completed
+            ));
+            assert!(matches!(
+                community.browse(node, b.page()).status,
+                RunStatus::Completed
+            ));
         }
         assert_eq!(community.reports().len(), 2);
     }
@@ -397,5 +311,23 @@ mod tests {
             .log()
             .iter()
             .any(|m| matches!(m, Message::FailureNotification { .. })));
+    }
+
+    #[test]
+    fn facade_exposes_fleet_metrics_and_batched_log() {
+        let (mut community, browser) = protected_community(2);
+        let exploit = red_team_exploits(&browser)
+            .into_iter()
+            .find(|e| e.bugzilla == 290162)
+            .unwrap();
+        for _ in 0..6 {
+            community.browse(0, exploit.page());
+        }
+        let fleet = community.fleet();
+        assert!(fleet.metrics().pages_processed >= 6);
+        assert!(fleet.metrics().patch_pushes > 0);
+        // The batched log carries the same traffic the legacy log expands to.
+        let batched_events: usize = fleet.log().messages().iter().map(|m| m.event_count()).sum();
+        assert_eq!(batched_events, community.log().len());
     }
 }

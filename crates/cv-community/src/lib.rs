@@ -6,9 +6,13 @@
 //! a few members have been attacked (Section 3 of the paper).
 //!
 //! * [`Community`] — the member nodes, the central ClearView manager (merged invariant
-//!   database, per-failure responders), and patch distribution.
-//! * [`Message`] — the protocol messages recorded in the console log (failure
-//!   notifications, invariant uploads, check/repair distribution).
+//!   database, per-failure responders), and patch distribution. Since the `cv-fleet`
+//!   engine landed this is a thin N=small facade over [`cv_fleet::Fleet`] — one
+//!   presentation per epoch reproduces the sequential protocol exactly; use
+//!   `cv-fleet` directly for thousand-member communities.
+//! * [`Message`] — the legacy per-event protocol messages recorded in the console log
+//!   (failure notifications, invariant uploads, check/repair distribution), expanded
+//!   from the fleet's batched [`cv_fleet::FleetMessage`] log.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

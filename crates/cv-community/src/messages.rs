@@ -86,10 +86,21 @@ mod tests {
     #[test]
     fn location_extraction() {
         assert_eq!(
-            Message::FailureNotification { node: 1, location: 0x40100 }.location(),
+            Message::FailureNotification {
+                node: 1,
+                location: 0x40100
+            }
+            .location(),
             Some(0x40100)
         );
-        assert_eq!(Message::InvariantUpload { node: 0, invariants: 5 }.location(), None);
+        assert_eq!(
+            Message::InvariantUpload {
+                node: 0,
+                invariants: 5
+            }
+            .location(),
+            None
+        );
         let m = Message::RepairDistributed {
             location: 0x40200,
             description: "enforce".into(),

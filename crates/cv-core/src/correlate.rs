@@ -29,18 +29,17 @@ pub enum Correlation {
 /// observations the invariant's check produced during one execution that ended in the
 /// failure. Runs in which the invariant was never checked contribute nothing.
 pub fn classify(observations_per_failure: &[Vec<bool>]) -> Correlation {
-    let runs: Vec<&Vec<bool>> = observations_per_failure.iter().filter(|r| !r.is_empty()).collect();
+    let runs: Vec<&Vec<bool>> = observations_per_failure
+        .iter()
+        .filter(|r| !r.is_empty())
+        .collect();
     if runs.is_empty() {
         return Correlation::Not;
     }
     let violated_last_every_time = runs.iter().all(|r| !*r.last().expect("non-empty"));
     let any_violation = runs.iter().any(|r| r.iter().any(|s| !*s));
-    let violated_elsewhere_some_run = runs
-        .iter()
-        .any(|r| r[..r.len() - 1].iter().any(|s| !*s));
-    let satisfied_all_other_times = runs
-        .iter()
-        .all(|r| r[..r.len() - 1].iter().all(|s| *s));
+    let violated_elsewhere_some_run = runs.iter().any(|r| r[..r.len() - 1].iter().any(|s| !*s));
+    let satisfied_all_other_times = runs.iter().all(|r| r[..r.len() - 1].iter().all(|s| *s));
 
     if violated_last_every_time && satisfied_all_other_times {
         Correlation::Highly

@@ -115,7 +115,11 @@ impl RepairEvaluator {
 
     /// True if every candidate has failed at least once (nothing promising remains).
     pub fn exhausted(&self) -> bool {
-        !self.scores.is_empty() && self.scores.iter().all(|s| s.failures > 0 && s.successes == 0)
+        !self.scores.is_empty()
+            && self
+                .scores
+                .iter()
+                .all(|s| s.failures > 0 && s.successes == 0)
     }
 }
 

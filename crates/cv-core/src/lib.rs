@@ -30,7 +30,8 @@ pub use config::ClearViewConfig;
 pub use correlate::{candidate_invariants, classify, CandidateSet, Correlation};
 pub use evaluate::{RepairEvaluator, RepairScore};
 pub use pipeline::{
-    checks_for, learn_model, AttackTimeline, PresentationOutcome, ProtectedApplication, SimTimeModel,
+    checks_for, learn_model, AttackTimeline, PresentationOutcome, ProtectedApplication,
+    SimTimeModel,
 };
 pub use repairgen::{generate_repairs, RepairCandidate};
 pub use responder::{DigestStatus, Directive, FailureResponder, Phase, RepairReport, RunDigest};

@@ -30,7 +30,8 @@ pub fn learn_model(
     pages: &[Vec<Word>],
     monitors: MonitorConfig,
 ) -> (LearnedModel, ExecutionStats) {
-    let mut env = ManagedExecutionEnvironment::new(image.clone(), EnvConfig::with_monitors(monitors));
+    let mut env =
+        ManagedExecutionEnvironment::new(image.clone(), EnvConfig::with_monitors(monitors));
     let mut frontend = LearningFrontend::new(image.clone());
     for page in pages {
         let result = env.run_with_tracer(page, &mut frontend);

@@ -60,7 +60,10 @@ pub fn generate_repairs(
 
     let mut out = Vec::new();
     for inv in candidates.invariants.iter() {
-        let correlation = classifications.get(inv).copied().unwrap_or(Correlation::Not);
+        let correlation = classifications
+            .get(inv)
+            .copied()
+            .unwrap_or(Correlation::Not);
         if correlation != selected_class {
             continue;
         }
@@ -147,14 +150,21 @@ mod tests {
     fn only_highest_correlation_class_is_used() {
         let i1 = lb(0x41000, Reg::Ecx, 1);
         let i2 = lb(0x41010, Reg::Edx, 0);
-        let mut candidates = CandidateSet::default();
-        candidates.invariants = vec![i1.clone(), i2.clone()];
+        let mut candidates = CandidateSet {
+            invariants: vec![i1.clone(), i2.clone()],
+            ..Default::default()
+        };
         candidates.procedure_of.insert(i1.clone(), 0x40000);
         candidates.procedure_of.insert(i2.clone(), 0x40000);
         let mut cls = HashMap::new();
         cls.insert(i1.clone(), Correlation::Highly);
         cls.insert(i2.clone(), Correlation::Moderately);
-        let repairs = generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default());
+        let repairs = generate_repairs(
+            &candidates,
+            &cls,
+            &make_model(),
+            &ClearViewConfig::default(),
+        );
         assert_eq!(repairs.len(), 1);
         assert_eq!(repairs[0].repair.invariant, i1);
         assert_eq!(repairs[0].correlation, Correlation::Highly);
@@ -163,26 +173,47 @@ mod tests {
     #[test]
     fn moderately_correlated_used_when_no_highly() {
         let i1 = lb(0x41000, Reg::Ecx, 1);
-        let mut candidates = CandidateSet::default();
-        candidates.invariants = vec![i1.clone()];
+        let mut candidates = CandidateSet {
+            invariants: vec![i1.clone()],
+            ..Default::default()
+        };
         candidates.procedure_of.insert(i1.clone(), 0x40000);
         let mut cls = HashMap::new();
         cls.insert(i1.clone(), Correlation::Moderately);
-        let repairs = generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default());
+        let repairs = generate_repairs(
+            &candidates,
+            &cls,
+            &make_model(),
+            &ClearViewConfig::default(),
+        );
         assert_eq!(repairs.len(), 1);
     }
 
     #[test]
     fn slight_or_no_correlation_generates_nothing() {
         let i1 = lb(0x41000, Reg::Ecx, 1);
-        let mut candidates = CandidateSet::default();
-        candidates.invariants = vec![i1.clone()];
+        let mut candidates = CandidateSet {
+            invariants: vec![i1.clone()],
+            ..Default::default()
+        };
         candidates.procedure_of.insert(i1.clone(), 0x40000);
         let mut cls = HashMap::new();
         cls.insert(i1.clone(), Correlation::Slightly);
-        assert!(generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default()).is_empty());
+        assert!(generate_repairs(
+            &candidates,
+            &cls,
+            &make_model(),
+            &ClearViewConfig::default()
+        )
+        .is_empty());
         cls.insert(i1.clone(), Correlation::Not);
-        assert!(generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default()).is_empty());
+        assert!(generate_repairs(
+            &candidates,
+            &cls,
+            &make_model(),
+            &ClearViewConfig::default()
+        )
+        .is_empty());
     }
 
     #[test]
@@ -192,18 +223,28 @@ mod tests {
             values: [0x41100u32].into_iter().collect(),
         };
         let late = lb(0x41020, Reg::Ecx, 1);
-        let mut candidates = CandidateSet::default();
-        candidates.invariants = vec![late.clone(), early.clone()];
+        let mut candidates = CandidateSet {
+            invariants: vec![late.clone(), early.clone()],
+            ..Default::default()
+        };
         candidates.procedure_of.insert(late.clone(), 0x40000);
         candidates.procedure_of.insert(early.clone(), 0x40000);
         let mut cls = HashMap::new();
         cls.insert(early.clone(), Correlation::Highly);
         cls.insert(late.clone(), Correlation::Highly);
-        let repairs = generate_repairs(&candidates, &cls, &make_model(), &ClearViewConfig::default());
+        let repairs = generate_repairs(
+            &candidates,
+            &cls,
+            &make_model(),
+            &ClearViewConfig::default(),
+        );
         assert!(repairs.len() >= 2);
         assert_eq!(repairs[0].check_addr, 0x41000, "earlier instruction first");
         // Within the same invariant/address, state changes come before control-flow
         // changes; the set-value repair is first.
-        assert!(matches!(repairs[0].repair.strategy, RepairStrategy::SetValue { .. }));
+        assert!(matches!(
+            repairs[0].repair.strategy,
+            RepairStrategy::SetValue { .. }
+        ));
     }
 }

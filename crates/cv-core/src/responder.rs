@@ -104,7 +104,11 @@ pub struct RepairReport {
 
 impl fmt::Display for RepairReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "failure at 0x{:x} — phase {:?}", self.failure_location, self.phase)?;
+        writeln!(
+            f,
+            "failure at 0x{:x} — phase {:?}",
+            self.failure_location, self.phase
+        )?;
         writeln!(f, "  candidate invariants: {}", self.candidate_invariants)?;
         for (inv, cls) in &self.correlated {
             writeln!(f, "  correlated [{cls:?}]: {inv}")?;
@@ -139,7 +143,11 @@ pub struct FailureResponder {
 impl FailureResponder {
     /// Start responding to `failure`. Returns the responder plus the directives to apply
     /// immediately (installing the invariant-checking patches, if any candidates exist).
-    pub fn new(failure: &Failure, model: &LearnedModel, config: ClearViewConfig) -> (Self, Vec<Directive>) {
+    pub fn new(
+        failure: &Failure,
+        model: &LearnedModel,
+        config: ClearViewConfig,
+    ) -> (Self, Vec<Directive>) {
         let candidates = candidate_invariants(failure, model, &config);
         let (phase, directives) = if candidates.is_empty() {
             (Phase::Unprotected, Vec::new())
@@ -228,7 +236,10 @@ impl FailureResponder {
                 self.failing_runs_with_checks += 1;
                 for inv in &self.candidates.invariants {
                     let obs = digest.observations.get(inv).cloned().unwrap_or_default();
-                    self.observations_per_failure.entry(inv.clone()).or_default().push(obs);
+                    self.observations_per_failure
+                        .entry(inv.clone())
+                        .or_default()
+                        .push(obs);
                 }
                 if self.failing_runs_with_checks >= self.config.check_runs_required {
                     return self.finish_checking(model);
@@ -248,7 +259,8 @@ impl FailureResponder {
                 .unwrap_or_default();
             self.classifications.insert(inv.clone(), classify(&runs));
         }
-        let repairs = generate_repairs(&self.candidates, &self.classifications, model, &self.config);
+        let repairs =
+            generate_repairs(&self.candidates, &self.classifications, model, &self.config);
         let mut directives = vec![Directive::RemoveChecks];
         if repairs.is_empty() {
             self.phase = Phase::Unprotected;
@@ -300,7 +312,10 @@ impl FailureResponder {
                 }
                 self.active_repair = Some(next);
                 self.phase = Phase::Repairing;
-                vec![Directive::RemoveRepair, Directive::InstallRepair(cand.repair.clone())]
+                vec![
+                    Directive::RemoveRepair,
+                    Directive::InstallRepair(cand.repair.clone()),
+                ]
             }
         }
     }

@@ -75,8 +75,15 @@ fn benign_pages_pass_through_unmodified() {
         assert!(matches!(out.status, RunStatus::Completed));
         assert!(!out.blocked);
     }
-    assert!(app.failure_locations().is_empty(), "no false positives: no responses started");
-    assert_eq!(app.applied_hook_count(), 0, "no patches applied in the absence of failures");
+    assert!(
+        app.failure_locations().is_empty(),
+        "no false positives: no responses started"
+    );
+    assert_eq!(
+        app.applied_hook_count(),
+        0,
+        "no patches applied in the absence of failures"
+    );
 }
 
 #[test]
@@ -89,7 +96,10 @@ fn attack_is_blocked_and_eventually_patched() {
     assert!(out.blocked, "the Memory Firewall blocks the attack");
     assert_eq!(app.failure_locations(), vec![call_site]);
     assert_eq!(app.phase_of(call_site), Some(Phase::Checking));
-    assert!(app.applied_hook_count() > 0, "invariant-checking patches installed");
+    assert!(
+        app.applied_hook_count() > 0,
+        "invariant-checking patches installed"
+    );
 
     // Presentations 2 and 3: invariant checking over repeated attacks.
     let out = app.present(&attack_page());
@@ -127,16 +137,26 @@ fn patched_application_preserves_benign_behaviour() {
     // and after patching.
     let (image, _) = vulnerable_browser();
     let (model, _) = learn_model(&image, &benign_pages(), MonitorConfig::full());
-    let mut unpatched = ProtectedApplication::new(image.clone(), model.clone(), ClearViewConfig::default());
-    let baseline: Vec<Vec<u32>> = benign_pages().iter().map(|p| unpatched.present(p).rendered).collect();
+    let mut unpatched =
+        ProtectedApplication::new(image.clone(), model.clone(), ClearViewConfig::default());
+    let baseline: Vec<Vec<u32>> = benign_pages()
+        .iter()
+        .map(|p| unpatched.present(p).rendered)
+        .collect();
 
     let mut app = ProtectedApplication::new(image, model, ClearViewConfig::default());
     for _ in 0..4 {
         app.present(&attack_page());
     }
     assert!(!app.failure_locations().is_empty());
-    let after: Vec<Vec<u32>> = benign_pages().iter().map(|p| app.present(p).rendered).collect();
-    assert_eq!(baseline, after, "bit-identical rendering on legitimate pages");
+    let after: Vec<Vec<u32>> = benign_pages()
+        .iter()
+        .map(|p| app.present(p).rendered)
+        .collect();
+    assert_eq!(
+        baseline, after,
+        "bit-identical rendering on legitimate pages"
+    );
 }
 
 #[test]
@@ -153,11 +173,20 @@ fn timeline_and_report_describe_the_response() {
     assert!(t.check_build_seconds > 0.0);
     assert!(t.check_install_seconds > 0.0);
     assert!(t.check_run_seconds > 0.0);
-    assert!(t.check_executions >= 2, "checks executed during the two replays");
-    assert!(t.check_violations >= 2, "the correlated invariant was violated in both");
+    assert!(
+        t.check_executions >= 2,
+        "checks executed during the two replays"
+    );
+    assert!(
+        t.check_violations >= 2,
+        "the correlated invariant was violated in both"
+    );
     assert!(t.repair_build_seconds > 0.0);
     assert!(t.repair_install_seconds > 0.0);
-    assert!(t.successful_repair_seconds >= 10.0, "includes the evaluation window");
+    assert!(
+        t.successful_repair_seconds >= 10.0,
+        "includes the evaluation window"
+    );
     assert!(t.total_seconds() > 60.0);
     assert!(t.presentations >= 3);
 
@@ -165,7 +194,10 @@ fn timeline_and_report_describe_the_response() {
     assert_eq!(reports.len(), 1);
     let r = &reports[0];
     assert_eq!(r.failure_location, syms["call_site"]);
-    assert!(!r.correlated.is_empty(), "correlated invariants reported to maintainers");
+    assert!(
+        !r.correlated.is_empty(),
+        "correlated invariants reported to maintainers"
+    );
     assert!(r.active_repair.is_some());
     let text = r.to_string();
     assert!(text.contains("active repair"));

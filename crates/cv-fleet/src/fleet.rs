@@ -1,0 +1,400 @@
+//! The fleet engine: the central ClearView manager for a large application community.
+//!
+//! A [`Fleet`] owns the member environments (behind an [`EpochScheduler`]), the
+//! sharded community invariant store, one `FailureResponder` per failure location,
+//! the batched console log, and the fleet metrics. Execution is epoch-batched: the
+//! caller schedules a batch of presentations, workers run them in parallel, and the
+//! central manager digests the batch, drives the per-failure responders, and pushes
+//! the resulting patch operations to every member at the epoch boundary.
+//!
+//! **Batching semantics.** Within an epoch every member executes under the patch
+//! configuration established at the previous boundary. The manager therefore feeds a
+//! responder only digests consistent with that configuration: once a responder emits
+//! directives mid-batch (its expected configuration changed), the remaining digests of
+//! the same epoch for that location are dropped — they were produced under the old
+//! patches. With one presentation per epoch this degenerates to exactly the seed
+//! `cv-community` protocol, which is how the small-N facade preserves the paper's
+//! presentation counts (e.g. four presentations to a patch).
+
+use crate::metrics::FleetMetrics;
+use crate::protocol::{
+    BatchLog, FleetMessage, NodeId, PatchOp, PatchPush, PatchPushKind, Presentation,
+};
+use crate::scheduler::EpochScheduler;
+use crate::shard::ShardedInvariantStore;
+use cv_core::{ClearViewConfig, Directive, FailureResponder, Phase, RepairReport};
+use cv_inference::{InvariantDatabase, LearnedModel, ProcedureDatabase};
+use cv_isa::{Addr, BinaryImage, Word};
+use cv_runtime::{MonitorConfig, RunStatus};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// Construction knobs for a [`Fleet`].
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of community members.
+    pub node_count: usize,
+    /// Worker threads executing members (0 = one per available core).
+    pub worker_count: usize,
+    /// Shards of the community invariant store.
+    pub shard_count: usize,
+    /// Monitor configuration for every member.
+    pub monitors: MonitorConfig,
+    /// Run workers on real threads (`false` = same partitioning, one thread; the
+    /// sequential baseline for benchmarks).
+    pub parallel: bool,
+}
+
+impl FleetConfig {
+    /// Defaults for `node_count` members: auto worker count, 8 shards, full monitors,
+    /// parallel execution.
+    pub fn new(node_count: usize) -> Self {
+        FleetConfig {
+            node_count,
+            worker_count: 0,
+            shard_count: 8,
+            monitors: MonitorConfig::full(),
+            parallel: true,
+        }
+    }
+
+    /// Override the worker count.
+    pub fn with_workers(mut self, worker_count: usize) -> Self {
+        self.worker_count = worker_count;
+        self
+    }
+
+    /// Override the shard count.
+    pub fn with_shards(mut self, shard_count: usize) -> Self {
+        self.shard_count = shard_count.max(1);
+        self
+    }
+
+    /// Override the monitor configuration.
+    pub fn with_monitors(mut self, monitors: MonitorConfig) -> Self {
+        self.monitors = monitors;
+        self
+    }
+
+    /// Force sequential (single-thread) execution.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// The outcome of one presentation within an epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberOutcome {
+    /// The member that processed the page.
+    pub node: NodeId,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// What the member rendered.
+    pub rendered: Vec<Word>,
+    /// True if a monitor blocked the page.
+    pub blocked: bool,
+}
+
+/// The outcome of one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// The epoch number (1-based).
+    pub epoch: u64,
+    /// One outcome per presentation, in batch order.
+    pub outcomes: Vec<MemberOutcome>,
+}
+
+impl EpochOutcome {
+    /// Number of presentations a monitor blocked.
+    pub fn blocked(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.blocked).count()
+    }
+
+    /// Number of presentations that completed normally.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, RunStatus::Completed))
+            .count()
+    }
+}
+
+/// A sharded, parallel application community under ClearView protection.
+pub struct Fleet {
+    image: BinaryImage,
+    config: ClearViewConfig,
+    monitors: MonitorConfig,
+    scheduler: EpochScheduler,
+    store: ShardedInvariantStore,
+    model: LearnedModel,
+    responses: BTreeMap<Addr, FailureResponder>,
+    log: BatchLog,
+    metrics: FleetMetrics,
+    epoch: u64,
+}
+
+impl Fleet {
+    /// Create a fleet of `fleet_config.node_count` members running `image`, with an
+    /// empty model.
+    pub fn new(image: BinaryImage, config: ClearViewConfig, fleet_config: FleetConfig) -> Self {
+        let scheduler = EpochScheduler::new(
+            &image,
+            fleet_config.monitors,
+            fleet_config.node_count,
+            fleet_config.worker_count,
+            fleet_config.parallel,
+        );
+        Fleet {
+            model: LearnedModel {
+                invariants: InvariantDatabase::new(),
+                procedures: ProcedureDatabase::new(image.clone()),
+            },
+            store: ShardedInvariantStore::new(fleet_config.shard_count),
+            monitors: fleet_config.monitors,
+            image,
+            config,
+            scheduler,
+            responses: BTreeMap::new(),
+            log: BatchLog::new(),
+            metrics: FleetMetrics::default(),
+            epoch: 0,
+        }
+    }
+
+    /// Number of community members.
+    pub fn node_count(&self) -> usize {
+        self.scheduler.node_count()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.scheduler.worker_count()
+    }
+
+    /// Number of shards in the community invariant store.
+    pub fn shard_count(&self) -> usize {
+        self.store.shard_count()
+    }
+
+    /// The batched console log.
+    pub fn log(&self) -> &BatchLog {
+        &self.log
+    }
+
+    /// The fleet metrics collected so far.
+    pub fn metrics(&self) -> &FleetMetrics {
+        &self.metrics
+    }
+
+    /// The merged, community-wide learned model (the fused shard snapshot).
+    pub fn model(&self) -> &LearnedModel {
+        &self.model
+    }
+
+    /// The monitor configuration members run under.
+    pub fn monitors(&self) -> MonitorConfig {
+        self.monitors
+    }
+
+    /// Epochs executed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Maintainer-facing reports for every failure the fleet has responded to.
+    pub fn reports(&self) -> Vec<RepairReport> {
+        self.responses.values().map(|r| r.report()).collect()
+    }
+
+    /// True if a successful repair is distributed for the failure at `location`.
+    pub fn is_protected_against(&self, location: Addr) -> bool {
+        self.responses
+            .get(&location)
+            .map(|r| r.is_protected())
+            .unwrap_or(false)
+    }
+
+    /// The response phase for the failure at `location`.
+    pub fn phase_of(&self, location: Addr) -> Option<Phase> {
+        self.responses.get(&location).map(|r| r.phase())
+    }
+
+    /// Replace the community model wholesale (centralized learning / experiments
+    /// needing the exact single-machine model). Resets the sharded store to match.
+    pub fn set_model(&mut self, model: LearnedModel) {
+        self.store = ShardedInvariantStore::from_database(
+            model.invariants.clone(),
+            self.store.shard_count(),
+        );
+        self.model = model;
+    }
+
+    /// Amortized parallel learning (Section 3.1): the learning pages are divided among
+    /// the members round-robin; each member traces only its share and uploads its
+    /// locally inferred invariants; shard workers merge the uploads in parallel; the
+    /// fused snapshot becomes the community model. Erroneous runs never contribute.
+    pub fn distributed_learning(&mut self, pages: &[Vec<Word>]) {
+        let locals = self.scheduler.learn(&self.image, pages);
+        let mut uploads = Vec::with_capacity(locals.len());
+        let mut databases = Vec::with_capacity(locals.len());
+        for (node, local) in locals {
+            uploads.push((node, local.invariants.len()));
+            // The central manager re-discovers the procedure CFGs the members saw
+            // (these are rebuilt from the image, not uploaded — as in the seed).
+            for proc in local.procedures.procedures() {
+                self.model.procedures.observe_block(proc.entry);
+            }
+            databases.push(local.invariants);
+        }
+        self.store.merge_uploads(&databases);
+        self.model.invariants = self.store.snapshot();
+        self.log.push(FleetMessage::InvariantUploads {
+            epoch: self.epoch,
+            uploads,
+        });
+        self.metrics.learning_pages += pages.len() as u64;
+    }
+
+    /// Execute one epoch: run `presentations` across the fleet in parallel, digest
+    /// the batch centrally, and push resulting patch operations to every member.
+    pub fn run_epoch(&mut self, presentations: &[Presentation]) -> EpochOutcome {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let active: Vec<Addr> = self.responses.keys().copied().collect();
+
+        let execution_start = Instant::now();
+        let records = self.scheduler.run_epoch(presentations, &active);
+        let execution = execution_start.elapsed();
+
+        let manager_start = Instant::now();
+        let mut ops: Vec<(Addr, PatchOp)> = Vec::new();
+        let mut pushes: Vec<PatchPush> = Vec::new();
+        let mut failures: Vec<(NodeId, Addr)> = Vec::new();
+        let mut observation_batches: BTreeMap<Addr, Vec<(NodeId, usize)>> = BTreeMap::new();
+        // Locations whose patch configuration changed mid-batch: the rest of this
+        // epoch's digests for them ran under the old patches and are dropped.
+        let mut reconfigured: BTreeSet<Addr> = BTreeSet::new();
+
+        for record in &records {
+            for (loc, digest) in &record.digests {
+                if reconfigured.contains(loc) {
+                    continue;
+                }
+                let Some(responder) = self.responses.get_mut(loc) else {
+                    continue;
+                };
+                if !digest.observations.is_empty() {
+                    let total = digest.observations.values().map(|v| v.len()).sum();
+                    observation_batches
+                        .entry(*loc)
+                        .or_default()
+                        .push((record.node, total));
+                }
+                let directives = responder.on_run(digest, &self.model);
+                if !directives.is_empty() {
+                    reconfigured.insert(*loc);
+                    queue_directives(&mut ops, &mut pushes, *loc, directives, self.node_count());
+                }
+            }
+            if let Some(failure) = &record.failure {
+                failures.push((record.node, failure.location));
+                self.metrics.record_first_failure(failure.location, epoch);
+                if !self.responses.contains_key(&failure.location) {
+                    // A failure at a new location starts a community-wide response.
+                    // Same-epoch repeats of this failure predate the checking patches
+                    // and are not fed to the new responder.
+                    let (responder, directives) =
+                        FailureResponder::new(failure, &self.model, self.config);
+                    self.responses.insert(failure.location, responder);
+                    reconfigured.insert(failure.location);
+                    queue_directives(
+                        &mut ops,
+                        &mut pushes,
+                        failure.location,
+                        directives,
+                        self.node_count(),
+                    );
+                }
+            }
+        }
+        let manager = manager_start.elapsed();
+
+        // Batch order mirrors the seed's within-browse order as far as batching
+        // allows: observation reports first, then failure notifications, then patch
+        // pushes (the seed interleaves pushes per location; a batch cannot).
+        for (location, reports) in observation_batches {
+            self.log.push(FleetMessage::Observations {
+                epoch,
+                location,
+                reports,
+            });
+        }
+        self.log.push(FleetMessage::Failures { epoch, failures });
+        self.log.push(FleetMessage::PatchPushes { epoch, pushes });
+
+        let push_start = Instant::now();
+        self.scheduler.apply_ops(&ops);
+        if !ops.is_empty() {
+            self.metrics.record_patch_push(
+                ops.len() as u64,
+                self.node_count() as u64,
+                push_start.elapsed(),
+            );
+        }
+
+        for (loc, responder) in &self.responses {
+            if responder.is_protected() {
+                self.metrics.record_protected(*loc, epoch);
+            }
+        }
+        self.metrics
+            .record_epoch(records.len() as u64, execution, manager);
+
+        EpochOutcome {
+            epoch,
+            outcomes: records
+                .into_iter()
+                .map(|r| MemberOutcome {
+                    node: r.node,
+                    blocked: matches!(r.status, RunStatus::Failure(_)),
+                    status: r.status,
+                    rendered: r.rendered,
+                })
+                .collect(),
+        }
+    }
+
+    /// Convenience single-presentation epoch (the facade path): present `page` to
+    /// `node` and return its outcome.
+    pub fn present(&mut self, node: NodeId, page: &[Word]) -> MemberOutcome {
+        assert!(node < self.node_count(), "unknown node {node}");
+        let mut outcome = self.run_epoch(&[Presentation::new(node, page)]);
+        outcome.outcomes.remove(0)
+    }
+}
+
+/// Translate responder directives into fleet-wide patch operations plus their log
+/// summaries.
+fn queue_directives(
+    ops: &mut Vec<(Addr, PatchOp)>,
+    pushes: &mut Vec<PatchPush>,
+    location: Addr,
+    directives: Vec<Directive>,
+    members: usize,
+) {
+    for directive in directives {
+        let op = match directive {
+            Directive::InstallChecks(checks) => PatchOp::InstallChecks(checks),
+            Directive::RemoveChecks => PatchOp::RemoveChecks,
+            Directive::InstallRepair(repair) => PatchOp::InstallRepair(repair),
+            Directive::RemoveRepair => PatchOp::RemoveRepair,
+        };
+        pushes.push(PatchPush {
+            location,
+            kind: PatchPushKind::of(&op),
+            members,
+        });
+        ops.push((location, op));
+    }
+}

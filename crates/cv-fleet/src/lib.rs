@@ -1,0 +1,43 @@
+//! # cv-fleet — a sharded, parallel application-community engine
+//!
+//! ClearView's headline result (Section 3 of the paper) is that an *application
+//! community* — many machines running the same application — can collaboratively
+//! learn invariants, detect attacks, and immunize members that were never attacked.
+//! The `cv-community` crate demonstrates the protocol at N = a handful; this crate is
+//! the same protocol engineered for thousands of simulated members:
+//!
+//! * [`ShardedInvariantStore`] (`shard.rs`) — the community invariant database
+//!   partitioned by check-address shard, so member uploads merge in parallel, one
+//!   worker per shard, with a result identical to the sequential merge.
+//! * [`EpochScheduler`] (`scheduler.rs`) — execution batched into epochs and fanned
+//!   out across worker threads; each member keeps its own
+//!   `ManagedExecutionEnvironment`, and patches apply at epoch boundaries.
+//! * [`FleetMessage`] / [`BatchLog`] (`protocol.rs`) — the batched wire protocol:
+//!   invariant uploads, failure notifications, observation reports, and patch pushes
+//!   travel as per-epoch batches instead of one message per event.
+//! * [`FleetMetrics`] (`metrics.rs`) — pages/sec throughput, time-to-immunity per
+//!   exploit, and patch-propagation latency across the fleet.
+//! * [`Fleet`] (`fleet.rs`) — the central manager tying the four together: the
+//!   paper's learn → detect → check → repair → distribute loop, at community scale.
+//!
+//! `cv-community` is a thin N=small facade over [`Fleet`] (one presentation per
+//! epoch reproduces the seed's sequential protocol exactly); `examples/fleet_demo.rs`
+//! and the `fleet_scale` binary in `cv-bench` exercise the 1,000+-member
+//! configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fleet;
+mod metrics;
+mod protocol;
+mod scheduler;
+mod shard;
+
+pub use fleet::{EpochOutcome, Fleet, FleetConfig, MemberOutcome};
+pub use metrics::{FleetMetrics, ImmunityRecord};
+pub use protocol::{
+    BatchLog, FleetMessage, NodeId, PatchOp, PatchPush, PatchPushKind, Presentation,
+};
+pub use scheduler::EpochScheduler;
+pub use shard::ShardedInvariantStore;

@@ -1,0 +1,187 @@
+//! Fleet-wide operational metrics.
+//!
+//! The paper evaluates ClearView per machine (overhead, patch-generation time). At
+//! community scale the interesting quantities are aggregates: how many pages per
+//! second the fleet sustains, how long an exploit takes from first detection to
+//! community-wide immunity, and how quickly a patch push reaches every member.
+//! [`FleetMetrics`] collects all three; the `fleet_scale` binary and
+//! `EXPERIMENTS.md` record captured runs.
+
+use cv_isa::Addr;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// The immunity timeline for one failure location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImmunityRecord {
+    /// Epoch in which the failure was first reported.
+    pub first_failure_epoch: u64,
+    /// Epoch in which a repair survived evaluation fleet-wide, if one has.
+    pub protected_epoch: Option<u64>,
+}
+
+impl ImmunityRecord {
+    /// Epochs from first detection to fleet-wide immunity.
+    pub fn epochs_to_immunity(&self) -> Option<u64> {
+        self.protected_epoch
+            .map(|p| p.saturating_sub(self.first_failure_epoch))
+    }
+}
+
+/// Aggregate metrics for one fleet.
+#[derive(Debug, Clone, Default)]
+pub struct FleetMetrics {
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Page presentations processed across all members.
+    pub pages_processed: u64,
+    /// Wall-clock time spent executing member runs (the parallel section).
+    pub execution_time: Duration,
+    /// Wall-clock time spent in the central manager (responders, batching).
+    pub manager_time: Duration,
+    /// Wall-clock time spent distributing patches to members.
+    pub patch_propagation_time: Duration,
+    /// Patch pushes distributed (one push reaches every member).
+    pub patch_pushes: u64,
+    /// Per-member patch applications performed (pushes × members reached).
+    pub patch_applications: u64,
+    /// Learning pages traced during distributed learning.
+    pub learning_pages: u64,
+    /// Immunity timelines per failure location.
+    immunity: BTreeMap<Addr, ImmunityRecord>,
+}
+
+impl FleetMetrics {
+    /// Record that `pages` presentations were executed this epoch.
+    pub(crate) fn record_epoch(&mut self, pages: u64, execution: Duration, manager: Duration) {
+        self.epochs += 1;
+        self.pages_processed += pages;
+        self.execution_time += execution;
+        self.manager_time += manager;
+    }
+
+    /// Record one patch-push round reaching `members` members.
+    pub(crate) fn record_patch_push(&mut self, pushes: u64, members: u64, elapsed: Duration) {
+        self.patch_pushes += pushes;
+        self.patch_applications += pushes * members;
+        self.patch_propagation_time += elapsed;
+    }
+
+    /// Record the first failure ever reported at `location`.
+    pub(crate) fn record_first_failure(&mut self, location: Addr, epoch: u64) {
+        self.immunity.entry(location).or_insert(ImmunityRecord {
+            first_failure_epoch: epoch,
+            protected_epoch: None,
+        });
+    }
+
+    /// Record that `location` became protected at `epoch`.
+    pub(crate) fn record_protected(&mut self, location: Addr, epoch: u64) {
+        if let Some(record) = self.immunity.get_mut(&location) {
+            record.protected_epoch.get_or_insert(epoch);
+        }
+    }
+
+    /// The immunity timeline for `location`, if a failure was ever reported there.
+    pub fn immunity(&self, location: Addr) -> Option<ImmunityRecord> {
+        self.immunity.get(&location).copied()
+    }
+
+    /// All immunity timelines.
+    pub fn immunity_records(&self) -> impl Iterator<Item = (Addr, ImmunityRecord)> + '_ {
+        self.immunity.iter().map(|(a, r)| (*a, *r))
+    }
+
+    /// Sustained throughput of the execution phase, in pages per second.
+    pub fn pages_per_second(&self) -> f64 {
+        let secs = self.execution_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.pages_processed as f64 / secs
+        }
+    }
+
+    /// Mean wall-clock patch-propagation latency per push (time to reach the whole
+    /// fleet).
+    pub fn mean_push_latency(&self) -> Option<Duration> {
+        if self.patch_pushes == 0 {
+            None
+        } else {
+            Some(self.patch_propagation_time / self.patch_pushes as u32)
+        }
+    }
+}
+
+impl fmt::Display for FleetMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet metrics: {} epochs, {} pages ({:.0} pages/sec execution)",
+            self.epochs,
+            self.pages_processed,
+            self.pages_per_second()
+        )?;
+        writeln!(
+            f,
+            "  time: execution {:?}, manager {:?}, patch propagation {:?}",
+            self.execution_time, self.manager_time, self.patch_propagation_time
+        )?;
+        writeln!(
+            f,
+            "  patches: {} pushes, {} member applications{}",
+            self.patch_pushes,
+            self.patch_applications,
+            match self.mean_push_latency() {
+                Some(lat) => format!(", mean push latency {lat:?}"),
+                None => String::new(),
+            }
+        )?;
+        for (addr, record) in &self.immunity {
+            match record.epochs_to_immunity() {
+                Some(epochs) => writeln!(
+                    f,
+                    "  failure 0x{addr:x}: immune after {epochs} epoch(s) (first seen epoch {})",
+                    record.first_failure_epoch
+                )?,
+                None => writeln!(
+                    f,
+                    "  failure 0x{addr:x}: not yet immune (first seen epoch {})",
+                    record.first_failure_epoch
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immunity_timeline_tracks_first_failure_and_protection() {
+        let mut m = FleetMetrics::default();
+        m.record_first_failure(0x40, 3);
+        m.record_first_failure(0x40, 5); // later reports don't move the origin
+        assert_eq!(m.immunity(0x40).unwrap().first_failure_epoch, 3);
+        assert_eq!(m.immunity(0x40).unwrap().epochs_to_immunity(), None);
+        m.record_protected(0x40, 7);
+        m.record_protected(0x40, 9); // protection epoch is sticky
+        assert_eq!(m.immunity(0x40).unwrap().epochs_to_immunity(), Some(4));
+        assert!(m.immunity(0x99).is_none());
+    }
+
+    #[test]
+    fn throughput_and_latency_aggregate() {
+        let mut m = FleetMetrics::default();
+        m.record_epoch(500, Duration::from_millis(250), Duration::from_millis(10));
+        m.record_epoch(500, Duration::from_millis(250), Duration::from_millis(10));
+        assert_eq!(m.pages_processed, 1000);
+        assert!((m.pages_per_second() - 2000.0).abs() < 1.0);
+        m.record_patch_push(2, 1000, Duration::from_millis(8));
+        assert_eq!(m.patch_applications, 2000);
+        assert_eq!(m.mean_push_latency(), Some(Duration::from_millis(4)));
+    }
+}

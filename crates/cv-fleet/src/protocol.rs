@@ -1,0 +1,243 @@
+//! The batched fleet wire protocol.
+//!
+//! `cv-community::Message` records one console message per event — one upload per
+//! member, one notification per failure, one push per patch. At community scale that
+//! protocol is the bottleneck: a 10,000-member fleet uploading invariants would cross
+//! the management console's SSL channels 10,000 times per learning round (Section 3 of
+//! the paper describes exactly this console). The fleet protocol instead moves
+//! *batches*: everything of one kind that happened in one epoch travels as a single
+//! message, and patch pushes name the patch once regardless of how many members
+//! receive it.
+//!
+//! Messages carry counts and patch descriptions, not raw databases — mirroring the
+//! paper's observation that the invariant database, not trace data, is what crosses
+//! the network. [`FleetMessage::batched_wire_words`] /
+//! [`FleetMessage::unbatched_wire_words`] quantify what batching saves.
+
+use cv_isa::Addr;
+use cv_patch::{CheckPatch, RepairPatch};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a fleet member (compatible with `cv-community::NodeId`).
+pub type NodeId = usize;
+
+/// One page presentation scheduled for one member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Presentation {
+    /// The member that loads the page.
+    pub node: NodeId,
+    /// The page content.
+    pub page: Vec<cv_isa::Word>,
+}
+
+impl Presentation {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, page: impl Into<Vec<cv_isa::Word>>) -> Self {
+        Presentation {
+            node,
+            page: page.into(),
+        }
+    }
+}
+
+/// A patch operation distributed to every member of the fleet.
+#[derive(Debug, Clone)]
+pub enum PatchOp {
+    /// Install these invariant-checking patches.
+    InstallChecks(Vec<CheckPatch>),
+    /// Remove all invariant-checking patches for the failure.
+    RemoveChecks,
+    /// Install this repair patch.
+    InstallRepair(RepairPatch),
+    /// Remove the currently installed repair patch for the failure.
+    RemoveRepair,
+}
+
+/// The log-friendly summary of one patch push (the payload itself is a [`PatchOp`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatchPushKind {
+    /// Invariant-checking patches were pushed.
+    InstallChecks {
+        /// Number of invariants checked.
+        invariants: usize,
+    },
+    /// Checking patches were removed.
+    RemoveChecks,
+    /// A candidate repair was pushed.
+    InstallRepair {
+        /// Human-readable description of the repair.
+        description: String,
+    },
+    /// A repair was removed.
+    RemoveRepair,
+}
+
+impl PatchPushKind {
+    /// The summary for an operation.
+    pub fn of(op: &PatchOp) -> Self {
+        match op {
+            PatchOp::InstallChecks(checks) => PatchPushKind::InstallChecks {
+                invariants: checks.len(),
+            },
+            PatchOp::RemoveChecks => PatchPushKind::RemoveChecks,
+            PatchOp::InstallRepair(repair) => PatchPushKind::InstallRepair {
+                description: repair.description(),
+            },
+            PatchOp::RemoveRepair => PatchPushKind::RemoveRepair,
+        }
+    }
+}
+
+/// One entry of a patch-push batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchPush {
+    /// The failure location the patch belongs to.
+    pub location: Addr,
+    /// What was pushed.
+    pub kind: PatchPushKind,
+    /// How many members received the push.
+    pub members: usize,
+}
+
+/// A batched protocol message, as recorded in the fleet console log.
+///
+/// Each variant aggregates everything of its kind that happened in one epoch (or one
+/// learning round); the `cv-community` facade expands these back into the legacy
+/// per-event [`cv_community::Message`](../cv_community) stream for compatibility.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetMessage {
+    /// Members uploaded locally inferred invariants (amortized parallel learning).
+    InvariantUploads {
+        /// The epoch (learning round) of the batch.
+        epoch: u64,
+        /// `(member, invariant count)` per uploading member.
+        uploads: Vec<(NodeId, usize)>,
+    },
+    /// Monitors detected failures during the epoch.
+    Failures {
+        /// The epoch of the batch.
+        epoch: u64,
+        /// `(member, failure location)` per detected failure.
+        failures: Vec<(NodeId, Addr)>,
+    },
+    /// Members reported invariant-check observations for one failure location.
+    Observations {
+        /// The epoch of the batch.
+        epoch: u64,
+        /// The failure location the observations belong to.
+        location: Addr,
+        /// `(member, observation count)` per reporting member.
+        reports: Vec<(NodeId, usize)>,
+    },
+    /// The console pushed patches to every member.
+    PatchPushes {
+        /// The epoch of the batch.
+        epoch: u64,
+        /// The pushes of the epoch.
+        pushes: Vec<PatchPush>,
+    },
+}
+
+/// Flat per-event cost of one protocol event, in wire words (header + ids).
+const EVENT_HEADER_WORDS: u64 = 4;
+
+impl FleetMessage {
+    /// Number of events aggregated in this batch.
+    pub fn event_count(&self) -> usize {
+        match self {
+            FleetMessage::InvariantUploads { uploads, .. } => uploads.len(),
+            FleetMessage::Failures { failures, .. } => failures.len(),
+            FleetMessage::Observations { reports, .. } => reports.len(),
+            FleetMessage::PatchPushes { pushes, .. } => pushes.len(),
+        }
+    }
+
+    /// Estimated wire size of the batch: one header plus two words per entry.
+    pub fn batched_wire_words(&self) -> u64 {
+        EVENT_HEADER_WORDS + 2 * self.event_count() as u64
+    }
+
+    /// Estimated wire size of the same traffic sent as per-event messages (the
+    /// `cv-community` protocol): one header plus two words per event — and patch
+    /// pushes additionally repeated once per receiving member.
+    pub fn unbatched_wire_words(&self) -> u64 {
+        match self {
+            FleetMessage::PatchPushes { pushes, .. } => pushes
+                .iter()
+                .map(|p| (EVENT_HEADER_WORDS + 2) * p.members.max(1) as u64)
+                .sum(),
+            _ => (EVENT_HEADER_WORDS + 2) * self.event_count() as u64,
+        }
+    }
+}
+
+/// The fleet console log: batched messages plus aggregate wire accounting.
+#[derive(Debug, Clone, Default)]
+pub struct BatchLog {
+    messages: Vec<FleetMessage>,
+}
+
+impl BatchLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a batch (empty batches are dropped).
+    pub fn push(&mut self, message: FleetMessage) {
+        if message.event_count() > 0 {
+            self.messages.push(message);
+        }
+    }
+
+    /// The recorded batches.
+    pub fn messages(&self) -> &[FleetMessage] {
+        &self.messages
+    }
+
+    /// Total wire words with batching.
+    pub fn batched_wire_words(&self) -> u64 {
+        self.messages.iter().map(|m| m.batched_wire_words()).sum()
+    }
+
+    /// Total wire words the legacy per-event protocol would have used.
+    pub fn unbatched_wire_words(&self) -> u64 {
+        self.messages.iter().map(|m| m.unbatched_wire_words()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_compresses_patch_distribution() {
+        let mut log = BatchLog::new();
+        log.push(FleetMessage::PatchPushes {
+            epoch: 3,
+            pushes: vec![PatchPush {
+                location: 0x4000,
+                kind: PatchPushKind::RemoveChecks,
+                members: 1000,
+            }],
+        });
+        assert_eq!(log.messages().len(), 1);
+        assert!(log.batched_wire_words() * 100 < log.unbatched_wire_words());
+    }
+
+    #[test]
+    fn empty_batches_are_dropped() {
+        let mut log = BatchLog::new();
+        log.push(FleetMessage::Failures {
+            epoch: 0,
+            failures: vec![],
+        });
+        assert!(log.messages().is_empty());
+        log.push(FleetMessage::Failures {
+            epoch: 0,
+            failures: vec![(7, 0x40)],
+        });
+        assert_eq!(log.messages().len(), 1);
+        assert_eq!(log.messages()[0].event_count(), 1);
+    }
+}

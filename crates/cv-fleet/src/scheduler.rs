@@ -1,0 +1,329 @@
+//! The batched epoch scheduler.
+//!
+//! Community execution proceeds in *epochs*: a batch of page presentations is fanned
+//! out across worker threads (members are partitioned round-robin over workers, one
+//! `ManagedExecutionEnvironment` per member, so no run ever crosses a thread), every
+//! run's failure report and invariant-check observations are collected into
+//! [`RunRecord`]s, and the central manager processes the batch between epochs. Patch
+//! operations produced by the manager are applied to every member at the epoch
+//! boundary — the fleet equivalent of the paper's console pushing patches to all Node
+//! Managers (Section 3.2).
+//!
+//! Within an epoch members execute with a *fixed* patch configuration; this is what
+//! makes the fan-out embarrassingly parallel. The consistency consequences for the
+//! responder protocol are handled by the engine (see `Fleet::run_epoch`).
+
+use crate::protocol::{NodeId, PatchOp, Presentation};
+use cv_core::{DigestStatus, RunDigest};
+use cv_inference::{Invariant, LearnedModel, LearningFrontend};
+use cv_isa::{Addr, BinaryImage, Word};
+use cv_patch::{install_hooks, uninstall, PatchHandle};
+use cv_runtime::{
+    EnvConfig, Failure, HookId, ManagedExecutionEnvironment, MonitorConfig, ObservationKind,
+    RunResult, RunStatus,
+};
+use std::collections::BTreeMap;
+
+/// Patches currently installed on one member for one failure location.
+#[derive(Default)]
+struct NodePatchState {
+    checks: Vec<(Invariant, PatchHandle, HookId)>,
+    repair: Option<PatchHandle>,
+}
+
+/// One community member: its execution environment plus patch bookkeeping.
+struct MemberState {
+    id: NodeId,
+    env: ManagedExecutionEnvironment,
+    patches: BTreeMap<Addr, NodePatchState>,
+}
+
+/// The outcome of one page presentation, as collected by a worker.
+pub(crate) struct RunRecord {
+    /// Position of the presentation in the epoch's batch (global order).
+    pub seq: usize,
+    /// The member that loaded the page.
+    pub node: NodeId,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// What the member rendered.
+    pub rendered: Vec<Word>,
+    /// Per-active-failure-location digests (status plus check observations), built
+    /// against the patch configuration the run actually executed under.
+    pub digests: Vec<(Addr, RunDigest)>,
+    /// The failure a monitor reported, if any.
+    pub failure: Option<Failure>,
+}
+
+/// Fans epochs of presentations out across worker-owned members.
+pub struct EpochScheduler {
+    workers: Vec<Vec<MemberState>>,
+    node_count: usize,
+    parallel: bool,
+}
+
+impl EpochScheduler {
+    /// A scheduler for `node_count` members running `image`, partitioned over
+    /// `worker_count` workers (0 = one per available core). `parallel = false` keeps
+    /// the same partitioning but runs every worker on the calling thread (the
+    /// sequential baseline of the `fleet_scale` benchmark).
+    pub(crate) fn new(
+        image: &BinaryImage,
+        monitors: MonitorConfig,
+        node_count: usize,
+        worker_count: usize,
+        parallel: bool,
+    ) -> Self {
+        let node_count = node_count.max(1);
+        let worker_count = if worker_count == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            worker_count
+        }
+        .clamp(1, node_count);
+        let mut workers: Vec<Vec<MemberState>> = (0..worker_count).map(|_| Vec::new()).collect();
+        for id in 0..node_count {
+            workers[id % worker_count].push(MemberState {
+                id,
+                env: ManagedExecutionEnvironment::new(
+                    image.clone(),
+                    EnvConfig::with_monitors(monitors),
+                ),
+                patches: BTreeMap::new(),
+            });
+        }
+        EpochScheduler {
+            workers,
+            node_count,
+            parallel,
+        }
+    }
+
+    /// Number of members.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Execute one epoch: run every presentation on its member, collecting one
+    /// [`RunRecord`] per presentation (returned in batch order). `active` lists the
+    /// failure locations with live responses; a digest is built for each.
+    pub(crate) fn run_epoch(
+        &mut self,
+        presentations: &[Presentation],
+        active: &[Addr],
+    ) -> Vec<RunRecord> {
+        let worker_count = self.workers.len();
+        let mut jobs: Vec<Vec<(usize, &Presentation)>> =
+            (0..worker_count).map(|_| Vec::new()).collect();
+        for (seq, presentation) in presentations.iter().enumerate() {
+            assert!(
+                presentation.node < self.node_count,
+                "unknown node {}",
+                presentation.node
+            );
+            jobs[presentation.node % worker_count].push((seq, presentation));
+        }
+
+        let mut records: Vec<RunRecord> = if self.parallel && worker_count > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .zip(&jobs)
+                    .map(|(members, batch)| {
+                        scope.spawn(move || run_worker(members, worker_count, batch, active))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        } else {
+            self.workers
+                .iter_mut()
+                .zip(&jobs)
+                .flat_map(|(members, batch)| run_worker(members, worker_count, batch, active))
+                .collect()
+        };
+        records.sort_by_key(|r| r.seq);
+        records
+    }
+
+    /// Apply patch operations to **every** member — the distribution step that makes
+    /// unexposed members immune. Fanned out across workers.
+    pub(crate) fn apply_ops(&mut self, ops: &[(Addr, PatchOp)]) {
+        if ops.is_empty() {
+            return;
+        }
+        if self.parallel && self.workers.len() > 1 {
+            std::thread::scope(|scope| {
+                for members in self.workers.iter_mut() {
+                    scope.spawn(move || apply_ops_to_members(members, ops));
+                }
+            });
+        } else {
+            for members in self.workers.iter_mut() {
+                apply_ops_to_members(members, ops);
+            }
+        }
+    }
+
+    /// Amortized parallel learning (Section 3.1): page `i` is traced by member
+    /// `i % node_count` (the seed's round-robin), each member infers invariants from
+    /// its share only, and every member returns its local model — the uploads the
+    /// sharded store then merges. Fanned out across workers.
+    pub(crate) fn learn(
+        &mut self,
+        image: &BinaryImage,
+        pages: &[Vec<Word>],
+    ) -> Vec<(NodeId, LearnedModel)> {
+        let node_count = self.node_count;
+        let mut locals: Vec<(NodeId, LearnedModel)> = if self.parallel && self.workers.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .map(|members| {
+                        scope.spawn(move || learn_on_members(members, image, pages, node_count))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        } else {
+            self.workers
+                .iter_mut()
+                .flat_map(|members| learn_on_members(members, image, pages, node_count))
+                .collect()
+        };
+        locals.sort_by_key(|(node, _)| *node);
+        locals
+    }
+}
+
+/// Run one worker's share of an epoch.
+fn run_worker(
+    members: &mut [MemberState],
+    worker_count: usize,
+    jobs: &[(usize, &Presentation)],
+    active: &[Addr],
+) -> Vec<RunRecord> {
+    jobs.iter()
+        .map(|(seq, presentation)| {
+            let member = &mut members[presentation.node / worker_count];
+            debug_assert_eq!(member.id, presentation.node);
+            member.env.flush_cache();
+            let result = member.env.run(&presentation.page);
+            let status = match &result.status {
+                RunStatus::Completed => DigestStatus::Completed,
+                RunStatus::Failure(f) => DigestStatus::FailureAt(f.location),
+                RunStatus::Crash(_) => DigestStatus::Crashed,
+            };
+            let digests = active
+                .iter()
+                .map(|loc| (*loc, build_digest(member, *loc, &result, status)))
+                .collect();
+            RunRecord {
+                seq: *seq,
+                node: presentation.node,
+                failure: result.failure().cloned(),
+                status: result.status,
+                rendered: result.rendered,
+                digests,
+            }
+        })
+        .collect()
+}
+
+/// Build the per-run digest for one failure location from the member's installed
+/// checking patches (mirrors the seed community's digest construction).
+fn build_digest(
+    member: &MemberState,
+    loc: Addr,
+    result: &RunResult,
+    status: DigestStatus,
+) -> RunDigest {
+    let mut digest = RunDigest::with_status(status);
+    if let Some(state) = member.patches.get(&loc) {
+        for (inv, _, check_hook) in &state.checks {
+            let seq: Vec<bool> = result
+                .observations
+                .iter()
+                .filter(|o| o.hook == *check_hook)
+                .map(|o| o.kind == ObservationKind::Satisfied)
+                .collect();
+            if !seq.is_empty() {
+                digest.observations.insert(inv.clone(), seq);
+            }
+        }
+    }
+    digest
+}
+
+/// Apply every patch operation to every member of one worker.
+fn apply_ops_to_members(members: &mut [MemberState], ops: &[(Addr, PatchOp)]) {
+    for member in members {
+        for (loc, op) in ops {
+            let state = member.patches.entry(*loc).or_default();
+            match op {
+                PatchOp::InstallChecks(checks) => {
+                    let mut installed = Vec::with_capacity(checks.len());
+                    for check in checks {
+                        let handle = install_hooks(&mut member.env, check.build_hooks());
+                        let hook = *handle.hook_ids().last().expect("check hook");
+                        installed.push((check.invariant.clone(), handle, hook));
+                    }
+                    state.checks = installed;
+                }
+                PatchOp::RemoveChecks => {
+                    let checks: Vec<_> = state.checks.drain(..).collect();
+                    for (_, handle, _) in checks {
+                        let _ = uninstall(&mut member.env, &handle);
+                    }
+                }
+                PatchOp::InstallRepair(repair) => {
+                    state.repair = Some(install_hooks(&mut member.env, repair.build_hooks()));
+                }
+                PatchOp::RemoveRepair => {
+                    if let Some(handle) = state.repair.take() {
+                        let _ = uninstall(&mut member.env, &handle);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run one worker's members' learning shares.
+fn learn_on_members(
+    members: &mut [MemberState],
+    image: &BinaryImage,
+    pages: &[Vec<Word>],
+    node_count: usize,
+) -> Vec<(NodeId, LearnedModel)> {
+    members
+        .iter_mut()
+        .map(|member| {
+            let mut frontend = LearningFrontend::new(image.clone());
+            for page in pages.iter().skip(member.id).step_by(node_count) {
+                let result = member.env.run_with_tracer(page, &mut frontend);
+                if result.is_completed() {
+                    frontend.commit_run();
+                } else {
+                    frontend.discard_run();
+                }
+            }
+            (member.id, frontend.into_model())
+        })
+        .collect()
+}

@@ -1,0 +1,189 @@
+//! The sharded invariant store.
+//!
+//! The central manager's `InvariantDatabase` is the write-hot structure of a learning
+//! round: every member uploads its locally inferred invariants and all uploads must be
+//! merged (Section 3.1 of the paper). A monolithic database serializes those merges.
+//! [`ShardedInvariantStore`] partitions the database by check-address shard
+//! ([`InvariantDatabase::shard_of`]): each shard owns a disjoint set of check
+//! addresses, so N shard workers can merge the *same* sequence of uploads in parallel
+//! — each restricted to its own addresses — without locks, and the fused result is
+//! bit-identical to the sequential merge (`tests/shard_parity.rs` proves this against
+//! the seed's `InvariantDatabase::merge`).
+
+use cv_inference::InvariantDatabase;
+
+/// A community invariant database partitioned by check-address shard.
+#[derive(Debug, Clone)]
+pub struct ShardedInvariantStore {
+    shards: Vec<InvariantDatabase>,
+}
+
+impl ShardedInvariantStore {
+    /// An empty store with `shard_count` shards (at least 1).
+    pub fn new(shard_count: usize) -> Self {
+        ShardedInvariantStore {
+            shards: vec![InvariantDatabase::new(); shard_count.max(1)],
+        }
+    }
+
+    /// Partition an existing database into a store.
+    pub fn from_database(db: InvariantDatabase, shard_count: usize) -> Self {
+        ShardedInvariantStore {
+            shards: db.split(shard_count.max(1)),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of invariants across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if no invariants are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// The individual shards (each holds only addresses it owns).
+    pub fn shards(&self) -> &[InvariantDatabase] {
+        &self.shards
+    }
+
+    /// Merge member uploads into the store, one worker thread per shard.
+    ///
+    /// Every shard scans every upload but merges only the invariants whose check
+    /// address it owns; each upload's run counters are absorbed exactly once. Upload
+    /// order is preserved per address, so the result equals merging the uploads
+    /// sequentially into a monolithic database.
+    pub fn merge_uploads(&mut self, uploads: &[InvariantDatabase]) {
+        self.merge_uploads_inner(uploads, true);
+    }
+
+    /// Single-threaded variant of [`ShardedInvariantStore::merge_uploads`] (the
+    /// sequential baseline of the `fleet_scale` benchmark). Same merge semantics —
+    /// both paths share one per-shard implementation.
+    pub fn merge_uploads_sequential(&mut self, uploads: &[InvariantDatabase]) {
+        self.merge_uploads_inner(uploads, false);
+    }
+
+    fn merge_uploads_inner(&mut self, uploads: &[InvariantDatabase], parallel: bool) {
+        if uploads.is_empty() {
+            return;
+        }
+        let shard_count = self.shards.len();
+        if parallel && shard_count > 1 {
+            std::thread::scope(|scope| {
+                for (index, shard) in self.shards.iter_mut().enumerate() {
+                    scope.spawn(move || merge_one_shard(shard, index, shard_count, uploads));
+                }
+            });
+        } else {
+            for (index, shard) in self.shards.iter_mut().enumerate() {
+                merge_one_shard(shard, index, shard_count, uploads);
+            }
+        }
+        for upload in uploads {
+            self.shards[0].absorb_run_stats(&upload.stats);
+        }
+    }
+
+    /// Fuse the shards into one monolithic database (the central manager's merged
+    /// community model). Equal to the result of sequentially merging every upload the
+    /// store has seen.
+    pub fn snapshot(&self) -> InvariantDatabase {
+        InvariantDatabase::fuse(self.shards.iter().cloned())
+    }
+}
+
+/// Merge every upload's invariants owned by shard `index` (the shared per-shard
+/// implementation of both merge paths).
+fn merge_one_shard(
+    shard: &mut InvariantDatabase,
+    index: usize,
+    shard_count: usize,
+    uploads: &[InvariantDatabase],
+) {
+    for upload in uploads {
+        shard.merge_filtered(upload, |addr| {
+            InvariantDatabase::shard_of(addr, shard_count) == index
+        });
+    }
+    shard.recount();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_inference::{Invariant, Variable};
+    use cv_isa::{Operand, Reg};
+
+    fn upload(member: u32) -> InvariantDatabase {
+        let mut db = InvariantDatabase::new();
+        for k in 0u32..60 {
+            let addr = 0x1000 + (k * 4) % 128;
+            let var = Variable::read(addr, 0, Operand::Reg(Reg::Ecx));
+            db.insert(Invariant::OneOf {
+                var,
+                values: [member + k, k % 4].into_iter().collect(),
+            });
+            db.insert(Invariant::LowerBound {
+                var,
+                min: (member as i32) - (k as i32),
+            });
+        }
+        db.stats.events_processed = 1000 + member as u64;
+        db.stats.runs_committed = 10 + member as u64;
+        db.recount();
+        db
+    }
+
+    #[test]
+    fn parallel_merge_equals_sequential_monolithic_merge() {
+        let uploads: Vec<_> = (0..8).map(upload).collect();
+
+        let mut reference = InvariantDatabase::new();
+        for up in &uploads {
+            reference.merge(up);
+        }
+
+        for shard_count in [1, 2, 5, 16] {
+            let mut store = ShardedInvariantStore::new(shard_count);
+            store.merge_uploads(&uploads);
+            assert_eq!(
+                store.snapshot(),
+                reference,
+                "shard_count={shard_count} diverged from the sequential merge"
+            );
+            assert_eq!(store.len(), reference.len());
+        }
+    }
+
+    #[test]
+    fn incremental_upload_batches_accumulate() {
+        let uploads: Vec<_> = (0..6).map(upload).collect();
+        let mut reference = InvariantDatabase::new();
+        for up in &uploads {
+            reference.merge(up);
+        }
+
+        let mut store = ShardedInvariantStore::new(4);
+        store.merge_uploads(&uploads[..2]);
+        store.merge_uploads(&uploads[2..]);
+        assert_eq!(store.snapshot(), reference);
+    }
+
+    #[test]
+    fn from_database_round_trips() {
+        let mut db = InvariantDatabase::new();
+        for up in (0..3).map(upload) {
+            db.merge(&up);
+        }
+        let store = ShardedInvariantStore::from_database(db.clone(), 8);
+        assert_eq!(store.shard_count(), 8);
+        assert_eq!(store.snapshot(), db);
+    }
+}

@@ -66,11 +66,10 @@ impl ProcedureCfg {
             let mut succs = Vec::new();
             if let Some(last) = last {
                 match last.inst {
-                    Inst::Jmp { target } => {
-                        if image.contains_code_addr(target) {
+                    Inst::Jmp { target }
+                        if image.contains_code_addr(target) => {
                             succs.push(target);
                         }
-                    }
                     Inst::Jcc { target, .. } => {
                         if image.contains_code_addr(target) {
                             succs.push(target);
@@ -79,13 +78,12 @@ impl ProcedureCfg {
                             succs.push(last.next_addr());
                         }
                     }
-                    Inst::Call { .. } | Inst::CallIndirect { .. } => {
+                    Inst::Call { .. } | Inst::CallIndirect { .. }
                         // The callee is a different procedure; control returns to the
                         // fall-through block.
-                        if image.contains_code_addr(last.next_addr()) {
+                        if image.contains_code_addr(last.next_addr()) => {
                             succs.push(last.next_addr());
                         }
-                    }
                     Inst::Ret | Inst::Halt | Inst::JmpIndirect { .. } => {}
                     // A block that ran off the end of the image has no successors.
                     _ => {}
@@ -131,7 +129,11 @@ impl ProcedureCfg {
     /// The instruction at `addr`, if this procedure contains it.
     pub fn inst_at(&self, addr: Addr) -> Option<InstWithAddr> {
         let block = self.block_of_inst(addr)?;
-        self.blocks[&block].insts.iter().find(|i| i.addr == addr).copied()
+        self.blocks[&block]
+            .insts
+            .iter()
+            .find(|i| i.addr == addr)
+            .copied()
     }
 
     /// All instruction addresses in the procedure.
@@ -143,7 +145,10 @@ impl ProcedureCfg {
 
     /// True if block `a` dominates block `b` (both are block start addresses).
     pub fn block_dominates(&self, a: Addr, b: Addr) -> bool {
-        self.dominators.get(&b).map(|d| d.contains(&a)).unwrap_or(false)
+        self.dominators
+            .get(&b)
+            .map(|d| d.contains(&a))
+            .unwrap_or(false)
     }
 
     /// True if the instruction at `i` predominates the instruction at `j`:
@@ -189,7 +194,10 @@ impl ProcedureCfg {
 }
 
 /// Standard iterative dominator computation over the block graph.
-fn compute_dominators(entry: Addr, blocks: &BTreeMap<Addr, CfgBlock>) -> HashMap<Addr, BTreeSet<Addr>> {
+fn compute_dominators(
+    entry: Addr,
+    blocks: &BTreeMap<Addr, CfgBlock>,
+) -> HashMap<Addr, BTreeSet<Addr>> {
     let all: BTreeSet<Addr> = blocks.keys().copied().collect();
     let mut preds: HashMap<Addr, Vec<Addr>> = HashMap::new();
     for block in blocks.values() {
@@ -371,7 +379,10 @@ mod tests {
         let addrs = cfg.instruction_addrs();
         let first = addrs[0];
         let last = *addrs.last().unwrap();
-        assert!(cfg.inst_predominates(first, last), "entry predominates everything");
+        assert!(
+            cfg.inst_predominates(first, last),
+            "entry predominates everything"
+        );
         assert!(!cfg.inst_predominates(last, first));
         assert!(cfg.inst_predominates(first, first), "reflexive");
         // The call instruction does NOT predominate the output instruction, because the
@@ -415,7 +426,13 @@ mod tests {
         assert_eq!(db.observe_block(syms["main"]), None, "already known");
         // The branch-target block inside main is already covered, so it is not a new
         // procedure.
-        let main_cfg_blocks: Vec<Addr> = db.proc(syms["main"]).unwrap().blocks.keys().copied().collect();
+        let main_cfg_blocks: Vec<Addr> = db
+            .proc(syms["main"])
+            .unwrap()
+            .blocks
+            .keys()
+            .copied()
+            .collect();
         for b in main_cfg_blocks {
             assert_eq!(db.observe_block(b), None);
         }
@@ -453,7 +470,8 @@ mod tests {
             .blocks
             .values()
             .find(|blk| {
-                blk.start != cfg.entry && blk.insts.iter().any(|i| matches!(i.inst, Inst::Sub { .. }))
+                blk.start != cfg.entry
+                    && blk.insts.iter().any(|i| matches!(i.inst, Inst::Sub { .. }))
             })
             .unwrap()
             .start;

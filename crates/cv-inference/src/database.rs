@@ -178,7 +178,33 @@ impl InvariantDatabase {
     /// each member traces a different part of the application, so its invariants are the
     /// only evidence for that region (Section 3.1).
     pub fn merge(&mut self, other: &InvariantDatabase) {
+        self.merge_filtered(other, |_| true);
+        // Keep the aggregate counters roughly meaningful after a merge.
+        self.stats.events_processed += other.stats.events_processed;
+        self.stats.runs_committed += other.stats.runs_committed;
+        self.stats.runs_discarded += other.stats.runs_discarded;
+        self.recount();
+    }
+
+    /// Merge only the invariants of `other` whose check address satisfies `keep`.
+    ///
+    /// This is the primitive behind sharded community merges (`cv-fleet`): each shard
+    /// worker merges every member upload restricted to the addresses it owns, so N
+    /// shards can merge the same uploads in parallel without coordination and their
+    /// union is exactly the sequential [`InvariantDatabase::merge`] result.
+    ///
+    /// Unlike [`InvariantDatabase::merge`] this does **not** touch the learning
+    /// counters — callers accumulating across shards must account for `other.stats`
+    /// exactly once (see [`InvariantDatabase::absorb_run_stats`]).
+    pub fn merge_filtered(
+        &mut self,
+        other: &InvariantDatabase,
+        mut keep: impl FnMut(Addr) -> bool,
+    ) {
         for (addr, invs) in &other.by_addr {
+            if !keep(*addr) {
+                continue;
+            }
             for inv in invs {
                 let slot = self.by_addr.entry(*addr).or_default();
                 let key = key_of(inv);
@@ -194,11 +220,62 @@ impl InvariantDatabase {
                 }
             }
         }
-        // Keep the aggregate counters roughly meaningful after a merge.
-        self.stats.events_processed += other.stats.events_processed;
-        self.stats.runs_committed += other.stats.runs_committed;
-        self.stats.runs_discarded += other.stats.runs_discarded;
-        self.recount();
+    }
+
+    /// Add `other`'s run counters (events processed, runs committed/discarded) to this
+    /// database's counters without touching any invariants. The complement of
+    /// [`InvariantDatabase::merge_filtered`] when a merge is split across shards.
+    pub fn absorb_run_stats(&mut self, other: &LearningStats) {
+        self.stats.events_processed += other.events_processed;
+        self.stats.runs_committed += other.runs_committed;
+        self.stats.runs_discarded += other.runs_discarded;
+    }
+
+    /// The shard (of `shard_count`) that owns check address `addr`.
+    ///
+    /// Fibonacci multiplicative hashing spreads the consecutive instruction addresses
+    /// of hot procedures across shards instead of clustering them. The high half of
+    /// the product feeds the modulus — the low bits of `addr * K mod 2^k` would just
+    /// relabel `addr mod 2^k` for power-of-two shard counts (the common case).
+    pub fn shard_of(addr: Addr, shard_count: usize) -> usize {
+        assert!(shard_count > 0, "shard_count must be positive");
+        let hashed = (addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (hashed % shard_count as u64) as usize
+    }
+
+    /// Split this database into `shard_count` disjoint databases partitioned by
+    /// [`InvariantDatabase::shard_of`]. The run counters are carried on shard 0 so
+    /// that [`InvariantDatabase::fuse`] restores them; per-kind counters are recounted
+    /// per shard.
+    pub fn split(self, shard_count: usize) -> Vec<InvariantDatabase> {
+        assert!(shard_count > 0, "shard_count must be positive");
+        let mut shards = vec![InvariantDatabase::new(); shard_count];
+        for (addr, invs) in self.by_addr {
+            shards[Self::shard_of(addr, shard_count)]
+                .by_addr
+                .insert(addr, invs);
+        }
+        shards[0].absorb_run_stats(&self.stats);
+        for shard in &mut shards {
+            shard.recount();
+        }
+        shards
+    }
+
+    /// Reassemble a database from disjoint shards (the inverse of
+    /// [`InvariantDatabase::split`]). Run counters are summed; per-kind counters are
+    /// recounted. Panics if two shards carry invariants for the same address.
+    pub fn fuse(shards: impl IntoIterator<Item = InvariantDatabase>) -> InvariantDatabase {
+        let mut fused = InvariantDatabase::new();
+        for shard in shards {
+            fused.absorb_run_stats(&shard.stats);
+            for (addr, invs) in shard.by_addr {
+                let previous = fused.by_addr.insert(addr, invs);
+                assert!(previous.is_none(), "shards overlap at address 0x{addr:x}");
+            }
+        }
+        fused.recount();
+        fused
     }
 
     /// Recompute the per-kind invariant counters from the stored invariants.
@@ -239,8 +316,14 @@ mod tests {
     fn insert_and_lookup_by_check_addr() {
         let mut db = InvariantDatabase::new();
         db.insert(one_of(0x1000, &[1, 2]));
-        db.insert(Invariant::LowerBound { var: var(0x1000), min: 0 });
-        db.insert(Invariant::LowerBound { var: var(0x2000), min: 5 });
+        db.insert(Invariant::LowerBound {
+            var: var(0x1000),
+            min: 0,
+        });
+        db.insert(Invariant::LowerBound {
+            var: var(0x2000),
+            min: 5,
+        });
         assert_eq!(db.len(), 3);
         assert_eq!(db.invariants_at(0x1000).len(), 2);
         assert_eq!(db.invariants_at(0x2000).len(), 1);
@@ -277,9 +360,15 @@ mod tests {
     #[test]
     fn merge_takes_minimum_lower_bound() {
         let mut a = InvariantDatabase::new();
-        a.insert(Invariant::LowerBound { var: var(0x1000), min: 3 });
+        a.insert(Invariant::LowerBound {
+            var: var(0x1000),
+            min: 3,
+        });
         let mut b = InvariantDatabase::new();
-        b.insert(Invariant::LowerBound { var: var(0x1000), min: -1 });
+        b.insert(Invariant::LowerBound {
+            var: var(0x1000),
+            min: -1,
+        });
         a.merge(&b);
         match &a.invariants_at(0x1000)[0] {
             Invariant::LowerBound { min, .. } => assert_eq!(*min, -1),
@@ -329,10 +418,98 @@ mod tests {
     }
 
     #[test]
+    fn shard_of_spreads_consecutive_code_addresses() {
+        // Power-of-two shard counts are the shipped defaults; the hash must not
+        // degenerate to `addr % shard_count` there.
+        for shard_count in [4usize, 8, 16] {
+            let mut hit = vec![false; shard_count];
+            for addr in (0x40000u32..0x40400).step_by(4) {
+                hit[InvariantDatabase::shard_of(addr, shard_count)] = true;
+            }
+            assert!(
+                hit.iter().all(|h| *h),
+                "stride-4 addresses must reach all {shard_count} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn split_and_fuse_round_trip() {
+        let mut db = InvariantDatabase::new();
+        for addr in (0x1000u32..0x1100).step_by(4) {
+            db.insert(one_of(addr, &[1, 2]));
+            db.insert(Invariant::LowerBound {
+                var: var(addr),
+                min: addr as i64 as i32,
+            });
+        }
+        db.stats.events_processed = 77;
+        db.stats.runs_committed = 9;
+        db.recount();
+
+        let shards = db.clone().split(7);
+        assert_eq!(shards.len(), 7);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), db.len());
+        // Every shard holds only addresses it owns.
+        for (i, shard) in shards.iter().enumerate() {
+            for addr in shard.addrs() {
+                assert_eq!(InvariantDatabase::shard_of(addr, 7), i);
+            }
+        }
+        let fused = InvariantDatabase::fuse(shards);
+        assert_eq!(fused, db);
+    }
+
+    #[test]
+    fn filtered_merges_over_a_partition_match_a_full_merge() {
+        let mut uploads = Vec::new();
+        for member in 0u32..4 {
+            let mut up = InvariantDatabase::new();
+            for k in 0u32..40 {
+                let addr = 0x2000 + (k * 8) % 96;
+                up.insert(one_of(addr, &[member + k, k % 5]));
+                up.insert(Invariant::LowerBound {
+                    var: var(addr),
+                    min: (member * k) as i32 - 3,
+                });
+            }
+            up.stats.events_processed = 100 + member as u64;
+            up.stats.runs_committed = member as u64;
+            up.recount();
+            uploads.push(up);
+        }
+
+        // Sequential reference: one monolithic merge per upload.
+        let mut sequential = InvariantDatabase::new();
+        for up in &uploads {
+            sequential.merge(up);
+        }
+
+        // Sharded: each shard merges every upload restricted to its addresses, then
+        // run counters are absorbed once per upload and the shards are fused.
+        const SHARDS: usize = 5;
+        let mut shards = vec![InvariantDatabase::new(); SHARDS];
+        for (i, shard) in shards.iter_mut().enumerate() {
+            for up in &uploads {
+                shard.merge_filtered(up, |addr| InvariantDatabase::shard_of(addr, SHARDS) == i);
+            }
+        }
+        let mut fused = InvariantDatabase::fuse(shards);
+        for up in &uploads {
+            fused.absorb_run_stats(&up.stats);
+        }
+        fused.recount();
+        assert_eq!(fused, sequential);
+    }
+
+    #[test]
     fn recount_tracks_kinds() {
         let mut db = InvariantDatabase::new();
         db.insert(one_of(0x1000, &[1]));
-        db.insert(Invariant::LowerBound { var: var(0x1001), min: 0 });
+        db.insert(Invariant::LowerBound {
+            var: var(0x1001),
+            min: 0,
+        });
         db.insert(Invariant::LessThan {
             a: var(0x1002),
             b: var(0x1003),

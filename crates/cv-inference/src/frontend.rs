@@ -177,7 +177,10 @@ impl LearningFrontend {
         for event in &events {
             self.events_processed += 1;
             if call_stack.is_empty() {
-                let proc = self.procedures.proc_of_inst(event.addr).unwrap_or(event.addr);
+                let proc = self
+                    .procedures
+                    .proc_of_inst(event.addr)
+                    .unwrap_or(event.addr);
                 call_stack.push((proc, event.sp));
             }
             if let Some(&(proc_entry, entry_sp)) = call_stack.last() {
@@ -195,7 +198,10 @@ impl LearningFrontend {
                     continue;
                 }
                 let var = Variable::read(event.addr, r.slot, r.operand);
-                self.var_stats.entry(var).or_insert_with(VarStats::new).update(r.value);
+                self.var_stats
+                    .entry(var)
+                    .or_insert_with(VarStats::new)
+                    .update(r.value);
                 current_vars.push((var, r.value));
             }
 
@@ -206,7 +212,9 @@ impl LearningFrontend {
                     let block = &cfg.blocks[&bstart];
                     if let Some(pos) = block.position_of(event.addr) {
                         for prior_inst in &block.insts[..pos] {
-                            for (slot, op) in prior_inst.inst.operands_read().into_iter().enumerate() {
+                            for (slot, op) in
+                                prior_inst.inst.operands_read().into_iter().enumerate()
+                            {
                                 if matches!(op, Operand::Imm(_)) {
                                     continue;
                                 }
@@ -344,8 +352,16 @@ impl LearningFrontend {
             if duplicates.contains(a) || duplicates.contains(b) {
                 continue;
             }
-            let a_pointer = self.var_stats.get(a).map(|s| s.is_pointer()).unwrap_or(true);
-            let b_pointer = self.var_stats.get(b).map(|s| s.is_pointer()).unwrap_or(true);
+            let a_pointer = self
+                .var_stats
+                .get(a)
+                .map(|s| s.is_pointer())
+                .unwrap_or(true);
+            let b_pointer = self
+                .var_stats
+                .get(b)
+                .map(|s| s.is_pointer())
+                .unwrap_or(true);
             if a_pointer || b_pointer {
                 continue;
             }
@@ -401,7 +417,9 @@ fn update_pair(
     } else {
         (b_var, b_val, a_var, a_val)
     };
-    map.entry((ka, kb)).or_insert_with(PairStats::new).update(va, vb);
+    map.entry((ka, kb))
+        .or_insert_with(PairStats::new)
+        .update(va, vb);
 }
 
 impl Tracer for LearningFrontend {
@@ -444,7 +462,10 @@ mod tests {
     ///   call *ebx
     ///   copy [buffer], [source], ecx     ; lower-bound invariant target (1 <= ecx)
     ///   halt
-    fn build_program() -> (cv_isa::BinaryImage, std::collections::BTreeMap<String, Addr>) {
+    fn build_program() -> (
+        cv_isa::BinaryImage,
+        std::collections::BTreeMap<String, Addr>,
+    ) {
         let mut b = ProgramBuilder::new();
         let main = b.function("main");
         b.input(Reg::Eax, Port::Input);
@@ -495,7 +516,11 @@ mod tests {
         let mut fe = LearningFrontend::new(image);
         for page in pages {
             let r = env.run_with_tracer(page, &mut fe);
-            assert!(r.is_completed(), "learning page must complete: {:?}", r.status);
+            assert!(
+                r.is_completed(),
+                "learning page must complete: {:?}",
+                r.status
+            );
             fe.commit_run();
         }
         (fe, syms)
@@ -584,7 +609,9 @@ mod tests {
         let db = fe.infer();
         let invs = db.invariants_at(syms["copy_site"]);
         let lb = invs.iter().find_map(|i| match i {
-            Invariant::LowerBound { var, min } if var.operand == Some(Operand::Reg(Reg::Ecx)) => Some(*min),
+            Invariant::LowerBound { var, min } if var.operand == Some(Operand::Reg(Reg::Ecx)) => {
+                Some(*min)
+            }
             _ => None,
         });
         assert_eq!(lb, Some(4));
@@ -644,7 +671,10 @@ mod tests {
             fe.commit_run();
         }
         let db = fe.infer();
-        assert!(db.stats.duplicates_removed >= 1, "equal variables deduplicated");
+        assert!(
+            db.stats.duplicates_removed >= 1,
+            "equal variables deduplicated"
+        );
     }
 
     #[test]

@@ -84,7 +84,9 @@ impl Invariant {
     /// True for invariant kinds that ClearView can turn into repair patches.
     pub fn is_enforceable(&self) -> bool {
         match self {
-            Invariant::OneOf { var, .. } | Invariant::LowerBound { var, .. } => var.is_enforceable(),
+            Invariant::OneOf { var, .. } | Invariant::LowerBound { var, .. } => {
+                var.is_enforceable()
+            }
             Invariant::LessThan { a, b } => a.is_enforceable() || b.is_enforceable(),
             Invariant::StackPointerOffset { .. } => false,
         }
@@ -134,7 +136,11 @@ impl fmt::Display for Invariant {
             }
             Invariant::LowerBound { var, min } => write!(f, "{min} <= {var}"),
             Invariant::LessThan { a, b } => write!(f, "{a} <= {b}"),
-            Invariant::StackPointerOffset { proc_entry, at, offset } => {
+            Invariant::StackPointerOffset {
+                proc_entry,
+                at,
+                offset,
+            } => {
                 write!(f, "sp@0x{proc_entry:x} = sp@0x{at:x} + {offset}")
             }
         }
@@ -203,7 +209,10 @@ mod tests {
 
     #[test]
     fn missing_values_do_not_report_violations() {
-        let inv = Invariant::LowerBound { var: var(0x1000), min: 0 };
+        let inv = Invariant::LowerBound {
+            var: var(0x1000),
+            min: 0,
+        };
         let empty = HashMap::new();
         assert!(inv.holds(&lookup(&empty)));
     }
@@ -230,7 +239,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let inv = Invariant::LowerBound { var: var(0x1043), min: 1 };
+        let inv = Invariant::LowerBound {
+            var: var(0x1043),
+            min: 1,
+        };
         let s = inv.to_string();
         assert!(s.contains("1 <="));
         assert!(s.contains("0x1043"));

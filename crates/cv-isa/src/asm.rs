@@ -174,7 +174,10 @@ impl ProgramBuilder {
 
     /// `imul dst, src`.
     pub fn mul(&mut self, dst: Reg, src: impl Into<Operand>) -> Addr {
-        self.emit(Inst::Mul { dst, src: src.into() })
+        self.emit(Inst::Mul {
+            dst,
+            src: src.into(),
+        })
     }
 
     /// `and dst, src`.
@@ -234,7 +237,9 @@ impl ProgramBuilder {
 
     /// `jmp *target`.
     pub fn jmp_indirect(&mut self, target: impl Into<Operand>) -> Addr {
-        self.emit(Inst::JmpIndirect { target: target.into() })
+        self.emit(Inst::JmpIndirect {
+            target: target.into(),
+        })
     }
 
     /// `jcc label`.
@@ -249,7 +254,9 @@ impl ProgramBuilder {
 
     /// `call *target`.
     pub fn call_indirect(&mut self, target: impl Into<Operand>) -> Addr {
-        self.emit(Inst::CallIndirect { target: target.into() })
+        self.emit(Inst::CallIndirect {
+            target: target.into(),
+        })
     }
 
     /// `ret`.
@@ -271,7 +278,12 @@ impl ProgramBuilder {
     }
 
     /// `copy dst, src, len`.
-    pub fn copy(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>, len: impl Into<Operand>) -> Addr {
+    pub fn copy(
+        &mut self,
+        dst: impl Into<Operand>,
+        src: impl Into<Operand>,
+        len: impl Into<Operand>,
+    ) -> Addr {
         self.emit(Inst::Copy {
             dst: dst.into(),
             src: src.into(),
@@ -495,8 +507,10 @@ mod tests {
 
     #[test]
     fn code_too_large_is_reported() {
-        let mut layout = crate::MemoryLayout::default();
-        layout.code_size = 4;
+        let layout = crate::MemoryLayout {
+            code_size: 4,
+            ..Default::default()
+        };
         let mut b = ProgramBuilder::with_layout(layout);
         let entry = b.function("main");
         for _ in 0..8 {

@@ -105,12 +105,18 @@ fn decode_operand(words: &[Word], pos: &mut usize) -> Result<Operand, IsaError> 
             let disp = *words.get(*pos).ok_or(IsaError::TruncatedInstruction)? as i32;
             *pos += 1;
             let base = if desc & (1 << 8) != 0 {
-                Some(Reg::from_index(((desc >> 9) & 0x7) as usize).ok_or(IsaError::InvalidEncoding(desc))?)
+                Some(
+                    Reg::from_index(((desc >> 9) & 0x7) as usize)
+                        .ok_or(IsaError::InvalidEncoding(desc))?,
+                )
             } else {
                 None
             };
             let index = if desc & (1 << 12) != 0 {
-                Some(Reg::from_index(((desc >> 13) & 0x7) as usize).ok_or(IsaError::InvalidEncoding(desc))?)
+                Some(
+                    Reg::from_index(((desc >> 13) & 0x7) as usize)
+                        .ok_or(IsaError::InvalidEncoding(desc))?,
+                )
             } else {
                 None
             };
@@ -256,7 +262,8 @@ pub fn decode(words: &[Word], offset: usize) -> Result<(Inst, u32), IsaError> {
     let first = *words.get(offset).ok_or(IsaError::TruncatedInstruction)?;
     let opcode = first & 0xff;
     let mut pos = offset + 1;
-    let reg_field = || Reg::from_index(((first >> 8) & 0x7) as usize).ok_or(IsaError::InvalidEncoding(first));
+    let reg_field =
+        || Reg::from_index(((first >> 8) & 0x7) as usize).ok_or(IsaError::InvalidEncoding(first));
     let inst = match opcode {
         op::MOV => {
             let dst = decode_operand(words, &mut pos)?;
@@ -331,7 +338,8 @@ pub fn decode(words: &[Word], offset: usize) -> Result<(Inst, u32), IsaError> {
             Inst::JmpIndirect { target }
         }
         op::JCC => {
-            let cond = Cond::from_index(((first >> 8) & 0x7) as usize).ok_or(IsaError::InvalidEncoding(first))?;
+            let cond = Cond::from_index(((first >> 8) & 0x7) as usize)
+                .ok_or(IsaError::InvalidEncoding(first))?;
             let target = *words.get(pos).ok_or(IsaError::TruncatedInstruction)?;
             pos += 1;
             Inst::Jcc { cond, target }
@@ -371,11 +379,13 @@ pub fn decode(words: &[Word], offset: usize) -> Result<(Inst, u32), IsaError> {
         }
         op::IN => {
             let dst = reg_field()?;
-            let port = Port::from_index(((first >> 16) & 0xff) as usize).ok_or(IsaError::InvalidEncoding(first))?;
+            let port = Port::from_index(((first >> 16) & 0xff) as usize)
+                .ok_or(IsaError::InvalidEncoding(first))?;
             Inst::In { dst, port }
         }
         op::OUT => {
-            let port = Port::from_index(((first >> 16) & 0xff) as usize).ok_or(IsaError::InvalidEncoding(first))?;
+            let port = Port::from_index(((first >> 16) & 0xff) as usize)
+                .ok_or(IsaError::InvalidEncoding(first))?;
             let src = decode_operand(words, &mut pos)?;
             Inst::Out { src, port }
         }
@@ -508,7 +518,10 @@ mod tests {
         }
         let decoded = decode_all(&words, base).expect("decode_all");
         assert_eq!(decoded.len(), samples().len());
-        for (d, (inst, addr)) in decoded.iter().zip(samples().into_iter().zip(expected_addrs)) {
+        for (d, (inst, addr)) in decoded
+            .iter()
+            .zip(samples().into_iter().zip(expected_addrs))
+        {
             assert_eq!(d.inst, inst);
             assert_eq!(d.addr, addr);
         }
@@ -526,7 +539,10 @@ mod tests {
 
     #[test]
     fn unknown_opcode_is_an_error() {
-        assert!(matches!(decode(&[0xff], 0), Err(IsaError::UnknownOpcode(0xff))));
+        assert!(matches!(
+            decode(&[0xff], 0),
+            Err(IsaError::UnknownOpcode(0xff))
+        ));
     }
 
     #[test]

@@ -39,11 +39,23 @@ impl fmt::Display for IsaError {
             IsaError::InvalidEncoding(w) => write!(f, "invalid encoding word 0x{w:x}"),
             IsaError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             IsaError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
-            IsaError::CodeTooLarge { required, available } => {
-                write!(f, "code segment overflow: need {required} words, have {available}")
+            IsaError::CodeTooLarge {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "code segment overflow: need {required} words, have {available}"
+                )
             }
-            IsaError::DataTooLarge { required, available } => {
-                write!(f, "data segment overflow: need {required} words, have {available}")
+            IsaError::DataTooLarge {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "data segment overflow: need {required} words, have {available}"
+                )
             }
         }
     }
@@ -58,7 +70,9 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(IsaError::UnknownOpcode(0xff).to_string().contains("0xff"));
-        assert!(IsaError::UndefinedLabel("loop".into()).to_string().contains("loop"));
+        assert!(IsaError::UndefinedLabel("loop".into())
+            .to_string()
+            .contains("loop"));
         let e = IsaError::CodeTooLarge {
             required: 10,
             available: 5,

@@ -40,7 +40,10 @@ impl Cond {
 
     /// Encoding index.
     pub fn index(self) -> usize {
-        Cond::ALL.iter().position(|c| *c == self).expect("cond in ALL")
+        Cond::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("cond in ALL")
     }
 
     /// Decode from encoding index.
@@ -96,7 +99,10 @@ impl Port {
 
     /// Encoding index.
     pub fn index(self) -> usize {
-        Port::ALL.iter().position(|p| *p == self).expect("port in ALL")
+        Port::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("port in ALL")
     }
 
     /// Decode from encoding index.
@@ -338,7 +344,10 @@ impl Inst {
 
     /// True if this is a control transfer whose target cannot be determined statically.
     pub fn is_indirect_transfer(&self) -> bool {
-        matches!(self, Inst::JmpIndirect { .. } | Inst::CallIndirect { .. } | Inst::Ret)
+        matches!(
+            self,
+            Inst::JmpIndirect { .. } | Inst::CallIndirect { .. } | Inst::Ret
+        )
     }
 
     /// True if this instruction is a procedure call (direct or indirect).
@@ -391,9 +400,10 @@ impl Inst {
             | Inst::Xor { dst, .. }
             | Inst::Shl { dst, .. }
             | Inst::Shr { dst, .. } => writes_operand(dst),
-            Inst::Lea { dst, .. } | Inst::Mul { dst, .. } | Inst::Alloc { dst, .. } | Inst::In { dst, .. } => {
-                *dst == r
-            }
+            Inst::Lea { dst, .. }
+            | Inst::Mul { dst, .. }
+            | Inst::Alloc { dst, .. }
+            | Inst::In { dst, .. } => *dst == r,
             Inst::Pop { dst } => writes_operand(dst) || r == Reg::Esp,
             Inst::Push { .. } => r == Reg::Esp,
             Inst::Call { .. } | Inst::CallIndirect { .. } | Inst::Ret => r == Reg::Esp,

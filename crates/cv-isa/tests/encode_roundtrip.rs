@@ -71,8 +71,11 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         arb_writable_operand().prop_map(|dst| Inst::Pop { dst }),
         (arb_operand(), arb_reg()).prop_map(|(size, dst)| Inst::Alloc { size, dst }),
         arb_operand().prop_map(|ptr| Inst::Free { ptr }),
-        (arb_operand(), arb_operand(), arb_operand())
-            .prop_map(|(dst, src, len)| Inst::Copy { dst, src, len }),
+        (arb_operand(), arb_operand(), arb_operand()).prop_map(|(dst, src, len)| Inst::Copy {
+            dst,
+            src,
+            len
+        }),
         (arb_reg(), arb_port()).prop_map(|(dst, port)| Inst::In { dst, port }),
         (arb_operand(), arb_port()).prop_map(|(src, port)| Inst::Out { src, port }),
         Just(Inst::Halt),

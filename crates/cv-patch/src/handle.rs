@@ -55,7 +55,10 @@ pub fn install_hooks(
 
 /// Remove a previously installed patch. Removing a patch twice reports an error for the
 /// missing hooks but removes any that remain.
-pub fn uninstall(env: &mut ManagedExecutionEnvironment, handle: &PatchHandle) -> Result<(), RuntimeError> {
+pub fn uninstall(
+    env: &mut ManagedExecutionEnvironment,
+    handle: &PatchHandle,
+) -> Result<(), RuntimeError> {
     let mut first_err = None;
     for id in &handle.hook_ids {
         if let Err(e) = env.remove_hook(*id) {
@@ -85,7 +88,10 @@ mod tests {
         b.halt();
         b.set_entry(main);
         let image = b.build().unwrap();
-        (ManagedExecutionEnvironment::new(image, EnvConfig::default()), site)
+        (
+            ManagedExecutionEnvironment::new(image, EnvConfig::default()),
+            site,
+        )
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl RepairStrategy {
     /// True if the strategy changes the flow of control rather than just state — used by
     /// the evaluation tie-breaking rule that prefers state-only repairs (Section 2.6).
     pub fn changes_control_flow(&self) -> bool {
-        matches!(self, RepairStrategy::SkipCall | RepairStrategy::ReturnFromProcedure { .. })
+        matches!(
+            self,
+            RepairStrategy::SkipCall | RepairStrategy::ReturnFromProcedure { .. }
+        )
     }
 
     /// A short name for reports.
@@ -101,7 +104,11 @@ impl RepairPatch {
     ///   an indirect call at the check address, enabling the skip-call repair.
     /// * `sp_adjust` — the learned stack-pointer offset at the check address, enabling
     ///   the return-from-procedure repair.
-    pub fn candidates(invariant: &Invariant, is_call_target: bool, sp_adjust: Option<i32>) -> Vec<RepairPatch> {
+    pub fn candidates(
+        invariant: &Invariant,
+        is_call_target: bool,
+        sp_adjust: Option<i32>,
+    ) -> Vec<RepairPatch> {
         let mut out = Vec::new();
         match invariant {
             Invariant::OneOf { var, values } => {
@@ -261,7 +268,8 @@ impl Hook for RepairHook {
                     } else {
                         (a, b)
                     };
-                    if let (Some(op), Some(value)) = (to_write.operand, self.value_of(ctx, &other)) {
+                    if let (Some(op), Some(value)) = (to_write.operand, self.value_of(ctx, &other))
+                    {
                         let _ = ctx.machine.write_operand(&op, value);
                     }
                 }
@@ -294,7 +302,12 @@ mod tests {
         let names: Vec<&str> = repairs.iter().map(|r| r.strategy.name()).collect();
         assert_eq!(
             names,
-            vec!["set-value", "set-value", "skip-call", "return-from-procedure"]
+            vec![
+                "set-value",
+                "set-value",
+                "skip-call",
+                "return-from-procedure"
+            ]
         );
         assert!(repairs[2].changes_control_flow());
         assert!(!repairs[0].changes_control_flow());

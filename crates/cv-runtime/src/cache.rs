@@ -24,7 +24,10 @@ pub struct BasicBlock {
 impl BasicBlock {
     /// One past the last word of the block.
     pub fn end(&self) -> Addr {
-        self.insts.last().map(|i| i.next_addr()).unwrap_or(self.start)
+        self.insts
+            .last()
+            .map(|i| i.next_addr())
+            .unwrap_or(self.start)
     }
 
     /// True if `addr` is the address of one of the block's instructions.
@@ -94,7 +97,11 @@ impl CodeCache {
         loop {
             let offset = (cur - image.layout.code_base) as usize;
             let (inst, len) = decode(&image.code, offset)?;
-            let iwa = InstWithAddr { addr: cur, inst, len };
+            let iwa = InstWithAddr {
+                addr: cur,
+                inst,
+                len,
+            };
             let ends = inst.ends_basic_block();
             cur = iwa.next_addr();
             insts.push(iwa);

@@ -199,7 +199,8 @@ impl ManagedExecutionEnvironment {
     /// Run the application on `input`, optionally delivering a full execution trace to
     /// `tracer` (the learning configuration).
     pub fn run_traced(&mut self, input: &[Word], mut tracer: Option<&mut dyn Tracer>) -> RunResult {
-        let mut machine = Machine::new(&self.image, input.to_vec(), self.config.monitors.heap_guard);
+        let mut machine =
+            Machine::new(&self.image, input.to_vec(), self.config.monitors.heap_guard);
         let mut shadow = ShadowStack::new();
         let mut observations: Vec<Observation> = Vec::new();
         let mut stats = ExecutionStats {
@@ -276,7 +277,8 @@ impl ManagedExecutionEnvironment {
             if let Some(entries) = self.hooks.by_addr.get_mut(&eip) {
                 for (id, hook) in entries.iter_mut() {
                     stats.hook_invocations += 1;
-                    let mut ctx = HookContext::new(&mut machine, iwa.inst, eip, *id, &mut observations);
+                    let mut ctx =
+                        HookContext::new(&mut machine, iwa.inst, eip, *id, &mut observations);
                     let a = hook.on_execute(&mut ctx);
                     if !matches!(a, HookAction::Continue) {
                         action = a;
@@ -475,9 +477,14 @@ impl ManagedExecutionEnvironment {
             }
             Inst::Jcc { cond, target } => {
                 if cond.eval(machine.flags) {
-                    if let Some(end) =
-                        Self::validate_transfer(&self.image, &self.config, stats, shadow, eip, target)
-                    {
+                    if let Some(end) = Self::validate_transfer(
+                        &self.image,
+                        &self.config,
+                        stats,
+                        shadow,
+                        eip,
+                        target,
+                    ) {
                         return end;
                     }
                     machine.eip = target;
@@ -531,7 +538,9 @@ impl ManagedExecutionEnvironment {
         next: Addr,
         tval: Addr,
     ) -> StepEnd {
-        if let Some(end) = Self::validate_transfer(&self.image, &self.config, stats, shadow, eip, tval) {
+        if let Some(end) =
+            Self::validate_transfer(&self.image, &self.config, stats, shadow, eip, tval)
+        {
             return end;
         }
         if let Err(fault) = machine.push(next) {
@@ -621,7 +630,9 @@ mod tests {
         let f = r.failure().expect("failure detected");
         assert_eq!(
             f.kind,
-            FailureKind::IllegalControlTransfer { target: heap_target }
+            FailureKind::IllegalControlTransfer {
+                target: heap_target
+            }
         );
         // The injected target never executed: nothing was rendered.
         assert!(r.rendered.is_empty());
@@ -780,7 +791,11 @@ mod tests {
         env.apply_hook(add_addr, Box::new(ForceValue { observed: 0 }));
         let r = env.run(&[5]);
         assert!(r.is_completed());
-        assert_eq!(r.rendered, vec![200], "hook forced eax to 100 before doubling");
+        assert_eq!(
+            r.rendered,
+            vec![200],
+            "hook forced eax to 100 before doubling"
+        );
         assert_eq!(r.observations.len(), 1);
         assert_eq!(r.observations[0].kind, ObservationKind::Violated);
         assert_eq!(r.stats.hook_invocations, 1);

@@ -56,7 +56,9 @@ impl fmt::Display for CrashKind {
             CrashKind::CodeWrite { addr } => write!(f, "write to code segment at 0x{addr:x}"),
             CrashKind::StackFault { sp } => write!(f, "stack fault, sp=0x{sp:x}"),
             CrashKind::WildJump { target } => write!(f, "wild jump to 0x{target:x}"),
-            CrashKind::InvalidInstruction { addr } => write!(f, "invalid instruction at 0x{addr:x}"),
+            CrashKind::InvalidInstruction { addr } => {
+                write!(f, "invalid instruction at 0x{addr:x}")
+            }
             CrashKind::InstructionBudgetExhausted => write!(f, "instruction budget exhausted"),
             CrashKind::InvalidFree { addr } => write!(f, "invalid free of 0x{addr:x}"),
             CrashKind::OutOfMemory => write!(f, "guest heap exhausted"),
@@ -96,7 +98,9 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::ImageDoesNotFit => write!(f, "binary image does not fit its layout"),
-            RuntimeError::AddressOutsideCode(a) => write!(f, "address 0x{a:x} is outside the loaded code"),
+            RuntimeError::AddressOutsideCode(a) => {
+                write!(f, "address 0x{a:x} is outside the loaded code")
+            }
             RuntimeError::Decode(e) => write!(f, "decode error: {e}"),
             RuntimeError::UnknownHook(id) => write!(f, "unknown hook id {id}"),
         }

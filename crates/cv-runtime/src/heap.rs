@@ -75,7 +75,8 @@ impl HeapAllocator {
         let user_start = start + 1;
         mem.write_raw(start, CANARY);
         mem.write_raw(start + 1 + size, CANARY);
-        self.live.insert(user_start, Allocation { user_start, size });
+        self.live
+            .insert(user_start, Allocation { user_start, size });
         self.alloc_count += 1;
         Ok(user_start)
     }
@@ -187,7 +188,10 @@ mod tests {
         let _b = heap.alloc(&mut mem, 8).unwrap();
         heap.free(a).unwrap();
         let c = heap.alloc(&mut mem, 8).unwrap();
-        assert_eq!(a, c, "freed block of the same size is reused (use-after-free substrate)");
+        assert_eq!(
+            a, c,
+            "freed block of the same size is reused (use-after-free substrate)"
+        );
     }
 
     #[test]
@@ -199,13 +203,20 @@ mod tests {
         assert_eq!(mem.read_raw(a), 0x41414141);
         let b = heap.alloc(&mut mem, 2).unwrap();
         assert_eq!(b, a);
-        assert_eq!(mem.read_raw(b), 0x41414141, "recycled memory is not reinitialized");
+        assert_eq!(
+            mem.read_raw(b),
+            0x41414141,
+            "recycled memory is not reinitialized"
+        );
     }
 
     #[test]
     fn invalid_free_is_a_crash() {
         let (_mem, mut heap) = setup();
-        assert!(matches!(heap.free(0x12345), Err(CrashKind::InvalidFree { .. })));
+        assert!(matches!(
+            heap.free(0x12345),
+            Err(CrashKind::InvalidFree { .. })
+        ));
     }
 
     #[test]

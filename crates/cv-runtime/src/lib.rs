@@ -41,7 +41,9 @@ pub use cache::{BasicBlock, CodeCache};
 pub use env::{EnvConfig, ManagedExecutionEnvironment, RunResult, RunStatus};
 pub use error::{CrashInfo, CrashKind, RuntimeError};
 pub use heap::{Allocation, HeapAllocator, CANARY};
-pub use hooks::{Hook, HookAction, HookContext, HookId, HookRegistry, Observation, ObservationKind};
+pub use hooks::{
+    Hook, HookAction, HookContext, HookId, HookRegistry, Observation, ObservationKind,
+};
 pub use machine::{CopyOutcome, Machine, MemFault};
 pub use memory::Memory;
 pub use monitors::{Failure, FailureKind, MonitorConfig, ShadowStack, StackFrame};

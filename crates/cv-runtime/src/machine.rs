@@ -167,7 +167,9 @@ impl Machine {
                 self.set_reg(*r, value);
                 Ok(())
             }
-            Operand::Imm(_) => Err(MemFault::Crash(CrashKind::InvalidInstruction { addr: self.eip })),
+            Operand::Imm(_) => Err(MemFault::Crash(CrashKind::InvalidInstruction {
+                addr: self.eip,
+            })),
             Operand::Mem(m) => self.write_mem(self.effective_addr(m), value),
         }
     }
@@ -244,20 +246,31 @@ impl Machine {
             let d = dst.wrapping_add(copied as u32);
             let value = match self.read_mem(s) {
                 Ok(v) => v,
-                Err(MemFault::Crash(_)) => return Ok(CopyOutcome { copied, clamped: true }),
+                Err(MemFault::Crash(_)) => {
+                    return Ok(CopyOutcome {
+                        copied,
+                        clamped: true,
+                    })
+                }
                 Err(e) => return Err(e),
             };
             match self.write_mem(d, value) {
                 Ok(()) => {}
                 Err(MemFault::Crash(CrashKind::UnmappedAccess { .. }))
                 | Err(MemFault::Crash(CrashKind::CodeWrite { .. })) => {
-                    return Ok(CopyOutcome { copied, clamped: true })
+                    return Ok(CopyOutcome {
+                        copied,
+                        clamped: true,
+                    })
                 }
                 Err(e) => return Err(e),
             }
             copied += 1;
         }
-        Ok(CopyOutcome { copied, clamped: false })
+        Ok(CopyOutcome {
+            copied,
+            clamped: false,
+        })
     }
 
     /// Execute a non-control-flow instruction.
@@ -298,8 +311,12 @@ impl Machine {
             Inst::And { dst, src } => self.binop(dst, src, |a, b| (a & b, false, false)),
             Inst::Or { dst, src } => self.binop(dst, src, |a, b| (a | b, false, false)),
             Inst::Xor { dst, src } => self.binop(dst, src, |a, b| (a ^ b, false, false)),
-            Inst::Shl { dst, src } => self.binop(dst, src, |a, b| (a.wrapping_shl(b & 31), false, false)),
-            Inst::Shr { dst, src } => self.binop(dst, src, |a, b| (a.wrapping_shr(b & 31), false, false)),
+            Inst::Shl { dst, src } => {
+                self.binop(dst, src, |a, b| (a.wrapping_shl(b & 31), false, false))
+            }
+            Inst::Shr { dst, src } => {
+                self.binop(dst, src, |a, b| (a.wrapping_shr(b & 31), false, false))
+            }
             Inst::Cmp { a, b } => {
                 let av = self.read_operand(&a)?;
                 let bv = self.read_operand(&b)?;
@@ -355,7 +372,9 @@ impl Machine {
             | Inst::Call { .. }
             | Inst::CallIndirect { .. }
             | Inst::Ret
-            | Inst::Halt => Err(MemFault::Crash(CrashKind::InvalidInstruction { addr: self.eip })),
+            | Inst::Halt => Err(MemFault::Crash(CrashKind::InvalidInstruction {
+                addr: self.eip,
+            })),
         }
     }
 

@@ -134,7 +134,10 @@ mod tests {
         let mem = Memory::new(MemoryLayout::default());
         assert!(matches!(mem.read(0), Err(CrashKind::UnmappedAccess { .. })));
         let end = MemoryLayout::default().stack_end();
-        assert!(matches!(mem.read(end), Err(CrashKind::UnmappedAccess { .. })));
+        assert!(matches!(
+            mem.read(end),
+            Err(CrashKind::UnmappedAccess { .. })
+        ));
     }
 
     #[test]

@@ -126,7 +126,9 @@ impl fmt::Display for FailureKind {
             FailureKind::IllegalControlTransfer { target } => {
                 write!(f, "illegal control transfer to 0x{target:x}")
             }
-            FailureKind::OutOfBoundsWrite { addr } => write!(f, "out-of-bounds write at 0x{addr:x}"),
+            FailureKind::OutOfBoundsWrite { addr } => {
+                write!(f, "out-of-bounds write at 0x{addr:x}")
+            }
         }
     }
 }

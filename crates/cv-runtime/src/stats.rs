@@ -169,7 +169,10 @@ mod tests {
             ..Default::default()
         };
         let ratio = model.overhead(&traced, &bare);
-        assert!(ratio > 100.0, "tracing should be orders of magnitude slower, got {ratio}");
+        assert!(
+            ratio > 100.0,
+            "tracing should be orders of magnitude slower, got {ratio}"
+        );
     }
 
     #[test]

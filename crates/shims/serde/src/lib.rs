@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde` (see `serde_derive` for why).
+//!
+//! Exposes the `Serialize` / `Deserialize` names (trait + derive macro in the same
+//! namespace, as the real crate does) with blanket implementations, so `use
+//! serde::{Deserialize, Serialize}` and `#[derive(Serialize, Deserialize)]` compile
+//! unchanged. No actual serialization machinery exists — nothing in the workspace
+//! serializes; the derives only document intent.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`: the `Serialize` / `Deserialize` derive macros.
+//!
+//! This build environment has no network access, so the real serde cannot be fetched.
+//! Nothing in this workspace performs actual serialization (there is no serde_json or
+//! bincode); the derives exist so that types can declare serializability. The stand-in
+//! derives therefore expand to nothing — the `serde` shim's traits have blanket impls.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -43,7 +43,11 @@ fn main() {
     let out = community.browse(3, exploit.page());
     println!(
         "member 3 (never exposed) presented with the exploit: {}",
-        if matches!(out.status, RunStatus::Completed) { "survived — protection without exposure" } else { "NOT protected" }
+        if matches!(out.status, RunStatus::Completed) {
+            "survived — protection without exposure"
+        } else {
+            "NOT protected"
+        }
     );
 
     // The console's message log shows the protocol.
@@ -56,15 +60,27 @@ fn main() {
             Message::FailureNotification { node, location } => {
                 println!("  member {node} reported a failure at 0x{location:x}")
             }
-            Message::ChecksDistributed { location, invariants } => {
+            Message::ChecksDistributed {
+                location,
+                invariants,
+            } => {
                 println!("  distributed {invariants} invariant checks for 0x{location:x}")
             }
-            Message::ChecksRemoved { location } => println!("  removed invariant checks for 0x{location:x}"),
-            Message::RepairDistributed { location, description } => {
+            Message::ChecksRemoved { location } => {
+                println!("  removed invariant checks for 0x{location:x}")
+            }
+            Message::RepairDistributed {
+                location,
+                description,
+            } => {
                 println!("  distributed repair for 0x{location:x}: {description}")
             }
             Message::RepairRemoved { location } => println!("  removed repair for 0x{location:x}"),
-            Message::ObservationReport { node, location, observations } => {
+            Message::ObservationReport {
+                node,
+                location,
+                observations,
+            } => {
                 println!("  member {node} reported {observations} observations for 0x{location:x}")
             }
         }

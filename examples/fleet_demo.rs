@@ -1,0 +1,95 @@
+//! Community-scale immunity (Section 3 at fleet scale): a 1,200-member fleet learns
+//! in parallel, five members are attacked, and every member — including the 1,195
+//! that never saw the exploit — becomes immune via the distributed patch.
+//!
+//! Run with: `cargo run --release --example fleet_demo`
+
+use clearview::apps::{evaluation_suite, learning_suite, red_team_exploits, Browser};
+use clearview::core::ClearViewConfig;
+use clearview::fleet::{Fleet, FleetConfig, Presentation};
+
+const NODES: usize = 1_200;
+const ATTACKERS: [usize; 5] = [3, 271, 502, 777, 1_111];
+
+fn main() {
+    let browser = Browser::build();
+    let mut fleet = Fleet::new(
+        browser.image.clone(),
+        ClearViewConfig::default(),
+        FleetConfig::new(NODES),
+    );
+    println!(
+        "fleet of {} members across {} workers",
+        fleet.node_count(),
+        fleet.worker_count()
+    );
+
+    // Amortized parallel learning: members trace disjoint shares, shard workers merge
+    // the uploads in parallel.
+    fleet.distributed_learning(&learning_suite());
+    println!(
+        "distributed learning merged {} invariants into {} shards",
+        fleet.model().invariants.len(),
+        fleet.shard_count()
+    );
+
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 290162)
+        .unwrap();
+    let location = browser.sym("vuln_290162_call");
+
+    // Benign background traffic plus the attackers hammering the same exploit.
+    let benign = evaluation_suite();
+    for round in 1..=10u64 {
+        let mut batch: Vec<Presentation> = ATTACKERS
+            .iter()
+            .map(|&node| Presentation::new(node, exploit.page()))
+            .collect();
+        for (i, page) in benign.iter().take(40).enumerate() {
+            batch.push(Presentation::new(
+                (round as usize * 53 + i * 13) % NODES,
+                page.clone(),
+            ));
+        }
+        let outcome = fleet.run_epoch(&batch);
+        println!(
+            "epoch {round}: {} presentations, {} blocked, {} completed — phase {:?}",
+            outcome.outcomes.len(),
+            outcome.blocked(),
+            outcome.completed(),
+            fleet.phase_of(location)
+        );
+        if fleet.is_protected_against(location) && outcome.blocked() == 0 {
+            break;
+        }
+    }
+    assert!(
+        fleet.is_protected_against(location),
+        "fleet failed to immunize: {:?}",
+        fleet.phase_of(location)
+    );
+
+    // Every member survives its first exposure.
+    let verify: Vec<Presentation> = (0..NODES)
+        .map(|node| Presentation::new(node, exploit.page()))
+        .collect();
+    let outcome = fleet.run_epoch(&verify);
+    println!(
+        "verification epoch: {}/{} members survive the exploit (unexposed members immune)",
+        outcome.completed(),
+        NODES
+    );
+    assert_eq!(outcome.completed(), NODES);
+
+    println!("\n{}", fleet.metrics());
+    println!(
+        "wire traffic: {} words batched vs {} words per-event ({}x saved)",
+        fleet.log().batched_wire_words(),
+        fleet.log().unbatched_wire_words(),
+        fleet.log().unbatched_wire_words() / fleet.log().batched_wire_words().max(1)
+    );
+    for report in fleet.reports() {
+        println!("\n{report}");
+    }
+}

@@ -14,7 +14,8 @@ fn main() {
     // 1. Learning: observe normal executions of the stripped binary and infer a model
     //    of normal behaviour (a database of invariants over registers and memory).
     let browser = Browser::build();
-    let (model, learn_stats) = learn_model(&browser.image, &learning_suite(), MonitorConfig::full());
+    let (model, learn_stats) =
+        learn_model(&browser.image, &learning_suite(), MonitorConfig::full());
     println!(
         "learned {} invariants from {} pages ({} trace events)",
         model.invariants.len(),
@@ -28,7 +29,8 @@ fn main() {
         .into_iter()
         .find(|e| e.bugzilla == 290162)
         .expect("exploit exists");
-    let mut app = ProtectedApplication::new(browser.image.clone(), model, ClearViewConfig::default());
+    let mut app =
+        ProtectedApplication::new(browser.image.clone(), model, ClearViewConfig::default());
 
     for presentation in 1..=6 {
         let outcome = app.present(exploit.page());
@@ -42,7 +44,10 @@ fn main() {
             RunStatus::Crash(c) => format!("crashed: {c}"),
         };
         println!("presentation {presentation}: {status}  [response phase: {phase}]");
-        if matches!(app.phase_of(browser.sym("vuln_290162_call")), Some(Phase::Protected)) {
+        if matches!(
+            app.phase_of(browser.sym("vuln_290162_call")),
+            Some(Phase::Protected)
+        ) {
             break;
         }
     }

@@ -22,8 +22,12 @@ fn main() {
     for exploit in red_team_exploits(&browser) {
         let (pages, config) = if reconfigured {
             match exploit.reconfiguration {
-                Reconfiguration::ExpandedLearning => (expanded_learning_suite(), ClearViewConfig::default()),
-                Reconfiguration::StackWalk => (learning_suite(), ClearViewConfig::with_stack_walk(2)),
+                Reconfiguration::ExpandedLearning => {
+                    (expanded_learning_suite(), ClearViewConfig::default())
+                }
+                Reconfiguration::StackWalk => {
+                    (learning_suite(), ClearViewConfig::with_stack_walk(2))
+                }
                 _ => (learning_suite(), ClearViewConfig::default()),
             }
         } else {
@@ -49,7 +53,10 @@ fn main() {
         if contained {
             blocked += 1;
         }
-        println!("{:<9} {:<30} {result}", exploit.bugzilla, exploit.error_type);
+        println!(
+            "{:<9} {:<30} {result}",
+            exploit.bugzilla, exploit.error_type
+        );
     }
     println!("\nattacks contained: {blocked}/10, exploits patched: {patched}/10");
     println!("(paper: 10/10 blocked; 7/10 patched in the exercise, 9/10 after reconfiguration)");

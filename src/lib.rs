@@ -8,14 +8,17 @@
 //! * [`inference`] — the Daikon-like invariant learning engine.
 //! * [`patch`] — invariant-check and repair patches.
 //! * [`core`] — the ClearView orchestration pipeline.
-//! * [`community`] — the application-community layer.
+//! * [`community`] — the application-community layer (small-N facade).
+//! * [`fleet`] — the sharded, parallel application-community engine (1,000+ members).
 //! * [`apps`] — the synthetic vulnerable browser and its workloads.
 //!
-//! See `examples/quickstart.rs` for an end-to-end walk through the Figure 1 pipeline.
+//! See `examples/quickstart.rs` for an end-to-end walk through the Figure 1 pipeline,
+//! and `examples/fleet_demo.rs` for community-scale immunity.
 
 pub use cv_apps as apps;
 pub use cv_community as community;
 pub use cv_core as core;
+pub use cv_fleet as fleet;
 pub use cv_inference as inference;
 pub use cv_isa as isa;
 pub use cv_patch as patch;

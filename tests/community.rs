@@ -29,14 +29,24 @@ fn simultaneous_exploits_across_members_are_repaired_independently() {
 
     // Every member — including one never attacked — survives both exploits.
     for node in 0..3 {
-        assert!(matches!(community.browse(node, a.page()).status, RunStatus::Completed));
-        assert!(matches!(community.browse(node, b.page()).status, RunStatus::Completed));
+        assert!(matches!(
+            community.browse(node, a.page()).status,
+            RunStatus::Completed
+        ));
+        assert!(matches!(
+            community.browse(node, b.page()).status,
+            RunStatus::Completed
+        ));
     }
 
     // The learning data for the two failures was kept separate: reports exist for both
     // and each repairs its own failure location.
     let reports = community.reports();
-    assert!(reports.len() >= 4, "one response per repaired defect, got {}", reports.len());
+    assert!(
+        reports.len() >= 4,
+        "one response per repaired defect, got {}",
+        reports.len()
+    );
     // Patch distribution messages exist for both exploits' failure locations.
     let distributed: Vec<_> = community
         .log()

@@ -45,7 +45,11 @@ fn presentations_to_survive(app: &mut ProtectedApplication, pages: &[Vec<u32>]) 
     None
 }
 
-fn protect_against(exploit: &Exploit, config: ClearViewConfig, learning: &[Vec<u32>]) -> Option<u32> {
+fn protect_against(
+    exploit: &Exploit,
+    config: ClearViewConfig,
+    learning: &[Vec<u32>],
+) -> Option<u32> {
     let (browser, model) = model_from(learning);
     let mut app = ProtectedApplication::new(browser.image.clone(), model, config);
     presentations_to_survive(&mut app, &[exploit.page().to_vec()])
@@ -55,8 +59,11 @@ fn protect_against(exploit: &Exploit, config: ClearViewConfig, learning: &[Vec<u
 fn every_attack_is_detected_and_blocked() {
     let (browser, model) = model_from(&learning_suite());
     for exploit in red_team_exploits(&browser) {
-        let mut app =
-            ProtectedApplication::new(browser.image.clone(), model.clone(), ClearViewConfig::default());
+        let mut app = ProtectedApplication::new(
+            browser.image.clone(),
+            model.clone(),
+            ClearViewConfig::default(),
+        );
         let out = app.present(exploit.page());
         assert!(
             out.blocked,
@@ -78,8 +85,7 @@ fn seven_of_ten_exploits_are_patched_under_the_red_team_configuration() {
     let mut patched = Vec::new();
     let mut unpatched = Vec::new();
     for exploit in &exploits {
-        let presentations =
-            protect_against(exploit, ClearViewConfig::default(), &learning_suite());
+        let presentations = protect_against(exploit, ClearViewConfig::default(), &learning_suite());
         match presentations {
             Some(n) => patched.push((exploit.bugzilla, n)),
             None => unpatched.push(exploit.bugzilla),
@@ -101,7 +107,11 @@ fn seven_of_ten_exploits_are_patched_under_the_red_team_configuration() {
             );
         }
     }
-    assert_eq!(patched.len(), 7, "seven of ten exploits patched: {patched:?}");
+    assert_eq!(
+        patched.len(),
+        7,
+        "seven of ten exploits patched: {patched:?}"
+    );
     assert_eq!(unpatched.len(), 3, "three remain unpatched: {unpatched:?}");
 }
 
@@ -129,9 +139,21 @@ fn presentation_counts_have_the_shape_of_table_1() {
     assert_eq!(counts[&312278], 4);
     assert_eq!(counts[&296134], 4);
     // Exploits whose earlier candidate repairs fail need more presentations.
-    assert!(counts[&295854] > 4, "295854's first repair fails: {}", counts[&295854]);
-    assert!(counts[&269095] > 4, "269095 needs a control-flow repair: {}", counts[&269095]);
-    assert!(counts[&320182] > 4, "320182 needs a control-flow repair: {}", counts[&320182]);
+    assert!(
+        counts[&295854] > 4,
+        "295854's first repair fails: {}",
+        counts[&295854]
+    );
+    assert!(
+        counts[&269095] > 4,
+        "269095 needs a control-flow repair: {}",
+        counts[&269095]
+    );
+    assert!(
+        counts[&320182] > 4,
+        "320182 needs a control-flow repair: {}",
+        counts[&320182]
+    );
     // The three chained defects of 311710 dominate the table.
     assert!(
         counts[&311710] >= 10,
@@ -139,7 +161,10 @@ fn presentation_counts_have_the_shape_of_table_1() {
         counts[&311710]
     );
     let max = counts.values().max().unwrap();
-    assert_eq!(counts[&311710], *max, "311710 is the outlier, as in Table 1");
+    assert_eq!(
+        counts[&311710], *max,
+        "311710 is the outlier, as in Table 1"
+    );
 }
 
 #[test]
@@ -156,8 +181,15 @@ fn stack_walk_reconfiguration_patches_285595() {
         None
     );
     // Considering one more procedure up the call stack finds the caller's invariant.
-    let n = protect_against(&exploit, ClearViewConfig::with_stack_walk(2), &learning_suite());
-    assert!(n.is_some(), "285595 is patched once the stack walk is enabled");
+    let n = protect_against(
+        &exploit,
+        ClearViewConfig::with_stack_walk(2),
+        &learning_suite(),
+    );
+    assert!(
+        n.is_some(),
+        "285595 is patched once the stack walk is enabled"
+    );
 }
 
 #[test]
@@ -173,8 +205,15 @@ fn expanded_learning_suite_patches_325403() {
         None,
         "the default learning suite lacks coverage of the vulnerable feature"
     );
-    let n = protect_against(&exploit, ClearViewConfig::default(), &expanded_learning_suite());
-    assert!(n.is_some(), "325403 is patched once learning covers the feature");
+    let n = protect_against(
+        &exploit,
+        ClearViewConfig::default(),
+        &expanded_learning_suite(),
+    );
+    assert!(
+        n.is_some(),
+        "325403 is patched once learning covers the feature"
+    );
 }
 
 #[test]
@@ -216,14 +255,20 @@ fn multiple_variant_attacks_yield_one_patch_covering_all_variants() {
         assert!(exploit.pages.len() >= 2, "exploit {bugzilla} has variants");
 
         // Baseline: single-variant attack.
-        let mut app =
-            ProtectedApplication::new(browser.image.clone(), model.clone(), ClearViewConfig::default());
+        let mut app = ProtectedApplication::new(
+            browser.image.clone(),
+            model.clone(),
+            ClearViewConfig::default(),
+        );
         let single = presentations_to_survive(&mut app, &[exploit.page().to_vec()])
             .expect("single-variant attack is patched");
 
         // Interleaved variants.
-        let mut app =
-            ProtectedApplication::new(browser.image.clone(), model.clone(), ClearViewConfig::default());
+        let mut app = ProtectedApplication::new(
+            browser.image.clone(),
+            model.clone(),
+            ClearViewConfig::default(),
+        );
         let interleaved = presentations_to_survive(&mut app, &exploit.pages)
             .expect("interleaved variants are patched");
         assert_eq!(
@@ -245,8 +290,11 @@ fn multiple_variant_attacks_yield_one_patch_covering_all_variants() {
 fn autoimmune_evaluation_rendering_is_bit_identical() {
     let (browser, model) = model_from(&expanded_learning_suite());
     // Unpatched baseline rendering of the 57 evaluation pages.
-    let mut baseline_app =
-        ProtectedApplication::new(browser.image.clone(), model.clone(), ClearViewConfig::default());
+    let mut baseline_app = ProtectedApplication::new(
+        browser.image.clone(),
+        model.clone(),
+        ClearViewConfig::default(),
+    );
     let baseline: Vec<Vec<u32>> = evaluation_suite()
         .iter()
         .map(|p| baseline_app.present(p).rendered)
@@ -271,7 +319,10 @@ fn autoimmune_evaluation_rendering_is_bit_identical() {
         .iter()
         .map(|p| app.present(p).rendered)
         .collect();
-    assert_eq!(baseline, patched, "bit-identical displays on all 57 evaluation pages");
+    assert_eq!(
+        baseline, patched,
+        "bit-identical displays on all 57 evaluation pages"
+    );
 }
 
 #[test]
