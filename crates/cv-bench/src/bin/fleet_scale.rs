@@ -1,28 +1,86 @@
 //! Fleet-scale benchmark: sequential vs. parallel epoch scheduling throughput
-//! (pages/sec) and monolithic vs. sharded invariant-store merge, at community sizes
-//! the seed's for-loop community could not reach. A captured run is recorded in
-//! `EXPERIMENTS.md`.
+//! (pages/sec), monolithic vs. sharded invariant-store merge, and — since the
+//! manager plane was sharded — the multi-failure manager benchmark: N simultaneous
+//! exploits at N distinct failure locations, where the sharded manager turns the
+//! per-epoch responder pass from O(failures) into O(failures / workers). A captured
+//! run is recorded in `EXPERIMENTS.md`.
 //!
-//! Run with: `cargo run --release -p cv-bench --bin fleet_scale`
+//! Run with: `cargo run --release -p cv-bench --bin fleet_scale [-- OPTIONS]`
+//!
+//! Options:
+//!   --json          also write a `BENCH_fleet.json` record (pages/sec,
+//!                   time-to-immunity, manager ms/epoch, speedups)
+//!   --workers N     worker threads for the parallel configurations (0 = one per core)
+//!   --nodes N       community size (default 256)
+//!   --epochs N      benign throughput epochs (default 4)
 
-use cv_apps::{evaluation_suite, learning_suite, Browser};
+use cv_apps::{
+    evaluation_suite, expanded_learning_suite, learning_suite, red_team_exploits, Browser,
+};
 use cv_bench::print_table;
-use cv_core::ClearViewConfig;
+use cv_core::{learn_model, ClearViewConfig};
 use cv_fleet::{Fleet, FleetConfig, Presentation, ShardedInvariantStore};
-use cv_inference::{InvariantDatabase, LearningFrontend};
-use cv_runtime::{EnvConfig, ManagedExecutionEnvironment};
+use cv_inference::{InvariantDatabase, LearnedModel, LearningFrontend};
+use cv_runtime::{EnvConfig, ManagedExecutionEnvironment, MonitorConfig};
 use std::time::Instant;
 
-const NODES: usize = 256;
-const EPOCHS: usize = 4;
 const MERGE_MEMBERS: usize = 64;
 const MERGE_ROUNDS: usize = 50;
+const MANAGER_SHARDS: usize = 8;
+const MULTI_FAILURE_EPOCHS: u64 = 10;
 
-/// Run `EPOCHS` epochs of benign traffic (every member loads four pages per epoch)
-/// and return (pages processed, execution seconds, pages/sec).
-fn throughput(parallel: bool, workers: usize) -> (u64, f64, f64) {
+/// The eight simultaneously attacked defects of the multi-failure scenario and
+/// their failure-location symbols (311710's chained defects and unrepairable
+/// 307259 excluded).
+const MULTI_FAILURE_TARGETS: [(u32, &str); 8] = [
+    (269095, "vuln_269095_call"),
+    (285595, "vuln_285595_store"),
+    (290162, "vuln_290162_call"),
+    (295854, "vuln_295854_call"),
+    (296134, "vuln_296134_ret"),
+    (312278, "vuln_312278_call"),
+    (320182, "vuln_320182_call"),
+    (325403, "vuln_325403_copy"),
+];
+
+#[derive(Debug, Clone, Copy)]
+struct Options {
+    json: bool,
+    workers: usize,
+    nodes: usize,
+    epochs: usize,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        json: false,
+        workers: 0,
+        nodes: 256,
+        epochs: 4,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut number = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("{name} requires a numeric argument"))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--workers" => opts.workers = number("--workers"),
+            "--nodes" => opts.nodes = number("--nodes").max(16),
+            "--epochs" => opts.epochs = number("--epochs").max(1),
+            other => panic!("unknown option {other}"),
+        }
+    }
+    opts
+}
+
+/// Run benign-traffic epochs (every member loads four pages per epoch) and return
+/// (pages processed, execution seconds, pages/sec).
+fn throughput(parallel: bool, workers: usize, opts: Options) -> (u64, f64, f64) {
     let browser = Browser::build();
-    let mut config = FleetConfig::new(NODES).with_workers(workers);
+    let mut config = FleetConfig::new(opts.nodes).with_workers(workers);
     if !parallel {
         config = config.sequential();
     }
@@ -30,8 +88,8 @@ fn throughput(parallel: bool, workers: usize) -> (u64, f64, f64) {
     fleet.distributed_learning(&learning_suite());
 
     let pages = evaluation_suite();
-    let mut batch = Vec::with_capacity(NODES * 4);
-    for node in 0..NODES {
+    let mut batch = Vec::with_capacity(opts.nodes * 4);
+    for node in 0..opts.nodes {
         for k in 0..4 {
             batch.push(Presentation::new(
                 node,
@@ -40,7 +98,7 @@ fn throughput(parallel: bool, workers: usize) -> (u64, f64, f64) {
         }
     }
 
-    for _ in 0..EPOCHS {
+    for _ in 0..opts.epochs {
         let outcome = fleet.run_epoch(&batch);
         assert_eq!(
             outcome.completed(),
@@ -93,19 +151,86 @@ fn merge_time(shards: usize, parallel: bool, uploads: &[InvariantDatabase]) -> f
     start.elapsed().as_secs_f64()
 }
 
+/// The outcome of one multi-failure manager run.
+struct MultiFailureRun {
+    manager_ms_per_epoch: f64,
+    manager_parallel_speedup: f64,
+    immune: usize,
+    immunity_epochs: Vec<(u32, u64)>,
+}
+
+/// Attack all eight defects simultaneously: every member presents the exploit page
+/// of defect `member % 8`, every epoch. The manager therefore routes
+/// `members × active-locations` digests per epoch — the responder load the sharded
+/// plane parallelizes.
+fn multi_failure(browser: &Browser, model: &LearnedModel, config: FleetConfig) -> MultiFailureRun {
+    let all = red_team_exploits(browser);
+    let exploits: Vec<_> = MULTI_FAILURE_TARGETS
+        .iter()
+        .map(|(b, _)| all.iter().find(|e| e.bugzilla == *b).unwrap().clone())
+        .collect();
+    let locations: Vec<(u32, u32)> = MULTI_FAILURE_TARGETS
+        .iter()
+        .map(|(bug, sym)| (*bug, browser.sym(sym)))
+        .collect();
+
+    let nodes = config.node_count;
+    let mut fleet = Fleet::new(
+        browser.image.clone(),
+        ClearViewConfig::with_stack_walk(2),
+        config,
+    );
+    fleet.set_model(model.clone());
+
+    let batch: Vec<Presentation> = (0..nodes)
+        .map(|node| Presentation::new(node, exploits[node % exploits.len()].page()))
+        .collect();
+    for _ in 0..MULTI_FAILURE_EPOCHS {
+        fleet.run_epoch(&batch);
+    }
+
+    let metrics = fleet.metrics();
+    let immunity_epochs: Vec<(u32, u64)> = locations
+        .iter()
+        .filter_map(|(bug, loc)| {
+            metrics
+                .immunity(*loc)
+                .and_then(|r| r.epochs_to_immunity())
+                .map(|e| (*bug, e))
+        })
+        .collect();
+    MultiFailureRun {
+        manager_ms_per_epoch: metrics.manager_ms_per_epoch(),
+        manager_parallel_speedup: metrics.manager_parallel_speedup(),
+        immune: locations
+            .iter()
+            .filter(|(_, loc)| fleet.is_protected_against(*loc))
+            .count(),
+        immunity_epochs,
+    }
+}
+
 fn main() {
+    let opts = parse_options();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let worker_label = if opts.workers == 0 {
+        format!("{cores} workers (auto)")
+    } else {
+        format!("{} workers", opts.workers)
+    };
     println!(
-        "fleet_scale: {NODES} members, {EPOCHS} epochs x {} pages/epoch, {cores} cores",
-        NODES * 4
+        "fleet_scale: {} members, {} epochs x {} pages/epoch, {cores} cores, {worker_label}",
+        opts.nodes,
+        opts.epochs,
+        opts.nodes * 4
     );
 
-    let (seq_pages, seq_secs, seq_rate) = throughput(false, 1);
-    let (par_pages, par_secs, par_rate) = throughput(true, 0);
+    let (seq_pages, seq_secs, seq_rate) = throughput(false, 1, opts);
+    let (par_pages, par_secs, par_rate) = throughput(true, opts.workers, opts);
     assert_eq!(seq_pages, par_pages);
-    let speedup = par_rate / seq_rate;
+    let scheduling_speedup = par_rate / seq_rate;
 
     print_table(
         "Epoch scheduling throughput",
@@ -119,11 +244,11 @@ fn main() {
                 "1.00x".into(),
             ],
             vec![
-                format!("parallel ({cores} workers)"),
+                format!("parallel ({worker_label})"),
                 par_pages.to_string(),
                 format!("{par_secs:.3}"),
                 format!("{par_rate:.0}"),
-                format!("{speedup:.2}x"),
+                format!("{scheduling_speedup:.2}x"),
             ],
         ],
     );
@@ -153,9 +278,109 @@ fn main() {
         ],
     );
 
-    if speedup > 1.0 {
-        println!("\nparallel epoch scheduling speedup: {speedup:.2}x (> 1 on this machine)");
+    // The multi-failure manager benchmark: all eight exploitable defects attacked at
+    // distinct addresses in every epoch, across the whole community.
+    let browser = Browser::build();
+    let model = learn_model(
+        &browser.image,
+        &expanded_learning_suite(),
+        MonitorConfig::full(),
+    )
+    .0;
+    let seq_run = multi_failure(
+        &browser,
+        &model,
+        FleetConfig::new(opts.nodes)
+            .sequential()
+            .with_manager_shards(1),
+    );
+    let par_run = multi_failure(
+        &browser,
+        &model,
+        FleetConfig::new(opts.nodes)
+            .with_workers(opts.workers)
+            .with_manager_shards(MANAGER_SHARDS),
+    );
+    // Keep the benchmark honest before anything is reported or written: the
+    // sharded manager must reach the same immunity as the sequential one.
+    assert_eq!(seq_run.immune, par_run.immune, "manager parity violated");
+    print_table(
+        &format!(
+            "Sharded manager plane ({} exploits at distinct addresses, {} members, {MULTI_FAILURE_EPOCHS} epochs)",
+            MULTI_FAILURE_TARGETS.len(),
+            opts.nodes
+        ),
+        &[
+            "manager",
+            "shards",
+            "manager ms/epoch",
+            "manager-parallel speedup",
+            "immune locations",
+        ],
+        &[
+            vec![
+                "sequential (seed shape)".into(),
+                "1".into(),
+                format!("{:.3}", seq_run.manager_ms_per_epoch),
+                "1.00x".into(),
+                format!("{}/{}", seq_run.immune, MULTI_FAILURE_TARGETS.len()),
+            ],
+            vec![
+                format!("sharded ({worker_label})"),
+                MANAGER_SHARDS.to_string(),
+                format!("{:.3}", par_run.manager_ms_per_epoch),
+                format!("{:.2}x", par_run.manager_parallel_speedup),
+                format!("{}/{}", par_run.immune, MULTI_FAILURE_TARGETS.len()),
+            ],
+        ],
+    );
+    for (bug, epochs) in &par_run.immunity_epochs {
+        println!("  defect {bug}: community-immune after {epochs} epoch(s)");
+    }
+    let manager_wall_ratio = if par_run.manager_ms_per_epoch > 0.0 {
+        seq_run.manager_ms_per_epoch / par_run.manager_ms_per_epoch
+    } else {
+        1.0
+    };
+    println!(
+        "manager wall-clock vs sequential: {manager_wall_ratio:.2}x \
+         (expect ~1x on a single core; the manager-parallel speedup column is \
+         busy-time / fan-out wall time and is exactly 1.00x when no parallel \
+         fan-out ran)"
+    );
+
+    if scheduling_speedup > 1.0 {
+        println!(
+            "\nparallel epoch scheduling speedup: {scheduling_speedup:.2}x (> 1 on this machine)"
+        );
     } else {
         println!("\nWARNING: no scheduling speedup measured (single-core machine?)");
+    }
+
+    if opts.json {
+        let immunity_entries: Vec<String> = par_run
+            .immunity_epochs
+            .iter()
+            .map(|(bug, epochs)| format!("\"{bug}\": {epochs}"))
+            .collect();
+        let max_immunity = par_run
+            .immunity_epochs
+            .iter()
+            .map(|(_, e)| *e)
+            .max()
+            .unwrap_or(0);
+        let json = format!(
+            "{{\n  \"bench\": \"fleet_scale\",\n  \"nodes\": {},\n  \"workers\": {},\n  \"cores\": {cores},\n  \"pages_per_second_sequential\": {seq_rate:.1},\n  \"pages_per_second_parallel\": {par_rate:.1},\n  \"scheduling_speedup\": {scheduling_speedup:.3},\n  \"merge_monolithic_seconds\": {mono:.4},\n  \"merge_sharded_parallel_seconds\": {sharded_par:.4},\n  \"manager_ms_per_epoch_sequential\": {:.4},\n  \"manager_ms_per_epoch_sharded\": {:.4},\n  \"manager_parallel_speedup\": {:.3},\n  \"manager_shards\": {MANAGER_SHARDS},\n  \"multi_failure_locations\": {},\n  \"immune_locations\": {},\n  \"time_to_immunity_epochs_max\": {max_immunity},\n  \"time_to_immunity_epochs\": {{ {} }}\n}}\n",
+            opts.nodes,
+            opts.workers,
+            seq_run.manager_ms_per_epoch,
+            par_run.manager_ms_per_epoch,
+            par_run.manager_parallel_speedup,
+            MULTI_FAILURE_TARGETS.len(),
+            par_run.immune,
+            immunity_entries.join(", "),
+        );
+        std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+        println!("\nwrote BENCH_fleet.json:\n{json}");
     }
 }

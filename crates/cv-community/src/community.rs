@@ -56,11 +56,14 @@ impl Community {
         node_count: usize,
         monitors: MonitorConfig,
     ) -> Self {
-        // One worker: a handful of members browsing one page at a time gains nothing
-        // from fan-out, and single-threaded execution keeps the facade deterministic.
+        // One worker and one manager shard: a handful of members browsing one page
+        // at a time gains nothing from fan-out, single-threaded execution keeps the
+        // facade deterministic, and a single manager shard is *exactly* the seed's
+        // central responder pass (the shard owns every failure location).
         let fleet_config = FleetConfig::new(node_count.max(1))
             .with_workers(1)
             .with_shards(4)
+            .with_manager_shards(1)
             .with_monitors(monitors);
         Community {
             fleet: Fleet::new(image.clone(), config, fleet_config),
@@ -173,27 +176,23 @@ impl Community {
                         });
                     }
                 }
-                FleetMessage::PatchPushes { pushes, .. } => {
-                    for push in pushes {
-                        self.log.push(match &push.kind {
+                FleetMessage::PatchPushes { .. } => {
+                    for (location, kind) in batch.push_summaries() {
+                        self.log.push(match kind {
                             PatchPushKind::InstallChecks { invariants } => {
                                 Message::ChecksDistributed {
-                                    location: push.location,
-                                    invariants: *invariants,
+                                    location,
+                                    invariants,
                                 }
                             }
-                            PatchPushKind::RemoveChecks => Message::ChecksRemoved {
-                                location: push.location,
-                            },
+                            PatchPushKind::RemoveChecks => Message::ChecksRemoved { location },
                             PatchPushKind::InstallRepair { description } => {
                                 Message::RepairDistributed {
-                                    location: push.location,
-                                    description: description.clone(),
+                                    location,
+                                    description,
                                 }
                             }
-                            PatchPushKind::RemoveRepair => Message::RepairRemoved {
-                                location: push.location,
-                            },
+                            PatchPushKind::RemoveRepair => Message::RepairRemoved { location },
                         });
                     }
                 }

@@ -11,6 +11,9 @@
 //! * [`RepairEvaluator`] — the `(s − f) + b` repair scoring (Section 2.6).
 //! * [`FailureResponder`] — the per-failure state machine: checking → repairing →
 //!   protected, with give-up paths.
+//! * [`manager`] — the sharded manager plane: pure digest routing
+//!   ([`DigestRouter`]), per-shard responder ownership ([`ResponderShard`]), and the
+//!   deterministic fleet-wide patch-op merge ([`PatchPlan`]).
 //! * [`ProtectedApplication`] — a single application instance under ClearView
 //!   protection: present pages, watch it learn from failure, and read back the
 //!   Table 3-style [`AttackTimeline`] and maintainer [`RepairReport`]s.
@@ -22,6 +25,7 @@
 mod config;
 mod correlate;
 mod evaluate;
+pub mod manager;
 mod pipeline;
 mod repairgen;
 mod responder;
@@ -29,6 +33,10 @@ mod responder;
 pub use config::ClearViewConfig;
 pub use correlate::{candidate_invariants, classify, CandidateSet, Correlation};
 pub use evaluate::{RepairEvaluator, RepairScore};
+pub use manager::{
+    DigestRouter, FailureEvent, PatchPlan, PlanOp, ResponderShard, RoutedDigest, ShardBucket,
+    ShardOutcome, SourceId,
+};
 pub use pipeline::{
     checks_for, learn_model, AttackTimeline, PresentationOutcome, ProtectedApplication,
     SimTimeModel,

@@ -1,0 +1,480 @@
+//! The sharded manager plane: parallel per-failure responders with a deterministic
+//! patch-op merge.
+//!
+//! ClearView centralizes every repair decision at the management console
+//! (Section 3.2): each failure location owns one [`FailureResponder`], and whoever
+//! runs the application feeds the responders run digests and applies the
+//! [`Directive`]s they emit. This module factors that *responder driving* out of the
+//! single-machine pipeline and the fleet engine into three composable pieces:
+//!
+//! 1. **Routing** ([`DigestRouter`]) — a pure step that partitions the digests and
+//!    failure reports of one batch into per-shard buckets. Digests partition cleanly
+//!    by failure location (a digest is addressed to the responder of the location it
+//!    was built for, regardless of its [`DigestStatus`]), so routing never inspects
+//!    responder state.
+//! 2. **Shards** ([`ResponderShard`]) — each shard owns the responders for a disjoint
+//!    slice of failure locations and processes its bucket independently: no two
+//!    shards share any mutable state, so N shards can run on N threads.
+//! 3. **Merge** ([`PatchPlan`]) — each shard emits its directives as an ordered
+//!    [`PatchPlan`]; [`PatchPlan::merge`] combines the per-shard plans into one
+//!    fleet-wide plan with a *stable* sort by failure location. Because every shard
+//!    is deterministic and the merge imposes a canonical order, parallel and
+//!    sequential manager passes produce byte-identical plans (and therefore
+//!    byte-identical console logs) — the property `manager_parity` tests prove.
+//!
+//! The single-machine [`ProtectedApplication`](crate::ProtectedApplication) is the
+//! degenerate deployment: one shard, one source, one digest per batch. The fleet
+//! engine (`cv-fleet`) fans buckets across its worker pool.
+
+use crate::config::ClearViewConfig;
+use crate::responder::{DigestStatus, Directive, FailureResponder, RunDigest};
+use cv_inference::LearnedModel;
+use cv_isa::Addr;
+use cv_runtime::Failure;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies the member (or other digest source) an event originated from. The
+/// single-machine pipeline uses source 0 throughout; the fleet uses member node ids.
+pub type SourceId = usize;
+
+/// One run digest addressed to the responder of one failure location.
+#[derive(Debug, Clone)]
+pub struct RoutedDigest {
+    /// The member the digest came from.
+    pub source: SourceId,
+    /// The failure location whose responder should consume the digest.
+    pub location: Addr,
+    /// The digest itself.
+    pub digest: RunDigest,
+}
+
+/// One monitor-detected failure, tagged with the member that reported it.
+#[derive(Debug, Clone)]
+pub struct FailureEvent {
+    /// The member the failure occurred on.
+    pub source: SourceId,
+    /// The failure report.
+    pub failure: Failure,
+}
+
+/// The per-shard slice of one batch: the digests and failure reports for the failure
+/// locations the shard owns, each in batch order.
+#[derive(Debug, Clone, Default)]
+pub struct ShardBucket {
+    /// Digests for responders this shard owns.
+    pub digests: Vec<RoutedDigest>,
+    /// Failures at locations this shard owns (existing or new).
+    pub failures: Vec<FailureEvent>,
+}
+
+impl ShardBucket {
+    /// True if the bucket carries no work.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty() && self.failures.is_empty()
+    }
+}
+
+/// The pure routing step: partitions a batch into per-shard buckets by failure
+/// location.
+///
+/// Routing is stateless and deterministic — the same batch always produces the same
+/// buckets, and each bucket preserves the batch order of its entries. The location →
+/// shard map is [`InvariantDatabase::shard_of`]'s multiplicative hash (the same
+/// partition the sharded invariant store uses), so consecutive code addresses spread
+/// across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestRouter {
+    shard_count: usize,
+}
+
+impl DigestRouter {
+    /// A router over `shard_count` shards (at least 1).
+    pub fn new(shard_count: usize) -> Self {
+        DigestRouter {
+            shard_count: shard_count.max(1),
+        }
+    }
+
+    /// Number of shards routed to.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The shard owning `location`.
+    pub fn shard_of(&self, location: Addr) -> usize {
+        cv_inference::InvariantDatabase::shard_of(location, self.shard_count)
+    }
+
+    /// Partition one batch into per-shard buckets, preserving batch order within
+    /// every bucket.
+    pub fn route(
+        &self,
+        digests: impl IntoIterator<Item = RoutedDigest>,
+        failures: impl IntoIterator<Item = FailureEvent>,
+    ) -> Vec<ShardBucket> {
+        let mut buckets: Vec<ShardBucket> = (0..self.shard_count)
+            .map(|_| ShardBucket::default())
+            .collect();
+        for digest in digests {
+            buckets[self.shard_of(digest.location)].digests.push(digest);
+        }
+        for event in failures {
+            buckets[self.shard_of(event.failure.location)]
+                .failures
+                .push(event);
+        }
+        buckets
+    }
+}
+
+/// One fleet-wide patch operation: a responder directive bound to its failure
+/// location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanOp {
+    /// The failure location the directive belongs to.
+    pub location: Addr,
+    /// The directive to apply to every member.
+    pub directive: Directive,
+}
+
+/// An ordered, deterministic set of fleet-wide patch operations — what one manager
+/// pass decided to push.
+///
+/// Shards emit plans independently; [`PatchPlan::merge`] combines them under a
+/// canonical order (stable sort by failure location, preserving each location's
+/// directive order), so the merged plan is independent of shard count, worker count,
+/// and thread scheduling. Plans are `Serialize`/`Deserialize` (and `PartialEq`), so
+/// they can cross the wire protocol and be replayed from a recorded log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PatchPlan {
+    ops: Vec<PlanOp>,
+}
+
+impl PatchPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one directive for `location`.
+    pub fn push(&mut self, location: Addr, directive: Directive) {
+        self.ops.push(PlanOp {
+            location,
+            directive,
+        });
+    }
+
+    /// Append every directive of `directives` for `location`, in order.
+    pub fn extend(&mut self, location: Addr, directives: impl IntoIterator<Item = Directive>) {
+        for directive in directives {
+            self.push(location, directive);
+        }
+    }
+
+    /// Merge per-shard plans into one canonical fleet-wide plan: concatenate, then
+    /// stable-sort by failure location. Per-location directive order is preserved
+    /// (each location lives in exactly one shard), so the result does not depend on
+    /// how the work was sharded.
+    pub fn merge(plans: impl IntoIterator<Item = PatchPlan>) -> PatchPlan {
+        let mut ops: Vec<PlanOp> = plans.into_iter().flat_map(|p| p.ops).collect();
+        ops.sort_by_key(|op| op.location);
+        PatchPlan { ops }
+    }
+
+    /// The operations, in canonical order.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the plan carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The distinct failure locations the plan touches, in ascending order
+    /// (regardless of the plan's own op order).
+    pub fn locations(&self) -> Vec<Addr> {
+        let mut locations: Vec<Addr> = self.ops.iter().map(|op| op.location).collect();
+        locations.sort_unstable();
+        locations.dedup();
+        locations
+    }
+}
+
+/// What one shard decided while processing its bucket.
+#[derive(Debug, Clone, Default)]
+pub struct ShardOutcome {
+    /// The patch operations the shard's responders emitted (per-location order
+    /// preserved; merge with [`PatchPlan::merge`]).
+    pub plan: PatchPlan,
+    /// Per-location `(source, observation count)` reports consumed this batch, in
+    /// ascending location order.
+    pub observations: Vec<(Addr, Vec<(SourceId, usize)>)>,
+    /// Locations at which a new community-wide response was started this batch.
+    pub started: Vec<Addr>,
+}
+
+/// The responders for one disjoint slice of failure locations.
+///
+/// A shard is single-threaded state: it owns its responders outright and processes
+/// one bucket at a time. Parallelism comes from running *different* shards on
+/// different threads — they share nothing.
+///
+/// **Community-attributed repair evaluation.** A crashed or completed run carries no
+/// failure location, so on its own it says nothing about *which* response it is
+/// evidence for. The shard therefore tracks, per location, the members that have
+/// reported the failure there, and feeds unattributed outcomes (Completed / Crashed)
+/// to a responder only when they come from one of its reporters — the members whose
+/// workload demonstrably exercises the defect. Monitor-attributed failures are
+/// always delivered (and enroll their source as a reporter). With a single source
+/// (the single-machine pipeline) every digest after the first failure is from a
+/// reporter, so this degenerates to exactly the seed behaviour; in a fleet it is
+/// what lets N responses evaluate N repairs simultaneously without one exploit's
+/// crashes bleeding into another exploit's evaluation.
+#[derive(Default)]
+pub struct ResponderShard {
+    responders: BTreeMap<Addr, FailureResponder>,
+    reporters: BTreeMap<Addr, BTreeSet<SourceId>>,
+}
+
+impl ResponderShard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of failure locations with live responses on this shard.
+    pub fn len(&self) -> usize {
+        self.responders.len()
+    }
+
+    /// True if the shard owns no responders.
+    pub fn is_empty(&self) -> bool {
+        self.responders.is_empty()
+    }
+
+    /// The failure locations this shard owns, in ascending order.
+    pub fn locations(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.responders.keys().copied()
+    }
+
+    /// The responder for `location`, if this shard owns one.
+    pub fn get(&self, location: Addr) -> Option<&FailureResponder> {
+        self.responders.get(&location)
+    }
+
+    /// The responders, in ascending location order.
+    pub fn responders(&self) -> impl Iterator<Item = (Addr, &FailureResponder)> {
+        self.responders.iter().map(|(a, r)| (*a, r))
+    }
+
+    /// Process one bucket: feed each digest to its responder (in bucket order) and
+    /// start a response for each failure at a location without one.
+    ///
+    /// **Batch semantics** (identical to the pre-shard engine): once a responder
+    /// emits directives mid-batch, the remaining digests of the same batch for that
+    /// location are dropped — they were produced under the patch configuration the
+    /// directives just replaced. Likewise a response started mid-batch consumes no
+    /// digests from the same batch (none exist: digests are only built for locations
+    /// that were active when the batch ran).
+    pub fn process(
+        &mut self,
+        bucket: ShardBucket,
+        model: &LearnedModel,
+        config: &ClearViewConfig,
+    ) -> ShardOutcome {
+        let mut plan = PatchPlan::new();
+        let mut started = Vec::new();
+        let mut observations: BTreeMap<Addr, Vec<(SourceId, usize)>> = BTreeMap::new();
+        // Locations whose patch configuration changed mid-batch.
+        let mut reconfigured: BTreeSet<Addr> = BTreeSet::new();
+
+        for RoutedDigest {
+            source,
+            location,
+            digest,
+        } in bucket.digests
+        {
+            if reconfigured.contains(&location) {
+                continue;
+            }
+            let Some(responder) = self.responders.get_mut(&location) else {
+                continue;
+            };
+            // Observation reports crossed the wire regardless of how the manager
+            // weighs the run, so they are accounted before the delivery gate.
+            if !digest.observations.is_empty() {
+                let total = digest.observations.values().map(|v| v.len()).sum();
+                observations
+                    .entry(location)
+                    .or_default()
+                    .push((source, total));
+            }
+            // The delivery gate (see the type-level docs): a failure observed at
+            // this location always counts and enrolls its source as a reporter;
+            // unattributed outcomes count only from known reporters.
+            let deliver = match digest.status {
+                Some(DigestStatus::FailureAt(at)) if at == location => {
+                    self.reporters.entry(location).or_default().insert(source);
+                    true
+                }
+                _ => self
+                    .reporters
+                    .get(&location)
+                    .is_some_and(|r| r.contains(&source)),
+            };
+            if !deliver {
+                continue;
+            }
+            let directives = responder.on_run(&digest, model);
+            if !directives.is_empty() {
+                reconfigured.insert(location);
+                plan.extend(location, directives);
+            }
+        }
+
+        for FailureEvent { source, failure } in bucket.failures {
+            self.reporters
+                .entry(failure.location)
+                .or_default()
+                .insert(source);
+            if self.responders.contains_key(&failure.location) {
+                continue;
+            }
+            // A failure at a new location starts a community-wide response.
+            // Same-batch repeats of this failure predate the checking patches and
+            // are skipped by the contains_key guard above.
+            let (responder, directives) = FailureResponder::new(&failure, model, *config);
+            self.responders.insert(failure.location, responder);
+            started.push(failure.location);
+            plan.extend(failure.location, directives);
+        }
+
+        ShardOutcome {
+            plan,
+            observations: observations.into_iter().collect(),
+            started,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::responder::DigestStatus;
+
+    fn digest_for(source: SourceId, location: Addr) -> RoutedDigest {
+        RoutedDigest {
+            source,
+            location,
+            digest: RunDigest::with_status(DigestStatus::FailureAt(location)),
+        }
+    }
+
+    #[test]
+    fn routing_partitions_by_location_and_preserves_order() {
+        let router = DigestRouter::new(4);
+        let locations: Vec<Addr> = (0..32).map(|k| 0x1000 + k * 4).collect();
+        let digests: Vec<RoutedDigest> = locations
+            .iter()
+            .enumerate()
+            .map(|(i, &loc)| digest_for(i, loc))
+            .collect();
+        let buckets = router.route(digests, std::iter::empty());
+        assert_eq!(buckets.len(), 4);
+        let total: usize = buckets.iter().map(|b| b.digests.len()).sum();
+        assert_eq!(total, locations.len());
+        for (index, bucket) in buckets.iter().enumerate() {
+            // Every entry landed on the shard that owns its location...
+            for d in &bucket.digests {
+                assert_eq!(router.shard_of(d.location), index);
+            }
+            // ...and batch order is preserved within the bucket.
+            let sources: Vec<SourceId> = bucket.digests.iter().map(|d| d.source).collect();
+            let mut sorted = sources.clone();
+            sorted.sort_unstable();
+            assert_eq!(sources, sorted);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spreads_shards() {
+        let router = DigestRouter::new(8);
+        let mut hit = [false; 8];
+        for k in 0..64 {
+            let loc = 0x2000 + k * 4;
+            assert_eq!(router.shard_of(loc), router.shard_of(loc));
+            hit[router.shard_of(loc)] = true;
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "64 consecutive sites hit all 8 shards"
+        );
+    }
+
+    #[test]
+    fn single_shard_router_routes_everything_to_shard_zero() {
+        let router = DigestRouter::new(1);
+        let buckets = router.route(
+            (0..10).map(|k| digest_for(k, 0x100 + k as Addr)),
+            std::iter::empty(),
+        );
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].digests.len(), 10);
+    }
+
+    #[test]
+    fn plan_merge_is_canonical_and_stable() {
+        let mut a = PatchPlan::new();
+        a.push(0x300, Directive::RemoveChecks);
+        a.push(0x300, Directive::RemoveRepair);
+        a.push(0x100, Directive::RemoveChecks);
+        let mut b = PatchPlan::new();
+        b.push(0x200, Directive::RemoveRepair);
+
+        // Merge order of the per-shard plans must not matter.
+        let ab = PatchPlan::merge([a.clone(), b.clone()]);
+        let ba = PatchPlan::merge([b, a]);
+        assert_eq!(ab, ba);
+
+        // Canonical order: ascending location, per-location emission order kept.
+        assert_eq!(ab.locations(), vec![0x100, 0x200, 0x300]);
+        assert_eq!(ab.len(), 4);
+        assert!(matches!(ab.ops()[2].directive, Directive::RemoveChecks));
+        assert!(matches!(ab.ops()[3].directive, Directive::RemoveRepair));
+    }
+
+    #[test]
+    fn empty_shard_ignores_digests_for_unknown_locations() {
+        let mut shard = ResponderShard::new();
+        let layout = cv_isa::MemoryLayout::default();
+        let image = cv_isa::BinaryImage {
+            layout,
+            code: vec![],
+            data: vec![],
+            entry: layout.code_base,
+        };
+        let model = LearnedModel {
+            invariants: cv_inference::InvariantDatabase::new(),
+            procedures: cv_inference::ProcedureDatabase::new(image),
+        };
+        let outcome = shard.process(
+            ShardBucket {
+                digests: vec![digest_for(0, 0x40)],
+                failures: vec![],
+            },
+            &model,
+            &ClearViewConfig::default(),
+        );
+        assert!(outcome.plan.is_empty());
+        assert!(outcome.observations.is_empty());
+        assert!(outcome.started.is_empty());
+        assert!(shard.is_empty());
+    }
+}

@@ -1,13 +1,20 @@
 //! The single-application ClearView pipeline.
 //!
 //! [`ProtectedApplication`] owns a managed execution environment running one
-//! application image, the learned model, and a [`FailureResponder`] per failure
-//! location. Each call to [`ProtectedApplication::present`] runs the application on one
-//! input (a "page"), routes the outcome to the responders, applies the patches they
-//! request, and accounts the simulated time of each response phase — the per-exploit
+//! application image, the learned model, and — via the [`manager`](crate::manager)
+//! plane — a [`FailureResponder`](crate::FailureResponder) per failure location. Each
+//! call to [`ProtectedApplication::present`] runs the application on one input (a
+//! "page"), routes the outcome to the responders, applies the patch plan they
+//! produce, and accounts the simulated time of each response phase — the per-exploit
 //! breakdown reported in Table 3 of the paper.
+//!
+//! The single-machine pipeline is the degenerate manager deployment: one
+//! [`ResponderShard`], one digest source, one presentation per batch. The fleet
+//! engine (`cv-fleet`) drives many shards over the same plane in parallel; the
+//! manager-parity tests prove both produce identical decisions.
 
 use crate::config::ClearViewConfig;
+use crate::manager::{DigestRouter, FailureEvent, PatchPlan, ResponderShard, RoutedDigest};
 use crate::responder::{DigestStatus, Directive, FailureResponder, Phase, RepairReport, RunDigest};
 use cv_inference::{Invariant, LearnedModel, LearningFrontend};
 use cv_isa::{Addr, BinaryImage, Word};
@@ -153,11 +160,23 @@ impl AttackTimeline {
     }
 }
 
-struct ResponderSlot {
-    responder: FailureResponder,
+/// Per-failure-location patch bookkeeping: what is installed on *this* machine for
+/// the location, plus its Table 3 timeline. The decision state lives in the
+/// [`ResponderShard`]; this is purely the local application side.
+struct PatchSlot {
     checks: Vec<(Invariant, PatchHandle, HookId)>,
     repair: Option<PatchHandle>,
     timeline: AttackTimeline,
+}
+
+impl PatchSlot {
+    fn new(timeline: AttackTimeline) -> Self {
+        PatchSlot {
+            checks: Vec::new(),
+            repair: None,
+            timeline,
+        }
+    }
 }
 
 /// The outcome of presenting one input to the protected application.
@@ -181,7 +200,10 @@ pub struct ProtectedApplication {
     model: LearnedModel,
     config: ClearViewConfig,
     sim: SimTimeModel,
-    slots: BTreeMap<Addr, ResponderSlot>,
+    /// The degenerate manager plane: one shard owning every responder.
+    router: DigestRouter,
+    shard: ResponderShard,
+    slots: BTreeMap<Addr, PatchSlot>,
 }
 
 impl ProtectedApplication {
@@ -203,6 +225,8 @@ impl ProtectedApplication {
             model,
             config,
             sim: SimTimeModel::default(),
+            router: DigestRouter::new(1),
+            shard: ResponderShard::new(),
             slots: BTreeMap::new(),
         }
     }
@@ -219,20 +243,20 @@ impl ProtectedApplication {
 
     /// Failure locations ClearView has observed so far.
     pub fn failure_locations(&self) -> Vec<Addr> {
-        self.slots.keys().copied().collect()
+        self.shard.locations().collect()
     }
 
     /// True if a successful repair is in place for the failure at `location`.
     pub fn is_protected_against(&self, location: Addr) -> bool {
-        self.slots
-            .get(&location)
-            .map(|s| s.responder.is_protected())
+        self.shard
+            .get(location)
+            .map(|r| r.is_protected())
             .unwrap_or(false)
     }
 
     /// The response phase for the failure at `location`.
     pub fn phase_of(&self, location: Addr) -> Option<Phase> {
-        self.slots.get(&location).map(|s| s.responder.phase())
+        self.shard.get(location).map(|r| r.phase())
     }
 
     /// The number of patches (hooks) currently applied to the running application.
@@ -242,7 +266,7 @@ impl ProtectedApplication {
 
     /// Maintainer-facing reports for every observed failure.
     pub fn reports(&self) -> Vec<RepairReport> {
-        self.slots.values().map(|s| s.responder.report()).collect()
+        self.shard.responders().map(|(_, r)| r.report()).collect()
     }
 
     /// Table 3-style timelines for every observed failure.
@@ -265,52 +289,54 @@ impl ProtectedApplication {
         };
 
         let previously_protected: Vec<Addr> = self
-            .slots
-            .iter()
-            .filter(|(_, s)| s.responder.is_protected())
-            .map(|(a, _)| *a)
+            .shard
+            .responders()
+            .filter(|(_, r)| r.is_protected())
+            .map(|(a, _)| a)
             .collect();
 
-        // Route the outcome to every existing responder.
-        let locations: Vec<Addr> = self.slots.keys().copied().collect();
-        for loc in locations {
-            let (digest, directives) = {
-                let slot = self.slots.get_mut(&loc).expect("slot exists");
-                Self::attribute_time(slot, status, run_seconds, &result, &self.config);
-                let digest = Self::build_digest(slot, &result, status);
-                let directives = slot.responder.on_run(&digest, &self.model);
-                (digest, directives)
-            };
-            drop(digest);
-            self.apply_directives(loc, directives);
+        // Attribute the run's time to every active response (the phase *during* the
+        // run) and build its digest against the locally installed checking patches.
+        let mut digests: Vec<RoutedDigest> = Vec::with_capacity(self.slots.len());
+        for (loc, slot) in self.slots.iter_mut() {
+            let responder = self.shard.get(*loc).expect("responder for slot");
+            Self::attribute_time(slot, responder, status, run_seconds, &result, &self.config);
+            digests.push(RoutedDigest {
+                source: 0,
+                location: *loc,
+                digest: Self::build_digest(slot, &result, status),
+            });
         }
+        let failure_events = match &result.status {
+            // A failure at a location ClearView has not seen before starts a new
+            // response (the shard ignores reports at locations it already owns).
+            RunStatus::Failure(failure) => vec![FailureEvent {
+                source: 0,
+                failure: failure.clone(),
+            }],
+            _ => Vec::new(),
+        };
 
-        // A failure at a location ClearView has not seen before starts a new response.
-        if let RunStatus::Failure(failure) = &result.status {
-            if !self.slots.contains_key(&failure.location) {
-                let (responder, directives) =
-                    FailureResponder::new(failure, &self.model, self.config);
-                let mut timeline = AttackTimeline::new(failure.location);
-                timeline.detection_run_seconds += run_seconds;
-                timeline.presentations += 1;
-                self.slots.insert(
-                    failure.location,
-                    ResponderSlot {
-                        responder,
-                        checks: Vec::new(),
-                        repair: None,
-                        timeline,
-                    },
-                );
-                self.apply_directives(failure.location, directives);
-            }
+        // Drive the (single-shard) manager plane and apply its patch plan.
+        let bucket = self
+            .router
+            .route(digests, failure_events)
+            .pop()
+            .expect("one bucket from one shard");
+        let outcome = self.shard.process(bucket, &self.model, &self.config);
+        for loc in &outcome.started {
+            let mut timeline = AttackTimeline::new(*loc);
+            timeline.detection_run_seconds += run_seconds;
+            timeline.presentations += 1;
+            self.slots.insert(*loc, PatchSlot::new(timeline));
         }
+        self.apply_plan(&outcome.plan);
 
         let newly_protected: Vec<Addr> = self
-            .slots
-            .iter()
-            .filter(|(a, s)| s.responder.is_protected() && !previously_protected.contains(a))
-            .map(|(a, _)| *a)
+            .shard
+            .responders()
+            .filter(|(a, r)| r.is_protected() && !previously_protected.contains(a))
+            .map(|(a, _)| a)
             .collect();
 
         PresentationOutcome {
@@ -323,17 +349,19 @@ impl ProtectedApplication {
     }
 
     fn attribute_time(
-        slot: &mut ResponderSlot,
+        slot: &mut PatchSlot,
+        responder: &FailureResponder,
         status: DigestStatus,
         run_seconds: f64,
         result: &RunResult,
         config: &ClearViewConfig,
     ) {
-        let ours = matches!(status, DigestStatus::FailureAt(loc) if loc == slot.responder.failure_location);
+        let ours =
+            matches!(status, DigestStatus::FailureAt(loc) if loc == responder.failure_location);
         if ours {
             slot.timeline.presentations += 1;
         }
-        match slot.responder.phase() {
+        match responder.phase() {
             Phase::Checking if ours => {
                 slot.timeline.check_run_seconds += run_seconds;
                 let check_ids: Vec<HookId> = slot.checks.iter().map(|(_, _, id)| *id).collect();
@@ -351,7 +379,7 @@ impl ProtectedApplication {
                     slot.timeline.successful_repair_seconds +=
                         run_seconds + config.success_observation_seconds;
                 }
-                DigestStatus::FailureAt(loc) if loc == slot.responder.failure_location => {
+                DigestStatus::FailureAt(loc) if loc == responder.failure_location => {
                     slot.timeline.unsuccessful_repair_seconds += run_seconds;
                     slot.timeline.unsuccessful_repair_runs += 1;
                 }
@@ -365,7 +393,7 @@ impl ProtectedApplication {
         }
     }
 
-    fn build_digest(slot: &ResponderSlot, result: &RunResult, status: DigestStatus) -> RunDigest {
+    fn build_digest(slot: &PatchSlot, result: &RunResult, status: DigestStatus) -> RunDigest {
         let mut digest = RunDigest::with_status(status);
         for (inv, _, check_hook) in &slot.checks {
             let seq: Vec<bool> = result
@@ -381,14 +409,16 @@ impl ProtectedApplication {
         digest
     }
 
-    fn apply_directives(&mut self, loc: Addr, directives: Vec<Directive>) {
-        for directive in directives {
+    /// Apply a manager patch plan to this application, with Table 3 time accounting.
+    fn apply_plan(&mut self, plan: &PatchPlan) {
+        for op in plan.ops() {
+            let loc = op.location;
             let costs = self.config.patch_costs;
             let slot = match self.slots.get_mut(&loc) {
                 Some(s) => s,
-                None => return,
+                None => continue,
             };
-            match directive {
+            match &op.directive {
                 Directive::InstallChecks(checks) => {
                     let invariants: Vec<Invariant> =
                         checks.iter().map(|c| c.invariant.clone()).collect();
@@ -412,13 +442,18 @@ impl ProtectedApplication {
                     if slot.timeline.repair_build_seconds == 0.0 {
                         // The paper builds the repair patches for every correlated
                         // invariant in one batch, then installs them one at a time.
-                        let correlated: Vec<Invariant> = slot
-                            .responder
-                            .classifications()
-                            .iter()
-                            .filter(|(_, c)| **c > crate::correlate::Correlation::Not)
-                            .map(|(i, _)| i.clone())
-                            .collect();
+                        let correlated: Vec<Invariant> = self
+                            .shard
+                            .get(loc)
+                            .map(|responder| {
+                                responder
+                                    .classifications()
+                                    .iter()
+                                    .filter(|(_, c)| **c > crate::correlate::Correlation::Not)
+                                    .map(|(i, _)| i.clone())
+                                    .collect()
+                            })
+                            .unwrap_or_default();
                         let counts = InvariantCounts::of(correlated.iter());
                         slot.timeline.repair_counts = counts;
                         slot.timeline.repair_build_seconds += costs.build_time(counts);

@@ -37,7 +37,10 @@ pub enum Phase {
 }
 
 /// A request the responder makes of whoever runs the application.
-#[derive(Debug)]
+///
+/// Directives are `Clone` + `PartialEq` + serde so that patch plans built from them
+/// can cross the fleet wire protocol and be replayed from a recorded batch log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Directive {
     /// Install these invariant-checking patches.
     InstallChecks(Vec<CheckPatch>),
@@ -322,16 +325,24 @@ impl FailureResponder {
 
     /// The maintainer-facing report.
     pub fn report(&self) -> RepairReport {
+        // The classification map is hash-keyed; report correlated invariants in
+        // candidate-selection order so reports are deterministic.
+        let correlated = self
+            .candidates
+            .invariants
+            .iter()
+            .filter_map(|inv| {
+                self.classifications
+                    .get(inv)
+                    .filter(|c| **c > Correlation::Not)
+                    .map(|c| (inv.to_string(), *c))
+            })
+            .collect();
         RepairReport {
             failure_location: self.failure_location,
             phase: self.phase,
             candidate_invariants: self.candidates.len(),
-            correlated: self
-                .classifications
-                .iter()
-                .filter(|(_, c)| **c > Correlation::Not)
-                .map(|(inv, c)| (inv.to_string(), *c))
-                .collect(),
+            correlated,
             repairs: self
                 .evaluator
                 .scores()

@@ -1,11 +1,14 @@
-//! The fleet engine: the central ClearView manager for a large application community.
+//! The fleet engine: the sharded ClearView manager for a large application community.
 //!
 //! A [`Fleet`] owns the member environments (behind an [`EpochScheduler`]), the
-//! sharded community invariant store, one `FailureResponder` per failure location,
-//! the batched console log, and the fleet metrics. Execution is epoch-batched: the
-//! caller schedules a batch of presentations, workers run them in parallel, and the
-//! central manager digests the batch, drives the per-failure responders, and pushes
-//! the resulting patch operations to every member at the epoch boundary.
+//! sharded community invariant store, the *sharded manager plane* (a
+//! [`ResponderShard`] per slice of failure locations, fed by a pure
+//! [`DigestRouter`]), the batched console log, and the fleet metrics. Execution is
+//! epoch-batched: the caller schedules a batch of presentations, workers run them in
+//! parallel, the manager routes the resulting digests into per-shard buckets, the
+//! shards drive their responders in parallel across the same worker pool, and the
+//! per-shard patch plans merge — deterministically, by failure location — into one
+//! fleet-wide [`PatchPlan`] pushed to every member at the epoch boundary.
 //!
 //! **Batching semantics.** Within an epoch every member executes under the patch
 //! configuration established at the previous boundary. The manager therefore feeds a
@@ -15,19 +18,25 @@
 //! patches. With one presentation per epoch this degenerates to exactly the seed
 //! `cv-community` protocol, which is how the small-N facade preserves the paper's
 //! presentation counts (e.g. four presentations to a patch).
+//!
+//! **Determinism.** Every shard processes its bucket in batch order and shares no
+//! state with any other shard, and [`PatchPlan::merge`] imposes a canonical op order.
+//! A fleet therefore writes a byte-identical [`BatchLog`] whether its manager runs on
+//! one thread or many, with one shard or many — `tests/manager_parity.rs` proves it.
 
 use crate::metrics::FleetMetrics;
-use crate::protocol::{
-    BatchLog, FleetMessage, NodeId, PatchOp, PatchPush, PatchPushKind, Presentation,
-};
+use crate::protocol::{BatchLog, FleetMessage, NodeId, Presentation};
 use crate::scheduler::EpochScheduler;
 use crate::shard::ShardedInvariantStore;
-use cv_core::{ClearViewConfig, Directive, FailureResponder, Phase, RepairReport};
+use cv_core::{
+    ClearViewConfig, DigestRouter, FailureEvent, PatchPlan, Phase, RepairReport, ResponderShard,
+    RoutedDigest, ShardBucket, ShardOutcome,
+};
 use cv_inference::{InvariantDatabase, LearnedModel, ProcedureDatabase};
 use cv_isa::{Addr, BinaryImage, Word};
 use cv_runtime::{MonitorConfig, RunStatus};
-use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// Construction knobs for a [`Fleet`].
 #[derive(Debug, Clone, Copy)]
@@ -38,21 +47,25 @@ pub struct FleetConfig {
     pub worker_count: usize,
     /// Shards of the community invariant store.
     pub shard_count: usize,
+    /// Shards of the manager plane (responder state partitioned by failure
+    /// location). 1 reproduces the seed's central manager exactly.
+    pub manager_shard_count: usize,
     /// Monitor configuration for every member.
     pub monitors: MonitorConfig,
-    /// Run workers on real threads (`false` = same partitioning, one thread; the
-    /// sequential baseline for benchmarks).
+    /// Run workers on real threads (`false` = single partition on the calling
+    /// thread; the sequential baseline for benchmarks).
     pub parallel: bool,
 }
 
 impl FleetConfig {
-    /// Defaults for `node_count` members: auto worker count, 8 shards, full monitors,
-    /// parallel execution.
+    /// Defaults for `node_count` members: auto worker count, 8 store shards, 8
+    /// manager shards, full monitors, parallel execution.
     pub fn new(node_count: usize) -> Self {
         FleetConfig {
             node_count,
             worker_count: 0,
             shard_count: 8,
+            manager_shard_count: 8,
             monitors: MonitorConfig::full(),
             parallel: true,
         }
@@ -64,9 +77,15 @@ impl FleetConfig {
         self
     }
 
-    /// Override the shard count.
+    /// Override the invariant-store shard count.
     pub fn with_shards(mut self, shard_count: usize) -> Self {
         self.shard_count = shard_count.max(1);
+        self
+    }
+
+    /// Override the manager-plane shard count.
+    pub fn with_manager_shards(mut self, manager_shard_count: usize) -> Self {
+        self.manager_shard_count = manager_shard_count.max(1);
         self
     }
 
@@ -76,9 +95,11 @@ impl FleetConfig {
         self
     }
 
-    /// Force sequential (single-thread) execution.
+    /// Force sequential execution: one worker partition, no threads, no worker-pool
+    /// setup. The manager shards are likewise driven inline on the calling thread.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self.worker_count = 1;
         self
     }
 }
@@ -128,7 +149,13 @@ pub struct Fleet {
     scheduler: EpochScheduler,
     store: ShardedInvariantStore,
     model: LearnedModel,
-    responses: BTreeMap<Addr, FailureResponder>,
+    router: DigestRouter,
+    manager_shards: Vec<ResponderShard>,
+    parallel: bool,
+    /// Threads the manager fan-out may use: the worker count capped at the machine's
+    /// available parallelism (oversubscribing a latency-sensitive fan-out only adds
+    /// spawn overhead, unlike the members' simulation pool).
+    manager_threads: usize,
     log: BatchLog,
     metrics: FleetMetrics,
     epoch: u64,
@@ -145,6 +172,15 @@ impl Fleet {
             fleet_config.worker_count,
             fleet_config.parallel,
         );
+        let manager_shard_count = fleet_config.manager_shard_count.max(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let manager_threads = if fleet_config.parallel {
+            scheduler.worker_count().min(cores)
+        } else {
+            1
+        };
         Fleet {
             model: LearnedModel {
                 invariants: InvariantDatabase::new(),
@@ -155,9 +191,14 @@ impl Fleet {
             image,
             config,
             scheduler,
-            responses: BTreeMap::new(),
+            router: DigestRouter::new(manager_shard_count),
+            manager_shards: (0..manager_shard_count)
+                .map(|_| ResponderShard::new())
+                .collect(),
+            parallel: fleet_config.parallel,
+            manager_threads,
             log: BatchLog::new(),
-            metrics: FleetMetrics::default(),
+            metrics: FleetMetrics::with_manager_shards(manager_shard_count),
             epoch: 0,
         }
     }
@@ -175,6 +216,11 @@ impl Fleet {
     /// Number of shards in the community invariant store.
     pub fn shard_count(&self) -> usize {
         self.store.shard_count()
+    }
+
+    /// Number of shards in the manager plane.
+    pub fn manager_shard_count(&self) -> usize {
+        self.manager_shards.len()
     }
 
     /// The batched console log.
@@ -202,22 +248,34 @@ impl Fleet {
         self.epoch
     }
 
-    /// Maintainer-facing reports for every failure the fleet has responded to.
+    /// Maintainer-facing reports for every failure the fleet has responded to, in
+    /// ascending failure-location order (regardless of which shard owns each).
     pub fn reports(&self) -> Vec<RepairReport> {
-        self.responses.values().map(|r| r.report()).collect()
+        let mut reports: Vec<RepairReport> = self
+            .manager_shards
+            .iter()
+            .flat_map(|s| s.responders().map(|(_, r)| r.report()))
+            .collect();
+        reports.sort_by_key(|r| r.failure_location);
+        reports
+    }
+
+    /// The responder for `location`, if the fleet has one (on whichever manager
+    /// shard owns the location).
+    fn responder(&self, location: Addr) -> Option<&cv_core::FailureResponder> {
+        self.manager_shards[self.router.shard_of(location)].get(location)
     }
 
     /// True if a successful repair is distributed for the failure at `location`.
     pub fn is_protected_against(&self, location: Addr) -> bool {
-        self.responses
-            .get(&location)
+        self.responder(location)
             .map(|r| r.is_protected())
             .unwrap_or(false)
     }
 
     /// The response phase for the failure at `location`.
     pub fn phase_of(&self, location: Addr) -> Option<Phase> {
-        self.responses.get(&location).map(|r| r.phase())
+        self.responder(location).map(|r| r.phase())
     }
 
     /// Replace the community model wholesale (centralized learning / experiments
@@ -256,73 +314,85 @@ impl Fleet {
         self.metrics.learning_pages += pages.len() as u64;
     }
 
-    /// Execute one epoch: run `presentations` across the fleet in parallel, digest
-    /// the batch centrally, and push resulting patch operations to every member.
+    /// Execute one epoch: run `presentations` across the fleet in parallel, route
+    /// the digests into per-shard manager buckets, drive the responder shards in
+    /// parallel, merge their patch plans, and push the merged plan to every member.
     pub fn run_epoch(&mut self, presentations: &[Presentation]) -> EpochOutcome {
         self.epoch += 1;
         let epoch = self.epoch;
-        let active: Vec<Addr> = self.responses.keys().copied().collect();
+        let active: Vec<Addr> = self
+            .manager_shards
+            .iter()
+            .flat_map(|s| s.locations())
+            .collect();
 
         let execution_start = Instant::now();
-        let records = self.scheduler.run_epoch(presentations, &active);
+        let mut records = self.scheduler.run_epoch(presentations, &active);
         let execution = execution_start.elapsed();
 
         let manager_start = Instant::now();
-        let mut ops: Vec<(Addr, PatchOp)> = Vec::new();
-        let mut pushes: Vec<PatchPush> = Vec::new();
-        let mut failures: Vec<(NodeId, Addr)> = Vec::new();
-        let mut observation_batches: BTreeMap<Addr, Vec<(NodeId, usize)>> = BTreeMap::new();
-        // Locations whose patch configuration changed mid-batch: the rest of this
-        // epoch's digests for them ran under the old patches and are dropped.
-        let mut reconfigured: BTreeSet<Addr> = BTreeSet::new();
 
-        for record in &records {
-            for (loc, digest) in &record.digests {
-                if reconfigured.contains(loc) {
-                    continue;
-                }
-                let Some(responder) = self.responses.get_mut(loc) else {
-                    continue;
-                };
-                if !digest.observations.is_empty() {
-                    let total = digest.observations.values().map(|v| v.len()).sum();
-                    observation_batches
-                        .entry(*loc)
-                        .or_default()
-                        .push((record.node, total));
-                }
-                let directives = responder.on_run(digest, &self.model);
-                if !directives.is_empty() {
-                    reconfigured.insert(*loc);
-                    queue_directives(&mut ops, &mut pushes, *loc, directives, self.node_count());
-                }
+        // Pure routing: flatten the batch into routed digests and failure events (in
+        // batch order), then partition them by failure location.
+        let mut digests: Vec<RoutedDigest> = Vec::new();
+        let mut failure_events: Vec<FailureEvent> = Vec::new();
+        let mut failures: Vec<(NodeId, Addr)> = Vec::new();
+        for record in &mut records {
+            for (location, digest) in record.digests.drain(..) {
+                digests.push(RoutedDigest {
+                    source: record.node,
+                    location,
+                    digest,
+                });
             }
             if let Some(failure) = &record.failure {
                 failures.push((record.node, failure.location));
                 self.metrics.record_first_failure(failure.location, epoch);
-                if !self.responses.contains_key(&failure.location) {
-                    // A failure at a new location starts a community-wide response.
-                    // Same-epoch repeats of this failure predate the checking patches
-                    // and are not fed to the new responder.
-                    let (responder, directives) =
-                        FailureResponder::new(failure, &self.model, self.config);
-                    self.responses.insert(failure.location, responder);
-                    reconfigured.insert(failure.location);
-                    queue_directives(
-                        &mut ops,
-                        &mut pushes,
-                        failure.location,
-                        directives,
-                        self.node_count(),
-                    );
-                }
+                failure_events.push(FailureEvent {
+                    source: record.node,
+                    failure: failure.clone(),
+                });
             }
         }
+        let buckets = self.router.route(digests, failure_events);
+
+        // Fan the buckets across the worker pool: each worker drives a disjoint
+        // slice of responder shards. Shards share nothing, so this is embarrassingly
+        // parallel; per-shard busy time is measured inside the worker.
+        let fanout_start = Instant::now();
+        let (outcomes, ran_parallel) = drive_shards(
+            &mut self.manager_shards,
+            buckets,
+            &self.model,
+            &self.config,
+            self.parallel,
+            self.manager_threads,
+        );
+        let fanout = fanout_start.elapsed();
+
+        // Deterministic merge: per-shard plans collapse into one canonically ordered
+        // fleet-wide plan; observation reports merge by (disjoint) location.
+        let mut shard_busy = vec![Duration::ZERO; self.manager_shards.len()];
+        let mut plans: Vec<PatchPlan> = Vec::with_capacity(outcomes.len());
+        let mut observation_batches: BTreeMap<Addr, Vec<(NodeId, usize)>> = BTreeMap::new();
+        for (index, (outcome, busy)) in outcomes.into_iter().enumerate() {
+            shard_busy[index] = busy;
+            let ShardOutcome {
+                plan,
+                observations,
+                started: _,
+            } = outcome;
+            plans.push(plan);
+            for (location, reports) in observations {
+                observation_batches.insert(location, reports);
+            }
+        }
+        let plan = PatchPlan::merge(plans);
         let manager = manager_start.elapsed();
 
         // Batch order mirrors the seed's within-browse order as far as batching
-        // allows: observation reports first, then failure notifications, then patch
-        // pushes (the seed interleaves pushes per location; a batch cannot).
+        // allows: observation reports first, then failure notifications, then the
+        // patch plan (the seed interleaves pushes per location; a batch cannot).
         for (location, reports) in observation_batches {
             self.log.push(FleetMessage::Observations {
                 epoch,
@@ -331,25 +401,33 @@ impl Fleet {
             });
         }
         self.log.push(FleetMessage::Failures { epoch, failures });
-        self.log.push(FleetMessage::PatchPushes { epoch, pushes });
 
         let push_start = Instant::now();
-        self.scheduler.apply_ops(&ops);
-        if !ops.is_empty() {
+        self.scheduler.apply_plan(&plan);
+        if !plan.is_empty() {
             self.metrics.record_patch_push(
-                ops.len() as u64,
+                plan.len() as u64,
                 self.node_count() as u64,
                 push_start.elapsed(),
             );
         }
+        self.log.push(FleetMessage::PatchPushes {
+            epoch,
+            members: self.node_count(),
+            plan,
+        });
 
-        for (loc, responder) in &self.responses {
-            if responder.is_protected() {
-                self.metrics.record_protected(*loc, epoch);
+        for shard in &self.manager_shards {
+            for (loc, responder) in shard.responders() {
+                if responder.is_protected() {
+                    self.metrics.record_protected(loc, epoch);
+                }
             }
         }
         self.metrics
             .record_epoch(records.len() as u64, execution, manager);
+        self.metrics
+            .record_manager_fanout(&shard_busy, fanout, ran_parallel);
 
         EpochOutcome {
             epoch,
@@ -374,27 +452,141 @@ impl Fleet {
     }
 }
 
-/// Translate responder directives into fleet-wide patch operations plus their log
-/// summaries.
-fn queue_directives(
-    ops: &mut Vec<(Addr, PatchOp)>,
-    pushes: &mut Vec<PatchPush>,
-    location: Addr,
-    directives: Vec<Directive>,
-    members: usize,
-) {
-    for directive in directives {
-        let op = match directive {
-            Directive::InstallChecks(checks) => PatchOp::InstallChecks(checks),
-            Directive::RemoveChecks => PatchOp::RemoveChecks,
-            Directive::InstallRepair(repair) => PatchOp::InstallRepair(repair),
-            Directive::RemoveRepair => PatchOp::RemoveRepair,
-        };
-        pushes.push(PatchPush {
-            location,
-            kind: PatchPushKind::of(&op),
-            members,
+/// Minimum routed events in an epoch before the manager fan-out spawns threads.
+/// Below this, per-shard work is microseconds and thread spawns would dominate the
+/// very latency the fan-out exists to cut — small epochs run inline.
+const MIN_PARALLEL_MANAGER_EVENTS: usize = 512;
+
+/// Drive every responder shard over its bucket, returning each shard's outcome and
+/// busy time (in shard-index order) plus whether the fan-out actually ran on
+/// multiple threads.
+///
+/// Shards are distributed in contiguous chunks across at most `manager_threads`
+/// threads when `parallel` is set, more than one bucket carries work, and the batch
+/// is large enough to amortize the spawns; otherwise they run inline on the calling
+/// thread. Either way the result is identical — shards are mutually independent and
+/// individually deterministic.
+fn drive_shards(
+    shards: &mut [ResponderShard],
+    buckets: Vec<ShardBucket>,
+    model: &LearnedModel,
+    config: &ClearViewConfig,
+    parallel: bool,
+    manager_threads: usize,
+) -> (Vec<(ShardOutcome, Duration)>, bool) {
+    debug_assert_eq!(shards.len(), buckets.len());
+    let workers = manager_threads.min(shards.len()).max(1);
+    let occupied = buckets.iter().filter(|b| !b.is_empty()).count();
+    let events: usize = buckets
+        .iter()
+        .map(|b| b.digests.len() + b.failures.len())
+        .sum();
+    if parallel && workers > 1 && occupied > 1 && events >= MIN_PARALLEL_MANAGER_EVENTS {
+        let mut slots: Vec<Option<(ShardOutcome, Duration)>> = Vec::new();
+        slots.resize_with(shards.len(), || None);
+        std::thread::scope(|scope| {
+            // Chunk shards (and their buckets and output slots) into contiguous
+            // per-worker slices; each worker drives its slice in order.
+            let chunk = shards.len().div_ceil(workers);
+            let shard_chunks = shards.chunks_mut(chunk);
+            let slot_chunks = slots.chunks_mut(chunk);
+            let mut buckets = buckets;
+            // Draining from the front keeps bucket i with shard i.
+            let mut rest = buckets.drain(..);
+            for (shard_chunk, slot_chunk) in shard_chunks.zip(slot_chunks) {
+                let chunk_buckets: Vec<ShardBucket> =
+                    rest.by_ref().take(shard_chunk.len()).collect();
+                scope.spawn(move || {
+                    for ((shard, bucket), slot) in shard_chunk
+                        .iter_mut()
+                        .zip(chunk_buckets)
+                        .zip(slot_chunk.iter_mut())
+                    {
+                        *slot = Some(process_timed(shard, bucket, model, config));
+                    }
+                });
+            }
         });
-        ops.push((location, op));
+        (
+            slots
+                .into_iter()
+                .map(|s| s.expect("every shard processed"))
+                .collect(),
+            true,
+        )
+    } else {
+        (
+            shards
+                .iter_mut()
+                .zip(buckets)
+                .map(|(shard, bucket)| process_timed(shard, bucket, model, config))
+                .collect(),
+            false,
+        )
+    }
+}
+
+/// Process one bucket on one shard, measuring the shard's busy time.
+fn process_timed(
+    shard: &mut ResponderShard,
+    bucket: ShardBucket,
+    model: &LearnedModel,
+    config: &ClearViewConfig,
+) -> (ShardOutcome, Duration) {
+    let start = Instant::now();
+    let outcome = shard.process(bucket, model, config);
+    (outcome, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::MemoryLayout;
+
+    fn tiny_image() -> BinaryImage {
+        let layout = MemoryLayout::default();
+        BinaryImage {
+            layout,
+            code: vec![0],
+            data: vec![],
+            entry: layout.code_base,
+        }
+    }
+
+    #[test]
+    fn sequential_config_skips_the_worker_pool() {
+        let fleet = Fleet::new(
+            tiny_image(),
+            ClearViewConfig::default(),
+            FleetConfig::new(64).sequential(),
+        );
+        assert_eq!(
+            fleet.worker_count(),
+            1,
+            "sequential fleets must not build a worker pool"
+        );
+        // sequential() after other overrides still collapses to one worker.
+        let fleet = Fleet::new(
+            tiny_image(),
+            ClearViewConfig::default(),
+            FleetConfig::new(64).with_workers(8).sequential(),
+        );
+        assert_eq!(fleet.worker_count(), 1);
+    }
+
+    #[test]
+    fn manager_shard_count_is_configurable_and_at_least_one() {
+        let fleet = Fleet::new(
+            tiny_image(),
+            ClearViewConfig::default(),
+            FleetConfig::new(4).with_manager_shards(3),
+        );
+        assert_eq!(fleet.manager_shard_count(), 3);
+        let fleet = Fleet::new(
+            tiny_image(),
+            ClearViewConfig::default(),
+            FleetConfig::new(4).with_manager_shards(0),
+        );
+        assert_eq!(fleet.manager_shard_count(), 1);
     }
 }

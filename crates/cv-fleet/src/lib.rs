@@ -12,13 +12,21 @@
 //! * [`EpochScheduler`] (`scheduler.rs`) — execution batched into epochs and fanned
 //!   out across worker threads; each member keeps its own
 //!   `ManagedExecutionEnvironment`, and patches apply at epoch boundaries.
+//! * The **sharded manager plane** (`cv_core::manager`, driven by `fleet.rs`) — the
+//!   responder state partitioned by failure location into
+//!   [`ResponderShard`](cv_core::ResponderShard)s fed by a pure
+//!   [`DigestRouter`](cv_core::DigestRouter); per-shard
+//!   [`PatchPlan`](cv_core::PatchPlan)s merge deterministically (stable sort by
+//!   failure location), so the sharded-parallel manager writes a byte-identical
+//!   [`BatchLog`] to the sequential one.
 //! * [`FleetMessage`] / [`BatchLog`] (`protocol.rs`) — the batched wire protocol:
-//!   invariant uploads, failure notifications, observation reports, and patch pushes
-//!   travel as per-epoch batches instead of one message per event.
+//!   invariant uploads, failure notifications, observation reports, and shard-merged
+//!   patch plans travel as per-epoch batches instead of one message per event.
 //! * [`FleetMetrics`] (`metrics.rs`) — pages/sec throughput, time-to-immunity per
-//!   exploit, and patch-propagation latency across the fleet.
-//! * [`Fleet`] (`fleet.rs`) — the central manager tying the four together: the
-//!   paper's learn → detect → check → repair → distribute loop, at community scale.
+//!   exploit, patch-propagation latency, and per-shard manager time with the
+//!   manager-parallel speedup.
+//! * [`Fleet`] (`fleet.rs`) — the engine tying them together: the paper's learn →
+//!   detect → check → repair → distribute loop, at community scale.
 //!
 //! `cv-community` is a thin N=small facade over [`Fleet`] (one presentation per
 //! epoch reproduces the seed's sequential protocol exactly); `examples/fleet_demo.rs`
@@ -36,8 +44,10 @@ mod shard;
 
 pub use fleet::{EpochOutcome, Fleet, FleetConfig, MemberOutcome};
 pub use metrics::{FleetMetrics, ImmunityRecord};
-pub use protocol::{
-    BatchLog, FleetMessage, NodeId, PatchOp, PatchPush, PatchPushKind, Presentation,
-};
+pub use protocol::{BatchLog, FleetMessage, NodeId, PatchPushKind, Presentation};
 pub use scheduler::EpochScheduler;
 pub use shard::ShardedInvariantStore;
+
+// The manager-plane types live in `cv_core::manager`; re-export the ones fleet
+// callers touch so downstream code needs only this crate.
+pub use cv_core::{DigestRouter, PatchPlan, PlanOp, ResponderShard};

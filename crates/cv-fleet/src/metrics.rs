@@ -3,9 +3,10 @@
 //! The paper evaluates ClearView per machine (overhead, patch-generation time). At
 //! community scale the interesting quantities are aggregates: how many pages per
 //! second the fleet sustains, how long an exploit takes from first detection to
-//! community-wide immunity, and how quickly a patch push reaches every member.
-//! [`FleetMetrics`] collects all three; the `fleet_scale` binary and
-//! `EXPERIMENTS.md` record captured runs.
+//! community-wide immunity, how quickly a patch push reaches every member, and how
+//! well the sharded manager plane parallelizes (per-shard busy time and the
+//! manager-parallel speedup). [`FleetMetrics`] collects all of them; the
+//! `fleet_scale` binary and `EXPERIMENTS.md` record captured runs.
 
 use cv_isa::Addr;
 use std::collections::BTreeMap;
@@ -38,8 +39,19 @@ pub struct FleetMetrics {
     pub pages_processed: u64,
     /// Wall-clock time spent executing member runs (the parallel section).
     pub execution_time: Duration,
-    /// Wall-clock time spent in the central manager (responders, batching).
+    /// Wall-clock time spent in the manager plane overall (routing, responder
+    /// shards, plan merge).
     pub manager_time: Duration,
+    /// Wall-clock time of the shard fan-out section of the manager (the part that
+    /// runs in parallel).
+    pub manager_fanout_time: Duration,
+    /// Per-manager-shard busy time (accumulated across epochs).
+    manager_shard_busy: Vec<Duration>,
+    /// Shard busy time accumulated in epochs whose fan-out actually ran on multiple
+    /// threads.
+    manager_parallel_busy: Duration,
+    /// Fan-out wall time of those same epochs.
+    manager_parallel_wall: Duration,
     /// Wall-clock time spent distributing patches to members.
     pub patch_propagation_time: Duration,
     /// Patch pushes distributed (one push reaches every member).
@@ -53,12 +65,43 @@ pub struct FleetMetrics {
 }
 
 impl FleetMetrics {
+    /// Metrics for a fleet whose manager plane has `manager_shard_count` shards.
+    pub(crate) fn with_manager_shards(manager_shard_count: usize) -> Self {
+        FleetMetrics {
+            manager_shard_busy: vec![Duration::ZERO; manager_shard_count.max(1)],
+            ..Default::default()
+        }
+    }
+
     /// Record that `pages` presentations were executed this epoch.
     pub(crate) fn record_epoch(&mut self, pages: u64, execution: Duration, manager: Duration) {
         self.epochs += 1;
         self.pages_processed += pages;
         self.execution_time += execution;
         self.manager_time += manager;
+    }
+
+    /// Record one epoch's manager fan-out: each shard's busy time, the wall time of
+    /// the fan-out section, and whether the fan-out actually ran on multiple
+    /// threads.
+    pub(crate) fn record_manager_fanout(
+        &mut self,
+        shard_busy: &[Duration],
+        fanout: Duration,
+        ran_parallel: bool,
+    ) {
+        if self.manager_shard_busy.len() < shard_busy.len() {
+            self.manager_shard_busy
+                .resize(shard_busy.len(), Duration::ZERO);
+        }
+        for (total, busy) in self.manager_shard_busy.iter_mut().zip(shard_busy) {
+            *total += *busy;
+        }
+        self.manager_fanout_time += fanout;
+        if ran_parallel {
+            self.manager_parallel_busy += shard_busy.iter().sum::<Duration>();
+            self.manager_parallel_wall += fanout;
+        }
     }
 
     /// Record one patch-push round reaching `members` members.
@@ -112,6 +155,37 @@ impl FleetMetrics {
             Some(self.patch_propagation_time / self.patch_pushes as u32)
         }
     }
+
+    /// Per-manager-shard busy time accumulated across epochs.
+    pub fn manager_shard_times(&self) -> &[Duration] {
+        &self.manager_shard_busy
+    }
+
+    /// Mean manager-plane time per epoch, in milliseconds.
+    pub fn manager_ms_per_epoch(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.manager_time.as_secs_f64() * 1e3 / self.epochs as f64
+        }
+    }
+
+    /// The manager-parallel speedup: total shard busy time divided by fan-out wall
+    /// time, over the epochs whose fan-out actually ran on multiple threads.
+    ///
+    /// Exactly 1.0 when every fan-out ran inline (single worker, single core, or no
+    /// manager work at all — running shards back-to-back *is* the baseline);
+    /// approaches the shard count when busy time spreads evenly across parallel
+    /// workers.
+    pub fn manager_parallel_speedup(&self) -> f64 {
+        let busy = self.manager_parallel_busy.as_secs_f64();
+        let wall = self.manager_parallel_wall.as_secs_f64();
+        if busy == 0.0 || wall == 0.0 {
+            1.0
+        } else {
+            busy / wall
+        }
+    }
 }
 
 impl fmt::Display for FleetMetrics {
@@ -128,6 +202,21 @@ impl fmt::Display for FleetMetrics {
             "  time: execution {:?}, manager {:?}, patch propagation {:?}",
             self.execution_time, self.manager_time, self.patch_propagation_time
         )?;
+        writeln!(
+            f,
+            "  manager plane: {:.3} ms/epoch, {} shard(s), parallel speedup {:.2}x",
+            self.manager_ms_per_epoch(),
+            self.manager_shard_busy.len(),
+            self.manager_parallel_speedup()
+        )?;
+        if self.manager_shard_busy.iter().any(|d| !d.is_zero()) {
+            let per_shard: Vec<String> = self
+                .manager_shard_busy
+                .iter()
+                .map(|d| format!("{:.3}ms", d.as_secs_f64() * 1e3))
+                .collect();
+            writeln!(f, "  manager shard busy: [{}]", per_shard.join(", "))?;
+        }
         writeln!(
             f,
             "  patches: {} pushes, {} member applications{}",

@@ -6,16 +6,21 @@
 //! the management console's SSL channels 10,000 times per learning round (Section 3 of
 //! the paper describes exactly this console). The fleet protocol instead moves
 //! *batches*: everything of one kind that happened in one epoch travels as a single
-//! message, and patch pushes name the patch once regardless of how many members
-//! receive it.
+//! message, and patch pushes carry the epoch's shard-merged [`PatchPlan`] once,
+//! regardless of how many members receive it.
 //!
-//! Messages carry counts and patch descriptions, not raw databases — mirroring the
-//! paper's observation that the invariant database, not trace data, is what crosses
-//! the network. [`FleetMessage::batched_wire_words`] /
+//! Messages carry counts, patch plans, and patch descriptions, not raw databases —
+//! mirroring the paper's observation that the invariant database, not trace data, is
+//! what crosses the network. [`FleetMessage::batched_wire_words`] /
 //! [`FleetMessage::unbatched_wire_words`] quantify what batching saves.
+//!
+//! Because every shard's manager pass is deterministic and [`PatchPlan::merge`]
+//! imposes a canonical op order, the log a fleet writes is *byte-identical* whether
+//! the manager ran sharded-parallel or sequentially — the manager-parity tests
+//! compare entire [`BatchLog`]s across configurations.
 
+use cv_core::{Directive, PatchPlan};
 use cv_isa::Addr;
-use cv_patch::{CheckPatch, RepairPatch};
 use serde::{Deserialize, Serialize};
 
 /// Identifies a fleet member (compatible with `cv-community::NodeId`).
@@ -40,20 +45,8 @@ impl Presentation {
     }
 }
 
-/// A patch operation distributed to every member of the fleet.
-#[derive(Debug, Clone)]
-pub enum PatchOp {
-    /// Install these invariant-checking patches.
-    InstallChecks(Vec<CheckPatch>),
-    /// Remove all invariant-checking patches for the failure.
-    RemoveChecks,
-    /// Install this repair patch.
-    InstallRepair(RepairPatch),
-    /// Remove the currently installed repair patch for the failure.
-    RemoveRepair,
-}
-
-/// The log-friendly summary of one patch push (the payload itself is a [`PatchOp`]).
+/// The log-friendly summary of one patch-plan operation (the payload itself is a
+/// [`Directive`] inside the plan).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PatchPushKind {
     /// Invariant-checking patches were pushed.
@@ -73,30 +66,19 @@ pub enum PatchPushKind {
 }
 
 impl PatchPushKind {
-    /// The summary for an operation.
-    pub fn of(op: &PatchOp) -> Self {
-        match op {
-            PatchOp::InstallChecks(checks) => PatchPushKind::InstallChecks {
+    /// The summary for a directive.
+    pub fn of(directive: &Directive) -> Self {
+        match directive {
+            Directive::InstallChecks(checks) => PatchPushKind::InstallChecks {
                 invariants: checks.len(),
             },
-            PatchOp::RemoveChecks => PatchPushKind::RemoveChecks,
-            PatchOp::InstallRepair(repair) => PatchPushKind::InstallRepair {
+            Directive::RemoveChecks => PatchPushKind::RemoveChecks,
+            Directive::InstallRepair(repair) => PatchPushKind::InstallRepair {
                 description: repair.description(),
             },
-            PatchOp::RemoveRepair => PatchPushKind::RemoveRepair,
+            Directive::RemoveRepair => PatchPushKind::RemoveRepair,
         }
     }
-}
-
-/// One entry of a patch-push batch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PatchPush {
-    /// The failure location the patch belongs to.
-    pub location: Addr,
-    /// What was pushed.
-    pub kind: PatchPushKind,
-    /// How many members received the push.
-    pub members: usize,
 }
 
 /// A batched protocol message, as recorded in the fleet console log.
@@ -104,7 +86,7 @@ pub struct PatchPush {
 /// Each variant aggregates everything of its kind that happened in one epoch (or one
 /// learning round); the `cv-community` facade expands these back into the legacy
 /// per-event [`cv_community::Message`](../cv_community) stream for compatibility.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FleetMessage {
     /// Members uploaded locally inferred invariants (amortized parallel learning).
     InvariantUploads {
@@ -129,12 +111,15 @@ pub enum FleetMessage {
         /// `(member, observation count)` per reporting member.
         reports: Vec<(NodeId, usize)>,
     },
-    /// The console pushed patches to every member.
+    /// The console pushed the epoch's shard-merged patch plan to every member.
     PatchPushes {
         /// The epoch of the batch.
         epoch: u64,
-        /// The pushes of the epoch.
-        pushes: Vec<PatchPush>,
+        /// How many members received the plan.
+        members: usize,
+        /// The merged, canonically ordered plan (one copy on the wire, applied by
+        /// every member).
+        plan: PatchPlan,
     },
 }
 
@@ -148,7 +133,20 @@ impl FleetMessage {
             FleetMessage::InvariantUploads { uploads, .. } => uploads.len(),
             FleetMessage::Failures { failures, .. } => failures.len(),
             FleetMessage::Observations { reports, .. } => reports.len(),
-            FleetMessage::PatchPushes { pushes, .. } => pushes.len(),
+            FleetMessage::PatchPushes { plan, .. } => plan.len(),
+        }
+    }
+
+    /// `(location, summary)` for every operation of a patch-push batch (empty for
+    /// other message kinds).
+    pub fn push_summaries(&self) -> Vec<(Addr, PatchPushKind)> {
+        match self {
+            FleetMessage::PatchPushes { plan, .. } => plan
+                .ops()
+                .iter()
+                .map(|op| (op.location, PatchPushKind::of(&op.directive)))
+                .collect(),
+            _ => Vec::new(),
         }
     }
 
@@ -159,20 +157,22 @@ impl FleetMessage {
 
     /// Estimated wire size of the same traffic sent as per-event messages (the
     /// `cv-community` protocol): one header plus two words per event — and patch
-    /// pushes additionally repeated once per receiving member.
+    /// plans additionally repeated once per receiving member.
     pub fn unbatched_wire_words(&self) -> u64 {
         match self {
-            FleetMessage::PatchPushes { pushes, .. } => pushes
-                .iter()
-                .map(|p| (EVENT_HEADER_WORDS + 2) * p.members.max(1) as u64)
-                .sum(),
+            FleetMessage::PatchPushes { plan, members, .. } => {
+                (EVENT_HEADER_WORDS + 2) * plan.len() as u64 * (*members).max(1) as u64
+            }
             _ => (EVENT_HEADER_WORDS + 2) * self.event_count() as u64,
         }
     }
 }
 
 /// The fleet console log: batched messages plus aggregate wire accounting.
-#[derive(Debug, Clone, Default)]
+///
+/// Logs are `PartialEq`, so parity tests can assert that a sharded-parallel manager
+/// and a sequential one wrote identical histories.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchLog {
     messages: Vec<FleetMessage>,
 }
@@ -195,6 +195,15 @@ impl BatchLog {
         &self.messages
     }
 
+    /// Every patch plan ever pushed, in epoch order — enough to replay the fleet's
+    /// patch state onto a fresh member.
+    pub fn patch_plans(&self) -> impl Iterator<Item = &PatchPlan> {
+        self.messages.iter().filter_map(|m| match m {
+            FleetMessage::PatchPushes { plan, .. } => Some(plan),
+            _ => None,
+        })
+    }
+
     /// Total wire words with batching.
     pub fn batched_wire_words(&self) -> u64 {
         self.messages.iter().map(|m| m.batched_wire_words()).sum()
@@ -213,16 +222,19 @@ mod tests {
     #[test]
     fn batching_compresses_patch_distribution() {
         let mut log = BatchLog::new();
+        let mut plan = PatchPlan::new();
+        plan.push(0x4000, Directive::RemoveChecks);
         log.push(FleetMessage::PatchPushes {
             epoch: 3,
-            pushes: vec![PatchPush {
-                location: 0x4000,
-                kind: PatchPushKind::RemoveChecks,
-                members: 1000,
-            }],
+            members: 1000,
+            plan,
         });
         assert_eq!(log.messages().len(), 1);
         assert!(log.batched_wire_words() * 100 < log.unbatched_wire_words());
+        assert_eq!(
+            log.messages()[0].push_summaries(),
+            vec![(0x4000, PatchPushKind::RemoveChecks)]
+        );
     }
 
     #[test]
@@ -232,6 +244,11 @@ mod tests {
             epoch: 0,
             failures: vec![],
         });
+        log.push(FleetMessage::PatchPushes {
+            epoch: 0,
+            members: 10,
+            plan: PatchPlan::new(),
+        });
         assert!(log.messages().is_empty());
         log.push(FleetMessage::Failures {
             epoch: 0,
@@ -239,5 +256,21 @@ mod tests {
         });
         assert_eq!(log.messages().len(), 1);
         assert_eq!(log.messages()[0].event_count(), 1);
+    }
+
+    #[test]
+    fn patch_plans_replay_in_epoch_order() {
+        let mut log = BatchLog::new();
+        for epoch in 1..=3u64 {
+            let mut plan = PatchPlan::new();
+            plan.push(0x100 * epoch as u32, Directive::RemoveRepair);
+            log.push(FleetMessage::PatchPushes {
+                epoch,
+                members: 4,
+                plan,
+            });
+        }
+        let locations: Vec<_> = log.patch_plans().flat_map(|p| p.locations()).collect();
+        assert_eq!(locations, vec![0x100, 0x200, 0x300]);
     }
 }

@@ -13,8 +13,8 @@
 //! makes the fan-out embarrassingly parallel. The consistency consequences for the
 //! responder protocol are handled by the engine (see `Fleet::run_epoch`).
 
-use crate::protocol::{NodeId, PatchOp, Presentation};
-use cv_core::{DigestStatus, RunDigest};
+use crate::protocol::{NodeId, Presentation};
+use cv_core::{DigestStatus, Directive, PatchPlan, RunDigest};
 use cv_inference::{Invariant, LearnedModel, LearningFrontend};
 use cv_isa::{Addr, BinaryImage, Word};
 use cv_patch::{install_hooks, uninstall, PatchHandle};
@@ -64,9 +64,10 @@ pub struct EpochScheduler {
 
 impl EpochScheduler {
     /// A scheduler for `node_count` members running `image`, partitioned over
-    /// `worker_count` workers (0 = one per available core). `parallel = false` keeps
-    /// the same partitioning but runs every worker on the calling thread (the
-    /// sequential baseline of the `fleet_scale` benchmark).
+    /// `worker_count` workers (0 = one per available core). `parallel = false` skips
+    /// the worker pool entirely: all members live in one partition that runs on the
+    /// calling thread, so the sequential baseline of the `fleet_scale` benchmark
+    /// never allocates per-worker structures or spawns threads.
     pub(crate) fn new(
         image: &BinaryImage,
         monitors: MonitorConfig,
@@ -75,7 +76,9 @@ impl EpochScheduler {
         parallel: bool,
     ) -> Self {
         let node_count = node_count.max(1);
-        let worker_count = if worker_count == 0 {
+        let worker_count = if !parallel {
+            1
+        } else if worker_count == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
@@ -157,21 +160,21 @@ impl EpochScheduler {
         records
     }
 
-    /// Apply patch operations to **every** member — the distribution step that makes
-    /// unexposed members immune. Fanned out across workers.
-    pub(crate) fn apply_ops(&mut self, ops: &[(Addr, PatchOp)]) {
-        if ops.is_empty() {
+    /// Apply a shard-merged patch plan to **every** member — the distribution step
+    /// that makes unexposed members immune. Fanned out across workers.
+    pub(crate) fn apply_plan(&mut self, plan: &PatchPlan) {
+        if plan.is_empty() {
             return;
         }
         if self.parallel && self.workers.len() > 1 {
             std::thread::scope(|scope| {
                 for members in self.workers.iter_mut() {
-                    scope.spawn(move || apply_ops_to_members(members, ops));
+                    scope.spawn(move || apply_plan_to_members(members, plan));
                 }
             });
         } else {
             for members in self.workers.iter_mut() {
-                apply_ops_to_members(members, ops);
+                apply_plan_to_members(members, plan);
             }
         }
     }
@@ -270,13 +273,13 @@ fn build_digest(
     digest
 }
 
-/// Apply every patch operation to every member of one worker.
-fn apply_ops_to_members(members: &mut [MemberState], ops: &[(Addr, PatchOp)]) {
+/// Apply every operation of a patch plan to every member of one worker.
+fn apply_plan_to_members(members: &mut [MemberState], plan: &PatchPlan) {
     for member in members {
-        for (loc, op) in ops {
-            let state = member.patches.entry(*loc).or_default();
-            match op {
-                PatchOp::InstallChecks(checks) => {
+        for op in plan.ops() {
+            let state = member.patches.entry(op.location).or_default();
+            match &op.directive {
+                Directive::InstallChecks(checks) => {
                     let mut installed = Vec::with_capacity(checks.len());
                     for check in checks {
                         let handle = install_hooks(&mut member.env, check.build_hooks());
@@ -285,16 +288,16 @@ fn apply_ops_to_members(members: &mut [MemberState], ops: &[(Addr, PatchOp)]) {
                     }
                     state.checks = installed;
                 }
-                PatchOp::RemoveChecks => {
+                Directive::RemoveChecks => {
                     let checks: Vec<_> = state.checks.drain(..).collect();
                     for (_, handle, _) in checks {
                         let _ = uninstall(&mut member.env, &handle);
                     }
                 }
-                PatchOp::InstallRepair(repair) => {
+                Directive::InstallRepair(repair) => {
                     state.repair = Some(install_hooks(&mut member.env, repair.build_hooks()));
                 }
-                PatchOp::RemoveRepair => {
+                Directive::RemoveRepair => {
                     if let Some(handle) = state.repair.take() {
                         let _ = uninstall(&mut member.env, &handle);
                     }

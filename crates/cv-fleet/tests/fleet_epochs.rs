@@ -77,14 +77,12 @@ fn a_few_attacked_members_immunize_the_whole_fleet() {
     assert_eq!(record.first_failure_epoch, 1);
     assert!(record.epochs_to_immunity().is_some());
 
-    // The batched log has a patch push that reached every member, and batching beat
+    // The batched log has a patch plan that reached every member, and batching beat
     // the per-event protocol on the wire.
-    assert!(fleet
-        .log()
-        .messages()
-        .iter()
-        .any(|m| matches!(m, FleetMessage::PatchPushes { pushes, .. }
-            if pushes.iter().any(|p| p.members == NODES))));
+    assert!(fleet.log().messages().iter().any(
+        |m| matches!(m, FleetMessage::PatchPushes { members, plan, .. }
+            if *members == NODES && !plan.is_empty())
+    ));
     assert!(fleet.log().batched_wire_words() < fleet.log().unbatched_wire_words());
 }
 

@@ -325,7 +325,13 @@ impl LearningFrontend {
 
         let mut db = InvariantDatabase::new();
         let mut pointers = 0u64;
-        for (var, st) in &self.var_stats {
+        // Iterate the hash-keyed statistics in sorted order so the per-address
+        // invariant lists come out in one canonical order: downstream consumers
+        // (candidate selection, repair tie-breaking, the fleet's byte-identical
+        // manager-parity guarantee) all observe insertion order.
+        let mut var_stats: Vec<(&Variable, &VarStats)> = self.var_stats.iter().collect();
+        var_stats.sort_by_key(|(var, _)| **var);
+        for (var, st) in var_stats {
             if st.count == 0 || duplicates.contains(var) {
                 continue;
             }
@@ -345,7 +351,10 @@ impl LearningFrontend {
                 });
             }
         }
-        for ((a, b), st) in &self.pair_stats {
+        let mut pair_stats: Vec<(&(Variable, Variable), &PairStats)> =
+            self.pair_stats.iter().collect();
+        pair_stats.sort_by_key(|(pair, _)| **pair);
+        for ((a, b), st) in pair_stats {
             if st.count == 0 || st.always_eq {
                 continue;
             }
@@ -371,7 +380,9 @@ impl LearningFrontend {
                 db.insert(Invariant::LessThan { a: *b, b: *a });
             }
         }
-        for ((proc_entry, at), offsets) in &self.sp_offsets {
+        let mut sp_offsets: Vec<(&(Addr, Addr), &BTreeSet<i32>)> = self.sp_offsets.iter().collect();
+        sp_offsets.sort_by_key(|(key, _)| **key);
+        for ((proc_entry, at), offsets) in sp_offsets {
             if offsets.len() == 1 {
                 db.insert(Invariant::StackPointerOffset {
                     proc_entry: *proc_entry,

@@ -11,6 +11,7 @@ use cv_inference::{Invariant, Variable};
 use cv_isa::{Addr, Word};
 use cv_runtime::{Hook, HookAction, HookContext, ObservationKind};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Read the current value of a variable from the machine, if it has a readable operand.
@@ -84,7 +85,7 @@ impl Hook for CheckHook {
 }
 
 /// An invariant-check patch, ready to be compiled into hooks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckPatch {
     /// The invariant being checked.
     pub invariant: Invariant,

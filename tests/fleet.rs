@@ -54,13 +54,11 @@ fn a_thousand_member_fleet_is_immunized_by_five_attacked_members() {
     assert_eq!(record.first_failure_epoch, 1);
     assert!(record.epochs_to_immunity().unwrap() <= protected_after);
 
-    // Patch pushes reached all members as single batched messages.
-    assert!(fleet
-        .log()
-        .messages()
-        .iter()
-        .any(|m| matches!(m, FleetMessage::PatchPushes { pushes, .. }
-            if pushes.iter().any(|p| p.members == NODES))));
+    // Patch plans reached all members as single batched messages.
+    assert!(fleet.log().messages().iter().any(
+        |m| matches!(m, FleetMessage::PatchPushes { members, plan, .. }
+            if *members == NODES && !plan.is_empty())
+    ));
     assert!(
         fleet.log().batched_wire_words() * 10 < fleet.log().unbatched_wire_words(),
         "batching saves at least 10x wire traffic at this scale"
