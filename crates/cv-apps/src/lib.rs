@@ -21,7 +21,7 @@ mod exploits;
 mod pages;
 
 pub use browser::{feature, Browser, DONE_MARKER};
-pub use exploits::{red_team_exploits, Exploit, Reconfiguration};
+pub use exploits::{red_team_exploits, Exploit, Reconfiguration, MULTI_FAILURE_TARGETS};
 pub use pages::{
     benign_array_311710, benign_gc_realloc_312278, benign_gif_285595, benign_grow_325403,
     benign_hostname_307259, benign_js_type_290162, benign_js_type_295854, benign_string_296134,

@@ -16,6 +16,7 @@
 
 use cv_apps::{
     evaluation_suite, expanded_learning_suite, learning_suite, red_team_exploits, Browser,
+    MULTI_FAILURE_TARGETS,
 };
 use cv_bench::print_table;
 use cv_core::{learn_model, ClearViewConfig};
@@ -28,20 +29,6 @@ const MERGE_MEMBERS: usize = 64;
 const MERGE_ROUNDS: usize = 50;
 const MANAGER_SHARDS: usize = 8;
 const MULTI_FAILURE_EPOCHS: u64 = 10;
-
-/// The eight simultaneously attacked defects of the multi-failure scenario and
-/// their failure-location symbols (311710's chained defects and unrepairable
-/// 307259 excluded).
-const MULTI_FAILURE_TARGETS: [(u32, &str); 8] = [
-    (269095, "vuln_269095_call"),
-    (285595, "vuln_285595_store"),
-    (290162, "vuln_290162_call"),
-    (295854, "vuln_295854_call"),
-    (296134, "vuln_296134_ret"),
-    (312278, "vuln_312278_call"),
-    (320182, "vuln_320182_call"),
-    (325403, "vuln_325403_copy"),
-];
 
 #[derive(Debug, Clone, Copy)]
 struct Options {
@@ -136,10 +123,12 @@ fn uploads() -> Vec<InvariantDatabase> {
         .collect()
 }
 
-/// Time `MERGE_ROUNDS` rounds of merging the uploads into a store.
+/// Time `MERGE_ROUNDS` rounds of merging the uploads into a store (after two
+/// untimed warmup rounds: allocator and cache state otherwise leak across the
+/// configurations being compared).
 fn merge_time(shards: usize, parallel: bool, uploads: &[InvariantDatabase]) -> f64 {
-    let start = Instant::now();
-    for _ in 0..MERGE_ROUNDS {
+    let round = |timed: bool| {
+        let start = Instant::now();
         let mut store = ShardedInvariantStore::new(shards);
         if parallel {
             store.merge_uploads(uploads);
@@ -147,8 +136,15 @@ fn merge_time(shards: usize, parallel: bool, uploads: &[InvariantDatabase]) -> f
             store.merge_uploads_sequential(uploads);
         }
         std::hint::black_box(store.len());
-    }
-    start.elapsed().as_secs_f64()
+        if timed {
+            start.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+    round(false);
+    round(false);
+    (0..MERGE_ROUNDS).map(|_| round(true)).sum()
 }
 
 /// The outcome of one multi-failure manager run.

@@ -13,6 +13,13 @@
 //! * [`Message`] — the legacy per-event protocol messages recorded in the console log
 //!   (failure notifications, invariant uploads, check/repair distribution), expanded
 //!   from the fleet's batched [`cv_fleet::FleetMessage`] log.
+//!
+//! Member-side learning runs on the interned/columnar
+//! [`cv_inference::LearningFrontend`] hot path and manager-side upload merging on the
+//! fleet's sharded store with its single-core inline fallback; both are proven
+//! behaviour-identical to the seed implementations (`cv-inference/tests/parity.rs`,
+//! `cv-fleet/tests/shard_parity.rs`), which is why this facade reproduces the seed
+//! protocol byte for byte without any code of its own changing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -9,13 +9,30 @@
 //! — each restricted to its own addresses — without locks, and the fused result is
 //! bit-identical to the sequential merge (`tests/shard_parity.rs` proves this against
 //! the seed's `InvariantDatabase::merge`).
+//!
+//! The fan-out only pays when threads can actually overlap and the batch is large
+//! enough to amortize the spawns *and* the per-shard re-scan of every upload: below
+//! that, [`ShardedInvariantStore::merge_uploads`] falls back to an inline
+//! single-scan merge ([`InvariantDatabase::merge_into_shards`]) with monolithic
+//! cost — the fix for the `merge_sharded_parallel_seconds` regression recorded in
+//! `BENCH_fleet.json` on single-core machines.
 
 use cv_inference::InvariantDatabase;
+
+/// Minimum invariants across an upload batch before a parallel merge spawns shard
+/// threads. Below this, per-shard work is microseconds and the spawns (plus each
+/// shard re-scanning every upload) cost more than they save — the same inline
+/// threshold reasoning as the manager plane's `MIN_PARALLEL_MANAGER_EVENTS`.
+const MIN_PARALLEL_MERGE_INVARIANTS: usize = 512;
 
 /// A community invariant database partitioned by check-address shard.
 #[derive(Debug, Clone)]
 pub struct ShardedInvariantStore {
     shards: Vec<InvariantDatabase>,
+    /// Upload batches merged via the parallel per-shard fan-out.
+    parallel_merges: u64,
+    /// Upload batches merged via the inline single-scan fallback.
+    inline_merges: u64,
 }
 
 impl ShardedInvariantStore {
@@ -23,6 +40,8 @@ impl ShardedInvariantStore {
     pub fn new(shard_count: usize) -> Self {
         ShardedInvariantStore {
             shards: vec![InvariantDatabase::new(); shard_count.max(1)],
+            parallel_merges: 0,
+            inline_merges: 0,
         }
     }
 
@@ -30,12 +49,30 @@ impl ShardedInvariantStore {
     pub fn from_database(db: InvariantDatabase, shard_count: usize) -> Self {
         ShardedInvariantStore {
             shards: db.split(shard_count.max(1)),
+            parallel_merges: 0,
+            inline_merges: 0,
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Worker threads a parallel merge would use: one per shard, capped at the
+    /// machine's available parallelism. On a single-core machine this is 1 and every
+    /// merge takes the inline fallback.
+    pub fn worker_count(&self) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.shards.len().min(cores)
+    }
+
+    /// `(parallel, inline)` upload-batch merge counts — which path
+    /// [`ShardedInvariantStore::merge_uploads`] actually took.
+    pub fn merge_counts(&self) -> (u64, u64) {
+        (self.parallel_merges, self.inline_merges)
     }
 
     /// Total number of invariants across all shards.
@@ -53,19 +90,30 @@ impl ShardedInvariantStore {
         &self.shards
     }
 
-    /// Merge member uploads into the store, one worker thread per shard.
+    /// Merge member uploads into the store — one worker thread per shard when the
+    /// fan-out can pay for itself, otherwise an inline single-scan merge.
     ///
-    /// Every shard scans every upload but merges only the invariants whose check
-    /// address it owns; each upload's run counters are absorbed exactly once. Upload
-    /// order is preserved per address, so the result equals merging the uploads
-    /// sequentially into a monolithic database.
+    /// In the parallel path every shard scans every upload but merges only the
+    /// invariants whose check address it owns; each upload's run counters are
+    /// absorbed exactly once. Upload order is preserved per address, so the result
+    /// equals merging the uploads sequentially into a monolithic database.
+    ///
+    /// The fan-out is skipped — falling back to the monolithic-cost inline merge —
+    /// when [`ShardedInvariantStore::worker_count`] is 1 (threads cannot overlap) or
+    /// the batch carries fewer than [`MIN_PARALLEL_MERGE_INVARIANTS`] invariants
+    /// (spawns and the per-shard re-scan of every upload dominate). Both paths
+    /// produce identical shards.
     pub fn merge_uploads(&mut self, uploads: &[InvariantDatabase]) {
-        self.merge_uploads_inner(uploads, true);
+        let batch: usize = uploads.iter().map(|u| u.len()).sum();
+        let fan_out = self.shards.len() > 1
+            && self.worker_count() > 1
+            && batch >= MIN_PARALLEL_MERGE_INVARIANTS;
+        self.merge_uploads_inner(uploads, fan_out);
     }
 
     /// Single-threaded variant of [`ShardedInvariantStore::merge_uploads`] (the
-    /// sequential baseline of the `fleet_scale` benchmark). Same merge semantics —
-    /// both paths share one per-shard implementation.
+    /// sequential baseline of the `fleet_scale` benchmark). Always takes the inline
+    /// single-scan merge.
     pub fn merge_uploads_sequential(&mut self, uploads: &[InvariantDatabase]) {
         self.merge_uploads_inner(uploads, false);
     }
@@ -76,14 +124,21 @@ impl ShardedInvariantStore {
         }
         let shard_count = self.shards.len();
         if parallel && shard_count > 1 {
+            self.parallel_merges += 1;
             std::thread::scope(|scope| {
                 for (index, shard) in self.shards.iter_mut().enumerate() {
                     scope.spawn(move || merge_one_shard(shard, index, shard_count, uploads));
                 }
             });
         } else {
-            for (index, shard) in self.shards.iter_mut().enumerate() {
-                merge_one_shard(shard, index, shard_count, uploads);
+            // Monolithic fallback: each upload is scanned once, every address entry
+            // routed straight to its owning shard — no per-shard re-scan, no spawns.
+            self.inline_merges += 1;
+            for upload in uploads {
+                InvariantDatabase::merge_into_shards(&mut self.shards, upload);
+            }
+            for shard in &mut self.shards {
+                shard.recount();
             }
         }
         for upload in uploads {
@@ -96,6 +151,13 @@ impl ShardedInvariantStore {
     /// store has seen.
     pub fn snapshot(&self) -> InvariantDatabase {
         InvariantDatabase::fuse(self.shards.iter().cloned())
+    }
+
+    /// Force the threaded fan-out regardless of core count or batch size, so tests
+    /// prove both paths identical even on single-core machines.
+    #[cfg(test)]
+    fn merge_uploads_forced_parallel(&mut self, uploads: &[InvariantDatabase]) {
+        self.merge_uploads_inner(uploads, true);
     }
 }
 
@@ -159,7 +221,38 @@ mod tests {
                 "shard_count={shard_count} diverged from the sequential merge"
             );
             assert_eq!(store.len(), reference.len());
+
+            // The threaded fan-out must agree with whatever path merge_uploads took
+            // on this machine, even when forced on a single core.
+            let mut forced = ShardedInvariantStore::new(shard_count);
+            forced.merge_uploads_forced_parallel(&uploads);
+            assert_eq!(forced.snapshot(), reference);
         }
+    }
+
+    #[test]
+    fn small_batches_take_the_inline_fallback() {
+        // One upload is far below MIN_PARALLEL_MERGE_INVARIANTS, so even a
+        // many-shard store on a many-core machine must merge inline.
+        let mut small = InvariantDatabase::new();
+        small.insert(Invariant::LowerBound {
+            var: Variable::read(0x1000, 0, Operand::Reg(Reg::Ecx)),
+            min: 1,
+        });
+        small.recount();
+        let mut store = ShardedInvariantStore::new(8);
+        store.merge_uploads(std::slice::from_ref(&small));
+        assert_eq!(store.merge_counts(), (0, 1));
+        assert_eq!(store.snapshot().len(), 1);
+
+        // A single-shard store can never fan out either.
+        let uploads: Vec<_> = (0..8).map(upload).collect();
+        let mut store = ShardedInvariantStore::new(1);
+        store.merge_uploads(&uploads);
+        let (parallel, inline) = store.merge_counts();
+        assert_eq!(parallel, 0);
+        assert_eq!(inline, 1);
+        assert!(store.worker_count() >= 1);
     }
 
     #[test]

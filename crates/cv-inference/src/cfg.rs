@@ -317,6 +317,30 @@ impl ProcedureDatabase {
         self.proc_containing(addr).and_then(|p| p.inst_at(addr))
     }
 
+    /// The instructions that precede `addr` within its basic block, in block order —
+    /// the earlier instruction of a block trivially predominates the later one, so
+    /// this slice is exactly the scope of the within-block pairwise samples. Returns
+    /// `None` when no discovered procedure places `addr` in a block.
+    ///
+    /// The learning front end resolves this prefix to interned variable ids **once**
+    /// per instruction address (a pair *schedule*), instead of re-deriving operands
+    /// from every earlier instruction on every event — the O(block²)-per-event cost
+    /// this accessor exists to remove.
+    pub fn block_prefix(&self, addr: Addr) -> Option<&[InstWithAddr]> {
+        let cfg = self.proc_containing(addr)?;
+        let block_start = cfg.block_of_inst(addr)?;
+        let block = &cfg.blocks[&block_start];
+        let pos = block.position_of(addr)?;
+        Some(&block.insts[..pos])
+    }
+
+    /// A monotone counter that advances whenever a new procedure is discovered.
+    /// Derived caches (the front end's pair schedules) compare it to decide whether
+    /// block membership may have changed since they were built.
+    pub fn discovery_version(&self) -> u64 {
+        self.discovery_events
+    }
+
     /// Iterate over all discovered procedures.
     pub fn procedures(&self) -> impl Iterator<Item = &ProcedureCfg> {
         self.procs.values()
@@ -441,6 +465,33 @@ mod tests {
         assert_eq!(db.len(), 2);
         assert_eq!(db.proc_of_inst(syms["helper"]), Some(syms["helper"]));
         assert!(db.proc_containing(syms["main"]).is_some());
+    }
+
+    #[test]
+    fn block_prefix_matches_block_positions() {
+        let (image, syms) = sample_image();
+        let mut db = ProcedureDatabase::new(image);
+        let v0 = db.discovery_version();
+        db.observe_block(syms["main"]);
+        assert!(
+            db.discovery_version() > v0,
+            "discovery advances the version"
+        );
+        let cfg = db.proc(syms["main"]).unwrap();
+        for block in cfg.blocks.values() {
+            for (pos, iwa) in block.insts.iter().enumerate() {
+                // Instructions can appear in several blocks; the prefix must agree
+                // with whichever block `block_of_inst` resolves to.
+                let owner = cfg.block_of_inst(iwa.addr).unwrap();
+                if owner != block.start {
+                    continue;
+                }
+                let prefix = db.block_prefix(iwa.addr).expect("inst is in a block");
+                assert_eq!(prefix.len(), pos);
+                assert_eq!(prefix, &block.insts[..pos]);
+            }
+        }
+        assert_eq!(db.block_prefix(0x9_0000), None, "outside any procedure");
     }
 
     #[test]

@@ -205,20 +205,48 @@ impl InvariantDatabase {
             if !keep(*addr) {
                 continue;
             }
-            for inv in invs {
-                let slot = self.by_addr.entry(*addr).or_default();
-                let key = key_of(inv);
-                if let Some(pos) = slot.iter().position(|existing| key_of(existing) == key) {
-                    match combine(&slot[pos], inv) {
-                        Some(combined) => slot[pos] = combined,
-                        None => {
-                            slot.remove(pos);
-                        }
+            self.merge_addr(*addr, invs);
+        }
+    }
+
+    /// Merge one address's invariants (in their stored order) into this database —
+    /// the per-entry primitive shared by [`InvariantDatabase::merge_filtered`] and
+    /// [`InvariantDatabase::merge_into_shards`].
+    fn merge_addr(&mut self, addr: Addr, invs: &[Invariant]) {
+        if invs.is_empty() {
+            // An address whose invariants were all dropped by earlier merges must not
+            // materialize an (empty) entry in this database.
+            return;
+        }
+        let slot = self.by_addr.entry(addr).or_default();
+        for inv in invs {
+            let key = key_of(inv);
+            if let Some(pos) = slot.iter().position(|existing| key_of(existing) == key) {
+                match combine(&slot[pos], inv) {
+                    Some(combined) => slot[pos] = combined,
+                    None => {
+                        slot.remove(pos);
                     }
-                } else {
-                    slot.push(inv.clone());
                 }
+            } else {
+                slot.push(inv.clone());
             }
+        }
+    }
+
+    /// Merge `other` into a set of disjoint shards in **one scan**, routing every
+    /// address entry straight to the shard [`InvariantDatabase::shard_of`] assigns it.
+    ///
+    /// Result-identical to every shard `i` running
+    /// `merge_filtered(other, |addr| shard_of(addr, shards.len()) == i)`, but at
+    /// monolithic cost: the per-shard formulation scans the whole upload once *per
+    /// shard*, which is pure overhead when the merge runs on one thread. This is the
+    /// inline fallback path of the fleet's sharded invariant store. Does not touch
+    /// learning counters (same contract as [`InvariantDatabase::merge_filtered`]).
+    pub fn merge_into_shards(shards: &mut [InvariantDatabase], other: &InvariantDatabase) {
+        assert!(!shards.is_empty(), "must have at least one shard");
+        for (addr, invs) in &other.by_addr {
+            shards[Self::shard_of(*addr, shards.len())].merge_addr(*addr, invs);
         }
     }
 

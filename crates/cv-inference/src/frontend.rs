@@ -11,94 +11,31 @@
 //! normal ([`LearningFrontend::commit_run`]); erroneous runs are discarded
 //! ([`LearningFrontend::discard_run`]), implementing the "discard any invariants from
 //! executions with errors" rule of Section 3.1.
+//!
+//! # The hot path
+//!
+//! Learning mode pays a cost on **every traced instruction execution**, so this
+//! implementation keeps the per-event data plane flat and allocation-free:
+//!
+//! * events are buffered in a columnar [`RunBuffer`] (no per-event clone),
+//! * every [`Variable`] is interned to a dense `u32` id on first sight
+//!   ([`crate::intern::VarTable`]), and all statistics live in `Vec`-indexed tables,
+//! * each instruction address gets a precomputed *schedule* — its read slots and its
+//!   prior-in-block variables resolved to ids once — so the pairwise pass is a flat
+//!   slice walk instead of re-deriving operands from every earlier instruction on
+//!   every event.
+//!
+//! The unoptimized original is retained as [`crate::ReferenceFrontend`]; the two are
+//! proven to produce equal invariant databases by the proptest parity suite.
 
 use crate::cfg::ProcedureDatabase;
 use crate::database::{InvariantDatabase, LearningStats};
-use crate::invariant::{Invariant, ONE_OF_LIMIT};
+use crate::intern::{PairTable, ScheduleCache, SpOffsetTable, VarId, VarTable, MAX_READS, NO_VAR};
+use crate::invariant::Invariant;
 use crate::variable::Variable;
 use cv_isa::{Addr, BinaryImage, Inst, Operand, Word};
-use cv_runtime::{ExecEvent, Tracer};
-use std::collections::{BTreeSet, HashMap};
-
-/// Per-variable sample statistics.
-#[derive(Debug, Clone)]
-struct VarStats {
-    count: u64,
-    values: BTreeSet<Word>,
-    overflowed: bool,
-    min_signed: i32,
-    nonpointer_evidence: bool,
-}
-
-impl VarStats {
-    fn new() -> Self {
-        VarStats {
-            count: 0,
-            values: BTreeSet::new(),
-            overflowed: false,
-            min_signed: i32::MAX,
-            nonpointer_evidence: false,
-        }
-    }
-
-    fn update(&mut self, value: Word) {
-        self.count += 1;
-        if !self.overflowed {
-            self.values.insert(value);
-            if self.values.len() > ONE_OF_LIMIT {
-                self.overflowed = true;
-                self.values.clear();
-            }
-        }
-        let signed = value as i32;
-        if signed < self.min_signed {
-            self.min_signed = signed;
-        }
-        // Pointer classification heuristic from Section 2.2.4: a value that is negative
-        // or between 1 and 100,000 is evidence that the variable is not a pointer.
-        if signed < 0 || (1..=100_000).contains(&signed) {
-            self.nonpointer_evidence = true;
-        }
-    }
-
-    fn is_pointer(&self) -> bool {
-        !self.nonpointer_evidence
-    }
-}
-
-/// Per-pair sample statistics (for less-than and equal-variable detection).
-#[derive(Debug, Clone, Copy)]
-struct PairStats {
-    count: u64,
-    a_le_b: bool,
-    b_le_a: bool,
-    always_eq: bool,
-}
-
-impl PairStats {
-    fn new() -> Self {
-        PairStats {
-            count: 0,
-            a_le_b: true,
-            b_le_a: true,
-            always_eq: true,
-        }
-    }
-
-    fn update(&mut self, va: Word, vb: Word) {
-        self.count += 1;
-        let (sa, sb) = (va as i32, vb as i32);
-        if sa > sb {
-            self.a_le_b = false;
-        }
-        if sb > sa {
-            self.b_le_a = false;
-        }
-        if sa != sb {
-            self.always_eq = false;
-        }
-    }
-}
+use cv_runtime::{ExecEvent, RunBuffer, Tracer};
+use std::collections::BTreeSet;
 
 /// A complete learned model: the invariants plus the procedure CFGs they were inferred
 /// over (the latter is needed for predominator queries during correlated-invariant
@@ -116,10 +53,20 @@ pub struct LearnedModel {
 pub struct LearningFrontend {
     procedures: ProcedureDatabase,
     filter_procs: Option<BTreeSet<Addr>>,
-    var_stats: HashMap<Variable, VarStats>,
-    pair_stats: HashMap<(Variable, Variable), PairStats>,
-    sp_offsets: HashMap<(Addr, Addr), BTreeSet<i32>>,
-    pending: Vec<ExecEvent>,
+    vars: VarTable,
+    pairs: PairTable,
+    sp_offsets: SpOffsetTable,
+    schedules: ScheduleCache,
+    /// Per-[`VarId`] `(run stamp, value)` of the most recent sample in the run being
+    /// committed — the dense replacement for a per-run `HashMap<Variable, Word>`.
+    /// An entry is valid only when its stamp equals the current run's stamp, so
+    /// starting a new run never clears the vector.
+    last_values: Vec<(u64, Word)>,
+    run_stamp: u64,
+    /// Reusable call-stack scratch for [`LearningFrontend::commit_run`] (kept here so
+    /// committing a run performs no allocation either).
+    call_stack: Vec<(Addr, Word)>,
+    pending: RunBuffer,
     events_processed: u64,
     runs_committed: u64,
     runs_discarded: u64,
@@ -131,10 +78,14 @@ impl LearningFrontend {
         LearningFrontend {
             procedures: ProcedureDatabase::new(image),
             filter_procs: None,
-            var_stats: HashMap::new(),
-            pair_stats: HashMap::new(),
-            sp_offsets: HashMap::new(),
-            pending: Vec::new(),
+            vars: VarTable::default(),
+            pairs: PairTable::default(),
+            sp_offsets: SpOffsetTable::default(),
+            schedules: ScheduleCache::default(),
+            last_values: Vec::new(),
+            run_stamp: 0,
+            call_stack: Vec::new(),
+            pending: RunBuffer::new(),
             events_processed: 0,
             runs_committed: 0,
             runs_discarded: 0,
@@ -170,11 +121,20 @@ impl LearningFrontend {
 
     /// Commit the buffered run as a *normal* execution: its samples become part of the
     /// model.
+    ///
+    /// Per event this performs one `Addr → schedule` hash lookup; everything else —
+    /// variable statistics, pairwise statistics over the precomputed prior-in-block
+    /// schedule, and last-value tracking — is direct `Vec` indexing by [`VarId`].
     pub fn commit_run(&mut self) {
-        let events = std::mem::take(&mut self.pending);
-        let mut last_values: HashMap<Variable, Word> = HashMap::new();
-        let mut call_stack: Vec<(Addr, Word)> = Vec::new();
-        for event in &events {
+        // Move the buffer out so iterating it does not alias the tables being
+        // updated; it is handed back (capacity intact) after the walk.
+        let buf = std::mem::take(&mut self.pending);
+        self.run_stamp += 1;
+        let stamp = self.run_stamp;
+        self.schedules.sync(self.procedures.discovery_version());
+        let mut call_stack = std::mem::take(&mut self.call_stack);
+        call_stack.clear();
+        for event in buf.iter() {
             self.events_processed += 1;
             if call_stack.is_empty() {
                 let proc = self
@@ -185,63 +145,58 @@ impl LearningFrontend {
             }
             if let Some(&(proc_entry, entry_sp)) = call_stack.last() {
                 let offset = (entry_sp as i64 - event.sp as i64) as i32;
-                self.sp_offsets
-                    .entry((proc_entry, event.addr))
-                    .or_default()
-                    .insert(offset);
+                self.sp_offsets.record(proc_entry, event.addr, offset);
             }
 
-            // Single-variable samples.
-            let mut current_vars: Vec<(Variable, Word)> = Vec::new();
-            for r in &event.reads {
-                if matches!(r.operand, Operand::Imm(_)) {
+            let schedule = self.schedules.get_or_build(
+                event.addr,
+                event.inst,
+                &self.procedures,
+                &mut self.vars,
+            );
+            if self.last_values.len() < self.vars.len() {
+                self.last_values.resize(self.vars.len(), (0, 0));
+            }
+
+            // Single-variable samples (schedule slots map read slots straight to ids;
+            // NO_VAR marks immediates).
+            let mut current: [(VarId, Word); MAX_READS] = [(NO_VAR, 0); MAX_READS];
+            let mut n = 0;
+            for r in event.reads {
+                let id = schedule.slots[r.slot as usize];
+                if id == NO_VAR {
                     continue;
                 }
-                let var = Variable::read(event.addr, r.slot, r.operand);
-                self.var_stats
-                    .entry(var)
-                    .or_insert_with(VarStats::new)
-                    .update(r.value);
-                current_vars.push((var, r.value));
+                self.vars.record(id, r.value);
+                current[n] = (id, r.value);
+                n += 1;
             }
+            let current = &current[..n];
 
-            // Pairwise samples, restricted to variables within the same basic block
-            // (the earlier instruction of a block trivially predominates the later one).
-            if let Some(cfg) = self.procedures.proc_containing(event.addr) {
-                if let Some(bstart) = cfg.block_of_inst(event.addr) {
-                    let block = &cfg.blocks[&bstart];
-                    if let Some(pos) = block.position_of(event.addr) {
-                        for prior_inst in &block.insts[..pos] {
-                            for (slot, op) in
-                                prior_inst.inst.operands_read().into_iter().enumerate()
-                            {
-                                if matches!(op, Operand::Imm(_)) {
-                                    continue;
-                                }
-                                let prior = Variable::read(prior_inst.addr, slot as u8, op);
-                                if let Some(&pv) = last_values.get(&prior) {
-                                    for &(cur, cv) in &current_vars {
-                                        if prior == cur {
-                                            continue;
-                                        }
-                                        update_pair(&mut self.pair_stats, prior, pv, cur, cv);
-                                    }
-                                }
-                            }
+            // Pairwise samples over the precomputed prior-in-block schedule. Priors
+            // precede the current instruction in the block (strictly lower address)
+            // and slots pair in ascending order, so every pair is already in
+            // canonical variable order.
+            if schedule.in_block {
+                for &pid in &schedule.priors {
+                    let (seen, pv) = self.last_values[pid as usize];
+                    if seen == stamp {
+                        for &(cur, cv) in current {
+                            self.pairs.record(pid, cur, pv, cv);
                         }
-                        for i in 0..current_vars.len() {
-                            for j in (i + 1)..current_vars.len() {
-                                let (va, a) = current_vars[i];
-                                let (vb, bv) = current_vars[j];
-                                update_pair(&mut self.pair_stats, va, a, vb, bv);
-                            }
-                        }
+                    }
+                }
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let (a, av) = current[i];
+                        let (b, bv) = current[j];
+                        self.pairs.record(a, b, av, bv);
                     }
                 }
             }
 
-            for &(v, val) in &current_vars {
-                last_values.insert(v, val);
+            for &(id, value) in current {
+                self.last_values[id as usize] = (stamp, value);
             }
 
             // Track the call stack for stack-pointer-offset invariants.
@@ -257,10 +212,15 @@ impl LearningFrontend {
                 _ => {}
             }
         }
+        let mut buf = buf;
+        buf.clear();
+        self.pending = buf;
+        self.call_stack = call_stack;
         self.runs_committed += 1;
     }
 
     /// Discard the buffered run (an erroneous execution must not contribute samples).
+    /// A pure length reset: every buffer allocation is retained for the next run.
     pub fn discard_run(&mut self) {
         self.pending.clear();
         self.runs_discarded += 1;
@@ -301,6 +261,12 @@ impl LearningFrontend {
     }
 
     /// Infer the invariant database from every committed sample.
+    ///
+    /// The dense tables are resolved back to full [`Variable`]s here — and only
+    /// here — and visited through sorted index vectors, reproducing the canonical
+    /// (sorted-by-variable) emission order of [`crate::ReferenceFrontend::infer`]
+    /// exactly: downstream consumers (candidate selection, repair tie-breaking, the
+    /// fleet's byte-identical manager-parity guarantee) all observe insertion order.
     pub fn infer(&self) -> InvariantDatabase {
         // Equal-variable deduplication: when the CFG guarantees two variables always
         // hold the same value, keep only the one from the earlier instruction
@@ -309,9 +275,14 @@ impl LearningFrontend {
         // Section 2.5.1 (skip the call, return from the enclosing procedure), so they
         // must stay attached to the call.
         let mut duplicates: BTreeSet<Variable> = BTreeSet::new();
-        for ((a, b), st) in &self.pair_stats {
-            if st.count > 0 && st.always_eq && self.statically_redundant(a, b) {
-                let later = (*a).max(*b);
+        for idx in 0..self.pairs.len() {
+            let (aid, bid) = self.pairs.ids(idx);
+            let (a, b) = (self.vars.var(aid), self.vars.var(bid));
+            if self.pairs.count_at(idx) > 0
+                && self.pairs.always_eq(idx)
+                && self.statically_redundant(&a, &b)
+            {
+                let later = a.max(b);
                 let later_is_indirect_transfer = self
                     .procedures
                     .inst_at(later.addr)
@@ -325,69 +296,68 @@ impl LearningFrontend {
 
         let mut db = InvariantDatabase::new();
         let mut pointers = 0u64;
-        // Iterate the hash-keyed statistics in sorted order so the per-address
-        // invariant lists come out in one canonical order: downstream consumers
-        // (candidate selection, repair tie-breaking, the fleet's byte-identical
-        // manager-parity guarantee) all observe insertion order.
-        let mut var_stats: Vec<(&Variable, &VarStats)> = self.var_stats.iter().collect();
-        var_stats.sort_by_key(|(var, _)| **var);
-        for (var, st) in var_stats {
-            if st.count == 0 || duplicates.contains(var) {
+        // Ids are assigned in first-sight order, so sort an index vector by the
+        // variables they resolve to. Never-observed ids (interned only through a pair
+        // schedule) carry no samples and are skipped, exactly as they are absent from
+        // the reference implementation's maps.
+        let mut var_order: Vec<VarId> = (0..self.vars.len() as VarId)
+            .filter(|&id| self.vars.count(id) > 0)
+            .collect();
+        var_order.sort_unstable_by_key(|&id| self.vars.var(id));
+        for &id in &var_order {
+            let var = self.vars.var(id);
+            if duplicates.contains(&var) {
                 continue;
             }
-            if st.is_pointer() {
+            if self.vars.is_pointer(id) {
                 pointers += 1;
             }
-            if !st.overflowed && !st.values.is_empty() {
+            if !self.vars.overflowed(id) && !self.vars.values(id).is_empty() {
                 db.insert(Invariant::OneOf {
-                    var: *var,
-                    values: st.values.clone(),
+                    var,
+                    values: self.vars.values(id).iter().copied().collect(),
                 });
             }
-            if !st.is_pointer() {
+            if !self.vars.is_pointer(id) {
                 db.insert(Invariant::LowerBound {
-                    var: *var,
-                    min: st.min_signed,
+                    var,
+                    min: self.vars.min_signed(id),
                 });
             }
         }
-        let mut pair_stats: Vec<(&(Variable, Variable), &PairStats)> =
-            self.pair_stats.iter().collect();
-        pair_stats.sort_by_key(|(pair, _)| **pair);
-        for ((a, b), st) in pair_stats {
-            if st.count == 0 || st.always_eq {
+        let mut pair_order: Vec<u32> = (0..self.pairs.len() as u32).collect();
+        pair_order.sort_unstable_by_key(|&idx| {
+            let (aid, bid) = self.pairs.ids(idx as usize);
+            (self.vars.var(aid), self.vars.var(bid))
+        });
+        for &idx in &pair_order {
+            let idx = idx as usize;
+            if self.pairs.count_at(idx) == 0 || self.pairs.always_eq(idx) {
                 continue;
             }
-            if duplicates.contains(a) || duplicates.contains(b) {
+            let (aid, bid) = self.pairs.ids(idx);
+            let (a, b) = (self.vars.var(aid), self.vars.var(bid));
+            if duplicates.contains(&a) || duplicates.contains(&b) {
                 continue;
             }
-            let a_pointer = self
-                .var_stats
-                .get(a)
-                .map(|s| s.is_pointer())
-                .unwrap_or(true);
-            let b_pointer = self
-                .var_stats
-                .get(b)
-                .map(|s| s.is_pointer())
-                .unwrap_or(true);
-            if a_pointer || b_pointer {
+            if self.vars.is_pointer(aid) || self.vars.is_pointer(bid) {
                 continue;
             }
-            if st.a_le_b {
-                db.insert(Invariant::LessThan { a: *a, b: *b });
-            } else if st.b_le_a {
-                db.insert(Invariant::LessThan { a: *b, b: *a });
+            if self.pairs.a_le_b(idx) {
+                db.insert(Invariant::LessThan { a, b });
+            } else if self.pairs.b_le_a(idx) {
+                db.insert(Invariant::LessThan { a: b, b: a });
             }
         }
-        let mut sp_offsets: Vec<(&(Addr, Addr), &BTreeSet<i32>)> = self.sp_offsets.iter().collect();
-        sp_offsets.sort_by_key(|(key, _)| **key);
-        for ((proc_entry, at), offsets) in sp_offsets {
+        for &idx in &self.sp_offsets.sorted_indices() {
+            let idx = idx as usize;
+            let offsets = self.sp_offsets.offsets_at(idx);
             if offsets.len() == 1 {
+                let (proc_entry, at) = self.sp_offsets.key(idx);
                 db.insert(Invariant::StackPointerOffset {
-                    proc_entry: *proc_entry,
-                    at: *at,
-                    offset: *offsets.iter().next().expect("len checked"),
+                    proc_entry,
+                    at,
+                    offset: offsets[0],
                 });
             }
         }
@@ -396,7 +366,7 @@ impl LearningFrontend {
             events_processed: self.events_processed,
             runs_committed: self.runs_committed,
             runs_discarded: self.runs_discarded,
-            variables_observed: self.var_stats.len() as u64,
+            variables_observed: self.vars.observed(),
             duplicates_removed: duplicates.len() as u64,
             pointers_classified: pointers,
             ..Default::default()
@@ -415,31 +385,14 @@ impl LearningFrontend {
     }
 }
 
-fn update_pair(
-    map: &mut HashMap<(Variable, Variable), PairStats>,
-    a_var: Variable,
-    a_val: Word,
-    b_var: Variable,
-    b_val: Word,
-) {
-    // Canonical order: the "a" side is the earlier variable (by address, then slot).
-    let (ka, va, kb, vb) = if a_var <= b_var {
-        (a_var, a_val, b_var, b_val)
-    } else {
-        (b_var, b_val, a_var, a_val)
-    };
-    map.entry((ka, kb))
-        .or_insert_with(PairStats::new)
-        .update(va, vb);
-}
-
 impl Tracer for LearningFrontend {
     fn on_block_first_execution(&mut self, block_start: Addr) {
         self.procedures.observe_block(block_start);
     }
 
     fn on_inst(&mut self, event: &ExecEvent) {
-        self.pending.push(event.clone());
+        // Columnar append: no per-event heap allocation once capacities are warm.
+        self.pending.push(event);
     }
 
     fn wants_addr(&self, addr: Addr) -> bool {

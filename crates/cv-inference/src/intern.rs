@@ -1,0 +1,441 @@
+//! Dense interning tables for the learning hot path.
+//!
+//! The front end's per-event work used to be dominated by hashing 16-byte
+//! [`Variable`] structs into `HashMap`s — once per operand for the single-variable
+//! statistics, and once per (prior, current) combination for the pairwise statistics.
+//! This module replaces those maps with *interned* representations: every `Variable`
+//! is mapped to a dense `u32` [`VarId`] the first time it is seen, statistics live in
+//! `Vec`-indexed struct-of-arrays tables addressed by id (pairs by a packed `u64` of
+//! two ids), and a per-instruction-address [`ScheduleCache`] resolves each
+//! instruction's read slots and prior-in-block variables to ids exactly once. The
+//! commit path then touches hash tables only once per *event* (the `Addr → schedule`
+//! lookup), never per operand or per pair.
+//!
+//! Full [`Variable`]s are resolved back out of the tables only at `infer()` time,
+//! where a sorted index vector reproduces the canonical (sorted-by-variable) order
+//! the reference implementation emits — the byte-identical-log guarantee of the
+//! fleet's manager plane depends on it.
+
+use crate::cfg::ProcedureDatabase;
+use crate::invariant::ONE_OF_LIMIT;
+use crate::variable::Variable;
+use cv_isa::{Addr, Inst, Operand, Word};
+use std::collections::HashMap;
+
+/// Dense identifier of an interned [`Variable`]. Ids are assigned in first-sight
+/// order and are *not* ordered like the variables they name; canonical orderings are
+/// produced by sorting resolved variables at inference time.
+pub(crate) type VarId = u32;
+
+/// Sentinel id for schedule slots that carry no variable (immediate operands).
+pub(crate) const NO_VAR: VarId = u32::MAX;
+
+/// Maximum read slots per instruction, tied to the instruction set's own capacity so
+/// a widened `ReadOperands` cannot silently outgrow the schedule slot arrays.
+pub(crate) const MAX_READS: usize = cv_isa::ReadOperands::CAPACITY;
+
+const OVERFLOWED: u8 = 1 << 0;
+const NONPOINTER: u8 = 1 << 1;
+
+/// Interned variables plus their sample statistics, stored as struct-of-arrays.
+#[derive(Debug, Default)]
+pub(crate) struct VarTable {
+    ids: HashMap<Variable, VarId>,
+    vars: Vec<Variable>,
+    count: Vec<u64>,
+    min_signed: Vec<i32>,
+    flags: Vec<u8>,
+    /// Observed value sets, sorted, cleared once they overflow [`ONE_OF_LIMIT`].
+    values: Vec<Vec<Word>>,
+    /// Variables with at least one recorded sample (`count > 0`).
+    observed: u64,
+}
+
+impl VarTable {
+    /// The id of `var`, interning it on first sight.
+    pub fn intern(&mut self, var: Variable) -> VarId {
+        if let Some(&id) = self.ids.get(&var) {
+            return id;
+        }
+        let id = self.vars.len() as VarId;
+        self.ids.insert(var, id);
+        self.vars.push(var);
+        self.count.push(0);
+        self.min_signed.push(i32::MAX);
+        self.flags.push(0);
+        self.values.push(Vec::new());
+        id
+    }
+
+    /// Number of interned variables (observed or not).
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of variables with at least one recorded sample.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The variable behind `id`.
+    pub fn var(&self, id: VarId) -> Variable {
+        self.vars[id as usize]
+    }
+
+    /// Samples recorded for `id`.
+    pub fn count(&self, id: VarId) -> u64 {
+        self.count[id as usize]
+    }
+
+    /// The smallest signed value recorded for `id`.
+    pub fn min_signed(&self, id: VarId) -> i32 {
+        self.min_signed[id as usize]
+    }
+
+    /// True if the one-of value set overflowed.
+    pub fn overflowed(&self, id: VarId) -> bool {
+        self.flags[id as usize] & OVERFLOWED != 0
+    }
+
+    /// The recorded one-of values (sorted; empty after overflow).
+    pub fn values(&self, id: VarId) -> &[Word] {
+        &self.values[id as usize]
+    }
+
+    /// Pointer classification (Section 2.2.4): no recorded value was negative or in
+    /// `1..=100_000`.
+    pub fn is_pointer(&self, id: VarId) -> bool {
+        self.flags[id as usize] & NONPOINTER == 0
+    }
+
+    /// Record one sample for `id` — the dense equivalent of the reference
+    /// implementation's `VarStats::update`.
+    pub fn record(&mut self, id: VarId, value: Word) {
+        let i = id as usize;
+        if self.count[i] == 0 {
+            self.observed += 1;
+        }
+        self.count[i] += 1;
+        if self.flags[i] & OVERFLOWED == 0 {
+            let set = &mut self.values[i];
+            if let Err(pos) = set.binary_search(&value) {
+                set.insert(pos, value);
+                if set.len() > ONE_OF_LIMIT {
+                    self.flags[i] |= OVERFLOWED;
+                    set.clear();
+                }
+            }
+        }
+        let signed = value as i32;
+        if signed < self.min_signed[i] {
+            self.min_signed[i] = signed;
+        }
+        // Pointer classification heuristic from Section 2.2.4: a value that is
+        // negative or between 1 and 100,000 is evidence the variable is not a pointer.
+        if signed < 0 || (1..=100_000).contains(&signed) {
+            self.flags[i] |= NONPOINTER;
+        }
+    }
+}
+
+const A_LE_B: u8 = 1 << 0;
+const B_LE_A: u8 = 1 << 1;
+const ALWAYS_EQ: u8 = 1 << 2;
+
+/// Pairwise sample statistics keyed by a packed `u64` of two [`VarId`]s, where the
+/// `a` side is the variable that is smaller in [`Variable`] order. The commit path
+/// guarantees that ordering structurally: prior-in-block variables precede the
+/// current instruction's (lower address), and read slots pair in ascending slot
+/// order — so no per-sample comparison of full variables is needed.
+#[derive(Debug, Default)]
+pub(crate) struct PairTable {
+    index: HashMap<u64, u32>,
+    keys: Vec<u64>,
+    count: Vec<u64>,
+    flags: Vec<u8>,
+}
+
+impl PairTable {
+    /// Number of distinct pairs recorded.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The (a, b) ids of pair `idx`.
+    pub fn ids(&self, idx: usize) -> (VarId, VarId) {
+        let key = self.keys[idx];
+        ((key >> 32) as VarId, key as VarId)
+    }
+
+    /// Samples recorded for pair `idx`.
+    pub fn count_at(&self, idx: usize) -> u64 {
+        self.count[idx]
+    }
+
+    /// True if `a <= b` held on every sample.
+    pub fn a_le_b(&self, idx: usize) -> bool {
+        self.flags[idx] & A_LE_B != 0
+    }
+
+    /// True if `b <= a` held on every sample.
+    pub fn b_le_a(&self, idx: usize) -> bool {
+        self.flags[idx] & B_LE_A != 0
+    }
+
+    /// True if `a == b` held on every sample.
+    pub fn always_eq(&self, idx: usize) -> bool {
+        self.flags[idx] & ALWAYS_EQ != 0
+    }
+
+    /// Record one sample for the pair `(a, b)` — `a` must be the variable that is
+    /// smaller in [`Variable`] order (see the type docs).
+    pub fn record(&mut self, a: VarId, b: VarId, va: Word, vb: Word) {
+        let key = (u64::from(a) << 32) | u64::from(b);
+        let idx = *self.index.entry(key).or_insert_with(|| {
+            self.keys.push(key);
+            self.count.push(0);
+            self.flags.push(A_LE_B | B_LE_A | ALWAYS_EQ);
+            (self.keys.len() - 1) as u32
+        }) as usize;
+        self.count[idx] += 1;
+        let (sa, sb) = (va as i32, vb as i32);
+        if sa > sb {
+            self.flags[idx] &= !A_LE_B;
+        }
+        if sb > sa {
+            self.flags[idx] &= !B_LE_A;
+        }
+        if sa != sb {
+            self.flags[idx] &= !ALWAYS_EQ;
+        }
+    }
+}
+
+/// Stack-pointer offset sets keyed by a packed `u64` of `(proc_entry, at)`. Packed
+/// keys sort exactly like the `(Addr, Addr)` tuples they encode, so inference sorts
+/// the key vector directly.
+#[derive(Debug, Default)]
+pub(crate) struct SpOffsetTable {
+    index: HashMap<u64, u32>,
+    keys: Vec<u64>,
+    /// Distinct offsets per key, sorted.
+    offsets: Vec<Vec<i32>>,
+}
+
+impl SpOffsetTable {
+    /// The `(proc_entry, at)` pair of entry `idx`.
+    pub fn key(&self, idx: usize) -> (Addr, Addr) {
+        let key = self.keys[idx];
+        ((key >> 32) as Addr, key as Addr)
+    }
+
+    /// The distinct offsets recorded for entry `idx` (sorted).
+    pub fn offsets_at(&self, idx: usize) -> &[i32] {
+        &self.offsets[idx]
+    }
+
+    /// Record one observed offset.
+    pub fn record(&mut self, proc_entry: Addr, at: Addr, offset: i32) {
+        let key = (u64::from(proc_entry) << 32) | u64::from(at);
+        let idx = *self.index.entry(key).or_insert_with(|| {
+            self.keys.push(key);
+            self.offsets.push(Vec::new());
+            (self.keys.len() - 1) as u32
+        }) as usize;
+        let set = &mut self.offsets[idx];
+        if let Err(pos) = set.binary_search(&offset) {
+            set.insert(pos, offset);
+        }
+    }
+
+    /// Index order that visits keys in ascending `(proc_entry, at)` order.
+    pub fn sorted_indices(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.keys.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| self.keys[i as usize]);
+        order
+    }
+}
+
+/// The precomputed learning work for one instruction address.
+#[derive(Debug)]
+pub(crate) struct Schedule {
+    /// The instruction the schedule was built for. Instructions inside the loaded
+    /// image are immutable, but the runtime can trace injected code decoded straight
+    /// from mutable memory — the cache revalidates against this field and rebuilds
+    /// on mismatch so such addresses never serve a stale schedule.
+    pub inst: Inst,
+    /// Interned id per read slot (`NO_VAR` for immediate operands).
+    pub slots: [VarId; MAX_READS],
+    /// True if a discovered procedure places the address in a basic block — the
+    /// precondition for any pairwise samples.
+    pub in_block: bool,
+    /// Ids of every non-immediate read of every prior-in-block instruction, in block
+    /// order: the resolved pair schedule.
+    pub priors: Vec<VarId>,
+}
+
+/// Per-address cache of [`Schedule`]s, invalidated wholesale whenever procedure
+/// discovery advances (an address may move from "not in any block" to "in a block").
+#[derive(Debug, Default)]
+pub(crate) struct ScheduleCache {
+    by_addr: HashMap<Addr, u32>,
+    entries: Vec<Schedule>,
+    version: u64,
+}
+
+impl ScheduleCache {
+    /// Drop every schedule if `version` (the procedure database's discovery counter)
+    /// has advanced since the cache was built.
+    pub fn sync(&mut self, version: u64) {
+        if self.version != version {
+            self.by_addr.clear();
+            self.entries.clear();
+            self.version = version;
+        }
+    }
+
+    /// The schedule for `addr`, building (or rebuilding, when the traced instruction
+    /// changed) it on demand. This is the single hash lookup the commit path performs
+    /// per event.
+    pub fn get_or_build(
+        &mut self,
+        addr: Addr,
+        inst: Inst,
+        procedures: &ProcedureDatabase,
+        vars: &mut VarTable,
+    ) -> &Schedule {
+        let idx = match self.by_addr.get(&addr) {
+            Some(&i) if self.entries[i as usize].inst == inst => i as usize,
+            Some(&i) => {
+                self.entries[i as usize] = build_schedule(addr, inst, procedures, vars);
+                i as usize
+            }
+            None => {
+                self.entries
+                    .push(build_schedule(addr, inst, procedures, vars));
+                let i = (self.entries.len() - 1) as u32;
+                self.by_addr.insert(addr, i);
+                i as usize
+            }
+        };
+        &self.entries[idx]
+    }
+}
+
+fn build_schedule(
+    addr: Addr,
+    inst: Inst,
+    procedures: &ProcedureDatabase,
+    vars: &mut VarTable,
+) -> Schedule {
+    let mut slots = [NO_VAR; MAX_READS];
+    for (slot, op) in inst.operands_read().into_iter().enumerate() {
+        if matches!(op, Operand::Imm(_)) {
+            continue;
+        }
+        slots[slot] = vars.intern(Variable::read(addr, slot as u8, op));
+    }
+    let mut priors = Vec::new();
+    let mut in_block = false;
+    if let Some(prefix) = procedures.block_prefix(addr) {
+        in_block = true;
+        for prior in prefix {
+            for (slot, op) in prior.inst.operands_read().into_iter().enumerate() {
+                if matches!(op, Operand::Imm(_)) {
+                    continue;
+                }
+                priors.push(vars.intern(Variable::read(prior.addr, slot as u8, op)));
+            }
+        }
+    }
+    Schedule {
+        inst,
+        slots,
+        in_block,
+        priors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_isa::Reg;
+
+    fn var(addr: Addr, slot: u8) -> Variable {
+        Variable::read(addr, slot, Operand::Reg(Reg::Eax))
+    }
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut t = VarTable::default();
+        let a = t.intern(var(1, 0));
+        let b = t.intern(var(2, 0));
+        assert_eq!(t.intern(var(1, 0)), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.var(a), var(1, 0));
+        assert_eq!(t.observed(), 0, "interning alone records no sample");
+    }
+
+    #[test]
+    fn var_stats_match_reference_semantics() {
+        let mut t = VarTable::default();
+        let id = t.intern(var(1, 0));
+        for v in [5u32, 3, 5, 7] {
+            t.record(id, v);
+        }
+        assert_eq!(t.count(id), 4);
+        assert_eq!(t.min_signed(id), 3);
+        assert_eq!(t.values(id), &[3, 5, 7]);
+        assert!(!t.overflowed(id));
+        assert!(
+            !t.is_pointer(id),
+            "small positive values are non-pointer evidence"
+        );
+        assert_eq!(t.observed(), 1);
+        // Overflow past ONE_OF_LIMIT clears the set.
+        for v in 100..110 {
+            t.record(id, v);
+        }
+        assert!(t.overflowed(id));
+        assert!(t.values(id).is_empty());
+    }
+
+    #[test]
+    fn pointer_classification() {
+        let mut t = VarTable::default();
+        let id = t.intern(var(1, 0));
+        t.record(id, 0x40_0000);
+        t.record(id, 0);
+        assert!(t.is_pointer(id));
+        t.record(id, 55);
+        assert!(!t.is_pointer(id));
+    }
+
+    #[test]
+    fn pair_flags_track_order_and_equality() {
+        let mut t = PairTable::default();
+        t.record(0, 1, 3, 3);
+        assert!(t.a_le_b(0) && t.b_le_a(0) && t.always_eq(0));
+        t.record(0, 1, 2, 5);
+        assert!(t.a_le_b(0) && !t.b_le_a(0) && !t.always_eq(0));
+        t.record(0, 1, 9, 5);
+        assert!(!t.a_le_b(0));
+        assert_eq!(t.count_at(0), 3);
+        assert_eq!(t.ids(0), (0, 1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sp_offsets_sort_like_address_pairs() {
+        let mut t = SpOffsetTable::default();
+        t.record(2, 1, 0);
+        t.record(1, 9, 4);
+        t.record(1, 2, -2);
+        t.record(1, 2, -2);
+        let order = t.sorted_indices();
+        let keys: Vec<(Addr, Addr)> = order.iter().map(|&i| t.key(i as usize)).collect();
+        assert_eq!(keys, vec![(1, 2), (1, 9), (2, 1)]);
+        assert_eq!(t.offsets_at(order[0] as usize), &[-2]);
+    }
+}

@@ -17,6 +17,13 @@
 //!   [`InvariantDatabase`].
 //! * [`InvariantDatabase`] — learned invariants indexed by check location, with the
 //!   merge operation used by the application community's amortized parallel learning.
+//! * [`ReferenceFrontend`] — the retained straightforward implementation of the front
+//!   end, the executable specification the optimized hot path is proven equal to.
+//!
+//! The front end's per-event data plane is flat and allocation-free: variables are
+//! interned to dense `u32` ids, statistics live in `Vec`-indexed tables, runs buffer
+//! into a columnar [`cv_runtime::RunBuffer`], and per-address pair schedules replace
+//! the O(block²) prior-operand walk (see the `frontend` module docs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,11 +31,14 @@
 mod cfg;
 mod database;
 mod frontend;
+mod intern;
 mod invariant;
+mod reference;
 mod variable;
 
 pub use cfg::{CfgBlock, ProcedureCfg, ProcedureDatabase};
 pub use database::{InvariantDatabase, LearningStats};
 pub use frontend::{LearnedModel, LearningFrontend};
 pub use invariant::{Invariant, ONE_OF_LIMIT};
+pub use reference::ReferenceFrontend;
 pub use variable::{VarSlot, Variable};

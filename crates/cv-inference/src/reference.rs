@@ -1,0 +1,411 @@
+//! The straightforward reference implementation of the learning front end.
+//!
+//! This is the pre-optimization [`LearningFrontend`](crate::LearningFrontend),
+//! retained verbatim as an executable specification: it buffers whole
+//! [`ExecEvent`]s, keys every statistic by full [`Variable`] structs in `HashMap`s,
+//! and re-derives the prior-in-block operands from the CFG on every event. It is
+//! deliberately simple and deliberately slow — the interned/columnar front end must
+//! produce an [`InvariantDatabase`] **equal** to this one on every input, which the
+//! proptest parity suite (`tests/parity.rs`) and the `learning_overhead` benchmark
+//! both enforce. Do not optimize this type; optimize `LearningFrontend` against it.
+
+use crate::cfg::ProcedureDatabase;
+use crate::database::{InvariantDatabase, LearningStats};
+use crate::invariant::{Invariant, ONE_OF_LIMIT};
+use crate::variable::Variable;
+use cv_isa::{Addr, BinaryImage, Inst, Operand, Word};
+use cv_runtime::{ExecEvent, Tracer};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-variable sample statistics.
+#[derive(Debug, Clone)]
+struct VarStats {
+    count: u64,
+    values: BTreeSet<Word>,
+    overflowed: bool,
+    min_signed: i32,
+    nonpointer_evidence: bool,
+}
+
+impl VarStats {
+    fn new() -> Self {
+        VarStats {
+            count: 0,
+            values: BTreeSet::new(),
+            overflowed: false,
+            min_signed: i32::MAX,
+            nonpointer_evidence: false,
+        }
+    }
+
+    fn update(&mut self, value: Word) {
+        self.count += 1;
+        if !self.overflowed {
+            self.values.insert(value);
+            if self.values.len() > ONE_OF_LIMIT {
+                self.overflowed = true;
+                self.values.clear();
+            }
+        }
+        let signed = value as i32;
+        if signed < self.min_signed {
+            self.min_signed = signed;
+        }
+        // Pointer classification heuristic from Section 2.2.4: a value that is negative
+        // or between 1 and 100,000 is evidence that the variable is not a pointer.
+        if signed < 0 || (1..=100_000).contains(&signed) {
+            self.nonpointer_evidence = true;
+        }
+    }
+
+    fn is_pointer(&self) -> bool {
+        !self.nonpointer_evidence
+    }
+}
+
+/// Per-pair sample statistics (for less-than and equal-variable detection).
+#[derive(Debug, Clone, Copy)]
+struct PairStats {
+    count: u64,
+    a_le_b: bool,
+    b_le_a: bool,
+    always_eq: bool,
+}
+
+impl PairStats {
+    fn new() -> Self {
+        PairStats {
+            count: 0,
+            a_le_b: true,
+            b_le_a: true,
+            always_eq: true,
+        }
+    }
+
+    fn update(&mut self, va: Word, vb: Word) {
+        self.count += 1;
+        let (sa, sb) = (va as i32, vb as i32);
+        if sa > sb {
+            self.a_le_b = false;
+        }
+        if sb > sa {
+            self.b_le_a = false;
+        }
+        if sa != sb {
+            self.always_eq = false;
+        }
+    }
+}
+
+/// The reference (unoptimized) Daikon-style learning front end. Implements
+/// [`Tracer`]; behaviourally identical to [`crate::LearningFrontend`].
+pub struct ReferenceFrontend {
+    procedures: ProcedureDatabase,
+    filter_procs: Option<BTreeSet<Addr>>,
+    var_stats: HashMap<Variable, VarStats>,
+    pair_stats: HashMap<(Variable, Variable), PairStats>,
+    sp_offsets: HashMap<(Addr, Addr), BTreeSet<i32>>,
+    pending: Vec<ExecEvent>,
+    events_processed: u64,
+    runs_committed: u64,
+    runs_discarded: u64,
+}
+
+impl ReferenceFrontend {
+    /// Create a reference front end for `image`.
+    pub fn new(image: BinaryImage) -> Self {
+        ReferenceFrontend {
+            procedures: ProcedureDatabase::new(image),
+            filter_procs: None,
+            var_stats: HashMap::new(),
+            pair_stats: HashMap::new(),
+            sp_offsets: HashMap::new(),
+            pending: Vec::new(),
+            events_processed: 0,
+            runs_committed: 0,
+            runs_discarded: 0,
+        }
+    }
+
+    /// Restrict tracing to the given procedure entries.
+    pub fn restrict_to_procedures(&mut self, procs: impl IntoIterator<Item = Addr>) {
+        self.filter_procs = Some(procs.into_iter().collect());
+    }
+
+    /// The discovered procedures.
+    pub fn procedures(&self) -> &ProcedureDatabase {
+        &self.procedures
+    }
+
+    /// Number of trace events committed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of buffered (not yet committed or discarded) events.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Commit the buffered run as a *normal* execution.
+    pub fn commit_run(&mut self) {
+        let events = std::mem::take(&mut self.pending);
+        let mut last_values: HashMap<Variable, Word> = HashMap::new();
+        let mut call_stack: Vec<(Addr, Word)> = Vec::new();
+        for event in &events {
+            self.events_processed += 1;
+            if call_stack.is_empty() {
+                let proc = self
+                    .procedures
+                    .proc_of_inst(event.addr)
+                    .unwrap_or(event.addr);
+                call_stack.push((proc, event.sp));
+            }
+            if let Some(&(proc_entry, entry_sp)) = call_stack.last() {
+                let offset = (entry_sp as i64 - event.sp as i64) as i32;
+                self.sp_offsets
+                    .entry((proc_entry, event.addr))
+                    .or_default()
+                    .insert(offset);
+            }
+
+            // Single-variable samples.
+            let mut current_vars: Vec<(Variable, Word)> = Vec::new();
+            for r in &event.reads {
+                if matches!(r.operand, Operand::Imm(_)) {
+                    continue;
+                }
+                let var = Variable::read(event.addr, r.slot, r.operand);
+                self.var_stats
+                    .entry(var)
+                    .or_insert_with(VarStats::new)
+                    .update(r.value);
+                current_vars.push((var, r.value));
+            }
+
+            // Pairwise samples, restricted to variables within the same basic block
+            // (the earlier instruction of a block trivially predominates the later one).
+            if let Some(cfg) = self.procedures.proc_containing(event.addr) {
+                if let Some(bstart) = cfg.block_of_inst(event.addr) {
+                    let block = &cfg.blocks[&bstart];
+                    if let Some(pos) = block.position_of(event.addr) {
+                        for prior_inst in &block.insts[..pos] {
+                            for (slot, op) in
+                                prior_inst.inst.operands_read().into_iter().enumerate()
+                            {
+                                if matches!(op, Operand::Imm(_)) {
+                                    continue;
+                                }
+                                let prior = Variable::read(prior_inst.addr, slot as u8, op);
+                                if let Some(&pv) = last_values.get(&prior) {
+                                    for &(cur, cv) in &current_vars {
+                                        if prior == cur {
+                                            continue;
+                                        }
+                                        update_pair(&mut self.pair_stats, prior, pv, cur, cv);
+                                    }
+                                }
+                            }
+                        }
+                        for i in 0..current_vars.len() {
+                            for j in (i + 1)..current_vars.len() {
+                                let (va, a) = current_vars[i];
+                                let (vb, bv) = current_vars[j];
+                                update_pair(&mut self.pair_stats, va, a, vb, bv);
+                            }
+                        }
+                    }
+                }
+            }
+
+            for &(v, val) in &current_vars {
+                last_values.insert(v, val);
+            }
+
+            // Track the call stack for stack-pointer-offset invariants.
+            match event.inst {
+                Inst::Call { target } => call_stack.push((target, event.sp.wrapping_sub(1))),
+                Inst::CallIndirect { .. } => {
+                    let target = event.reads.first().map(|r| r.value).unwrap_or(0);
+                    call_stack.push((target, event.sp.wrapping_sub(1)));
+                }
+                Inst::Ret => {
+                    call_stack.pop();
+                }
+                _ => {}
+            }
+        }
+        self.runs_committed += 1;
+    }
+
+    /// Discard the buffered run.
+    pub fn discard_run(&mut self) {
+        self.pending.clear();
+        self.runs_discarded += 1;
+    }
+
+    /// True if the control-flow graph guarantees that `a` and `b` always hold the same
+    /// value (see `LearningFrontend::statically_redundant`).
+    fn statically_redundant(&self, a: &Variable, b: &Variable) -> bool {
+        let (Some(Operand::Reg(ra)), Some(Operand::Reg(rb))) = (a.operand, b.operand) else {
+            return false;
+        };
+        if ra != rb {
+            return false;
+        }
+        let Some(cfg) = self.procedures.proc_containing(a.addr) else {
+            return false;
+        };
+        let (Some(ba), Some(bb)) = (cfg.block_of_inst(a.addr), cfg.block_of_inst(b.addr)) else {
+            return false;
+        };
+        if ba != bb {
+            return false;
+        }
+        let block = &cfg.blocks[&ba];
+        let (Some(pa), Some(pb)) = (block.position_of(a.addr), block.position_of(b.addr)) else {
+            return false;
+        };
+        let (lo, hi) = if pa <= pb { (pa, pb) } else { (pb, pa) };
+        block.insts[lo..hi]
+            .iter()
+            .all(|i| !i.inst.is_call() && !i.inst.writes_register(ra))
+    }
+
+    /// Infer the invariant database from every committed sample.
+    pub fn infer(&self) -> InvariantDatabase {
+        let mut duplicates: BTreeSet<Variable> = BTreeSet::new();
+        for ((a, b), st) in &self.pair_stats {
+            if st.count > 0 && st.always_eq && self.statically_redundant(a, b) {
+                let later = (*a).max(*b);
+                let later_is_indirect_transfer = self
+                    .procedures
+                    .inst_at(later.addr)
+                    .map(|i| i.inst.is_indirect_transfer())
+                    .unwrap_or(false);
+                if !later_is_indirect_transfer {
+                    duplicates.insert(later);
+                }
+            }
+        }
+
+        let mut db = InvariantDatabase::new();
+        let mut pointers = 0u64;
+        let mut var_stats: Vec<(&Variable, &VarStats)> = self.var_stats.iter().collect();
+        var_stats.sort_by_key(|(var, _)| **var);
+        for (var, st) in var_stats {
+            if st.count == 0 || duplicates.contains(var) {
+                continue;
+            }
+            if st.is_pointer() {
+                pointers += 1;
+            }
+            if !st.overflowed && !st.values.is_empty() {
+                db.insert(Invariant::OneOf {
+                    var: *var,
+                    values: st.values.clone(),
+                });
+            }
+            if !st.is_pointer() {
+                db.insert(Invariant::LowerBound {
+                    var: *var,
+                    min: st.min_signed,
+                });
+            }
+        }
+        let mut pair_stats: Vec<(&(Variable, Variable), &PairStats)> =
+            self.pair_stats.iter().collect();
+        pair_stats.sort_by_key(|(pair, _)| **pair);
+        for ((a, b), st) in pair_stats {
+            if st.count == 0 || st.always_eq {
+                continue;
+            }
+            if duplicates.contains(a) || duplicates.contains(b) {
+                continue;
+            }
+            let a_pointer = self
+                .var_stats
+                .get(a)
+                .map(|s| s.is_pointer())
+                .unwrap_or(true);
+            let b_pointer = self
+                .var_stats
+                .get(b)
+                .map(|s| s.is_pointer())
+                .unwrap_or(true);
+            if a_pointer || b_pointer {
+                continue;
+            }
+            if st.a_le_b {
+                db.insert(Invariant::LessThan { a: *a, b: *b });
+            } else if st.b_le_a {
+                db.insert(Invariant::LessThan { a: *b, b: *a });
+            }
+        }
+        let mut sp_offsets: Vec<(&(Addr, Addr), &BTreeSet<i32>)> = self.sp_offsets.iter().collect();
+        sp_offsets.sort_by_key(|(key, _)| **key);
+        for ((proc_entry, at), offsets) in sp_offsets {
+            if offsets.len() == 1 {
+                db.insert(Invariant::StackPointerOffset {
+                    proc_entry: *proc_entry,
+                    at: *at,
+                    offset: *offsets.iter().next().expect("len checked"),
+                });
+            }
+        }
+
+        db.stats = LearningStats {
+            events_processed: self.events_processed,
+            runs_committed: self.runs_committed,
+            runs_discarded: self.runs_discarded,
+            variables_observed: self.var_stats.len() as u64,
+            duplicates_removed: duplicates.len() as u64,
+            pointers_classified: pointers,
+            ..Default::default()
+        };
+        db.recount();
+        db
+    }
+}
+
+fn update_pair(
+    map: &mut HashMap<(Variable, Variable), PairStats>,
+    a_var: Variable,
+    a_val: Word,
+    b_var: Variable,
+    b_val: Word,
+) {
+    // Canonical order: the "a" side is the earlier variable (by address, then slot).
+    let (ka, va, kb, vb) = if a_var <= b_var {
+        (a_var, a_val, b_var, b_val)
+    } else {
+        (b_var, b_val, a_var, a_val)
+    };
+    map.entry((ka, kb))
+        .or_insert_with(PairStats::new)
+        .update(va, vb);
+}
+
+impl Tracer for ReferenceFrontend {
+    fn on_block_first_execution(&mut self, block_start: Addr) {
+        self.procedures.observe_block(block_start);
+    }
+
+    fn on_inst(&mut self, event: &ExecEvent) {
+        self.pending.push(event.clone());
+    }
+
+    fn wants_addr(&self, addr: Addr) -> bool {
+        match &self.filter_procs {
+            None => true,
+            Some(filter) => match self.procedures.proc_of_inst(addr) {
+                Some(proc) => filter.contains(&proc),
+                None => true,
+            },
+        }
+    }
+
+    fn on_call(&mut self, _call_site: Addr, target: Addr) {
+        self.procedures.observe_call_target(target);
+    }
+}

@@ -1,0 +1,264 @@
+//! Property-based parity: the interned/columnar [`LearningFrontend`] must produce an
+//! `InvariantDatabase` **equal** (invariants, order, and learning counters) to the
+//! retained straightforward [`ReferenceFrontend`] on randomized programs and page
+//! batches.
+//!
+//! Programs are generated as a soup of operations assembled with [`ProgramBuilder`]:
+//! register arithmetic (pair and dedup fodder), forward conditional branches
+//! (multi-block CFGs), direct calls to helpers (stack-pointer offsets), masked
+//! indirect calls through a function-pointer table (one-of invariants and pointer
+//! classification), and allocator/copy intrinsics (lower bounds, and — with an
+//! undersized allocation — Heap Guard failures that exercise the discard path).
+//! Every branch is forward and every helper returns, so runs terminate; some runs
+//! are discarded deliberately to cover both commit and discard on both frontends.
+
+use cv_inference::{LearningFrontend, ReferenceFrontend};
+use cv_isa::{BinaryImage, Cond, MemRef, Operand, Port, ProgramBuilder, Reg};
+use cv_runtime::{EnvConfig, ManagedExecutionEnvironment};
+use proptest::prelude::*;
+
+/// General-purpose registers the generator plays with (never esp/ebp: the soup must
+/// not corrupt the stack).
+const REGS: [Reg; 6] = [Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Esi, Reg::Edi];
+
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    Reg(Reg),
+    Imm(u32),
+}
+
+impl From<Src> for Operand {
+    fn from(s: Src) -> Operand {
+        match s {
+            Src::Reg(r) => Operand::Reg(r),
+            Src::Imm(v) => Operand::Imm(v),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `add`/`sub`/`and`/`mul`/`cmp` on registers — single-variable and pair samples.
+    Arith { kind: u8, dst: Reg, src: Src },
+    /// `mov dst, src` — equal-variable dedup fodder when src is a register.
+    Mov { dst: Reg, src: Src },
+    /// `cmp reg, imm` + forward `jcc` skipping the next `skip` ops — block edges.
+    Branch {
+        reg: Reg,
+        imm: u32,
+        cond: Cond,
+        skip: u8,
+    },
+    /// Direct call to helper 0 or 1 — call-stack and sp-offset coverage.
+    Call { which: bool },
+    /// Masked dispatch through the function-pointer table — one-of at the call site.
+    IndirectCall { sel: Reg },
+    /// `alloc` two blocks and `copy` a masked length between them. An undersized
+    /// destination makes Heap Guard fail the run (discard-path coverage).
+    AllocCopy { undersized: bool },
+    /// Render a register.
+    Output { src: Reg },
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop::sample::select(REGS.to_vec())
+}
+
+fn arb_src() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        arb_reg().prop_map(Src::Reg),
+        (0u32..200_000).prop_map(Src::Imm),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..5, arb_reg(), arb_src()).prop_map(|(kind, dst, src)| Op::Arith { kind, dst, src }),
+        (arb_reg(), arb_src()).prop_map(|(dst, src)| Op::Mov { dst, src }),
+        (arb_reg(), 0u32..50, arb_cond(), 1u8..4).prop_map(|(reg, imm, cond, skip)| Op::Branch {
+            reg,
+            imm,
+            cond,
+            skip
+        }),
+        any::<bool>().prop_map(|which| Op::Call { which }),
+        arb_reg().prop_map(|sel| Op::IndirectCall { sel }),
+        any::<bool>().prop_map(|undersized| Op::AllocCopy { undersized }),
+        arb_reg().prop_map(|src| Op::Output { src }),
+    ]
+}
+
+/// Assemble the op soup into a complete image: inputs, the ops (with all branch
+/// labels bound), a render + halt, two helpers, and the indirect-call table.
+fn assemble(ops: &[Op]) -> BinaryImage {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main");
+    let h0 = b.new_label("h0");
+    let h1 = b.new_label("h1");
+    let vtable = b.data_here();
+
+    b.input(Reg::Eax, Port::Input);
+    b.input(Reg::Ecx, Port::Input);
+    b.input(Reg::Ebx, Port::Input);
+
+    // Forward-branch labels waiting to be bound: (label, ops still to skip).
+    let mut pending: Vec<(cv_isa::Label, u8)> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Arith { kind, dst, src } => {
+                let src: Operand = src.into();
+                match kind {
+                    0 => b.add(dst, src),
+                    1 => b.sub(dst, src),
+                    2 => b.and(dst, src),
+                    3 => b.mul(dst, src),
+                    _ => b.cmp(dst, src),
+                };
+            }
+            Op::Mov { dst, src } => {
+                b.mov(dst, Operand::from(src));
+            }
+            Op::Branch {
+                reg,
+                imm,
+                cond,
+                skip,
+            } => {
+                b.cmp(reg, imm);
+                let label = b.new_label("skip");
+                b.jcc(cond, label);
+                // +1 because the countdown below also runs for this very op; the
+                // label then binds after `skip` *further* ops, as documented.
+                pending.push((label, skip + 1));
+            }
+            Op::Call { which } => {
+                b.call(if which { h1 } else { h0 });
+            }
+            Op::IndirectCall { sel } => {
+                b.mov(Reg::Edx, sel);
+                b.and(Reg::Edx, 1u32);
+                b.mov(
+                    Reg::Edi,
+                    Operand::Mem(MemRef {
+                        base: None,
+                        index: Some(Reg::Edx),
+                        scale: 1,
+                        disp: vtable as i32,
+                    }),
+                );
+                b.call_indirect(Reg::Edi);
+            }
+            Op::AllocCopy { undersized } => {
+                b.alloc(Reg::Edi, if undersized { 2u32 } else { 16u32 });
+                b.alloc(Reg::Esi, 16u32);
+                b.mov(Reg::Edx, Reg::Ecx);
+                b.and(Reg::Edx, 7u32);
+                b.copy(Reg::Edi, Reg::Esi, Reg::Edx);
+            }
+            Op::Output { src } => {
+                b.output(src, Port::Render);
+            }
+        }
+        // Close any forward branches whose skip window just elapsed.
+        for (label, left) in &mut pending {
+            *left -= 1;
+            if *left == 0 {
+                b.bind(*label);
+            }
+        }
+        pending.retain(|(_, left)| *left > 0);
+    }
+    for (label, _) in pending {
+        b.bind(label);
+    }
+    b.output(Reg::Eax, Port::Render);
+    b.halt();
+
+    b.bind(h0);
+    b.add(Reg::Eax, 1u32);
+    b.ret();
+    b.bind(h1);
+    b.sub(Reg::Ecx, 3u32);
+    b.ret();
+    b.data_code_ref(h0);
+    b.data_code_ref(h1);
+    b.set_entry(main);
+    b.build().expect("generated program assembles")
+}
+
+/// Run both frontends over the same pages and demand identical inferred databases.
+fn assert_parity(image: BinaryImage, pages: &[Vec<u32>]) {
+    let mut env_fast = ManagedExecutionEnvironment::new(image.clone(), EnvConfig::default());
+    let mut env_ref = ManagedExecutionEnvironment::new(image.clone(), EnvConfig::default());
+    let mut fast = LearningFrontend::new(image.clone());
+    let mut reference = ReferenceFrontend::new(image);
+    for (k, page) in pages.iter().enumerate() {
+        let a = env_fast.run_with_tracer(page, &mut fast);
+        let b = env_ref.run_with_tracer(page, &mut reference);
+        assert_eq!(a.status, b.status, "the two environments must agree");
+        assert_eq!(fast.pending_events(), reference.pending_events());
+        // Discard failed runs (the Section 3.1 rule) and, additionally, every third
+        // run — covering discard-after-success on both implementations.
+        if a.is_completed() && k % 3 != 2 {
+            fast.commit_run();
+            reference.commit_run();
+        } else {
+            fast.discard_run();
+            reference.discard_run();
+        }
+    }
+    assert_eq!(fast.events_processed(), reference.events_processed());
+    let fast_db = fast.infer();
+    let ref_db = reference.infer();
+    assert_eq!(
+        fast_db, ref_db,
+        "interned/columnar frontend diverged from the reference implementation"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn randomized_programs_learn_identical_databases(
+        ops in prop::collection::vec(arb_op(), 1..24),
+        pages in prop::collection::vec(prop::collection::vec(0u32..100_000, 0..5), 1..6),
+    ) {
+        assert_parity(assemble(&ops), &pages);
+    }
+}
+
+/// Deterministic spot check: interleaved procedure discovery. The first page runs
+/// with an empty procedure database (no pair schedules apply), later pages after
+/// discovery — the schedule cache must invalidate and re-resolve.
+#[test]
+fn parity_across_procedure_discovery() {
+    let ops = [
+        Op::Arith {
+            kind: 0,
+            dst: Reg::Eax,
+            src: Src::Reg(Reg::Ecx),
+        },
+        Op::Call { which: false },
+        Op::IndirectCall { sel: Reg::Eax },
+        Op::Branch {
+            reg: Reg::Ecx,
+            imm: 10,
+            cond: Cond::Lt,
+            skip: 2,
+        },
+        Op::AllocCopy { undersized: false },
+        Op::Arith {
+            kind: 4,
+            dst: Reg::Ecx,
+            src: Src::Reg(Reg::Ecx),
+        },
+        Op::Output { src: Reg::Eax },
+    ];
+    let pages: Vec<Vec<u32>> = vec![vec![4, 9, 1], vec![0, 3, 2], vec![7, 20, 5], vec![1, 1, 1]];
+    assert_parity(assemble(&ops), &pages);
+}

@@ -294,6 +294,88 @@ pub enum Inst {
     Nop,
 }
 
+/// A fixed-capacity, stack-allocated list of up to `N` copyable items.
+///
+/// The trace front end queries [`Inst::operands_read`] and [`Inst::mem_refs`] once per
+/// *executed* instruction — the hottest loop in learning mode. Returning a `Vec` there
+/// heap-allocates per event; an `InlineList` lives entirely in registers/stack. No
+/// instruction reads more than three operands or computes more than three addresses,
+/// so `N = 3` covers the whole instruction set (checked by `debug_assert` on push).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineList<T, const N: usize> {
+    items: [T; N],
+    len: u8,
+}
+
+impl<T: Copy, const N: usize> InlineList<T, N> {
+    /// The fixed capacity `N` — exposed so downstream tables sized per slot (the
+    /// inference engine's schedules) stay in sync with the instruction set by
+    /// construction.
+    pub const CAPACITY: usize = N;
+
+    /// An empty list; `fill` pads the unused tail (it is never observable).
+    pub fn new(fill: T) -> Self {
+        InlineList {
+            items: [fill; N],
+            len: 0,
+        }
+    }
+
+    /// Append an item. Panics in debug builds if the capacity is exceeded.
+    pub fn push(&mut self, item: T) {
+        debug_assert!((self.len as usize) < N, "InlineList capacity exceeded");
+        self.items[self.len as usize] = item;
+        self.len += 1;
+    }
+
+    /// The populated prefix as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the list holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Copy, const N: usize> std::ops::Deref for InlineList<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy, const N: usize> IntoIterator for InlineList<T, N> {
+    type Item = T;
+    type IntoIter = std::iter::Take<std::array::IntoIter<T, N>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a, T: Copy, const N: usize> IntoIterator for &'a InlineList<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// The read operands of one instruction (at most three).
+pub type ReadOperands = InlineList<Operand, 3>;
+
+/// The memory references of one instruction (at most three).
+pub type MemRefs = InlineList<MemRef, 3>;
+
 impl Inst {
     /// A short mnemonic used in disassembly listings and patch reports.
     pub fn mnemonic(&self) -> &'static str {
@@ -356,31 +438,47 @@ impl Inst {
     }
 
     /// Operands that the instruction *reads* (excluding address computations, which are
-    /// reported separately by the trace front end).
-    pub fn operands_read(&self) -> Vec<Operand> {
+    /// reported separately by the trace front end). Allocation-free: this is queried
+    /// once per traced instruction execution.
+    pub fn operands_read(&self) -> ReadOperands {
+        let mut out = ReadOperands::new(Operand::Imm(0));
         match *self {
-            Inst::Mov { src, .. } => vec![src],
-            Inst::Lea { .. } => vec![],
+            Inst::Mov { src, .. } => out.push(src),
+            Inst::Lea { .. } => {}
             Inst::Add { dst, src }
             | Inst::Sub { dst, src }
             | Inst::And { dst, src }
             | Inst::Or { dst, src }
             | Inst::Xor { dst, src }
             | Inst::Shl { dst, src }
-            | Inst::Shr { dst, src } => vec![dst, src],
-            Inst::Mul { dst, src } => vec![Operand::Reg(dst), src],
-            Inst::Cmp { a, b } | Inst::Test { a, b } => vec![a, b],
-            Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Call { .. } => vec![],
-            Inst::JmpIndirect { target } | Inst::CallIndirect { target } => vec![target],
-            Inst::Ret | Inst::Halt | Inst::Nop => vec![],
-            Inst::Push { src } => vec![src],
-            Inst::Pop { .. } => vec![],
-            Inst::Alloc { size, .. } => vec![size],
-            Inst::Free { ptr } => vec![ptr],
-            Inst::Copy { dst, src, len } => vec![dst, src, len],
-            Inst::In { .. } => vec![],
-            Inst::Out { src, .. } => vec![src],
+            | Inst::Shr { dst, src } => {
+                out.push(dst);
+                out.push(src);
+            }
+            Inst::Mul { dst, src } => {
+                out.push(Operand::Reg(dst));
+                out.push(src);
+            }
+            Inst::Cmp { a, b } | Inst::Test { a, b } => {
+                out.push(a);
+                out.push(b);
+            }
+            Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Call { .. } => {}
+            Inst::JmpIndirect { target } | Inst::CallIndirect { target } => out.push(target),
+            Inst::Ret | Inst::Halt | Inst::Nop => {}
+            Inst::Push { src } => out.push(src),
+            Inst::Pop { .. } => {}
+            Inst::Alloc { size, .. } => out.push(size),
+            Inst::Free { ptr } => out.push(ptr),
+            Inst::Copy { dst, src, len } => {
+                out.push(dst);
+                out.push(src);
+                out.push(len);
+            }
+            Inst::In { .. } => {}
+            Inst::Out { src, .. } => out.push(src),
         }
+        out
     }
 
     /// True if executing this instruction writes the register `r`.
@@ -411,9 +509,10 @@ impl Inst {
         }
     }
 
-    /// Memory references whose addresses this instruction computes.
-    pub fn mem_refs(&self) -> Vec<MemRef> {
-        let mut out = Vec::new();
+    /// Memory references whose addresses this instruction computes. Allocation-free:
+    /// this is queried once per traced instruction execution.
+    pub fn mem_refs(&self) -> MemRefs {
+        let mut out = MemRefs::new(MemRef::abs(0));
         let mut push_op = |op: &Operand| {
             if let Operand::Mem(m) = op {
                 out.push(*m);
@@ -563,7 +662,7 @@ mod tests {
             dst: Operand::Mem(MemRef::base_disp(Reg::Ebp, 12)),
             src: Operand::Reg(Reg::Eax),
         };
-        assert_eq!(i.mem_refs(), vec![MemRef::base_disp(Reg::Ebp, 12)]);
+        assert_eq!(i.mem_refs().as_slice(), &[MemRef::base_disp(Reg::Ebp, 12)]);
         assert_eq!(i.to_string(), "mov [ebp+12], eax");
     }
 

@@ -46,7 +46,7 @@ pub use asm::{Label, ProgramBuilder};
 pub use encode::{decode, decode_all, encode, encoded_len, InstWithAddr};
 pub use error::IsaError;
 pub use image::{BinaryImage, MemoryLayout, Segment};
-pub use inst::{Cond, Inst, Port};
+pub use inst::{Cond, InlineList, Inst, MemRefs, Port, ReadOperands};
 pub use operand::{MemRef, Operand};
 pub use reg::{Flags, Reg};
 

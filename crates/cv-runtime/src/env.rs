@@ -209,6 +209,16 @@ impl ManagedExecutionEnvironment {
         };
         let blocks_built_before = self.cache.blocks_built;
         let blocks_ejected_before = self.cache.blocks_ejected;
+        // One scratch record reused for every traced instruction: its vectors are
+        // cleared and refilled in place, so the tracing path performs no per-event
+        // heap allocation once their (≤ 3 element) capacities are warm.
+        let mut scratch = ExecEvent {
+            addr: 0,
+            inst: Inst::Nop,
+            reads: Vec::new(),
+            addrs: Vec::new(),
+            sp: 0,
+        };
 
         let status = loop {
             if stats.instructions >= self.config.max_instructions {
@@ -256,8 +266,8 @@ impl ManagedExecutionEnvironment {
             // ---- Trace ------------------------------------------------------------
             if let Some(tr) = tracer.as_mut() {
                 if tr.wants_addr(eip) {
-                    let event = Self::build_exec_event(&machine, &iwa);
-                    tr.on_inst(&event);
+                    Self::fill_exec_event(&machine, &iwa, &mut scratch);
+                    tr.on_inst(&scratch);
                     stats.trace_events += 1;
                 }
                 // Procedure discovery: report resolved call targets.
@@ -335,33 +345,30 @@ impl ManagedExecutionEnvironment {
         }
     }
 
-    /// Build the per-instruction trace record: the values of all operands read and all
-    /// addresses computed, plus the stack pointer.
-    fn build_exec_event(machine: &Machine, iwa: &InstWithAddr) -> ExecEvent {
-        let mut reads = Vec::new();
+    /// Fill the per-instruction trace record in place: the values of all operands read
+    /// and all addresses computed, plus the stack pointer. Reusing one record across a
+    /// run keeps the tracing path free of per-event heap allocation.
+    fn fill_exec_event(machine: &Machine, iwa: &InstWithAddr, event: &mut ExecEvent) {
+        event.addr = iwa.addr;
+        event.inst = iwa.inst;
+        event.sp = machine.reg(Reg::Esp);
+        event.reads.clear();
         for (slot, op) in iwa.inst.operands_read().into_iter().enumerate() {
             if let Ok(value) = machine.read_operand(&op) {
-                reads.push(OperandValue {
+                event.reads.push(OperandValue {
                     slot: slot as u8,
                     operand: op,
                     value,
                 });
             }
         }
-        let mut addrs = Vec::new();
+        event.addrs.clear();
         for (slot, mem) in iwa.inst.mem_refs().into_iter().enumerate() {
-            addrs.push(AddrComputation {
+            event.addrs.push(AddrComputation {
                 slot: slot as u8,
                 mem,
                 addr: machine.effective_addr(&mem),
             });
-        }
-        ExecEvent {
-            addr: iwa.addr,
-            inst: iwa.inst,
-            reads,
-            addrs,
-            sp: machine.reg(Reg::Esp),
         }
     }
 

@@ -48,4 +48,6 @@ pub use machine::{CopyOutcome, Machine, MemFault};
 pub use memory::Memory;
 pub use monitors::{Failure, FailureKind, MonitorConfig, ShadowStack, StackFrame};
 pub use stats::{CostModel, ExecutionStats};
-pub use trace::{AddrComputation, ExecEvent, OperandValue, RecordingTracer, Tracer};
+pub use trace::{
+    AddrComputation, BufferedEvent, ExecEvent, OperandValue, RecordingTracer, RunBuffer, Tracer,
+};

@@ -46,6 +46,95 @@ pub struct ExecEvent {
     pub sp: Word,
 }
 
+/// Columnar (struct-of-arrays) storage for one run's buffered trace events.
+///
+/// The learning front end buffers every event of a run and only commits them once the
+/// run is known to be normal. Buffering by cloning [`ExecEvent`]s heap-allocates twice
+/// per traced instruction (the `reads` and `addrs` vectors); a `RunBuffer` stores the
+/// same information in parallel flat arrays — addr, stack pointer, and instruction per
+/// event, plus one packed array of operand reads — so pushing performs **zero
+/// per-event heap allocation** once the buffer's capacity has warmed up, and
+/// discarding a run is a length reset that keeps every allocation for the next run.
+///
+/// Computed addresses ([`ExecEvent::addrs`]) are not retained: the inference engine
+/// derives no invariants from them.
+#[derive(Debug, Clone, Default)]
+pub struct RunBuffer {
+    addrs: Vec<Addr>,
+    sps: Vec<Word>,
+    insts: Vec<Inst>,
+    /// Prefix sums: the reads of event `i` are `reads[read_ends[i-1]..read_ends[i]]`
+    /// (with `read_ends[-1]` taken as 0).
+    read_ends: Vec<u32>,
+    /// All events' operand reads, packed end to end.
+    reads: Vec<OperandValue>,
+}
+
+/// One event viewed out of a [`RunBuffer`].
+#[derive(Debug, Clone, Copy)]
+pub struct BufferedEvent<'a> {
+    /// The instruction's address.
+    pub addr: Addr,
+    /// The stack pointer before the instruction executed.
+    pub sp: Word,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// The values of the operands the instruction read.
+    pub reads: &'a [OperandValue],
+}
+
+impl RunBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event (copies its columns; no allocation once capacity is warm).
+    pub fn push(&mut self, event: &ExecEvent) {
+        self.addrs.push(event.addr);
+        self.sps.push(event.sp);
+        self.insts.push(event.inst);
+        self.reads.extend_from_slice(&event.reads);
+        self.read_ends.push(self.reads.len() as u32);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Drop all buffered events, retaining every allocation (a length reset).
+    pub fn clear(&mut self) {
+        self.addrs.clear();
+        self.sps.clear();
+        self.insts.clear();
+        self.read_ends.clear();
+        self.reads.clear();
+    }
+
+    /// Iterate the buffered events in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = BufferedEvent<'_>> {
+        (0..self.len()).map(move |i| {
+            let start = if i == 0 {
+                0
+            } else {
+                self.read_ends[i - 1] as usize
+            };
+            BufferedEvent {
+                addr: self.addrs[i],
+                sp: self.sps[i],
+                inst: self.insts[i],
+                reads: &self.reads[start..self.read_ends[i] as usize],
+            }
+        })
+    }
+}
+
 /// A consumer of execution traces (implemented by the learning front end).
 pub trait Tracer {
     /// Called the first time a basic block enters the code cache.
@@ -156,6 +245,68 @@ mod tests {
         let t = RecordingTracer::with_filter([0x1000, 0x1004]);
         assert!(t.wants_addr(0x1000));
         assert!(!t.wants_addr(0x1001));
+    }
+
+    #[test]
+    fn run_buffer_round_trips_events() {
+        let events = [
+            ExecEvent {
+                addr: 0x1000,
+                inst: Inst::Mov {
+                    dst: Operand::Reg(Reg::Eax),
+                    src: Operand::Imm(1),
+                },
+                reads: vec![OperandValue {
+                    slot: 0,
+                    operand: Operand::Imm(1),
+                    value: 1,
+                }],
+                addrs: vec![],
+                sp: 0x60000,
+            },
+            ExecEvent {
+                addr: 0x1002,
+                inst: Inst::Nop,
+                reads: vec![],
+                addrs: vec![],
+                sp: 0x60000,
+            },
+            ExecEvent {
+                addr: 0x1003,
+                inst: Inst::Add {
+                    dst: Operand::Reg(Reg::Eax),
+                    src: Operand::Reg(Reg::Ebx),
+                },
+                reads: vec![
+                    OperandValue {
+                        slot: 0,
+                        operand: Operand::Reg(Reg::Eax),
+                        value: 1,
+                    },
+                    OperandValue {
+                        slot: 1,
+                        operand: Operand::Reg(Reg::Ebx),
+                        value: 2,
+                    },
+                ],
+                addrs: vec![],
+                sp: 0x5fffe,
+            },
+        ];
+        let mut buf = RunBuffer::new();
+        for ev in &events {
+            buf.push(ev);
+        }
+        assert_eq!(buf.len(), 3);
+        for (got, want) in buf.iter().zip(&events) {
+            assert_eq!(got.addr, want.addr);
+            assert_eq!(got.sp, want.sp);
+            assert_eq!(got.inst, want.inst);
+            assert_eq!(got.reads, want.reads.as_slice());
+        }
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.iter().count(), 0);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! end-to-end proof that sharding the responder state by failure location changes
 //! the manager's *latency*, never its *decisions*.
 
-use clearview::apps::{expanded_learning_suite, red_team_exploits, Browser, Exploit};
+use clearview::apps::{
+    expanded_learning_suite, red_team_exploits, Browser, Exploit, MULTI_FAILURE_TARGETS,
+};
 use clearview::core::{learn_model, ClearViewConfig, Phase};
 use clearview::fleet::{Fleet, FleetConfig, Presentation};
 use clearview::inference::LearnedModel;
@@ -14,20 +16,10 @@ use clearview::runtime::MonitorConfig;
 const NODES: usize = 1_000;
 const ATTACK_EPOCHS: u64 = 12;
 
-/// The eight simultaneously attacked defects and their failure locations. 311710 is
-/// excluded (three chained defects — its own scenario) and 307259 is not repairable
-/// with the implemented templates; the remaining eight all patch under the deeper
-/// stack walk plus the expanded learning suite (the Section 4.3.2 reconfigurations).
-const TARGETS: [(u32, &str); 8] = [
-    (269095, "vuln_269095_call"),
-    (285595, "vuln_285595_store"),
-    (290162, "vuln_290162_call"),
-    (295854, "vuln_295854_call"),
-    (296134, "vuln_296134_ret"),
-    (312278, "vuln_312278_call"),
-    (320182, "vuln_320182_call"),
-    (325403, "vuln_325403_copy"),
-];
+/// The eight simultaneously attacked defects and their failure locations — the
+/// canonical list shared with the `fleet_scale` benchmark (see
+/// `cv_apps::MULTI_FAILURE_TARGETS` for the 311710/307259 exclusion rationale).
+const TARGETS: [(u32, &str); 8] = MULTI_FAILURE_TARGETS;
 
 fn community_model(browser: &Browser) -> LearnedModel {
     learn_model(
