@@ -9,7 +9,10 @@
 //!
 //! Options:
 //!   --json          also write a `BENCH_fleet.json` record (pages/sec,
-//!                   time-to-immunity, manager ms/epoch, speedups)
+//!                   time-to-immunity, manager ms/epoch, speedups, snapshot/churn
+//!                   columns; implies the churn scenario)
+//!   --churn         run the churn scenario (kill 20% mid-epoch, rejoin half by
+//!                   delta sync and half by full bootstrap, late-join warm + cold)
 //!   --workers N     worker threads for the parallel configurations (0 = one per core)
 //!   --nodes N       community size (default 256)
 //!   --epochs N      benign throughput epochs (default 4)
@@ -33,6 +36,7 @@ const MULTI_FAILURE_EPOCHS: u64 = 10;
 #[derive(Debug, Clone, Copy)]
 struct Options {
     json: bool,
+    churn: bool,
     workers: usize,
     nodes: usize,
     epochs: usize,
@@ -41,6 +45,7 @@ struct Options {
 fn parse_options() -> Options {
     let mut opts = Options {
         json: false,
+        churn: false,
         workers: 0,
         nodes: 256,
         epochs: 4,
@@ -54,12 +59,16 @@ fn parse_options() -> Options {
         };
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--churn" => opts.churn = true,
             "--workers" => opts.workers = number("--workers"),
             "--nodes" => opts.nodes = number("--nodes").max(16),
             "--epochs" => opts.epochs = number("--epochs").max(1),
             other => panic!("unknown option {other}"),
         }
     }
+    // The JSON record carries the snapshot/churn columns, so --json implies the
+    // churn scenario.
+    opts.churn |= opts.json;
     opts
 }
 
@@ -203,6 +212,105 @@ fn multi_failure(browser: &Browser, model: &LearnedModel, config: FleetConfig) -
             .filter(|(_, loc)| fleet.is_protected_against(*loc))
             .count(),
         immunity_epochs,
+    }
+}
+
+/// The outcome of the churn scenario.
+struct ChurnRun {
+    killed: usize,
+    rejoined_delta: usize,
+    rejoined_full: usize,
+    late_warm: usize,
+    late_cold: usize,
+    snapshot_bytes: u64,
+    delta_bytes: u64,
+    delta_full_bytes: u64,
+    delta_savings: f64,
+    joiner_tti_max: u64,
+    immune_members: usize,
+    total_members: usize,
+}
+
+/// Kill 20% of the fleet mid-epoch (they miss that epoch's patch push), drive the
+/// survivors to immunity, rejoin half the casualties by shard-keyed delta sync and
+/// half by full bootstrap, late-join members warm (snapshot) and cold (resync),
+/// then attack everyone: the whole fleet must be immune, with warm joiners
+/// Protected in <= 1 epoch.
+fn churn(browser: &Browser, opts: Options) -> ChurnRun {
+    let exploit = red_team_exploits(browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 290162)
+        .unwrap();
+    let location = browser.sym("vuln_290162_call");
+
+    let mut fleet = Fleet::new(
+        browser.image.clone(),
+        ClearViewConfig::default(),
+        FleetConfig::new(opts.nodes).with_workers(opts.workers),
+    );
+    fleet.distributed_learning(&learning_suite());
+    let base = fleet.checkpoint();
+
+    // Attack five members from the low half (the kill range below is the upper
+    // half, so attackers survive the outage); a fifth of the fleet dies mid-epoch
+    // in the first round.
+    let attackers: Vec<usize> = (0..5).map(|k| k * (opts.nodes / 16)).collect();
+    let batch: Vec<Presentation> = attackers
+        .iter()
+        .map(|&node| Presentation::new(node, exploit.page()))
+        .collect();
+    let kills: Vec<usize> = (opts.nodes / 2..opts.nodes / 2 + opts.nodes / 5).collect();
+    fleet.run_epoch_churn(&batch, &kills);
+    for _ in 0..12 {
+        if fleet.is_protected_against(location) {
+            break;
+        }
+        fleet.run_epoch(&batch);
+    }
+    assert!(
+        fleet.is_protected_against(location),
+        "fleet failed to immunize"
+    );
+
+    // Rejoin: half by delta against the pre-outage checkpoint, half full.
+    let half = kills.len() / 2;
+    for &node in &kills[..half] {
+        fleet.rejoin_member(node, Some(&base));
+    }
+    for &node in &kills[half..] {
+        fleet.rejoin_member(node, None);
+    }
+    // Late joiners: warm from the coordinator's snapshot, cold + explicit resync.
+    let late_warm = 8;
+    let late_cold = 2;
+    for _ in 0..late_warm {
+        fleet.join_member_warm();
+    }
+    for _ in 0..late_cold {
+        let node = fleet.join_member_cold();
+        fleet.resync_member(node);
+    }
+
+    // Everyone gets attacked; everyone must survive.
+    let verify: Vec<Presentation> = (0..fleet.node_count())
+        .map(|node| Presentation::new(node, exploit.page()))
+        .collect();
+    let outcome = fleet.run_epoch(&verify);
+
+    let metrics = fleet.metrics();
+    ChurnRun {
+        killed: kills.len(),
+        rejoined_delta: half,
+        rejoined_full: kills.len() - half,
+        late_warm,
+        late_cold,
+        snapshot_bytes: metrics.snapshot_bytes_last,
+        delta_bytes: metrics.delta_bytes_total,
+        delta_full_bytes: metrics.delta_full_bytes_total,
+        delta_savings: metrics.delta_savings(),
+        joiner_tti_max: metrics.max_joiner_immunity_epochs().unwrap_or(0),
+        immune_members: outcome.completed(),
+        total_members: fleet.node_count(),
     }
 }
 
@@ -353,6 +461,55 @@ fn main() {
         println!("\nWARNING: no scheduling speedup measured (single-core machine?)");
     }
 
+    let churn_run = if opts.churn {
+        let run = churn(&browser, opts);
+        print_table(
+            &format!(
+                "Churn scenario ({} members, 20% killed mid-epoch, exploit 290162)",
+                opts.nodes
+            ),
+            &["quantity", "value"],
+            &[
+                vec!["killed mid-epoch".into(), run.killed.to_string()],
+                vec![
+                    "rejoined via delta sync".into(),
+                    run.rejoined_delta.to_string(),
+                ],
+                vec![
+                    "rejoined via full bootstrap".into(),
+                    run.rejoined_full.to_string(),
+                ],
+                vec![
+                    "late joins (warm / cold)".into(),
+                    format!("{} / {}", run.late_warm, run.late_cold),
+                ],
+                vec!["snapshot bytes".into(), run.snapshot_bytes.to_string()],
+                vec![
+                    "delta bytes vs full".into(),
+                    format!(
+                        "{} vs {} ({:.1}x saved)",
+                        run.delta_bytes, run.delta_full_bytes, run.delta_savings
+                    ),
+                ],
+                vec![
+                    "joiner time-to-immunity".into(),
+                    format!("<= {} epoch(s)", run.joiner_tti_max),
+                ],
+                vec![
+                    "immune members after verify".into(),
+                    format!("{}/{}", run.immune_members, run.total_members),
+                ],
+            ],
+        );
+        assert_eq!(
+            run.immune_members, run.total_members,
+            "churned fleet failed fleet-wide immunity"
+        );
+        Some(run)
+    } else {
+        None
+    };
+
     if opts.json {
         let immunity_entries: Vec<String> = par_run
             .immunity_epochs
@@ -365,8 +522,26 @@ fn main() {
             .map(|(_, e)| *e)
             .max()
             .unwrap_or(0);
+        let churn_json = match &churn_run {
+            Some(run) => format!(
+                ",\n  \"snapshot_bytes\": {},\n  \"churn_killed\": {},\n  \"churn_rejoined_delta\": {},\n  \"churn_rejoined_full\": {},\n  \"churn_late_warm\": {},\n  \"churn_late_cold\": {},\n  \"delta_bytes_total\": {},\n  \"delta_full_bytes_total\": {},\n  \"delta_savings\": {:.2},\n  \"joiner_time_to_immunity_epochs_max\": {},\n  \"churn_immune_members\": {},\n  \"churn_total_members\": {}",
+                run.snapshot_bytes,
+                run.killed,
+                run.rejoined_delta,
+                run.rejoined_full,
+                run.late_warm,
+                run.late_cold,
+                run.delta_bytes,
+                run.delta_full_bytes,
+                run.delta_savings,
+                run.joiner_tti_max,
+                run.immune_members,
+                run.total_members,
+            ),
+            None => String::new(),
+        };
         let json = format!(
-            "{{\n  \"bench\": \"fleet_scale\",\n  \"nodes\": {},\n  \"workers\": {},\n  \"cores\": {cores},\n  \"pages_per_second_sequential\": {seq_rate:.1},\n  \"pages_per_second_parallel\": {par_rate:.1},\n  \"scheduling_speedup\": {scheduling_speedup:.3},\n  \"merge_monolithic_seconds\": {mono:.4},\n  \"merge_sharded_parallel_seconds\": {sharded_par:.4},\n  \"manager_ms_per_epoch_sequential\": {:.4},\n  \"manager_ms_per_epoch_sharded\": {:.4},\n  \"manager_parallel_speedup\": {:.3},\n  \"manager_shards\": {MANAGER_SHARDS},\n  \"multi_failure_locations\": {},\n  \"immune_locations\": {},\n  \"time_to_immunity_epochs_max\": {max_immunity},\n  \"time_to_immunity_epochs\": {{ {} }}\n}}\n",
+            "{{\n  \"bench\": \"fleet_scale\",\n  \"nodes\": {},\n  \"workers\": {},\n  \"cores\": {cores},\n  \"pages_per_second_sequential\": {seq_rate:.1},\n  \"pages_per_second_parallel\": {par_rate:.1},\n  \"scheduling_speedup\": {scheduling_speedup:.3},\n  \"merge_monolithic_seconds\": {mono:.4},\n  \"merge_sharded_parallel_seconds\": {sharded_par:.4},\n  \"manager_ms_per_epoch_sequential\": {:.4},\n  \"manager_ms_per_epoch_sharded\": {:.4},\n  \"manager_parallel_speedup\": {:.3},\n  \"manager_shards\": {MANAGER_SHARDS},\n  \"multi_failure_locations\": {},\n  \"immune_locations\": {},\n  \"time_to_immunity_epochs_max\": {max_immunity},\n  \"time_to_immunity_epochs\": {{ {} }}{churn_json}\n}}\n",
             opts.nodes,
             opts.workers,
             seq_run.manager_ms_per_epoch,

@@ -1,0 +1,252 @@
+//! Snapshot-plane benchmark: encode/decode throughput of the columnar snapshot
+//! format across invariant-database sizes, snapshot size per invariant, delta-sync
+//! savings, and cold-vs-warm time-to-immunity (how many epochs a process needs to
+//! reach Protected starting from nothing vs. from a checkpoint).
+//!
+//! Run with: `cargo run --release -p cv-bench --bin snapshot_bench [-- --json]`
+//!
+//! Options:
+//!   --json   also write a `BENCH_snapshot.json` record
+
+use cv_apps::{learning_suite, red_team_exploits, Browser};
+use cv_bench::print_table;
+use cv_core::ClearViewConfig;
+use cv_fleet::{DeltaSnapshot, Fleet, FleetConfig, Presentation, Snapshot};
+use cv_inference::{Invariant, InvariantDatabase, Variable};
+use cv_isa::{Operand, Reg};
+use std::time::Instant;
+
+const CODEC_ROUNDS: u32 = 10;
+const NODES: usize = 64;
+
+/// A deterministic synthetic database with roughly `target` invariants, shaped
+/// like learned state: per address, a one-of, a lower-bound, a less-than against
+/// the previous site, and periodic sp-offsets.
+fn synthetic_db(target: usize) -> InvariantDatabase {
+    let mut db = InvariantDatabase::new();
+    let mut addr = 0x4_0000u32;
+    let mut prev: Option<Variable> = None;
+    let mut count = 0usize;
+    while count < target {
+        let var = Variable::read(addr, 0, Operand::Reg(Reg::ALL[(addr as usize / 4) % 8]));
+        db.insert(Invariant::OneOf {
+            var,
+            values: [addr ^ 0x1111, addr ^ 0x2222, addr ^ 0x3333]
+                .into_iter()
+                .collect(),
+        });
+        db.insert(Invariant::LowerBound {
+            var,
+            min: -(addr as i32 % 97),
+        });
+        count += 2;
+        if let Some(prev) = prev {
+            db.insert(Invariant::LessThan { a: prev, b: var });
+            count += 1;
+        }
+        if addr.is_multiple_of(64) {
+            db.insert(Invariant::StackPointerOffset {
+                proc_entry: addr & !0xFF,
+                at: addr,
+                offset: (addr % 16) as i32,
+            });
+            count += 1;
+        }
+        prev = Some(var);
+        addr += 4;
+    }
+    db.stats.events_processed = count as u64 * 100;
+    db.stats.runs_committed = 64;
+    db.recount();
+    db
+}
+
+struct CodecRow {
+    invariants: usize,
+    bytes: usize,
+    encode_mb_s: f64,
+    decode_mb_s: f64,
+}
+
+fn codec_throughput(invariants: usize) -> CodecRow {
+    let snap = Snapshot {
+        epoch: 1,
+        shard_count: 8,
+        invariants: synthetic_db(invariants),
+        procedures: (0..64).map(|k| 0x4_0000 + k * 0x100).collect(),
+        plan: cv_core::PatchPlan::new(),
+    };
+    let bytes = snap.encode();
+
+    let start = Instant::now();
+    for _ in 0..CODEC_ROUNDS {
+        std::hint::black_box(snap.encode());
+    }
+    let encode_secs = start.elapsed().as_secs_f64() / CODEC_ROUNDS as f64;
+
+    let start = Instant::now();
+    for _ in 0..CODEC_ROUNDS {
+        std::hint::black_box(Snapshot::decode(&bytes).expect("decodes"));
+    }
+    let decode_secs = start.elapsed().as_secs_f64() / CODEC_ROUNDS as f64;
+
+    let mb = bytes.len() as f64 / (1024.0 * 1024.0);
+    CodecRow {
+        invariants: snap.invariants.len(),
+        bytes: bytes.len(),
+        encode_mb_s: mb / encode_secs,
+        decode_mb_s: mb / decode_secs,
+    }
+}
+
+struct WarmStartRun {
+    cold_epochs: u64,
+    warm_epochs: u64,
+    snapshot_bytes: u64,
+    delta_bytes: u64,
+    full_bytes: u64,
+}
+
+/// Cold: a fresh fleet learns and responds from scratch — epochs of exploit
+/// presentations until Protected. Warm: a fleet restored from the cold fleet's
+/// checkpoint — Protected before its first epoch (0 epochs), verified by first
+/// exposure surviving.
+fn warm_start() -> WarmStartRun {
+    let browser = Browser::build();
+    let config = ClearViewConfig::default();
+    let mut cold = Fleet::new(browser.image.clone(), config, FleetConfig::new(NODES));
+    cold.distributed_learning(&learning_suite());
+
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 290162)
+        .unwrap();
+    let location = browser.sym("vuln_290162_call");
+
+    let base = cold.checkpoint();
+    let mut cold_epochs = 0;
+    for _ in 0..20 {
+        cold.run_epoch(&[Presentation::new(0, exploit.page())]);
+        cold_epochs += 1;
+        if cold.is_protected_against(location) {
+            break;
+        }
+    }
+    assert!(cold.is_protected_against(location));
+
+    let snapshot = cold.checkpoint();
+    let snapshot_bytes = snapshot.encode().len() as u64;
+    let delta = DeltaSnapshot::diff(&base, &snapshot);
+    let delta_bytes = delta.encode().len() as u64;
+
+    let mut warm = Fleet::from_snapshot(
+        browser.image.clone(),
+        config,
+        FleetConfig::new(NODES),
+        &snapshot,
+    );
+    // This bin is CI's snapshot-plane regression watch: a restore that is not
+    // Protected must fail the job, not record a sentinel and exit green.
+    assert!(
+        warm.is_protected_against(location),
+        "restored fleet must be Protected before its first epoch"
+    );
+    let warm_epochs = 0u64;
+    // First exposure on a member that never saw the exploit in this process.
+    let outcome = warm.run_epoch(&[Presentation::new(NODES - 1, exploit.page())]);
+    assert_eq!(
+        outcome.completed(),
+        1,
+        "warm member survives first exposure"
+    );
+
+    WarmStartRun {
+        cold_epochs,
+        warm_epochs,
+        snapshot_bytes,
+        delta_bytes,
+        full_bytes: snapshot_bytes,
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
+    let rows: Vec<CodecRow> = [1_000usize, 10_000, 50_000]
+        .into_iter()
+        .map(codec_throughput)
+        .collect();
+    print_table(
+        &format!("Snapshot codec throughput ({CODEC_ROUNDS} rounds)"),
+        &[
+            "invariants",
+            "snapshot bytes",
+            "bytes/invariant",
+            "encode MB/s",
+            "decode MB/s",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.invariants.to_string(),
+                    r.bytes.to_string(),
+                    format!("{:.1}", r.bytes as f64 / r.invariants as f64),
+                    format!("{:.1}", r.encode_mb_s),
+                    format!("{:.1}", r.decode_mb_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let run = warm_start();
+    print_table(
+        &format!("Cold vs. warm start ({NODES} members, exploit 290162)"),
+        &["start", "epochs to Protected", "state transferred"],
+        &[
+            vec![
+                "cold (learn + respond)".into(),
+                run.cold_epochs.to_string(),
+                "0 bytes (relearns everything)".into(),
+            ],
+            vec![
+                "warm (from snapshot)".into(),
+                run.warm_epochs.to_string(),
+                format!("{} bytes (one snapshot)", run.snapshot_bytes),
+            ],
+            vec![
+                "delta resync".into(),
+                run.warm_epochs.to_string(),
+                format!(
+                    "{} bytes ({:.1}x less than full)",
+                    run.delta_bytes,
+                    run.full_bytes as f64 / run.delta_bytes.max(1) as f64
+                ),
+            ],
+        ],
+    );
+
+    if json {
+        let codec_rows: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{ \"invariants\": {}, \"bytes\": {}, \"encode_mb_s\": {:.2}, \"decode_mb_s\": {:.2} }}",
+                    r.invariants, r.bytes, r.encode_mb_s, r.decode_mb_s
+                )
+            })
+            .collect();
+        let out = format!(
+            "{{\n  \"bench\": \"snapshot\",\n  \"format_version\": {},\n  \"codec\": [\n    {}\n  ],\n  \"cold_epochs_to_protected\": {},\n  \"warm_epochs_to_protected\": {},\n  \"snapshot_bytes\": {},\n  \"delta_bytes\": {},\n  \"delta_savings\": {:.2}\n}}\n",
+            cv_store::FORMAT_VERSION,
+            codec_rows.join(",\n    "),
+            run.cold_epochs,
+            run.warm_epochs,
+            run.snapshot_bytes,
+            run.delta_bytes,
+            run.full_bytes as f64 / run.delta_bytes.max(1) as f64,
+        );
+        std::fs::write("BENCH_snapshot.json", &out).expect("write BENCH_snapshot.json");
+        println!("\nwrote BENCH_snapshot.json:\n{out}");
+    }
+}

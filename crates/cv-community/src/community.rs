@@ -33,6 +33,20 @@ pub struct CommunityOutcome {
     pub blocked: bool,
 }
 
+/// The facade's one fleet shape, shared by fresh construction and snapshot
+/// restore: one worker and one manager shard, because a handful of members
+/// browsing one page at a time gains nothing from fan-out, single-threaded
+/// execution keeps the facade deterministic, and a single manager shard is
+/// *exactly* the seed's central responder pass (the shard owns every failure
+/// location).
+fn facade_fleet_config(node_count: usize, monitors: MonitorConfig) -> FleetConfig {
+    FleetConfig::new(node_count.max(1))
+        .with_workers(1)
+        .with_shards(4)
+        .with_manager_shards(1)
+        .with_monitors(monitors)
+}
+
 /// An application community protected by ClearView.
 pub struct Community {
     fleet: Fleet,
@@ -56,22 +70,50 @@ impl Community {
         node_count: usize,
         monitors: MonitorConfig,
     ) -> Self {
-        // One worker and one manager shard: a handful of members browsing one page
-        // at a time gains nothing from fan-out, single-threaded execution keeps the
-        // facade deterministic, and a single manager shard is *exactly* the seed's
-        // central responder pass (the shard owns every failure location).
-        let fleet_config = FleetConfig::new(node_count.max(1))
-            .with_workers(1)
-            .with_shards(4)
-            .with_manager_shards(1)
-            .with_monitors(monitors);
         Community {
-            fleet: Fleet::new(image.clone(), config, fleet_config),
+            fleet: Fleet::new(
+                image.clone(),
+                config,
+                facade_fleet_config(node_count, monitors),
+            ),
             image,
             monitors,
             log: Vec::new(),
             translated: 0,
         }
+    }
+
+    /// Warm-start a community from a checkpoint previously taken with
+    /// [`Community::checkpoint`]: the learned model is restored from the snapshot,
+    /// every member inherits the validated repairs, and each repaired location is
+    /// Protected immediately — no learning replay, no re-checking.
+    pub fn restore(
+        image: BinaryImage,
+        config: ClearViewConfig,
+        node_count: usize,
+        monitors: MonitorConfig,
+        snapshot: &cv_fleet::Snapshot,
+    ) -> Self {
+        let mut community = Community {
+            fleet: Fleet::from_snapshot(
+                image.clone(),
+                config,
+                facade_fleet_config(node_count, monitors),
+                snapshot,
+            ),
+            image,
+            monitors,
+            log: Vec::new(),
+            translated: 0,
+        };
+        community.translate_new_batches();
+        community
+    }
+
+    /// Checkpoint the community's full protection state (invariants, discovered
+    /// procedures, net patch plan) as an encodable snapshot.
+    pub fn checkpoint(&mut self) -> cv_fleet::Snapshot {
+        self.fleet.checkpoint()
     }
 
     /// Number of community members.
@@ -173,6 +215,28 @@ impl Community {
                             node: *node,
                             location: *location,
                             observations: *observations,
+                        });
+                    }
+                }
+                FleetMessage::Bootstrap {
+                    members,
+                    snapshot_bytes,
+                    ..
+                } => {
+                    for _ in 0..*members {
+                        self.log.push(Message::StateSync {
+                            bytes: *snapshot_bytes,
+                        });
+                    }
+                }
+                FleetMessage::DeltaSync {
+                    members,
+                    delta_bytes,
+                    ..
+                } => {
+                    for _ in 0..*members {
+                        self.log.push(Message::StateSync {
+                            bytes: *delta_bytes,
                         });
                     }
                 }

@@ -62,6 +62,13 @@ pub enum Message {
         /// The failure the repair addressed.
         location: Addr,
     },
+    /// The console brought one member to the current protection state from a
+    /// snapshot or delta (the durability plane) instead of replaying the protocol.
+    StateSync {
+        /// Encoded snapshot/delta bytes that crossed the wire (shared by every
+        /// member synced in the same batch).
+        bytes: u64,
+    },
 }
 
 impl Message {
@@ -74,7 +81,7 @@ impl Message {
             | Message::ChecksRemoved { location }
             | Message::RepairDistributed { location, .. }
             | Message::RepairRemoved { location } => Some(*location),
-            Message::InvariantUpload { .. } => None,
+            Message::InvariantUpload { .. } | Message::StateSync { .. } => None,
         }
     }
 }

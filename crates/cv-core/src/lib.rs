@@ -34,8 +34,8 @@ pub use config::ClearViewConfig;
 pub use correlate::{candidate_invariants, classify, CandidateSet, Correlation};
 pub use evaluate::{RepairEvaluator, RepairScore};
 pub use manager::{
-    DigestRouter, FailureEvent, PatchPlan, PlanOp, ResponderShard, RoutedDigest, ShardBucket,
-    ShardOutcome, SourceId,
+    DigestRouter, FailureEvent, NetPatchState, PatchPlan, PlanOp, ResponderShard, RoutedDigest,
+    ShardBucket, ShardOutcome, SourceId,
 };
 pub use pipeline::{
     checks_for, learn_model, AttackTimeline, PresentationOutcome, ProtectedApplication,

@@ -80,30 +80,30 @@ impl ShardBucket {
 ///
 /// Routing is stateless and deterministic — the same batch always produces the same
 /// buckets, and each bucket preserves the batch order of its entries. The location →
-/// shard map is [`InvariantDatabase::shard_of`]'s multiplicative hash (the same
-/// partition the sharded invariant store uses), so consecutive code addresses spread
-/// across shards.
+/// shard map is the shared [`cv_inference::ShardRouter`] (the same partition the
+/// sharded invariant store and the snapshot plane use), so consecutive code addresses
+/// spread across shards and no plane can desync from another.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DigestRouter {
-    shard_count: usize,
+    router: cv_inference::ShardRouter,
 }
 
 impl DigestRouter {
     /// A router over `shard_count` shards (at least 1).
     pub fn new(shard_count: usize) -> Self {
         DigestRouter {
-            shard_count: shard_count.max(1),
+            router: cv_inference::ShardRouter::new(shard_count),
         }
     }
 
     /// Number of shards routed to.
     pub fn shard_count(&self) -> usize {
-        self.shard_count
+        self.router.shard_count()
     }
 
     /// The shard owning `location`.
     pub fn shard_of(&self, location: Addr) -> usize {
-        cv_inference::InvariantDatabase::shard_of(location, self.shard_count)
+        self.router.shard_of(location)
     }
 
     /// Partition one batch into per-shard buckets, preserving batch order within
@@ -113,7 +113,7 @@ impl DigestRouter {
         digests: impl IntoIterator<Item = RoutedDigest>,
         failures: impl IntoIterator<Item = FailureEvent>,
     ) -> Vec<ShardBucket> {
-        let mut buckets: Vec<ShardBucket> = (0..self.shard_count)
+        let mut buckets: Vec<ShardBucket> = (0..self.shard_count())
             .map(|_| ShardBucket::default())
             .collect();
         for digest in digests {
@@ -207,6 +207,98 @@ impl PatchPlan {
     }
 }
 
+/// The *net* patch configuration of the fleet: what is actually installed on every
+/// member once all pushed plans have been applied, folded location by location.
+///
+/// The console log records plans as an op *history*; replaying it from epoch zero
+/// reproduces member state but grows without bound. `NetPatchState` is the compact
+/// fixed point: fold every pushed plan with [`NetPatchState::apply`], and
+/// [`NetPatchState::to_plan`] emits the minimal plan that brings a fresh member to
+/// the current configuration — the payload of a snapshot's PLAN section and of the
+/// fleet's `Bootstrap` message.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetPatchState {
+    checks: BTreeMap<Addr, Vec<cv_patch::CheckPatch>>,
+    repairs: BTreeMap<Addr, cv_patch::RepairPatch>,
+}
+
+impl NetPatchState {
+    /// An empty configuration (a fresh member).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one pushed plan into the net state, mirroring exactly what members do
+    /// when they apply the plan.
+    pub fn apply(&mut self, plan: &PatchPlan) {
+        for op in plan.ops() {
+            match &op.directive {
+                Directive::InstallChecks(checks) => {
+                    self.checks.insert(op.location, checks.clone());
+                }
+                Directive::RemoveChecks => {
+                    self.checks.remove(&op.location);
+                }
+                Directive::InstallRepair(repair) => {
+                    self.repairs.insert(op.location, repair.clone());
+                }
+                Directive::RemoveRepair => {
+                    self.repairs.remove(&op.location);
+                }
+            }
+        }
+    }
+
+    /// The minimal plan bringing a fresh member to this configuration: per location
+    /// (ascending), `InstallChecks` then `InstallRepair` for whatever is installed.
+    pub fn to_plan(&self) -> PatchPlan {
+        let mut plan = PatchPlan::new();
+        let locations: BTreeSet<Addr> = self
+            .checks
+            .keys()
+            .chain(self.repairs.keys())
+            .copied()
+            .collect();
+        for loc in locations {
+            if let Some(checks) = self.checks.get(&loc) {
+                plan.push(loc, Directive::InstallChecks(checks.clone()));
+            }
+            if let Some(repair) = self.repairs.get(&loc) {
+                plan.push(loc, Directive::InstallRepair(repair.clone()));
+            }
+        }
+        plan
+    }
+
+    /// The subset of [`NetPatchState::to_plan`] that is durable across a restart:
+    /// the validated repairs. Checking patches are scaffolding for an *in-flight*
+    /// response whose responder state (observation history) is deliberately not
+    /// persisted — after a warm start the next failure report simply restarts that
+    /// response, while every repaired location stays repaired.
+    pub fn repair_plan(&self) -> PatchPlan {
+        let mut plan = PatchPlan::new();
+        for (loc, repair) in &self.repairs {
+            plan.push(*loc, Directive::InstallRepair(repair.clone()));
+        }
+        plan
+    }
+
+    /// The installed repairs, in ascending location order.
+    pub fn repairs(&self) -> impl Iterator<Item = (Addr, &cv_patch::RepairPatch)> {
+        self.repairs.iter().map(|(a, r)| (*a, r))
+    }
+
+    /// The installed checking patches, in ascending location order.
+    pub fn checks(&self) -> impl Iterator<Item = (Addr, &[cv_patch::CheckPatch])> {
+        self.checks.iter().map(|(a, c)| (*a, c.as_slice()))
+    }
+
+    /// True if nothing is installed.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty() && self.repairs.is_empty()
+    }
+}
+
 /// What one shard decided while processing its bucket.
 #[derive(Debug, Clone, Default)]
 pub struct ShardOutcome {
@@ -272,6 +364,24 @@ impl ResponderShard {
     /// The responders, in ascending location order.
     pub fn responders(&self) -> impl Iterator<Item = (Addr, &FailureResponder)> {
         self.responders.iter().map(|(a, r)| (*a, r))
+    }
+
+    /// Adopt a responder reconstructed outside the normal failure path — the
+    /// warm-start restore installs a [`FailureResponder::restored`] (already
+    /// Protected, with its validated repair) for every repaired location of a
+    /// snapshot. Every `source` in `reporters` is enrolled so unattributed outcomes
+    /// from those members keep feeding the adopted responder's evaluation.
+    pub fn adopt(
+        &mut self,
+        location: Addr,
+        responder: FailureResponder,
+        reporters: impl IntoIterator<Item = SourceId>,
+    ) {
+        self.responders.insert(location, responder);
+        self.reporters
+            .entry(location)
+            .or_default()
+            .extend(reporters);
     }
 
     /// Process one bucket: feed each digest to its responder (in bucket order) and

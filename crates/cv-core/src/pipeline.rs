@@ -14,7 +14,9 @@
 //! manager-parity tests prove both produce identical decisions.
 
 use crate::config::ClearViewConfig;
-use crate::manager::{DigestRouter, FailureEvent, PatchPlan, ResponderShard, RoutedDigest};
+use crate::manager::{
+    DigestRouter, FailureEvent, NetPatchState, PatchPlan, ResponderShard, RoutedDigest,
+};
 use crate::responder::{DigestStatus, Directive, FailureResponder, Phase, RepairReport, RunDigest};
 use cv_inference::{Invariant, LearnedModel, LearningFrontend};
 use cv_isa::{Addr, BinaryImage, Word};
@@ -204,6 +206,9 @@ pub struct ProtectedApplication {
     router: DigestRouter,
     shard: ResponderShard,
     slots: BTreeMap<Addr, PatchSlot>,
+    /// The net patch configuration installed on this machine — the durable state a
+    /// checkpoint captures (see [`ProtectedApplication::checkpoint_plan`]).
+    net: NetPatchState,
 }
 
 impl ProtectedApplication {
@@ -228,7 +233,51 @@ impl ProtectedApplication {
             router: DigestRouter::new(1),
             shard: ResponderShard::new(),
             slots: BTreeMap::new(),
+            net: NetPatchState::new(),
         }
+    }
+
+    /// Warm-start an application from a previously checkpointed protection state:
+    /// the learned `model` plus the net patch `plan` of a checkpoint
+    /// ([`ProtectedApplication::checkpoint_plan`], typically decoded from a
+    /// `cv-store` snapshot). Every validated repair is reinstalled and its responder
+    /// adopted directly in [`Phase::Protected`] — zero learning replay, zero
+    /// re-checking. In-flight checking patches are dropped: the next failure report
+    /// at such a location simply restarts that response.
+    pub fn restore(
+        image: BinaryImage,
+        model: LearnedModel,
+        config: ClearViewConfig,
+        monitors: MonitorConfig,
+        plan: &PatchPlan,
+    ) -> Self {
+        let mut app = Self::with_monitors(image, model, config, monitors);
+        let mut net = NetPatchState::new();
+        net.apply(plan);
+        for (loc, repair) in net.repairs() {
+            let handle = install_hooks(&mut app.env, repair.build_hooks());
+            let mut slot = PatchSlot::new(AttackTimeline::new(loc));
+            slot.repair = Some(handle);
+            app.slots.insert(loc, slot);
+            app.shard.adopt(
+                loc,
+                FailureResponder::restored(loc, repair.clone(), config),
+                [0],
+            );
+        }
+        app.net.apply(&net.repair_plan());
+        app
+    }
+
+    /// The minimal patch plan that brings a fresh instance to this one's installed
+    /// configuration — the durable protection state a checkpoint captures.
+    pub fn checkpoint_plan(&self) -> PatchPlan {
+        self.net.to_plan()
+    }
+
+    /// The net patch configuration currently installed.
+    pub fn net_state(&self) -> &NetPatchState {
+        &self.net
     }
 
     /// The learned model in use.
@@ -411,6 +460,7 @@ impl ProtectedApplication {
 
     /// Apply a manager patch plan to this application, with Table 3 time accounting.
     fn apply_plan(&mut self, plan: &PatchPlan) {
+        self.net.apply(plan);
         for op in plan.ops() {
             let loc = op.location;
             let costs = self.config.patch_costs;

@@ -181,6 +181,42 @@ impl FailureResponder {
         )
     }
 
+    /// Reconstruct a responder for a failure whose repair already survived
+    /// community-wide evaluation — the warm-start path of the snapshot plane.
+    ///
+    /// The responder starts in [`Phase::Protected`] with `repair` installed and
+    /// credited one evaluation success (the success that validated it before the
+    /// checkpoint). Observation history and checking state are deliberately not
+    /// reconstructed: they belong to in-flight responses, which restart from the
+    /// next failure report. Evaluation continues normally — if the restored repair
+    /// later fails, the responder degrades exactly like a live one (with no
+    /// alternative candidates it gives up and emits `RemoveRepair`).
+    pub fn restored(location: Addr, repair: RepairPatch, config: ClearViewConfig) -> Self {
+        let mut evaluator = RepairEvaluator::new(
+            vec![crate::repairgen::RepairCandidate {
+                correlation: Correlation::Highly,
+                stack_rank: 0,
+                check_addr: repair.check_addr(),
+                repair,
+            }],
+            config.untried_bonus,
+        );
+        evaluator.record_success(0);
+        FailureResponder {
+            failure_location: location,
+            config,
+            candidates: CandidateSet::default(),
+            phase: Phase::Protected,
+            failing_runs_with_checks: 0,
+            observations_per_failure: HashMap::new(),
+            classifications: HashMap::new(),
+            evaluator,
+            active_repair: Some(0),
+            failures_observed: 0,
+            unsuccessful_repair_runs: 0,
+        }
+    }
+
     /// The candidate correlated invariants selected for this failure.
     pub fn candidates(&self) -> &CandidateSet {
         &self.candidates

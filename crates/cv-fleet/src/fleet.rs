@@ -29,12 +29,13 @@ use crate::protocol::{BatchLog, FleetMessage, NodeId, Presentation};
 use crate::scheduler::EpochScheduler;
 use crate::shard::ShardedInvariantStore;
 use cv_core::{
-    ClearViewConfig, DigestRouter, FailureEvent, PatchPlan, Phase, RepairReport, ResponderShard,
-    RoutedDigest, ShardBucket, ShardOutcome,
+    ClearViewConfig, DigestRouter, FailureEvent, FailureResponder, NetPatchState, PatchPlan, Phase,
+    RepairReport, ResponderShard, RoutedDigest, ShardBucket, ShardOutcome,
 };
 use cv_inference::{InvariantDatabase, LearnedModel, ProcedureDatabase};
 use cv_isa::{Addr, BinaryImage, Word};
 use cv_runtime::{MonitorConfig, RunStatus};
+use cv_store::{DeltaSnapshot, Snapshot};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -159,6 +160,36 @@ pub struct Fleet {
     log: BatchLog,
     metrics: FleetMetrics,
     epoch: u64,
+    /// The net patch configuration every synced member holds (all pushed plans,
+    /// folded) — the durable state a checkpoint captures.
+    net: NetPatchState,
+    /// Per-member sync flags. A member is *synced* when its patch configuration is
+    /// the fleet's current net configuration; digests from unsynced members (cold
+    /// joiners, members that missed pushes) are dropped before routing — they ran
+    /// under a stale configuration, the membership-level analogue of the mid-batch
+    /// reconfiguration rule.
+    synced: Vec<bool>,
+    /// Members whose sync epoch is awaiting their first completed presentation
+    /// (the late-joiner time-to-immunity measurement).
+    joiners: BTreeMap<NodeId, u64>,
+    /// The coordinator's current snapshot, encoded size included, memoized per
+    /// epoch (cut once, served to every joiner and delta of the epoch).
+    snapshot_cache: Option<CachedSnapshot>,
+    /// The most recent delta's encoded size, keyed by (base epoch, target epoch)
+    /// — a churn wave rejoins many members against one checkpoint.
+    delta_cache: Option<CachedDelta>,
+}
+
+struct CachedSnapshot {
+    epoch: u64,
+    snapshot: Snapshot,
+    encoded_bytes: u64,
+}
+
+struct CachedDelta {
+    base_epoch: u64,
+    target_epoch: u64,
+    encoded_bytes: u64,
 }
 
 impl Fleet {
@@ -200,7 +231,55 @@ impl Fleet {
             log: BatchLog::new(),
             metrics: FleetMetrics::with_manager_shards(manager_shard_count),
             epoch: 0,
+            net: NetPatchState::new(),
+            synced: vec![true; fleet_config.node_count.max(1)],
+            joiners: BTreeMap::new(),
+            snapshot_cache: None,
+            delta_cache: None,
         }
+    }
+
+    /// Warm-start a whole fleet from a checkpoint: the learned model is restored
+    /// from the snapshot (invariants verbatim, procedure CFGs re-discovered from
+    /// the image), every member is bootstrapped with the snapshot's validated
+    /// repairs, and a Protected responder is adopted per repaired location — zero
+    /// learning-mode replay, zero re-checking. In-flight checking state is
+    /// dropped; the next failure report at such a location restarts that response.
+    pub fn from_snapshot(
+        image: BinaryImage,
+        config: ClearViewConfig,
+        fleet_config: FleetConfig,
+        snapshot: &Snapshot,
+    ) -> Self {
+        let mut fleet = Fleet::new(image.clone(), config, fleet_config);
+        fleet.model = snapshot.restore_model(image);
+        fleet.store = ShardedInvariantStore::from_database(
+            fleet.model.invariants.clone(),
+            fleet.store.shard_count(),
+        );
+        let bootstrap = snapshot.bootstrap_plan();
+        fleet.scheduler.apply_plan(&bootstrap);
+        for op in bootstrap.ops() {
+            if let cv_core::Directive::InstallRepair(repair) = &op.directive {
+                let shard = fleet.router.shard_of(op.location);
+                fleet.manager_shards[shard].adopt(
+                    op.location,
+                    FailureResponder::restored(op.location, repair.clone(), config),
+                    std::iter::empty(),
+                );
+            }
+        }
+        fleet.net.apply(&bootstrap);
+        fleet.epoch = snapshot.epoch;
+        let snapshot_bytes = snapshot.encode().len() as u64;
+        fleet.metrics.record_bootstrap(snapshot_bytes);
+        fleet.log.push(FleetMessage::Bootstrap {
+            epoch: snapshot.epoch,
+            members: fleet.node_count(),
+            snapshot_bytes,
+            plan_ops: bootstrap.len(),
+        });
+        fleet
     }
 
     /// Number of community members.
@@ -248,6 +327,214 @@ impl Fleet {
         self.epoch
     }
 
+    /// Members currently up (node ids are never reused, so this can be less than
+    /// [`Fleet::node_count`] under churn).
+    pub fn alive_count(&self) -> usize {
+        self.scheduler.alive_count()
+    }
+
+    /// True if `node` is up.
+    pub fn is_member_alive(&self, node: NodeId) -> bool {
+        self.scheduler.is_alive(node)
+    }
+
+    /// True if `node`'s patch configuration is the fleet's current net
+    /// configuration (digests from unsynced members are dropped before routing).
+    pub fn is_member_synced(&self, node: NodeId) -> bool {
+        self.synced[node]
+    }
+
+    /// The net patch configuration every synced member holds.
+    pub fn net_state(&self) -> &NetPatchState {
+        &self.net
+    }
+
+    /// Memoize the coordinator's current snapshot for this epoch.
+    fn refresh_snapshot_cache(&mut self) {
+        if self.snapshot_cache.as_ref().map(|c| c.epoch) != Some(self.epoch) {
+            let snapshot = Snapshot::capture(
+                self.epoch,
+                self.store.shard_count() as u32,
+                &self.model,
+                &self.net,
+            );
+            let encoded_bytes = snapshot.encode().len() as u64;
+            self.snapshot_cache = Some(CachedSnapshot {
+                epoch: self.epoch,
+                snapshot,
+                encoded_bytes,
+            });
+        }
+    }
+
+    /// Checkpoint the full protection state: the community invariant database, the
+    /// procedure-discovery state, and the net patch plan, as an encodable
+    /// [`Snapshot`]. The snapshot is cut once per epoch and memoized — every
+    /// joiner and delta of the same epoch shares it.
+    pub fn checkpoint(&mut self) -> Snapshot {
+        self.refresh_snapshot_cache();
+        let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
+        self.metrics.record_snapshot(cache.encoded_bytes);
+        cache.snapshot.clone()
+    }
+
+    /// The shard-keyed delta advancing `base` (a member's last checkpoint) to the
+    /// coordinator's current state — strictly smaller than a full snapshot when
+    /// little has changed.
+    pub fn delta_since(&mut self, base: &Snapshot) -> DeltaSnapshot {
+        self.refresh_snapshot_cache();
+        let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
+        DeltaSnapshot::diff(base, &cache.snapshot)
+    }
+
+    /// Encoded size of the delta from `base` to the current state, memoized like
+    /// the snapshot itself: a churn wave rejoins many members against the *same*
+    /// checkpoint, and the delta is identical for all of them — diffing and
+    /// re-encoding it per member would be O(members × database) for byte-identical
+    /// results. Coordinator checkpoints are identified by their epoch (one cut per
+    /// epoch, see [`Fleet::refresh_snapshot_cache`]), so (base epoch, current
+    /// epoch) keys the memo.
+    fn delta_bytes_since(&mut self, base: &Snapshot) -> u64 {
+        let target_epoch = self.epoch;
+        if let Some(cached) = &self.delta_cache {
+            if cached.base_epoch == base.epoch && cached.target_epoch == target_epoch {
+                return cached.encoded_bytes;
+            }
+        }
+        let delta = {
+            let cache = self
+                .snapshot_cache
+                .as_ref()
+                .expect("cache refreshed by caller");
+            DeltaSnapshot::diff(base, &cache.snapshot)
+        };
+        let encoded_bytes = delta.encode().len() as u64;
+        debug_assert!(
+            {
+                let mut advanced = base.clone();
+                advanced.apply_delta(&delta).is_ok()
+                    && Some(&advanced) == self.snapshot_cache.as_ref().map(|c| &c.snapshot)
+            },
+            "base + delta must reproduce the coordinator's state"
+        );
+        self.delta_cache = Some(CachedDelta {
+            base_epoch: base.epoch,
+            target_epoch,
+            encoded_bytes,
+        });
+        encoded_bytes
+    }
+
+    /// A brand-new member joins with **no** state transfer: it is alive but
+    /// unsynced (its digests are dropped, it holds no patches) until
+    /// [`Fleet::resync_member`] bootstraps it. This is the no-durability baseline
+    /// the cold-vs-warm experiments measure.
+    pub fn join_member_cold(&mut self) -> NodeId {
+        let node = self.scheduler.join();
+        self.synced.push(false);
+        self.metrics.cold_joins += 1;
+        node
+    }
+
+    /// A brand-new member warm-starts from the coordinator's snapshot: it decodes
+    /// the current checkpoint, installs its net plan, and participates fully from
+    /// its first epoch.
+    pub fn join_member_warm(&mut self) -> NodeId {
+        self.refresh_snapshot_cache();
+        let (plan, snapshot_bytes) = {
+            let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
+            (cache.snapshot.plan.clone(), cache.encoded_bytes)
+        };
+        let node = self.scheduler.join();
+        self.synced.push(true);
+        self.scheduler.reset_and_apply(node, &plan);
+        self.metrics.warm_joins += 1;
+        self.metrics.record_bootstrap(snapshot_bytes);
+        self.joiners.insert(node, self.epoch);
+        self.log.push(FleetMessage::Bootstrap {
+            epoch: self.epoch,
+            members: 1,
+            snapshot_bytes,
+            plan_ops: plan.len(),
+        });
+        node
+    }
+
+    /// Take `node` down with total state loss (environment, patches — everything).
+    /// The member misses every push until it rejoins and re-syncs.
+    pub fn crash_member(&mut self, node: NodeId) {
+        self.scheduler.crash(node);
+        self.synced[node] = false;
+        self.joiners.remove(&node);
+        self.metrics.crashes += 1;
+    }
+
+    /// Take several members down (see [`Fleet::crash_member`]).
+    pub fn crash_members(&mut self, nodes: &[NodeId]) {
+        for &node in nodes {
+            self.crash_member(node);
+        }
+    }
+
+    /// Bring a crashed member back up. With `last_checkpoint`, the member is
+    /// advanced by a shard-keyed delta (it already holds the base state); without,
+    /// it re-downloads the full snapshot. Either way it rejoins fully synced.
+    pub fn rejoin_member(&mut self, node: NodeId, last_checkpoint: Option<&Snapshot>) {
+        self.refresh_snapshot_cache();
+        self.scheduler.rejoin(node);
+        let (plan, full_bytes) = {
+            let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
+            (cache.snapshot.plan.clone(), cache.encoded_bytes)
+        };
+        match last_checkpoint {
+            Some(base) => {
+                let delta_bytes = self.delta_bytes_since(base);
+                self.scheduler.reset_and_apply(node, &plan);
+                self.metrics.record_delta_sync(delta_bytes, full_bytes);
+                self.log.push(FleetMessage::DeltaSync {
+                    epoch: self.epoch,
+                    members: 1,
+                    base_epoch: base.epoch,
+                    delta_bytes,
+                    full_bytes,
+                });
+            }
+            None => {
+                self.scheduler.reset_and_apply(node, &plan);
+                self.metrics.record_bootstrap(full_bytes);
+                self.log.push(FleetMessage::Bootstrap {
+                    epoch: self.epoch,
+                    members: 1,
+                    snapshot_bytes: full_bytes,
+                    plan_ops: plan.len(),
+                });
+            }
+        }
+        self.metrics.rejoins += 1;
+        self.synced[node] = true;
+        self.joiners.insert(node, self.epoch);
+    }
+
+    /// Bootstrap an alive but unsynced member (a cold joiner, typically) to the
+    /// current net configuration from the coordinator's full snapshot.
+    pub fn resync_member(&mut self, node: NodeId) {
+        self.refresh_snapshot_cache();
+        let (plan, snapshot_bytes) = {
+            let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
+            (cache.snapshot.plan.clone(), cache.encoded_bytes)
+        };
+        self.scheduler.reset_and_apply(node, &plan);
+        self.synced[node] = true;
+        self.metrics.record_bootstrap(snapshot_bytes);
+        self.joiners.insert(node, self.epoch);
+        self.log.push(FleetMessage::Bootstrap {
+            epoch: self.epoch,
+            members: 1,
+            snapshot_bytes,
+            plan_ops: plan.len(),
+        });
+    }
+
     /// Maintainer-facing reports for every failure the fleet has responded to, in
     /// ascending failure-location order (regardless of which shard owns each).
     pub fn reports(&self) -> Vec<RepairReport> {
@@ -286,6 +573,8 @@ impl Fleet {
             self.store.shard_count(),
         );
         self.model = model;
+        self.snapshot_cache = None;
+        self.delta_cache = None;
     }
 
     /// Amortized parallel learning (Section 3.1): the learning pages are divided among
@@ -312,12 +601,26 @@ impl Fleet {
             uploads,
         });
         self.metrics.learning_pages += pages.len() as u64;
+        self.snapshot_cache = None;
+        self.delta_cache = None;
     }
 
     /// Execute one epoch: run `presentations` across the fleet in parallel, route
     /// the digests into per-shard manager buckets, drive the responder shards in
     /// parallel, merge their patch plans, and push the merged plan to every member.
     pub fn run_epoch(&mut self, presentations: &[Presentation]) -> EpochOutcome {
+        self.run_epoch_churn(presentations, &[])
+    }
+
+    /// [`Fleet::run_epoch`] with mid-epoch churn: the members in `kills` execute
+    /// their presentations, then crash with total state loss *before* the epoch
+    /// boundary — so they miss this epoch's patch push and rejoin desynced. This is
+    /// the failure mode the delta-sync plane exists to repair.
+    pub fn run_epoch_churn(
+        &mut self,
+        presentations: &[Presentation],
+        kills: &[NodeId],
+    ) -> EpochOutcome {
         self.epoch += 1;
         let epoch = self.epoch;
         let active: Vec<Addr> = self
@@ -330,6 +633,12 @@ impl Fleet {
         let mut records = self.scheduler.run_epoch(presentations, &active);
         let execution = execution_start.elapsed();
 
+        // Mid-epoch churn: these members ran, reported, and then died — the
+        // boundary push below will not reach them.
+        for &node in kills {
+            self.crash_member(node);
+        }
+
         let manager_start = Instant::now();
 
         // Pure routing: flatten the batch into routed digests and failure events (in
@@ -338,6 +647,18 @@ impl Fleet {
         let mut failure_events: Vec<FailureEvent> = Vec::new();
         let mut failures: Vec<(NodeId, Addr)> = Vec::new();
         for record in &mut records {
+            if matches!(record.status, RunStatus::Completed) {
+                if let Some(sync_epoch) = self.joiners.remove(&record.node) {
+                    self.metrics
+                        .record_joiner_immunity(epoch.saturating_sub(sync_epoch));
+                }
+            }
+            if !self.synced[record.node] {
+                // The member ran under a stale patch configuration (cold joiner or
+                // missed pushes): its digests are not evidence about the current
+                // patches — the membership-level mid-batch reconfiguration rule.
+                record.digests.clear();
+            }
             for (location, digest) in record.digests.drain(..) {
                 digests.push(RoutedDigest {
                     source: record.node,
@@ -388,6 +709,7 @@ impl Fleet {
             }
         }
         let plan = PatchPlan::merge(plans);
+        self.net.apply(&plan);
         let manager = manager_start.elapsed();
 
         // Batch order mirrors the seed's within-browse order as far as batching
@@ -407,13 +729,13 @@ impl Fleet {
         if !plan.is_empty() {
             self.metrics.record_patch_push(
                 plan.len() as u64,
-                self.node_count() as u64,
+                self.alive_count() as u64,
                 push_start.elapsed(),
             );
         }
         self.log.push(FleetMessage::PatchPushes {
             epoch,
-            members: self.node_count(),
+            members: self.alive_count(),
             plan,
         });
 

@@ -50,4 +50,7 @@ pub use shard::ShardedInvariantStore;
 
 // The manager-plane types live in `cv_core::manager`; re-export the ones fleet
 // callers touch so downstream code needs only this crate.
-pub use cv_core::{DigestRouter, PatchPlan, PlanOp, ResponderShard};
+pub use cv_core::{DigestRouter, NetPatchState, PatchPlan, PlanOp, ResponderShard};
+
+// The persistence-plane types fleet callers hold (member checkpoints, deltas).
+pub use cv_store::{DeltaSnapshot, Snapshot, StoreError};

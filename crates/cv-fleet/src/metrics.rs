@@ -60,6 +60,33 @@ pub struct FleetMetrics {
     pub patch_applications: u64,
     /// Learning pages traced during distributed learning.
     pub learning_pages: u64,
+    /// Checkpoints taken by the coordinator.
+    pub snapshots_taken: u64,
+    /// Encoded size of the most recent checkpoint, in bytes.
+    pub snapshot_bytes_last: u64,
+    /// Encoded bytes across all checkpoints taken.
+    pub snapshot_bytes_total: u64,
+    /// Members bootstrapped from a full snapshot (warm joins + full resyncs).
+    pub bootstraps: u64,
+    /// Snapshot bytes shipped by bootstraps.
+    pub bootstrap_bytes_total: u64,
+    /// Members advanced by a shard-keyed delta instead of a full snapshot.
+    pub delta_syncs: u64,
+    /// Delta bytes actually shipped.
+    pub delta_bytes_total: u64,
+    /// Full-snapshot bytes the deltas stood in for.
+    pub delta_full_bytes_total: u64,
+    /// Members that crashed with state loss.
+    pub crashes: u64,
+    /// Members that rejoined after a crash.
+    pub rejoins: u64,
+    /// Members that joined mid-run with no state transfer.
+    pub cold_joins: u64,
+    /// Members that joined mid-run from the coordinator's snapshot.
+    pub warm_joins: u64,
+    /// Epochs from each (re)joining member's sync to its first completed
+    /// presentation — the late-joiner time-to-immunity samples.
+    joiner_immunity_epochs: Vec<u64>,
     /// Immunity timelines per failure location.
     immunity: BTreeMap<Addr, ImmunityRecord>,
 }
@@ -123,6 +150,54 @@ impl FleetMetrics {
     pub(crate) fn record_protected(&mut self, location: Addr, epoch: u64) {
         if let Some(record) = self.immunity.get_mut(&location) {
             record.protected_epoch.get_or_insert(epoch);
+        }
+    }
+
+    /// Record one coordinator checkpoint of `bytes` encoded bytes.
+    pub(crate) fn record_snapshot(&mut self, bytes: u64) {
+        self.snapshots_taken += 1;
+        self.snapshot_bytes_last = bytes;
+        self.snapshot_bytes_total += bytes;
+    }
+
+    /// Record one member bootstrapped from a `bytes`-byte full snapshot.
+    pub(crate) fn record_bootstrap(&mut self, bytes: u64) {
+        self.bootstraps += 1;
+        self.bootstrap_bytes_total += bytes;
+    }
+
+    /// Record one member delta-synced: `delta_bytes` shipped instead of
+    /// `full_bytes`.
+    pub(crate) fn record_delta_sync(&mut self, delta_bytes: u64, full_bytes: u64) {
+        self.delta_syncs += 1;
+        self.delta_bytes_total += delta_bytes;
+        self.delta_full_bytes_total += full_bytes;
+    }
+
+    /// Record one joiner reaching its first completed presentation `epochs` epochs
+    /// after syncing.
+    pub(crate) fn record_joiner_immunity(&mut self, epochs: u64) {
+        self.joiner_immunity_epochs.push(epochs);
+    }
+
+    /// The late-joiner time-to-immunity samples (epochs from sync to first
+    /// completed presentation), in sync order.
+    pub fn joiner_immunity_epochs(&self) -> &[u64] {
+        &self.joiner_immunity_epochs
+    }
+
+    /// The worst late-joiner time-to-immunity observed, in epochs.
+    pub fn max_joiner_immunity_epochs(&self) -> Option<u64> {
+        self.joiner_immunity_epochs.iter().copied().max()
+    }
+
+    /// How many times smaller the shipped deltas were than the full snapshots they
+    /// replaced (1.0 when no delta sync has happened).
+    pub fn delta_savings(&self) -> f64 {
+        if self.delta_bytes_total == 0 || self.delta_full_bytes_total == 0 {
+            1.0
+        } else {
+            self.delta_full_bytes_total as f64 / self.delta_bytes_total as f64
         }
     }
 
@@ -227,6 +302,35 @@ impl fmt::Display for FleetMetrics {
                 None => String::new(),
             }
         )?;
+        if self.snapshots_taken > 0 || self.bootstraps > 0 || self.delta_syncs > 0 {
+            writeln!(
+                f,
+                "  durability: {} checkpoint(s) (last {} bytes), {} bootstrap(s) ({} bytes), \
+                 {} delta sync(s) ({} vs {} full bytes, {:.1}x saved)",
+                self.snapshots_taken,
+                self.snapshot_bytes_last,
+                self.bootstraps,
+                self.bootstrap_bytes_total,
+                self.delta_syncs,
+                self.delta_bytes_total,
+                self.delta_full_bytes_total,
+                self.delta_savings()
+            )?;
+        }
+        if self.crashes > 0 || self.cold_joins > 0 || self.warm_joins > 0 {
+            writeln!(
+                f,
+                "  churn: {} crash(es), {} rejoin(s), {} warm join(s), {} cold join(s){}",
+                self.crashes,
+                self.rejoins,
+                self.warm_joins,
+                self.cold_joins,
+                match self.max_joiner_immunity_epochs() {
+                    Some(max) => format!(", joiner time-to-immunity <= {max} epoch(s)"),
+                    None => String::new(),
+                }
+            )?;
+        }
         for (addr, record) in &self.immunity {
             match record.epochs_to_immunity() {
                 Some(epochs) => writeln!(

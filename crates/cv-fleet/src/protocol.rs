@@ -121,6 +121,32 @@ pub enum FleetMessage {
         /// every member).
         plan: PatchPlan,
     },
+    /// Members were brought to the current protection state from the coordinator's
+    /// full snapshot (warm start / full resync) instead of replaying learning.
+    Bootstrap {
+        /// The epoch at which the bootstrap happened.
+        epoch: u64,
+        /// How many members were bootstrapped from this snapshot.
+        members: usize,
+        /// Encoded snapshot size in bytes (one copy on the wire).
+        snapshot_bytes: u64,
+        /// Patch-plan operations installed on each bootstrapped member.
+        plan_ops: usize,
+    },
+    /// Members holding the base-epoch snapshot were advanced to the current state
+    /// by a shard-keyed delta instead of a full snapshot.
+    DeltaSync {
+        /// The epoch at which the sync happened.
+        epoch: u64,
+        /// How many members were synced from this delta.
+        members: usize,
+        /// The epoch of the checkpoint the members already held.
+        base_epoch: u64,
+        /// Encoded delta size in bytes (what actually crossed the wire).
+        delta_bytes: u64,
+        /// Encoded size of the full snapshot the delta replaced.
+        full_bytes: u64,
+    },
 }
 
 /// Flat per-event cost of one protocol event, in wire words (header + ids).
@@ -134,6 +160,8 @@ impl FleetMessage {
             FleetMessage::Failures { failures, .. } => failures.len(),
             FleetMessage::Observations { reports, .. } => reports.len(),
             FleetMessage::PatchPushes { plan, .. } => plan.len(),
+            FleetMessage::Bootstrap { members, .. } => *members,
+            FleetMessage::DeltaSync { members, .. } => *members,
         }
     }
 
@@ -151,18 +179,39 @@ impl FleetMessage {
     }
 
     /// Estimated wire size of the batch: one header plus two words per entry.
+    /// Snapshot-bearing messages carry their encoded payload once, regardless of
+    /// how many members consume it.
     pub fn batched_wire_words(&self) -> u64 {
-        EVENT_HEADER_WORDS + 2 * self.event_count() as u64
+        match self {
+            FleetMessage::Bootstrap { snapshot_bytes, .. } => {
+                EVENT_HEADER_WORDS + snapshot_bytes.div_ceil(4)
+            }
+            FleetMessage::DeltaSync { delta_bytes, .. } => {
+                EVENT_HEADER_WORDS + delta_bytes.div_ceil(4)
+            }
+            _ => EVENT_HEADER_WORDS + 2 * self.event_count() as u64,
+        }
     }
 
-    /// Estimated wire size of the same traffic sent as per-event messages (the
-    /// `cv-community` protocol): one header plus two words per event — and patch
-    /// plans additionally repeated once per receiving member.
+    /// Estimated wire size of the same traffic sent without batching or deltas (the
+    /// `cv-community` protocol): one header plus two words per event — patch plans
+    /// repeated once per receiving member, snapshots shipped in full to every
+    /// member, deltas replaced by the full snapshot they stand in for.
     pub fn unbatched_wire_words(&self) -> u64 {
         match self {
             FleetMessage::PatchPushes { plan, members, .. } => {
                 (EVENT_HEADER_WORDS + 2) * plan.len() as u64 * (*members).max(1) as u64
             }
+            FleetMessage::Bootstrap {
+                members,
+                snapshot_bytes,
+                ..
+            } => (EVENT_HEADER_WORDS + snapshot_bytes.div_ceil(4)) * (*members).max(1) as u64,
+            FleetMessage::DeltaSync {
+                members,
+                full_bytes,
+                ..
+            } => (EVENT_HEADER_WORDS + full_bytes.div_ceil(4)) * (*members).max(1) as u64,
             _ => (EVENT_HEADER_WORDS + 2) * self.event_count() as u64,
         }
     }

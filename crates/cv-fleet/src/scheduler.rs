@@ -36,6 +36,24 @@ struct MemberState {
     id: NodeId,
     env: ManagedExecutionEnvironment,
     patches: BTreeMap<Addr, NodePatchState>,
+    /// False while the member is down (crashed with state loss, not yet rejoined).
+    /// Down members receive no presentations, no patch pushes, and no learning
+    /// shares — rejoining is what re-synchronizes them (the delta-sync plane).
+    alive: bool,
+}
+
+impl MemberState {
+    fn fresh(id: NodeId, image: &BinaryImage, monitors: MonitorConfig) -> Self {
+        MemberState {
+            id,
+            env: ManagedExecutionEnvironment::new(
+                image.clone(),
+                EnvConfig::with_monitors(monitors),
+            ),
+            patches: BTreeMap::new(),
+            alive: true,
+        }
+    }
 }
 
 /// The outcome of one page presentation, as collected by a worker.
@@ -60,6 +78,12 @@ pub struct EpochScheduler {
     workers: Vec<Vec<MemberState>>,
     node_count: usize,
     parallel: bool,
+    /// Members currently up (alive flags summed).
+    alive_count: usize,
+    /// Kept for member (re)creation under churn: joiners and rejoining members get
+    /// a fresh environment built from the same image and monitor configuration.
+    image: BinaryImage,
+    monitors: MonitorConfig,
 }
 
 impl EpochScheduler {
@@ -88,30 +112,95 @@ impl EpochScheduler {
         .clamp(1, node_count);
         let mut workers: Vec<Vec<MemberState>> = (0..worker_count).map(|_| Vec::new()).collect();
         for id in 0..node_count {
-            workers[id % worker_count].push(MemberState {
-                id,
-                env: ManagedExecutionEnvironment::new(
-                    image.clone(),
-                    EnvConfig::with_monitors(monitors),
-                ),
-                patches: BTreeMap::new(),
-            });
+            workers[id % worker_count].push(MemberState::fresh(id, image, monitors));
         }
         EpochScheduler {
             workers,
             node_count,
             parallel,
+            alive_count: node_count,
+            image: image.clone(),
+            monitors,
         }
     }
 
-    /// Number of members.
+    /// Number of members (including down ones — member ids are never reused).
     pub fn node_count(&self) -> usize {
         self.node_count
+    }
+
+    /// Number of members currently up.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// True if `node` is up.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.member(node).alive
     }
 
     /// Number of workers.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    fn member(&self, node: NodeId) -> &MemberState {
+        assert!(node < self.node_count, "unknown node {node}");
+        let member = &self.workers[node % self.workers.len()][node / self.workers.len()];
+        debug_assert_eq!(member.id, node);
+        member
+    }
+
+    fn member_mut(&mut self, node: NodeId) -> &mut MemberState {
+        assert!(node < self.node_count, "unknown node {node}");
+        let worker_count = self.workers.len();
+        let member = &mut self.workers[node % worker_count][node / worker_count];
+        debug_assert_eq!(member.id, node);
+        member
+    }
+
+    /// Take `node` down with total state loss: its environment (and with it every
+    /// installed patch hook) is discarded. The member stops receiving
+    /// presentations, patch pushes, and learning shares until it rejoins.
+    pub(crate) fn crash(&mut self, node: NodeId) {
+        let (image, monitors) = (self.image.clone(), self.monitors);
+        let member = self.member_mut(node);
+        assert!(member.alive, "node {node} is already down");
+        *member = MemberState::fresh(node, &image, monitors);
+        member.alive = false;
+        self.alive_count -= 1;
+    }
+
+    /// Bring a down member back up with a fresh environment and no patches — the
+    /// caller is responsible for re-synchronizing it (bootstrap / delta sync).
+    pub(crate) fn rejoin(&mut self, node: NodeId) {
+        let member = self.member_mut(node);
+        assert!(!member.alive, "node {node} is already up");
+        member.alive = true;
+        self.alive_count += 1;
+    }
+
+    /// Add a brand-new member (fresh environment, no patches) and return its id.
+    /// Ids are append-only, so the round-robin worker partition stays valid.
+    pub(crate) fn join(&mut self) -> NodeId {
+        let id = self.node_count;
+        let worker = id % self.workers.len();
+        let member = MemberState::fresh(id, &self.image, self.monitors);
+        self.workers[worker].push(member);
+        self.node_count += 1;
+        self.alive_count += 1;
+        id
+    }
+
+    /// Reset one member to a fresh environment and install `plan` on it — the
+    /// bootstrap primitive. Resetting first guarantees no stale hook survives under
+    /// the new configuration (the member may have missed pushes while desynced).
+    pub(crate) fn reset_and_apply(&mut self, node: NodeId, plan: &PatchPlan) {
+        let (image, monitors) = (self.image.clone(), self.monitors);
+        let member = self.member_mut(node);
+        assert!(member.alive, "node {node} is down");
+        *member = MemberState::fresh(node, &image, monitors);
+        apply_plan_to_members(std::slice::from_mut(member), plan);
     }
 
     /// Execute one epoch: run every presentation on its member, collecting one
@@ -225,6 +314,11 @@ fn run_worker(
         .map(|(seq, presentation)| {
             let member = &mut members[presentation.node / worker_count];
             debug_assert_eq!(member.id, presentation.node);
+            assert!(
+                member.alive,
+                "presentation scheduled for down member {}",
+                member.id
+            );
             member.env.flush_cache();
             let result = member.env.run(&presentation.page);
             let status = match &result.status {
@@ -273,9 +367,14 @@ fn build_digest(
     digest
 }
 
-/// Apply every operation of a patch plan to every member of one worker.
+/// Apply every operation of a patch plan to every up member of one worker. Down
+/// members are skipped — they re-synchronize through the bootstrap / delta-sync
+/// path when they rejoin.
 fn apply_plan_to_members(members: &mut [MemberState], plan: &PatchPlan) {
     for member in members {
+        if !member.alive {
+            continue;
+        }
         for op in plan.ops() {
             let state = member.patches.entry(op.location).or_default();
             match &op.directive {
@@ -316,6 +415,7 @@ fn learn_on_members(
 ) -> Vec<(NodeId, LearnedModel)> {
     members
         .iter_mut()
+        .filter(|member| member.alive)
         .map(|member| {
             let mut frontend = LearningFrontend::new(image.clone());
             for page in pages.iter().skip(member.id).step_by(node_count) {

@@ -297,6 +297,37 @@ impl ProcedureDatabase {
         self.observe_block(target)
     }
 
+    /// Discover the procedure rooted at `entry` even when `entry` already lies
+    /// inside another procedure's CFG.
+    ///
+    /// [`ProcedureDatabase::observe_block`] deliberately skips covered blocks —
+    /// that is the dynamic-discovery rule. But replaying a *snapshot's* entry set
+    /// must reproduce every stored procedure regardless of replay order: under
+    /// procedure fission a mid-procedure block can be discovered (and become its
+    /// own procedure) before the enclosing lower-address procedure whose CFG
+    /// covers its entry, and an ascending-order replay through `observe_block`
+    /// would silently drop it. Instruction → procedure attribution for shared
+    /// instructions keeps the first discoverer, exactly like live discovery.
+    pub fn ensure_procedure(&mut self, entry: Addr) -> Option<Addr> {
+        if self.procs.contains_key(&entry) {
+            return None;
+        }
+        if !self.image.contains_code_addr(entry) {
+            return None;
+        }
+        match ProcedureCfg::discover(&self.image, entry) {
+            Ok(cfg) => {
+                for addr in cfg.instruction_addrs() {
+                    self.inst_to_proc.entry(addr).or_insert(entry);
+                }
+                self.procs.insert(entry, cfg);
+                self.discovery_events += 1;
+                Some(entry)
+            }
+            Err(_) => None,
+        }
+    }
+
     /// The entry address of the procedure containing the instruction at `addr`.
     pub fn proc_of_inst(&self, addr: Addr) -> Option<Addr> {
         self.inst_to_proc.get(&addr).copied()
@@ -499,6 +530,51 @@ mod tests {
         let (image, _) = sample_image();
         let mut db = ProcedureDatabase::new(image);
         assert_eq!(db.observe_block(0x9_0000), None);
+        assert_eq!(db.ensure_procedure(0x9_0000), None);
+    }
+
+    #[test]
+    fn ensure_procedure_recovers_fissioned_entries_in_any_replay_order() {
+        let (image, syms) = sample_image();
+
+        // Live run with procedure fission: a mid-main block (the output/halt join
+        // block) executes first and becomes its own procedure; main is discovered
+        // later and its CFG covers that block's entry.
+        let mut live = ProcedureDatabase::new(image.clone());
+        let join_block = {
+            let probe = ProcedureCfg::discover(&image, syms["main"]).unwrap();
+            probe
+                .blocks
+                .values()
+                .find(|b| b.insts.iter().any(|i| matches!(i.inst, Inst::Out { .. })))
+                .unwrap()
+                .start
+        };
+        assert_ne!(join_block, syms["main"]);
+        assert_eq!(live.observe_block(join_block), Some(join_block));
+        assert_eq!(live.observe_block(syms["main"]), Some(syms["main"]));
+        let live_entries: Vec<Addr> = live.procedures().map(|p| p.entry).collect();
+        assert!(live_entries.contains(&join_block));
+        assert!(live_entries.contains(&syms["main"]));
+
+        // An ascending-order replay through observe_block would drop the inner
+        // procedure (main's CFG covers its entry)...
+        let mut naive = ProcedureDatabase::new(image.clone());
+        for &entry in &live_entries {
+            naive.observe_block(entry);
+        }
+        assert!(
+            naive.len() < live.len(),
+            "the naive replay loses a procedure"
+        );
+
+        // ...but ensure_procedure reproduces the exact entry set.
+        let mut restored = ProcedureDatabase::new(image);
+        for &entry in &live_entries {
+            restored.ensure_procedure(entry);
+        }
+        let restored_entries: Vec<Addr> = restored.procedures().map(|p| p.entry).collect();
+        assert_eq!(restored_entries, live_entries);
     }
 
     #[test]

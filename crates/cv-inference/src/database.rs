@@ -154,6 +154,23 @@ impl InvariantDatabase {
         self.by_addr.keys().copied()
     }
 
+    /// Iterate over `(check address, invariants)` entries in ascending address order
+    /// — the canonical order the snapshot codec and delta differ consume.
+    pub fn entries(&self) -> impl Iterator<Item = (Addr, &[Invariant])> + '_ {
+        self.by_addr.iter().map(|(a, v)| (*a, v.as_slice()))
+    }
+
+    /// Replace the invariants stored at `addr` wholesale (an empty vector removes
+    /// the entry). The delta-sync apply path uses this to install changed entries;
+    /// callers must [`InvariantDatabase::recount`] once the batch is applied.
+    pub fn set_entry(&mut self, addr: Addr, invs: Vec<Invariant>) {
+        if invs.is_empty() {
+            self.by_addr.remove(&addr);
+        } else {
+            self.by_addr.insert(addr, invs);
+        }
+    }
+
     /// The learned stack-pointer offset at instruction `at` for the procedure entered at
     /// `proc_entry`, if a unique one was observed. Used by return-from-procedure repairs.
     pub fn sp_offset(&self, proc_entry: Addr, at: Addr) -> Option<i32> {
@@ -261,14 +278,12 @@ impl InvariantDatabase {
 
     /// The shard (of `shard_count`) that owns check address `addr`.
     ///
-    /// Fibonacci multiplicative hashing spreads the consecutive instruction addresses
-    /// of hot procedures across shards instead of clustering them. The high half of
-    /// the product feeds the modulus — the low bits of `addr * K mod 2^k` would just
-    /// relabel `addr mod 2^k` for power-of-two shard counts (the common case).
+    /// Delegates to [`ShardRouter`](crate::ShardRouter) — the one shard-routing
+    /// implementation the sharded store, the manager plane, and the snapshot/delta
+    /// persistence plane all share, so a shard-count or hash change cannot desync
+    /// snapshots from the live store.
     pub fn shard_of(addr: Addr, shard_count: usize) -> usize {
-        assert!(shard_count > 0, "shard_count must be positive");
-        let hashed = (addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        (hashed % shard_count as u64) as usize
+        crate::ShardRouter::route(addr, shard_count)
     }
 
     /// Split this database into `shard_count` disjoint databases partitioned by

@@ -34,6 +34,7 @@ mod frontend;
 mod intern;
 mod invariant;
 mod reference;
+mod route;
 mod variable;
 
 pub use cfg::{CfgBlock, ProcedureCfg, ProcedureDatabase};
@@ -41,4 +42,5 @@ pub use database::{InvariantDatabase, LearningStats};
 pub use frontend::{LearnedModel, LearningFrontend};
 pub use invariant::{Invariant, ONE_OF_LIMIT};
 pub use reference::ReferenceFrontend;
+pub use route::ShardRouter;
 pub use variable::{VarSlot, Variable};

@@ -1,0 +1,392 @@
+//! Delta snapshots: what changed between two checkpoints, keyed by (epoch, shard).
+//!
+//! A member that already holds the epoch-`B` snapshot should not re-download the
+//! whole state to reach epoch `T`; it needs only the entries that changed. A
+//! [`DeltaSnapshot`] carries exactly that: per *store shard*, the check-address
+//! entries that were added or modified between the base and target epochs; plus the
+//! addresses whose entries disappeared, the target's learning counters, newly
+//! discovered procedures, and the target's net patch plan.
+//!
+//! The shard keying uses the **same** [`ShardRouter`] as the live
+//! `ShardedInvariantStore` and the manager plane — the delta's section table is
+//! literally keyed by `SHARD_SECTION_BASE + shard`, and
+//! [`Snapshot::apply_delta`](crate::Snapshot::apply_delta) re-validates every
+//! entry's routing on apply, so a shard-count or hash change can never silently
+//! scatter entries across the wrong shards.
+
+use crate::codec;
+use crate::error::StoreError;
+use crate::snapshot::{Snapshot, SECTION_PLAN};
+use crate::wire::{read_container, require_section, write_container, Reader, Writer};
+use cv_core::PatchPlan;
+use cv_inference::{Invariant, LearningStats, ShardRouter};
+use cv_isa::Addr;
+use std::collections::BTreeMap;
+
+/// Magic bytes opening a delta container.
+pub const DELTA_MAGIC: [u8; 4] = *b"CVDL";
+
+/// Section id of the delta META section.
+pub const SECTION_DELTA_META: u32 = 16;
+/// Section id of the removed-addresses section.
+pub const SECTION_REMOVED: u32 = 17;
+/// Section id of the target learning-counter section.
+pub const SECTION_STATS: u32 = 18;
+/// Section id of the newly discovered procedure entries.
+pub const SECTION_PROCS_ADDED: u32 = 19;
+/// Per-shard entry sections use id `SHARD_SECTION_BASE + shard`.
+pub const SHARD_SECTION_BASE: u32 = 0x100;
+
+/// The changed entries owned by one store shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardDelta {
+    /// The shard index (under the snapshot's [`ShardRouter`]).
+    pub shard: u32,
+    /// Added or modified `(check address, invariants)` entries, ascending.
+    pub entries: Vec<(Addr, Vec<Invariant>)>,
+}
+
+/// Everything that changed between a base snapshot and a target snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaSnapshot {
+    /// The epoch of the snapshot this delta was cut against.
+    pub base_epoch: u64,
+    /// The epoch the delta advances to.
+    pub target_epoch: u64,
+    /// The shard count both snapshots share.
+    pub shard_count: u32,
+    /// Addresses whose entries were dropped between base and target.
+    pub removed: Vec<Addr>,
+    /// Dirty shards only, ascending shard index.
+    pub shards: Vec<ShardDelta>,
+    /// The target's learning counters (replace the base's wholesale).
+    pub stats: LearningStats,
+    /// Procedure entries discovered since the base.
+    pub procs_added: Vec<Addr>,
+    /// The target's net patch plan (replaces the base's).
+    pub plan: PatchPlan,
+}
+
+impl DeltaSnapshot {
+    /// Diff two snapshots. Panics if their shard counts differ — a delta only makes
+    /// sense under one routing.
+    pub fn diff(base: &Snapshot, target: &Snapshot) -> DeltaSnapshot {
+        assert_eq!(
+            base.shard_count, target.shard_count,
+            "snapshots must share one shard routing"
+        );
+        let router = ShardRouter::new(target.shard_count as usize);
+
+        let base_entries: BTreeMap<Addr, &[Invariant]> = base.invariants.entries().collect();
+        let mut removed: Vec<Addr> = Vec::new();
+        let mut dirty: BTreeMap<u32, Vec<(Addr, Vec<Invariant>)>> = BTreeMap::new();
+        let mut target_addrs: std::collections::BTreeSet<Addr> = Default::default();
+        for (addr, invs) in target.invariants.entries() {
+            target_addrs.insert(addr);
+            if base_entries.get(&addr).copied() != Some(invs) {
+                dirty
+                    .entry(router.shard_of(addr) as u32)
+                    .or_default()
+                    .push((addr, invs.to_vec()));
+            }
+        }
+        for addr in base_entries.keys() {
+            if !target_addrs.contains(addr) {
+                removed.push(*addr);
+            }
+        }
+
+        let base_procs: std::collections::BTreeSet<Addr> =
+            base.procedures.iter().copied().collect();
+        let procs_added = target
+            .procedures
+            .iter()
+            .copied()
+            .filter(|p| !base_procs.contains(p))
+            .collect();
+
+        DeltaSnapshot {
+            base_epoch: base.epoch,
+            target_epoch: target.epoch,
+            shard_count: target.shard_count,
+            removed,
+            shards: dirty
+                .into_iter()
+                .map(|(shard, entries)| ShardDelta { shard, entries })
+                .collect(),
+            stats: target.invariants.stats,
+            procs_added,
+            plan: target.plan.clone(),
+        }
+    }
+
+    /// Number of added-or-modified entries across all dirty shards.
+    pub fn changed_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// True if base and target states are identical (only the epoch advances).
+    pub fn is_identity(&self) -> bool {
+        self.removed.is_empty() && self.shards.is_empty() && self.procs_added.is_empty()
+    }
+
+    /// Encode into the versioned container format (same section-table machinery as
+    /// full snapshots; shard payloads keyed by `SHARD_SECTION_BASE + shard`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut meta = Writer::new();
+        meta.u64(self.base_epoch);
+        meta.u64(self.target_epoch);
+        meta.u32(self.shard_count);
+
+        let mut removed = Writer::new();
+        removed.u32(self.removed.len() as u32);
+        removed.u32_column(&self.removed);
+
+        let mut stats = Writer::new();
+        codec::write_stats(&mut stats, &self.stats);
+
+        let mut procs = Writer::new();
+        procs.u32(self.procs_added.len() as u32);
+        procs.u32_column(&self.procs_added);
+
+        let mut plan = Writer::new();
+        codec::write_plan(&mut plan, &self.plan);
+
+        let mut sections = vec![
+            (SECTION_DELTA_META, meta.into_bytes()),
+            (SECTION_REMOVED, removed.into_bytes()),
+            (SECTION_STATS, stats.into_bytes()),
+            (SECTION_PROCS_ADDED, procs.into_bytes()),
+            (SECTION_PLAN, plan.into_bytes()),
+        ];
+        for shard in &self.shards {
+            let mut w = Writer::new();
+            let entries: Vec<(Addr, &[Invariant])> = shard
+                .entries
+                .iter()
+                .map(|(a, v)| (*a, v.as_slice()))
+                .collect();
+            codec::write_entries(&mut w, &entries);
+            sections.push((SHARD_SECTION_BASE + shard.shard, w.into_bytes()));
+        }
+        write_container(DELTA_MAGIC, crate::FORMAT_VERSION, &sections)
+    }
+
+    /// Decode a delta container, validating — with the shared [`ShardRouter`] —
+    /// that every entry actually routes to the shard section that carries it.
+    pub fn decode(bytes: &[u8]) -> Result<DeltaSnapshot, StoreError> {
+        let sections = read_container(bytes, DELTA_MAGIC, crate::FORMAT_VERSION)?;
+
+        let mut r = Reader::new(require_section(&sections, SECTION_DELTA_META)?);
+        let base_epoch = r.u64("delta base epoch")?;
+        let target_epoch = r.u64("delta target epoch")?;
+        let shard_count = r.u32("delta shard count")?;
+        if shard_count == 0 {
+            return Err(StoreError::Corrupt {
+                context: "delta shard count is zero",
+            });
+        }
+        let router = ShardRouter::new(shard_count as usize);
+
+        let mut r = Reader::new(require_section(&sections, SECTION_REMOVED)?);
+        let n_removed = r.len_u32(4, "removed count")?;
+        let removed = r.u32_column(n_removed, "removed addresses")?;
+
+        let mut r = Reader::new(require_section(&sections, SECTION_STATS)?);
+        let stats = codec::read_stats(&mut r)?;
+
+        let mut r = Reader::new(require_section(&sections, SECTION_PROCS_ADDED)?);
+        let n_procs = r.len_u32(4, "added procedure count")?;
+        let procs_added = r.u32_column(n_procs, "added procedure entries")?;
+
+        let mut r = Reader::new(require_section(&sections, SECTION_PLAN)?);
+        let plan = codec::read_plan(&mut r)?;
+
+        let mut shards = Vec::new();
+        for (id, payload) in &sections {
+            if *id < SHARD_SECTION_BASE {
+                continue;
+            }
+            let shard = id - SHARD_SECTION_BASE;
+            if shard >= shard_count {
+                return Err(StoreError::Corrupt {
+                    context: "shard section index out of range",
+                });
+            }
+            let mut r = Reader::new(payload);
+            let entries = codec::read_entries(&mut r)?;
+            if !r.is_exhausted() {
+                return Err(StoreError::Corrupt {
+                    context: "trailing bytes after a shard section",
+                });
+            }
+            for (addr, _) in &entries {
+                if router.shard_of(*addr) as u32 != shard {
+                    return Err(StoreError::Corrupt {
+                        context: "entry routed to the wrong shard section",
+                    });
+                }
+            }
+            shards.push(ShardDelta { shard, entries });
+        }
+        shards.sort_by_key(|s| s.shard);
+        if shards.windows(2).any(|w| w[0].shard == w[1].shard) {
+            return Err(StoreError::Corrupt {
+                context: "duplicate shard section",
+            });
+        }
+
+        Ok(DeltaSnapshot {
+            base_epoch,
+            target_epoch,
+            shard_count,
+            removed,
+            shards,
+            stats,
+            procs_added,
+            plan,
+        })
+    }
+}
+
+impl Snapshot {
+    /// Advance this snapshot in place by applying a delta cut against it.
+    ///
+    /// Rejects (leaving `self` only partially un-advanced is impossible — routing
+    /// and epochs are validated before any mutation) deltas whose base epoch or
+    /// shard routing do not match.
+    pub fn apply_delta(&mut self, delta: &DeltaSnapshot) -> Result<(), StoreError> {
+        if delta.base_epoch != self.epoch {
+            return Err(StoreError::BaseMismatch {
+                expected_epoch: delta.base_epoch,
+                found_epoch: self.epoch,
+            });
+        }
+        if delta.shard_count != self.shard_count {
+            return Err(StoreError::ShardCountMismatch {
+                delta: delta.shard_count,
+                snapshot: self.shard_count,
+            });
+        }
+        let router = ShardRouter::new(self.shard_count as usize);
+        for shard in &delta.shards {
+            for (addr, _) in &shard.entries {
+                if router.shard_of(*addr) as u32 != shard.shard {
+                    return Err(StoreError::Corrupt {
+                        context: "delta entry routed to the wrong shard",
+                    });
+                }
+            }
+        }
+        for addr in &delta.removed {
+            self.invariants.set_entry(*addr, Vec::new());
+        }
+        for shard in &delta.shards {
+            for (addr, invs) in &shard.entries {
+                self.invariants.set_entry(*addr, invs.clone());
+            }
+        }
+        self.invariants.stats = delta.stats;
+        let mut procs: std::collections::BTreeSet<Addr> = self.procedures.iter().copied().collect();
+        procs.extend(delta.procs_added.iter().copied());
+        self.procedures = procs.into_iter().collect();
+        self.plan = delta.plan.clone();
+        self.epoch = delta.target_epoch;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_inference::{InvariantDatabase, Variable};
+    use cv_isa::{Operand, Reg};
+
+    fn snapshot_with(entries: &[(Addr, i32)], epoch: u64) -> Snapshot {
+        let mut invariants = InvariantDatabase::new();
+        for (addr, min) in entries {
+            invariants.insert(Invariant::LowerBound {
+                var: Variable::read(*addr, 0, Operand::Reg(Reg::Ecx)),
+                min: *min,
+            });
+        }
+        invariants.recount();
+        Snapshot {
+            epoch,
+            shard_count: 4,
+            invariants,
+            procedures: vec![0x4_0000],
+            plan: PatchPlan::new(),
+        }
+    }
+
+    #[test]
+    fn diff_apply_reaches_the_target_exactly() {
+        let base = snapshot_with(&[(0x1000, 1), (0x1004, 2), (0x1008, 3)], 5);
+        let mut target = snapshot_with(&[(0x1000, 1), (0x1004, -9), (0x100C, 4)], 8);
+        target.procedures.push(0x4_0040);
+        let delta = DeltaSnapshot::diff(&base, &target);
+        // 0x1004 changed, 0x100C added, 0x1008 removed, 0x1000 untouched.
+        assert_eq!(delta.changed_entries(), 2);
+        assert_eq!(delta.removed, vec![0x1008]);
+        assert_eq!(delta.procs_added, vec![0x4_0040]);
+
+        let mut advanced = base.clone();
+        advanced.apply_delta(&delta).unwrap();
+        assert_eq!(advanced, target);
+    }
+
+    #[test]
+    fn delta_round_trips_byte_identically() {
+        let base = snapshot_with(&[(0x1000, 1), (0x1004, 2)], 5);
+        let target = snapshot_with(&[(0x1000, 7), (0x1010, 2)], 6);
+        let delta = DeltaSnapshot::diff(&base, &target);
+        let bytes = delta.encode();
+        let decoded = DeltaSnapshot::decode(&bytes).unwrap();
+        assert_eq!(decoded, delta);
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn wrong_base_and_wrong_routing_are_rejected() {
+        let base = snapshot_with(&[(0x1000, 1)], 5);
+        let target = snapshot_with(&[(0x1000, 2)], 6);
+        let delta = DeltaSnapshot::diff(&base, &target);
+
+        let mut wrong_epoch = base.clone();
+        wrong_epoch.epoch = 4;
+        assert!(matches!(
+            wrong_epoch.apply_delta(&delta),
+            Err(StoreError::BaseMismatch { .. })
+        ));
+
+        let mut wrong_shards = base.clone();
+        wrong_shards.shard_count = 8;
+        assert!(matches!(
+            wrong_shards.apply_delta(&delta),
+            Err(StoreError::ShardCountMismatch { .. })
+        ));
+
+        // An entry moved to the wrong shard section must be caught by the shared
+        // router on decode.
+        let mut mangled = delta.clone();
+        mangled.shards[0].shard = (mangled.shards[0].shard + 1) % 4;
+        assert!(matches!(
+            DeltaSnapshot::decode(&mangled.encode()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_delta_only_advances_the_epoch() {
+        let base = snapshot_with(&[(0x1000, 1)], 5);
+        let mut target = base.clone();
+        target.epoch = 9;
+        let delta = DeltaSnapshot::diff(&base, &target);
+        assert!(delta.is_identity());
+        let mut advanced = base.clone();
+        advanced.apply_delta(&delta).unwrap();
+        assert_eq!(advanced.epoch, 9);
+        assert_eq!(advanced.invariants, base.invariants);
+    }
+}

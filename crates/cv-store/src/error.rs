@@ -1,0 +1,113 @@
+//! Decode errors: every way a snapshot can be rejected instead of misread.
+
+use std::fmt;
+
+/// Why a snapshot or delta could not be decoded (or a delta not applied).
+///
+/// The decoder's contract is *reject, never misread*: any truncation, checksum
+/// mismatch, unknown version, or structurally impossible payload surfaces here, and
+/// no partially decoded state escapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The leading magic bytes are not the expected container magic.
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The container's format version is not supported by this decoder.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+        /// The newest version this decoder supports.
+        supported: u32,
+    },
+    /// The byte stream ended before a read completed.
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A section's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// The section id from the section table.
+        section: u32,
+        /// The checksum recorded in the section table.
+        expected: u32,
+        /// The checksum computed over the payload found.
+        found: u32,
+    },
+    /// A required section is missing from the section table.
+    MissingSection {
+        /// The absent section id.
+        section: u32,
+    },
+    /// The payload is structurally impossible (bad tag, inconsistent counts, an
+    /// entry routed to the wrong shard, ...).
+    Corrupt {
+        /// What was structurally wrong.
+        context: &'static str,
+    },
+    /// A delta was applied to a snapshot that is not its base.
+    BaseMismatch {
+        /// The base epoch the delta was cut against.
+        expected_epoch: u64,
+        /// The epoch of the snapshot it was applied to.
+        found_epoch: u64,
+    },
+    /// A delta's shard routing disagrees with the snapshot's.
+    ShardCountMismatch {
+        /// The delta's shard count.
+        delta: u32,
+        /// The snapshot's shard count.
+        snapshot: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic { found } => {
+                write!(f, "bad container magic {found:02x?}")
+            }
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (decoder supports <= {supported})")
+            }
+            StoreError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated while reading {context}: needed {needed} bytes, {available} available"
+            ),
+            StoreError::ChecksumMismatch {
+                section,
+                expected,
+                found,
+            } => write!(
+                f,
+                "section {section} checksum mismatch: table says {expected:08x}, payload is {found:08x}"
+            ),
+            StoreError::MissingSection { section } => {
+                write!(f, "required section {section} missing from the section table")
+            }
+            StoreError::Corrupt { context } => write!(f, "corrupt payload: {context}"),
+            StoreError::BaseMismatch {
+                expected_epoch,
+                found_epoch,
+            } => write!(
+                f,
+                "delta base epoch {expected_epoch} does not match snapshot epoch {found_epoch}"
+            ),
+            StoreError::ShardCountMismatch { delta, snapshot } => write!(
+                f,
+                "delta shard count {delta} does not match snapshot shard count {snapshot}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,427 @@
+//! The byte-level wire layer: little-endian primitive encoding, flat column
+//! read/write, CRC-32 checksums, and the sectioned container shared by full
+//! snapshots and deltas.
+//!
+//! A container is:
+//!
+//! ```text
+//! magic (4) | version u32 | section_count u32
+//! section table: section_count x { id u32 | offset u64 | len u64 | crc32 u32 }
+//! payloads, concatenated (offsets are absolute)
+//! ```
+//!
+//! Every multi-byte integer is little-endian. Columns (`u32`/`i32` arrays) are
+//! written as one contiguous byte run each, so encoding a columnar section is a
+//! sequence of flat copies rather than a per-record traversal.
+
+use crate::error::StoreError;
+use std::sync::OnceLock;
+
+/// Hard cap on section-table entries — a sanity bound so a corrupt header cannot
+/// drive a huge allocation before checksums are even looked at.
+const MAX_SECTIONS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected)
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// The CRC-32 checksum of `bytes` (IEEE polynomial — the zlib/PNG crc).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Appends little-endian primitives and flat columns to a byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i32`.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a whole `u32` column as one contiguous byte run.
+    pub fn u32_column(&mut self, col: &[u32]) {
+        self.buf.reserve(col.len() * 4);
+        for &v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a whole `i32` column as one contiguous byte run.
+    pub fn i32_column(&mut self, col: &[i32]) {
+        self.buf.reserve(col.len() * 4);
+        for &v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a whole `u16` column as one contiguous byte run.
+    pub fn u16_column(&mut self, col: &[u16]) {
+        self.buf.reserve(col.len() * 2);
+        for &v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a whole `u8` column.
+    pub fn u8_column(&mut self, col: &[u8]) {
+        self.buf.extend_from_slice(col);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reads over a byte slice. Every read either
+/// succeeds completely or returns [`StoreError::Truncated`].
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                context,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an `i32`.
+    pub fn i32(&mut self, context: &'static str) -> Result<i32, StoreError> {
+        let b = self.take(4, context)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a length previously written as `u32`, bounded so a corrupt count can
+    /// never drive an allocation larger than the bytes that could back it.
+    pub fn len_u32(
+        &mut self,
+        elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, StoreError> {
+        let n = self.u32(context)? as usize;
+        if n.saturating_mul(elem_bytes.max(1)) > self.remaining() {
+            return Err(StoreError::Truncated {
+                context,
+                needed: n * elem_bytes.max(1),
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Read a `u32` column of `n` elements.
+    pub fn u32_column(&mut self, n: usize, context: &'static str) -> Result<Vec<u32>, StoreError> {
+        let b = self.take(n * 4, context)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Read an `i32` column of `n` elements.
+    pub fn i32_column(&mut self, n: usize, context: &'static str) -> Result<Vec<i32>, StoreError> {
+        let b = self.take(n * 4, context)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Read a `u16` column of `n` elements.
+    pub fn u16_column(&mut self, n: usize, context: &'static str) -> Result<Vec<u16>, StoreError> {
+        let b = self.take(n * 2, context)?;
+        Ok(b.chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect())
+    }
+
+    /// Read a `u8` column of `n` elements.
+    pub fn u8_column(&mut self, n: usize, context: &'static str) -> Result<Vec<u8>, StoreError> {
+        Ok(self.take(n, context)?.to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sectioned container
+// ---------------------------------------------------------------------------
+
+/// Assemble a container from `(section id, payload)` pairs: magic, version, the
+/// section table (with per-section CRC-32), then the payloads.
+pub fn write_container(magic: [u8; 4], version: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let header_len = 4 + 4 + 4 + sections.len() * (4 + 8 + 8 + 4);
+    let mut w = Writer::new();
+    w.bytes(&magic);
+    w.u32(version);
+    w.u32(sections.len() as u32);
+    let mut offset = header_len as u64;
+    for (id, payload) in sections {
+        w.u32(*id);
+        w.u64(offset);
+        w.u64(payload.len() as u64);
+        w.u32(crc32(payload));
+        offset += payload.len() as u64;
+    }
+    for (_, payload) in sections {
+        w.bytes(payload);
+    }
+    w.into_bytes()
+}
+
+/// Parse a container: verify magic and version, bounds-check the section table,
+/// verify every section's checksum, and return `(id, payload)` pairs in table
+/// order.
+pub fn read_container(
+    bytes: &[u8],
+    magic: [u8; 4],
+    supported_version: u32,
+) -> Result<Vec<(u32, &[u8])>, StoreError> {
+    let mut r = Reader::new(bytes);
+    let found = r.take(4, "container magic")?;
+    if found != magic {
+        return Err(StoreError::BadMagic {
+            found: [found[0], found[1], found[2], found[3]],
+        });
+    }
+    let version = r.u32("format version")?;
+    if version != supported_version {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: supported_version,
+        });
+    }
+    let count = r.u32("section count")? as usize;
+    if count > MAX_SECTIONS {
+        return Err(StoreError::Corrupt {
+            context: "section count exceeds the format's sanity bound",
+        });
+    }
+    let mut sections = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = r.u32("section id")?;
+        let offset = r.u64("section offset")? as usize;
+        let len = r.u64("section length")? as usize;
+        let expected = r.u32("section checksum")?;
+        let end = offset.checked_add(len).ok_or(StoreError::Corrupt {
+            context: "section extent overflows",
+        })?;
+        if end > bytes.len() {
+            return Err(StoreError::Truncated {
+                context: "section payload",
+                needed: end,
+                available: bytes.len(),
+            });
+        }
+        let payload = &bytes[offset..end];
+        let found = crc32(payload);
+        if found != expected {
+            return Err(StoreError::ChecksumMismatch {
+                section: id,
+                expected,
+                found,
+            });
+        }
+        sections.push((id, payload));
+    }
+    Ok(sections)
+}
+
+/// Find a required section by id.
+pub fn require_section<'a>(sections: &[(u32, &'a [u8])], id: u32) -> Result<&'a [u8], StoreError> {
+    sections
+        .iter()
+        .find(|(sid, _)| *sid == id)
+        .map(|(_, payload)| *payload)
+        .ok_or(StoreError::MissingSection { section: id })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE crc32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.i32(-42);
+        w.u32_column(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("t").unwrap(), 7);
+        assert_eq!(r.u16("t").unwrap(), 0xBEEF);
+        assert_eq!(r.u32("t").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("t").unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.i32("t").unwrap(), -42);
+        assert_eq!(r.u32_column(3, "t").unwrap(), vec![1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn reads_past_the_end_are_truncation_errors() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(
+            r.u32("four bytes"),
+            Err(StoreError::Truncated { needed: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn container_round_trips_and_rejects_corruption() {
+        let sections = vec![(1u32, vec![1u8, 2, 3]), (2u32, vec![9u8; 100])];
+        let bytes = write_container(*b"TEST", 3, &sections);
+        let parsed = read_container(&bytes, *b"TEST", 3).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], (1, &[1u8, 2, 3][..]));
+        assert_eq!(require_section(&parsed, 2).unwrap().len(), 100);
+        assert!(matches!(
+            require_section(&parsed, 9),
+            Err(StoreError::MissingSection { section: 9 })
+        ));
+
+        // Wrong magic.
+        assert!(matches!(
+            read_container(&bytes, *b"NOPE", 3),
+            Err(StoreError::BadMagic { .. })
+        ));
+        // Wrong version.
+        assert!(matches!(
+            read_container(&bytes, *b"TEST", 4),
+            Err(StoreError::UnsupportedVersion { found: 3, .. })
+        ));
+        // Truncation at every prefix either fails or never misreads.
+        for k in 0..bytes.len() {
+            assert!(read_container(&bytes[..k], *b"TEST", 3).is_err());
+        }
+        // A flipped payload byte fails its section checksum.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert!(matches!(
+            read_container(&corrupt, *b"TEST", 3),
+            Err(StoreError::ChecksumMismatch { section: 2, .. })
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! Golden-snapshot compatibility: a version-1 snapshot committed to the repo must
+//! decode to exactly the known state on every run. An accidental format change —
+//! reordered columns, a widened field, a different checksum — fails this test
+//! before it can strand real checkpoints.
+//!
+//! To regenerate after an *intentional* format bump (which must also bump
+//! `FORMAT_VERSION` and keep a decoder for the old version or re-cut fixtures):
+//!
+//! ```text
+//! cargo test -p cv-store --test golden regenerate_golden_fixture -- --ignored
+//! ```
+
+use cv_core::{Directive, PatchPlan};
+use cv_inference::{Invariant, InvariantDatabase, Variable};
+use cv_isa::{MemRef, Operand, Reg};
+use cv_patch::{RepairPatch, RepairStrategy};
+use cv_store::Snapshot;
+
+const FIXTURE: &[u8] = include_bytes!("golden_snapshot_v1.bin");
+
+/// The exact state the committed fixture encodes. Every construct the format can
+/// carry appears at least once: all four invariant kinds, all operand shapes, a
+/// multi-directive plan, procedures, and non-trivial learning counters.
+fn golden_state() -> Snapshot {
+    let reg_var = Variable::read(0x4_0000, 0, Operand::Reg(Reg::Ebx));
+    let mem_var = Variable::read(
+        0x4_0010,
+        1,
+        Operand::Mem(MemRef::indexed(Reg::Ebp, Reg::Esi, 4, -12)),
+    );
+    let addr_var = Variable::computed_addr(0x4_0020, 0);
+    let sp_var = Variable::stack_pointer(0x4_0030);
+
+    let mut invariants = InvariantDatabase::new();
+    invariants.insert(Invariant::OneOf {
+        var: reg_var,
+        values: [0x4_1000u32, 0x4_2000, 0xFFFF_FFFF].into_iter().collect(),
+    });
+    invariants.insert(Invariant::LowerBound {
+        var: reg_var,
+        min: -7,
+    });
+    invariants.insert(Invariant::LowerBound {
+        var: mem_var,
+        min: 1,
+    });
+    invariants.insert(Invariant::LessThan {
+        a: mem_var,
+        b: addr_var,
+    });
+    invariants.insert(Invariant::OneOf {
+        var: sp_var,
+        values: [12u32].into_iter().collect(),
+    });
+    invariants.insert(Invariant::StackPointerOffset {
+        proc_entry: 0x4_0000,
+        at: 0x4_0040,
+        offset: -3,
+    });
+    invariants.stats.events_processed = 123_456;
+    invariants.stats.runs_committed = 789;
+    invariants.stats.runs_discarded = 21;
+    invariants.stats.variables_observed = 4;
+    invariants.stats.duplicates_removed = 2;
+    invariants.stats.pointers_classified = 1;
+    invariants.recount();
+
+    let repair_inv = Invariant::OneOf {
+        var: reg_var,
+        values: [0x4_1000u32].into_iter().collect(),
+    };
+    let mut plan = PatchPlan::new();
+    plan.push(
+        0x4_0000,
+        Directive::InstallChecks(vec![
+            cv_patch::CheckPatch::new(Invariant::LowerBound {
+                var: reg_var,
+                min: -7,
+            }),
+            cv_patch::CheckPatch::new(repair_inv.clone()),
+        ]),
+    );
+    plan.push(0x4_0000, Directive::RemoveChecks);
+    plan.push(
+        0x4_0000,
+        Directive::InstallRepair(RepairPatch {
+            invariant: repair_inv,
+            strategy: RepairStrategy::SetValue { value: 0x4_1000 },
+        }),
+    );
+    plan.push(
+        0x4_0040,
+        Directive::InstallRepair(RepairPatch {
+            invariant: Invariant::OneOf {
+                var: sp_var,
+                values: [12u32].into_iter().collect(),
+            },
+            strategy: RepairStrategy::ReturnFromProcedure { sp_adjust: -3 },
+        }),
+    );
+    plan.push(0x4_0050, Directive::RemoveRepair);
+
+    Snapshot {
+        epoch: 42,
+        shard_count: 8,
+        invariants,
+        procedures: vec![0x4_0000, 0x4_0100, 0x4_0200],
+        plan,
+    }
+}
+
+#[test]
+fn committed_golden_snapshot_still_decodes() {
+    let decoded = Snapshot::decode(FIXTURE).expect("the committed v1 fixture must decode");
+    assert_eq!(
+        decoded,
+        golden_state(),
+        "fixture decodes to the known state"
+    );
+    assert_eq!(
+        decoded.encode(),
+        FIXTURE,
+        "re-encoding the fixture is byte-identical (format unchanged)"
+    );
+}
+
+#[test]
+#[ignore = "writes the fixture; run only on an intentional format change"]
+fn regenerate_golden_fixture() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_snapshot_v1.bin");
+    std::fs::write(path, golden_state().encode()).expect("write fixture");
+}

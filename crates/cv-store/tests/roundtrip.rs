@@ -1,0 +1,262 @@
+//! Property tests for the snapshot format: encode → decode → byte-identical
+//! re-encode over randomized invariant databases and patch plans, delta
+//! diff/apply correctness, and corruption rejection (truncation, flipped bytes,
+//! wrong version, bad magic).
+
+use cv_core::{Directive, PatchPlan};
+use cv_inference::{Invariant, InvariantDatabase, Variable};
+use cv_isa::{MemRef, Operand, Reg};
+use cv_patch::{CheckPatch, RepairPatch, RepairStrategy};
+use cv_store::{DeltaSnapshot, Snapshot, StoreError};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+fn reg(raw: u8) -> Reg {
+    Reg::ALL[(raw % 8) as usize]
+}
+
+fn operand_strategy() -> BoxedStrategy<Operand> {
+    prop_oneof![
+        (any::<u8>()).prop_map(|r| Operand::Reg(reg(r))),
+        (any::<u32>()).prop_map(Operand::Imm),
+        (any::<u8>(), any::<u8>(), 0u8..4, -512i32..512).prop_map(|(b, i, scale_pow, disp)| {
+            Operand::Mem(MemRef {
+                base: if b % 3 == 0 { None } else { Some(reg(b)) },
+                index: if i % 3 == 0 { None } else { Some(reg(i)) },
+                scale: 1 << scale_pow,
+                disp,
+            })
+        }),
+    ]
+    .boxed()
+}
+
+fn variable_strategy() -> BoxedStrategy<Variable> {
+    (0x4_0000u32..0x4_4000, 0u8..3, operand_strategy())
+        .prop_map(|(addr, slot, op)| match slot {
+            0 => Variable::read(addr, slot, op),
+            1 => Variable::computed_addr(addr, slot),
+            _ => Variable::stack_pointer(addr),
+        })
+        .boxed()
+}
+
+fn invariant_strategy() -> BoxedStrategy<Invariant> {
+    prop_oneof![
+        (
+            variable_strategy(),
+            prop::collection::vec(any::<u32>(), 1..6)
+        )
+            .prop_map(|(var, values)| Invariant::OneOf {
+                var,
+                values: values.into_iter().collect(),
+            }),
+        (variable_strategy(), any::<i32>())
+            .prop_map(|(var, min)| Invariant::LowerBound { var, min }),
+        (variable_strategy(), variable_strategy()).prop_map(|(a, b)| Invariant::LessThan { a, b }),
+        (0x4_0000u32..0x4_4000, 0x4_0000u32..0x4_4000, -128i32..128).prop_map(
+            |(proc_entry, at, offset)| Invariant::StackPointerOffset {
+                proc_entry,
+                at,
+                offset,
+            }
+        ),
+    ]
+    .boxed()
+}
+
+fn database_strategy(max_invariants: usize) -> BoxedStrategy<InvariantDatabase> {
+    (
+        prop::collection::vec(invariant_strategy(), 1..max_invariants),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(invs, events, committed)| {
+            let mut db = InvariantDatabase::new();
+            for inv in invs {
+                db.insert(inv);
+            }
+            db.stats.events_processed = events as u64;
+            db.stats.runs_committed = committed as u64;
+            db.recount();
+            db
+        })
+        .boxed()
+}
+
+fn plan_strategy() -> BoxedStrategy<PatchPlan> {
+    let directive = prop_oneof![
+        prop::collection::vec(invariant_strategy(), 0..4).prop_map(
+            |invs| Directive::InstallChecks(invs.into_iter().map(CheckPatch::new).collect())
+        ),
+        Just(Directive::RemoveChecks),
+        (invariant_strategy(), any::<u8>(), any::<u32>(), -64i32..64).prop_map(
+            |(invariant, which, value, adj)| {
+                let strategy = match which % 5 {
+                    0 => RepairStrategy::SetValue { value },
+                    1 => RepairStrategy::SkipCall,
+                    2 => RepairStrategy::ReturnFromProcedure { sp_adjust: adj },
+                    3 => RepairStrategy::ClampToLowerBound,
+                    _ => RepairStrategy::EnforceLessThan,
+                };
+                Directive::InstallRepair(RepairPatch {
+                    invariant,
+                    strategy,
+                })
+            }
+        ),
+        Just(Directive::RemoveRepair),
+    ];
+    prop::collection::vec((0x4_0000u32..0x4_4000, directive), 0..8)
+        .prop_map(|ops| {
+            let mut plan = PatchPlan::new();
+            for (loc, dir) in ops {
+                plan.push(loc, dir);
+            }
+            plan
+        })
+        .boxed()
+}
+
+fn snapshot_strategy(max_invariants: usize) -> BoxedStrategy<Snapshot> {
+    (
+        database_strategy(max_invariants),
+        plan_strategy(),
+        prop::collection::vec(0x4_0000u32..0x4_4000, 0..6),
+        1u64..100,
+    )
+        .prop_map(|(invariants, plan, mut procedures, epoch)| {
+            procedures.sort_unstable();
+            procedures.dedup();
+            Snapshot {
+                epoch,
+                shard_count: 8,
+                invariants,
+                procedures,
+                plan,
+            }
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_round_trip_is_byte_identical(snap in snapshot_strategy(120)) {
+        let bytes = snap.encode();
+        let decoded = Snapshot::decode(&bytes).expect("well-formed snapshot decodes");
+        prop_assert_eq!(&decoded, &snap);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn delta_diff_apply_reaches_the_target(
+        base in snapshot_strategy(80),
+        target in snapshot_strategy(80),
+    ) {
+        // Procedure discovery is monotone in the live system; deltas only add.
+        let mut target = target;
+        target.procedures.extend(base.procedures.iter().copied());
+        target.procedures.sort_unstable();
+        target.procedures.dedup();
+        let delta = DeltaSnapshot::diff(&base, &target);
+        // The delta itself round-trips byte-identically.
+        let bytes = delta.encode();
+        let decoded = DeltaSnapshot::decode(&bytes).expect("well-formed delta decodes");
+        prop_assert_eq!(&decoded, &delta);
+        prop_assert_eq!(decoded.encode(), bytes);
+        // Applying it to the base reproduces the target exactly.
+        let mut advanced = base.clone();
+        advanced.apply_delta(&decoded).expect("delta applies to its base");
+        prop_assert_eq!(advanced, target);
+    }
+
+    #[test]
+    fn payload_corruption_is_always_rejected(
+        snap in snapshot_strategy(60),
+        seed in any::<u32>(),
+    ) {
+        let bytes = snap.encode();
+        // Flip one byte inside the payload region (past the header + section
+        // table, which for 4 sections is 12 + 4*24 bytes): the per-section CRC
+        // must catch it.
+        let payload_start = 12 + 4 * 24;
+        let idx = payload_start + (seed as usize) % (bytes.len() - payload_start);
+        let mut corrupt = bytes.clone();
+        corrupt[idx] ^= 0x01;
+        prop_assert!(
+            matches!(Snapshot::decode(&corrupt), Err(StoreError::ChecksumMismatch { .. })),
+            "flipped payload byte {} must fail its section checksum", idx
+        );
+    }
+
+    #[test]
+    fn truncation_is_always_rejected(snap in snapshot_strategy(40), seed in any::<u32>()) {
+        let bytes = snap.encode();
+        let cut = (seed as usize) % bytes.len();
+        prop_assert!(Snapshot::decode(&bytes[..cut]).is_err());
+    }
+}
+
+#[test]
+fn wrong_version_and_magic_are_rejected() {
+    let snap = Snapshot {
+        epoch: 1,
+        shard_count: 4,
+        invariants: InvariantDatabase::new(),
+        procedures: vec![],
+        plan: PatchPlan::new(),
+    };
+    let bytes = snap.encode();
+
+    let mut wrong_version = bytes.clone();
+    wrong_version[4] = 99;
+    assert!(matches!(
+        Snapshot::decode(&wrong_version),
+        Err(StoreError::UnsupportedVersion { found: 99, .. })
+    ));
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[..4].copy_from_slice(b"JUNK");
+    assert!(matches!(
+        Snapshot::decode(&wrong_magic),
+        Err(StoreError::BadMagic { .. })
+    ));
+
+    // A delta container is not a snapshot container and vice versa.
+    let delta = DeltaSnapshot::diff(&snap, &snap);
+    assert!(matches!(
+        Snapshot::decode(&delta.encode()),
+        Err(StoreError::BadMagic { .. })
+    ));
+    assert!(matches!(
+        DeltaSnapshot::decode(&bytes),
+        Err(StoreError::BadMagic { .. })
+    ));
+}
+
+#[test]
+fn every_truncation_of_a_small_snapshot_is_rejected() {
+    let mut invariants = InvariantDatabase::new();
+    invariants.insert(Invariant::LowerBound {
+        var: Variable::read(0x4_0000, 0, Operand::Reg(Reg::Ecx)),
+        min: 3,
+    });
+    invariants.recount();
+    let snap = Snapshot {
+        epoch: 7,
+        shard_count: 8,
+        invariants,
+        procedures: vec![0x4_0000],
+        plan: PatchPlan::new(),
+    };
+    let bytes = snap.encode();
+    for cut in 0..bytes.len() {
+        assert!(
+            Snapshot::decode(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+    assert!(Snapshot::decode(&bytes).is_ok());
+}

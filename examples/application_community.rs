@@ -76,6 +76,9 @@ fn main() {
                 println!("  distributed repair for 0x{location:x}: {description}")
             }
             Message::RepairRemoved { location } => println!("  removed repair for 0x{location:x}"),
+            Message::StateSync { bytes } => {
+                println!("  synced a member from a {bytes}-byte snapshot/delta")
+            }
             Message::ObservationReport {
                 node,
                 location,

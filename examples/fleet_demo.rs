@@ -2,7 +2,13 @@
 //! in parallel, five members are attacked, and every member — including the 1,195
 //! that never saw the exploit — becomes immune via the distributed patch.
 //!
-//! Run with: `cargo run --release --example fleet_demo`
+//! Run with: `cargo run --release --example fleet_demo [-- --churn]`
+//!
+//! With `--churn`, the demo continues into the durability plane: 240 members (20%)
+//! crash mid-epoch with total state loss, half rejoin by shard-keyed delta sync
+//! against their last checkpoint and half by full snapshot bootstrap, late members
+//! join warm from the coordinator's snapshot — and everyone is immune on first
+//! exposure, without one epoch of replayed learning.
 
 use clearview::apps::{evaluation_suite, learning_suite, red_team_exploits, Browser};
 use clearview::core::ClearViewConfig;
@@ -82,6 +88,10 @@ fn main() {
     );
     assert_eq!(outcome.completed(), NODES);
 
+    if std::env::args().any(|a| a == "--churn") {
+        churn_scenario(&mut fleet, &exploit, location);
+    }
+
     println!("\n{}", fleet.metrics());
     println!(
         "wire traffic: {} words batched vs {} words per-event ({}x saved)",
@@ -92,4 +102,70 @@ fn main() {
     for report in fleet.reports() {
         println!("\n{report}");
     }
+}
+
+/// The durability-plane continuation: churn the immunized fleet and prove the
+/// snapshot / delta-sync path restores fleet-wide immunity.
+fn churn_scenario(fleet: &mut Fleet, exploit: &clearview::apps::Exploit, location: u32) {
+    // The doomed members' last checkpoint — their delta-sync base.
+    let base = fleet.checkpoint();
+    println!(
+        "\n-- churn: checkpoint at epoch {} ({} bytes encoded) --",
+        base.epoch,
+        fleet.metrics().snapshot_bytes_last
+    );
+
+    // 240 members (20%) run one more epoch and die before its patch push.
+    let kills: Vec<usize> = (600..840).collect();
+    let batch: Vec<Presentation> = ATTACKERS
+        .iter()
+        .map(|&node| Presentation::new(node, exploit.page()))
+        .collect();
+    fleet.run_epoch_churn(&batch, &kills);
+    println!(
+        "killed {} members mid-epoch; {} of {} still up",
+        kills.len(),
+        fleet.alive_count(),
+        fleet.node_count()
+    );
+
+    // Half rejoin from their checkpoint (delta), half lost everything (full).
+    let half = kills.len() / 2;
+    for &node in &kills[..half] {
+        fleet.rejoin_member(node, Some(&base));
+    }
+    for &node in &kills[half..] {
+        fleet.rejoin_member(node, None);
+    }
+    // Late joiners warm-start from the coordinator's snapshot.
+    let joiners: Vec<usize> = (0..10).map(|_| fleet.join_member_warm()).collect();
+    println!(
+        "rejoined {} by delta sync, {} by full bootstrap; {} late joiners warm-started",
+        half,
+        kills.len() - half,
+        joiners.len()
+    );
+
+    // Everyone — survivors, rejoiners, joiners — survives first exposure.
+    let verify: Vec<Presentation> = (0..fleet.node_count())
+        .map(|node| Presentation::new(node, exploit.page()))
+        .collect();
+    let outcome = fleet.run_epoch(&verify);
+    println!(
+        "churn verification epoch: {}/{} members survive the exploit",
+        outcome.completed(),
+        fleet.node_count()
+    );
+    assert_eq!(outcome.completed(), fleet.node_count());
+    assert!(fleet.is_protected_against(location));
+    assert!(
+        fleet.metrics().max_joiner_immunity_epochs().unwrap_or(0) <= 1,
+        "warm joiners reach Protected in <= 1 epoch"
+    );
+    println!(
+        "delta sync shipped {} bytes where full snapshots would have shipped {} ({:.1}x saved)",
+        fleet.metrics().delta_bytes_total,
+        fleet.metrics().delta_full_bytes_total,
+        fleet.metrics().delta_savings()
+    );
 }

@@ -8,6 +8,7 @@
 //! * [`inference`] — the Daikon-like invariant learning engine.
 //! * [`patch`] — invariant-check and repair patches.
 //! * [`core`] — the ClearView orchestration pipeline.
+//! * [`store`] — the snapshot + delta-sync persistence plane (durability & churn).
 //! * [`community`] — the application-community layer (small-N facade).
 //! * [`fleet`] — the sharded, parallel application-community engine (1,000+ members).
 //! * [`apps`] — the synthetic vulnerable browser and its workloads.
@@ -23,3 +24,4 @@ pub use cv_inference as inference;
 pub use cv_isa as isa;
 pub use cv_patch as patch;
 pub use cv_runtime as runtime;
+pub use cv_store as store;

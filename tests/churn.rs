@@ -1,0 +1,121 @@
+//! Fleet churn: a 1,000-member community with 20% churn — mid-epoch crashes with
+//! total state loss, delta-sync rejoins from each member's last checkpoint, full
+//! rebootstraps, and warm late joiners — still reaches fleet-wide immunity, warm
+//! joiners reach Protected in at most one epoch, and the deltas ship strictly
+//! fewer bytes than the full snapshots they replace.
+
+use clearview::apps::{learning_suite, red_team_exploits, Browser};
+use clearview::core::ClearViewConfig;
+use clearview::fleet::{Fleet, FleetConfig, Presentation};
+
+const NODES: usize = 1_000;
+const ATTACKERS: [usize; 5] = [0, 123, 456, 789, 999];
+/// 20% of the fleet crashes mid-run.
+const KILLED: std::ops::Range<usize> = 200..400;
+
+#[test]
+fn a_thousand_member_fleet_with_twenty_percent_churn_reaches_immunity() {
+    let browser = Browser::build();
+    let mut fleet = Fleet::new(
+        browser.image.clone(),
+        ClearViewConfig::default(),
+        FleetConfig::new(NODES),
+    );
+    fleet.distributed_learning(&learning_suite());
+
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 290162)
+        .unwrap();
+    let location = browser.sym("vuln_290162_call");
+
+    // The doomed members checkpoint before the outage — their rejoin will be a
+    // delta sync against this base.
+    let base = fleet.checkpoint();
+
+    // Epoch 1: attacks start; 200 members run their pages and then die before the
+    // boundary push (mid-epoch churn) — they will miss every patch this epoch and
+    // later epochs push.
+    let kills: Vec<usize> = KILLED.collect();
+    let batch: Vec<Presentation> = ATTACKERS
+        .iter()
+        .map(|&node| Presentation::new(node, exploit.page()))
+        .collect();
+    fleet.run_epoch_churn(&batch, &kills);
+    assert_eq!(fleet.alive_count(), NODES - kills.len());
+    assert!(!fleet.is_member_alive(250));
+
+    // The surviving fleet reaches immunity under continued attack.
+    for _ in 0..12 {
+        fleet.run_epoch(&batch);
+        if fleet.is_protected_against(location) {
+            break;
+        }
+    }
+    assert!(fleet.is_protected_against(location));
+
+    // Rejoin: 150 members sync by shard-keyed delta from their last checkpoint,
+    // the other 50 lost their checkpoint too and re-download the full snapshot.
+    for &node in &kills[..150] {
+        fleet.rejoin_member(node, Some(&base));
+    }
+    for &node in &kills[150..] {
+        fleet.rejoin_member(node, None);
+    }
+    assert_eq!(fleet.alive_count(), NODES);
+
+    // Late joiners: 10 warm-start from the coordinator's snapshot, 3 join cold
+    // (no state transfer) and get bootstrapped by an explicit resync.
+    let warm: Vec<usize> = (0..10).map(|_| fleet.join_member_warm()).collect();
+    let cold: Vec<usize> = (0..3).map(|_| fleet.join_member_cold()).collect();
+    for &node in &cold {
+        assert!(!fleet.is_member_synced(node));
+        fleet.resync_member(node);
+        assert!(fleet.is_member_synced(node));
+    }
+
+    // Verification epoch: every member — survivors, rejoiners, late joiners —
+    // is attacked and must survive via the inherited repair.
+    let verify: Vec<Presentation> = (0..fleet.node_count())
+        .map(|node| Presentation::new(node, exploit.page()))
+        .collect();
+    let outcome = fleet.run_epoch(&verify);
+    assert_eq!(
+        outcome.completed(),
+        fleet.node_count(),
+        "fleet-wide immunity despite 20% churn"
+    );
+    assert_eq!(outcome.blocked(), 0);
+
+    let metrics = fleet.metrics();
+    // Warm-started joiners reached Protected in at most one epoch: their first
+    // (exploit!) presentation completed in the epoch right after their sync.
+    assert!(
+        metrics.joiner_immunity_epochs().len() >= warm.len(),
+        "every warm joiner's immunity was measured"
+    );
+    assert!(
+        metrics.max_joiner_immunity_epochs().unwrap() <= 1,
+        "warm-started joiners must be Protected in <= 1 epoch, got {:?}",
+        metrics.max_joiner_immunity_epochs()
+    );
+
+    // Churn accounting.
+    assert_eq!(metrics.crashes, kills.len() as u64);
+    assert_eq!(metrics.rejoins, kills.len() as u64);
+    assert_eq!(metrics.warm_joins, warm.len() as u64);
+    assert_eq!(metrics.cold_joins, cold.len() as u64);
+    assert_eq!(metrics.delta_syncs, 150);
+
+    // Delta syncs shipped strictly fewer bytes than the full snapshots they
+    // replaced (the invariant baseline barely moved).
+    assert!(
+        metrics.delta_bytes_total < metrics.delta_full_bytes_total,
+        "delta bytes {} must undercut full bytes {}",
+        metrics.delta_bytes_total,
+        metrics.delta_full_bytes_total
+    );
+    assert!(metrics.delta_savings() > 1.0);
+    assert!(metrics.snapshots_taken >= 1);
+    assert!(metrics.snapshot_bytes_last > 0);
+}

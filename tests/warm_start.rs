@@ -1,0 +1,127 @@
+//! End-to-end warm start: a fleet learns, repairs an exploit, and checkpoints;
+//! a brand-new fleet restored from the encoded snapshot is Protected immediately —
+//! zero learning-mode replay, zero re-checking — and every member survives its
+//! first exposure. Also proves the delta-sync size criterion: when almost nothing
+//! changed since the base checkpoint, the delta is strictly smaller than a full
+//! snapshot.
+
+use clearview::apps::{learning_suite, red_team_exploits, Browser};
+use clearview::core::{ClearViewConfig, Phase};
+use clearview::fleet::{DeltaSnapshot, Fleet, FleetConfig, Presentation, Snapshot};
+
+const NODES: usize = 64;
+
+#[test]
+fn a_fleet_restored_from_snapshot_is_protected_without_replaying_learning() {
+    let browser = Browser::build();
+    let config = ClearViewConfig::default();
+    let mut fleet = Fleet::new(browser.image.clone(), config, FleetConfig::new(NODES));
+    fleet.distributed_learning(&learning_suite());
+
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 290162)
+        .unwrap();
+    let location = browser.sym("vuln_290162_call");
+
+    // Drive the live fleet to immunity the normal way.
+    for _ in 0..12 {
+        fleet.run_epoch(&[Presentation::new(0, exploit.page())]);
+        if fleet.is_protected_against(location) {
+            break;
+        }
+    }
+    assert!(fleet.is_protected_against(location));
+
+    // Checkpoint, push the snapshot through its binary encoding, and restore a
+    // brand-new fleet from the decoded bytes — the full durability round trip.
+    let snapshot = fleet.checkpoint();
+    let bytes = snapshot.encode();
+    assert_eq!(fleet.metrics().snapshot_bytes_last, bytes.len() as u64);
+    let decoded = Snapshot::decode(&bytes).expect("checkpoint decodes");
+    assert_eq!(decoded, snapshot);
+
+    let mut restored = Fleet::from_snapshot(
+        browser.image.clone(),
+        config,
+        FleetConfig::new(NODES),
+        &decoded,
+    );
+
+    // Protected immediately: before any epoch runs, with zero learning replay.
+    assert!(
+        restored.is_protected_against(location),
+        "restored fleet must be Protected before running anything: {:?}",
+        restored.phase_of(location)
+    );
+    assert_eq!(restored.phase_of(location), Some(Phase::Protected));
+    assert_eq!(
+        restored.metrics().learning_pages,
+        0,
+        "warm start must not replay learning"
+    );
+    assert!(
+        restored.model().invariants.len() > 50,
+        "the learned baseline came from the snapshot"
+    );
+
+    // Every member — none of which ever saw the exploit in this process —
+    // survives its first exposure through the snapshot-installed repair.
+    let verify: Vec<Presentation> = (0..NODES)
+        .map(|node| Presentation::new(node, exploit.page()))
+        .collect();
+    let outcome = restored.run_epoch(&verify);
+    assert_eq!(
+        outcome.completed(),
+        NODES,
+        "all members immune after restore"
+    );
+    assert_eq!(outcome.blocked(), 0);
+}
+
+#[test]
+fn delta_sync_is_strictly_smaller_when_little_changed() {
+    let browser = Browser::build();
+    let mut fleet = Fleet::new(
+        browser.image.clone(),
+        ClearViewConfig::default(),
+        FleetConfig::new(16),
+    );
+    fleet.distributed_learning(&learning_suite());
+    let base = fleet.checkpoint();
+    assert!(base.invariants.len() > 50);
+
+    // A repair lands (plan changes) but the invariant baseline stays put —
+    // far under the <10% change bar.
+    let exploit = red_team_exploits(&browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 290162)
+        .unwrap();
+    for _ in 0..12 {
+        fleet.run_epoch(&[Presentation::new(0, exploit.page())]);
+        if fleet.is_protected_against(browser.sym("vuln_290162_call")) {
+            break;
+        }
+    }
+
+    let delta = fleet.delta_since(&base);
+    let current = fleet.checkpoint();
+    let delta_bytes = delta.encode().len();
+    let full_bytes = current.encode().len();
+    let changed_fraction = delta.changed_entries() as f64 / current.invariants.len() as f64;
+    assert!(
+        changed_fraction < 0.10,
+        "scenario changed {changed_fraction:.3} of entries, expected <10%"
+    );
+    assert!(
+        delta_bytes < full_bytes,
+        "delta ({delta_bytes} bytes) must be strictly smaller than full ({full_bytes} bytes)"
+    );
+
+    // The delta really does advance the base to the current state.
+    let mut advanced = base.clone();
+    advanced.apply_delta(&delta).unwrap();
+    assert_eq!(advanced, current);
+    // And it round-trips through its own encoding.
+    assert_eq!(DeltaSnapshot::decode(&delta.encode()).unwrap(), delta);
+}
