@@ -1,0 +1,279 @@
+//! CI throughput gate: compare freshly produced `BENCH_*.json` records against
+//! the committed baselines and fail on regressions beyond a tolerance.
+//!
+//! The benchmark bins (`fleet_scale`, `learning_overhead`, `snapshot_bench`)
+//! write their records in CI, but until this gate nothing ever *checked* them —
+//! a 10x throughput regression would upload a shiny artifact and stay green.
+//! `bench_gate` parses the gated throughput metrics (higher-is-better only;
+//! wall-clock noise on shared runners makes latency gating a flake machine) out
+//! of both copies and fails the job when a fresh value drops more than the
+//! tolerance below its baseline.
+//!
+//! Run with:
+//!   `cargo run --release -p cv-bench --bin bench_gate -- [OPTIONS]`
+//!
+//! Options:
+//!   --baseline DIR   directory holding the committed records (default `.`)
+//!   --fresh DIR      directory holding the freshly produced records (default `.`)
+//!   --tolerance F    allowed fractional drop, 0..1 (default 0.30 = fail
+//!                    when fresh < 70% of baseline)
+//!
+//! The gate is also a *format* check: a gated metric missing from either copy,
+//! or appearing a different number of times (array shape drift), fails — the
+//! record schema is part of what CI pins.
+
+use std::process::ExitCode;
+
+/// The gated metrics: `(file, key, occurrences expected to match)` — every key is
+/// a higher-is-better throughput. Occurrence counts are compared, not assumed,
+/// so array-shaped records (the codec and delta-cut tables) are gated per row.
+const GATES: &[(&str, &str)] = &[
+    ("BENCH_fleet.json", "pages_per_second_sequential"),
+    ("BENCH_fleet.json", "pages_per_second_parallel"),
+    ("BENCH_learning.json", "events_per_second"),
+    ("BENCH_snapshot.json", "encode_mb_s"),
+    ("BENCH_snapshot.json", "decode_mb_s"),
+];
+
+/// Extract every numeric value keyed by `key` from a (flat or nested) JSON text,
+/// in document order. This deliberately avoids a JSON dependency: the records
+/// are written by our own bins with `"key": number` shapes only.
+fn extract(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\"");
+    let mut values = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let Some(after_colon) = rest.trim_start().strip_prefix(':') else {
+            continue;
+        };
+        let number = after_colon.trim_start();
+        let end = number
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+            .unwrap_or(number.len());
+        if let Ok(value) = number[..end].parse::<f64>() {
+            values.push(value);
+        }
+        rest = number;
+    }
+    values
+}
+
+/// One gated comparison that failed.
+#[derive(Debug, PartialEq)]
+enum Violation {
+    /// The fresh value dropped more than the tolerance below the baseline.
+    Regression {
+        metric: String,
+        baseline: f64,
+        fresh: f64,
+    },
+    /// A gated metric is missing, or its occurrence count changed (format drift).
+    Shape { metric: String, detail: String },
+}
+
+/// Gate one metric: compare every occurrence pairwise.
+fn gate_metric(
+    metric: &str,
+    baseline: &[f64],
+    fresh: &[f64],
+    tolerance: f64,
+    violations: &mut Vec<Violation>,
+) -> Vec<String> {
+    if baseline.is_empty() || baseline.len() != fresh.len() {
+        violations.push(Violation::Shape {
+            metric: metric.to_string(),
+            detail: format!(
+                "baseline has {} occurrence(s), fresh has {}",
+                baseline.len(),
+                fresh.len()
+            ),
+        });
+        return Vec::new();
+    }
+    let mut lines = Vec::new();
+    for (index, (b, f)) in baseline.iter().zip(fresh).enumerate() {
+        let floor = b * (1.0 - tolerance);
+        let ok = *f >= floor;
+        let label = if baseline.len() == 1 {
+            metric.to_string()
+        } else {
+            format!("{metric}[{index}]")
+        };
+        lines.push(format!(
+            "  {} {label}: baseline {b:.1}, fresh {f:.1} ({:+.1}%)",
+            if ok { "ok  " } else { "FAIL" },
+            (f / b - 1.0) * 100.0,
+        ));
+        if !ok {
+            violations.push(Violation::Regression {
+                metric: label,
+                baseline: *b,
+                fresh: *f,
+            });
+        }
+    }
+    lines
+}
+
+fn run(baseline_dir: &str, fresh_dir: &str, tolerance: f64) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    let mut current_file = "";
+    let mut baseline_text = String::new();
+    let mut fresh_text = String::new();
+    for (file, key) in GATES {
+        if *file != current_file {
+            current_file = file;
+            baseline_text = std::fs::read_to_string(format!("{baseline_dir}/{file}"))
+                .map_err(|e| format!("cannot read baseline {baseline_dir}/{file}: {e}"))?;
+            fresh_text = std::fs::read_to_string(format!("{fresh_dir}/{file}"))
+                .map_err(|e| format!("cannot read fresh {fresh_dir}/{file}: {e}"))?;
+            println!("{file}:");
+        }
+        let metric = format!("{file}::{key}");
+        for line in gate_metric(
+            &metric,
+            &extract(&baseline_text, key),
+            &extract(&fresh_text, key),
+            tolerance,
+            &mut violations,
+        ) {
+            println!("{line}");
+        }
+    }
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    let mut baseline_dir = ".".to_string();
+    let mut fresh_dir = ".".to_string();
+    let mut tolerance = 0.30f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires an argument"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_dir = value("--baseline"),
+            "--fresh" => fresh_dir = value("--fresh"),
+            "--tolerance" => {
+                tolerance = value("--tolerance")
+                    .parse()
+                    .expect("--tolerance requires a number in 0..1");
+                assert!(
+                    (0.0..1.0).contains(&tolerance),
+                    "--tolerance must be in 0..1"
+                );
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+
+    println!(
+        "bench_gate: baseline '{baseline_dir}', fresh '{fresh_dir}', tolerance {:.0}%",
+        tolerance * 100.0
+    );
+    match run(&baseline_dir, &fresh_dir, tolerance) {
+        Err(message) => {
+            eprintln!("bench_gate error: {message}");
+            ExitCode::FAILURE
+        }
+        Ok(violations) if violations.is_empty() => {
+            println!("bench_gate: all gated throughput metrics within tolerance");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            eprintln!("bench_gate: {} violation(s):", violations.len());
+            for violation in &violations {
+                match violation {
+                    Violation::Regression {
+                        metric,
+                        baseline,
+                        fresh,
+                    } => eprintln!(
+                        "  {metric}: fresh {fresh:.1} is below {:.0}% of baseline {baseline:.1}",
+                        (1.0 - tolerance) * 100.0
+                    ),
+                    Violation::Shape { metric, detail } => {
+                        eprintln!("  {metric}: record shape drifted ({detail})")
+                    }
+                }
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECORD: &str = r#"{
+  "bench": "snapshot",
+  "codec": [
+    { "invariants": 1001, "encode_mb_s": 87.82, "decode_mb_s": 150.57 },
+    { "invariants": 10002, "encode_mb_s": 65.98, "decode_mb_s": 149.68 }
+  ],
+  "events_per_second": 11041893.6,
+  "negative": -3.5
+}"#;
+
+    #[test]
+    fn extract_finds_every_occurrence_in_order() {
+        assert_eq!(extract(RECORD, "encode_mb_s"), vec![87.82, 65.98]);
+        assert_eq!(extract(RECORD, "events_per_second"), vec![11041893.6]);
+        assert_eq!(extract(RECORD, "negative"), vec![-3.5]);
+        assert!(extract(RECORD, "missing_key").is_empty());
+        // A key that prefixes another must not match it.
+        assert!(extract(RECORD, "encode_mb").is_empty());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let mut violations = Vec::new();
+        gate_metric("m", &[100.0], &[71.0], 0.30, &mut violations);
+        assert!(violations.is_empty(), "a 29% drop is within 30% tolerance");
+        gate_metric("m", &[100.0], &[69.0], 0.30, &mut violations);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::Regression { fresh, .. } if *fresh == 69.0
+        ));
+        // Improvements always pass.
+        violations.clear();
+        gate_metric("m", &[100.0], &[250.0], 0.30, &mut violations);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_shape_drift() {
+        let mut violations = Vec::new();
+        gate_metric("m", &[100.0, 90.0], &[100.0], 0.30, &mut violations);
+        assert!(matches!(&violations[0], Violation::Shape { .. }));
+        violations.clear();
+        gate_metric("m", &[], &[], 0.30, &mut violations);
+        assert!(
+            matches!(&violations[0], Violation::Shape { .. }),
+            "a gated metric absent from both copies is drift, not a pass"
+        );
+    }
+
+    #[test]
+    fn array_rows_gate_individually() {
+        let mut violations = Vec::new();
+        let lines = gate_metric(
+            "f::k",
+            &[100.0, 100.0, 100.0],
+            &[95.0, 60.0, 110.0],
+            0.30,
+            &mut violations,
+        );
+        assert_eq!(lines.len(), 3);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::Regression { metric, .. } if metric == "f::k[1]"
+        ));
+    }
+}

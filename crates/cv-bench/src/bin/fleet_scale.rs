@@ -13,6 +13,12 @@
 //!                   columns; implies the churn scenario)
 //!   --churn         run the churn scenario (kill 20% mid-epoch, rejoin half by
 //!                   delta sync and half by full bootstrap, late-join warm + cold)
+//!   --digest PATH   determinism mode: run only the log-producing scenarios
+//!                   (multi-failure sequential + sharded, churn), assert the
+//!                   sequential and sharded manager logs byte-identical, and
+//!                   write every `BatchLog` record to PATH — CI runs this twice
+//!                   and diffs the files, locking in the byte-identical-log
+//!                   guarantee across runs. No timing-dependent output.
 //!   --workers N     worker threads for the parallel configurations (0 = one per core)
 //!   --nodes N       community size (default 256)
 //!   --epochs N      benign throughput epochs (default 4)
@@ -33,10 +39,11 @@ const MERGE_ROUNDS: usize = 50;
 const MANAGER_SHARDS: usize = 8;
 const MULTI_FAILURE_EPOCHS: u64 = 10;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Options {
     json: bool,
     churn: bool,
+    digest: Option<String>,
     workers: usize,
     nodes: usize,
     epochs: usize,
@@ -46,6 +53,7 @@ fn parse_options() -> Options {
     let mut opts = Options {
         json: false,
         churn: false,
+        digest: None,
         workers: 0,
         nodes: 256,
         epochs: 4,
@@ -60,6 +68,7 @@ fn parse_options() -> Options {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--churn" => opts.churn = true,
+            "--digest" => opts.digest = Some(args.next().expect("--digest requires a path")),
             "--workers" => opts.workers = number("--workers"),
             "--nodes" => opts.nodes = number("--nodes").max(16),
             "--epochs" => opts.epochs = number("--epochs").max(1),
@@ -74,7 +83,7 @@ fn parse_options() -> Options {
 
 /// Run benign-traffic epochs (every member loads four pages per epoch) and return
 /// (pages processed, execution seconds, pages/sec).
-fn throughput(parallel: bool, workers: usize, opts: Options) -> (u64, f64, f64) {
+fn throughput(parallel: bool, workers: usize, opts: &Options) -> (u64, f64, f64) {
     let browser = Browser::build();
     let mut config = FleetConfig::new(opts.nodes).with_workers(workers);
     if !parallel {
@@ -162,6 +171,18 @@ struct MultiFailureRun {
     manager_parallel_speedup: f64,
     immune: usize,
     immunity_epochs: Vec<(u32, u64)>,
+    /// The fleet's entire `BatchLog`, one record per line — timing-free, so two
+    /// runs of the same scenario must produce byte-identical dumps.
+    log: String,
+}
+
+/// Dump a fleet's batched console log, one `FleetMessage` record per line.
+fn log_dump(fleet: &Fleet) -> String {
+    let mut out = String::new();
+    for message in fleet.log().messages() {
+        out.push_str(&format!("{message:?}\n"));
+    }
+    out
 }
 
 /// Attack all eight defects simultaneously: every member presents the exploit page
@@ -212,6 +233,7 @@ fn multi_failure(browser: &Browser, model: &LearnedModel, config: FleetConfig) -
             .filter(|(_, loc)| fleet.is_protected_against(*loc))
             .count(),
         immunity_epochs,
+        log: log_dump(&fleet),
     }
 }
 
@@ -229,6 +251,9 @@ struct ChurnRun {
     joiner_tti_max: u64,
     immune_members: usize,
     total_members: usize,
+    /// The fleet's `BatchLog` dump (see [`log_dump`]): the churn protocol
+    /// history, including `Bootstrap`/`DeltaSync` records with their byte sizes.
+    log: String,
 }
 
 /// Kill 20% of the fleet mid-epoch (they miss that epoch's patch push), drive the
@@ -236,7 +261,7 @@ struct ChurnRun {
 /// half by full bootstrap, late-join members warm (snapshot) and cold (resync),
 /// then attack everyone: the whole fleet must be immune, with warm joiners
 /// Protected in <= 1 epoch.
-fn churn(browser: &Browser, opts: Options) -> ChurnRun {
+fn churn(browser: &Browser, opts: &Options) -> ChurnRun {
     let exploit = red_team_exploits(browser)
         .into_iter()
         .find(|e| e.bugzilla == 290162)
@@ -311,11 +336,68 @@ fn churn(browser: &Browser, opts: Options) -> ChurnRun {
         joiner_tti_max: metrics.max_joiner_immunity_epochs().unwrap_or(0),
         immune_members: outcome.completed(),
         total_members: fleet.node_count(),
+        log: log_dump(&fleet),
     }
+}
+
+/// Determinism mode (`--digest PATH`): run only the log-producing scenarios,
+/// assert the sequential and sharded manager logs byte-identical (the PR 2
+/// parity guarantee), and write every record to PATH. CI runs this twice and
+/// diffs the two files: any nondeterminism in learning, routing, responder
+/// driving, plan merging, or the delta-sync byte accounting shows up as a diff.
+fn write_digest(path: &str, opts: &Options) {
+    let browser = Browser::build();
+    let model = learn_model(
+        &browser.image,
+        &expanded_learning_suite(),
+        MonitorConfig::full(),
+    )
+    .0;
+    let seq_run = multi_failure(
+        &browser,
+        &model,
+        FleetConfig::new(opts.nodes)
+            .sequential()
+            .with_manager_shards(1),
+    );
+    let par_run = multi_failure(
+        &browser,
+        &model,
+        FleetConfig::new(opts.nodes)
+            .with_workers(opts.workers)
+            .with_manager_shards(MANAGER_SHARDS),
+    );
+    assert_eq!(seq_run.immune, par_run.immune, "manager parity violated");
+    assert_eq!(
+        seq_run.log, par_run.log,
+        "sequential and sharded managers must write byte-identical logs"
+    );
+    let churn_run = churn(&browser, opts);
+
+    let digest = format!(
+        "== multi-failure ({} members, {} exploits, sequential == sharded x{}) ==\n{}\n== churn ({} members) ==\n{}",
+        opts.nodes,
+        MULTI_FAILURE_TARGETS.len(),
+        MANAGER_SHARDS,
+        par_run.log,
+        opts.nodes,
+        churn_run.log,
+    );
+    std::fs::write(path, &digest).expect("write digest");
+    println!(
+        "wrote {} ({} lines, {} bytes) — run twice and diff to check determinism",
+        path,
+        digest.lines().count(),
+        digest.len()
+    );
 }
 
 fn main() {
     let opts = parse_options();
+    if let Some(path) = opts.digest.clone() {
+        write_digest(&path, &opts);
+        return;
+    }
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -331,8 +413,8 @@ fn main() {
         opts.nodes * 4
     );
 
-    let (seq_pages, seq_secs, seq_rate) = throughput(false, 1, opts);
-    let (par_pages, par_secs, par_rate) = throughput(true, opts.workers, opts);
+    let (seq_pages, seq_secs, seq_rate) = throughput(false, 1, &opts);
+    let (par_pages, par_secs, par_rate) = throughput(true, opts.workers, &opts);
     assert_eq!(seq_pages, par_pages);
     let scheduling_speedup = par_rate / seq_rate;
 
@@ -462,7 +544,7 @@ fn main() {
     }
 
     let churn_run = if opts.churn {
-        let run = churn(&browser, opts);
+        let run = churn(&browser, &opts);
         print_table(
             &format!(
                 "Churn scenario ({} members, 20% killed mid-epoch, exploit 290162)",

@@ -1,7 +1,9 @@
 //! Snapshot-plane benchmark: encode/decode throughput of the columnar snapshot
 //! format across invariant-database sizes, snapshot size per invariant, delta-sync
-//! savings, and cold-vs-warm time-to-immunity (how many epochs a process needs to
-//! reach Protected starting from nothing vs. from a checkpoint).
+//! savings, cold-vs-warm time-to-immunity (how many epochs a process needs to
+//! reach Protected starting from nothing vs. from a checkpoint), and the
+//! delta-cut comparison: the O(database) materialized diff vs. the O(changed)
+//! incremental cut from the dirty-epoch plane.
 //!
 //! Run with: `cargo run --release -p cv-bench --bin snapshot_bench [-- --json]`
 //!
@@ -10,13 +12,18 @@
 
 use cv_apps::{learning_suite, red_team_exploits, Browser};
 use cv_bench::print_table;
-use cv_core::ClearViewConfig;
-use cv_fleet::{DeltaSnapshot, Fleet, FleetConfig, Presentation, Snapshot};
+use cv_core::{ClearViewConfig, PatchPlan};
+use cv_fleet::{DeltaSnapshot, Fleet, FleetConfig, Presentation, ShardedInvariantStore, Snapshot};
 use cv_inference::{Invariant, InvariantDatabase, Variable};
 use cv_isa::{Operand, Reg};
+use cv_store::DeltaBuilder;
 use std::time::Instant;
 
 const CODEC_ROUNDS: u32 = 10;
+const DELTA_ROUNDS: u32 = 20;
+/// Entries mutated between base and target in the delta-cut benchmark — held
+/// constant across database sizes so the incremental column isolates O(changed).
+const DELTA_CHANGED: usize = 128;
 const NODES: usize = 64;
 
 /// A deterministic synthetic database with roughly `target` invariants, shaped
@@ -78,6 +85,14 @@ fn codec_throughput(invariants: usize) -> CodecRow {
     };
     let bytes = snap.encode();
 
+    // Two untimed warmup rounds per direction: allocator and cache state
+    // otherwise dominate the smallest row and make the CI bench gate flaky
+    // (same reasoning as fleet_scale's merge warmups).
+    for _ in 0..2 {
+        std::hint::black_box(snap.encode());
+        std::hint::black_box(Snapshot::decode(&bytes).expect("decodes"));
+    }
+
     let start = Instant::now();
     for _ in 0..CODEC_ROUNDS {
         std::hint::black_box(snap.encode());
@@ -96,6 +111,91 @@ fn codec_throughput(invariants: usize) -> CodecRow {
         bytes: bytes.len(),
         encode_mb_s: mb / encode_secs,
         decode_mb_s: mb / decode_secs,
+    }
+}
+
+struct DeltaCutRow {
+    invariants: usize,
+    changed: usize,
+    removed: usize,
+    diff_us: f64,
+    incremental_us: f64,
+}
+
+/// Measure cutting a delta over a `target`-invariant store after a fixed-size
+/// mutation wave: the materialized `DeltaSnapshot::diff` (O(database), and the
+/// target snapshot it needs is generously pre-materialized outside the timer)
+/// vs. the dirty-epoch `DeltaBuilder` cut (O(changed); the timer includes the
+/// `dirty_since` query — the whole real path). Byte-identity of the two is
+/// asserted every round, so this bench doubles as a release-mode regression
+/// check.
+fn delta_cut(target_invariants: usize) -> DeltaCutRow {
+    let mut store = ShardedInvariantStore::new(8);
+    store.begin_epoch(1);
+    store.merge_uploads(&[synthetic_db(target_invariants)]);
+    // The base checkpoint is cut in epoch 2, *after* the bulk load's epoch closed:
+    // dirty_since(2) excludes the load and tracks only the wave below.
+    store.begin_epoch(2);
+    let base = Snapshot {
+        epoch: 2,
+        shard_count: store.shard_count() as u32,
+        invariants: store.snapshot(),
+        procedures: Vec::new(),
+        plan: PatchPlan::new(),
+    };
+
+    // The mutation wave: every 0x20-stride address gets a moved lower bound (the
+    // re-merge changes DELTA_CHANGED/2 existing entries and adds DELTA_CHANGED/2
+    // past the end of the loaded range).
+    store.begin_epoch(3);
+    let mut wave = InvariantDatabase::new();
+    for k in 0..DELTA_CHANGED as u32 {
+        let addr = 0x4_0000 + k * 0x20;
+        wave.insert(Invariant::LowerBound {
+            var: Variable::read(addr, 0, Operand::Reg(Reg::ALL[(addr as usize / 4) % 8])),
+            min: -1_000_000 - k as i32,
+        });
+    }
+    wave.recount();
+    store.merge_uploads(&[wave]);
+
+    let fused = store.snapshot();
+    let target = Snapshot {
+        epoch: 3,
+        shard_count: store.shard_count() as u32,
+        invariants: fused.clone(),
+        procedures: Vec::new(),
+        plan: PatchPlan::new(),
+    };
+
+    let start = Instant::now();
+    for _ in 0..DELTA_ROUNDS {
+        std::hint::black_box(DeltaSnapshot::diff(&base, &target));
+    }
+    let diff_us = start.elapsed().as_secs_f64() * 1e6 / DELTA_ROUNDS as f64;
+
+    let start = Instant::now();
+    for _ in 0..DELTA_ROUNDS {
+        let dirty = store.dirty_since(base.epoch).expect("base is covered");
+        std::hint::black_box(DeltaBuilder::new(&base, &dirty).cut(3, &fused, PatchPlan::new()));
+    }
+    let incremental_us = start.elapsed().as_secs_f64() * 1e6 / DELTA_ROUNDS as f64;
+
+    let dirty = store.dirty_since(base.epoch).expect("base is covered");
+    let incremental = DeltaBuilder::new(&base, &dirty).cut(3, &fused, PatchPlan::new());
+    let diffed = DeltaSnapshot::diff(&base, &target);
+    assert_eq!(
+        incremental.encode(),
+        diffed.encode(),
+        "incremental delta must be byte-identical to the diff-based one"
+    );
+
+    DeltaCutRow {
+        invariants: fused.len(),
+        changed: incremental.changed_entries(),
+        removed: incremental.removed.len(),
+        diff_us,
+        incremental_us,
     }
 }
 
@@ -199,6 +299,35 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    let delta_rows: Vec<DeltaCutRow> = [1_000usize, 10_000, 50_000]
+        .into_iter()
+        .map(delta_cut)
+        .collect();
+    print_table(
+        &format!(
+            "Delta cut: materialized diff vs. dirty-epoch incremental ({DELTA_ROUNDS} rounds, ~{DELTA_CHANGED} entries changed)"
+        ),
+        &[
+            "invariants",
+            "changed entries",
+            "diff µs (O(db))",
+            "incremental µs (O(changed))",
+            "speedup",
+        ],
+        &delta_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.invariants.to_string(),
+                    format!("{} (+{} removed)", r.changed, r.removed),
+                    format!("{:.1}", r.diff_us),
+                    format!("{:.1}", r.incremental_us),
+                    format!("{:.1}x", r.diff_us / r.incremental_us.max(0.001)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
     let run = warm_start();
     print_table(
         &format!("Cold vs. warm start ({NODES} members, exploit 290162)"),
@@ -236,10 +365,20 @@ fn main() {
                 )
             })
             .collect();
+        let delta_cut_rows: Vec<String> = delta_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{ \"invariants\": {}, \"changed\": {}, \"diff_us\": {:.1}, \"incremental_us\": {:.1} }}",
+                    r.invariants, r.changed, r.diff_us, r.incremental_us
+                )
+            })
+            .collect();
         let out = format!(
-            "{{\n  \"bench\": \"snapshot\",\n  \"format_version\": {},\n  \"codec\": [\n    {}\n  ],\n  \"cold_epochs_to_protected\": {},\n  \"warm_epochs_to_protected\": {},\n  \"snapshot_bytes\": {},\n  \"delta_bytes\": {},\n  \"delta_savings\": {:.2}\n}}\n",
+            "{{\n  \"bench\": \"snapshot\",\n  \"format_version\": {},\n  \"codec\": [\n    {}\n  ],\n  \"delta_cut\": [\n    {}\n  ],\n  \"cold_epochs_to_protected\": {},\n  \"warm_epochs_to_protected\": {},\n  \"snapshot_bytes\": {},\n  \"delta_bytes\": {},\n  \"delta_savings\": {:.2}\n}}\n",
             cv_store::FORMAT_VERSION,
             codec_rows.join(",\n    "),
+            delta_cut_rows.join(",\n    "),
             run.cold_epochs,
             run.warm_epochs,
             run.snapshot_bytes,

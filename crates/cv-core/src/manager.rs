@@ -205,6 +205,21 @@ impl PatchPlan {
         locations.dedup();
         locations
     }
+
+    /// The distinct shards (under `router`) this plan's operations touch, in
+    /// ascending order — what plan application stamps into the dirty-epoch plane,
+    /// so the persistence layer knows which shards' *configuration* changed
+    /// without consulting the plan again.
+    pub fn shards_touched(&self, router: &cv_inference::ShardRouter) -> Vec<usize> {
+        let mut shards: Vec<usize> = self
+            .ops
+            .iter()
+            .map(|op| router.shard_of(op.location))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
 }
 
 /// The *net* patch configuration of the fleet: what is actually installed on every
@@ -558,6 +573,27 @@ mod tests {
         assert_eq!(ab.len(), 4);
         assert!(matches!(ab.ops()[2].directive, Directive::RemoveChecks));
         assert!(matches!(ab.ops()[3].directive, Directive::RemoveRepair));
+    }
+
+    #[test]
+    fn shards_touched_follows_the_shared_router() {
+        let router = cv_inference::ShardRouter::new(4);
+        let mut plan = PatchPlan::new();
+        for k in 0..16u32 {
+            plan.push(0x4_0000 + k * 4, Directive::RemoveChecks);
+            plan.push(0x4_0000 + k * 4, Directive::RemoveRepair); // same shard twice
+        }
+        let touched = plan.shards_touched(&router);
+        assert!(touched.windows(2).all(|w| w[0] < w[1]), "ascending, dedup");
+        for shard in &touched {
+            assert!(*shard < 4);
+        }
+        let expected: std::collections::BTreeSet<usize> = plan
+            .locations()
+            .into_iter()
+            .map(|loc| router.shard_of(loc))
+            .collect();
+        assert_eq!(touched, expected.into_iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -35,7 +35,7 @@ use cv_core::{
 use cv_inference::{InvariantDatabase, LearnedModel, ProcedureDatabase};
 use cv_isa::{Addr, BinaryImage, Word};
 use cv_runtime::{MonitorConfig, RunStatus};
-use cv_store::{DeltaSnapshot, Snapshot};
+use cv_store::{DeltaBuilder, DeltaSnapshot, Snapshot};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -257,6 +257,15 @@ impl Fleet {
             fleet.model.invariants.clone(),
             fleet.store.shard_count(),
         );
+        // The restored state is *a* checkpoint labelled `snapshot.epoch` — but a
+        // base carrying the same label is not necessarily this one: learning can
+        // land mid-epoch, so two different checkpoints can share an epoch, and
+        // the restore has no mutation history to tell them apart (the live
+        // coordinator's inclusive dirty_since(B) rule handles exactly this; a
+        // restore cannot). Coverage therefore starts at the *next* epoch — same
+        // reasoning as set_model below — and bases at or before the restore
+        // label fall back to the materialized diff.
+        fleet.store.reset_dirty(snapshot.epoch + 1);
         let bootstrap = snapshot.bootstrap_plan();
         fleet.scheduler.apply_plan(&bootstrap);
         for op in bootstrap.ops() {
@@ -381,10 +390,43 @@ impl Fleet {
     /// The shard-keyed delta advancing `base` (a member's last checkpoint) to the
     /// coordinator's current state — strictly smaller than a full snapshot when
     /// little has changed.
+    ///
+    /// When the dirty-epoch plane covers the base (its epoch is at or after the
+    /// tracker's floor — always, for a coordinator that has run since its last
+    /// wholesale state install), the delta is cut **incrementally** in
+    /// O(changed): only the addresses stamped dirty since the base are
+    /// re-compared, and no target snapshot is materialized. Bases older than the
+    /// floor fall back to the materialized [`DeltaSnapshot::diff`]. Both paths
+    /// produce byte-identical deltas (`tests/delta_incremental.rs`).
     pub fn delta_since(&mut self, base: &Snapshot) -> DeltaSnapshot {
-        self.refresh_snapshot_cache();
-        let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-        DeltaSnapshot::diff(base, &cache.snapshot)
+        assert_eq!(
+            base.shard_count as usize,
+            self.store.shard_count(),
+            "base checkpoint and store must share one shard routing"
+        );
+        let start = Instant::now();
+        let (delta, plan_shards, incremental) = match self.store.dirty_since(base.epoch) {
+            Some(dirty) => {
+                let delta = DeltaBuilder::new(base, &dirty).cut(
+                    self.epoch,
+                    &self.model.invariants,
+                    self.net.to_plan(),
+                );
+                (delta, dirty.plan_shards.len() as u64, true)
+            }
+            None => {
+                self.refresh_snapshot_cache();
+                let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
+                (DeltaSnapshot::diff(base, &cache.snapshot), 0, false)
+            }
+        };
+        self.metrics.record_delta_cut(
+            delta.dirty_shard_count() as u64,
+            plan_shards,
+            start.elapsed(),
+            incremental,
+        );
+        delta
     }
 
     /// Encoded size of the delta from `base` to the current state, memoized like
@@ -401,22 +443,20 @@ impl Fleet {
                 return cached.encoded_bytes;
             }
         }
-        let delta = {
-            let cache = self
-                .snapshot_cache
-                .as_ref()
-                .expect("cache refreshed by caller");
-            DeltaSnapshot::diff(base, &cache.snapshot)
-        };
+        let delta = self.delta_since(base);
         let encoded_bytes = delta.encode().len() as u64;
-        debug_assert!(
-            {
-                let mut advanced = base.clone();
+        #[cfg(debug_assertions)]
+        {
+            // The incremental cut must land members on exactly the coordinator's
+            // state — materialize it (debug builds only) and prove it.
+            self.refresh_snapshot_cache();
+            let mut advanced = base.clone();
+            assert!(
                 advanced.apply_delta(&delta).is_ok()
-                    && Some(&advanced) == self.snapshot_cache.as_ref().map(|c| &c.snapshot)
-            },
-            "base + delta must reproduce the coordinator's state"
-        );
+                    && Some(&advanced) == self.snapshot_cache.as_ref().map(|c| &c.snapshot),
+                "base + delta must reproduce the coordinator's state"
+            );
+        }
         self.delta_cache = Some(CachedDelta {
             base_epoch: base.epoch,
             target_epoch,
@@ -572,6 +612,10 @@ impl Fleet {
             model.invariants.clone(),
             self.store.shard_count(),
         );
+        // No checkpoint equals the new state — not even one cut at the current
+        // epoch before the swap — so incremental answers begin at the *next*
+        // epoch; bases at or before this one fall back to materialized diffs.
+        self.store.reset_dirty(self.epoch + 1);
         self.model = model;
         self.snapshot_cache = None;
         self.delta_cache = None;
@@ -582,6 +626,10 @@ impl Fleet {
     /// locally inferred invariants; shard workers merge the uploads in parallel; the
     /// fused snapshot becomes the community model. Erroneous runs never contribute.
     pub fn distributed_learning(&mut self, pages: &[Vec<Word>]) {
+        // Stamp this round's mutations into the current epoch's dirty buckets
+        // (dirty_since is inclusive of the base epoch precisely because learning
+        // can land while an epoch — and a checkpoint cut in it — is still open).
+        self.store.begin_epoch(self.epoch);
         let locals = self.scheduler.learn(&self.image, pages);
         let mut uploads = Vec::with_capacity(locals.len());
         let mut databases = Vec::with_capacity(locals.len());
@@ -590,7 +638,9 @@ impl Fleet {
             // The central manager re-discovers the procedure CFGs the members saw
             // (these are rebuilt from the image, not uploaded — as in the seed).
             for proc in local.procedures.procedures() {
-                self.model.procedures.observe_block(proc.entry);
+                if let Some(entry) = self.model.procedures.observe_block(proc.entry) {
+                    self.store.mark_proc(entry);
+                }
             }
             databases.push(local.invariants);
         }
@@ -623,6 +673,7 @@ impl Fleet {
     ) -> EpochOutcome {
         self.epoch += 1;
         let epoch = self.epoch;
+        self.store.begin_epoch(epoch);
         let active: Vec<Addr> = self
             .manager_shards
             .iter()
@@ -710,6 +761,13 @@ impl Fleet {
         }
         let plan = PatchPlan::merge(plans);
         self.net.apply(&plan);
+        if !plan.is_empty() {
+            // Plan application changes the configuration side of the next
+            // checkpoint: stamp the store shards it touched (the shared router —
+            // the same keying deltas and the live store use) into the dirty plane.
+            let router = cv_inference::ShardRouter::new(self.store.shard_count());
+            self.store.mark_plan_shards(&plan.shards_touched(&router));
+        }
         let manager = manager_start.elapsed();
 
         // Batch order mirrors the seed's within-browse order as far as batching

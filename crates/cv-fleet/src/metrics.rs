@@ -76,6 +76,21 @@ pub struct FleetMetrics {
     pub delta_bytes_total: u64,
     /// Full-snapshot bytes the deltas stood in for.
     pub delta_full_bytes_total: u64,
+    /// Deltas cut by the coordinator (incremental or diff-based).
+    pub delta_cuts: u64,
+    /// Deltas cut incrementally from the dirty-epoch plane (no base snapshot
+    /// materialized, O(changed) instead of O(database)).
+    pub incremental_delta_cuts: u64,
+    /// Wall-clock time spent cutting deltas.
+    pub delta_cut_time: Duration,
+    /// Dirty store shards carried by the most recent delta cut.
+    pub dirty_shards_last: u64,
+    /// Dirty store shards summed across all delta cuts.
+    pub dirty_shards_total: u64,
+    /// Shards touched by patch-plan application since the most recent
+    /// incremental cut's base — the configuration-change footprint the plan
+    /// stamps record (0 when the cut took the diff fallback: no tracker there).
+    pub plan_dirty_shards_last: u64,
     /// Members that crashed with state loss.
     pub crashes: u64,
     /// Members that rejoined after a crash.
@@ -172,6 +187,36 @@ impl FleetMetrics {
         self.delta_syncs += 1;
         self.delta_bytes_total += delta_bytes;
         self.delta_full_bytes_total += full_bytes;
+    }
+
+    /// Record one delta cut carrying `dirty_shards` dirty shards (and, for
+    /// incremental cuts, `plan_shards` plan-stamped shards since the base),
+    /// taking `elapsed`, via the incremental dirty-epoch path or the
+    /// materialized diff.
+    pub(crate) fn record_delta_cut(
+        &mut self,
+        dirty_shards: u64,
+        plan_shards: u64,
+        elapsed: Duration,
+        incremental: bool,
+    ) {
+        self.delta_cuts += 1;
+        if incremental {
+            self.incremental_delta_cuts += 1;
+        }
+        self.delta_cut_time += elapsed;
+        self.dirty_shards_last = dirty_shards;
+        self.dirty_shards_total += dirty_shards;
+        self.plan_dirty_shards_last = plan_shards;
+    }
+
+    /// Mean wall-clock time per delta cut, in microseconds.
+    pub fn mean_delta_cut_micros(&self) -> f64 {
+        if self.delta_cuts == 0 {
+            0.0
+        } else {
+            self.delta_cut_time.as_secs_f64() * 1e6 / self.delta_cuts as f64
+        }
     }
 
     /// Record one joiner reaching its first completed presentation `epochs` epochs
@@ -315,6 +360,18 @@ impl fmt::Display for FleetMetrics {
                 self.delta_bytes_total,
                 self.delta_full_bytes_total,
                 self.delta_savings()
+            )?;
+        }
+        if self.delta_cuts > 0 {
+            writeln!(
+                f,
+                "  delta cuts: {} ({} incremental), mean {:.1}µs, last touched {} dirty shard(s) \
+                 ({} plan-stamped)",
+                self.delta_cuts,
+                self.incremental_delta_cuts,
+                self.mean_delta_cut_micros(),
+                self.dirty_shards_last,
+                self.plan_dirty_shards_last
             )?;
         }
         if self.crashes > 0 || self.cold_joins > 0 || self.warm_joins > 0 {

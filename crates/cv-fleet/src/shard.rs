@@ -16,8 +16,19 @@
 //! single-scan merge ([`InvariantDatabase::merge_into_shards`]) with monolithic
 //! cost — the fix for the `merge_sharded_parallel_seconds` regression recorded in
 //! `BENCH_fleet.json` on single-core machines.
+//!
+//! **Dirty-epoch tracking.** The store is also where the persistence plane learns
+//! what changed: every merge path reports the entries it actually modified (the
+//! `_observed` merge primitives), and the store stamps them — per shard, per epoch
+//! — into an embedded [`DirtyEpochs`] tracker. [`ShardedInvariantStore::dirty_since`]
+//! then answers "what may differ from the epoch-B checkpoint?" in O(changed),
+//! which is what lets `cv-store`'s `DeltaBuilder` cut deltas without materializing
+//! a base snapshot. A store whose state was installed wholesale (warm restore,
+//! model replacement) must call [`ShardedInvariantStore::reset_dirty`] with the
+//! epoch the new state corresponds to; older bases then fall back to full diffs.
 
-use cv_inference::InvariantDatabase;
+use cv_inference::{DirtyEpochs, DirtySet, InvariantDatabase};
+use cv_isa::Addr;
 
 /// Minimum invariants across an upload batch before a parallel merge spawns shard
 /// threads. Below this, per-shard work is microseconds and the spawns (plus each
@@ -29,6 +40,9 @@ const MIN_PARALLEL_MERGE_INVARIANTS: usize = 512;
 #[derive(Debug, Clone)]
 pub struct ShardedInvariantStore {
     shards: Vec<InvariantDatabase>,
+    /// The dirty-epoch plane: which addresses each epoch's merges actually
+    /// changed, per shard, plus procedure discoveries and plan-touched shards.
+    dirty: DirtyEpochs,
     /// Upload batches merged via the parallel per-shard fan-out.
     parallel_merges: u64,
     /// Upload batches merged via the inline single-scan fallback.
@@ -36,19 +50,25 @@ pub struct ShardedInvariantStore {
 }
 
 impl ShardedInvariantStore {
-    /// An empty store with `shard_count` shards (at least 1).
+    /// An empty store with `shard_count` shards (at least 1). An empty store has
+    /// trivially complete mutation history, so its dirty floor is epoch 0.
     pub fn new(shard_count: usize) -> Self {
         ShardedInvariantStore {
             shards: vec![InvariantDatabase::new(); shard_count.max(1)],
+            dirty: DirtyEpochs::new(shard_count.max(1), 0),
             parallel_merges: 0,
             inline_merges: 0,
         }
     }
 
-    /// Partition an existing database into a store.
+    /// Partition an existing database into a store. The database's mutation
+    /// history is unknown, so the dirty floor starts at `u64::MAX` — no base can
+    /// be answered incrementally until [`ShardedInvariantStore::reset_dirty`]
+    /// declares which epoch this state corresponds to.
     pub fn from_database(db: InvariantDatabase, shard_count: usize) -> Self {
         ShardedInvariantStore {
             shards: db.split(shard_count.max(1)),
+            dirty: DirtyEpochs::new(shard_count.max(1), u64::MAX),
             parallel_merges: 0,
             inline_merges: 0,
         }
@@ -90,6 +110,46 @@ impl ShardedInvariantStore {
         &self.shards
     }
 
+    /// The dirty-epoch tracker (what changed, per shard, per epoch).
+    pub fn dirty(&self) -> &DirtyEpochs {
+        &self.dirty
+    }
+
+    /// Advance the epoch subsequent mutations are stamped into.
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        self.dirty.begin_epoch(epoch);
+    }
+
+    /// Restart dirty tracking with complete knowledge from `floor` on — the
+    /// store's state was just installed wholesale and corresponds to the
+    /// epoch-`floor` checkpoint (or, for a state no checkpoint equals, the first
+    /// epoch after it).
+    pub fn reset_dirty(&mut self, floor: u64) {
+        self.dirty.reset(floor);
+    }
+
+    /// Stamp a procedure entry discovered in the current epoch (procedure
+    /// discovery lives next to the invariants in snapshots, so its dirt is
+    /// tracked here too).
+    pub fn mark_proc(&mut self, entry: Addr) {
+        self.dirty.mark_proc(entry);
+    }
+
+    /// Stamp the shards a patch plan's application touched in the current epoch
+    /// (the configuration-change footprint reported in fleet metrics).
+    pub fn mark_plan_shards(&mut self, shards: &[usize]) {
+        for &shard in shards {
+            self.dirty.mark_plan_shard(shard);
+        }
+    }
+
+    /// Everything that may differ from the epoch-`base_epoch` checkpoint, or
+    /// `None` when the base predates the tracker's floor (fall back to a
+    /// materialized diff).
+    pub fn dirty_since(&self, base_epoch: u64) -> Option<DirtySet> {
+        self.dirty.dirty_since(base_epoch)
+    }
+
     /// Merge member uploads into the store — one worker thread per shard when the
     /// fan-out can pay for itself, otherwise an inline single-scan merge.
     ///
@@ -102,7 +162,7 @@ impl ShardedInvariantStore {
     /// when [`ShardedInvariantStore::worker_count`] is 1 (threads cannot overlap) or
     /// the batch carries fewer than [`MIN_PARALLEL_MERGE_INVARIANTS`] invariants
     /// (spawns and the per-shard re-scan of every upload dominate). Both paths
-    /// produce identical shards.
+    /// produce identical shards and stamp identical dirty sets.
     pub fn merge_uploads(&mut self, uploads: &[InvariantDatabase]) {
         let batch: usize = uploads.iter().map(|u| u.len()).sum();
         let fan_out = self.shards.len() > 1
@@ -125,17 +185,39 @@ impl ShardedInvariantStore {
         let shard_count = self.shards.len();
         if parallel && shard_count > 1 {
             self.parallel_merges += 1;
-            std::thread::scope(|scope| {
-                for (index, shard) in self.shards.iter_mut().enumerate() {
-                    scope.spawn(move || merge_one_shard(shard, index, shard_count, uploads));
-                }
+            // Each worker returns the addresses its shard actually changed; the
+            // dirty stamps land single-threaded after the scope so the tracker
+            // needs no locking.
+            let changed: Vec<Vec<Addr>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(index, shard)| {
+                        scope.spawn(move || merge_one_shard(shard, index, shard_count, uploads))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard merge worker panicked"))
+                    .collect()
             });
+            for (shard, addrs) in changed.into_iter().enumerate() {
+                for addr in addrs {
+                    self.dirty.mark_in_shard(shard, addr);
+                }
+            }
         } else {
             // Monolithic fallback: each upload is scanned once, every address entry
             // routed straight to its owning shard — no per-shard re-scan, no spawns.
             self.inline_merges += 1;
+            let dirty = &mut self.dirty;
             for upload in uploads {
-                InvariantDatabase::merge_into_shards(&mut self.shards, upload);
+                InvariantDatabase::merge_into_shards_observed(
+                    &mut self.shards,
+                    upload,
+                    |shard, addr| dirty.mark_in_shard(shard, addr),
+                );
             }
             for shard in &mut self.shards {
                 shard.recount();
@@ -162,19 +244,26 @@ impl ShardedInvariantStore {
 }
 
 /// Merge every upload's invariants owned by shard `index` (the shared per-shard
-/// implementation of both merge paths).
+/// implementation of both merge paths), returning the addresses the merges
+/// actually changed (ascending, deduplicated — ready for dirty stamping).
 fn merge_one_shard(
     shard: &mut InvariantDatabase,
     index: usize,
     shard_count: usize,
     uploads: &[InvariantDatabase],
-) {
+) -> Vec<Addr> {
+    let mut changed = std::collections::BTreeSet::new();
     for upload in uploads {
-        shard.merge_filtered(upload, |addr| {
-            InvariantDatabase::shard_of(addr, shard_count) == index
-        });
+        shard.merge_filtered_observed(
+            upload,
+            |addr| InvariantDatabase::shard_of(addr, shard_count) == index,
+            |addr| {
+                changed.insert(addr);
+            },
+        );
     }
     shard.recount();
+    changed.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -223,10 +312,16 @@ mod tests {
             assert_eq!(store.len(), reference.len());
 
             // The threaded fan-out must agree with whatever path merge_uploads took
-            // on this machine, even when forced on a single core.
+            // on this machine, even when forced on a single core — and stamp the
+            // identical dirty set.
             let mut forced = ShardedInvariantStore::new(shard_count);
             forced.merge_uploads_forced_parallel(&uploads);
             assert_eq!(forced.snapshot(), reference);
+            assert_eq!(
+                forced.dirty_since(0),
+                store.dirty_since(0),
+                "both merge paths must stamp the same dirty set"
+            );
         }
     }
 
@@ -278,5 +373,35 @@ mod tests {
         let store = ShardedInvariantStore::from_database(db.clone(), 8);
         assert_eq!(store.shard_count(), 8);
         assert_eq!(store.snapshot(), db);
+        // Unknown mutation history: no base can be answered incrementally until
+        // reset_dirty declares an epoch.
+        assert_eq!(store.dirty_since(0), None);
+    }
+
+    #[test]
+    fn dirty_stamps_follow_epochs_and_resets() {
+        let uploads: Vec<_> = (0..2).map(upload).collect();
+        let mut store = ShardedInvariantStore::new(4);
+        store.begin_epoch(1);
+        store.merge_uploads(&uploads[..1]);
+        store.begin_epoch(2);
+        store.merge_uploads(&uploads[1..]);
+        store.mark_proc(0x4_0000);
+        store.mark_plan_shards(&[2, 0]);
+
+        let since1 = store.dirty_since(1).unwrap();
+        assert!(since1.dirty_addr_count() > 0);
+        assert_eq!(since1.procs, vec![0x4_0000]);
+        assert_eq!(since1.plan_shards, vec![0, 2]);
+        // Epoch-2-only view: the second upload re-merges the same addresses with
+        // new values, so stamps exist, but strictly fewer than the full history
+        // only if epoch 1 touched addresses epoch 2 left alone — both views must
+        // at least be supersets of nothing and subsets of the epoch-1 view.
+        let since2 = store.dirty_since(2).unwrap();
+        assert!(since2.dirty_addr_count() <= since1.dirty_addr_count());
+
+        store.reset_dirty(9);
+        assert_eq!(store.dirty_since(8), None);
+        assert!(store.dirty_since(9).unwrap().is_clean());
     }
 }

@@ -160,6 +160,13 @@ impl InvariantDatabase {
         self.by_addr.iter().map(|(a, v)| (*a, v.as_slice()))
     }
 
+    /// The entry stored at `addr`, distinguishing a missing entry (`None`) from a
+    /// present one — the comparison the incremental delta cutter needs, where
+    /// [`InvariantDatabase::invariants_at`] collapses both to an empty slice.
+    pub fn entry(&self, addr: Addr) -> Option<&[Invariant]> {
+        self.by_addr.get(&addr).map(|v| v.as_slice())
+    }
+
     /// Replace the invariants stored at `addr` wholesale (an empty vector removes
     /// the entry). The delta-sync apply path uses this to install changed entries;
     /// callers must [`InvariantDatabase::recount`] once the batch is applied.
@@ -213,42 +220,71 @@ impl InvariantDatabase {
     /// Unlike [`InvariantDatabase::merge`] this does **not** touch the learning
     /// counters — callers accumulating across shards must account for `other.stats`
     /// exactly once (see [`InvariantDatabase::absorb_run_stats`]).
-    pub fn merge_filtered(
+    pub fn merge_filtered(&mut self, other: &InvariantDatabase, keep: impl FnMut(Addr) -> bool) {
+        self.merge_filtered_observed(other, keep, |_| {});
+    }
+
+    /// [`InvariantDatabase::merge_filtered`] with change observation: `on_change` is
+    /// called with every check address whose stored entry this merge actually
+    /// modified (added, reshaped, or removed) — the hook the dirty-epoch plane uses
+    /// to stamp mutations as they land, so delta snapshots can later be cut in
+    /// O(changed) without diffing materialized bases.
+    pub fn merge_filtered_observed(
         &mut self,
         other: &InvariantDatabase,
         mut keep: impl FnMut(Addr) -> bool,
+        mut on_change: impl FnMut(Addr),
     ) {
         for (addr, invs) in &other.by_addr {
             if !keep(*addr) {
                 continue;
             }
-            self.merge_addr(*addr, invs);
+            if self.merge_addr(*addr, invs) {
+                on_change(*addr);
+            }
         }
     }
 
     /// Merge one address's invariants (in their stored order) into this database —
     /// the per-entry primitive shared by [`InvariantDatabase::merge_filtered`] and
-    /// [`InvariantDatabase::merge_into_shards`].
-    fn merge_addr(&mut self, addr: Addr, invs: &[Invariant]) {
+    /// [`InvariantDatabase::merge_into_shards`]. Returns whether the stored entry
+    /// actually changed (a merge that reproduces the existing entry bit-for-bit —
+    /// same one-of sets, no lower bound moved — reports `false`).
+    fn merge_addr(&mut self, addr: Addr, invs: &[Invariant]) -> bool {
         if invs.is_empty() {
             // An address whose invariants were all dropped by earlier merges must not
             // materialize an (empty) entry in this database.
-            return;
+            return false;
         }
         let slot = self.by_addr.entry(addr).or_default();
+        let mut changed = false;
         for inv in invs {
             let key = key_of(inv);
             if let Some(pos) = slot.iter().position(|existing| key_of(existing) == key) {
                 match combine(&slot[pos], inv) {
-                    Some(combined) => slot[pos] = combined,
+                    Some(combined) => {
+                        if combined != slot[pos] {
+                            slot[pos] = combined;
+                            changed = true;
+                        }
+                    }
                     None => {
                         slot.remove(pos);
+                        changed = true;
                     }
                 }
             } else {
                 slot.push(inv.clone());
+                changed = true;
             }
         }
+        if slot.is_empty() {
+            // Every invariant was dropped: remove the slot rather than leaving an
+            // empty entry behind — entry presence must mean "carries invariants",
+            // or snapshots and deltas would encode dead entries.
+            self.by_addr.remove(&addr);
+        }
+        changed
     }
 
     /// Merge `other` into a set of disjoint shards in **one scan**, routing every
@@ -261,9 +297,23 @@ impl InvariantDatabase {
     /// inline fallback path of the fleet's sharded invariant store. Does not touch
     /// learning counters (same contract as [`InvariantDatabase::merge_filtered`]).
     pub fn merge_into_shards(shards: &mut [InvariantDatabase], other: &InvariantDatabase) {
+        Self::merge_into_shards_observed(shards, other, |_, _| {});
+    }
+
+    /// [`InvariantDatabase::merge_into_shards`] with change observation:
+    /// `on_change(shard, addr)` fires for every entry the merge actually modified,
+    /// already routed to its owning shard.
+    pub fn merge_into_shards_observed(
+        shards: &mut [InvariantDatabase],
+        other: &InvariantDatabase,
+        mut on_change: impl FnMut(usize, Addr),
+    ) {
         assert!(!shards.is_empty(), "must have at least one shard");
         for (addr, invs) in &other.by_addr {
-            shards[Self::shard_of(*addr, shards.len())].merge_addr(*addr, invs);
+            let shard = Self::shard_of(*addr, shards.len());
+            if shards[shard].merge_addr(*addr, invs) {
+                on_change(shard, *addr);
+            }
         }
     }
 
@@ -543,6 +593,70 @@ mod tests {
         }
         fused.recount();
         assert_eq!(fused, sequential);
+    }
+
+    #[test]
+    fn observed_merges_report_only_real_changes() {
+        let mut db = InvariantDatabase::new();
+        db.insert(one_of(0x1000, &[1, 2]));
+        db.insert(Invariant::LowerBound {
+            var: var(0x2000),
+            min: -5,
+        });
+
+        // Same one-of values, weaker lower bound: nothing changes.
+        let mut same = InvariantDatabase::new();
+        same.insert(one_of(0x1000, &[2, 1]));
+        same.insert(Invariant::LowerBound {
+            var: var(0x2000),
+            min: 0,
+        });
+        let mut changed = Vec::new();
+        db.merge_filtered_observed(&same, |_| true, |addr| changed.push(addr));
+        assert!(changed.is_empty(), "no-op merge must not report changes");
+
+        // New value at 0x1000, lower bound moves at 0x2000, new addr 0x3000.
+        let mut moves = InvariantDatabase::new();
+        moves.insert(one_of(0x1000, &[3]));
+        moves.insert(Invariant::LowerBound {
+            var: var(0x2000),
+            min: -9,
+        });
+        moves.insert(one_of(0x3000, &[7]));
+        db.merge_filtered_observed(&moves, |_| true, |addr| changed.push(addr));
+        assert_eq!(changed, vec![0x1000, 0x2000, 0x3000]);
+    }
+
+    #[test]
+    fn merges_never_leave_empty_entries_behind() {
+        let mut a = InvariantDatabase::new();
+        a.insert(one_of(0x1000, &[1, 2, 3]));
+        let mut b = InvariantDatabase::new();
+        b.insert(one_of(0x1000, &[4, 5, 6]));
+        let mut changed = Vec::new();
+        a.merge_filtered_observed(&b, |_| true, |addr| changed.push(addr));
+        // The overflowing one-of was dropped; the emptied entry must vanish from
+        // the map (presence means "carries invariants"), and the drop is a change.
+        assert_eq!(changed, vec![0x1000]);
+        assert_eq!(a.entry(0x1000), None);
+        assert_eq!(a.addrs().count(), 0);
+    }
+
+    #[test]
+    fn sharded_observed_merge_routes_change_reports() {
+        let mut shards = vec![InvariantDatabase::new(); 4];
+        let mut upload = InvariantDatabase::new();
+        for addr in (0x1000u32..0x1040).step_by(4) {
+            upload.insert(one_of(addr, &[1]));
+        }
+        let mut reported = Vec::new();
+        InvariantDatabase::merge_into_shards_observed(&mut shards, &upload, |s, a| {
+            reported.push((s, a))
+        });
+        assert_eq!(reported.len(), 16);
+        for (shard, addr) in reported {
+            assert_eq!(InvariantDatabase::shard_of(addr, 4), shard);
+        }
     }
 
     #[test]

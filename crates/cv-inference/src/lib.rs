@@ -17,6 +17,10 @@
 //!   [`InvariantDatabase`].
 //! * [`InvariantDatabase`] — learned invariants indexed by check location, with the
 //!   merge operation used by the application community's amortized parallel learning.
+//! * [`DirtyEpochs`] — the dirty-epoch plane: per-shard, per-epoch buckets of the
+//!   check addresses the merges actually changed, fed by the `_observed` merge
+//!   variants, so the persistence plane can cut delta snapshots in O(changed)
+//!   instead of diffing materialized bases.
 //! * [`ReferenceFrontend`] — the retained straightforward implementation of the front
 //!   end, the executable specification the optimized hot path is proven equal to.
 //!
@@ -30,6 +34,7 @@
 
 mod cfg;
 mod database;
+mod dirty;
 mod frontend;
 mod intern;
 mod invariant;
@@ -39,6 +44,7 @@ mod variable;
 
 pub use cfg::{CfgBlock, ProcedureCfg, ProcedureDatabase};
 pub use database::{InvariantDatabase, LearningStats};
+pub use dirty::{DirtyEpochs, DirtySet};
 pub use frontend::{LearnedModel, LearningFrontend};
 pub use invariant::{Invariant, ONE_OF_LIMIT};
 pub use reference::ReferenceFrontend;

@@ -19,7 +19,7 @@ use crate::error::StoreError;
 use crate::snapshot::{Snapshot, SECTION_PLAN};
 use crate::wire::{read_container, require_section, write_container, Reader, Writer};
 use cv_core::PatchPlan;
-use cv_inference::{Invariant, LearningStats, ShardRouter};
+use cv_inference::{DirtySet, Invariant, InvariantDatabase, LearningStats, ShardRouter};
 use cv_isa::Addr;
 use std::collections::BTreeMap;
 
@@ -118,6 +118,11 @@ impl DeltaSnapshot {
             procs_added,
             plan: target.plan.clone(),
         }
+    }
+
+    /// Number of dirty shards the delta carries.
+    pub fn dirty_shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Number of added-or-modified entries across all dirty shards.
@@ -220,6 +225,14 @@ impl DeltaSnapshot {
                     context: "trailing bytes after a shard section",
                 });
             }
+            if entries.is_empty() {
+                // A shard section *claims* the shard is dirty; carrying no entries
+                // means the claim and the payload disagree — reject rather than
+                // let an apply silently treat the shard as clean.
+                return Err(StoreError::Corrupt {
+                    context: "dirty shard section carries no entries",
+                });
+            }
             for (addr, _) in &entries {
                 if router.shard_of(*addr) as u32 != shard {
                     return Err(StoreError::Corrupt {
@@ -246,6 +259,107 @@ impl DeltaSnapshot {
             procs_added,
             plan,
         })
+    }
+}
+
+/// Cuts a [`DeltaSnapshot`] **incrementally** — from the dirty-epoch plane's
+/// answer of what changed, never by materializing and diffing the target.
+///
+/// [`DeltaSnapshot::diff`] costs O(database): it walks every entry of two full
+/// snapshots even when one address changed. `DeltaBuilder` instead takes the base
+/// checkpoint and a [`DirtySet`] (from
+/// [`DirtyEpochs::dirty_since`](cv_inference::DirtyEpochs::dirty_since) — a
+/// superset of the addresses whose entries may differ from the base), re-compares
+/// exactly those addresses against the live database, and emits the identical
+/// delta in O(changed · log database).
+///
+/// **Byte-identity contract**: provided the dirty set really is a superset of the
+/// changed addresses (the tracker's soundness contract), the cut delta is
+/// byte-for-byte the delta `DeltaSnapshot::diff(base, target)` would produce from
+/// the materialized target — same entries, same order, same encoding — proven by
+/// the `delta_incremental` proptest suite over randomized epoch histories. All
+/// wire guarantees (shard-routing validation, apply semantics, the golden
+/// fixture) therefore hold unchanged.
+#[derive(Debug)]
+pub struct DeltaBuilder<'a> {
+    base: &'a Snapshot,
+    dirty: &'a DirtySet,
+}
+
+impl<'a> DeltaBuilder<'a> {
+    /// A builder cutting deltas against `base`, re-checking the addresses in
+    /// `dirty`. Panics if the dirty set's shard keying disagrees with the base's
+    /// — one routing per delta, same rule as [`DeltaSnapshot::diff`].
+    pub fn new(base: &'a Snapshot, dirty: &'a DirtySet) -> Self {
+        assert_eq!(
+            base.shard_count as usize,
+            dirty.shard_count(),
+            "dirty set and base snapshot must share one shard routing"
+        );
+        DeltaBuilder { base, dirty }
+    }
+
+    /// Cut the delta advancing the base to the live state: `invariants` is the
+    /// coordinator's current database (its stats ride along wholesale), the dirty
+    /// set's proc stamps supply the procedure additions, and `plan` is the
+    /// current net patch plan (also carried wholesale, exactly as `diff` does).
+    pub fn cut(
+        &self,
+        target_epoch: u64,
+        invariants: &InvariantDatabase,
+        plan: PatchPlan,
+    ) -> DeltaSnapshot {
+        let mut removed: Vec<Addr> = Vec::new();
+        let mut shards: Vec<ShardDelta> = Vec::new();
+        for (shard, addrs) in self.dirty.per_shard.iter().enumerate() {
+            let mut entries: Vec<(Addr, Vec<Invariant>)> = Vec::new();
+            for &addr in addrs {
+                // The same predicate `diff` applies to *every* address, evaluated
+                // only for the dirty ones: untracked addresses are unchanged by
+                // the dirty plane's soundness contract.
+                let base_entry = self.base.invariants.entry(addr);
+                match invariants.entry(addr) {
+                    Some(target_entry) => {
+                        if base_entry != Some(target_entry) {
+                            entries.push((addr, target_entry.to_vec()));
+                        }
+                    }
+                    None => {
+                        if base_entry.is_some() {
+                            removed.push(addr);
+                        }
+                    }
+                }
+            }
+            if !entries.is_empty() {
+                shards.push(ShardDelta {
+                    shard: shard as u32,
+                    entries,
+                });
+            }
+        }
+        // Per-shard entry lists are ascending (the dirty set is sorted per shard);
+        // removals must be *globally* ascending like the diff's base-order walk.
+        removed.sort_unstable();
+
+        let procs_added: Vec<Addr> = self
+            .dirty
+            .procs
+            .iter()
+            .copied()
+            .filter(|p| self.base.procedures.binary_search(p).is_err())
+            .collect();
+
+        DeltaSnapshot {
+            base_epoch: self.base.epoch,
+            target_epoch,
+            shard_count: self.base.shard_count,
+            removed,
+            shards,
+            stats: invariants.stats,
+            procs_added,
+            plan,
+        }
     }
 }
 
@@ -375,6 +489,76 @@ mod tests {
             DeltaSnapshot::decode(&mangled.encode()),
             Err(StoreError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn incremental_cut_matches_diff_byte_for_byte() {
+        use cv_inference::DirtyEpochs;
+
+        let base = snapshot_with(&[(0x1000, 1), (0x1004, 2), (0x1008, 3)], 5);
+        // Target state: 0x1004 rebound, 0x100C added, 0x1008 dropped, plus a new
+        // procedure — built as live mutations stamped into a dirty tracker.
+        let mut live = base.invariants.clone();
+        let mut dirty = DirtyEpochs::new(4, 5);
+        dirty.begin_epoch(8);
+        live.set_entry(
+            0x1004,
+            vec![Invariant::LowerBound {
+                var: Variable::read(0x1004, 0, Operand::Reg(Reg::Ecx)),
+                min: -9,
+            }],
+        );
+        dirty.mark(0x1004);
+        live.set_entry(
+            0x100C,
+            vec![Invariant::LowerBound {
+                var: Variable::read(0x100C, 0, Operand::Reg(Reg::Ecx)),
+                min: 4,
+            }],
+        );
+        dirty.mark(0x100C);
+        live.set_entry(0x1008, Vec::new());
+        dirty.mark(0x1008);
+        live.recount();
+        dirty.mark_proc(0x4_0040);
+        // An address stamped dirty but unchanged (re-dirtied back to base) and a
+        // proc the base already holds: the re-compare must filter both out.
+        dirty.mark(0x1000);
+        dirty.mark_proc(0x4_0000);
+
+        let mut target = Snapshot {
+            epoch: 8,
+            shard_count: 4,
+            invariants: live.clone(),
+            procedures: vec![0x4_0000, 0x4_0040],
+            plan: PatchPlan::new(),
+        };
+        target.invariants.stats = live.stats;
+
+        let diffed = DeltaSnapshot::diff(&base, &target);
+        let set = dirty.dirty_since(base.epoch).unwrap();
+        let incremental = DeltaBuilder::new(&base, &set).cut(8, &live, PatchPlan::new());
+        assert_eq!(incremental, diffed);
+        assert_eq!(incremental.encode(), diffed.encode());
+
+        let mut advanced = base.clone();
+        advanced.apply_delta(&incremental).unwrap();
+        assert_eq!(advanced, target);
+    }
+
+    #[test]
+    fn empty_dirty_shard_section_is_rejected() {
+        let base = snapshot_with(&[(0x1000, 1)], 5);
+        let target = snapshot_with(&[(0x1000, 2)], 6);
+        let mut delta = DeltaSnapshot::diff(&base, &target);
+        // Claim a dirty shard without carrying any entries for it.
+        delta.shards[0].entries.clear();
+        assert_eq!(
+            DeltaSnapshot::decode(&delta.encode()),
+            Err(StoreError::Corrupt {
+                context: "dirty shard section carries no entries"
+            })
+        );
     }
 
     #[test]

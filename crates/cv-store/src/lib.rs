@@ -17,6 +17,10 @@
 //!   by (epoch, shard): per store shard, only the added/modified entries, plus
 //!   removals, new procedures, and the target plan. An up-to-date member syncs
 //!   strictly fewer bytes than a full snapshot when little changed.
+//! * [`DeltaBuilder`] (`delta.rs`) — cuts the *identical* delta incrementally from
+//!   the dirty-epoch plane ([`cv_inference::DirtyEpochs`]) in O(changed), without
+//!   materializing or scanning a base snapshot; [`DeltaSnapshot::diff`] remains
+//!   the O(database) executable specification it is proven byte-equal to.
 //! * [`StoreError`] (`error.rs`) — the decoder's *reject, never misread* contract:
 //!   truncation, checksum mismatches, unknown versions, and structurally impossible
 //!   payloads all fail loudly.
@@ -43,7 +47,7 @@ mod snapshot;
 mod wire;
 
 pub use delta::{
-    DeltaSnapshot, ShardDelta, DELTA_MAGIC, SECTION_DELTA_META, SECTION_PROCS_ADDED,
+    DeltaBuilder, DeltaSnapshot, ShardDelta, DELTA_MAGIC, SECTION_DELTA_META, SECTION_PROCS_ADDED,
     SECTION_REMOVED, SECTION_STATS, SHARD_SECTION_BASE,
 };
 pub use error::StoreError;
