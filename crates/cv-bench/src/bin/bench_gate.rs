@@ -17,6 +17,11 @@
 //!   --fresh DIR      directory holding the freshly produced records (default `.`)
 //!   --tolerance F    allowed fractional drop, 0..1 (default 0.30 = fail
 //!                    when fresh < 70% of baseline)
+//!   --only FILE      gate only the metrics recorded in FILE (e.g.
+//!                    `BENCH_fleet.json`) — the tracing-overhead guard compares
+//!                    a recorder-enabled fleet run against the recorder-disabled
+//!                    one at a tight tolerance without dragging the other bench
+//!                    files into that comparison
 //!
 //! The gate is also a *format* check: a gated metric missing from either copy,
 //! or appearing a different number of times (array shape drift), fails — the
@@ -116,12 +121,22 @@ fn gate_metric(
     lines
 }
 
-fn run(baseline_dir: &str, fresh_dir: &str, tolerance: f64) -> Result<Vec<Violation>, String> {
+fn run(
+    baseline_dir: &str,
+    fresh_dir: &str,
+    tolerance: f64,
+    only: Option<&str>,
+) -> Result<Vec<Violation>, String> {
     let mut violations = Vec::new();
     let mut current_file = "";
     let mut baseline_text = String::new();
     let mut fresh_text = String::new();
+    let mut gated = 0usize;
     for (file, key) in GATES {
+        if only.is_some_and(|o| o != *file) {
+            continue;
+        }
+        gated += 1;
         if *file != current_file {
             current_file = file;
             baseline_text = std::fs::read_to_string(format!("{baseline_dir}/{file}"))
@@ -141,6 +156,12 @@ fn run(baseline_dir: &str, fresh_dir: &str, tolerance: f64) -> Result<Vec<Violat
             println!("{line}");
         }
     }
+    if gated == 0 {
+        return Err(match only {
+            Some(file) => format!("--only {file} matches no gated metric"),
+            None => "no gated metrics".to_string(),
+        });
+    }
     Ok(violations)
 }
 
@@ -148,6 +169,7 @@ fn main() -> ExitCode {
     let mut baseline_dir = ".".to_string();
     let mut fresh_dir = ".".to_string();
     let mut tolerance = 0.30f64;
+    let mut only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -166,15 +188,20 @@ fn main() -> ExitCode {
                     "--tolerance must be in 0..1"
                 );
             }
+            "--only" => only = Some(value("--only")),
             other => panic!("unknown option {other}"),
         }
     }
 
     println!(
-        "bench_gate: baseline '{baseline_dir}', fresh '{fresh_dir}', tolerance {:.0}%",
-        tolerance * 100.0
+        "bench_gate: baseline '{baseline_dir}', fresh '{fresh_dir}', tolerance {:.0}%{}",
+        tolerance * 100.0,
+        match &only {
+            Some(file) => format!(", only {file}"),
+            None => String::new(),
+        }
     );
-    match run(&baseline_dir, &fresh_dir, tolerance) {
+    match run(&baseline_dir, &fresh_dir, tolerance, only.as_deref()) {
         Err(message) => {
             eprintln!("bench_gate error: {message}");
             ExitCode::FAILURE
@@ -257,6 +284,26 @@ mod tests {
             matches!(&violations[0], Violation::Shape { .. }),
             "a gated metric absent from both copies is drift, not a pass"
         );
+    }
+
+    #[test]
+    fn only_filter_restricts_gating_to_one_file() {
+        let dir = std::env::temp_dir().join("bench_gate_only_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_fleet.json"),
+            "{\"pages_per_second_sequential\": 100.0, \"pages_per_second_parallel\": 200.0}\n",
+        )
+        .unwrap();
+        let dir = dir.to_str().unwrap();
+        // Only the fleet record exists, so an unfiltered run fails on the
+        // missing learning/snapshot files — but `--only BENCH_fleet.json` gates
+        // cleanly against the one file that is there.
+        assert!(run(dir, dir, 0.05, None).is_err());
+        let violations = run(dir, dir, 0.05, Some("BENCH_fleet.json")).unwrap();
+        assert!(violations.is_empty(), "identical records gate clean");
+        // A filter that matches nothing is an error, not a silent pass.
+        assert!(run(dir, dir, 0.05, Some("BENCH_nope.json")).is_err());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!                   write every `BatchLog` record to PATH — CI runs this twice
 //!                   and diffs the files, locking in the byte-identical-log
 //!                   guarantee across runs. No timing-dependent output.
+//!   --trace PATH    enable the `cv-obs` recorder and write a Chrome
+//!                   `trace_event` JSON of the whole run to PATH, plus a
+//!                   machine-readable per-phase summary (medians/p99, counters,
+//!                   repair timelines) of the churn fleet to PATH's
+//!                   `.summary.json` sibling; implies the churn scenario
 //!   --workers N     worker threads for the parallel configurations (0 = one per core)
 //!   --nodes N       community size (default 256)
 //!   --epochs N      benign throughput epochs (default 4)
@@ -29,8 +34,9 @@ use cv_apps::{
 };
 use cv_bench::print_table;
 use cv_core::{learn_model, ClearViewConfig};
-use cv_fleet::{Fleet, FleetConfig, Presentation, ShardedInvariantStore};
+use cv_fleet::{Fleet, FleetConfig, FleetMetrics, Presentation, ShardedInvariantStore};
 use cv_inference::{InvariantDatabase, LearnedModel, LearningFrontend};
+use cv_obs::{chrome_trace_json, Summary, TraceEvent};
 use cv_runtime::{EnvConfig, ManagedExecutionEnvironment, MonitorConfig};
 use std::time::Instant;
 
@@ -44,6 +50,7 @@ struct Options {
     json: bool,
     churn: bool,
     digest: Option<String>,
+    trace: Option<String>,
     workers: usize,
     nodes: usize,
     epochs: usize,
@@ -54,6 +61,7 @@ fn parse_options() -> Options {
         json: false,
         churn: false,
         digest: None,
+        trace: None,
         workers: 0,
         nodes: 256,
         epochs: 4,
@@ -69,6 +77,7 @@ fn parse_options() -> Options {
             "--json" => opts.json = true,
             "--churn" => opts.churn = true,
             "--digest" => opts.digest = Some(args.next().expect("--digest requires a path")),
+            "--trace" => opts.trace = Some(args.next().expect("--trace requires a path")),
             "--workers" => opts.workers = number("--workers"),
             "--nodes" => opts.nodes = number("--nodes").max(16),
             "--epochs" => opts.epochs = number("--epochs").max(1),
@@ -76,8 +85,9 @@ fn parse_options() -> Options {
         }
     }
     // The JSON record carries the snapshot/churn columns, so --json implies the
-    // churn scenario.
-    opts.churn |= opts.json;
+    // churn scenario; the trace summary reports the churn fleet, so --trace does
+    // too.
+    opts.churn |= opts.json || opts.trace.is_some();
     opts
 }
 
@@ -168,12 +178,23 @@ fn merge_time(shards: usize, parallel: bool, uploads: &[InvariantDatabase]) -> f
 /// The outcome of one multi-failure manager run.
 struct MultiFailureRun {
     manager_ms_per_epoch: f64,
-    manager_parallel_speedup: f64,
+    /// `None` when no manager fan-out ever ran on multiple threads — the
+    /// single-core / single-worker case, where there is no parallel section to
+    /// measure. Rendered as `-` in the table and `null` in the JSON record.
+    manager_parallel_speedup: Option<f64>,
     immune: usize,
     immunity_epochs: Vec<(u32, u64)>,
     /// The fleet's entire `BatchLog`, one record per line — timing-free, so two
     /// runs of the same scenario must produce byte-identical dumps.
     log: String,
+}
+
+/// Render a manager-parallel speedup cell: `-` when no parallel fan-out ran.
+fn speedup_cell(speedup: Option<f64>) -> String {
+    match speedup {
+        Some(s) => format!("{s:.2}x"),
+        None => "-".into(),
+    }
 }
 
 /// Dump a fleet's batched console log, one `FleetMessage` record per line.
@@ -254,6 +275,12 @@ struct ChurnRun {
     /// The fleet's `BatchLog` dump (see [`log_dump`]): the churn protocol
     /// history, including `Bootstrap`/`DeltaSync` records with their byte sizes.
     log: String,
+    /// The churn fleet's full metrics aggregate — the `--json` record dumps it
+    /// whole, and the `--trace` summary is reconciled against it.
+    metrics: FleetMetrics,
+    /// The churn fleet's `cv-obs` id, for filtering the recorded stream down to
+    /// this fleet's events.
+    obs_id: u64,
 }
 
 /// Kill 20% of the fleet mid-epoch (they miss that epoch's patch push), drive the
@@ -337,7 +364,63 @@ fn churn(browser: &Browser, opts: &Options) -> ChurnRun {
         immune_members: outcome.completed(),
         total_members: fleet.node_count(),
         log: log_dump(&fleet),
+        metrics: metrics.clone(),
+        obs_id: fleet.obs_id(),
     }
+}
+
+/// Write the Chrome trace (the whole process: every fleet this run built) to
+/// `path`, and the churn fleet's per-phase summary to `path`'s `.summary.json`
+/// sibling — after asserting the summary reconciles with the churn fleet's
+/// [`FleetMetrics`].
+fn write_trace(path: &str, mut events: Vec<TraceEvent>, run: &ChurnRun) {
+    let churn_events = cv_obs::recorder().drain();
+    let summary = Summary::build_for_fleet(&churn_events, run.obs_id);
+    reconcile(&summary, &run.metrics);
+
+    events.extend(churn_events);
+    std::fs::write(path, chrome_trace_json(&events)).expect("write chrome trace");
+    let summary_path = match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.summary.json"),
+        None => format!("{path}.summary.json"),
+    };
+    std::fs::write(&summary_path, summary.to_json()).expect("write trace summary");
+    println!("\nchurn-fleet phase summary (reconciled against FleetMetrics):\n{summary}");
+    println!(
+        "wrote {path} ({} events — open in chrome://tracing or ui.perfetto.dev) \
+         and {summary_path}",
+        events.len()
+    );
+}
+
+/// Assert the trace-derived per-phase totals agree with the metrics fold. Each
+/// instrumented phase is measured **once** (`timed_span`) and the same
+/// `Duration` feeds both the trace event and the `MetricEvent`, so the totals
+/// are equal exactly, not approximately — any drift is an accounting bug.
+fn reconcile(summary: &Summary, metrics: &FleetMetrics) {
+    use std::time::Duration;
+    let total = |name: &str| summary.phase(name).map_or(Duration::ZERO, |p| p.total);
+    let count = |name: &str| summary.phase(name).map_or(0, |p| p.count);
+    assert_eq!(total("fleet.execution"), metrics.execution_time);
+    assert_eq!(count("fleet.execution"), metrics.epochs);
+    assert_eq!(total("fleet.manager"), metrics.manager_time);
+    assert_eq!(total("fleet.manager_fanout"), metrics.manager_fanout_time);
+    assert_eq!(total("fleet.delta_cut"), metrics.delta_cut_time);
+    assert_eq!(count("fleet.delta_cut"), metrics.delta_cuts);
+    // The push span is recorded every epoch; the metrics event folds in only
+    // the rounds that actually pushed a plan.
+    assert!(total("fleet.patch_push") >= metrics.patch_propagation_time);
+    assert_eq!(
+        summary.counters.get("fleet.pages_processed").copied(),
+        Some(metrics.pages_processed)
+    );
+    assert_eq!(
+        summary.counters.get("fleet.patch_applications").copied(),
+        Some(metrics.patch_applications)
+    );
+    println!(
+        "\ntrace/metrics reconciliation: per-phase totals match the FleetMetrics fold exactly"
+    );
 }
 
 /// Determinism mode (`--digest PATH`): run only the log-producing scenarios,
@@ -395,8 +478,13 @@ fn write_digest(path: &str, opts: &Options) {
 fn main() {
     let opts = parse_options();
     if let Some(path) = opts.digest.clone() {
+        // Determinism mode stays untraced: the digest is the byte-identical
+        // BatchLog dump, and the recorder has nothing to add to it.
         write_digest(&path, &opts);
         return;
+    }
+    if opts.trace.is_some() {
+        cv_obs::recorder().set_enabled(true);
     }
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -508,14 +596,14 @@ fn main() {
                 "sequential (seed shape)".into(),
                 "1".into(),
                 format!("{:.3}", seq_run.manager_ms_per_epoch),
-                "1.00x".into(),
+                speedup_cell(seq_run.manager_parallel_speedup),
                 format!("{}/{}", seq_run.immune, MULTI_FAILURE_TARGETS.len()),
             ],
             vec![
                 format!("sharded ({worker_label})"),
                 MANAGER_SHARDS.to_string(),
                 format!("{:.3}", par_run.manager_ms_per_epoch),
-                format!("{:.2}x", par_run.manager_parallel_speedup),
+                speedup_cell(par_run.manager_parallel_speedup),
                 format!("{}/{}", par_run.immune, MULTI_FAILURE_TARGETS.len()),
             ],
         ],
@@ -531,8 +619,7 @@ fn main() {
     println!(
         "manager wall-clock vs sequential: {manager_wall_ratio:.2}x \
          (expect ~1x on a single core; the manager-parallel speedup column is \
-         busy-time / fan-out wall time and is exactly 1.00x when no parallel \
-         fan-out ran)"
+         busy-time / fan-out wall time and is '-' when no parallel fan-out ran)"
     );
 
     if scheduling_speedup > 1.0 {
@@ -544,6 +631,15 @@ fn main() {
     }
 
     let churn_run = if opts.churn {
+        // Everything recorded so far — the throughput fleets, the merge rounds,
+        // the two multi-failure fleets — belongs in the Chrome trace but not in
+        // the per-fleet summary: drain it now so the stream that remains is
+        // exactly the churn run's.
+        let pre_churn_events = if opts.trace.is_some() {
+            cv_obs::recorder().drain()
+        } else {
+            Vec::new()
+        };
         let run = churn(&browser, &opts);
         print_table(
             &format!(
@@ -587,6 +683,9 @@ fn main() {
             run.immune_members, run.total_members,
             "churned fleet failed fleet-wide immunity"
         );
+        if let Some(path) = &opts.trace {
+            write_trace(path, pre_churn_events, &run);
+        }
         Some(run)
     } else {
         None
@@ -622,13 +721,23 @@ fn main() {
             ),
             None => String::new(),
         };
+        // The full churn-fleet aggregate, delta-cut and churn counters included,
+        // as one nested object — the gated throughput keys above stay flat and
+        // untouched.
+        let metrics_json = match &churn_run {
+            Some(run) => format!(",\n  \"metrics\": {}", run.metrics.to_json("  ")),
+            None => String::new(),
+        };
+        let speedup_json = match par_run.manager_parallel_speedup {
+            Some(s) => format!("{s:.3}"),
+            None => "null".to_string(),
+        };
         let json = format!(
-            "{{\n  \"bench\": \"fleet_scale\",\n  \"nodes\": {},\n  \"workers\": {},\n  \"cores\": {cores},\n  \"pages_per_second_sequential\": {seq_rate:.1},\n  \"pages_per_second_parallel\": {par_rate:.1},\n  \"scheduling_speedup\": {scheduling_speedup:.3},\n  \"merge_monolithic_seconds\": {mono:.4},\n  \"merge_sharded_parallel_seconds\": {sharded_par:.4},\n  \"manager_ms_per_epoch_sequential\": {:.4},\n  \"manager_ms_per_epoch_sharded\": {:.4},\n  \"manager_parallel_speedup\": {:.3},\n  \"manager_shards\": {MANAGER_SHARDS},\n  \"multi_failure_locations\": {},\n  \"immune_locations\": {},\n  \"time_to_immunity_epochs_max\": {max_immunity},\n  \"time_to_immunity_epochs\": {{ {} }}{churn_json}\n}}\n",
+            "{{\n  \"bench\": \"fleet_scale\",\n  \"nodes\": {},\n  \"workers\": {},\n  \"cores\": {cores},\n  \"pages_per_second_sequential\": {seq_rate:.1},\n  \"pages_per_second_parallel\": {par_rate:.1},\n  \"scheduling_speedup\": {scheduling_speedup:.3},\n  \"merge_monolithic_seconds\": {mono:.4},\n  \"merge_sharded_parallel_seconds\": {sharded_par:.4},\n  \"manager_ms_per_epoch_sequential\": {:.4},\n  \"manager_ms_per_epoch_sharded\": {:.4},\n  \"manager_parallel_speedup\": {speedup_json},\n  \"manager_shards\": {MANAGER_SHARDS},\n  \"multi_failure_locations\": {},\n  \"immune_locations\": {},\n  \"time_to_immunity_epochs_max\": {max_immunity},\n  \"time_to_immunity_epochs\": {{ {} }}{churn_json}{metrics_json}\n}}\n",
             opts.nodes,
             opts.workers,
             seq_run.manager_ms_per_epoch,
             par_run.manager_ms_per_epoch,
-            par_run.manager_parallel_speedup,
             MULTI_FAILURE_TARGETS.len(),
             par_run.immune,
             immunity_entries.join(", "),

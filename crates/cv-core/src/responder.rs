@@ -152,7 +152,23 @@ impl FailureResponder {
         config: ClearViewConfig,
     ) -> (Self, Vec<Directive>) {
         let candidates = candidate_invariants(failure, model, &config);
+        // Repair-timeline stage: candidate checks selected (or none found). The
+        // instants are dropped unless tracing is on; `location` keys them into
+        // the per-failure timelines the summary report assembles.
+        cv_obs::recorder().instant(
+            "timeline.checks_selected",
+            "timeline",
+            &[
+                ("location", u64::from(failure.location)),
+                ("candidates", candidates.len() as u64),
+            ],
+        );
         let (phase, directives) = if candidates.is_empty() {
+            cv_obs::recorder().instant(
+                "timeline.gave_up",
+                "timeline",
+                &[("location", u64::from(failure.location))],
+            );
             (Phase::Unprotected, Vec::new())
         } else {
             let checks = candidates
@@ -300,8 +316,23 @@ impl FailureResponder {
         }
         let repairs =
             generate_repairs(&self.candidates, &self.classifications, model, &self.config);
+        // Repair-timeline stage: candidate repairs generated from the correlated
+        // invariants.
+        cv_obs::recorder().instant(
+            "timeline.candidates_generated",
+            "timeline",
+            &[
+                ("location", u64::from(self.failure_location)),
+                ("repairs", repairs.len() as u64),
+            ],
+        );
         let mut directives = vec![Directive::RemoveChecks];
         if repairs.is_empty() {
+            cv_obs::recorder().instant(
+                "timeline.gave_up",
+                "timeline",
+                &[("location", u64::from(self.failure_location))],
+            );
             self.phase = Phase::Unprotected;
             return directives;
         }
@@ -321,6 +352,14 @@ impl FailureResponder {
         match status {
             DigestStatus::Completed => {
                 self.evaluator.record_success(idx);
+                if self.phase != Phase::Protected {
+                    // Repair-timeline stage: first surviving evaluation verdict.
+                    cv_obs::recorder().instant(
+                        "timeline.verdict_success",
+                        "timeline",
+                        &[("location", u64::from(self.failure_location))],
+                    );
+                }
                 self.phase = Phase::Protected;
                 Vec::new()
             }
@@ -337,7 +376,19 @@ impl FailureResponder {
                 }
                 self.evaluator.record_failure(idx);
                 self.unsuccessful_repair_runs += 1;
+                // Repair-timeline stage: an evaluation run rejected the installed
+                // candidate.
+                cv_obs::recorder().instant(
+                    "timeline.verdict_failure",
+                    "timeline",
+                    &[("location", u64::from(self.failure_location))],
+                );
                 if self.evaluator.exhausted() {
+                    cv_obs::recorder().instant(
+                        "timeline.gave_up",
+                        "timeline",
+                        &[("location", u64::from(self.failure_location))],
+                    );
                     self.phase = Phase::Unprotected;
                     self.active_repair = None;
                     return vec![Directive::RemoveRepair];

@@ -24,7 +24,7 @@
 //! A fleet therefore writes a byte-identical [`BatchLog`] whether its manager runs on
 //! one thread or many, with one shard or many — `tests/manager_parity.rs` proves it.
 
-use crate::metrics::FleetMetrics;
+use crate::metrics::{FleetMetrics, MetricEvent};
 use crate::protocol::{BatchLog, FleetMessage, NodeId, Presentation};
 use crate::scheduler::EpochScheduler;
 use crate::shard::ShardedInvariantStore;
@@ -34,10 +34,12 @@ use cv_core::{
 };
 use cv_inference::{InvariantDatabase, LearnedModel, ProcedureDatabase};
 use cv_isa::{Addr, BinaryImage, Word};
+use cv_obs::recorder;
 use cv_runtime::{MonitorConfig, RunStatus};
 use cv_store::{DeltaBuilder, DeltaSnapshot, Snapshot};
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Construction knobs for a [`Fleet`].
 #[derive(Debug, Clone, Copy)]
@@ -158,7 +160,14 @@ pub struct Fleet {
     /// spawn overhead, unlike the members' simulation pool).
     manager_threads: usize,
     log: BatchLog,
+    /// The accounting event stream — the source of truth the [`FleetMetrics`]
+    /// aggregate is a fold of (see `metrics.rs`).
+    metric_log: Vec<MetricEvent>,
+    /// The incrementally-folded aggregate of `metric_log`, cached for cheap reads.
     metrics: FleetMetrics,
+    /// This fleet's id in the process-wide trace stream (the `"fleet"` argument
+    /// on every span/instant/counter this fleet records).
+    obs_id: u64,
     epoch: u64,
     /// The net patch configuration every synced member holds (all pushed plans,
     /// folded) — the durable state a checkpoint captures.
@@ -191,6 +200,11 @@ struct CachedDelta {
     target_epoch: u64,
     encoded_bytes: u64,
 }
+
+/// Process-wide fleet id allocator: every [`Fleet`] gets a distinct id to stamp
+/// its trace events with, so one process running several fleets back to back
+/// (as `fleet_scale` does) still yields per-fleet traces and summaries.
+static NEXT_FLEET_OBS_ID: AtomicU64 = AtomicU64::new(1);
 
 impl Fleet {
     /// Create a fleet of `fleet_config.node_count` members running `image`, with an
@@ -229,7 +243,9 @@ impl Fleet {
             parallel: fleet_config.parallel,
             manager_threads,
             log: BatchLog::new(),
+            metric_log: Vec::new(),
             metrics: FleetMetrics::with_manager_shards(manager_shard_count),
+            obs_id: NEXT_FLEET_OBS_ID.fetch_add(1, Ordering::Relaxed),
             epoch: 0,
             net: NetPatchState::new(),
             synced: vec![true; fleet_config.node_count.max(1)],
@@ -281,7 +297,19 @@ impl Fleet {
         fleet.net.apply(&bootstrap);
         fleet.epoch = snapshot.epoch;
         let snapshot_bytes = snapshot.encode().len() as u64;
-        fleet.metrics.record_bootstrap(snapshot_bytes);
+        fleet.record(MetricEvent::Bootstrap {
+            bytes: snapshot_bytes,
+        });
+        recorder().instant(
+            "churn.bootstrap",
+            "churn",
+            &[
+                ("fleet", fleet.obs_id),
+                ("epoch", snapshot.epoch),
+                ("members", fleet.node_count() as u64),
+                ("bytes", snapshot_bytes),
+            ],
+        );
         fleet.log.push(FleetMessage::Bootstrap {
             epoch: snapshot.epoch,
             members: fleet.node_count(),
@@ -316,9 +344,29 @@ impl Fleet {
         &self.log
     }
 
-    /// The fleet metrics collected so far.
+    /// The fleet metrics collected so far (the fold of [`Fleet::metric_log`]).
     pub fn metrics(&self) -> &FleetMetrics {
         &self.metrics
+    }
+
+    /// The accounting event stream the metrics are derived from, in order.
+    /// `FleetMetrics::from_events(self.manager_shard_count(), log)` reproduces
+    /// [`Fleet::metrics`] exactly.
+    pub fn metric_log(&self) -> &[MetricEvent] {
+        &self.metric_log
+    }
+
+    /// This fleet's id in the process-wide trace stream (the `"fleet"` argument
+    /// stamped on its spans, instants, and counters).
+    pub fn obs_id(&self) -> u64 {
+        self.obs_id
+    }
+
+    /// Append one accounting event: the log is the source of truth, the cached
+    /// aggregate folds it immediately.
+    fn record(&mut self, event: MetricEvent) {
+        self.metrics.apply(&event);
+        self.metric_log.push(event);
     }
 
     /// The merged, community-wide learned model (the fused shard snapshot).
@@ -381,10 +429,17 @@ impl Fleet {
     /// [`Snapshot`]. The snapshot is cut once per epoch and memoized — every
     /// joiner and delta of the same epoch shares it.
     pub fn checkpoint(&mut self) -> Snapshot {
+        let span = recorder().span("fleet.checkpoint", "fleet");
         self.refresh_snapshot_cache();
         let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-        self.metrics.record_snapshot(cache.encoded_bytes);
-        cache.snapshot.clone()
+        let bytes = cache.encoded_bytes;
+        let snapshot = cache.snapshot.clone();
+        span.arg("fleet", self.obs_id)
+            .arg("epoch", self.epoch)
+            .arg("bytes", bytes)
+            .finish();
+        self.record(MetricEvent::Snapshot { bytes });
+        snapshot
     }
 
     /// The shard-keyed delta advancing `base` (a member's last checkpoint) to the
@@ -404,7 +459,7 @@ impl Fleet {
             self.store.shard_count(),
             "base checkpoint and store must share one shard routing"
         );
-        let start = Instant::now();
+        let span = recorder().timed_span("fleet.delta_cut", "fleet");
         let (delta, plan_shards, incremental) = match self.store.dirty_since(base.epoch) {
             Some(dirty) => {
                 let delta = DeltaBuilder::new(base, &dirty).cut(
@@ -420,12 +475,22 @@ impl Fleet {
                 (DeltaSnapshot::diff(base, &cache.snapshot), 0, false)
             }
         };
-        self.metrics.record_delta_cut(
-            delta.dirty_shard_count() as u64,
+        let dirty_shards = delta.dirty_shard_count() as u64;
+        // One measurement feeds both planes: the span the trace shows and the
+        // elapsed time the metrics fold are the same clock reading.
+        let elapsed = span
+            .arg("fleet", self.obs_id)
+            .arg("epoch", self.epoch)
+            .arg("base_epoch", base.epoch)
+            .arg("dirty_shards", dirty_shards)
+            .arg("incremental", incremental as u64)
+            .finish();
+        self.record(MetricEvent::DeltaCut {
+            dirty_shards,
             plan_shards,
-            start.elapsed(),
+            elapsed,
             incremental,
-        );
+        });
         delta
     }
 
@@ -472,7 +537,16 @@ impl Fleet {
     pub fn join_member_cold(&mut self) -> NodeId {
         let node = self.scheduler.join();
         self.synced.push(false);
-        self.metrics.cold_joins += 1;
+        self.record(MetricEvent::ColdJoin);
+        recorder().instant(
+            "churn.join_cold",
+            "churn",
+            &[
+                ("fleet", self.obs_id),
+                ("epoch", self.epoch),
+                ("node", node as u64),
+            ],
+        );
         node
     }
 
@@ -488,8 +562,20 @@ impl Fleet {
         let node = self.scheduler.join();
         self.synced.push(true);
         self.scheduler.reset_and_apply(node, &plan);
-        self.metrics.warm_joins += 1;
-        self.metrics.record_bootstrap(snapshot_bytes);
+        self.record(MetricEvent::WarmJoin);
+        self.record(MetricEvent::Bootstrap {
+            bytes: snapshot_bytes,
+        });
+        recorder().instant(
+            "churn.join_warm",
+            "churn",
+            &[
+                ("fleet", self.obs_id),
+                ("epoch", self.epoch),
+                ("node", node as u64),
+                ("bytes", snapshot_bytes),
+            ],
+        );
         self.joiners.insert(node, self.epoch);
         self.log.push(FleetMessage::Bootstrap {
             epoch: self.epoch,
@@ -506,7 +592,16 @@ impl Fleet {
         self.scheduler.crash(node);
         self.synced[node] = false;
         self.joiners.remove(&node);
-        self.metrics.crashes += 1;
+        self.record(MetricEvent::Crash);
+        recorder().instant(
+            "churn.crash",
+            "churn",
+            &[
+                ("fleet", self.obs_id),
+                ("epoch", self.epoch),
+                ("node", node as u64),
+            ],
+        );
     }
 
     /// Take several members down (see [`Fleet::crash_member`]).
@@ -530,7 +625,10 @@ impl Fleet {
             Some(base) => {
                 let delta_bytes = self.delta_bytes_since(base);
                 self.scheduler.reset_and_apply(node, &plan);
-                self.metrics.record_delta_sync(delta_bytes, full_bytes);
+                self.record(MetricEvent::DeltaSync {
+                    delta_bytes,
+                    full_bytes,
+                });
                 self.log.push(FleetMessage::DeltaSync {
                     epoch: self.epoch,
                     members: 1,
@@ -541,7 +639,7 @@ impl Fleet {
             }
             None => {
                 self.scheduler.reset_and_apply(node, &plan);
-                self.metrics.record_bootstrap(full_bytes);
+                self.record(MetricEvent::Bootstrap { bytes: full_bytes });
                 self.log.push(FleetMessage::Bootstrap {
                     epoch: self.epoch,
                     members: 1,
@@ -550,7 +648,17 @@ impl Fleet {
                 });
             }
         }
-        self.metrics.rejoins += 1;
+        self.record(MetricEvent::Rejoin);
+        recorder().instant(
+            "churn.rejoin",
+            "churn",
+            &[
+                ("fleet", self.obs_id),
+                ("epoch", self.epoch),
+                ("node", node as u64),
+                ("delta", last_checkpoint.is_some() as u64),
+            ],
+        );
         self.synced[node] = true;
         self.joiners.insert(node, self.epoch);
     }
@@ -565,7 +673,19 @@ impl Fleet {
         };
         self.scheduler.reset_and_apply(node, &plan);
         self.synced[node] = true;
-        self.metrics.record_bootstrap(snapshot_bytes);
+        self.record(MetricEvent::Bootstrap {
+            bytes: snapshot_bytes,
+        });
+        recorder().instant(
+            "churn.resync",
+            "churn",
+            &[
+                ("fleet", self.obs_id),
+                ("epoch", self.epoch),
+                ("node", node as u64),
+                ("bytes", snapshot_bytes),
+            ],
+        );
         self.joiners.insert(node, self.epoch);
         self.log.push(FleetMessage::Bootstrap {
             epoch: self.epoch,
@@ -626,6 +746,11 @@ impl Fleet {
     /// locally inferred invariants; shard workers merge the uploads in parallel; the
     /// fused snapshot becomes the community model. Erroneous runs never contribute.
     pub fn distributed_learning(&mut self, pages: &[Vec<Word>]) {
+        let span = recorder()
+            .span("fleet.learning", "fleet")
+            .arg("fleet", self.obs_id)
+            .arg("epoch", self.epoch)
+            .arg("pages", pages.len() as u64);
         // Stamp this round's mutations into the current epoch's dirty buckets
         // (dirty_since is inclusive of the base epoch precisely because learning
         // can land while an epoch — and a checkpoint cut in it — is still open).
@@ -650,7 +775,10 @@ impl Fleet {
             epoch: self.epoch,
             uploads,
         });
-        self.metrics.learning_pages += pages.len() as u64;
+        self.record(MetricEvent::LearningPages {
+            pages: pages.len() as u64,
+        });
+        span.finish();
         self.snapshot_cache = None;
         self.delta_cache = None;
     }
@@ -680,9 +808,14 @@ impl Fleet {
             .flat_map(|s| s.locations())
             .collect();
 
-        let execution_start = Instant::now();
+        let execution_span = recorder()
+            .timed_span("fleet.execution", "fleet")
+            .arg("fleet", self.obs_id)
+            .arg("epoch", epoch)
+            .arg("presentations", presentations.len() as u64)
+            .arg("members", self.alive_count() as u64);
         let mut records = self.scheduler.run_epoch(presentations, &active);
-        let execution = execution_start.elapsed();
+        let execution = execution_span.finish();
 
         // Mid-epoch churn: these members ran, reported, and then died — the
         // boundary push below will not reach them.
@@ -690,18 +823,23 @@ impl Fleet {
             self.crash_member(node);
         }
 
-        let manager_start = Instant::now();
+        let manager_span = recorder()
+            .timed_span("fleet.manager", "fleet")
+            .arg("fleet", self.obs_id)
+            .arg("epoch", epoch);
 
         // Pure routing: flatten the batch into routed digests and failure events (in
         // batch order), then partition them by failure location.
+        let routing_span = recorder().span("fleet.routing", "fleet");
         let mut digests: Vec<RoutedDigest> = Vec::new();
         let mut failure_events: Vec<FailureEvent> = Vec::new();
         let mut failures: Vec<(NodeId, Addr)> = Vec::new();
         for record in &mut records {
             if matches!(record.status, RunStatus::Completed) {
                 if let Some(sync_epoch) = self.joiners.remove(&record.node) {
-                    self.metrics
-                        .record_joiner_immunity(epoch.saturating_sub(sync_epoch));
+                    self.record(MetricEvent::JoinerImmunity {
+                        epochs: epoch.saturating_sub(sync_epoch),
+                    });
                 }
             }
             if !self.synced[record.node] {
@@ -719,19 +857,46 @@ impl Fleet {
             }
             if let Some(failure) = &record.failure {
                 failures.push((record.node, failure.location));
-                self.metrics.record_first_failure(failure.location, epoch);
+                if self.metrics.immunity(failure.location).is_none() {
+                    // First report ever at this location: the repair timeline for
+                    // it starts here.
+                    recorder().instant(
+                        "timeline.detected",
+                        "timeline",
+                        &[
+                            ("fleet", self.obs_id),
+                            ("epoch", epoch),
+                            ("location", u64::from(failure.location)),
+                        ],
+                    );
+                }
+                self.record(MetricEvent::FirstFailure {
+                    location: failure.location,
+                    epoch,
+                });
                 failure_events.push(FailureEvent {
                     source: record.node,
                     failure: failure.clone(),
                 });
             }
         }
+        let digest_count = digests.len() as u64;
         let buckets = self.router.route(digests, failure_events);
+        routing_span
+            .arg("fleet", self.obs_id)
+            .arg("epoch", epoch)
+            .arg("digests", digest_count)
+            .arg("failures", failures.len() as u64)
+            .finish();
 
         // Fan the buckets across the worker pool: each worker drives a disjoint
         // slice of responder shards. Shards share nothing, so this is embarrassingly
         // parallel; per-shard busy time is measured inside the worker.
-        let fanout_start = Instant::now();
+        let fanout_span = recorder()
+            .timed_span("fleet.manager_fanout", "fleet")
+            .arg("fleet", self.obs_id)
+            .arg("epoch", epoch)
+            .arg("shards", self.manager_shards.len() as u64);
         let (outcomes, ran_parallel) = drive_shards(
             &mut self.manager_shards,
             buckets,
@@ -739,11 +904,14 @@ impl Fleet {
             &self.config,
             self.parallel,
             self.manager_threads,
+            self.obs_id,
+            epoch,
         );
-        let fanout = fanout_start.elapsed();
+        let fanout = fanout_span.arg("parallel", ran_parallel as u64).finish();
 
         // Deterministic merge: per-shard plans collapse into one canonically ordered
         // fleet-wide plan; observation reports merge by (disjoint) location.
+        let merge_span = recorder().span("fleet.plan_merge", "fleet");
         let mut shard_busy = vec![Duration::ZERO; self.manager_shards.len()];
         let mut plans: Vec<PatchPlan> = Vec::with_capacity(outcomes.len());
         let mut observation_batches: BTreeMap<Addr, Vec<(NodeId, usize)>> = BTreeMap::new();
@@ -768,7 +936,12 @@ impl Fleet {
             let router = cv_inference::ShardRouter::new(self.store.shard_count());
             self.store.mark_plan_shards(&plan.shards_touched(&router));
         }
-        let manager = manager_start.elapsed();
+        merge_span
+            .arg("fleet", self.obs_id)
+            .arg("epoch", epoch)
+            .arg("plan_ops", plan.len() as u64)
+            .finish();
+        let manager = manager_span.finish();
 
         // Batch order mirrors the seed's within-browse order as far as batching
         // allows: observation reports first, then failure notifications, then the
@@ -782,14 +955,32 @@ impl Fleet {
         }
         self.log.push(FleetMessage::Failures { epoch, failures });
 
-        let push_start = Instant::now();
+        let push_span = recorder()
+            .timed_span("fleet.patch_push", "fleet")
+            .arg("fleet", self.obs_id)
+            .arg("epoch", epoch)
+            .arg("plan_ops", plan.len() as u64)
+            .arg("members", self.alive_count() as u64);
         self.scheduler.apply_plan(&plan);
+        let push_elapsed = push_span.finish();
         if !plan.is_empty() {
-            self.metrics.record_patch_push(
-                plan.len() as u64,
-                self.alive_count() as u64,
-                push_start.elapsed(),
-            );
+            for op in plan.ops() {
+                recorder().instant(
+                    "timeline.plan_push",
+                    "timeline",
+                    &[
+                        ("fleet", self.obs_id),
+                        ("epoch", epoch),
+                        ("location", u64::from(op.location)),
+                        ("members", self.alive_count() as u64),
+                    ],
+                );
+            }
+            self.record(MetricEvent::PatchPush {
+                pushes: plan.len() as u64,
+                members: self.alive_count() as u64,
+                elapsed: push_elapsed,
+            });
         }
         self.log.push(FleetMessage::PatchPushes {
             epoch,
@@ -797,17 +988,65 @@ impl Fleet {
             plan,
         });
 
-        for shard in &self.manager_shards {
-            for (loc, responder) in shard.responders() {
-                if responder.is_protected() {
-                    self.metrics.record_protected(loc, epoch);
-                }
-            }
+        let newly_protected: Vec<Addr> = self
+            .manager_shards
+            .iter()
+            .flat_map(|shard| shard.responders())
+            .filter(|(loc, responder)| {
+                responder.is_protected()
+                    && self
+                        .metrics
+                        .immunity(*loc)
+                        .is_some_and(|r| r.protected_epoch.is_none())
+            })
+            .map(|(loc, _)| loc)
+            .collect();
+        for loc in newly_protected {
+            // The repair survived evaluation fleet-wide: the timeline for this
+            // location ends here.
+            recorder().instant(
+                "timeline.protected",
+                "timeline",
+                &[
+                    ("fleet", self.obs_id),
+                    ("epoch", epoch),
+                    ("location", u64::from(loc)),
+                    ("members", self.alive_count() as u64),
+                ],
+            );
+            self.record(MetricEvent::Protected {
+                location: loc,
+                epoch,
+            });
         }
-        self.metrics
-            .record_epoch(records.len() as u64, execution, manager);
-        self.metrics
-            .record_manager_fanout(&shard_busy, fanout, ran_parallel);
+        self.record(MetricEvent::Epoch {
+            pages: records.len() as u64,
+            execution,
+            manager,
+        });
+        self.record(MetricEvent::ManagerFanout {
+            shard_busy,
+            fanout,
+            ran_parallel,
+        });
+        let rec = recorder();
+        if rec.is_enabled() {
+            rec.counter(
+                "fleet.pages_processed",
+                self.metrics.pages_processed,
+                &[("fleet", self.obs_id)],
+            );
+            rec.counter(
+                "fleet.alive_members",
+                self.alive_count() as u64,
+                &[("fleet", self.obs_id)],
+            );
+            rec.counter(
+                "fleet.patch_applications",
+                self.metrics.patch_applications,
+                &[("fleet", self.obs_id)],
+            );
+        }
 
         EpochOutcome {
             epoch,
@@ -846,6 +1085,7 @@ const MIN_PARALLEL_MANAGER_EVENTS: usize = 512;
 /// is large enough to amortize the spawns; otherwise they run inline on the calling
 /// thread. Either way the result is identical — shards are mutually independent and
 /// individually deterministic.
+#[allow(clippy::too_many_arguments)]
 fn drive_shards(
     shards: &mut [ResponderShard],
     buckets: Vec<ShardBucket>,
@@ -853,6 +1093,8 @@ fn drive_shards(
     config: &ClearViewConfig,
     parallel: bool,
     manager_threads: usize,
+    obs_id: u64,
+    epoch: u64,
 ) -> (Vec<(ShardOutcome, Duration)>, bool) {
     debug_assert_eq!(shards.len(), buckets.len());
     let workers = manager_threads.min(shards.len()).max(1);
@@ -873,16 +1115,28 @@ fn drive_shards(
             let mut buckets = buckets;
             // Draining from the front keeps bucket i with shard i.
             let mut rest = buckets.drain(..);
+            let mut chunk_start = 0u64;
             for (shard_chunk, slot_chunk) in shard_chunks.zip(slot_chunks) {
                 let chunk_buckets: Vec<ShardBucket> =
                     rest.by_ref().take(shard_chunk.len()).collect();
+                let first_shard = chunk_start;
+                chunk_start += shard_chunk.len() as u64;
                 scope.spawn(move || {
-                    for ((shard, bucket), slot) in shard_chunk
+                    for (offset, ((shard, bucket), slot)) in shard_chunk
                         .iter_mut()
                         .zip(chunk_buckets)
                         .zip(slot_chunk.iter_mut())
+                        .enumerate()
                     {
-                        *slot = Some(process_timed(shard, bucket, model, config));
+                        *slot = Some(process_timed(
+                            shard,
+                            bucket,
+                            model,
+                            config,
+                            obs_id,
+                            epoch,
+                            first_shard + offset as u64,
+                        ));
                     }
                 });
             }
@@ -899,23 +1153,37 @@ fn drive_shards(
             shards
                 .iter_mut()
                 .zip(buckets)
-                .map(|(shard, bucket)| process_timed(shard, bucket, model, config))
+                .enumerate()
+                .map(|(index, (shard, bucket))| {
+                    process_timed(shard, bucket, model, config, obs_id, epoch, index as u64)
+                })
                 .collect(),
             false,
         )
     }
 }
 
-/// Process one bucket on one shard, measuring the shard's busy time.
+/// Process one bucket on one shard, measuring the shard's busy time. The busy
+/// time the metrics fold and the `fleet.manager_shard` span the trace shows are
+/// one measurement.
 fn process_timed(
     shard: &mut ResponderShard,
     bucket: ShardBucket,
     model: &LearnedModel,
     config: &ClearViewConfig,
+    obs_id: u64,
+    epoch: u64,
+    shard_index: u64,
 ) -> (ShardOutcome, Duration) {
-    let start = Instant::now();
+    let events = (bucket.digests.len() + bucket.failures.len()) as u64;
+    let span = recorder()
+        .timed_span("fleet.manager_shard", "fleet")
+        .arg("fleet", obs_id)
+        .arg("epoch", epoch)
+        .arg("shard", shard_index)
+        .arg("events", events);
     let outcome = shard.process(bucket, model, config);
-    (outcome, start.elapsed())
+    (outcome, span.finish())
 }
 
 #[cfg(test)]

@@ -24,7 +24,10 @@
 //!   patch plans travel as per-epoch batches instead of one message per event.
 //! * [`FleetMetrics`] (`metrics.rs`) — pages/sec throughput, time-to-immunity per
 //!   exploit, patch-propagation latency, and per-shard manager time with the
-//!   manager-parallel speedup.
+//!   manager-parallel speedup. Since PR 6 the aggregate is a **fold of the
+//!   fleet's [`MetricEvent`] stream** ([`Fleet::metric_log`]) — one accounting
+//!   source of truth — and the hot path is instrumented with `cv-obs` spans
+//!   whose measurements are the very durations the events carry.
 //! * [`Fleet`] (`fleet.rs`) — the engine tying them together: the paper's learn →
 //!   detect → check → repair → distribute loop, at community scale.
 //!
@@ -43,7 +46,7 @@ mod scheduler;
 mod shard;
 
 pub use fleet::{EpochOutcome, Fleet, FleetConfig, MemberOutcome};
-pub use metrics::{FleetMetrics, ImmunityRecord};
+pub use metrics::{FleetMetrics, ImmunityRecord, MetricEvent};
 pub use protocol::{BatchLog, FleetMessage, NodeId, PatchPushKind, Presentation};
 pub use scheduler::EpochScheduler;
 pub use shard::ShardedInvariantStore;

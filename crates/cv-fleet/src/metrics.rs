@@ -1,17 +1,125 @@
-//! Fleet-wide operational metrics.
+//! Fleet-wide operational metrics, derived from one accounting event stream.
 //!
 //! The paper evaluates ClearView per machine (overhead, patch-generation time). At
 //! community scale the interesting quantities are aggregates: how many pages per
 //! second the fleet sustains, how long an exploit takes from first detection to
 //! community-wide immunity, how quickly a patch push reaches every member, and how
 //! well the sharded manager plane parallelizes (per-shard busy time and the
-//! manager-parallel speedup). [`FleetMetrics`] collects all of them; the
-//! `fleet_scale` binary and `EXPERIMENTS.md` record captured runs.
+//! manager-parallel speedup).
+//!
+//! Since PR 6 the fleet does not mutate counters ad hoc: every accountable
+//! occurrence is a [`MetricEvent`] appended to the fleet's metric log, and
+//! [`FleetMetrics`] is a **fold** over that stream ([`FleetMetrics::apply`] one
+//! event at a time, [`FleetMetrics::from_events`] from scratch). The fleet keeps
+//! an incrementally-folded cache for cheap reads, but the log is the source of
+//! truth — `tests/obs_accounting.rs` re-derives the aggregate from the log and
+//! asserts equality, and the timing inside each event is the *same measurement*
+//! the tracing plane records (via `cv_obs` timed spans), so the trace and the
+//! metrics can never disagree. The `fleet_scale` binary and `EXPERIMENTS.md`
+//! record captured runs.
 
 use cv_isa::Addr;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
+
+/// One accountable occurrence in a fleet's life.
+///
+/// Events carry the measured durations (where timing matters) so a fold over the
+/// stream reproduces the aggregate exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricEvent {
+    /// One epoch executed: `pages` presentations, execution wall time, manager
+    /// plane wall time.
+    Epoch {
+        /// Page presentations executed across all members this epoch.
+        pages: u64,
+        /// Wall-clock time of the member-execution fan-out.
+        execution: Duration,
+        /// Wall-clock time of the manager plane (routing, shards, plan merge).
+        manager: Duration,
+    },
+    /// One epoch's manager shard fan-out.
+    ManagerFanout {
+        /// Busy time of each manager shard this epoch.
+        shard_busy: Vec<Duration>,
+        /// Wall time of the fan-out section.
+        fanout: Duration,
+        /// Whether the fan-out actually ran on multiple threads.
+        ran_parallel: bool,
+    },
+    /// One patch-push round reaching `members` members.
+    PatchPush {
+        /// Plans pushed this round.
+        pushes: u64,
+        /// Members each push reached.
+        members: u64,
+        /// Wall time of the propagation.
+        elapsed: Duration,
+    },
+    /// The first failure report at a location (later reports at the same
+    /// location fold to nothing).
+    FirstFailure {
+        /// The faulting address.
+        location: Addr,
+        /// The epoch the report arrived in.
+        epoch: u64,
+    },
+    /// A location became protected fleet-wide.
+    Protected {
+        /// The faulting address.
+        location: Addr,
+        /// The epoch the repair survived evaluation in.
+        epoch: u64,
+    },
+    /// Distributed learning traced `pages` pages.
+    LearningPages {
+        /// Pages traced.
+        pages: u64,
+    },
+    /// The coordinator took a checkpoint of `bytes` encoded bytes.
+    Snapshot {
+        /// Encoded size of the checkpoint.
+        bytes: u64,
+    },
+    /// A member bootstrapped from a `bytes`-byte full snapshot.
+    Bootstrap {
+        /// Snapshot bytes shipped.
+        bytes: u64,
+    },
+    /// A member advanced by a shard-keyed delta instead of a full snapshot.
+    DeltaSync {
+        /// Delta bytes actually shipped.
+        delta_bytes: u64,
+        /// Full-snapshot bytes the delta stood in for.
+        full_bytes: u64,
+    },
+    /// The coordinator cut a delta.
+    DeltaCut {
+        /// Dirty store shards the delta carries.
+        dirty_shards: u64,
+        /// Plan-stamped shards since the base (0 on the diff fallback).
+        plan_shards: u64,
+        /// Wall time of the cut.
+        elapsed: Duration,
+        /// Whether the cut used the incremental dirty-epoch path.
+        incremental: bool,
+    },
+    /// A joiner reached its first completed presentation `epochs` epochs after
+    /// syncing.
+    JoinerImmunity {
+        /// Epochs from sync to first completed presentation.
+        epochs: u64,
+    },
+    /// A member crashed with state loss.
+    Crash,
+    /// A member rejoined after a crash.
+    Rejoin,
+    /// A member joined mid-run with no state transfer.
+    ColdJoin,
+    /// A member joined mid-run from the coordinator's snapshot.
+    WarmJoin,
+}
 
 /// The immunity timeline for one failure location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,8 +138,8 @@ impl ImmunityRecord {
     }
 }
 
-/// Aggregate metrics for one fleet.
-#[derive(Debug, Clone, Default)]
+/// Aggregate metrics for one fleet: the fold of its [`MetricEvent`] stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetMetrics {
     /// Epochs executed.
     pub epochs: u64,
@@ -115,99 +223,114 @@ impl FleetMetrics {
         }
     }
 
-    /// Record that `pages` presentations were executed this epoch.
-    pub(crate) fn record_epoch(&mut self, pages: u64, execution: Duration, manager: Duration) {
-        self.epochs += 1;
-        self.pages_processed += pages;
-        self.execution_time += execution;
-        self.manager_time += manager;
-    }
-
-    /// Record one epoch's manager fan-out: each shard's busy time, the wall time of
-    /// the fan-out section, and whether the fan-out actually ran on multiple
-    /// threads.
-    pub(crate) fn record_manager_fanout(
-        &mut self,
-        shard_busy: &[Duration],
-        fanout: Duration,
-        ran_parallel: bool,
-    ) {
-        if self.manager_shard_busy.len() < shard_busy.len() {
-            self.manager_shard_busy
-                .resize(shard_busy.len(), Duration::ZERO);
+    /// Fold one event into the aggregate.
+    pub fn apply(&mut self, event: &MetricEvent) {
+        match event {
+            MetricEvent::Epoch {
+                pages,
+                execution,
+                manager,
+            } => {
+                self.epochs += 1;
+                self.pages_processed += pages;
+                self.execution_time += *execution;
+                self.manager_time += *manager;
+            }
+            MetricEvent::ManagerFanout {
+                shard_busy,
+                fanout,
+                ran_parallel,
+            } => {
+                if self.manager_shard_busy.len() < shard_busy.len() {
+                    self.manager_shard_busy
+                        .resize(shard_busy.len(), Duration::ZERO);
+                }
+                for (total, busy) in self.manager_shard_busy.iter_mut().zip(shard_busy) {
+                    *total += *busy;
+                }
+                self.manager_fanout_time += *fanout;
+                if *ran_parallel {
+                    self.manager_parallel_busy += shard_busy.iter().sum::<Duration>();
+                    self.manager_parallel_wall += *fanout;
+                }
+            }
+            MetricEvent::PatchPush {
+                pushes,
+                members,
+                elapsed,
+            } => {
+                self.patch_pushes += pushes;
+                self.patch_applications += pushes * members;
+                self.patch_propagation_time += *elapsed;
+            }
+            MetricEvent::FirstFailure { location, epoch } => {
+                self.immunity.entry(*location).or_insert(ImmunityRecord {
+                    first_failure_epoch: *epoch,
+                    protected_epoch: None,
+                });
+            }
+            MetricEvent::Protected { location, epoch } => {
+                if let Some(record) = self.immunity.get_mut(location) {
+                    record.protected_epoch.get_or_insert(*epoch);
+                }
+            }
+            MetricEvent::LearningPages { pages } => {
+                self.learning_pages += pages;
+            }
+            MetricEvent::Snapshot { bytes } => {
+                self.snapshots_taken += 1;
+                self.snapshot_bytes_last = *bytes;
+                self.snapshot_bytes_total += bytes;
+            }
+            MetricEvent::Bootstrap { bytes } => {
+                self.bootstraps += 1;
+                self.bootstrap_bytes_total += bytes;
+            }
+            MetricEvent::DeltaSync {
+                delta_bytes,
+                full_bytes,
+            } => {
+                self.delta_syncs += 1;
+                self.delta_bytes_total += delta_bytes;
+                self.delta_full_bytes_total += full_bytes;
+            }
+            MetricEvent::DeltaCut {
+                dirty_shards,
+                plan_shards,
+                elapsed,
+                incremental,
+            } => {
+                self.delta_cuts += 1;
+                if *incremental {
+                    self.incremental_delta_cuts += 1;
+                }
+                self.delta_cut_time += *elapsed;
+                self.dirty_shards_last = *dirty_shards;
+                self.dirty_shards_total += dirty_shards;
+                self.plan_dirty_shards_last = *plan_shards;
+            }
+            MetricEvent::JoinerImmunity { epochs } => {
+                self.joiner_immunity_epochs.push(*epochs);
+            }
+            MetricEvent::Crash => self.crashes += 1,
+            MetricEvent::Rejoin => self.rejoins += 1,
+            MetricEvent::ColdJoin => self.cold_joins += 1,
+            MetricEvent::WarmJoin => self.warm_joins += 1,
         }
-        for (total, busy) in self.manager_shard_busy.iter_mut().zip(shard_busy) {
-            *total += *busy;
+    }
+
+    /// Fold a whole stream from scratch. With the same `manager_shard_count` and
+    /// the fleet's metric log, this reproduces the fleet's incrementally-folded
+    /// aggregate exactly (asserted by `tests/obs_accounting.rs`).
+    pub fn from_events<'a>(
+        manager_shard_count: usize,
+        events: impl IntoIterator<Item = &'a MetricEvent>,
+    ) -> Self {
+        let mut metrics = FleetMetrics::with_manager_shards(manager_shard_count);
+        for event in events {
+            metrics.apply(event);
         }
-        self.manager_fanout_time += fanout;
-        if ran_parallel {
-            self.manager_parallel_busy += shard_busy.iter().sum::<Duration>();
-            self.manager_parallel_wall += fanout;
-        }
-    }
-
-    /// Record one patch-push round reaching `members` members.
-    pub(crate) fn record_patch_push(&mut self, pushes: u64, members: u64, elapsed: Duration) {
-        self.patch_pushes += pushes;
-        self.patch_applications += pushes * members;
-        self.patch_propagation_time += elapsed;
-    }
-
-    /// Record the first failure ever reported at `location`.
-    pub(crate) fn record_first_failure(&mut self, location: Addr, epoch: u64) {
-        self.immunity.entry(location).or_insert(ImmunityRecord {
-            first_failure_epoch: epoch,
-            protected_epoch: None,
-        });
-    }
-
-    /// Record that `location` became protected at `epoch`.
-    pub(crate) fn record_protected(&mut self, location: Addr, epoch: u64) {
-        if let Some(record) = self.immunity.get_mut(&location) {
-            record.protected_epoch.get_or_insert(epoch);
-        }
-    }
-
-    /// Record one coordinator checkpoint of `bytes` encoded bytes.
-    pub(crate) fn record_snapshot(&mut self, bytes: u64) {
-        self.snapshots_taken += 1;
-        self.snapshot_bytes_last = bytes;
-        self.snapshot_bytes_total += bytes;
-    }
-
-    /// Record one member bootstrapped from a `bytes`-byte full snapshot.
-    pub(crate) fn record_bootstrap(&mut self, bytes: u64) {
-        self.bootstraps += 1;
-        self.bootstrap_bytes_total += bytes;
-    }
-
-    /// Record one member delta-synced: `delta_bytes` shipped instead of
-    /// `full_bytes`.
-    pub(crate) fn record_delta_sync(&mut self, delta_bytes: u64, full_bytes: u64) {
-        self.delta_syncs += 1;
-        self.delta_bytes_total += delta_bytes;
-        self.delta_full_bytes_total += full_bytes;
-    }
-
-    /// Record one delta cut carrying `dirty_shards` dirty shards (and, for
-    /// incremental cuts, `plan_shards` plan-stamped shards since the base),
-    /// taking `elapsed`, via the incremental dirty-epoch path or the
-    /// materialized diff.
-    pub(crate) fn record_delta_cut(
-        &mut self,
-        dirty_shards: u64,
-        plan_shards: u64,
-        elapsed: Duration,
-        incremental: bool,
-    ) {
-        self.delta_cuts += 1;
-        if incremental {
-            self.incremental_delta_cuts += 1;
-        }
-        self.delta_cut_time += elapsed;
-        self.dirty_shards_last = dirty_shards;
-        self.dirty_shards_total += dirty_shards;
-        self.plan_dirty_shards_last = plan_shards;
+        metrics
     }
 
     /// Mean wall-clock time per delta cut, in microseconds.
@@ -217,12 +340,6 @@ impl FleetMetrics {
         } else {
             self.delta_cut_time.as_secs_f64() * 1e6 / self.delta_cuts as f64
         }
-    }
-
-    /// Record one joiner reaching its first completed presentation `epochs` epochs
-    /// after syncing.
-    pub(crate) fn record_joiner_immunity(&mut self, epochs: u64) {
-        self.joiner_immunity_epochs.push(epochs);
     }
 
     /// The late-joiner time-to-immunity samples (epochs from sync to first
@@ -293,18 +410,75 @@ impl FleetMetrics {
     /// The manager-parallel speedup: total shard busy time divided by fan-out wall
     /// time, over the epochs whose fan-out actually ran on multiple threads.
     ///
-    /// Exactly 1.0 when every fan-out ran inline (single worker, single core, or no
-    /// manager work at all — running shards back-to-back *is* the baseline);
-    /// approaches the shard count when busy time spreads evenly across parallel
+    /// `None` when **no fan-out ever ran on multiple threads** (single worker,
+    /// single core, or too little manager work to fan out) — there is no parallel
+    /// section to measure, which is different from measuring one and getting 1.0.
+    /// Approaches the shard count when busy time spreads evenly across parallel
     /// workers.
-    pub fn manager_parallel_speedup(&self) -> f64 {
+    pub fn manager_parallel_speedup(&self) -> Option<f64> {
         let busy = self.manager_parallel_busy.as_secs_f64();
         let wall = self.manager_parallel_wall.as_secs_f64();
         if busy == 0.0 || wall == 0.0 {
-            1.0
+            None
         } else {
-            busy / wall
+            Some(busy / wall)
         }
+    }
+
+    /// Render the aggregate as a JSON object (hand-rolled, matching the
+    /// workspace's dependency-free JSON style). Key names are prefixed
+    /// distinctly from the gated throughput keys in the bench files.
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut out = String::with_capacity(1024);
+        let speedup = match self.manager_parallel_speedup() {
+            Some(s) => format!("{s:.3}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\n{indent}  \"epochs\": {},\n{indent}  \"pages_processed\": {},\n\
+             {indent}  \"execution_ms\": {:.3},\n{indent}  \"manager_ms\": {:.3},\n\
+             {indent}  \"manager_fanout_ms\": {:.3},\n{indent}  \"manager_parallel_speedup\": {},\n\
+             {indent}  \"patch_propagation_ms\": {:.3},\n{indent}  \"patch_pushes\": {},\n\
+             {indent}  \"patch_applications\": {},\n{indent}  \"learning_pages\": {},\n\
+             {indent}  \"snapshots_taken\": {},\n{indent}  \"snapshot_bytes_last\": {},\n\
+             {indent}  \"snapshot_bytes_total\": {},\n{indent}  \"bootstraps\": {},\n\
+             {indent}  \"bootstrap_bytes_total\": {},\n{indent}  \"delta_syncs\": {},\n\
+             {indent}  \"delta_bytes_total\": {},\n{indent}  \"delta_full_bytes_total\": {},\n\
+             {indent}  \"delta_cuts\": {},\n{indent}  \"incremental_delta_cuts\": {},\n\
+             {indent}  \"delta_cut_time_us\": {:.1},\n{indent}  \"dirty_shards_last\": {},\n\
+             {indent}  \"dirty_shards_total\": {},\n{indent}  \"plan_dirty_shards_last\": {},\n\
+             {indent}  \"crashes\": {},\n{indent}  \"rejoins\": {},\n\
+             {indent}  \"cold_joins\": {},\n{indent}  \"warm_joins\": {}\n{indent}}}",
+            self.epochs,
+            self.pages_processed,
+            self.execution_time.as_secs_f64() * 1e3,
+            self.manager_time.as_secs_f64() * 1e3,
+            self.manager_fanout_time.as_secs_f64() * 1e3,
+            speedup,
+            self.patch_propagation_time.as_secs_f64() * 1e3,
+            self.patch_pushes,
+            self.patch_applications,
+            self.learning_pages,
+            self.snapshots_taken,
+            self.snapshot_bytes_last,
+            self.snapshot_bytes_total,
+            self.bootstraps,
+            self.bootstrap_bytes_total,
+            self.delta_syncs,
+            self.delta_bytes_total,
+            self.delta_full_bytes_total,
+            self.delta_cuts,
+            self.incremental_delta_cuts,
+            self.delta_cut_time.as_secs_f64() * 1e6,
+            self.dirty_shards_last,
+            self.dirty_shards_total,
+            self.plan_dirty_shards_last,
+            self.crashes,
+            self.rejoins,
+            self.cold_joins,
+            self.warm_joins,
+        ));
+        out
     }
 }
 
@@ -324,10 +498,13 @@ impl fmt::Display for FleetMetrics {
         )?;
         writeln!(
             f,
-            "  manager plane: {:.3} ms/epoch, {} shard(s), parallel speedup {:.2}x",
+            "  manager plane: {:.3} ms/epoch, {} shard(s), parallel speedup {}",
             self.manager_ms_per_epoch(),
             self.manager_shard_busy.len(),
-            self.manager_parallel_speedup()
+            match self.manager_parallel_speedup() {
+                Some(s) => format!("{s:.2}x"),
+                None => "-".to_string(),
+            }
         )?;
         if self.manager_shard_busy.iter().any(|d| !d.is_zero()) {
             let per_shard: Vec<String> = self
@@ -413,12 +590,26 @@ mod tests {
     #[test]
     fn immunity_timeline_tracks_first_failure_and_protection() {
         let mut m = FleetMetrics::default();
-        m.record_first_failure(0x40, 3);
-        m.record_first_failure(0x40, 5); // later reports don't move the origin
+        m.apply(&MetricEvent::FirstFailure {
+            location: 0x40,
+            epoch: 3,
+        });
+        // Later reports don't move the origin.
+        m.apply(&MetricEvent::FirstFailure {
+            location: 0x40,
+            epoch: 5,
+        });
         assert_eq!(m.immunity(0x40).unwrap().first_failure_epoch, 3);
         assert_eq!(m.immunity(0x40).unwrap().epochs_to_immunity(), None);
-        m.record_protected(0x40, 7);
-        m.record_protected(0x40, 9); // protection epoch is sticky
+        m.apply(&MetricEvent::Protected {
+            location: 0x40,
+            epoch: 7,
+        });
+        // Protection epoch is sticky.
+        m.apply(&MetricEvent::Protected {
+            location: 0x40,
+            epoch: 9,
+        });
         assert_eq!(m.immunity(0x40).unwrap().epochs_to_immunity(), Some(4));
         assert!(m.immunity(0x99).is_none());
     }
@@ -426,12 +617,104 @@ mod tests {
     #[test]
     fn throughput_and_latency_aggregate() {
         let mut m = FleetMetrics::default();
-        m.record_epoch(500, Duration::from_millis(250), Duration::from_millis(10));
-        m.record_epoch(500, Duration::from_millis(250), Duration::from_millis(10));
+        let epoch = MetricEvent::Epoch {
+            pages: 500,
+            execution: Duration::from_millis(250),
+            manager: Duration::from_millis(10),
+        };
+        m.apply(&epoch);
+        m.apply(&epoch);
         assert_eq!(m.pages_processed, 1000);
         assert!((m.pages_per_second() - 2000.0).abs() < 1.0);
-        m.record_patch_push(2, 1000, Duration::from_millis(8));
+        m.apply(&MetricEvent::PatchPush {
+            pushes: 2,
+            members: 1000,
+            elapsed: Duration::from_millis(8),
+        });
         assert_eq!(m.patch_applications, 2000);
         assert_eq!(m.mean_push_latency(), Some(Duration::from_millis(4)));
+    }
+
+    #[test]
+    fn from_events_reproduces_an_incremental_fold() {
+        let events = vec![
+            MetricEvent::Epoch {
+                pages: 100,
+                execution: Duration::from_millis(5),
+                manager: Duration::from_millis(1),
+            },
+            MetricEvent::ManagerFanout {
+                shard_busy: vec![Duration::from_micros(300), Duration::from_micros(500)],
+                fanout: Duration::from_micros(450),
+                ran_parallel: true,
+            },
+            MetricEvent::Snapshot { bytes: 2048 },
+            MetricEvent::DeltaCut {
+                dirty_shards: 3,
+                plan_shards: 1,
+                elapsed: Duration::from_micros(40),
+                incremental: true,
+            },
+            MetricEvent::Crash,
+            MetricEvent::Rejoin,
+            MetricEvent::WarmJoin,
+            MetricEvent::JoinerImmunity { epochs: 2 },
+            MetricEvent::LearningPages { pages: 64 },
+        ];
+        let mut incremental = FleetMetrics::with_manager_shards(2);
+        for e in &events {
+            incremental.apply(e);
+        }
+        let replayed = FleetMetrics::from_events(2, &events);
+        assert_eq!(incremental, replayed);
+        assert_eq!(replayed.crashes, 1);
+        assert_eq!(replayed.learning_pages, 64);
+        assert!(replayed.manager_parallel_speedup().is_some());
+    }
+
+    #[test]
+    fn speedup_is_none_without_a_parallel_fanout() {
+        let mut m = FleetMetrics::with_manager_shards(4);
+        assert_eq!(m.manager_parallel_speedup(), None);
+        m.apply(&MetricEvent::ManagerFanout {
+            shard_busy: vec![Duration::from_micros(100); 4],
+            fanout: Duration::from_micros(400),
+            ran_parallel: false,
+        });
+        assert_eq!(
+            m.manager_parallel_speedup(),
+            None,
+            "inline fan-outs measure no parallel section"
+        );
+        m.apply(&MetricEvent::ManagerFanout {
+            shard_busy: vec![Duration::from_micros(100); 4],
+            fanout: Duration::from_micros(200),
+            ran_parallel: true,
+        });
+        let speedup = m.manager_parallel_speedup().unwrap();
+        assert!((speedup - 2.0).abs() < 1e-9);
+        // Display renders the measured case with an "x", the unmeasured as "-".
+        assert!(m.to_string().contains("speedup 2.00x"));
+        assert!(FleetMetrics::default().to_string().contains("speedup -"));
+    }
+
+    #[test]
+    fn json_dump_has_churn_and_delta_counters() {
+        let mut m = FleetMetrics::default();
+        m.apply(&MetricEvent::Crash);
+        m.apply(&MetricEvent::DeltaCut {
+            dirty_shards: 2,
+            plan_shards: 0,
+            elapsed: Duration::from_micros(10),
+            incremental: false,
+        });
+        let json = m.to_json("  ");
+        assert!(json.contains("\"crashes\": 1"));
+        assert!(json.contains("\"delta_cuts\": 1"));
+        assert!(json.contains("\"manager_parallel_speedup\": null"));
+        // Distinct from the gated bench keys: the gated files use
+        // "pages_per_second_sequential"/"_parallel"; this dump must not
+        // introduce a bare colliding occurrence of those exact keys.
+        assert!(!json.contains("\"pages_per_second_sequential\""));
     }
 }

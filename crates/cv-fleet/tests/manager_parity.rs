@@ -125,8 +125,12 @@ fn per_shard_manager_metrics_are_recorded() {
         "at least one manager shard did measurable work"
     );
     assert!(metrics.manager_ms_per_epoch() > 0.0);
-    assert!(metrics.manager_parallel_speedup() >= 0.0);
-    // The speedup column renders in the Display output.
+    // None (no multi-threaded fan-out ran) and Some(s >= 0) are both legal here —
+    // whether the fan-out spawns depends on machine parallelism and batch size.
+    if let Some(speedup) = metrics.manager_parallel_speedup() {
+        assert!(speedup >= 0.0);
+    }
+    // The speedup column renders in the Display output either way.
     let rendered = format!("{metrics}");
     assert!(rendered.contains("parallel speedup"), "{rendered}");
 }

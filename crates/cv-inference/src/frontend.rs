@@ -268,6 +268,10 @@ impl LearningFrontend {
     /// exactly: downstream consumers (candidate selection, repair tie-breaking, the
     /// fleet's byte-identical manager-parity guarantee) all observe insertion order.
     pub fn infer(&self) -> InvariantDatabase {
+        let _span = cv_obs::recorder()
+            .span("learning.infer", "learning")
+            .arg("variables", self.vars.len() as u64)
+            .arg("pairs", self.pairs.len() as u64);
         // Equal-variable deduplication: when the CFG guarantees two variables always
         // hold the same value, keep only the one from the earlier instruction
         // (Section 2.2.4). Variables read by indirect control transfers are exempt from

@@ -1,0 +1,217 @@
+//! Chrome `trace_event` export.
+//!
+//! The exported JSON loads in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev). Mapping:
+//!
+//! * a fleet-stamped event (`"fleet"` argument) renders under **pid = fleet id**,
+//!   so each fleet in a multi-fleet run (`fleet_scale` runs several back to
+//!   back) gets its own process track; unstamped events (the cv-store codecs)
+//!   render under pid 0;
+//! * spans are complete (`"ph":"X"`) events with microsecond `ts`/`dur`
+//!   (fractional, so sub-microsecond spans stay visible);
+//! * instants are `"ph":"i"` thread-scoped markers;
+//! * counters are `"ph":"C"` samples, graphed by Perfetto as time series.
+
+use crate::recorder::{EventKind, TraceEvent};
+use std::fmt::Write;
+
+fn micros(nanos: u64) -> f64 {
+    nanos as f64 / 1_000.0
+}
+
+/// Escape a string for a JSON string literal. Event names are static Rust
+/// identifiers today, but the exporter stays correct if that ever changes.
+fn escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_args(out: &mut String, event: &TraceEvent) {
+    out.push('{');
+    let mut first = true;
+    if let EventKind::Counter { value } = event.kind {
+        out.push_str("\"value\":");
+        let _ = write!(out, "{value}");
+        first = false;
+    }
+    for (key, value) in &event.args {
+        if !first {
+            out.push(',');
+        }
+        out.push('"');
+        escape(out, key);
+        let _ = write!(out, "\":{value}");
+        first = false;
+    }
+    out.push('}');
+}
+
+/// Render a recorded stream as Chrome `trace_event` JSON (the
+/// `{"traceEvents": [...]}` object form).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 120 + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Name each fleet's process track; pid 0 carries unattributed events.
+    let mut pids: Vec<u64> = events.iter().map(pid_of).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let name = if *pid == 0 {
+            "unattributed (store codecs, shared)".to_string()
+        } else {
+            format!("fleet {pid}")
+        };
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    }
+
+    for event in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        escape(&mut out, event.name);
+        out.push_str("\",\"cat\":\"");
+        escape(&mut out, event.cat);
+        out.push_str("\",");
+        match event.kind {
+            EventKind::Span { dur_nanos } => {
+                let _ = write!(
+                    out,
+                    "\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},",
+                    micros(event.ts_nanos),
+                    micros(dur_nanos)
+                );
+            }
+            EventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},",
+                    micros(event.ts_nanos)
+                );
+            }
+            EventKind::Counter { .. } => {
+                let _ = write!(out, "\"ph\":\"C\",\"ts\":{:.3},", micros(event.ts_nanos));
+            }
+        }
+        let _ = write!(
+            out,
+            "\"pid\":{},\"tid\":{},\"args\":",
+            pid_of(event),
+            event.tid
+        );
+        write_args(&mut out, event);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// The process track an event renders under: its fleet id, or 0 if unstamped.
+fn pid_of(event: &TraceEvent) -> u64 {
+    event.arg("fleet").unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    /// A minimal structural JSON check: balanced braces/brackets outside string
+    /// literals, and no trailing comma before a closer. Not a full parser, but
+    /// catches every way this hand-rolled writer could go wrong.
+    fn assert_structurally_valid_json(s: &str) {
+        let mut depth: Vec<char> = Vec::new();
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut last_significant = ' ';
+        for c in s.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                    last_significant = '"';
+                }
+                continue;
+            }
+            match c {
+                '"' => {
+                    in_string = true;
+                }
+                '{' => depth.push('}'),
+                '[' => depth.push(']'),
+                '}' | ']' => {
+                    assert_ne!(last_significant, ',', "trailing comma before {c}");
+                    assert_eq!(depth.pop(), Some(c), "mismatched closer {c}");
+                }
+                _ => {}
+            }
+            if !c.is_whitespace() {
+                last_significant = c;
+            }
+        }
+        assert!(!in_string, "unterminated string");
+        assert!(depth.is_empty(), "unbalanced: {depth:?}");
+    }
+
+    #[test]
+    fn export_contains_spans_instants_counters_and_is_balanced() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.span("fleet.execution", "fleet")
+            .arg("fleet", 2)
+            .arg("epoch", 1)
+            .finish();
+        rec.instant(
+            "timeline.protected",
+            "timeline",
+            &[("fleet", 2), ("location", 64)],
+        );
+        rec.counter("fleet.pages", 400, &[("fleet", 2)]);
+        rec.span("store.snapshot_encode", "store").finish();
+        let json = chrome_trace_json(&rec.events());
+        assert_structurally_valid_json(&json);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":400"));
+        // The fleet-stamped events render under pid 2; the store span under 0.
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("\"pid\":0"));
+        assert!(json.contains("\"name\":\"fleet 2\""));
+    }
+
+    #[test]
+    fn empty_stream_is_still_valid() {
+        let json = chrome_trace_json(&[]);
+        assert_structurally_valid_json(&json);
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        let mut out = String::new();
+        escape(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "a\\\"b\\\\c\\u000ad");
+    }
+}

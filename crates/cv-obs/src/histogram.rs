@@ -1,0 +1,166 @@
+//! Fixed-bucket latency histograms.
+//!
+//! The recorder keeps one histogram per span name so a long-running fleet can be
+//! monitored in O(1) memory even while the event buffer is drained periodically.
+//! Buckets are powers of two in **microseconds**: bucket 0 holds sub-microsecond
+//! spans, bucket `i` holds `[2^(i-1), 2^i)` µs. That caps quantile error at 2×,
+//! which is plenty for "where did the epoch go" monitoring (the exact per-run
+//! quantiles in [`Summary`](crate::Summary) are computed from the events
+//! themselves).
+
+use std::time::Duration;
+
+/// Number of buckets: bucket 63 holds everything ≥ 2⁶² µs (≈146 millennia),
+/// so no duration ever falls off the end.
+const BUCKETS: usize = 64;
+
+/// A fixed-bucket (log₂ microsecond) latency histogram.
+#[derive(Debug, Clone)]
+pub struct FixedHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for FixedHistogram {
+    fn default() -> Self {
+        FixedHistogram::new()
+    }
+}
+
+impl FixedHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        FixedHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    fn bucket_of(duration: Duration) -> usize {
+        let micros = duration.as_micros().min(u64::MAX as u128) as u64;
+        (u64::BITS - micros.leading_zeros()).min(BUCKETS as u32 - 1) as usize
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, duration: Duration) {
+        self.buckets[Self::bucket_of(duration)] += 1;
+        self.count += 1;
+        self.total_nanos += duration.as_nanos();
+        self.max_nanos = self.max_nanos.max(duration.as_nanos() as u64);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_nanos.min(u64::MAX as u128) as u64)
+    }
+
+    /// The largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Mean sample.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.total_nanos / self.count as u128) as u64)
+        }
+    }
+
+    /// Approximate quantile `q` (0..=1) by nearest rank over the buckets: the
+    /// returned value is the geometric midpoint of the bucket holding the
+    /// rank-`⌈q·n⌉` sample (so it is within 2× of the true quantile), clamped to
+    /// the observed maximum.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i covers [2^(i-1), 2^i) µs; its geometric midpoint is
+                // 3·2^(i-2) µs. Bucket 0 (sub-µs) reports 500 ns.
+                let nanos = if i == 0 {
+                    500
+                } else {
+                    3u64.saturating_mul(1u64 << (i - 1)) / 2 * 1_000
+                };
+                return Duration::from_nanos(nanos).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Iterate the non-empty buckets as `(lower bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (Duration, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lower_micros = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                (Duration::from_micros(lower_micros), n)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_micros() {
+        assert_eq!(FixedHistogram::bucket_of(Duration::from_nanos(10)), 0);
+        assert_eq!(FixedHistogram::bucket_of(Duration::from_micros(1)), 1);
+        assert_eq!(FixedHistogram::bucket_of(Duration::from_micros(2)), 2);
+        assert_eq!(FixedHistogram::bucket_of(Duration::from_micros(3)), 2);
+        assert_eq!(FixedHistogram::bucket_of(Duration::from_micros(1024)), 11);
+        assert_eq!(FixedHistogram::bucket_of(Duration::from_secs(3600)), 32);
+    }
+
+    #[test]
+    fn quantiles_are_within_a_bucket_of_truth() {
+        let mut h = FixedHistogram::new();
+        for micros in 1..=1000u64 {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 1000);
+        let median = h.quantile(0.5);
+        // The true median is 500µs; bucket resolution allows 2x error.
+        assert!(median >= Duration::from_micros(250) && median <= Duration::from_micros(1000));
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= Duration::from_micros(495) && p99 <= Duration::from_micros(1000));
+        assert!(h.quantile(1.0) <= h.max());
+        assert!(median <= p99, "quantiles are monotonic");
+    }
+
+    #[test]
+    fn totals_and_mean_are_exact() {
+        let mut h = FixedHistogram::new();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(30));
+        assert_eq!(h.total(), Duration::from_micros(40));
+        assert_eq!(h.mean(), Duration::from_micros(20));
+        assert_eq!(h.max(), Duration::from_micros(30));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = FixedHistogram::new();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+}

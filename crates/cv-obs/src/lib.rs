@@ -1,0 +1,54 @@
+//! # cv-obs — the structured tracing + telemetry plane
+//!
+//! The paper's core claims are operational — monitoring overhead, time from first
+//! exploit to community-wide immunity, patch-generation latency — and defending
+//! them needs more than a flat metrics aggregate: it needs to say *where* an
+//! epoch's time went and *what happened* to one failure location between
+//! detection and immunity. This crate is the substrate the rest of the workspace
+//! records into:
+//!
+//! * [`Recorder`] (`recorder.rs`) — a thread-safe event recorder with a process-wide
+//!   static handle ([`recorder()`]). **Disabled by default and zero-cost while
+//!   disabled**: starting a span is one relaxed atomic load, no lock, no
+//!   allocation, no clock read ([`Recorder::span`]); hot paths that need the
+//!   measured duration regardless (the fleet accounting plane) use
+//!   [`Recorder::timed_span`], which always reads the monotonic clock but still
+//!   skips the buffer entirely while disabled.
+//! * [`SpanGuard`] — RAII span timing: drop (or [`SpanGuard::finish`], which also
+//!   returns the measured [`Duration`](std::time::Duration)) records one complete
+//!   span event. Events carry a static name, a category, the recording thread,
+//!   and small numeric argument lists (epoch, shard, member counts, …).
+//! * Monotonic [counters](Recorder::counter) and [instants](Recorder::instant) —
+//!   counters graph quantities over time (pages processed, alive members);
+//!   instants mark moments (churn events, repair-timeline stages).
+//! * [`FixedHistogram`] (`histogram.rs`) — fixed-bucket (log₂ microsecond)
+//!   latency histograms the recorder maintains per span name: O(1) memory however
+//!   long the run, with approximate quantiles for live monitoring.
+//! * [`chrome_trace_json`] (`chrome.rs`) — export a recorded stream as Chrome
+//!   `trace_event` JSON, loadable in `chrome://tracing` and
+//!   [Perfetto](https://ui.perfetto.dev) (each fleet renders as its own process
+//!   track).
+//! * [`Summary`] (`report.rs`) — the machine-readable run report: per-phase
+//!   counts, totals, exact medians/p99 over epochs, final counter values, and
+//!   per-failure-location *repair timelines* (first detection → candidate
+//!   generation → evaluation verdicts → plan push → fleet-wide immunity),
+//!   exportable as JSON.
+//!
+//! `cv-fleet` stamps every event with its fleet id (the `"fleet"` argument), so
+//! one process running several fleets — `fleet_scale` runs sequential and
+//! sharded configurations back to back — still yields per-fleet summaries
+//! ([`Summary::build_for_fleet`]). Consistent with the workspace shims policy,
+//! this crate has **no dependencies** — std only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod histogram;
+mod recorder;
+mod report;
+
+pub use chrome::chrome_trace_json;
+pub use histogram::FixedHistogram;
+pub use recorder::{recorder, EventKind, Recorder, SpanGuard, TraceEvent};
+pub use report::{PhaseStats, Summary, Timeline, TimelineEvent};

@@ -1,0 +1,421 @@
+//! The event recorder: spans, instants, counters, and the process-wide handle.
+
+use crate::histogram::FixedHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Maximum numeric arguments a single event carries. Events are stamped with a
+/// handful of small identifiers (epoch, shard, member counts); a fixed inline
+/// capacity keeps argument handling allocation-free on the recording path.
+const MAX_ARGS: usize = 6;
+
+/// A small inline list of `(key, value)` arguments.
+pub(crate) type ArgList = Vec<(&'static str, u64)>;
+
+/// What kind of event a [`TraceEvent`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: something with a beginning and a duration.
+    Span {
+        /// The span's duration in nanoseconds.
+        dur_nanos: u64,
+    },
+    /// A point-in-time marker.
+    Instant,
+    /// A monotonic counter sample (the counter's value at this timestamp).
+    Counter {
+        /// The sampled counter value.
+        value: u64,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Static event name (`"fleet.execution"`, `"store.snapshot_encode"`, …).
+    pub name: &'static str,
+    /// Static category (`"fleet"`, `"store"`, `"churn"`, `"timeline"`, …).
+    pub cat: &'static str,
+    /// Span / instant / counter payload.
+    pub kind: EventKind,
+    /// Start time (spans) or occurrence time (instants, counters) in nanoseconds
+    /// since the recorder's time base.
+    pub ts_nanos: u64,
+    /// Dense id of the recording thread (assigned on each thread's first event).
+    pub tid: u64,
+    /// Small numeric arguments (epoch, shard, member counts, …).
+    pub args: ArgList,
+}
+
+impl TraceEvent {
+    /// The value of argument `key`, if the event carries it.
+    pub fn arg(&self, key: &str) -> Option<u64> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// The span duration, if this event is a span.
+    pub fn span_duration(&self) -> Option<Duration> {
+        match self.kind {
+            EventKind::Span { dur_nanos } => Some(Duration::from_nanos(dur_nanos)),
+            _ => None,
+        }
+    }
+}
+
+/// The mutable recorder state, behind one mutex. Recording only takes the lock
+/// while enabled; the disabled fast path never touches it.
+#[derive(Default)]
+struct Inner {
+    events: Vec<TraceEvent>,
+    /// Per-span-name latency histograms (maintained while enabled): O(1) memory
+    /// live statistics even when the event buffer is periodically drained.
+    histograms: BTreeMap<&'static str, FixedHistogram>,
+}
+
+/// A thread-safe event recorder.
+///
+/// Most code records through the process-wide handle ([`recorder()`]); tests can
+/// construct private instances. The recorder starts **disabled**: spans,
+/// instants, and counters are dropped on the floor (without locking or
+/// allocating) until [`Recorder::set_enabled`]`(true)`.
+pub struct Recorder {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+    base: OnceLock<Instant>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A new, disabled recorder with an empty buffer.
+    pub const fn new() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(Inner {
+                events: Vec::new(),
+                histograms: BTreeMap::new(),
+            }),
+            base: OnceLock::new(),
+        }
+    }
+
+    /// Enable or disable event retention. Disabling does not clear what was
+    /// already recorded.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// True if events are currently being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The recorder's time base (first use pins it).
+    fn base(&self) -> Instant {
+        *self.base.get_or_init(Instant::now)
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.base().elapsed().as_nanos() as u64
+    }
+
+    /// Start a **trace-only** span: while the recorder is disabled this is one
+    /// relaxed atomic load — no lock, no allocation, not even a clock read — and
+    /// the returned guard is inert. Use for instrumentation whose duration
+    /// nobody consumes besides the trace (the cv-store codecs).
+    pub fn span(&self, name: &'static str, cat: &'static str) -> SpanGuard<'_> {
+        if self.is_enabled() {
+            SpanGuard {
+                rec: Some(self),
+                start: Some(Instant::now()),
+                name,
+                cat,
+                args: Vec::new(),
+            }
+        } else {
+            SpanGuard {
+                rec: None,
+                start: None,
+                name,
+                cat,
+                args: Vec::new(),
+            }
+        }
+    }
+
+    /// Start a span whose measured duration the caller needs **regardless** of
+    /// whether tracing is on: the clock is always read and
+    /// [`SpanGuard::finish`] always returns the true elapsed time, but the event
+    /// is only retained while enabled. This is the accounting-plane primitive —
+    /// one measurement feeds both the trace and the derived metrics, so the two
+    /// can never disagree.
+    pub fn timed_span(&self, name: &'static str, cat: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            rec: if self.is_enabled() { Some(self) } else { None },
+            start: Some(Instant::now()),
+            name,
+            cat,
+            args: Vec::new(),
+        }
+    }
+
+    /// Record a point-in-time marker with arguments. Dropped while disabled.
+    pub fn instant(&self, name: &'static str, cat: &'static str, args: &[(&'static str, u64)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let event = TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Instant,
+            ts_nanos: self.now_nanos(),
+            tid: thread_id(),
+            args: args.iter().take(MAX_ARGS).copied().collect(),
+        };
+        self.push(event);
+    }
+
+    /// Sample a monotonic counter: `value` is the counter's current value (the
+    /// exporters graph successive samples). Dropped while disabled.
+    pub fn counter(&self, name: &'static str, value: u64, args: &[(&'static str, u64)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let event = TraceEvent {
+            name,
+            cat: "counter",
+            kind: EventKind::Counter { value },
+            ts_nanos: self.now_nanos(),
+            tid: thread_id(),
+            args: args.iter().take(MAX_ARGS).copied().collect(),
+        };
+        self.push(event);
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        if let EventKind::Span { dur_nanos } = event.kind {
+            inner
+                .histograms
+                .entry(event.name)
+                .or_default()
+                .record(Duration::from_nanos(dur_nanos));
+        }
+        inner.events.push(event);
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder poisoned").events.len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take every buffered event, leaving the buffer empty (histograms are
+    /// retained — they are the long-run aggregate).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.lock().expect("recorder poisoned").events)
+    }
+
+    /// Clone the buffered events without draining them.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().expect("recorder poisoned").events.clone()
+    }
+
+    /// Drop all buffered events and histograms.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        inner.events.clear();
+        inner.histograms.clear();
+    }
+
+    /// The latency histogram accumulated for span `name`, if any span with that
+    /// name was recorded while enabled.
+    pub fn histogram(&self, name: &str) -> Option<FixedHistogram> {
+        self.inner
+            .lock()
+            .expect("recorder poisoned")
+            .histograms
+            .get(name)
+            .cloned()
+    }
+}
+
+/// An in-flight span. Dropping it records the completed span (if the recorder
+/// was enabled when the span started); [`SpanGuard::finish`] does the same and
+/// returns the measured duration.
+#[must_use = "dropping a span guard immediately records a zero-length span"]
+pub struct SpanGuard<'a> {
+    rec: Option<&'a Recorder>,
+    start: Option<Instant>,
+    name: &'static str,
+    cat: &'static str,
+    args: ArgList,
+}
+
+impl SpanGuard<'_> {
+    /// Attach a numeric argument. No-op (and allocation-free) on inert guards.
+    pub fn arg(mut self, key: &'static str, value: u64) -> Self {
+        if self.rec.is_some() && self.args.len() < MAX_ARGS {
+            self.args.push((key, value));
+        }
+        self
+    }
+
+    /// Close the span and return its measured duration ([`Duration::ZERO`] for
+    /// trace-only spans started while the recorder was disabled).
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        let elapsed = self.start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
+        if let Some(rec) = self.rec.take() {
+            let start = self.start.expect("recording spans always have a start");
+            let ts_nanos = start
+                .checked_duration_since(rec.base())
+                .unwrap_or(Duration::ZERO)
+                .as_nanos() as u64;
+            rec.push(TraceEvent {
+                name: self.name,
+                cat: self.cat,
+                kind: EventKind::Span {
+                    dur_nanos: elapsed.as_nanos() as u64,
+                },
+                ts_nanos,
+                tid: thread_id(),
+                args: std::mem::take(&mut self.args),
+            });
+        }
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Dense per-thread ids, assigned on each thread's first event (stable
+/// `std::thread::ThreadId` has no portable numeric accessor).
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// The process-wide recorder handle. Disabled by default; binaries that export
+/// traces enable it (`fleet_scale --trace`, `fleet_demo --trace`).
+pub fn recorder() -> &'static Recorder {
+    static GLOBAL: Recorder = Recorder::new();
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_retains_nothing_but_still_times() {
+        let rec = Recorder::new();
+        let span = rec.timed_span("work", "test");
+        std::thread::sleep(Duration::from_millis(2));
+        let dur = span.finish();
+        assert!(dur >= Duration::from_millis(2), "timed span still measures");
+        rec.instant("marker", "test", &[("k", 1)]);
+        rec.counter("count", 7, &[]);
+        assert!(rec.is_empty(), "disabled recorder must retain no events");
+        // A trace-only span while disabled reads no clock and reports ZERO.
+        assert_eq!(rec.span("work", "test").finish(), Duration::ZERO);
+    }
+
+    #[test]
+    fn enabled_recorder_captures_spans_instants_and_counters() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        let dur = rec
+            .span("alpha", "test")
+            .arg("epoch", 3)
+            .arg("shard", 1)
+            .finish();
+        rec.instant("beta", "timeline", &[("location", 0x40)]);
+        rec.counter("gamma", 12, &[("fleet", 2)]);
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "alpha");
+        assert_eq!(events[0].arg("epoch"), Some(3));
+        assert_eq!(events[0].span_duration(), Some(dur));
+        assert_eq!(events[1].kind, EventKind::Instant);
+        assert_eq!(events[1].arg("location"), Some(0x40));
+        assert_eq!(events[2].kind, EventKind::Counter { value: 12 });
+        // Histograms accumulate per span name.
+        assert_eq!(rec.histogram("alpha").unwrap().count(), 1);
+        assert!(
+            rec.histogram("beta").is_none(),
+            "instants are not latencies"
+        );
+    }
+
+    #[test]
+    fn drop_records_and_drain_empties() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        {
+            let _span = rec.span("scoped", "test").arg("epoch", 1);
+        }
+        assert_eq!(rec.len(), 1);
+        let drained = rec.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(rec.is_empty());
+        assert!(
+            rec.histogram("scoped").is_some(),
+            "drain keeps the histograms"
+        );
+        rec.clear();
+        assert!(rec.histogram("scoped").is_none());
+    }
+
+    #[test]
+    fn spans_record_from_many_threads() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        std::thread::scope(|scope| {
+            for shard in 0..4u64 {
+                let rec = &rec;
+                scope.spawn(move || {
+                    rec.span("worker", "test").arg("shard", shard).finish();
+                });
+            }
+        });
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        let mut shards: Vec<u64> = events.iter().filter_map(|e| e.arg("shard")).collect();
+        shards.sort_unstable();
+        assert_eq!(shards, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_per_thread() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        for _ in 0..10 {
+            rec.span("tick", "test").finish();
+        }
+        let events = rec.events();
+        for pair in events.windows(2) {
+            assert!(pair[0].ts_nanos <= pair[1].ts_nanos);
+        }
+    }
+}

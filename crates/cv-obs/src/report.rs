@@ -1,0 +1,373 @@
+//! The machine-readable run report.
+//!
+//! A [`Summary`] reduces one recorded stream to the numbers the paper's claims
+//! are argued with: per-phase counts/totals/medians/p99 (exact, computed by
+//! sorting the phase's span durations — the recorder's histograms are the
+//! approximate live view, this is the precise post-hoc one), final counter
+//! values, and per-failure-location repair [`Timeline`]s (first detection →
+//! candidate generation → evaluation verdicts → plan push → fleet-wide
+//! immunity).
+
+use crate::recorder::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Aggregate statistics for one span name ("phase").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// The span name (`"fleet.execution"`, `"store.delta_cut"`, …).
+    pub name: String,
+    /// Number of spans recorded under this name.
+    pub count: u64,
+    /// Sum of their durations.
+    pub total: Duration,
+    /// Exact median duration (nearest rank).
+    pub median: Duration,
+    /// Exact 99th-percentile duration (nearest rank).
+    pub p99: Duration,
+    /// Largest single duration.
+    pub max: Duration,
+}
+
+/// One stage of a repair timeline: a `cat == "timeline"` instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Stage name (`"timeline.detected"`, `"timeline.protected"`, …).
+    pub name: String,
+    /// When it happened, relative to the recorder's time base.
+    pub ts: Duration,
+    /// The epoch it happened in, if the event was stamped with one.
+    pub epoch: Option<u64>,
+}
+
+/// The life of one failure location, from first detection onward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// The failure location (the faulting address the monitors flagged).
+    pub location: u64,
+    /// Its stages, in time order.
+    pub events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// Time from the first to the last recorded stage — for a location that
+    /// reaches `timeline.protected`, the detection-to-immunity latency.
+    pub fn elapsed(&self) -> Duration {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) => last.ts.saturating_sub(first.ts),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+/// A reduced view of one recorded stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Per-span-name statistics, sorted by name.
+    pub phases: Vec<PhaseStats>,
+    /// Final value of each counter, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Repair timelines, sorted by failure location.
+    pub timelines: Vec<Timeline>,
+}
+
+fn nearest_rank(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl Summary {
+    /// Reduce every event in the stream.
+    pub fn build(events: &[TraceEvent]) -> Summary {
+        Summary::reduce(events.iter())
+    }
+
+    /// Reduce only the events belonging to fleet `fleet_id`: events stamped with
+    /// a different `"fleet"` argument are skipped, events with no stamp (the
+    /// cv-store codecs, which run on behalf of whichever fleet called them) are
+    /// kept.
+    pub fn build_for_fleet(events: &[TraceEvent], fleet_id: u64) -> Summary {
+        Summary::reduce(
+            events
+                .iter()
+                .filter(|e| e.arg("fleet").is_none_or(|id| id == fleet_id)),
+        )
+    }
+
+    fn reduce<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Summary {
+        let mut durations: BTreeMap<&'static str, Vec<Duration>> = BTreeMap::new();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut timelines: BTreeMap<u64, Vec<TimelineEvent>> = BTreeMap::new();
+        for event in events {
+            match event.kind {
+                EventKind::Span { dur_nanos } => {
+                    durations
+                        .entry(event.name)
+                        .or_default()
+                        .push(Duration::from_nanos(dur_nanos));
+                }
+                EventKind::Counter { value } => {
+                    counters.insert(event.name.to_string(), value);
+                }
+                EventKind::Instant => {
+                    if event.cat == "timeline" {
+                        if let Some(location) = event.arg("location") {
+                            timelines.entry(location).or_default().push(TimelineEvent {
+                                name: event.name.to_string(),
+                                ts: Duration::from_nanos(event.ts_nanos),
+                                epoch: event.arg("epoch"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let phases = durations
+            .into_iter()
+            .map(|(name, mut durs)| {
+                durs.sort_unstable();
+                PhaseStats {
+                    name: name.to_string(),
+                    count: durs.len() as u64,
+                    total: durs.iter().sum(),
+                    median: nearest_rank(&durs, 0.5),
+                    p99: nearest_rank(&durs, 0.99),
+                    max: *durs.last().expect("non-empty by construction"),
+                }
+            })
+            .collect();
+        let timelines = timelines
+            .into_iter()
+            .map(|(location, mut events)| {
+                events.sort_by_key(|e| e.ts);
+                Timeline { location, events }
+            })
+            .collect();
+        Summary {
+            phases,
+            counters,
+            timelines,
+        }
+    }
+
+    /// The statistics for span name `name`, if any were recorded.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Render as JSON: `{"phases": [...], "counters": {...}, "timelines": [...]}`
+    /// with all durations in fractional milliseconds.
+    pub fn to_json(&self) -> String {
+        fn ms(d: Duration) -> f64 {
+            d.as_secs_f64() * 1_000.0
+        }
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"count\": {}, \"total_ms\": {:.3}, \"median_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}",
+                p.name,
+                p.count,
+                ms(p.total),
+                ms(p.median),
+                ms(p.p99),
+                ms(p.max)
+            ));
+        }
+        out.push_str("\n  ],\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{name}\": {value}"));
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  },\n  \"timelines\": [\n");
+        for (i, t) in self.timelines.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"location\": {}, \"elapsed_ms\": {:.3}, \"events\": [",
+                t.location,
+                ms(t.elapsed())
+            ));
+            for (j, e) in t.events.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                match e.epoch {
+                    Some(epoch) => out.push_str(&format!(
+                        "{{\"name\": \"{}\", \"ts_ms\": {:.3}, \"epoch\": {epoch}}}",
+                        e.name,
+                        ms(e.ts)
+                    )),
+                    None => out.push_str(&format!(
+                        "{{\"name\": \"{}\", \"ts_ms\": {:.3}}}",
+                        e.name,
+                        ms(e.ts)
+                    )),
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "phase", "count", "total", "median", "p99", "max"
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "{:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                p.name,
+                p.count,
+                format!("{:.3?}", p.total),
+                format!("{:.3?}", p.median),
+                format!("{:.3?}", p.p99),
+                format!("{:.3?}", p.max)
+            )?;
+        }
+        for t in &self.timelines {
+            writeln!(
+                f,
+                "location {:#x}: {} stage(s) over {:.3?}",
+                t.location,
+                t.events.len(),
+                t.elapsed()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn span_event(name: &'static str, ts_ms: u64, dur_ms: u64, fleet: Option<u64>) -> TraceEvent {
+        let mut args = Vec::new();
+        if let Some(id) = fleet {
+            args.push(("fleet", id));
+        }
+        TraceEvent {
+            name,
+            cat: "fleet",
+            kind: EventKind::Span {
+                dur_nanos: dur_ms * 1_000_000,
+            },
+            ts_nanos: ts_ms * 1_000_000,
+            tid: 1,
+            args,
+        }
+    }
+
+    #[test]
+    fn phase_quantiles_are_exact() {
+        let events: Vec<TraceEvent> = (1..=100)
+            .map(|i| span_event("fleet.execution", i, i, None))
+            .collect();
+        let summary = Summary::build(&events);
+        let phase = summary.phase("fleet.execution").unwrap();
+        assert_eq!(phase.count, 100);
+        assert_eq!(phase.median, Duration::from_millis(50));
+        assert_eq!(phase.p99, Duration::from_millis(99));
+        assert_eq!(phase.max, Duration::from_millis(100));
+        assert_eq!(phase.total, Duration::from_millis(5050));
+    }
+
+    #[test]
+    fn fleet_filter_keeps_own_and_unstamped_events() {
+        let events = vec![
+            span_event("fleet.execution", 0, 10, Some(1)),
+            span_event("fleet.execution", 1, 20, Some(2)),
+            span_event("store.snapshot_encode", 2, 5, None),
+        ];
+        let summary = Summary::build_for_fleet(&events, 2);
+        assert_eq!(summary.phase("fleet.execution").unwrap().count, 1);
+        assert_eq!(
+            summary.phase("fleet.execution").unwrap().max,
+            Duration::from_millis(20)
+        );
+        assert!(summary.phase("store.snapshot_encode").is_some());
+        let all = Summary::build(&events);
+        assert_eq!(all.phase("fleet.execution").unwrap().count, 2);
+    }
+
+    #[test]
+    fn counters_keep_final_value_and_timelines_order_stages() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.counter("fleet.pages", 100, &[]);
+        rec.counter("fleet.pages", 400, &[]);
+        rec.instant(
+            "timeline.detected",
+            "timeline",
+            &[("location", 64), ("epoch", 3)],
+        );
+        rec.instant(
+            "timeline.candidates",
+            "timeline",
+            &[("location", 64), ("epoch", 3)],
+        );
+        rec.instant(
+            "timeline.protected",
+            "timeline",
+            &[("location", 64), ("epoch", 5)],
+        );
+        // A non-timeline instant with a location arg must not pollute timelines.
+        rec.instant("churn.crash", "churn", &[("location", 64)]);
+        let summary = Summary::build(&rec.events());
+        assert_eq!(summary.counters.get("fleet.pages"), Some(&400));
+        assert_eq!(summary.timelines.len(), 1);
+        let timeline = &summary.timelines[0];
+        assert_eq!(timeline.location, 64);
+        let names: Vec<&str> = timeline.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "timeline.detected",
+                "timeline.candidates",
+                "timeline.protected"
+            ]
+        );
+        assert_eq!(timeline.events[2].epoch, Some(5));
+        assert!(timeline.elapsed() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn json_export_has_the_three_sections() {
+        let events = vec![span_event("fleet.execution", 0, 10, None)];
+        let json = Summary::build(&events).to_json();
+        assert!(json.contains("\"phases\""));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"timelines\""));
+        assert!(json.contains("\"fleet.execution\""));
+        assert!(json.contains("\"total_ms\": 10.000"));
+    }
+
+    #[test]
+    fn display_renders_a_table() {
+        let events = vec![span_event("fleet.execution", 0, 10, None)];
+        let text = Summary::build(&events).to_string();
+        assert!(text.contains("phase"));
+        assert!(text.contains("fleet.execution"));
+    }
+}

@@ -75,6 +75,10 @@ impl DeltaSnapshot {
             base.shard_count, target.shard_count,
             "snapshots must share one shard routing"
         );
+        let _span = cv_obs::recorder()
+            .span("store.delta_diff", "store")
+            .arg("base_epoch", base.epoch)
+            .arg("target_epoch", target.epoch);
         let router = ShardRouter::new(target.shard_count as usize);
 
         let base_entries: BTreeMap<Addr, &[Invariant]> = base.invariants.entries().collect();
@@ -138,6 +142,11 @@ impl DeltaSnapshot {
     /// Encode into the versioned container format (same section-table machinery as
     /// full snapshots; shard payloads keyed by `SHARD_SECTION_BASE + shard`).
     pub fn encode(&self) -> Vec<u8> {
+        let span = cv_obs::recorder()
+            .span("store.delta_encode", "store")
+            .arg("base_epoch", self.base_epoch)
+            .arg("target_epoch", self.target_epoch)
+            .arg("dirty_shards", self.shards.len() as u64);
         let mut meta = Writer::new();
         meta.u64(self.base_epoch);
         meta.u64(self.target_epoch);
@@ -174,12 +183,17 @@ impl DeltaSnapshot {
             codec::write_entries(&mut w, &entries);
             sections.push((SHARD_SECTION_BASE + shard.shard, w.into_bytes()));
         }
-        write_container(DELTA_MAGIC, crate::FORMAT_VERSION, &sections)
+        let bytes = write_container(DELTA_MAGIC, crate::FORMAT_VERSION, &sections);
+        span.arg("bytes", bytes.len() as u64).finish();
+        bytes
     }
 
     /// Decode a delta container, validating — with the shared [`ShardRouter`] —
     /// that every entry actually routes to the shard section that carries it.
     pub fn decode(bytes: &[u8]) -> Result<DeltaSnapshot, StoreError> {
+        let _span = cv_obs::recorder()
+            .span("store.delta_decode", "store")
+            .arg("bytes", bytes.len() as u64);
         let sections = read_container(bytes, DELTA_MAGIC, crate::FORMAT_VERSION)?;
 
         let mut r = Reader::new(require_section(&sections, SECTION_DELTA_META)?);
@@ -309,6 +323,11 @@ impl<'a> DeltaBuilder<'a> {
         invariants: &InvariantDatabase,
         plan: PatchPlan,
     ) -> DeltaSnapshot {
+        let _span = cv_obs::recorder()
+            .span("store.delta_cut_incremental", "store")
+            .arg("base_epoch", self.base.epoch)
+            .arg("target_epoch", target_epoch)
+            .arg("dirty_addrs", self.dirty.dirty_addr_count() as u64);
         let mut removed: Vec<Addr> = Vec::new();
         let mut shards: Vec<ShardDelta> = Vec::new();
         for (shard, addrs) in self.dirty.per_shard.iter().enumerate() {
@@ -370,6 +389,11 @@ impl Snapshot {
     /// and epochs are validated before any mutation) deltas whose base epoch or
     /// shard routing do not match.
     pub fn apply_delta(&mut self, delta: &DeltaSnapshot) -> Result<(), StoreError> {
+        let _span = cv_obs::recorder()
+            .span("store.delta_apply", "store")
+            .arg("base_epoch", delta.base_epoch)
+            .arg("target_epoch", delta.target_epoch)
+            .arg("dirty_shards", delta.shards.len() as u64);
         if delta.base_epoch != self.epoch {
             return Err(StoreError::BaseMismatch {
                 expected_epoch: delta.base_epoch,

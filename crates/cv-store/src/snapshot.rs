@@ -63,13 +63,19 @@ impl Snapshot {
         model: &LearnedModel,
         net: &NetPatchState,
     ) -> Self {
-        Snapshot {
+        let span = cv_obs::recorder()
+            .span("store.snapshot_capture", "store")
+            .arg("epoch", epoch);
+        let snapshot = Snapshot {
             epoch,
             shard_count: shard_count.max(1),
             invariants: model.invariants.clone(),
             procedures: model.procedures.procedures().map(|p| p.entry).collect(),
             plan: net.to_plan(),
-        }
+        };
+        span.arg("invariants", snapshot.invariants.len() as u64)
+            .finish();
+        snapshot
     }
 
     /// Rebuild a [`LearnedModel`] for `image` from this snapshot: the invariant
@@ -104,6 +110,9 @@ impl Snapshot {
 
     /// Encode into the versioned container format.
     pub fn encode(&self) -> Vec<u8> {
+        let span = cv_obs::recorder()
+            .span("store.snapshot_encode", "store")
+            .arg("epoch", self.epoch);
         let mut meta = Writer::new();
         meta.u64(self.epoch);
         meta.u32(self.shard_count);
@@ -118,7 +127,7 @@ impl Snapshot {
         let mut plan = Writer::new();
         codec::write_plan(&mut plan, &self.plan);
 
-        write_container(
+        let bytes = write_container(
             SNAPSHOT_MAGIC,
             FORMAT_VERSION,
             &[
@@ -127,7 +136,9 @@ impl Snapshot {
                 (SECTION_PROCEDURES, procedures.into_bytes()),
                 (SECTION_PLAN, plan.into_bytes()),
             ],
-        )
+        );
+        span.arg("bytes", bytes.len() as u64).finish();
+        bytes
     }
 
     /// Decode a container, rejecting truncation, checksum mismatches, unknown
@@ -135,6 +146,9 @@ impl Snapshot {
     /// skipped (the section table is self-describing), so future writers can add
     /// sections without breaking this decoder.
     pub fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+        let _span = cv_obs::recorder()
+            .span("store.snapshot_decode", "store")
+            .arg("bytes", bytes.len() as u64);
         let sections = read_container(bytes, SNAPSHOT_MAGIC, FORMAT_VERSION)?;
 
         let mut r = Reader::new(require_section(&sections, SECTION_META)?);

@@ -2,22 +2,43 @@
 //! in parallel, five members are attacked, and every member — including the 1,195
 //! that never saw the exploit — becomes immune via the distributed patch.
 //!
-//! Run with: `cargo run --release --example fleet_demo [-- --churn]`
+//! Run with: `cargo run --release --example fleet_demo [-- --churn] [-- --trace PATH]`
 //!
 //! With `--churn`, the demo continues into the durability plane: 240 members (20%)
 //! crash mid-epoch with total state loss, half rejoin by shard-keyed delta sync
 //! against their last checkpoint and half by full snapshot bootstrap, late members
 //! join warm from the coordinator's snapshot — and everyone is immune on first
 //! exposure, without one epoch of replayed learning.
+//!
+//! With `--trace PATH`, the `cv-obs` recorder is enabled for the whole run and the
+//! demo writes a Chrome `trace_event` JSON to PATH (open in `chrome://tracing` or
+//! ui.perfetto.dev) plus a per-phase summary — counts, exact medians/p99, repair
+//! timelines — to PATH's `.summary.json` sibling and to stdout.
 
 use clearview::apps::{evaluation_suite, learning_suite, red_team_exploits, Browser};
 use clearview::core::ClearViewConfig;
 use clearview::fleet::{Fleet, FleetConfig, Presentation};
+use clearview::obs::{chrome_trace_json, recorder, Summary};
 
 const NODES: usize = 1_200;
 const ATTACKERS: [usize; 5] = [3, 271, 502, 777, 1_111];
 
+/// `--trace PATH`: the path the Chrome trace goes to, if tracing was requested.
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(args.next().expect("--trace requires a path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace = trace_path();
+    if trace.is_some() {
+        recorder().set_enabled(true);
+    }
     let browser = Browser::build();
     let mut fleet = Fleet::new(
         browser.image.clone(),
@@ -92,6 +113,10 @@ fn main() {
         churn_scenario(&mut fleet, &exploit, location);
     }
 
+    if let Some(path) = &trace {
+        write_trace(path, &fleet);
+    }
+
     println!("\n{}", fleet.metrics());
     println!(
         "wire traffic: {} words batched vs {} words per-event ({}x saved)",
@@ -102,6 +127,25 @@ fn main() {
     for report in fleet.reports() {
         println!("\n{report}");
     }
+}
+
+/// Export the recorded stream: Chrome trace to `path`, per-phase summary (the
+/// per-phase breakdown `EXPERIMENTS.md` captures) to `path`'s `.summary.json`
+/// sibling and stdout.
+fn write_trace(path: &str, fleet: &Fleet) {
+    let events = recorder().drain();
+    std::fs::write(path, chrome_trace_json(&events)).expect("write chrome trace");
+    let summary = Summary::build_for_fleet(&events, fleet.obs_id());
+    let summary_path = match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.summary.json"),
+        None => format!("{path}.summary.json"),
+    };
+    std::fs::write(&summary_path, summary.to_json()).expect("write trace summary");
+    println!("\nper-phase trace summary:\n{summary}");
+    println!(
+        "wrote {path} ({} events — open in chrome://tracing or ui.perfetto.dev) and {summary_path}",
+        events.len()
+    );
 }
 
 /// The durability-plane continuation: churn the immunized fleet and prove the

@@ -11,6 +11,7 @@
 //! * [`store`] — the snapshot + delta-sync persistence plane (durability & churn).
 //! * [`community`] — the application-community layer (small-N facade).
 //! * [`fleet`] — the sharded, parallel application-community engine (1,000+ members).
+//! * [`obs`] — the structured tracing + telemetry plane (spans, counters, traces).
 //! * [`apps`] — the synthetic vulnerable browser and its workloads.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk through the Figure 1 pipeline,
@@ -22,6 +23,7 @@ pub use cv_core as core;
 pub use cv_fleet as fleet;
 pub use cv_inference as inference;
 pub use cv_isa as isa;
+pub use cv_obs as obs;
 pub use cv_patch as patch;
 pub use cv_runtime as runtime;
 pub use cv_store as store;
