@@ -22,6 +22,11 @@
 //!                    a recorder-enabled fleet run against the recorder-disabled
 //!                    one at a tight tolerance without dragging the other bench
 //!                    files into that comparison
+//!   --cap FILE:KEY:MAX  (repeatable) absolute cap checked against the fresh
+//!                    record only: every occurrence of KEY in FILE must be
+//!                    <= MAX. For lower-is-better resource metrics with a fixed
+//!                    budget instead of a baseline — the fleet-scale job holds
+//!                    `BENCH_fleet_sweep.json:bytes_per_member:1024` this way.
 //!
 //! The gate is also a *format* check: a gated metric missing from either copy,
 //! or appearing a different number of times (array shape drift), fails — the
@@ -75,6 +80,51 @@ enum Violation {
     },
     /// A gated metric is missing, or its occurrence count changed (format drift).
     Shape { metric: String, detail: String },
+    /// A capped metric exceeded its absolute budget.
+    Cap {
+        metric: String,
+        cap: f64,
+        fresh: f64,
+    },
+}
+
+/// Check one `--cap FILE:KEY:MAX` budget against the fresh record: every
+/// occurrence of the key must be within the cap, and the key must occur at
+/// least once (an absent budgeted metric is format drift, not a pass).
+fn cap_metric(
+    metric: &str,
+    cap: f64,
+    fresh: &[f64],
+    violations: &mut Vec<Violation>,
+) -> Vec<String> {
+    if fresh.is_empty() {
+        violations.push(Violation::Shape {
+            metric: metric.to_string(),
+            detail: "capped metric absent from fresh record".to_string(),
+        });
+        return Vec::new();
+    }
+    let mut lines = Vec::new();
+    for (index, f) in fresh.iter().enumerate() {
+        let ok = *f <= cap;
+        let label = if fresh.len() == 1 {
+            metric.to_string()
+        } else {
+            format!("{metric}[{index}]")
+        };
+        lines.push(format!(
+            "  {} {label}: fresh {f:.1} vs cap {cap:.1}",
+            if ok { "ok  " } else { "FAIL" },
+        ));
+        if !ok {
+            violations.push(Violation::Cap {
+                metric: label,
+                cap,
+                fresh: *f,
+            });
+        }
+    }
+    lines
 }
 
 /// Gate one metric: compare every occurrence pairwise.
@@ -126,6 +176,7 @@ fn run(
     fresh_dir: &str,
     tolerance: f64,
     only: Option<&str>,
+    caps: &[(String, String, f64)],
 ) -> Result<Vec<Violation>, String> {
     let mut violations = Vec::new();
     let mut current_file = "";
@@ -156,6 +207,19 @@ fn run(
             println!("{line}");
         }
     }
+    // Caps run against the fresh record only — they carry their own budget, so
+    // no baseline copy (and no occurrence-count comparison) is involved, and
+    // `--only` does not filter them: a cap passed explicitly is always meant.
+    for (file, key, cap) in caps {
+        gated += 1;
+        let fresh_text = std::fs::read_to_string(format!("{fresh_dir}/{file}"))
+            .map_err(|e| format!("cannot read fresh {fresh_dir}/{file}: {e}"))?;
+        println!("{file} (caps):");
+        let metric = format!("{file}::{key}");
+        for line in cap_metric(&metric, *cap, &extract(&fresh_text, key), &mut violations) {
+            println!("{line}");
+        }
+    }
     if gated == 0 {
         return Err(match only {
             Some(file) => format!("--only {file} matches no gated metric"),
@@ -170,6 +234,7 @@ fn main() -> ExitCode {
     let mut fresh_dir = ".".to_string();
     let mut tolerance = 0.30f64;
     let mut only: Option<String> = None;
+    let mut caps: Vec<(String, String, f64)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -189,6 +254,18 @@ fn main() -> ExitCode {
                 );
             }
             "--only" => only = Some(value("--only")),
+            "--cap" => {
+                let spec = value("--cap");
+                let mut parts = spec.splitn(3, ':');
+                let (file, key, max) = (parts.next(), parts.next(), parts.next());
+                let (Some(file), Some(key), Some(max)) = (file, key, max) else {
+                    panic!("--cap requires FILE:KEY:MAX, got {spec:?}");
+                };
+                let max: f64 = max
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--cap: MAX must be numeric, got {max:?}"));
+                caps.push((file.to_string(), key.to_string(), max));
+            }
             other => panic!("unknown option {other}"),
         }
     }
@@ -201,7 +278,7 @@ fn main() -> ExitCode {
             None => String::new(),
         }
     );
-    match run(&baseline_dir, &fresh_dir, tolerance, only.as_deref()) {
+    match run(&baseline_dir, &fresh_dir, tolerance, only.as_deref(), &caps) {
         Err(message) => {
             eprintln!("bench_gate error: {message}");
             ExitCode::FAILURE
@@ -224,6 +301,9 @@ fn main() -> ExitCode {
                     ),
                     Violation::Shape { metric, detail } => {
                         eprintln!("  {metric}: record shape drifted ({detail})")
+                    }
+                    Violation::Cap { metric, cap, fresh } => {
+                        eprintln!("  {metric}: fresh {fresh:.1} exceeds the {cap:.1} budget")
                     }
                 }
             }
@@ -299,11 +379,56 @@ mod tests {
         // Only the fleet record exists, so an unfiltered run fails on the
         // missing learning/snapshot files — but `--only BENCH_fleet.json` gates
         // cleanly against the one file that is there.
-        assert!(run(dir, dir, 0.05, None).is_err());
-        let violations = run(dir, dir, 0.05, Some("BENCH_fleet.json")).unwrap();
+        assert!(run(dir, dir, 0.05, None, &[]).is_err());
+        let violations = run(dir, dir, 0.05, Some("BENCH_fleet.json"), &[]).unwrap();
         assert!(violations.is_empty(), "identical records gate clean");
         // A filter that matches nothing is an error, not a silent pass.
-        assert!(run(dir, dir, 0.05, Some("BENCH_nope.json")).is_err());
+        assert!(run(dir, dir, 0.05, Some("BENCH_nope.json"), &[]).is_err());
+    }
+
+    #[test]
+    fn caps_bound_every_occurrence_and_require_presence() {
+        let mut violations = Vec::new();
+        // All occurrences within budget: clean.
+        let lines = cap_metric("f::bytes", 1024.0, &[900.0, 1024.0], &mut violations);
+        assert_eq!(lines.len(), 2);
+        assert!(violations.is_empty());
+        // One row over budget: a Cap violation naming the row.
+        cap_metric("f::bytes", 1024.0, &[900.0, 1500.0], &mut violations);
+        assert!(matches!(
+            &violations[0],
+            Violation::Cap { metric, fresh, .. } if metric == "f::bytes[1]" && *fresh == 1500.0
+        ));
+        // A budgeted metric absent from the record is drift, not a pass.
+        violations.clear();
+        cap_metric("f::bytes", 1024.0, &[], &mut violations);
+        assert!(matches!(&violations[0], Violation::Shape { .. }));
+    }
+
+    #[test]
+    fn cap_only_invocation_gates_without_baselines() {
+        let dir = std::env::temp_dir().join("bench_gate_cap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_fleet_sweep.json"),
+            "{\"points\": [{\"bytes_per_member\": 500.0}, {\"bytes_per_member\": 800.0}]}\n",
+        )
+        .unwrap();
+        let dir = dir.to_str().unwrap();
+        let cap = |max: f64| {
+            vec![(
+                "BENCH_fleet_sweep.json".to_string(),
+                "bytes_per_member".to_string(),
+                max,
+            )]
+        };
+        // `--only` names a file with no pairwise gates, but the cap still counts
+        // toward "something was gated" — a cap-only run is not an error.
+        let violations = run(dir, dir, 0.30, Some("BENCH_fleet_sweep.json"), &cap(1024.0)).unwrap();
+        assert!(violations.is_empty());
+        let violations = run(dir, dir, 0.30, Some("BENCH_fleet_sweep.json"), &cap(600.0)).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(&violations[0], Violation::Cap { .. }));
     }
 
     #[test]

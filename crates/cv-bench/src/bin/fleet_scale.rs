@@ -27,6 +27,14 @@
 //!   --workers N     worker threads for the parallel configurations (0 = one per core)
 //!   --nodes N       community size (default 256)
 //!   --epochs N      benign throughput epochs (default 4)
+//!   --tree-fanout N merge and push patch plans through a hierarchical manager
+//!                   tree with fan-out N (0 = flat, the default)
+//!   --sweep LIST    scale sweep: for each comma-separated member count (e.g.
+//!                   `1000,10000,100000`) drive an event-engine fleet to
+//!                   fleet-wide immunity, measure pages/sec and bytes/member,
+//!                   print the table, and write one JSON row per point to
+//!                   `BENCH_fleet_sweep.json` (gated by `bench_gate --cap`).
+//!                   Runs only the sweep; other scenarios are skipped.
 
 use cv_apps::{
     evaluation_suite, expanded_learning_suite, learning_suite, red_team_exploits, Browser,
@@ -54,6 +62,8 @@ struct Options {
     workers: usize,
     nodes: usize,
     epochs: usize,
+    tree_fanout: usize,
+    sweep: Option<Vec<usize>>,
 }
 
 fn parse_options() -> Options {
@@ -65,6 +75,8 @@ fn parse_options() -> Options {
         workers: 0,
         nodes: 256,
         epochs: 4,
+        tree_fanout: 0,
+        sweep: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +93,23 @@ fn parse_options() -> Options {
             "--workers" => opts.workers = number("--workers"),
             "--nodes" => opts.nodes = number("--nodes").max(16),
             "--epochs" => opts.epochs = number("--epochs").max(1),
+            "--tree-fanout" => opts.tree_fanout = number("--tree-fanout"),
+            "--sweep" => {
+                let list = args
+                    .next()
+                    .expect("--sweep requires a comma-separated list");
+                let points: Vec<usize> = list
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| panic!("--sweep: bad member count {p:?}"))
+                            .max(16)
+                    })
+                    .collect();
+                assert!(!points.is_empty(), "--sweep requires at least one point");
+                opts.sweep = Some(points);
+            }
             other => panic!("unknown option {other}"),
         }
     }
@@ -95,7 +124,9 @@ fn parse_options() -> Options {
 /// (pages processed, execution seconds, pages/sec).
 fn throughput(parallel: bool, workers: usize, opts: &Options) -> (u64, f64, f64) {
     let browser = Browser::build();
-    let mut config = FleetConfig::new(opts.nodes).with_workers(workers);
+    let mut config = FleetConfig::new(opts.nodes)
+        .with_workers(workers)
+        .with_tree_fanout(opts.tree_fanout);
     if !parallel {
         config = config.sequential();
     }
@@ -298,7 +329,9 @@ fn churn(browser: &Browser, opts: &Options) -> ChurnRun {
     let mut fleet = Fleet::new(
         browser.image.clone(),
         ClearViewConfig::default(),
-        FleetConfig::new(opts.nodes).with_workers(opts.workers),
+        FleetConfig::new(opts.nodes)
+            .with_workers(opts.workers)
+            .with_tree_fanout(opts.tree_fanout),
     );
     fleet.distributed_learning(&learning_suite());
     let base = fleet.checkpoint();
@@ -367,6 +400,179 @@ fn churn(browser: &Browser, opts: &Options) -> ChurnRun {
         metrics: metrics.clone(),
         obs_id: fleet.obs_id(),
     }
+}
+
+/// One measured point of the scale sweep.
+struct ScaleRow {
+    members: usize,
+    epochs_to_immunity: u64,
+    pages_per_second: f64,
+    bytes_per_member: f64,
+    resident_bytes_per_member: f64,
+    tree_depth: u64,
+    immune_members: usize,
+}
+
+/// Drive one event-engine fleet of `nodes` members to fleet-wide immunity:
+/// learn, attack five spread members with exploit 290162 until the community is
+/// protected, run one full-fleet benign epoch (the throughput measurement that
+/// matters at scale), then present the exploit to **every** member and require
+/// every one to complete — the paper's immunized-members-that-were-never-attacked
+/// claim, at six figures.
+fn scale_point(browser: &Browser, nodes: usize, opts: &Options) -> ScaleRow {
+    let exploit = red_team_exploits(browser)
+        .into_iter()
+        .find(|e| e.bugzilla == 290162)
+        .unwrap();
+    let location = browser.sym("vuln_290162_call");
+    let fanout = if opts.tree_fanout == 0 {
+        32
+    } else {
+        opts.tree_fanout
+    };
+
+    let mut fleet = Fleet::new(
+        browser.image.clone(),
+        ClearViewConfig::default(),
+        FleetConfig::new(nodes)
+            .with_workers(opts.workers)
+            .with_tree_fanout(fanout),
+    );
+    fleet.distributed_learning(&learning_suite());
+
+    // Five attacked members spread across the fleet; everyone else is immunized
+    // purely by the manager tree's patch push.
+    let attackers: Vec<usize> = (0..5).map(|k| k * (nodes / 5) + 3).collect();
+    let batch: Vec<Presentation> = attackers
+        .iter()
+        .map(|&node| Presentation::new(node, exploit.page()))
+        .collect();
+    for _ in 0..12 {
+        fleet.run_epoch(&batch);
+        if fleet.is_protected_against(location) {
+            break;
+        }
+    }
+    assert!(
+        fleet.is_protected_against(location),
+        "{nodes}-member fleet failed to immunize"
+    );
+
+    // One full-fleet benign epoch: every member loads a page through its patched
+    // configuration.
+    let pages = evaluation_suite();
+    let benign: Vec<Presentation> = (0..nodes)
+        .map(|node| Presentation::new(node, pages[node % pages.len()].clone()))
+        .collect();
+    let outcome = fleet.run_epoch(&benign);
+    assert_eq!(
+        outcome.completed(),
+        benign.len(),
+        "benign pages all complete"
+    );
+
+    // Fleet-wide immunity: everyone gets attacked, everyone survives.
+    let verify: Vec<Presentation> = (0..nodes)
+        .map(|node| Presentation::new(node, exploit.page()))
+        .collect();
+    let outcome = fleet.run_epoch(&verify);
+    let immune_members = outcome.completed();
+    assert_eq!(
+        immune_members,
+        fleet.alive_count(),
+        "{nodes}-member fleet failed fleet-wide immunity"
+    );
+
+    let metrics = fleet.metrics();
+    ScaleRow {
+        members: nodes,
+        epochs_to_immunity: metrics
+            .immunity(location)
+            .and_then(|r| r.epochs_to_immunity())
+            .unwrap_or(0),
+        pages_per_second: metrics.pages_per_second(),
+        bytes_per_member: metrics.bytes_per_member(),
+        resident_bytes_per_member: metrics.member_state_bytes_last as f64 / nodes as f64,
+        tree_depth: metrics.tree_depth_last,
+        immune_members,
+    }
+}
+
+/// `--sweep`: measure each member count, print the scaling table, and write
+/// `BENCH_fleet_sweep.json` — `bench_gate --cap` holds `bytes_per_member` to the
+/// ≤ 1 KiB budget from there.
+fn run_sweep(points: &[usize], opts: &Options) {
+    let browser = Browser::build();
+    let fanout = if opts.tree_fanout == 0 {
+        32
+    } else {
+        opts.tree_fanout
+    };
+    let rows: Vec<ScaleRow> = points
+        .iter()
+        .map(|&nodes| {
+            let start = Instant::now();
+            let row = scale_point(&browser, nodes, opts);
+            println!(
+                "  {} members: immune {}/{} in {:.1}s",
+                nodes,
+                row.immune_members,
+                nodes,
+                start.elapsed().as_secs_f64()
+            );
+            row
+        })
+        .collect();
+
+    print_table(
+        &format!("Scale sweep (event engine, manager-tree fan-out {fanout})"),
+        &[
+            "members",
+            "epochs to immunity",
+            "pages/sec",
+            "bytes/member",
+            "resident B/member",
+            "tree depth",
+            "immune",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.members.to_string(),
+                    r.epochs_to_immunity.to_string(),
+                    format!("{:.0}", r.pages_per_second),
+                    format!("{:.1}", r.bytes_per_member),
+                    format!("{:.1}", r.resident_bytes_per_member),
+                    r.tree_depth.to_string(),
+                    format!("{}/{}", r.immune_members, r.members),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let point_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"members\": {},\n      \"epochs_to_immunity\": {},\n      \"pages_per_second\": {:.1},\n      \"bytes_per_member\": {:.1},\n      \"resident_bytes_per_member\": {:.1},\n      \"tree_depth\": {},\n      \"immune_members\": {}\n    }}",
+                r.members,
+                r.epochs_to_immunity,
+                r.pages_per_second,
+                r.bytes_per_member,
+                r.resident_bytes_per_member,
+                r.tree_depth,
+                r.immune_members,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_scale_sweep\",\n  \"workers\": {},\n  \"tree_fanout\": {fanout},\n  \"points\": [\n{}\n  ]\n}}\n",
+        opts.workers,
+        point_json.join(",\n"),
+    );
+    std::fs::write("BENCH_fleet_sweep.json", &json).expect("write BENCH_fleet_sweep.json");
+    println!("\nwrote BENCH_fleet_sweep.json:\n{json}");
 }
 
 /// Write the Chrome trace (the whole process: every fleet this run built) to
@@ -481,6 +687,10 @@ fn main() {
         // Determinism mode stays untraced: the digest is the byte-identical
         // BatchLog dump, and the recorder has nothing to add to it.
         write_digest(&path, &opts);
+        return;
+    }
+    if let Some(points) = opts.sweep.clone() {
+        run_sweep(&points, &opts);
         return;
     }
     if opts.trace.is_some() {

@@ -29,6 +29,7 @@ pub mod manager;
 mod pipeline;
 mod repairgen;
 mod responder;
+mod tree;
 
 pub use config::ClearViewConfig;
 pub use correlate::{candidate_invariants, classify, CandidateSet, Correlation};
@@ -43,3 +44,4 @@ pub use pipeline::{
 };
 pub use repairgen::{generate_repairs, RepairCandidate};
 pub use responder::{DigestStatus, Directive, FailureResponder, Phase, RepairReport, RunDigest};
+pub use tree::{ManagerTree, TierMerge, TierPush};

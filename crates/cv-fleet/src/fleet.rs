@@ -1,6 +1,8 @@
 //! The fleet engine: the sharded ClearView manager for a large application community.
 //!
-//! A [`Fleet`] owns the member environments (behind an [`EpochScheduler`]), the
+//! A [`Fleet`] owns the member-execution engine (the event-driven
+//! [`EventEngine`] by default, the classic [`EpochScheduler`] as the parity
+//! baseline — see [`EngineKind`]), the
 //! sharded community invariant store, the *sharded manager plane* (a
 //! [`ResponderShard`] per slice of failure locations, fed by a pure
 //! [`DigestRouter`]), the batched console log, and the fleet metrics. Execution is
@@ -24,13 +26,14 @@
 //! A fleet therefore writes a byte-identical [`BatchLog`] whether its manager runs on
 //! one thread or many, with one shard or many — `tests/manager_parity.rs` proves it.
 
+use crate::engine::EventEngine;
 use crate::metrics::{FleetMetrics, MetricEvent};
 use crate::protocol::{BatchLog, FleetMessage, NodeId, Presentation};
-use crate::scheduler::EpochScheduler;
+use crate::scheduler::{EpochScheduler, RunRecord};
 use crate::shard::ShardedInvariantStore;
 use cv_core::{
-    ClearViewConfig, DigestRouter, FailureEvent, FailureResponder, NetPatchState, PatchPlan, Phase,
-    RepairReport, ResponderShard, RoutedDigest, ShardBucket, ShardOutcome,
+    ClearViewConfig, DigestRouter, FailureEvent, FailureResponder, ManagerTree, NetPatchState,
+    PatchPlan, Phase, RepairReport, ResponderShard, RoutedDigest, ShardBucket, ShardOutcome,
 };
 use cv_inference::{InvariantDatabase, LearnedModel, ProcedureDatabase};
 use cv_isa::{Addr, BinaryImage, Word};
@@ -40,6 +43,21 @@ use cv_store::{DeltaBuilder, DeltaSnapshot, Snapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Which member-execution engine a [`Fleet`] runs on. Both engines produce
+/// byte-identical [`BatchLog`]s for the same inputs (`tests/engine_parity.rs`);
+/// they differ only in memory footprint and scalability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The event-driven engine: one shared read-only image and discovered-code
+    /// index per fleet, copy-on-write run state, and compact per-member slots
+    /// (a config handle + sparse aux cells) — tens of bytes per idle member.
+    #[default]
+    Event,
+    /// The classic scheduler: one full execution environment per member. Kept
+    /// as the parity baseline; memory scales with members × image size.
+    Legacy,
+}
 
 /// Construction knobs for a [`Fleet`].
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +76,13 @@ pub struct FleetConfig {
     /// Run workers on real threads (`false` = single partition on the calling
     /// thread; the sequential baseline for benchmarks).
     pub parallel: bool,
+    /// The member-execution engine.
+    pub engine: EngineKind,
+    /// Fan-out of the hierarchical manager tree (0 or 1 = flat merge and push,
+    /// the seed's single coordinator). With a fan-out of `F`, per-shard plans
+    /// merge in groups of `F` per tier and the push is accounted tier by tier —
+    /// the merged plan itself is byte-identical either way.
+    pub tree_fanout: usize,
 }
 
 impl FleetConfig {
@@ -71,6 +96,8 @@ impl FleetConfig {
             manager_shard_count: 8,
             monitors: MonitorConfig::full(),
             parallel: true,
+            engine: EngineKind::default(),
+            tree_fanout: 0,
         }
     }
 
@@ -103,6 +130,24 @@ impl FleetConfig {
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
         self.worker_count = 1;
+        self
+    }
+
+    /// Override the member-execution engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Run on the classic per-member-environment scheduler (the parity baseline).
+    pub fn legacy_engine(self) -> Self {
+        self.with_engine(EngineKind::Legacy)
+    }
+
+    /// Merge and push patch plans through a hierarchical manager tree with the
+    /// given fan-out (0 or 1 = flat, the default).
+    pub fn with_tree_fanout(mut self, tree_fanout: usize) -> Self {
+        self.tree_fanout = tree_fanout;
         self
     }
 }
@@ -144,12 +189,129 @@ impl EpochOutcome {
     }
 }
 
+/// The member-execution engine behind a [`Fleet`]: either the classic
+/// per-member-environment scheduler or the event-driven engine. Every call
+/// forwards; the two implementations agree byte-for-byte on every output
+/// (`tests/engine_parity.rs`), so the rest of the fleet never branches on which
+/// one is running.
+enum Engine {
+    Legacy(EpochScheduler),
+    Event(EventEngine),
+}
+
+impl Engine {
+    fn node_count(&self) -> usize {
+        match self {
+            Engine::Legacy(s) => s.node_count(),
+            Engine::Event(e) => e.node_count(),
+        }
+    }
+
+    fn alive_count(&self) -> usize {
+        match self {
+            Engine::Legacy(s) => s.alive_count(),
+            Engine::Event(e) => e.alive_count(),
+        }
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        match self {
+            Engine::Legacy(s) => s.is_alive(node),
+            Engine::Event(e) => e.is_alive(node),
+        }
+    }
+
+    fn worker_count(&self) -> usize {
+        match self {
+            Engine::Legacy(s) => s.worker_count(),
+            Engine::Event(e) => e.worker_count(),
+        }
+    }
+
+    fn crash(&mut self, node: NodeId) {
+        match self {
+            Engine::Legacy(s) => s.crash(node),
+            Engine::Event(e) => e.crash(node),
+        }
+    }
+
+    fn rejoin(&mut self, node: NodeId) {
+        match self {
+            Engine::Legacy(s) => s.rejoin(node),
+            Engine::Event(e) => e.rejoin(node),
+        }
+    }
+
+    fn join(&mut self) -> NodeId {
+        match self {
+            Engine::Legacy(s) => s.join(),
+            Engine::Event(e) => e.join(),
+        }
+    }
+
+    fn reset_and_apply(&mut self, node: NodeId, plan: &PatchPlan) {
+        match self {
+            Engine::Legacy(s) => s.reset_and_apply(node, plan),
+            Engine::Event(e) => e.reset_and_apply(node, plan),
+        }
+    }
+
+    fn run_epoch(&mut self, presentations: &[Presentation], active: &[Addr]) -> Vec<RunRecord> {
+        match self {
+            Engine::Legacy(s) => s.run_epoch(presentations, active),
+            Engine::Event(e) => e.run_epoch(presentations, active),
+        }
+    }
+
+    fn apply_plan(&mut self, plan: &PatchPlan) {
+        match self {
+            Engine::Legacy(s) => s.apply_plan(plan),
+            Engine::Event(e) => e.apply_plan(plan),
+        }
+    }
+
+    /// Run distributed learning. The classic scheduler returns one local model
+    /// per alive member (a pageless member's is empty); the event engine only
+    /// returns members that actually traced pages — the fleet reconstructs the
+    /// dense upload report itself, so the logs agree.
+    fn learn(&mut self, image: &BinaryImage, pages: &[Vec<Word>]) -> Vec<(NodeId, LearnedModel)> {
+        match self {
+            Engine::Legacy(s) => s.learn(image, pages),
+            Engine::Event(e) => e.learn(image, pages),
+        }
+    }
+
+    /// Bytes of member-proportional state. The event engine measures its slots
+    /// and sparse aux cells; the classic scheduler's members each own a full
+    /// environment (a flat copy of the image plus machine bookkeeping), which
+    /// is estimated from the image dimensions rather than walked.
+    fn resident_state_bytes(&self, image: &BinaryImage) -> u64 {
+        match self {
+            Engine::Legacy(s) => {
+                let image_bytes =
+                    (image.code.len() + image.data.len()) * std::mem::size_of::<Word>();
+                s.node_count() as u64 * (image_bytes as u64 + 256)
+            }
+            Engine::Event(e) => e.resident_state_bytes(),
+        }
+    }
+
+    /// Bytes shared across all members (zero for the classic scheduler — it
+    /// shares nothing).
+    fn shared_state_bytes(&self) -> u64 {
+        match self {
+            Engine::Legacy(_) => 0,
+            Engine::Event(e) => e.shared_state_bytes(),
+        }
+    }
+}
+
 /// A sharded, parallel application community under ClearView protection.
 pub struct Fleet {
     image: BinaryImage,
     config: ClearViewConfig,
     monitors: MonitorConfig,
-    scheduler: EpochScheduler,
+    engine: Engine,
     store: ShardedInvariantStore,
     model: LearnedModel,
     router: DigestRouter,
@@ -159,6 +321,8 @@ pub struct Fleet {
     /// available parallelism (oversubscribing a latency-sensitive fan-out only adds
     /// spawn overhead, unlike the members' simulation pool).
     manager_threads: usize,
+    /// Fan-out of the hierarchical manager tree (0 or 1 = flat merge and push).
+    tree_fanout: usize,
     log: BatchLog,
     /// The accounting event stream — the source of truth the [`FleetMetrics`]
     /// aggregate is a fold of (see `metrics.rs`).
@@ -210,19 +374,28 @@ impl Fleet {
     /// Create a fleet of `fleet_config.node_count` members running `image`, with an
     /// empty model.
     pub fn new(image: BinaryImage, config: ClearViewConfig, fleet_config: FleetConfig) -> Self {
-        let scheduler = EpochScheduler::new(
-            &image,
-            fleet_config.monitors,
-            fleet_config.node_count,
-            fleet_config.worker_count,
-            fleet_config.parallel,
-        );
+        let engine = match fleet_config.engine {
+            EngineKind::Legacy => Engine::Legacy(EpochScheduler::new(
+                &image,
+                fleet_config.monitors,
+                fleet_config.node_count,
+                fleet_config.worker_count,
+                fleet_config.parallel,
+            )),
+            EngineKind::Event => Engine::Event(EventEngine::new(
+                &image,
+                fleet_config.monitors,
+                fleet_config.node_count,
+                fleet_config.worker_count,
+                fleet_config.parallel,
+            )),
+        };
         let manager_shard_count = fleet_config.manager_shard_count.max(1);
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         let manager_threads = if fleet_config.parallel {
-            scheduler.worker_count().min(cores)
+            engine.worker_count().min(cores)
         } else {
             1
         };
@@ -235,13 +408,14 @@ impl Fleet {
             monitors: fleet_config.monitors,
             image,
             config,
-            scheduler,
+            engine,
             router: DigestRouter::new(manager_shard_count),
             manager_shards: (0..manager_shard_count)
                 .map(|_| ResponderShard::new())
                 .collect(),
             parallel: fleet_config.parallel,
             manager_threads,
+            tree_fanout: fleet_config.tree_fanout,
             log: BatchLog::new(),
             metric_log: Vec::new(),
             metrics: FleetMetrics::with_manager_shards(manager_shard_count),
@@ -283,7 +457,7 @@ impl Fleet {
         // label fall back to the materialized diff.
         fleet.store.reset_dirty(snapshot.epoch + 1);
         let bootstrap = snapshot.bootstrap_plan();
-        fleet.scheduler.apply_plan(&bootstrap);
+        fleet.engine.apply_plan(&bootstrap);
         for op in bootstrap.ops() {
             if let cv_core::Directive::InstallRepair(repair) = &op.directive {
                 let shard = fleet.router.shard_of(op.location);
@@ -321,12 +495,12 @@ impl Fleet {
 
     /// Number of community members.
     pub fn node_count(&self) -> usize {
-        self.scheduler.node_count()
+        self.engine.node_count()
     }
 
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
-        self.scheduler.worker_count()
+        self.engine.worker_count()
     }
 
     /// Number of shards in the community invariant store.
@@ -387,12 +561,12 @@ impl Fleet {
     /// Members currently up (node ids are never reused, so this can be less than
     /// [`Fleet::node_count`] under churn).
     pub fn alive_count(&self) -> usize {
-        self.scheduler.alive_count()
+        self.engine.alive_count()
     }
 
     /// True if `node` is up.
     pub fn is_member_alive(&self, node: NodeId) -> bool {
-        self.scheduler.is_alive(node)
+        self.engine.is_alive(node)
     }
 
     /// True if `node`'s patch configuration is the fleet's current net
@@ -535,7 +709,7 @@ impl Fleet {
     /// [`Fleet::resync_member`] bootstraps it. This is the no-durability baseline
     /// the cold-vs-warm experiments measure.
     pub fn join_member_cold(&mut self) -> NodeId {
-        let node = self.scheduler.join();
+        let node = self.engine.join();
         self.synced.push(false);
         self.record(MetricEvent::ColdJoin);
         recorder().instant(
@@ -559,9 +733,9 @@ impl Fleet {
             let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
             (cache.snapshot.plan.clone(), cache.encoded_bytes)
         };
-        let node = self.scheduler.join();
+        let node = self.engine.join();
         self.synced.push(true);
-        self.scheduler.reset_and_apply(node, &plan);
+        self.engine.reset_and_apply(node, &plan);
         self.record(MetricEvent::WarmJoin);
         self.record(MetricEvent::Bootstrap {
             bytes: snapshot_bytes,
@@ -589,7 +763,7 @@ impl Fleet {
     /// Take `node` down with total state loss (environment, patches — everything).
     /// The member misses every push until it rejoins and re-syncs.
     pub fn crash_member(&mut self, node: NodeId) {
-        self.scheduler.crash(node);
+        self.engine.crash(node);
         self.synced[node] = false;
         self.joiners.remove(&node);
         self.record(MetricEvent::Crash);
@@ -616,7 +790,7 @@ impl Fleet {
     /// it re-downloads the full snapshot. Either way it rejoins fully synced.
     pub fn rejoin_member(&mut self, node: NodeId, last_checkpoint: Option<&Snapshot>) {
         self.refresh_snapshot_cache();
-        self.scheduler.rejoin(node);
+        self.engine.rejoin(node);
         let (plan, full_bytes) = {
             let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
             (cache.snapshot.plan.clone(), cache.encoded_bytes)
@@ -624,7 +798,7 @@ impl Fleet {
         match last_checkpoint {
             Some(base) => {
                 let delta_bytes = self.delta_bytes_since(base);
-                self.scheduler.reset_and_apply(node, &plan);
+                self.engine.reset_and_apply(node, &plan);
                 self.record(MetricEvent::DeltaSync {
                     delta_bytes,
                     full_bytes,
@@ -638,7 +812,7 @@ impl Fleet {
                 });
             }
             None => {
-                self.scheduler.reset_and_apply(node, &plan);
+                self.engine.reset_and_apply(node, &plan);
                 self.record(MetricEvent::Bootstrap { bytes: full_bytes });
                 self.log.push(FleetMessage::Bootstrap {
                     epoch: self.epoch,
@@ -671,7 +845,7 @@ impl Fleet {
             let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
             (cache.snapshot.plan.clone(), cache.encoded_bytes)
         };
-        self.scheduler.reset_and_apply(node, &plan);
+        self.engine.reset_and_apply(node, &plan);
         self.synced[node] = true;
         self.record(MetricEvent::Bootstrap {
             bytes: snapshot_bytes,
@@ -755,11 +929,11 @@ impl Fleet {
         // (dirty_since is inclusive of the base epoch precisely because learning
         // can land while an epoch — and a checkpoint cut in it — is still open).
         self.store.begin_epoch(self.epoch);
-        let locals = self.scheduler.learn(&self.image, pages);
-        let mut uploads = Vec::with_capacity(locals.len());
+        let locals = self.engine.learn(&self.image, pages);
         let mut databases = Vec::with_capacity(locals.len());
+        let mut upload_lens: BTreeMap<NodeId, usize> = BTreeMap::new();
         for (node, local) in locals {
-            uploads.push((node, local.invariants.len()));
+            upload_lens.insert(node, local.invariants.len());
             // The central manager re-discovers the procedure CFGs the members saw
             // (these are rebuilt from the image, not uploaded — as in the seed).
             for proc in local.procedures.procedures() {
@@ -768,6 +942,16 @@ impl Fleet {
                 }
             }
             databases.push(local.invariants);
+        }
+        // Every alive member reports, even one whose round-robin share was empty
+        // (its upload is zero invariants). The classic scheduler returns those
+        // members with empty models; the event engine skips them — either way
+        // the console log lists the whole alive fleet, in node order.
+        let mut uploads = Vec::with_capacity(self.alive_count());
+        for node in 0..self.node_count() {
+            if self.engine.is_alive(node) {
+                uploads.push((node, upload_lens.remove(&node).unwrap_or(0)));
+            }
         }
         self.store.merge_uploads(&databases);
         self.model.invariants = self.store.snapshot();
@@ -814,7 +998,7 @@ impl Fleet {
             .arg("epoch", epoch)
             .arg("presentations", presentations.len() as u64)
             .arg("members", self.alive_count() as u64);
-        let mut records = self.scheduler.run_epoch(presentations, &active);
+        let mut records = self.engine.run_epoch(presentations, &active);
         let execution = execution_span.finish();
 
         // Mid-epoch churn: these members ran, reported, and then died — the
@@ -927,7 +1111,37 @@ impl Fleet {
                 observation_batches.insert(location, reports);
             }
         }
-        let plan = PatchPlan::merge(plans);
+        // With a manager tree configured, per-shard plans merge in groups of
+        // `tree_fanout` per tier (coordinators-of-coordinators); the stable
+        // location sort makes the result byte-identical to the flat merge, so
+        // only the accounting differs.
+        let plan = if self.tree_fanout >= 2 && plans.len() > 1 {
+            let tree = ManagerTree::new(self.tree_fanout);
+            let (plan, tiers) = tree.merge_plans(plans);
+            if !plan.is_empty() {
+                for t in &tiers {
+                    self.record(MetricEvent::TierMerge {
+                        tier: t.tier as u64,
+                        groups: t.groups as u64,
+                        plans_in: t.plans_in as u64,
+                    });
+                    recorder().instant(
+                        "fleet.tier_merge",
+                        "fleet",
+                        &[
+                            ("fleet", self.obs_id),
+                            ("epoch", epoch),
+                            ("tier", t.tier as u64),
+                            ("groups", t.groups as u64),
+                            ("plans_in", t.plans_in as u64),
+                        ],
+                    );
+                }
+            }
+            plan
+        } else {
+            PatchPlan::merge(plans)
+        };
         self.net.apply(&plan);
         if !plan.is_empty() {
             // Plan application changes the configuration side of the next
@@ -961,7 +1175,7 @@ impl Fleet {
             .arg("epoch", epoch)
             .arg("plan_ops", plan.len() as u64)
             .arg("members", self.alive_count() as u64);
-        self.scheduler.apply_plan(&plan);
+        self.engine.apply_plan(&plan);
         let push_elapsed = push_span.finish();
         if !plan.is_empty() {
             for op in plan.ops() {
@@ -981,6 +1195,29 @@ impl Fleet {
                 members: self.alive_count() as u64,
                 elapsed: push_elapsed,
             });
+            if self.tree_fanout >= 2 {
+                // Account the push tier by tier down the manager tree: the root
+                // contacts its children, each contacts theirs — no coordinator
+                // talks to more than `tree_fanout` nodes.
+                let members = self.alive_count();
+                for t in ManagerTree::new(self.tree_fanout).push_tiers(members) {
+                    self.record(MetricEvent::TreePush {
+                        tier: t.tier as u64,
+                        groups: t.groups as u64,
+                        members: members as u64,
+                    });
+                    recorder().instant(
+                        "fleet.tree_push",
+                        "fleet",
+                        &[
+                            ("fleet", self.obs_id),
+                            ("epoch", epoch),
+                            ("tier", t.tier as u64),
+                            ("groups", t.groups as u64),
+                        ],
+                    );
+                }
+            }
         }
         self.log.push(FleetMessage::PatchPushes {
             epoch,
@@ -1028,6 +1265,11 @@ impl Fleet {
             shard_busy,
             fanout,
             ran_parallel,
+        });
+        self.record(MetricEvent::MemberResidency {
+            resident_bytes: self.engine.resident_state_bytes(&self.image),
+            shared_bytes: self.engine.shared_state_bytes(),
+            members: self.node_count() as u64,
         });
         let rec = recorder();
         if rec.is_enabled() {

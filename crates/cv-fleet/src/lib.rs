@@ -9,9 +9,15 @@
 //! * [`ShardedInvariantStore`] (`shard.rs`) — the community invariant database
 //!   partitioned by check-address shard, so member uploads merge in parallel, one
 //!   worker per shard, with a result identical to the sequential merge.
-//! * [`EpochScheduler`] (`scheduler.rs`) — execution batched into epochs and fanned
-//!   out across worker threads; each member keeps its own
-//!   `ManagedExecutionEnvironment`, and patches apply at epoch boundaries.
+//! * [`EventEngine`] (`engine.rs`) — the default member-execution engine:
+//!   execution batched into epochs and fanned out across worker threads over
+//!   **one shared read-only program image** per fleet; a member is a compact
+//!   slot (an interned patch-configuration handle plus sparse auxiliary cells),
+//!   and runs borrow copy-on-write state from a per-worker materialized-config
+//!   cache — tens of bytes per idle member instead of a full environment.
+//! * [`EpochScheduler`] (`scheduler.rs`) — the classic engine: each member keeps
+//!   its own `ManagedExecutionEnvironment`. Byte-identical outputs to the event
+//!   engine (`tests/engine_parity.rs`); kept as the parity baseline.
 //! * The **sharded manager plane** (`cv_core::manager`, driven by `fleet.rs`) — the
 //!   responder state partitioned by failure location into
 //!   [`ResponderShard`](cv_core::ResponderShard)s fed by a pure
@@ -39,13 +45,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod fleet;
 mod metrics;
 mod protocol;
 mod scheduler;
 mod shard;
 
-pub use fleet::{EpochOutcome, Fleet, FleetConfig, MemberOutcome};
+pub use engine::EventEngine;
+pub use fleet::{EngineKind, EpochOutcome, Fleet, FleetConfig, MemberOutcome};
 pub use metrics::{FleetMetrics, ImmunityRecord, MetricEvent};
 pub use protocol::{BatchLog, FleetMessage, NodeId, PatchPushKind, Presentation};
 pub use scheduler::EpochScheduler;

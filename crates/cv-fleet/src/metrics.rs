@@ -111,6 +111,35 @@ pub enum MetricEvent {
         /// Epochs from sync to first completed presentation.
         epochs: u64,
     },
+    /// One epoch's member-state memory accounting (the event engine's
+    /// copy-on-write plane; the classic scheduler reports an estimate).
+    MemberResidency {
+        /// Bytes proportional to the member count (slots, sparse cell values).
+        resident_bytes: u64,
+        /// Bytes shared across all members (shared program, config table,
+        /// per-worker materialized environments), amortized per member.
+        shared_bytes: u64,
+        /// Members the accounting covers.
+        members: u64,
+    },
+    /// One tier of the hierarchical manager tree merged patch plans.
+    TierMerge {
+        /// Tier number, 1 = closest to the responder shards.
+        tier: u64,
+        /// Coordinators active at this tier.
+        groups: u64,
+        /// Plans entering this tier.
+        plans_in: u64,
+    },
+    /// One tier of the hierarchical manager tree forwarded the merged plan.
+    TreePush {
+        /// Tier number, 1 = closest to the root coordinator.
+        tier: u64,
+        /// Coordinators (or member groups) receiving the plan at this tier.
+        groups: u64,
+        /// Members the push ultimately reaches.
+        members: u64,
+    },
     /// A member crashed with state loss.
     Crash,
     /// A member rejoined after a crash.
@@ -199,6 +228,19 @@ pub struct FleetMetrics {
     /// incremental cut's base — the configuration-change footprint the plan
     /// stamps record (0 when the cut took the diff fallback: no tracker there).
     pub plan_dirty_shards_last: u64,
+    /// Member-proportional state bytes, from the most recent residency event.
+    pub member_state_bytes_last: u64,
+    /// Shared (amortized) state bytes, from the most recent residency event.
+    pub shared_state_bytes_last: u64,
+    /// Members covered by the most recent residency event.
+    pub residency_members_last: u64,
+    /// Manager-tree merge tiers recorded (one event per tier per epoch with a
+    /// non-empty plan).
+    pub tier_merges: u64,
+    /// Manager-tree push tiers recorded.
+    pub tree_pushes: u64,
+    /// Depth of the most recent tree push (0 = flat, no tree configured).
+    pub tree_depth_last: u64,
     /// Members that crashed with state loss.
     pub crashes: u64,
     /// Members that rejoined after a crash.
@@ -312,6 +354,20 @@ impl FleetMetrics {
             MetricEvent::JoinerImmunity { epochs } => {
                 self.joiner_immunity_epochs.push(*epochs);
             }
+            MetricEvent::MemberResidency {
+                resident_bytes,
+                shared_bytes,
+                members,
+            } => {
+                self.member_state_bytes_last = *resident_bytes;
+                self.shared_state_bytes_last = *shared_bytes;
+                self.residency_members_last = *members;
+            }
+            MetricEvent::TierMerge { .. } => self.tier_merges += 1,
+            MetricEvent::TreePush { tier, .. } => {
+                self.tree_pushes += 1;
+                self.tree_depth_last = self.tree_depth_last.max(*tier);
+            }
             MetricEvent::Crash => self.crashes += 1,
             MetricEvent::Rejoin => self.rejoins += 1,
             MetricEvent::ColdJoin => self.cold_joins += 1,
@@ -371,6 +427,18 @@ impl FleetMetrics {
     /// All immunity timelines.
     pub fn immunity_records(&self) -> impl Iterator<Item = (Addr, ImmunityRecord)> + '_ {
         self.immunity.iter().map(|(a, r)| (*a, *r))
+    }
+
+    /// Total member-state cost per member, in bytes: the member-proportional
+    /// state plus the shared state amortized over the fleet, from the most
+    /// recent residency accounting. 0.0 before any epoch has run.
+    pub fn bytes_per_member(&self) -> f64 {
+        if self.residency_members_last == 0 {
+            0.0
+        } else {
+            (self.member_state_bytes_last + self.shared_state_bytes_last) as f64
+                / self.residency_members_last as f64
+        }
     }
 
     /// Sustained throughput of the execution phase, in pages per second.
@@ -447,6 +515,9 @@ impl FleetMetrics {
              {indent}  \"delta_cuts\": {},\n{indent}  \"incremental_delta_cuts\": {},\n\
              {indent}  \"delta_cut_time_us\": {:.1},\n{indent}  \"dirty_shards_last\": {},\n\
              {indent}  \"dirty_shards_total\": {},\n{indent}  \"plan_dirty_shards_last\": {},\n\
+             {indent}  \"member_state_bytes\": {},\n{indent}  \"shared_state_bytes\": {},\n\
+             {indent}  \"bytes_per_member\": {:.1},\n{indent}  \"tier_merges\": {},\n\
+             {indent}  \"tree_pushes\": {},\n{indent}  \"tree_depth\": {},\n\
              {indent}  \"crashes\": {},\n{indent}  \"rejoins\": {},\n\
              {indent}  \"cold_joins\": {},\n{indent}  \"warm_joins\": {}\n{indent}}}",
             self.epochs,
@@ -473,6 +544,12 @@ impl FleetMetrics {
             self.dirty_shards_last,
             self.dirty_shards_total,
             self.plan_dirty_shards_last,
+            self.member_state_bytes_last,
+            self.shared_state_bytes_last,
+            self.bytes_per_member(),
+            self.tier_merges,
+            self.tree_pushes,
+            self.tree_depth_last,
             self.crashes,
             self.rejoins,
             self.cold_joins,
@@ -524,6 +601,24 @@ impl fmt::Display for FleetMetrics {
                 None => String::new(),
             }
         )?;
+        if self.residency_members_last > 0 {
+            writeln!(
+                f,
+                "  member state: {} bytes resident + {} shared across {} members \
+                 ({:.1} bytes/member)",
+                self.member_state_bytes_last,
+                self.shared_state_bytes_last,
+                self.residency_members_last,
+                self.bytes_per_member()
+            )?;
+        }
+        if self.tree_pushes > 0 {
+            writeln!(
+                f,
+                "  manager tree: {} merge tier(s), {} push tier(s), depth {}",
+                self.tier_merges, self.tree_pushes, self.tree_depth_last
+            )?;
+        }
         if self.snapshots_taken > 0 || self.bootstraps > 0 || self.delta_syncs > 0 {
             writeln!(
                 f,

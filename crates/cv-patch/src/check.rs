@@ -106,12 +106,23 @@ impl CheckPatch {
     /// environment. Two-variable invariants compile to an auxiliary store at the earlier
     /// instruction plus the check at the later one.
     pub fn build_hooks(&self) -> Vec<(Addr, Box<dyn Hook>)> {
+        self.build_hooks_cells().0
+    }
+
+    /// Like [`CheckPatch::build_hooks`], additionally returning the auxiliary-store
+    /// cell shared by the hook pair of a two-variable invariant (`None` otherwise).
+    /// The cell is the only mutable state a check carries across runs; exposing it
+    /// lets a scheduler persist it per member while rebuilding hooks on demand.
+    #[allow(clippy::type_complexity)]
+    pub fn build_hooks_cells(
+        &self,
+    ) -> (Vec<(Addr, Box<dyn Hook>)>, Option<Arc<Mutex<Option<Word>>>>) {
         let check_addr = self.check_addr();
         match &self.invariant {
             Invariant::LessThan { a, b } if a.addr != b.addr => {
                 let (earlier, _later) = if a.addr < b.addr { (a, b) } else { (b, a) };
                 let cell = Arc::new(Mutex::new(None));
-                vec![
+                let hooks = vec![
                     (
                         earlier.addr,
                         Box::new(AuxStoreHook {
@@ -123,18 +134,22 @@ impl CheckPatch {
                         check_addr,
                         Box::new(CheckHook {
                             invariant: self.invariant.clone(),
-                            earlier: Some((*earlier, cell)),
-                        }),
+                            earlier: Some((*earlier, Arc::clone(&cell))),
+                        }) as Box<dyn Hook>,
                     ),
-                ]
+                ];
+                (hooks, Some(cell))
             }
-            _ => vec![(
-                check_addr,
-                Box::new(CheckHook {
-                    invariant: self.invariant.clone(),
-                    earlier: None,
-                }) as Box<dyn Hook>,
-            )],
+            _ => (
+                vec![(
+                    check_addr,
+                    Box::new(CheckHook {
+                        invariant: self.invariant.clone(),
+                        earlier: None,
+                    }) as Box<dyn Hook>,
+                )],
+                None,
+            ),
         }
     }
 }

@@ -165,12 +165,22 @@ impl RepairPatch {
 
     /// Compile the repair into hooks to apply to the managed environment.
     pub fn build_hooks(&self) -> Vec<(Addr, Box<dyn Hook>)> {
+        self.build_hooks_cells().0
+    }
+
+    /// Like [`RepairPatch::build_hooks`], additionally returning the auxiliary-store
+    /// cell shared by the hook pair of a two-variable invariant (`None` otherwise), so
+    /// a scheduler can persist the cell per member across rebuilt hook sets.
+    #[allow(clippy::type_complexity)]
+    pub fn build_hooks_cells(
+        &self,
+    ) -> (Vec<(Addr, Box<dyn Hook>)>, Option<Arc<Mutex<Option<Word>>>>) {
         let check_addr = self.check_addr();
         match &self.invariant {
             Invariant::LessThan { a, b } if a.addr != b.addr => {
                 let (earlier, _later) = if a.addr < b.addr { (a, b) } else { (b, a) };
                 let cell = Arc::new(Mutex::new(None));
-                vec![
+                let hooks = vec![
                     (
                         earlier.addr,
                         Box::new(crate::check::AuxStoreHook::new(*earlier, Arc::clone(&cell)))
@@ -180,20 +190,24 @@ impl RepairPatch {
                         check_addr,
                         Box::new(RepairHook {
                             patch: self.clone(),
-                            earlier: Some((*earlier, cell)),
+                            earlier: Some((*earlier, Arc::clone(&cell))),
                             triggered: Arc::new(Mutex::new(0)),
-                        }),
+                        }) as Box<dyn Hook>,
                     ),
-                ]
+                ];
+                (hooks, Some(cell))
             }
-            _ => vec![(
-                check_addr,
-                Box::new(RepairHook {
-                    patch: self.clone(),
-                    earlier: None,
-                    triggered: Arc::new(Mutex::new(0)),
-                }) as Box<dyn Hook>,
-            )],
+            _ => (
+                vec![(
+                    check_addr,
+                    Box::new(RepairHook {
+                        patch: self.clone(),
+                        earlier: None,
+                        triggered: Arc::new(Mutex::new(0)),
+                    }) as Box<dyn Hook>,
+                )],
+                None,
+            ),
         }
     }
 }

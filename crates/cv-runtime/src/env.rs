@@ -12,9 +12,11 @@ use crate::error::{CrashInfo, CrashKind, RuntimeError};
 use crate::hooks::{Hook, HookAction, HookContext, HookId, HookRegistry, Observation};
 use crate::machine::{Machine, MemFault};
 use crate::monitors::{Failure, FailureKind, MonitorConfig, ShadowStack, StackFrame};
+use crate::shared::{CodeIndex, SharedProgram};
 use crate::stats::ExecutionStats;
 use crate::trace::{AddrComputation, ExecEvent, OperandValue, Tracer};
 use cv_isa::{decode, Addr, BinaryImage, Inst, InstWithAddr, Reg, Word};
+use std::sync::Arc;
 
 /// Configuration of one managed environment instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,11 +101,26 @@ enum StepEnd {
     Crash(CrashInfo),
 }
 
+/// Where instructions come from: a private on-demand code cache (the classic shape,
+/// required for tracing's first-execution block signals) or a fleet-shared pre-decoded
+/// index plus the pristine address space backing copy-on-write machines.
+enum Fetch {
+    /// Private cache, private `Memory::load` per run.
+    Classic(CodeCache),
+    /// Shared immutable program state: pre-decoded instructions and a CoW base.
+    /// Untraced runs are observationally identical to `Classic`; block
+    /// first-execution tracer signals are not produced (nothing is ever "built").
+    Shared {
+        index: Arc<CodeIndex>,
+        pristine: Arc<[Word]>,
+    },
+}
+
 /// The managed execution environment for one application image.
 pub struct ManagedExecutionEnvironment {
-    image: BinaryImage,
+    image: Arc<BinaryImage>,
     config: EnvConfig,
-    cache: CodeCache,
+    fetch: Fetch,
     hooks: HookRegistry,
     cumulative: ExecutionStats,
 }
@@ -112,9 +129,27 @@ impl ManagedExecutionEnvironment {
     /// Create an environment for `image`.
     pub fn new(image: BinaryImage, config: EnvConfig) -> Self {
         ManagedExecutionEnvironment {
-            image,
+            image: Arc::new(image),
             config,
-            cache: CodeCache::new(),
+            fetch: Fetch::Classic(CodeCache::new()),
+            hooks: HookRegistry::new(),
+            cumulative: ExecutionStats::default(),
+        }
+    }
+
+    /// Create an environment running off a [`SharedProgram`]: no private image copy,
+    /// no private code cache, and machines whose address space is a copy-on-write
+    /// overlay over the shared pristine space. Untraced runs behave exactly like an
+    /// environment from [`ManagedExecutionEnvironment::new`]; use the classic shape
+    /// when a [`Tracer`] needs block first-execution signals.
+    pub fn with_shared(program: &SharedProgram, config: EnvConfig) -> Self {
+        ManagedExecutionEnvironment {
+            image: program.image().clone(),
+            config,
+            fetch: Fetch::Shared {
+                index: program.index().clone(),
+                pristine: program.pristine().clone(),
+            },
             hooks: HookRegistry::new(),
             cumulative: ExecutionStats::default(),
         }
@@ -158,7 +193,9 @@ impl ManagedExecutionEnvironment {
     /// Apply a hook (patch) at `addr` without restarting the application: the cached
     /// blocks containing the address are ejected and rebuilt on next execution.
     pub fn apply_hook(&mut self, addr: Addr, hook: Box<dyn Hook>) -> HookId {
-        self.cache.eject_blocks_containing(addr);
+        if let Fetch::Classic(cache) = &mut self.fetch {
+            cache.eject_blocks_containing(addr);
+        }
         self.hooks.add(addr, hook)
     }
 
@@ -166,7 +203,9 @@ impl ManagedExecutionEnvironment {
     pub fn remove_hook(&mut self, id: HookId) -> Result<(), RuntimeError> {
         match self.hooks.remove(id) {
             Some(addr) => {
-                self.cache.eject_blocks_containing(addr);
+                if let Fetch::Classic(cache) = &mut self.fetch {
+                    cache.eject_blocks_containing(addr);
+                }
                 Ok(())
             }
             None => Err(RuntimeError::UnknownHook(id)),
@@ -175,15 +214,21 @@ impl ManagedExecutionEnvironment {
 
     /// Remove every hook.
     pub fn clear_hooks(&mut self) {
-        for addr in self.hooks.hooked_addrs() {
-            self.cache.eject_blocks_containing(addr);
+        if let Fetch::Classic(cache) = &mut self.fetch {
+            for addr in self.hooks.hooked_addrs() {
+                cache.eject_blocks_containing(addr);
+            }
         }
         self.hooks.clear();
     }
 
-    /// Drop all cached blocks (simulates a cold start / application restart).
+    /// Drop all cached blocks (simulates a cold start / application restart). A
+    /// shared-program environment has no private cache; its runs are always cold in
+    /// exactly this sense, so this is a no-op there.
     pub fn flush_cache(&mut self) {
-        self.cache.flush();
+        if let Fetch::Classic(cache) = &mut self.fetch {
+            cache.flush();
+        }
     }
 
     /// Run the application on `input` without tracing.
@@ -199,16 +244,27 @@ impl ManagedExecutionEnvironment {
     /// Run the application on `input`, optionally delivering a full execution trace to
     /// `tracer` (the learning configuration).
     pub fn run_traced(&mut self, input: &[Word], mut tracer: Option<&mut dyn Tracer>) -> RunResult {
-        let mut machine =
-            Machine::new(&self.image, input.to_vec(), self.config.monitors.heap_guard);
+        let mut machine = match &self.fetch {
+            Fetch::Shared { pristine, .. } => Machine::with_cow(
+                &self.image,
+                pristine.clone(),
+                input.to_vec(),
+                self.config.monitors.heap_guard,
+            ),
+            Fetch::Classic(_) => {
+                Machine::new(&self.image, input.to_vec(), self.config.monitors.heap_guard)
+            }
+        };
         let mut shadow = ShadowStack::new();
         let mut observations: Vec<Observation> = Vec::new();
         let mut stats = ExecutionStats {
             runs: 1,
             ..Default::default()
         };
-        let blocks_built_before = self.cache.blocks_built;
-        let blocks_ejected_before = self.cache.blocks_ejected;
+        let (blocks_built_before, blocks_ejected_before) = match &self.fetch {
+            Fetch::Classic(cache) => (cache.blocks_built, cache.blocks_ejected),
+            Fetch::Shared { .. } => (0, 0),
+        };
         // One scratch record reused for every traced instruction: its vectors are
         // cleared and refilled in place, so the tracing path performs no per-event
         // heap allocation once their (≤ 3 element) capacities are warm.
@@ -231,21 +287,33 @@ impl ManagedExecutionEnvironment {
 
             // ---- Fetch ------------------------------------------------------------
             let iwa = if self.image.contains_code_addr(eip) {
-                match self.cache.fetch(&self.image, eip) {
-                    Ok((iwa, newly_built)) => {
-                        if let Some(start) = newly_built {
-                            if let Some(tr) = tracer.as_mut() {
-                                tr.on_block_first_execution(start);
+                match &mut self.fetch {
+                    Fetch::Classic(cache) => match cache.fetch(&self.image, eip) {
+                        Ok((iwa, newly_built)) => {
+                            if let Some(start) = newly_built {
+                                if let Some(tr) = tracer.as_mut() {
+                                    tr.on_block_first_execution(start);
+                                }
                             }
+                            iwa
                         }
-                        iwa
-                    }
-                    Err(_) => {
-                        break RunStatus::Crash(CrashInfo {
-                            kind: CrashKind::InvalidInstruction { addr: eip },
-                            location: eip,
-                        })
-                    }
+                        Err(_) => {
+                            break RunStatus::Crash(CrashInfo {
+                                kind: CrashKind::InvalidInstruction { addr: eip },
+                                location: eip,
+                            })
+                        }
+                    },
+                    // The index errs exactly where a fresh cache build would.
+                    Fetch::Shared { index, .. } => match index.fetch(eip) {
+                        Some(iwa) => iwa,
+                        None => {
+                            break RunStatus::Crash(CrashInfo {
+                                kind: CrashKind::InvalidInstruction { addr: eip },
+                                location: eip,
+                            })
+                        }
+                    },
                 }
             } else {
                 // Executing outside the loaded image (injected code). Only reachable
@@ -329,8 +397,10 @@ impl ManagedExecutionEnvironment {
 
         stats.heap_guard_checks = machine.heap_guard_checks;
         stats.shadow_stack_ops = shadow.ops;
-        stats.blocks_built = self.cache.blocks_built - blocks_built_before;
-        stats.blocks_ejected = self.cache.blocks_ejected - blocks_ejected_before;
+        if let Fetch::Classic(cache) = &self.fetch {
+            stats.blocks_built = cache.blocks_built - blocks_built_before;
+            stats.blocks_ejected = cache.blocks_ejected - blocks_ejected_before;
+        }
         if let Some(tr) = tracer.as_mut() {
             tr.on_run_end();
         }
@@ -926,6 +996,39 @@ mod tests {
         assert_eq!(env.run(&[3]).rendered, vec![0]);
         assert_eq!(env.run(&[10]).rendered, vec![1]);
         assert_eq!(env.run(&[55]).rendered, vec![1]);
+    }
+
+    /// A shared-program environment is observationally identical to a classic one:
+    /// same statuses, renders, and hook observations, across benign inputs, an
+    /// illegal-transfer exploit, and an installed hook.
+    #[test]
+    fn shared_program_env_matches_classic_env() {
+        struct Observe;
+        impl Hook for Observe {
+            fn on_execute(&mut self, ctx: &mut HookContext<'_>) -> HookAction {
+                ctx.observe(ObservationKind::Violated);
+                HookAction::Continue
+            }
+        }
+        let (image, callee) = indirect_call_program();
+        let program = crate::shared::SharedProgram::new(image.clone());
+        let mut classic = ManagedExecutionEnvironment::new(image.clone(), EnvConfig::default());
+        let mut shared = ManagedExecutionEnvironment::with_shared(&program, EnvConfig::default());
+        let hook_addr = image.entry;
+        classic.apply_hook(hook_addr, Box::new(Observe));
+        shared.apply_hook(hook_addr, Box::new(Observe));
+
+        for input in [vec![callee], vec![image.layout.heap_base + 5], vec![3]] {
+            classic.flush_cache();
+            shared.flush_cache();
+            let a = classic.run(&input);
+            let b = shared.run(&input);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.rendered, b.rendered);
+            assert_eq!(a.debug, b.debug);
+            assert_eq!(a.observations, b.observations);
+            assert_eq!(a.stats.instructions, b.stats.instructions);
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod hooks;
 mod machine;
 mod memory;
 mod monitors;
+mod shared;
 mod stats;
 mod trace;
 
@@ -45,8 +46,9 @@ pub use hooks::{
     Hook, HookAction, HookContext, HookId, HookRegistry, Observation, ObservationKind,
 };
 pub use machine::{CopyOutcome, Machine, MemFault};
-pub use memory::Memory;
+pub use memory::{Memory, PAGE_WORDS};
 pub use monitors::{Failure, FailureKind, MonitorConfig, ShadowStack, StackFrame};
+pub use shared::{CodeIndex, SharedProgram};
 pub use stats::{CostModel, ExecutionStats};
 pub use trace::{
     AddrComputation, BufferedEvent, ExecEvent, OperandValue, RecordingTracer, RunBuffer, Tracer,

@@ -63,7 +63,32 @@ impl Machine {
     /// Create a machine with `image` loaded, the given input stream, and Heap Guard
     /// enabled or not.
     pub fn new(image: &BinaryImage, input: Vec<Word>, heap_guard_enabled: bool) -> Machine {
-        let mem = Memory::load(image);
+        Self::with_memory(image, Memory::load(image), input, heap_guard_enabled)
+    }
+
+    /// Create a machine whose address space is a copy-on-write overlay over a shared
+    /// pristine base (see [`Memory::cow`]) — behaviourally identical to
+    /// [`Machine::new`] without the per-machine address-space copy.
+    pub fn with_cow(
+        image: &BinaryImage,
+        base: std::sync::Arc<[Word]>,
+        input: Vec<Word>,
+        heap_guard_enabled: bool,
+    ) -> Machine {
+        Self::with_memory(
+            image,
+            Memory::cow(image.layout, base),
+            input,
+            heap_guard_enabled,
+        )
+    }
+
+    fn with_memory(
+        image: &BinaryImage,
+        mem: Memory,
+        input: Vec<Word>,
+        heap_guard_enabled: bool,
+    ) -> Machine {
         let layout = image.layout;
         let mut regs = [0u32; 8];
         regs[Reg::Esp.index()] = layout.initial_sp();

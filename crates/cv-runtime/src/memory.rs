@@ -1,7 +1,31 @@
-//! The guest's flat, word-granular memory.
+//! The guest's flat, word-granular memory — with an optional copy-on-write backing
+//! so thousands of short-lived machines can share one pristine loaded image.
 
 use crate::error::CrashKind;
 use cv_isa::{Addr, BinaryImage, MemoryLayout, Segment, Word};
+use std::sync::Arc;
+
+/// Copy-on-write page size in words (2 KiB pages at 4 bytes/word).
+const PAGE_SHIFT: usize = 9;
+/// Words per CoW page.
+pub const PAGE_WORDS: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: usize = PAGE_WORDS - 1;
+
+/// The storage behind a [`Memory`]: either a private flat array (the classic shape) or
+/// a shared pristine base overlaid with privately-owned dirty pages.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// One privately owned flat array (zeroed or image-loaded).
+    Flat(Vec<Word>),
+    /// A shared read-only base (the pristine loaded image) plus copy-on-write pages
+    /// keyed by page id. Reads fall through to the base; the first write to a page
+    /// copies it. A run that dirties a few stack/heap/data pages costs kilobytes
+    /// instead of a full address-space copy.
+    Cow {
+        base: Arc<[Word]>,
+        pages: Vec<Option<Box<[Word]>>>,
+    },
+}
 
 /// The guest memory: a flat array of 32-bit words, partitioned by [`MemoryLayout`].
 ///
@@ -11,7 +35,7 @@ use cv_isa::{Addr, BinaryImage, MemoryLayout, Segment, Word};
 #[derive(Debug, Clone)]
 pub struct Memory {
     layout: MemoryLayout,
-    words: Vec<Word>,
+    backing: Backing,
     /// When true, writes into the code segment crash (the normal W^X configuration).
     protect_code: bool,
 }
@@ -21,19 +45,49 @@ impl Memory {
     pub fn new(layout: MemoryLayout) -> Memory {
         Memory {
             layout,
-            words: vec![0; layout.total_words()],
+            backing: Backing::Flat(vec![0; layout.total_words()]),
             protect_code: true,
         }
     }
 
     /// Create a memory with the image's code and data loaded at their segment bases.
     pub fn load(image: &BinaryImage) -> Memory {
-        let mut mem = Memory::new(image.layout);
+        let mut words = vec![0; image.layout.total_words()];
         let cb = image.layout.code_base as usize;
-        mem.words[cb..cb + image.code.len()].copy_from_slice(&image.code);
+        words[cb..cb + image.code.len()].copy_from_slice(&image.code);
         let db = image.layout.data_base as usize;
-        mem.words[db..db + image.data.len()].copy_from_slice(&image.data);
-        mem
+        words[db..db + image.data.len()].copy_from_slice(&image.data);
+        Memory {
+            layout: image.layout,
+            backing: Backing::Flat(words),
+            protect_code: true,
+        }
+    }
+
+    /// Create a copy-on-write memory over a shared pristine base (the words of
+    /// [`Memory::load`] for the same image, frozen behind an `Arc`).
+    ///
+    /// Reads are served from `base` until a page is written; observable behaviour is
+    /// identical to [`Memory::load`], without the per-machine address-space copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` does not cover exactly `layout.total_words()` words.
+    pub fn cow(layout: MemoryLayout, base: Arc<[Word]>) -> Memory {
+        assert_eq!(
+            base.len(),
+            layout.total_words(),
+            "CoW base must cover the whole layout"
+        );
+        let page_count = base.len().div_ceil(PAGE_WORDS);
+        Memory {
+            layout,
+            backing: Backing::Cow {
+                base,
+                pages: vec![None; page_count],
+            },
+            protect_code: true,
+        }
     }
 
     /// The layout this memory was created with.
@@ -41,12 +95,53 @@ impl Memory {
         self.layout
     }
 
+    /// Total words (base + overlay) privately owned by this memory — the resident cost
+    /// of the backing beyond any shared base. A flat memory owns everything; a CoW
+    /// memory owns only its dirty pages.
+    pub fn owned_words(&self) -> usize {
+        match &self.backing {
+            Backing::Flat(words) => words.len(),
+            Backing::Cow { pages, .. } => pages
+                .iter()
+                .map(|p| p.as_ref().map_or(0, |p| p.len()))
+                .sum(),
+        }
+    }
+
+    #[inline]
+    fn word(&self, idx: usize) -> Word {
+        match &self.backing {
+            Backing::Flat(words) => words[idx],
+            Backing::Cow { base, pages } => match pages[idx >> PAGE_SHIFT].as_deref() {
+                Some(page) => page[idx & PAGE_MASK],
+                None => base[idx],
+            },
+        }
+    }
+
+    #[inline]
+    fn word_mut(&mut self, idx: usize) -> &mut Word {
+        match &mut self.backing {
+            Backing::Flat(words) => &mut words[idx],
+            Backing::Cow { base, pages } => {
+                let pid = idx >> PAGE_SHIFT;
+                let slot = &mut pages[pid];
+                if slot.is_none() {
+                    let start = pid << PAGE_SHIFT;
+                    let end = (start + PAGE_WORDS).min(base.len());
+                    *slot = Some(base[start..end].to_vec().into_boxed_slice());
+                }
+                &mut slot.as_mut().expect("page materialized")[idx & PAGE_MASK]
+            }
+        }
+    }
+
     /// Read the word at `addr`.
     pub fn read(&self, addr: Addr) -> Result<Word, CrashKind> {
         if !self.layout.is_mapped(addr) {
             return Err(CrashKind::UnmappedAccess { addr });
         }
-        Ok(self.words[addr as usize])
+        Ok(self.word(addr as usize))
     }
 
     /// Write the word at `addr`.
@@ -58,7 +153,7 @@ impl Memory {
             Segment::Unmapped => Err(CrashKind::UnmappedAccess { addr }),
             Segment::Code if self.protect_code => Err(CrashKind::CodeWrite { addr }),
             _ => {
-                self.words[addr as usize] = value;
+                *self.word_mut(addr as usize) = value;
                 Ok(())
             }
         }
@@ -67,42 +162,47 @@ impl Memory {
     /// Read without segment checks (used by diagnostics and the heap allocator, which
     /// operates entirely inside the heap segment).
     pub(crate) fn read_raw(&self, addr: Addr) -> Word {
-        self.words[addr as usize]
+        self.word(addr as usize)
     }
 
     /// Write without segment checks (heap allocator book-keeping).
     pub(crate) fn write_raw(&mut self, addr: Addr, value: Word) {
-        self.words[addr as usize] = value;
+        *self.word_mut(addr as usize) = value;
     }
 
     /// Copy `src.len()` words into guest memory starting at `dst`, bypassing protection
     /// (used by the environment to stage input data in the data segment).
     pub fn write_slice_raw(&mut self, dst: Addr, src: &[Word]) -> Result<(), CrashKind> {
         let end = dst as usize + src.len();
-        if end > self.words.len() {
+        if end > self.len() {
             return Err(CrashKind::UnmappedAccess { addr: end as Addr });
         }
-        self.words[dst as usize..end].copy_from_slice(src);
+        for (i, &w) in src.iter().enumerate() {
+            *self.word_mut(dst as usize + i) = w;
+        }
         Ok(())
     }
 
     /// Snapshot `len` words starting at `addr` (diagnostics and tests).
     pub fn read_slice(&self, addr: Addr, len: usize) -> Result<Vec<Word>, CrashKind> {
         let end = addr as usize + len;
-        if end > self.words.len() {
+        if end > self.len() {
             return Err(CrashKind::UnmappedAccess { addr: end as Addr });
         }
-        Ok(self.words[addr as usize..end].to_vec())
+        Ok((addr as usize..end).map(|i| self.word(i)).collect())
     }
 
     /// Total mapped words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        match &self.backing {
+            Backing::Flat(words) => words.len(),
+            Backing::Cow { base, .. } => base.len(),
+        }
     }
 
     /// Never empty for a valid layout, but provided for completeness.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len() == 0
     }
 }
 
@@ -164,5 +264,54 @@ mod tests {
         let mem = Memory::new(layout);
         assert!(mem.read_slice(layout.stack_end() - 2, 4).is_err());
         assert_eq!(mem.read_slice(layout.heap_base, 3).unwrap(), vec![0, 0, 0]);
+    }
+
+    /// A CoW memory over the pristine image behaves exactly like `Memory::load`.
+    #[test]
+    fn cow_memory_matches_flat_load() {
+        let image = tiny_image();
+        let flat = Memory::load(&image);
+        let base: Arc<[Word]> = flat.read_slice(0, flat.len()).unwrap().into();
+        let mut cow = Memory::cow(image.layout, base);
+
+        // Reads fall through to the shared base.
+        assert_eq!(cow.read(image.layout.code_base).unwrap(), image.code[0]);
+        assert_eq!(cow.read(image.layout.data_base).unwrap(), 7);
+        assert_eq!(
+            cow.owned_words(),
+            0,
+            "nothing copied before the first write"
+        );
+
+        // Code protection and unmapped checks are unchanged.
+        assert!(matches!(
+            cow.write(image.layout.code_base, 1),
+            Err(CrashKind::CodeWrite { .. })
+        ));
+        assert!(matches!(cow.read(0), Err(CrashKind::UnmappedAccess { .. })));
+
+        // The first write materializes exactly one page, seeded from the base.
+        let heap = image.layout.heap_base;
+        cow.write(heap + 1, 99).unwrap();
+        assert_eq!(cow.read(heap + 1).unwrap(), 99);
+        assert_eq!(
+            cow.read(heap).unwrap(),
+            0,
+            "rest of the page came from base"
+        );
+        assert_eq!(cow.owned_words(), PAGE_WORDS);
+
+        // Writes never leak into the shared base: a second overlay sees pristine data.
+        let data = image.layout.data_base;
+        cow.write(data, 1234).unwrap();
+        assert_eq!(cow.read(data).unwrap(), 1234);
+        let reread = Memory::cow(
+            image.layout,
+            match &cow.backing {
+                Backing::Cow { base, .. } => base.clone(),
+                _ => unreachable!(),
+            },
+        );
+        assert_eq!(reread.read(data).unwrap(), 7);
     }
 }

@@ -1,0 +1,176 @@
+//! One program image shared by an arbitrary number of execution environments.
+//!
+//! A fleet of simulated members all run the *same* binary. The classic
+//! [`ManagedExecutionEnvironment`](crate::ManagedExecutionEnvironment) owns a private
+//! image copy, a private code cache, and loads a private address space per run —
+//! O(members · image) memory and O(image) setup per run. [`SharedProgram`] factors all
+//! of the immutable state out once per fleet:
+//!
+//! * the [`BinaryImage`] itself (`Arc`, never cloned),
+//! * the **pristine address space** — the words [`Memory::load`] would produce —
+//!   backing copy-on-write machines ([`Memory::cow`]) that copy only the pages a run
+//!   actually dirties,
+//! * a [`CodeIndex`]: every code address pre-decoded once, replacing the per-run
+//!   warm-up of a private [`CodeCache`](crate::CodeCache).
+//!
+//! The index is exactly faithful to the classic cache's fetch semantics: the cache
+//! serves the context-free decode at the fetched address and errors iff
+//! [`CodeCache::build_block`](crate::CodeCache::build_block) errors from that address
+//! (a cache hit at an address implies the whole suffix of its block decodes, so the
+//! error set is independent of cache state).
+
+use crate::cache::CodeCache;
+use crate::memory::Memory;
+use cv_isa::{Addr, BinaryImage, InstWithAddr, Word};
+use std::sync::Arc;
+
+/// Every code address of an image, pre-decoded once.
+///
+/// `fetch` returns `None` exactly where the classic cache's fetch would crash the
+/// guest with an invalid-instruction error.
+#[derive(Debug)]
+pub struct CodeIndex {
+    code_base: Addr,
+    insts: Vec<Option<InstWithAddr>>,
+}
+
+impl CodeIndex {
+    /// Decode every address of `image`'s code segment.
+    pub fn build(image: &BinaryImage) -> CodeIndex {
+        let insts = (0..image.code.len())
+            .map(|offset| {
+                let addr = image.layout.code_base + offset as Addr;
+                CodeCache::build_block(image, addr)
+                    .ok()
+                    .map(|block| block.insts[0])
+            })
+            .collect();
+        CodeIndex {
+            code_base: image.layout.code_base,
+            insts,
+        }
+    }
+
+    /// The instruction at `addr`, or `None` if the address does not decode (the
+    /// invalid-instruction case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the code segment the index was built for; callers
+    /// gate on `contains_code_addr` exactly as the classic fetch path does.
+    #[inline]
+    pub fn fetch(&self, addr: Addr) -> Option<InstWithAddr> {
+        self.insts[(addr - self.code_base) as usize]
+    }
+
+    /// Addresses indexed (the code segment length in words).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True for an empty code segment.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// The shared, immutable half of a fleet's execution state: image, pristine address
+/// space, and pre-decoded code. Clones are `Arc` bumps.
+#[derive(Debug, Clone)]
+pub struct SharedProgram {
+    image: Arc<BinaryImage>,
+    pristine: Arc<[Word]>,
+    index: Arc<CodeIndex>,
+}
+
+impl SharedProgram {
+    /// Load and index `image` once.
+    pub fn new(image: BinaryImage) -> SharedProgram {
+        let loaded = Memory::load(&image);
+        let pristine: Arc<[Word]> = loaded
+            .read_slice(0, loaded.len())
+            .expect("pristine snapshot covers the layout")
+            .into();
+        let index = Arc::new(CodeIndex::build(&image));
+        SharedProgram {
+            image: Arc::new(image),
+            pristine,
+            index,
+        }
+    }
+
+    /// The shared image.
+    pub fn image(&self) -> &Arc<BinaryImage> {
+        &self.image
+    }
+
+    /// The pristine loaded address space (what [`Memory::load`] produces).
+    pub fn pristine(&self) -> &Arc<[Word]> {
+        &self.pristine
+    }
+
+    /// The pre-decoded code index.
+    pub fn index(&self) -> &Arc<CodeIndex> {
+        &self.index
+    }
+
+    /// Bytes resident in the shared state (image words + pristine space + index),
+    /// paid once per fleet regardless of member count.
+    pub fn resident_bytes(&self) -> usize {
+        let word = std::mem::size_of::<Word>();
+        let image = (self.image.code.len() + self.image.data.len()) * word;
+        let index = self.index.insts.len() * std::mem::size_of::<Option<InstWithAddr>>();
+        image + self.pristine.len() * word + index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RuntimeError;
+    use cv_isa::{Cond, ProgramBuilder, Reg};
+
+    fn image() -> BinaryImage {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        b.mov(Reg::Eax, 1u32);
+        b.cmp(Reg::Eax, 0u32);
+        let skip = b.new_label("skip");
+        b.jcc(Cond::Eq, skip);
+        b.add(Reg::Eax, 2u32);
+        b.bind(skip);
+        b.halt();
+        b.set_entry(main);
+        b.build().unwrap()
+    }
+
+    /// The index agrees with a fresh-cache fetch at every single code address — both
+    /// on the decoded instruction and on which addresses error.
+    #[test]
+    fn index_matches_classic_fetch_everywhere() {
+        let image = image();
+        let program = SharedProgram::new(image.clone());
+        for offset in 0..image.code.len() {
+            let addr = image.layout.code_base + offset as Addr;
+            let mut cache = CodeCache::new();
+            match cache.fetch(&image, addr) {
+                Ok((iwa, _)) => assert_eq!(program.index().fetch(addr), Some(iwa)),
+                Err(RuntimeError::AddressOutsideCode(_)) => unreachable!(),
+                Err(_) => assert_eq!(program.index().fetch(addr), None),
+            }
+        }
+        assert_eq!(program.index().len(), image.code.len());
+    }
+
+    #[test]
+    fn pristine_matches_memory_load() {
+        let image = image();
+        let program = SharedProgram::new(image.clone());
+        let loaded = Memory::load(&image);
+        assert_eq!(
+            program.pristine().as_ref(),
+            &loaded.read_slice(0, loaded.len()).unwrap()[..]
+        );
+        assert!(program.resident_bytes() > 0);
+    }
+}

@@ -2,7 +2,14 @@
 //! in parallel, five members are attacked, and every member — including the 1,195
 //! that never saw the exploit — becomes immune via the distributed patch.
 //!
-//! Run with: `cargo run --release --example fleet_demo [-- --churn] [-- --trace PATH]`
+//! Run with: `cargo run --release --example fleet_demo [-- --churn] [-- --trace PATH]
+//! [-- --huge]`
+//!
+//! With `--huge`, the fleet is one **million** members on the event engine, patch
+//! distribution runs through a fan-out-32 manager tree (depth 3 over a million
+//! members), and the same claim holds: every member — including the 999,995
+//! never attacked — survives first exposure, at ~11 bytes of coordinator-resident
+//! state per member.
 //!
 //! With `--churn`, the demo continues into the durability plane: 240 members (20%)
 //! crash mid-epoch with total state loss, half rejoin by shard-keyed delta sync
@@ -21,7 +28,24 @@ use clearview::fleet::{Fleet, FleetConfig, Presentation};
 use clearview::obs::{chrome_trace_json, recorder, Summary};
 
 const NODES: usize = 1_200;
-const ATTACKERS: [usize; 5] = [3, 271, 502, 777, 1_111];
+const HUGE_NODES: usize = 1_000_000;
+const HUGE_TREE_FANOUT: usize = 32;
+
+/// Five attacked members spread across the fleet. The rest of the fleet is
+/// immunized purely by the distributed patch.
+fn attackers(nodes: usize) -> [usize; 5] {
+    if nodes == NODES {
+        [3, 271, 502, 777, 1_111]
+    } else {
+        [
+            3,
+            nodes / 5 + 3,
+            2 * nodes / 5 + 3,
+            3 * nodes / 5 + 3,
+            4 * nodes / 5 + 3,
+        ]
+    }
+}
 
 /// `--trace PATH`: the path the Chrome trace goes to, if tracing was requested.
 fn trace_path() -> Option<String> {
@@ -39,12 +63,16 @@ fn main() {
     if trace.is_some() {
         recorder().set_enabled(true);
     }
+    let huge = std::env::args().any(|a| a == "--huge");
+    let nodes = if huge { HUGE_NODES } else { NODES };
+    let mut config = FleetConfig::new(nodes);
+    if huge {
+        // A million members sit three coordinator tiers below the root at
+        // fan-out 32: no coordinator ever contacts more than 32 nodes.
+        config = config.with_tree_fanout(HUGE_TREE_FANOUT);
+    }
     let browser = Browser::build();
-    let mut fleet = Fleet::new(
-        browser.image.clone(),
-        ClearViewConfig::default(),
-        FleetConfig::new(NODES),
-    );
+    let mut fleet = Fleet::new(browser.image.clone(), ClearViewConfig::default(), config);
     println!(
         "fleet of {} members across {} workers",
         fleet.node_count(),
@@ -69,13 +97,13 @@ fn main() {
     // Benign background traffic plus the attackers hammering the same exploit.
     let benign = evaluation_suite();
     for round in 1..=10u64 {
-        let mut batch: Vec<Presentation> = ATTACKERS
+        let mut batch: Vec<Presentation> = attackers(nodes)
             .iter()
             .map(|&node| Presentation::new(node, exploit.page()))
             .collect();
         for (i, page) in benign.iter().take(40).enumerate() {
             batch.push(Presentation::new(
-                (round as usize * 53 + i * 13) % NODES,
+                (round as usize * 53 + i * 13) % nodes,
                 page.clone(),
             ));
         }
@@ -98,16 +126,16 @@ fn main() {
     );
 
     // Every member survives its first exposure.
-    let verify: Vec<Presentation> = (0..NODES)
+    let verify: Vec<Presentation> = (0..nodes)
         .map(|node| Presentation::new(node, exploit.page()))
         .collect();
     let outcome = fleet.run_epoch(&verify);
     println!(
         "verification epoch: {}/{} members survive the exploit (unexposed members immune)",
         outcome.completed(),
-        NODES
+        nodes
     );
-    assert_eq!(outcome.completed(), NODES);
+    assert_eq!(outcome.completed(), nodes);
 
     if std::env::args().any(|a| a == "--churn") {
         churn_scenario(&mut fleet, &exploit, location);
@@ -159,9 +187,10 @@ fn churn_scenario(fleet: &mut Fleet, exploit: &clearview::apps::Exploit, locatio
         fleet.metrics().snapshot_bytes_last
     );
 
-    // 240 members (20%) run one more epoch and die before its patch push.
-    let kills: Vec<usize> = (600..840).collect();
-    let batch: Vec<Presentation> = ATTACKERS
+    // A fifth of the fleet runs one more epoch and dies before its patch push.
+    let nodes = fleet.node_count();
+    let kills: Vec<usize> = (nodes / 2..nodes / 2 + nodes / 5).collect();
+    let batch: Vec<Presentation> = attackers(nodes)
         .iter()
         .map(|&node| Presentation::new(node, exploit.page()))
         .collect();
