@@ -35,6 +35,18 @@
 //!                   print the table, and write one JSON row per point to
 //!                   `BENCH_fleet_sweep.json` (gated by `bench_gate --cap`).
 //!                   Runs only the sweep; other scenarios are skipped.
+//!   --transport T   transport backend for every fleet this run builds:
+//!                   `inprocess` (default) or `socket` (loopback TCP with real
+//!                   envelope serialization). `--digest` with each must produce
+//!                   byte-identical files — CI diffs them.
+//!   --chaos SEED    chaos mode: run only the chaos scenario — a fleet on the
+//!                   seeded lossy transport (drops, duplicates, delays) with a
+//!                   mid-history partition — assert multi-location fleet-wide
+//!                   immunity, print the transport counters, and write them to
+//!                   `BENCH_fleet.json` (`"bench": "fleet_scale_chaos"`).
+//!                   Combine with `--digest PATH` to dump the chaos run's
+//!                   `BatchLog`: same seed → byte-identical dump, different
+//!                   seed → different history. CI runs two seeds twice each.
 
 use cv_apps::{
     evaluation_suite, expanded_learning_suite, learning_suite, red_team_exploits, Browser,
@@ -42,7 +54,10 @@ use cv_apps::{
 };
 use cv_bench::print_table;
 use cv_core::{learn_model, ClearViewConfig};
-use cv_fleet::{Fleet, FleetConfig, FleetMetrics, Presentation, ShardedInvariantStore};
+use cv_fleet::{
+    ChaosConfig, Fleet, FleetConfig, FleetMetrics, Presentation, ShardedInvariantStore,
+    TransportKind,
+};
 use cv_inference::{InvariantDatabase, LearnedModel, LearningFrontend};
 use cv_obs::{chrome_trace_json, Summary, TraceEvent};
 use cv_runtime::{EnvConfig, ManagedExecutionEnvironment, MonitorConfig};
@@ -64,6 +79,19 @@ struct Options {
     epochs: usize,
     tree_fanout: usize,
     sweep: Option<Vec<usize>>,
+    transport: String,
+    chaos: Option<u64>,
+}
+
+impl Options {
+    /// The transport every fleet in this run is built on (`--transport`).
+    fn transport_kind(&self) -> TransportKind {
+        match self.transport.as_str() {
+            "inprocess" => TransportKind::InProcess,
+            "socket" => TransportKind::Socket,
+            other => panic!("--transport must be 'inprocess' or 'socket', got {other:?}"),
+        }
+    }
 }
 
 fn parse_options() -> Options {
@@ -77,6 +105,8 @@ fn parse_options() -> Options {
         epochs: 4,
         tree_fanout: 0,
         sweep: None,
+        transport: "inprocess".into(),
+        chaos: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,6 +124,16 @@ fn parse_options() -> Options {
             "--nodes" => opts.nodes = number("--nodes").max(16),
             "--epochs" => opts.epochs = number("--epochs").max(1),
             "--tree-fanout" => opts.tree_fanout = number("--tree-fanout"),
+            "--transport" => {
+                opts.transport = args.next().expect("--transport requires a backend name")
+            }
+            "--chaos" => {
+                let seed = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .expect("--chaos requires a numeric seed");
+                opts.chaos = Some(seed);
+            }
             "--sweep" => {
                 let list = args
                     .next()
@@ -126,7 +166,8 @@ fn throughput(parallel: bool, workers: usize, opts: &Options) -> (u64, f64, f64)
     let browser = Browser::build();
     let mut config = FleetConfig::new(opts.nodes)
         .with_workers(workers)
-        .with_tree_fanout(opts.tree_fanout);
+        .with_tree_fanout(opts.tree_fanout)
+        .with_transport(opts.transport_kind());
     if !parallel {
         config = config.sequential();
     }
@@ -331,7 +372,8 @@ fn churn(browser: &Browser, opts: &Options) -> ChurnRun {
         ClearViewConfig::default(),
         FleetConfig::new(opts.nodes)
             .with_workers(opts.workers)
-            .with_tree_fanout(opts.tree_fanout),
+            .with_tree_fanout(opts.tree_fanout)
+            .with_transport(opts.transport_kind()),
     );
     fleet.distributed_learning(&learning_suite());
     let base = fleet.checkpoint();
@@ -436,7 +478,8 @@ fn scale_point(browser: &Browser, nodes: usize, opts: &Options) -> ScaleRow {
         ClearViewConfig::default(),
         FleetConfig::new(nodes)
             .with_workers(opts.workers)
-            .with_tree_fanout(fanout),
+            .with_tree_fanout(fanout)
+            .with_transport(opts.transport_kind()),
     );
     fleet.distributed_learning(&learning_suite());
 
@@ -647,14 +690,16 @@ fn write_digest(path: &str, opts: &Options) {
         &model,
         FleetConfig::new(opts.nodes)
             .sequential()
-            .with_manager_shards(1),
+            .with_manager_shards(1)
+            .with_transport(opts.transport_kind()),
     );
     let par_run = multi_failure(
         &browser,
         &model,
         FleetConfig::new(opts.nodes)
             .with_workers(opts.workers)
-            .with_manager_shards(MANAGER_SHARDS),
+            .with_manager_shards(MANAGER_SHARDS)
+            .with_transport(opts.transport_kind()),
     );
     assert_eq!(seq_run.immune, par_run.immune, "manager parity violated");
     assert_eq!(
@@ -681,8 +726,223 @@ fn write_digest(path: &str, opts: &Options) {
     );
 }
 
+/// `--chaos SEED`: drive one fleet on the seeded lossy transport — 10% drops,
+/// 5% duplicates, delay-window reordering, plus a mid-history partition of a
+/// contiguous member range — against exploits at two distinct code locations.
+/// The fleet must reach immunity at both, resync every cut member via the
+/// delta plane, and survive a fleet-wide verify wave; the transport counters
+/// (retransmits, suppressed duplicates, partition recovery) land in
+/// `BENCH_fleet.json`, and `--digest PATH` additionally dumps the `BatchLog`
+/// for the CI seed-determinism diff.
+fn run_chaos(seed: u64, opts: &Options) {
+    if opts.trace.is_some() {
+        cv_obs::recorder().set_enabled(true);
+    }
+    let browser = Browser::build();
+    let targets: Vec<(u32, u32)> = [
+        (269095u32, "vuln_269095_call"),
+        (290162u32, "vuln_290162_call"),
+    ]
+    .into_iter()
+    .map(|(bug, sym)| (bug, browser.sym(sym)))
+    .collect();
+    let all = red_team_exploits(&browser);
+    let exploits: Vec<_> = targets
+        .iter()
+        .map(|(bug, _)| all.iter().find(|e| e.bugzilla == *bug).unwrap().clone())
+        .collect();
+
+    let mut fleet = Fleet::new(
+        browser.image.clone(),
+        ClearViewConfig::default(),
+        FleetConfig::new(opts.nodes)
+            .with_workers(opts.workers)
+            .with_tree_fanout(opts.tree_fanout)
+            .with_transport(TransportKind::Chaos(ChaosConfig::standard(seed))),
+    );
+    fleet.distributed_learning(&learning_suite());
+
+    let nodes = opts.nodes;
+    let cut: Vec<usize> = (nodes / 2..nodes / 2 + nodes / 8).collect();
+    let benign = evaluation_suite();
+    let mut epochs_run = 0u64;
+    for round in 0..40u64 {
+        let mut batch: Vec<Presentation> = Vec::new();
+        for (which, exploit) in exploits.iter().enumerate() {
+            for k in 0..4usize {
+                batch.push(Presentation::new(
+                    (which * (nodes / 2 - 1) + k * (nodes / 16) + 1) % nodes,
+                    exploit.page(),
+                ));
+            }
+        }
+        for (i, page) in benign.iter().take(4).enumerate() {
+            batch.push(Presentation::new((nodes / 4 + i * 7) % nodes, page.clone()));
+        }
+        if round == 2 {
+            fleet.partition_members(&cut);
+        }
+        if round == 6 {
+            fleet.heal_partition();
+        }
+        fleet.run_epoch(&batch);
+        epochs_run = round + 1;
+        if round > 6
+            && targets
+                .iter()
+                .all(|(_, loc)| fleet.is_protected_against(*loc))
+        {
+            break;
+        }
+    }
+    for (bug, loc) in &targets {
+        assert!(
+            fleet.is_protected_against(*loc),
+            "chaos fleet (seed {seed}) never immunized defect {bug}"
+        );
+    }
+    // Settle: benign epochs until every cut/desynced member is resynced.
+    for _ in 0..16 {
+        if fleet.transport_desynced().is_empty() {
+            break;
+        }
+        fleet.run_epoch(&[Presentation::new(0, benign[0].clone())]);
+    }
+    assert!(
+        fleet.transport_desynced().is_empty(),
+        "chaos fleet (seed {seed}) still has desynced members: {:?}",
+        fleet.transport_desynced()
+    );
+    // Fleet-wide immunity: a verify wave across the fleet blocks nobody (a
+    // dropped page never runs — it cannot fail).
+    let verify: Vec<Presentation> = (0..nodes)
+        .flat_map(|node| {
+            exploits
+                .iter()
+                .map(move |exploit| Presentation::new(node, exploit.page()))
+        })
+        .collect();
+    let outcome = fleet.run_epoch(&verify);
+    assert_eq!(
+        outcome.blocked(),
+        0,
+        "an immunized member failed under chaos"
+    );
+
+    let m = fleet.metrics();
+    assert!(m.envelopes_dropped > 0, "seeded chaos produced no drops");
+    assert!(m.retransmits > 0, "drops must force retransmits");
+    assert!(
+        m.duplicates_suppressed > 0,
+        "no duplicate was ever suppressed"
+    );
+    assert!(m.partition_drops > 0, "the partition dropped nothing");
+    assert!(m.transport_resyncs > 0, "cut members never resynced");
+
+    print_table(
+        &format!(
+            "Chaos scenario (seed {seed}, {nodes} members, {} partitioned)",
+            cut.len()
+        ),
+        &["quantity", "value"],
+        &[
+            vec!["transport".into(), fleet.transport_name().to_string()],
+            vec!["epochs to dual immunity".into(), epochs_run.to_string()],
+            vec!["envelopes sent".into(), m.envelopes_sent.to_string()],
+            vec![
+                "envelopes delivered".into(),
+                m.envelopes_delivered.to_string(),
+            ],
+            vec!["envelopes dropped".into(), m.envelopes_dropped.to_string()],
+            vec![
+                "envelopes duplicated".into(),
+                m.envelopes_duplicated.to_string(),
+            ],
+            vec!["retransmits".into(), m.retransmits.to_string()],
+            vec![
+                "duplicates suppressed".into(),
+                m.duplicates_suppressed.to_string(),
+            ],
+            vec!["partition drops".into(), m.partition_drops.to_string()],
+            vec!["member desyncs".into(), m.transport_desyncs.to_string()],
+            vec![
+                "member resyncs (delta)".into(),
+                format!("{} ({})", m.transport_resyncs, m.transport_delta_resyncs),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_scale_chaos\",\n  \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"workers\": {},\n  \"partitioned_members\": {},\n  \"epochs_to_immunity\": {epochs_run},\n  \"envelopes_sent\": {},\n  \"envelopes_delivered\": {},\n  \"envelopes_dropped\": {},\n  \"envelopes_duplicated\": {},\n  \"retransmits\": {},\n  \"duplicates_suppressed\": {},\n  \"partition_drops\": {},\n  \"transport_desyncs\": {},\n  \"transport_resyncs\": {},\n  \"transport_delta_resyncs\": {}\n}}\n",
+        opts.workers,
+        cut.len(),
+        m.envelopes_sent,
+        m.envelopes_delivered,
+        m.envelopes_dropped,
+        m.envelopes_duplicated,
+        m.retransmits,
+        m.duplicates_suppressed,
+        m.partition_drops,
+        m.transport_desyncs,
+        m.transport_resyncs,
+        m.transport_delta_resyncs,
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("\nwrote BENCH_fleet.json:\n{json}");
+
+    if let Some(path) = &opts.digest {
+        let digest = format!(
+            "== chaos (seed {seed}, {nodes} members, {} partitioned) ==\n{}",
+            cut.len(),
+            log_dump(&fleet),
+        );
+        std::fs::write(path, &digest).expect("write chaos digest");
+        println!(
+            "wrote {} ({} lines) — same seed must reproduce it byte-identically",
+            path,
+            digest.lines().count()
+        );
+    }
+
+    if let Some(path) = &opts.trace {
+        // The partition-recovery timeline, straight from the cv-obs stream:
+        // every `transport`-category instant the fleet recorded, in order —
+        // partition cut, per-member desyncs while pushes cannot ack, heal,
+        // and per-member resyncs (delta=1 when the delta plane was used).
+        let events = cv_obs::recorder().drain();
+        println!("\npartition-recovery timeline (cv-obs `transport` instants):");
+        for event in events.iter().filter(|e| e.cat == "transport") {
+            let detail: Vec<String> = event
+                .args
+                .iter()
+                .filter(|(k, _)| *k != "fleet")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            println!(
+                "  {:>10.3} ms  {:<18} {}",
+                event.ts_nanos as f64 / 1e6,
+                event.name,
+                detail.join(" ")
+            );
+        }
+        let summary = Summary::build_for_fleet(&events, fleet.obs_id());
+        std::fs::write(path, chrome_trace_json(&events)).expect("write chrome trace");
+        let summary_path = match path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.summary.json"),
+            None => format!("{path}.summary.json"),
+        };
+        std::fs::write(&summary_path, summary.to_json()).expect("write trace summary");
+        println!("\nchaos-fleet summary:\n{summary}");
+        println!("wrote {path} and {summary_path}");
+    }
+}
+
 fn main() {
     let opts = parse_options();
+    if let Some(seed) = opts.chaos {
+        run_chaos(seed, &opts);
+        return;
+    }
     if let Some(path) = opts.digest.clone() {
         // Determinism mode stays untraced: the digest is the byte-identical
         // BatchLog dump, and the recorder has nothing to add to it.
@@ -776,14 +1036,16 @@ fn main() {
         &model,
         FleetConfig::new(opts.nodes)
             .sequential()
-            .with_manager_shards(1),
+            .with_manager_shards(1)
+            .with_transport(opts.transport_kind()),
     );
     let par_run = multi_failure(
         &browser,
         &model,
         FleetConfig::new(opts.nodes)
             .with_workers(opts.workers)
-            .with_manager_shards(MANAGER_SHARDS),
+            .with_manager_shards(MANAGER_SHARDS)
+            .with_transport(opts.transport_kind()),
     );
     // Keep the benchmark honest before anything is reported or written: the
     // sharded manager must reach the same immunity as the sequential one.

@@ -31,6 +31,10 @@ use crate::metrics::{FleetMetrics, MetricEvent};
 use crate::protocol::{BatchLog, FleetMessage, NodeId, Presentation};
 use crate::scheduler::{EpochScheduler, RunRecord};
 use crate::shard::ShardedInvariantStore;
+use crate::transport::{
+    ChaosConfig, ChaosControls, DedupeWindow, PeerId, Transport, TransportKind, TransportStats,
+    COORDINATOR,
+};
 use cv_core::{
     ClearViewConfig, DigestRouter, FailureEvent, FailureResponder, ManagerTree, NetPatchState,
     PatchPlan, Phase, RepairReport, ResponderShard, RoutedDigest, ShardBucket, ShardOutcome,
@@ -39,10 +43,21 @@ use cv_inference::{InvariantDatabase, LearnedModel, ProcedureDatabase};
 use cv_isa::{Addr, BinaryImage, Word};
 use cv_obs::recorder;
 use cv_runtime::{MonitorConfig, RunStatus};
-use cv_store::{DeltaBuilder, DeltaSnapshot, Snapshot};
-use std::collections::BTreeMap;
+use cv_store::{DeltaBuilder, DeltaSnapshot, Envelope, EnvelopePayload, Snapshot};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Rounds of ack-driven retransmit before the fleet gives up on the unacked
+/// peers for this phase. Partitioned members are rolled back and re-synced by
+/// the background resync pass instead of stalling the epoch forever; with the
+/// per-round exponential backoff below, twelve rounds outlast any fault mix
+/// the chaos plane generates short of a partition.
+const MAX_RETRANSMIT_ROUNDS: u32 = 12;
+
+/// Cap of the exponential backoff between retransmit rounds, in transport ticks.
+const MAX_BACKOFF_TICKS: u32 = 16;
 
 /// Which member-execution engine a [`Fleet`] runs on. Both engines produce
 /// byte-identical [`BatchLog`]s for the same inputs (`tests/engine_parity.rs`);
@@ -83,6 +98,9 @@ pub struct FleetConfig {
     /// merge in groups of `F` per tier and the push is accounted tier by tier —
     /// the merged plan itself is byte-identical either way.
     pub tree_fanout: usize,
+    /// The transport every coordinator↔member exchange crosses (in-process
+    /// queues by default; a loopback socket or the seeded chaos wrapper).
+    pub transport: TransportKind,
 }
 
 impl FleetConfig {
@@ -98,6 +116,7 @@ impl FleetConfig {
             parallel: true,
             engine: EngineKind::default(),
             tree_fanout: 0,
+            transport: TransportKind::default(),
         }
     }
 
@@ -149,6 +168,18 @@ impl FleetConfig {
     pub fn with_tree_fanout(mut self, tree_fanout: usize) -> Self {
         self.tree_fanout = tree_fanout;
         self
+    }
+
+    /// Route all coordinator↔member traffic through the given transport.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Route traffic through the chaos transport with the ISSUE's standard
+    /// fault mix (drop 10%, duplicate 5%, reorder within 3 ticks), seeded.
+    pub fn with_chaos(self, seed: u64) -> Self {
+        self.with_transport(TransportKind::Chaos(ChaosConfig::standard(seed)))
     }
 }
 
@@ -345,24 +376,67 @@ pub struct Fleet {
     /// Members whose sync epoch is awaiting their first completed presentation
     /// (the late-joiner time-to-immunity measurement).
     joiners: BTreeMap<NodeId, u64>,
-    /// The coordinator's current snapshot, encoded size included, memoized per
-    /// epoch (cut once, served to every joiner and delta of the epoch).
+    /// The coordinator's current snapshot, encoded bytes included, memoized per
+    /// epoch (cut once, served to every joiner, delta, and resync of the epoch).
     snapshot_cache: Option<CachedSnapshot>,
     /// The most recent delta's encoded size, keyed by (base epoch, target epoch)
     /// — a churn wave rejoins many members against one checkpoint.
     delta_cache: Option<CachedDelta>,
+    /// The wire boundary every coordinator↔member exchange crosses.
+    transport: Box<dyn Transport>,
+    /// True when the backend can lose or delay envelopes (the chaos wrapper):
+    /// gates the rollback/resync bookkeeping lossless runs never need.
+    lossy: bool,
+    /// Live handle into the chaos backend's partition plane, when one is
+    /// configured.
+    chaos: Option<ChaosControls>,
+    /// The receiver-side `(to, from, epoch, seq)` idempotence window.
+    dedupe: DedupeWindow,
+    /// One monotonic counter for every envelope the fleet originates, so
+    /// `(from, epoch, seq)` is globally unique and sorting by seq reconstructs
+    /// send order exactly.
+    seq: u64,
+    /// Retransmits performed since the last `Transport` metric event.
+    retransmits_pending: u64,
+    /// `dedupe.suppressed()` at the last `Transport` metric event.
+    suppressed_mark: u64,
+    /// Backend counters at the last `Transport` metric event.
+    stats_mark: TransportStats,
+    /// Members rolled back after missing a patch push (lossy transports only);
+    /// the end-of-epoch resync pass brings them back once reachable.
+    transport_desynced: BTreeSet<NodeId>,
+    /// Per member, the epoch of the newest retained checkpoint whose state the
+    /// member holds (lossy transports only; indexes `retained`).
+    member_base: Vec<u64>,
+    /// Retained per-epoch checkpoints serving delta resyncs (lossy transports
+    /// only; pruned to the oldest base a desynced member still references).
+    retained: BTreeMap<u64, Snapshot>,
 }
 
 struct CachedSnapshot {
     epoch: u64,
     snapshot: Snapshot,
-    encoded_bytes: u64,
+    encoded: Arc<Vec<u8>>,
+}
+
+impl CachedSnapshot {
+    fn encoded_bytes(&self) -> u64 {
+        self.encoded.len() as u64
+    }
 }
 
 struct CachedDelta {
     base_epoch: u64,
     target_epoch: u64,
     encoded_bytes: u64,
+}
+
+/// What one reliable exchange produced.
+struct ExchangeOutcome {
+    /// Seqs whose envelope was acked by its receiver.
+    acked: BTreeSet<u64>,
+    /// Fresh data envelopes delivered to the coordinator, in seq order.
+    received: Vec<Envelope>,
 }
 
 /// Process-wide fleet id allocator: every [`Fleet`] gets a distinct id to stamp
@@ -399,6 +473,8 @@ impl Fleet {
         } else {
             1
         };
+        let (transport, chaos) = fleet_config.transport.build();
+        let lossy = transport.is_lossy();
         Fleet {
             model: LearnedModel {
                 invariants: InvariantDatabase::new(),
@@ -426,6 +502,17 @@ impl Fleet {
             joiners: BTreeMap::new(),
             snapshot_cache: None,
             delta_cache: None,
+            transport,
+            lossy,
+            chaos,
+            dedupe: DedupeWindow::new(),
+            seq: 0,
+            retransmits_pending: 0,
+            suppressed_mark: 0,
+            stats_mark: TransportStats::default(),
+            transport_desynced: BTreeSet::new(),
+            member_base: vec![0; fleet_config.node_count.max(1)],
+            retained: BTreeMap::new(),
         }
     }
 
@@ -580,6 +667,408 @@ impl Fleet {
         &self.net
     }
 
+    /// The transport backend's name (`"inprocess"`, `"socket"`, `"chaos"`).
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
+    }
+
+    /// Cumulative delivery accounting from the transport backend.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// True when the transport can lose or delay envelopes (the chaos
+    /// wrapper): the fleet then runs the rollback/resync bookkeeping.
+    pub fn transport_is_lossy(&self) -> bool {
+        self.lossy
+    }
+
+    /// Members the transport has desynced (rolled back after missing a patch
+    /// push) and not yet re-synced, in node order.
+    pub fn transport_desynced(&self) -> Vec<NodeId> {
+        self.transport_desynced.iter().copied().collect()
+    }
+
+    /// Cut `nodes` off: every envelope to or from them is dropped until
+    /// [`Fleet::heal_partition`]. Panics unless the fleet runs on the chaos
+    /// transport — only it has a partition plane.
+    pub fn partition_members(&mut self, nodes: &[NodeId]) {
+        let controls = self
+            .chaos
+            .as_ref()
+            .expect("partitioning requires the chaos transport");
+        let peers: Vec<PeerId> = nodes.iter().map(|&node| node as PeerId).collect();
+        controls.partition(&peers);
+        recorder().instant(
+            "chaos.partition",
+            "transport",
+            &[
+                ("fleet", self.obs_id),
+                ("epoch", self.epoch),
+                ("members", nodes.len() as u64),
+            ],
+        );
+    }
+
+    /// Reconnect every partitioned member (they stay desynced until the next
+    /// epoch's resync pass reaches them).
+    pub fn heal_partition(&mut self) {
+        let controls = self
+            .chaos
+            .as_ref()
+            .expect("partitioning requires the chaos transport");
+        let healed = controls.partitioned_count() as u64;
+        controls.heal();
+        recorder().instant(
+            "chaos.heal",
+            "transport",
+            &[
+                ("fleet", self.obs_id),
+                ("epoch", self.epoch),
+                ("members", healed),
+            ],
+        );
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    /// Drain every inbox involved in an exchange once: acks retire their
+    /// pending envelope; data envelopes are acked (fresh and duplicate alike —
+    /// the earlier ack may have been lost) and, when addressed to the
+    /// coordinator and fresh, collected for the caller. Envelopes from other
+    /// epochs are stale stragglers and are dropped silently.
+    fn pump_protocol(
+        &mut self,
+        epoch: u64,
+        pending: &mut BTreeMap<u64, Envelope>,
+        acked: &mut BTreeSet<u64>,
+        received: &mut Vec<Envelope>,
+        peers: &BTreeSet<PeerId>,
+    ) {
+        for env in self.transport.recv(COORDINATOR) {
+            if env.epoch != epoch {
+                continue;
+            }
+            match env.payload {
+                EnvelopePayload::Ack => {
+                    if pending.remove(&env.seq).is_some() {
+                        acked.insert(env.seq);
+                    }
+                }
+                _ => {
+                    let fresh = self.dedupe.accept(&env);
+                    self.transport.send(env.ack());
+                    if fresh {
+                        received.push(env);
+                    }
+                }
+            }
+        }
+        for &peer in peers {
+            for env in self.transport.recv(peer) {
+                if env.epoch != epoch {
+                    continue;
+                }
+                match env.payload {
+                    EnvelopePayload::Ack => {
+                        if pending.remove(&env.seq).is_some() {
+                            acked.insert(env.seq);
+                        }
+                    }
+                    _ => {
+                        self.dedupe.accept(&env);
+                        self.transport.send(env.ack());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver every envelope in `pending` reliably: send, collect acks,
+    /// retransmit the unacked with capped exponential backoff. Gives up after
+    /// [`MAX_RETRANSMIT_ROUNDS`] — unreachable (partitioned) receivers simply
+    /// stay unacked and the caller decides what that means.
+    fn exchange(&mut self, epoch: u64, mut pending: BTreeMap<u64, Envelope>) -> ExchangeOutcome {
+        let peers: BTreeSet<PeerId> = pending
+            .values()
+            .map(|env| {
+                if env.to == COORDINATOR {
+                    env.from
+                } else {
+                    env.to
+                }
+            })
+            .collect();
+        let mut acked = BTreeSet::new();
+        let mut received = Vec::new();
+        let flush = self.transport.flush_ticks().max(1);
+        let mut backoff = 1u32;
+        let mut round = 0u32;
+        loop {
+            self.pump_protocol(epoch, &mut pending, &mut acked, &mut received, &peers);
+            if pending.is_empty() || round >= MAX_RETRANSMIT_ROUNDS {
+                break;
+            }
+            if round > 0 {
+                self.retransmits_pending += pending.len() as u64;
+            }
+            for env in pending.values() {
+                self.transport.send(env.clone());
+            }
+            for _ in 0..flush.max(backoff) {
+                self.transport.tick();
+                self.pump_protocol(epoch, &mut pending, &mut acked, &mut received, &peers);
+            }
+            backoff = (backoff * 2).min(MAX_BACKOFF_TICKS);
+            round += 1;
+        }
+        received.sort_by_key(|env| env.seq);
+        ExchangeOutcome { acked, received }
+    }
+
+    /// Send the epoch's presentations through the transport and reconstruct,
+    /// in send order, those that actually arrived. Pages are fire-and-forget:
+    /// a page lost to chaos is a presentation that member never saw this epoch
+    /// (the community converges through the others); acked delivery is
+    /// reserved for state-bearing traffic.
+    fn deliver_presentations(
+        &mut self,
+        epoch: u64,
+        presentations: &[Presentation],
+    ) -> Vec<Presentation> {
+        if presentations.is_empty() {
+            return Vec::new();
+        }
+        let targets: BTreeSet<PeerId> = presentations.iter().map(|p| p.node as PeerId).collect();
+        for presentation in presentations {
+            let seq = self.next_seq();
+            self.transport.send(Envelope {
+                from: COORDINATOR,
+                to: presentation.node as PeerId,
+                epoch,
+                seq,
+                payload: EnvelopePayload::Page(presentation.page.clone()),
+            });
+        }
+        for _ in 0..self.transport.flush_ticks() {
+            self.transport.tick();
+        }
+        let mut arrived: Vec<(u64, Presentation)> = Vec::with_capacity(presentations.len());
+        for &peer in &targets {
+            for env in self.transport.recv(peer) {
+                if env.epoch != epoch || !self.dedupe.accept(&env) {
+                    continue; // stale straggler or chaos duplicate
+                }
+                if let EnvelopePayload::Page(page) = env.payload {
+                    arrived.push((env.seq, Presentation::new(env.to as NodeId, page)));
+                }
+            }
+        }
+        arrived.sort_by_key(|&(seq, _)| seq);
+        arrived.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Push `plan` to every alive member as acked, idempotent envelopes.
+    /// Returns the members that acknowledged, in node order — everyone, on a
+    /// lossless transport. An empty plan sends nothing (there is no state to
+    /// miss) and counts everyone as reached.
+    fn push_plan_over_transport(&mut self, epoch: u64, plan: &PatchPlan) -> Vec<NodeId> {
+        let alive: Vec<NodeId> = (0..self.node_count())
+            .filter(|&node| self.engine.is_alive(node))
+            .collect();
+        if plan.is_empty() || alive.is_empty() {
+            return alive;
+        }
+        let shared = Arc::new(plan.clone());
+        let mut pending: BTreeMap<u64, Envelope> = BTreeMap::new();
+        let mut node_of: BTreeMap<u64, NodeId> = BTreeMap::new();
+        for &node in &alive {
+            let seq = self.next_seq();
+            node_of.insert(seq, node);
+            pending.insert(
+                seq,
+                Envelope {
+                    from: COORDINATOR,
+                    to: node as PeerId,
+                    epoch,
+                    seq,
+                    payload: EnvelopePayload::PatchPush(Arc::clone(&shared)),
+                },
+            );
+        }
+        let outcome = self.exchange(epoch, pending);
+        outcome
+            .acked
+            .iter()
+            .filter_map(|seq| node_of.get(seq).copied())
+            .collect()
+    }
+
+    /// Re-sync members the transport desynced, over the transport itself: a
+    /// shard-keyed delta when a retained checkpoint covers the member's base,
+    /// the full snapshot otherwise. Members still unreachable (partitioned)
+    /// stay desynced and are retried next epoch. No-op on lossless transports
+    /// — nothing ever desyncs there.
+    fn transport_resync_pass(&mut self, epoch: u64) {
+        if self.transport_desynced.is_empty() {
+            return;
+        }
+        self.refresh_snapshot_cache();
+        let (net_plan, full_bytes, full_encoded) = {
+            let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
+            (
+                cache.snapshot.plan.clone(),
+                cache.encoded_bytes(),
+                Arc::clone(&cache.encoded),
+            )
+        };
+        // One delta per distinct covered base epoch — a partition wave shares
+        // its base, so the cut and its encode are amortized across members.
+        let members: Vec<NodeId> = self.transport_desynced.iter().copied().collect();
+        let mut delta_encoded: BTreeMap<u64, Arc<Vec<u8>>> = BTreeMap::new();
+        for &node in &members {
+            let base_epoch = self.member_base[node];
+            if base_epoch >= epoch || delta_encoded.contains_key(&base_epoch) {
+                continue;
+            }
+            if let Some(base) = self.retained.get(&base_epoch).cloned() {
+                let delta = self.delta_since(&base);
+                delta_encoded.insert(base_epoch, Arc::new(delta.encode()));
+            }
+        }
+        let mut pending: BTreeMap<u64, Envelope> = BTreeMap::new();
+        let mut sync_of: BTreeMap<u64, (NodeId, Option<(u64, u64)>)> = BTreeMap::new();
+        for &node in &members {
+            let base_epoch = self.member_base[node];
+            let seq = self.next_seq();
+            let (payload, delta_info) = match delta_encoded.get(&base_epoch) {
+                Some(bytes) => (
+                    EnvelopePayload::Delta {
+                        base_epoch,
+                        bytes: Arc::clone(bytes),
+                    },
+                    Some((base_epoch, bytes.len() as u64)),
+                ),
+                None => (EnvelopePayload::Snapshot(Arc::clone(&full_encoded)), None),
+            };
+            sync_of.insert(seq, (node, delta_info));
+            pending.insert(
+                seq,
+                Envelope {
+                    from: COORDINATOR,
+                    to: node as PeerId,
+                    epoch,
+                    seq,
+                    payload,
+                },
+            );
+        }
+        let outcome = self.exchange(epoch, pending);
+        for seq in outcome.acked {
+            let (node, delta_info) = sync_of[&seq];
+            self.engine.reset_and_apply(node, &net_plan);
+            self.synced[node] = true;
+            self.transport_desynced.remove(&node);
+            self.member_base[node] = epoch;
+            self.joiners.insert(node, epoch);
+            match delta_info {
+                Some((base_epoch, delta_bytes)) => {
+                    self.record(MetricEvent::DeltaSync {
+                        delta_bytes,
+                        full_bytes,
+                    });
+                    self.record(MetricEvent::TransportResync { delta: true });
+                    self.log.push(FleetMessage::DeltaSync {
+                        epoch,
+                        members: 1,
+                        base_epoch,
+                        delta_bytes,
+                        full_bytes,
+                    });
+                }
+                None => {
+                    self.record(MetricEvent::Bootstrap { bytes: full_bytes });
+                    self.record(MetricEvent::TransportResync { delta: false });
+                    self.log.push(FleetMessage::Bootstrap {
+                        epoch,
+                        members: 1,
+                        snapshot_bytes: full_bytes,
+                        plan_ops: net_plan.len(),
+                    });
+                }
+            }
+            recorder().instant(
+                "transport.resync",
+                "transport",
+                &[
+                    ("fleet", self.obs_id),
+                    ("epoch", epoch),
+                    ("node", node as u64),
+                    ("delta", delta_info.is_some() as u64),
+                ],
+            );
+        }
+    }
+
+    /// Lossy transports retain the end-of-epoch checkpoint so a member that
+    /// desyncs later can be advanced by a delta from the last epoch it held
+    /// instead of a full snapshot. Checkpoints older than every desynced
+    /// member's base are pruned.
+    fn retain_checkpoint(&mut self, epoch: u64) {
+        if !self.lossy {
+            return;
+        }
+        self.refresh_snapshot_cache();
+        let snapshot = self
+            .snapshot_cache
+            .as_ref()
+            .expect("cache just refreshed")
+            .snapshot
+            .clone();
+        self.retained.insert(epoch, snapshot);
+        for node in 0..self.node_count() {
+            if self.engine.is_alive(node) && self.synced[node] {
+                self.member_base[node] = epoch;
+            }
+        }
+        let floor = self
+            .transport_desynced
+            .iter()
+            .map(|&node| self.member_base[node])
+            .min()
+            .unwrap_or(epoch);
+        self.retained.retain(|&e, _| e >= floor);
+    }
+
+    /// Fold the transport activity since the last `Transport` metric event
+    /// into the metric stream (as deltas, so replaying the stream reproduces
+    /// the cumulative counters).
+    fn record_transport_event(&mut self) {
+        let stats = self.transport.stats();
+        let delta = stats.since(&self.stats_mark);
+        let suppressed = self.dedupe.suppressed() - self.suppressed_mark;
+        let retransmits = self.retransmits_pending;
+        if delta.is_zero() && suppressed == 0 && retransmits == 0 {
+            return;
+        }
+        self.stats_mark = stats;
+        self.suppressed_mark = self.dedupe.suppressed();
+        self.retransmits_pending = 0;
+        self.record(MetricEvent::Transport {
+            sent: delta.sent,
+            delivered: delta.delivered,
+            dropped: delta.dropped,
+            duplicated: delta.duplicated,
+            retransmits,
+            duplicates_suppressed: suppressed,
+            partition_dropped: delta.partition_dropped,
+        });
+    }
+
     /// Memoize the coordinator's current snapshot for this epoch.
     fn refresh_snapshot_cache(&mut self) {
         if self.snapshot_cache.as_ref().map(|c| c.epoch) != Some(self.epoch) {
@@ -589,11 +1078,11 @@ impl Fleet {
                 &self.model,
                 &self.net,
             );
-            let encoded_bytes = snapshot.encode().len() as u64;
+            let encoded = Arc::new(snapshot.encode());
             self.snapshot_cache = Some(CachedSnapshot {
                 epoch: self.epoch,
                 snapshot,
-                encoded_bytes,
+                encoded,
             });
         }
     }
@@ -606,7 +1095,7 @@ impl Fleet {
         let span = recorder().span("fleet.checkpoint", "fleet");
         self.refresh_snapshot_cache();
         let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-        let bytes = cache.encoded_bytes;
+        let bytes = cache.encoded_bytes();
         let snapshot = cache.snapshot.clone();
         span.arg("fleet", self.obs_id)
             .arg("epoch", self.epoch)
@@ -711,6 +1200,7 @@ impl Fleet {
     pub fn join_member_cold(&mut self) -> NodeId {
         let node = self.engine.join();
         self.synced.push(false);
+        self.member_base.push(self.epoch);
         self.record(MetricEvent::ColdJoin);
         recorder().instant(
             "churn.join_cold",
@@ -731,10 +1221,11 @@ impl Fleet {
         self.refresh_snapshot_cache();
         let (plan, snapshot_bytes) = {
             let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-            (cache.snapshot.plan.clone(), cache.encoded_bytes)
+            (cache.snapshot.plan.clone(), cache.encoded_bytes())
         };
         let node = self.engine.join();
         self.synced.push(true);
+        self.member_base.push(self.epoch);
         self.engine.reset_and_apply(node, &plan);
         self.record(MetricEvent::WarmJoin);
         self.record(MetricEvent::Bootstrap {
@@ -766,6 +1257,7 @@ impl Fleet {
         self.engine.crash(node);
         self.synced[node] = false;
         self.joiners.remove(&node);
+        self.transport_desynced.remove(&node);
         self.record(MetricEvent::Crash);
         recorder().instant(
             "churn.crash",
@@ -793,7 +1285,7 @@ impl Fleet {
         self.engine.rejoin(node);
         let (plan, full_bytes) = {
             let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-            (cache.snapshot.plan.clone(), cache.encoded_bytes)
+            (cache.snapshot.plan.clone(), cache.encoded_bytes())
         };
         match last_checkpoint {
             Some(base) => {
@@ -834,6 +1326,7 @@ impl Fleet {
             ],
         );
         self.synced[node] = true;
+        self.member_base[node] = self.epoch;
         self.joiners.insert(node, self.epoch);
     }
 
@@ -843,10 +1336,12 @@ impl Fleet {
         self.refresh_snapshot_cache();
         let (plan, snapshot_bytes) = {
             let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-            (cache.snapshot.plan.clone(), cache.encoded_bytes)
+            (cache.snapshot.plan.clone(), cache.encoded_bytes())
         };
         self.engine.reset_and_apply(node, &plan);
         self.synced[node] = true;
+        self.member_base[node] = self.epoch;
+        self.transport_desynced.remove(&node);
         self.record(MetricEvent::Bootstrap {
             bytes: snapshot_bytes,
         });
@@ -930,18 +1425,45 @@ impl Fleet {
         // can land while an epoch — and a checkpoint cut in it — is still open).
         self.store.begin_epoch(self.epoch);
         let locals = self.engine.learn(&self.image, pages);
-        let mut databases = Vec::with_capacity(locals.len());
-        let mut upload_lens: BTreeMap<NodeId, usize> = BTreeMap::new();
+        // Each member's locally inferred model crosses the transport as one
+        // acked Upload envelope; the coordinator merges whatever arrives, in
+        // sequence order — which is exactly the engines' return order, so a
+        // lossless run merges byte-identically to the pre-transport fleet.
+        let epoch = self.epoch;
+        let mut pending: BTreeMap<u64, Envelope> = BTreeMap::new();
         for (node, local) in locals {
-            upload_lens.insert(node, local.invariants.len());
-            // The central manager re-discovers the procedure CFGs the members saw
-            // (these are rebuilt from the image, not uploaded — as in the seed).
-            for proc in local.procedures.procedures() {
-                if let Some(entry) = self.model.procedures.observe_block(proc.entry) {
-                    self.store.mark_proc(entry);
+            let procs: Vec<Addr> = local.procedures.procedures().map(|p| p.entry).collect();
+            let seq = self.next_seq();
+            pending.insert(
+                seq,
+                Envelope {
+                    from: node as PeerId,
+                    to: COORDINATOR,
+                    epoch,
+                    seq,
+                    payload: EnvelopePayload::Upload {
+                        invariants: Arc::new(local.invariants),
+                        procs: Arc::new(procs),
+                    },
+                },
+            );
+        }
+        let uploads_in = self.exchange(epoch, pending).received;
+        let mut databases = Vec::with_capacity(uploads_in.len());
+        let mut upload_lens: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for env in uploads_in {
+            if let EnvelopePayload::Upload { invariants, procs } = env.payload {
+                upload_lens.insert(env.from as NodeId, invariants.len());
+                // The central manager re-discovers the procedure CFGs the
+                // members saw (rebuilt from the image, not uploaded — as in
+                // the seed).
+                for &entry in procs.iter() {
+                    if let Some(entry) = self.model.procedures.observe_block(entry) {
+                        self.store.mark_proc(entry);
+                    }
                 }
+                databases.push(Arc::try_unwrap(invariants).unwrap_or_else(|arc| (*arc).clone()));
             }
-            databases.push(local.invariants);
         }
         // Every alive member reports, even one whose round-robin share was empty
         // (its upload is zero invariants). The classic scheduler returns those
@@ -962,6 +1484,7 @@ impl Fleet {
         self.record(MetricEvent::LearningPages {
             pages: pages.len() as u64,
         });
+        self.record_transport_event();
         span.finish();
         self.snapshot_cache = None;
         self.delta_cache = None;
@@ -992,13 +1515,17 @@ impl Fleet {
             .flat_map(|s| s.locations())
             .collect();
 
+        // Every presentation crosses the transport; what the members actually
+        // received (everything, on a lossless backend) is what runs.
+        let presentations = self.deliver_presentations(epoch, presentations);
+
         let execution_span = recorder()
             .timed_span("fleet.execution", "fleet")
             .arg("fleet", self.obs_id)
             .arg("epoch", epoch)
             .arg("presentations", presentations.len() as u64)
             .arg("members", self.alive_count() as u64);
-        let mut records = self.engine.run_epoch(presentations, &active);
+        let mut records = self.engine.run_epoch(&presentations, &active);
         let execution = execution_span.finish();
 
         // Mid-epoch churn: these members ran, reported, and then died — the
@@ -1142,6 +1669,14 @@ impl Fleet {
         } else {
             PatchPlan::merge(plans)
         };
+        // On a lossy transport the push below may not reach everyone: keep the
+        // pre-push net configuration so an unreachable member can be rolled
+        // back to exactly the state it actually still holds.
+        let net_before = if self.lossy && !plan.is_empty() {
+            Some(self.net.to_plan())
+        } else {
+            None
+        };
         self.net.apply(&plan);
         if !plan.is_empty() {
             // Plan application changes the configuration side of the next
@@ -1175,8 +1710,47 @@ impl Fleet {
             .arg("epoch", epoch)
             .arg("plan_ops", plan.len() as u64)
             .arg("members", self.alive_count() as u64);
+        // The plan reaches members as acked, idempotent envelopes; the engine
+        // then applies it once, fleet-wide. The engines share patch state
+        // across members, so per-member application is expressed as this
+        // global apply plus a rollback of whoever provably missed the push.
+        let acked = self.push_plan_over_transport(epoch, &plan);
         self.engine.apply_plan(&plan);
         let push_elapsed = push_span.finish();
+        if let Some(net_before) = net_before {
+            let acked_set: BTreeSet<NodeId> = acked.iter().copied().collect();
+            let mut missed = 0u64;
+            for node in 0..self.node_count() {
+                if !self.engine.is_alive(node) || acked_set.contains(&node) {
+                    continue;
+                }
+                if self.synced[node] {
+                    // A synced member that never acked still runs the pre-push
+                    // configuration: undo the optimistic apply and park it for
+                    // the resync pass.
+                    self.engine.reset_and_apply(node, &net_before);
+                    self.synced[node] = false;
+                    self.joiners.remove(&node);
+                    self.transport_desynced.insert(node);
+                    missed += 1;
+                    recorder().instant(
+                        "transport.desync",
+                        "transport",
+                        &[
+                            ("fleet", self.obs_id),
+                            ("epoch", epoch),
+                            ("node", node as u64),
+                        ],
+                    );
+                }
+                // Already-unsynced members (cold joiners) keep the optimistic
+                // apply: their state is untrusted either way, and the resync
+                // that brings them in reinstalls the whole configuration.
+            }
+            if missed > 0 {
+                self.record(MetricEvent::TransportDesync { members: missed });
+            }
+        }
         if !plan.is_empty() {
             for op in plan.ops() {
                 recorder().instant(
@@ -1192,7 +1766,7 @@ impl Fleet {
             }
             self.record(MetricEvent::PatchPush {
                 pushes: plan.len() as u64,
-                members: self.alive_count() as u64,
+                members: acked.len() as u64,
                 elapsed: push_elapsed,
             });
             if self.tree_fanout >= 2 {
@@ -1221,9 +1795,16 @@ impl Fleet {
         }
         self.log.push(FleetMessage::PatchPushes {
             epoch,
-            members: self.alive_count(),
+            members: acked.len(),
             plan,
         });
+
+        // Bring back whoever the transport desynced (a no-op when lossless),
+        // retain this epoch's checkpoint for future delta resyncs, and retire
+        // idempotence keys nobody can retransmit anymore.
+        self.transport_resync_pass(epoch);
+        self.retain_checkpoint(epoch);
+        self.dedupe.retire_below(epoch);
 
         let newly_protected: Vec<Addr> = self
             .manager_shards
@@ -1271,6 +1852,7 @@ impl Fleet {
             shared_bytes: self.engine.shared_state_bytes(),
             members: self.node_count() as u64,
         });
+        self.record_transport_event();
         let rec = recorder();
         if rec.is_enabled() {
             rec.counter(
@@ -1286,6 +1868,16 @@ impl Fleet {
             rec.counter(
                 "fleet.patch_applications",
                 self.metrics.patch_applications,
+                &[("fleet", self.obs_id)],
+            );
+            rec.counter(
+                "transport.envelopes_sent",
+                self.metrics.envelopes_sent,
+                &[("fleet", self.obs_id)],
+            );
+            rec.counter(
+                "transport.retransmits",
+                self.metrics.retransmits,
                 &[("fleet", self.obs_id)],
             );
         }

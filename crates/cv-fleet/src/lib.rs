@@ -51,6 +51,7 @@ mod metrics;
 mod protocol;
 mod scheduler;
 mod shard;
+mod transport;
 
 pub use engine::EventEngine;
 pub use fleet::{EngineKind, EpochOutcome, Fleet, FleetConfig, MemberOutcome};
@@ -58,6 +59,13 @@ pub use metrics::{FleetMetrics, ImmunityRecord, MetricEvent};
 pub use protocol::{BatchLog, FleetMessage, NodeId, PatchPushKind, Presentation};
 pub use scheduler::EpochScheduler;
 pub use shard::ShardedInvariantStore;
+pub use transport::{
+    ChaosConfig, ChaosControls, ChaosTransport, DedupeWindow, InProcessTransport, PeerId,
+    SequencedApplier, SocketTransport, Transport, TransportKind, TransportStats, COORDINATOR,
+};
+
+// The envelope is the unit every transport backend exchanges.
+pub use cv_store::{Envelope, EnvelopePayload};
 
 // The manager-plane types live in `cv_core::manager`; re-export the ones fleet
 // callers touch so downstream code needs only this crate.

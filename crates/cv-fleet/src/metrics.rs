@@ -140,6 +140,37 @@ pub enum MetricEvent {
         /// Members the push ultimately reaches.
         members: u64,
     },
+    /// One protocol phase's transport accounting, as deltas since the previous
+    /// `Transport` event: what the backend sent/delivered/faulted plus the
+    /// fleet-side reliability work (retransmits, duplicate suppressions).
+    Transport {
+        /// Envelopes handed to the backend (data + acks, retransmits included).
+        sent: u64,
+        /// Envelopes that reached a peer's inbox.
+        delivered: u64,
+        /// Envelopes the chaos plane dropped outright.
+        dropped: u64,
+        /// Envelopes the chaos plane duplicated.
+        duplicated: u64,
+        /// Unacked envelopes re-sent by the retransmit loop.
+        retransmits: u64,
+        /// Duplicate deliveries suppressed by the `(from, epoch, seq)` window.
+        duplicates_suppressed: u64,
+        /// Envelopes swallowed by an active partition.
+        partition_dropped: u64,
+    },
+    /// Members that never acked a patch push within the retransmit budget:
+    /// rolled back to their pre-push configuration and marked out of sync.
+    TransportDesync {
+        /// Members rolled back this push round.
+        members: u64,
+    },
+    /// A transport-desynced member was brought back by the background resync
+    /// pass.
+    TransportResync {
+        /// Whether a shard-keyed delta sufficed (`false` = full snapshot).
+        delta: bool,
+    },
     /// A member crashed with state loss.
     Crash,
     /// A member rejoined after a crash.
@@ -249,6 +280,27 @@ pub struct FleetMetrics {
     pub cold_joins: u64,
     /// Members that joined mid-run from the coordinator's snapshot.
     pub warm_joins: u64,
+    /// Envelopes handed to the transport backend (data + acks + retransmits).
+    pub envelopes_sent: u64,
+    /// Envelopes the backend delivered to a peer's inbox.
+    pub envelopes_delivered: u64,
+    /// Envelopes the chaos plane dropped outright.
+    pub envelopes_dropped: u64,
+    /// Envelopes the chaos plane duplicated.
+    pub envelopes_duplicated: u64,
+    /// Unacked envelopes re-sent by the retransmit loop.
+    pub retransmits: u64,
+    /// Duplicate deliveries suppressed by the idempotence window.
+    pub duplicates_suppressed: u64,
+    /// Envelopes swallowed by active partitions.
+    pub partition_drops: u64,
+    /// Members rolled back after missing a patch push (transport desyncs).
+    pub transport_desyncs: u64,
+    /// Transport-desynced members brought back by the background resync pass.
+    pub transport_resyncs: u64,
+    /// Of those resyncs, how many shipped a shard-keyed delta instead of a
+    /// full snapshot.
+    pub transport_delta_resyncs: u64,
     /// Epochs from each (re)joining member's sync to its first completed
     /// presentation — the late-joiner time-to-immunity samples.
     joiner_immunity_epochs: Vec<u64>,
@@ -367,6 +419,32 @@ impl FleetMetrics {
             MetricEvent::TreePush { tier, .. } => {
                 self.tree_pushes += 1;
                 self.tree_depth_last = self.tree_depth_last.max(*tier);
+            }
+            MetricEvent::Transport {
+                sent,
+                delivered,
+                dropped,
+                duplicated,
+                retransmits,
+                duplicates_suppressed,
+                partition_dropped,
+            } => {
+                self.envelopes_sent += sent;
+                self.envelopes_delivered += delivered;
+                self.envelopes_dropped += dropped;
+                self.envelopes_duplicated += duplicated;
+                self.retransmits += retransmits;
+                self.duplicates_suppressed += duplicates_suppressed;
+                self.partition_drops += partition_dropped;
+            }
+            MetricEvent::TransportDesync { members } => {
+                self.transport_desyncs += members;
+            }
+            MetricEvent::TransportResync { delta } => {
+                self.transport_resyncs += 1;
+                if *delta {
+                    self.transport_delta_resyncs += 1;
+                }
             }
             MetricEvent::Crash => self.crashes += 1,
             MetricEvent::Rejoin => self.rejoins += 1,
@@ -519,7 +597,13 @@ impl FleetMetrics {
              {indent}  \"bytes_per_member\": {:.1},\n{indent}  \"tier_merges\": {},\n\
              {indent}  \"tree_pushes\": {},\n{indent}  \"tree_depth\": {},\n\
              {indent}  \"crashes\": {},\n{indent}  \"rejoins\": {},\n\
-             {indent}  \"cold_joins\": {},\n{indent}  \"warm_joins\": {}\n{indent}}}",
+             {indent}  \"cold_joins\": {},\n{indent}  \"warm_joins\": {},\n\
+             {indent}  \"envelopes_sent\": {},\n{indent}  \"envelopes_delivered\": {},\n\
+             {indent}  \"envelopes_dropped\": {},\n{indent}  \"envelopes_duplicated\": {},\n\
+             {indent}  \"retransmits\": {},\n{indent}  \"duplicates_suppressed\": {},\n\
+             {indent}  \"partition_drops\": {},\n{indent}  \"transport_desyncs\": {},\n\
+             {indent}  \"transport_resyncs\": {},\n{indent}  \"transport_delta_resyncs\": {}\n\
+             {indent}}}",
             self.epochs,
             self.pages_processed,
             self.execution_time.as_secs_f64() * 1e3,
@@ -554,6 +638,16 @@ impl FleetMetrics {
             self.rejoins,
             self.cold_joins,
             self.warm_joins,
+            self.envelopes_sent,
+            self.envelopes_delivered,
+            self.envelopes_dropped,
+            self.envelopes_duplicated,
+            self.retransmits,
+            self.duplicates_suppressed,
+            self.partition_drops,
+            self.transport_desyncs,
+            self.transport_resyncs,
+            self.transport_delta_resyncs,
         ));
         out
     }
@@ -644,6 +738,30 @@ impl fmt::Display for FleetMetrics {
                 self.mean_delta_cut_micros(),
                 self.dirty_shards_last,
                 self.plan_dirty_shards_last
+            )?;
+        }
+        if self.envelopes_sent > 0 {
+            writeln!(
+                f,
+                "  transport: {} envelope(s) sent, {} delivered, {} retransmit(s), \
+                 {} duplicate(s) suppressed",
+                self.envelopes_sent,
+                self.envelopes_delivered,
+                self.retransmits,
+                self.duplicates_suppressed
+            )?;
+        }
+        if self.envelopes_dropped > 0 || self.partition_drops > 0 || self.transport_desyncs > 0 {
+            writeln!(
+                f,
+                "  chaos: {} drop(s), {} duplicated, {} partition drop(s); {} desync(s), \
+                 {} resync(s) ({} by delta)",
+                self.envelopes_dropped,
+                self.envelopes_duplicated,
+                self.partition_drops,
+                self.transport_desyncs,
+                self.transport_resyncs,
+                self.transport_delta_resyncs
             )?;
         }
         if self.crashes > 0 || self.cold_joins > 0 || self.warm_joins > 0 {

@@ -24,8 +24,12 @@
 //! * [`StoreError`] (`error.rs`) — the decoder's *reject, never misread* contract:
 //!   truncation, checksum mismatches, unknown versions, and structurally impossible
 //!   payloads all fail loudly.
+//! * [`Envelope`] (`envelope.rs`) — one epoch-tagged, sequence-numbered
+//!   coordinator↔member message in the same container format; the unit every
+//!   `cv-fleet` transport backend sends and receives, with `(from, epoch, seq)`
+//!   as the idempotence key for duplicate and retransmit suppression.
 //! * The wire layer (`wire.rs`) — little-endian primitives, flat columns, CRC-32,
-//!   and the sectioned container shared by snapshots and deltas.
+//!   and the sectioned container shared by snapshots, deltas, and envelopes.
 //!
 //! Shard keying reuses [`cv_inference::ShardRouter`] — the *same* routing the live
 //! `ShardedInvariantStore` and the manager plane use — and re-validates it on both
@@ -42,9 +46,15 @@
 
 mod codec;
 mod delta;
+mod envelope;
 mod error;
 mod snapshot;
 mod wire;
+
+pub use envelope::{
+    Envelope, EnvelopePayload, ENVELOPE_MAGIC, ENVELOPE_VERSION, SECTION_ENVELOPE_HEADER,
+    SECTION_ENVELOPE_PAYLOAD,
+};
 
 pub use delta::{
     DeltaBuilder, DeltaSnapshot, ShardDelta, DELTA_MAGIC, SECTION_DELTA_META, SECTION_PROCS_ADDED,

@@ -1,0 +1,230 @@
+//! Envelope codec hardening: the transport decoder must *reject, never
+//! misread* — every truncation prefix, every flipped payload byte, wrong
+//! magic, and wrong version fail with a typed [`StoreError`], never a panic
+//! and never a silently wrong envelope. Plus the golden-fixture gate: a
+//! version-1 envelope committed to the repo decodes to exactly the known
+//! message on every run, so an accidental wire-format change fails CI before
+//! it can strand a mixed-version fleet mid-rollout.
+//!
+//! To regenerate after an *intentional* format bump (which must also bump
+//! `ENVELOPE_VERSION`):
+//!
+//! ```text
+//! cargo test -p cv-store --test envelope_corruption regenerate_golden_envelope -- --ignored
+//! ```
+
+use cv_core::{Directive, PatchPlan};
+use cv_inference::{Invariant, InvariantDatabase, Variable};
+use cv_isa::{MemRef, Operand, Reg};
+use cv_patch::{CheckPatch, RepairPatch, RepairStrategy};
+use cv_store::{Envelope, EnvelopePayload, StoreError};
+use std::sync::Arc;
+
+const FIXTURE: &[u8] = include_bytes!("golden_envelope_v1.bin");
+
+/// The exact envelope the committed fixture encodes: an invariant upload —
+/// the richest payload kind — exercising every invariant shape, every operand
+/// shape, learning counters, and a procedure list.
+fn golden_envelope() -> Envelope {
+    let reg_var = Variable::read(0x4_0000, 0, Operand::Reg(Reg::Ebx));
+    let mem_var = Variable::read(
+        0x4_0010,
+        1,
+        Operand::Mem(MemRef::indexed(Reg::Ebp, Reg::Esi, 4, -12)),
+    );
+    let addr_var = Variable::computed_addr(0x4_0020, 0);
+    let sp_var = Variable::stack_pointer(0x4_0030);
+
+    let mut invariants = InvariantDatabase::new();
+    invariants.insert(Invariant::OneOf {
+        var: reg_var,
+        values: [0x4_1000u32, 0x4_2000, 0xFFFF_FFFF].into_iter().collect(),
+    });
+    invariants.insert(Invariant::LowerBound {
+        var: mem_var,
+        min: -7,
+    });
+    invariants.insert(Invariant::LessThan {
+        a: mem_var,
+        b: addr_var,
+    });
+    invariants.insert(Invariant::StackPointerOffset {
+        proc_entry: 0x4_0000,
+        at: 0x4_0040,
+        offset: -3,
+    });
+    invariants.insert(Invariant::OneOf {
+        var: sp_var,
+        values: [12u32].into_iter().collect(),
+    });
+    invariants.stats.events_processed = 123_456;
+    invariants.stats.runs_committed = 789;
+    invariants.recount();
+
+    Envelope {
+        from: 42,
+        to: u32::MAX,
+        epoch: 7,
+        seq: 1_000_001,
+        payload: EnvelopePayload::Upload {
+            invariants: Arc::new(invariants),
+            procs: Arc::new(vec![0x4_0000, 0x4_0100, 0x4_0200]),
+        },
+    }
+}
+
+/// One envelope of every payload kind, each with a non-trivial payload, so the
+/// corruption sweeps cover every decode path.
+fn representative_envelopes() -> Vec<Envelope> {
+    let var = Variable::read(0x4_0000, 0, Operand::Reg(Reg::Eax));
+    let inv = Invariant::LowerBound { var, min: 3 };
+    let mut plan = PatchPlan::new();
+    plan.push(
+        0x4_0000,
+        Directive::InstallChecks(vec![CheckPatch::new(inv.clone())]),
+    );
+    plan.push(
+        0x4_0010,
+        Directive::InstallRepair(RepairPatch {
+            invariant: inv,
+            strategy: RepairStrategy::SetValue { value: 9 },
+        }),
+    );
+    let mut db = InvariantDatabase::new();
+    db.insert(Invariant::OneOf {
+        var,
+        values: [1u32, 2, 3].into_iter().collect(),
+    });
+    db.recount();
+
+    let payloads = vec![
+        EnvelopePayload::Page(vec![10, 20, 30, 40]),
+        EnvelopePayload::Upload {
+            invariants: Arc::new(db),
+            procs: Arc::new(vec![0x4_0000]),
+        },
+        EnvelopePayload::PatchPush(Arc::new(plan)),
+        EnvelopePayload::Snapshot(Arc::new((0u8..64).collect())),
+        EnvelopePayload::Delta {
+            base_epoch: 3,
+            bytes: Arc::new((0u8..32).rev().collect()),
+        },
+        EnvelopePayload::Ack,
+    ];
+    payloads
+        .into_iter()
+        .enumerate()
+        .map(|(i, payload)| Envelope {
+            from: i as u32,
+            to: u32::MAX,
+            epoch: 11,
+            seq: 100 + i as u64,
+            payload,
+        })
+        .collect()
+}
+
+#[test]
+fn committed_golden_envelope_still_decodes() {
+    let decoded = Envelope::decode(FIXTURE).expect("the committed v1 fixture must decode");
+    assert_eq!(
+        decoded,
+        golden_envelope(),
+        "fixture decodes to the known envelope"
+    );
+    assert_eq!(
+        decoded.encode(),
+        FIXTURE,
+        "re-encoding the fixture is byte-identical (wire format unchanged)"
+    );
+}
+
+#[test]
+fn every_truncation_prefix_is_rejected() {
+    for env in representative_envelopes() {
+        let bytes = env.encode();
+        for len in 0..bytes.len() {
+            match Envelope::decode(&bytes[..len]) {
+                Err(_) => {}
+                Ok(_) => panic!(
+                    "decoding a {len}-byte prefix of a {}-byte envelope succeeded",
+                    bytes.len()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected_or_harmless() {
+    // The *reject, never misread* contract, stated exactly: a flipped byte
+    // either fails with a typed error or — in the rare structurally-neutral
+    // case, e.g. the table offset of a zero-length section — still decodes to
+    // the original envelope. A flip may never produce a *different* envelope.
+    for env in representative_envelopes() {
+        let bytes = env.encode();
+        let mut corrupt = bytes.clone();
+        for i in 0..bytes.len() {
+            for mask in [0x01u8, 0x80] {
+                corrupt[i] ^= mask;
+                if let Ok(decoded) = Envelope::decode(&corrupt) {
+                    assert_eq!(
+                        decoded, env,
+                        "flipping byte {i} (mask {mask:#04x}) decoded to a different envelope"
+                    );
+                }
+                corrupt[i] ^= mask;
+            }
+        }
+        assert_eq!(corrupt, bytes, "corruption sweep must restore the buffer");
+    }
+}
+
+#[test]
+fn payload_flips_fail_the_section_checksum() {
+    // The payload section is the tail of the container; its CRC must catch a
+    // flip there specifically (not just some earlier structural check).
+    let bytes = golden_envelope().encode();
+    let mut corrupt = bytes.clone();
+    let idx = bytes.len() - 8;
+    corrupt[idx] ^= 0x01;
+    assert!(matches!(
+        Envelope::decode(&corrupt),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn wrong_magic_and_version_are_rejected() {
+    let bytes = golden_envelope().encode();
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[..4].copy_from_slice(b"JUNK");
+    assert!(matches!(
+        Envelope::decode(&wrong_magic),
+        Err(StoreError::BadMagic { .. })
+    ));
+
+    // A *snapshot* magic on an envelope decoder must be rejected too: the two
+    // container families can never be confused for one another.
+    let mut snapshot_magic = bytes.clone();
+    snapshot_magic[..4].copy_from_slice(b"CVSS");
+    assert!(Envelope::decode(&snapshot_magic).is_err());
+
+    let mut wrong_version = bytes.clone();
+    wrong_version[4] = 99;
+    assert!(matches!(
+        Envelope::decode(&wrong_version),
+        Err(StoreError::UnsupportedVersion { found: 99, .. })
+    ));
+
+    assert!(Envelope::decode(&[]).is_err());
+    assert!(Envelope::decode(b"CV").is_err());
+}
+
+#[test]
+#[ignore = "writes the fixture; run only on an intentional format change"]
+fn regenerate_golden_envelope() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_envelope_v1.bin");
+    std::fs::write(path, golden_envelope().encode()).expect("write fixture");
+}
