@@ -27,6 +27,9 @@
 //!                    <= MAX. For lower-is-better resource metrics with a fixed
 //!                    budget instead of a baseline — the fleet-scale job holds
 //!                    `BENCH_fleet_sweep.json:bytes_per_member:1024` this way.
+//!   --caps-only      skip the baseline comparisons entirely and check only the
+//!                    `--cap` budgets — for records (like the chaos transport
+//!                    counters) that have caps but no gated throughput keys.
 //!
 //! The gate is also a *format* check: a gated metric missing from either copy,
 //! or appearing a different number of times (array shape drift), fails — the
@@ -45,28 +48,53 @@ const GATES: &[(&str, &str)] = &[
     ("BENCH_snapshot.json", "decode_mb_s"),
 ];
 
+/// What [`extract`] found for one key: the numeric occurrences in document
+/// order, plus a note for every occurrence that was deliberately skipped
+/// (JSON `null`, or a non-numeric value like the string `"NaN"`). Skips are
+/// *reported*, never silent — a sentinel value quietly vanishing from a gated
+/// comparison is exactly the kind of drift this bin exists to catch.
+#[derive(Debug, Default, PartialEq)]
+struct Extracted {
+    values: Vec<f64>,
+    notes: Vec<String>,
+}
+
 /// Extract every numeric value keyed by `key` from a (flat or nested) JSON text,
 /// in document order. This deliberately avoids a JSON dependency: the records
-/// are written by our own bins with `"key": number` shapes only.
-fn extract(json: &str, key: &str) -> Vec<f64> {
+/// are written by our own bins with `"key": number` shapes (plus the occasional
+/// explicit `null` sentinel, e.g. `manager_parallel_speedup` on a run with no
+/// parallel fan-out — those are skipped with a note, not treated as drift).
+fn extract(json: &str, key: &str) -> Extracted {
     let needle = format!("\"{key}\"");
-    let mut values = Vec::new();
+    let mut out = Extracted::default();
     let mut rest = json;
+    let mut occurrence = 0usize;
     while let Some(at) = rest.find(&needle) {
         rest = &rest[at + needle.len()..];
         let Some(after_colon) = rest.trim_start().strip_prefix(':') else {
             continue;
         };
-        let number = after_colon.trim_start();
-        let end = number
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
-            .unwrap_or(number.len());
-        if let Ok(value) = number[..end].parse::<f64>() {
-            values.push(value);
+        let value = after_colon.trim_start();
+        occurrence += 1;
+        if let Some(after_null) = value.strip_prefix("null") {
+            out.notes
+                .push(format!("{key} occurrence {occurrence} is null — skipped"));
+            rest = after_null;
+            continue;
         }
-        rest = number;
+        let end = value
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+            .unwrap_or(value.len());
+        match value[..end].parse::<f64>() {
+            Ok(number) => out.values.push(number),
+            Err(_) => out.notes.push(format!(
+                "{key} occurrence {occurrence} is not a JSON number (starts {:?}) — skipped",
+                value.chars().take(8).collect::<String>()
+            )),
+        }
+        rest = value;
     }
-    values
+    out
 }
 
 /// One gated comparison that failed.
@@ -177,6 +205,7 @@ fn run(
     tolerance: f64,
     only: Option<&str>,
     caps: &[(String, String, f64)],
+    caps_only: bool,
 ) -> Result<Vec<Violation>, String> {
     let mut violations = Vec::new();
     let mut current_file = "";
@@ -184,7 +213,7 @@ fn run(
     let mut fresh_text = String::new();
     let mut gated = 0usize;
     for (file, key) in GATES {
-        if only.is_some_and(|o| o != *file) {
+        if caps_only || only.is_some_and(|o| o != *file) {
             continue;
         }
         gated += 1;
@@ -197,10 +226,15 @@ fn run(
             println!("{file}:");
         }
         let metric = format!("{file}::{key}");
+        let baseline = extract(&baseline_text, key);
+        let fresh = extract(&fresh_text, key);
+        for note in baseline.notes.iter().chain(&fresh.notes) {
+            println!("  note: {note}");
+        }
         for line in gate_metric(
             &metric,
-            &extract(&baseline_text, key),
-            &extract(&fresh_text, key),
+            &baseline.values,
+            &fresh.values,
             tolerance,
             &mut violations,
         ) {
@@ -216,14 +250,19 @@ fn run(
             .map_err(|e| format!("cannot read fresh {fresh_dir}/{file}: {e}"))?;
         println!("{file} (caps):");
         let metric = format!("{file}::{key}");
-        for line in cap_metric(&metric, *cap, &extract(&fresh_text, key), &mut violations) {
+        let fresh = extract(&fresh_text, key);
+        for note in &fresh.notes {
+            println!("  note: {note}");
+        }
+        for line in cap_metric(&metric, *cap, &fresh.values, &mut violations) {
             println!("{line}");
         }
     }
     if gated == 0 {
-        return Err(match only {
-            Some(file) => format!("--only {file} matches no gated metric"),
-            None => "no gated metrics".to_string(),
+        return Err(match (caps_only, only) {
+            (true, _) => "--caps-only requires at least one --cap".to_string(),
+            (_, Some(file)) => format!("--only {file} matches no gated metric"),
+            (_, None) => "no gated metrics".to_string(),
         });
     }
     Ok(violations)
@@ -235,6 +274,7 @@ fn main() -> ExitCode {
     let mut tolerance = 0.30f64;
     let mut only: Option<String> = None;
     let mut caps: Vec<(String, String, f64)> = Vec::new();
+    let mut caps_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -254,6 +294,7 @@ fn main() -> ExitCode {
                 );
             }
             "--only" => only = Some(value("--only")),
+            "--caps-only" => caps_only = true,
             "--cap" => {
                 let spec = value("--cap");
                 let mut parts = spec.splitn(3, ':');
@@ -278,7 +319,14 @@ fn main() -> ExitCode {
             None => String::new(),
         }
     );
-    match run(&baseline_dir, &fresh_dir, tolerance, only.as_deref(), &caps) {
+    match run(
+        &baseline_dir,
+        &fresh_dir,
+        tolerance,
+        only.as_deref(),
+        &caps,
+        caps_only,
+    ) {
         Err(message) => {
             eprintln!("bench_gate error: {message}");
             ExitCode::FAILURE
@@ -328,12 +376,55 @@ mod tests {
 
     #[test]
     fn extract_finds_every_occurrence_in_order() {
-        assert_eq!(extract(RECORD, "encode_mb_s"), vec![87.82, 65.98]);
-        assert_eq!(extract(RECORD, "events_per_second"), vec![11041893.6]);
-        assert_eq!(extract(RECORD, "negative"), vec![-3.5]);
-        assert!(extract(RECORD, "missing_key").is_empty());
+        assert_eq!(extract(RECORD, "encode_mb_s").values, vec![87.82, 65.98]);
+        assert_eq!(
+            extract(RECORD, "events_per_second").values,
+            vec![11041893.6]
+        );
+        assert_eq!(extract(RECORD, "negative").values, vec![-3.5]);
         // A key that prefixes another must not match it.
-        assert!(extract(RECORD, "encode_mb").is_empty());
+        assert!(extract(RECORD, "encode_mb").values.is_empty());
+    }
+
+    #[test]
+    fn extract_skips_null_with_a_note() {
+        let record = r#"{"manager_parallel_speedup": null, "pages_per_second": 100.0}"#;
+        let got = extract(record, "manager_parallel_speedup");
+        assert!(got.values.is_empty(), "null is not a numeric occurrence");
+        assert_eq!(got.notes.len(), 1, "…but it is noted, never silent");
+        assert!(got.notes[0].contains("null"), "{:?}", got.notes);
+        // A null occurrence does not hide later numeric ones.
+        let record = r#"{"speedup": null, "speedup": 2.5}"#;
+        let got = extract(record, "speedup");
+        assert_eq!(got.values, vec![2.5]);
+        assert_eq!(got.notes.len(), 1);
+    }
+
+    #[test]
+    fn extract_reports_missing_key_as_empty_without_notes() {
+        let got = extract(RECORD, "missing_key");
+        assert!(got.values.is_empty());
+        assert!(
+            got.notes.is_empty(),
+            "a key that never appears is a shape question for the gate, not a skip"
+        );
+        // …and gate_metric turns that emptiness into a Shape violation.
+        let mut violations = Vec::new();
+        gate_metric("f::missing_key", &got.values, &[1.0], 0.30, &mut violations);
+        assert!(matches!(&violations[0], Violation::Shape { .. }));
+    }
+
+    #[test]
+    fn extract_skips_nan_string_with_a_note() {
+        let record = r#"{"rate": "NaN", "rate": 5.0}"#;
+        let got = extract(record, "rate");
+        assert_eq!(got.values, vec![5.0], "the string \"NaN\" is not a number");
+        assert_eq!(got.notes.len(), 1);
+        assert!(
+            got.notes[0].contains("not a JSON number"),
+            "{:?}",
+            got.notes
+        );
     }
 
     #[test]
@@ -379,11 +470,48 @@ mod tests {
         // Only the fleet record exists, so an unfiltered run fails on the
         // missing learning/snapshot files — but `--only BENCH_fleet.json` gates
         // cleanly against the one file that is there.
-        assert!(run(dir, dir, 0.05, None, &[]).is_err());
-        let violations = run(dir, dir, 0.05, Some("BENCH_fleet.json"), &[]).unwrap();
+        assert!(run(dir, dir, 0.05, None, &[], false).is_err());
+        let violations = run(dir, dir, 0.05, Some("BENCH_fleet.json"), &[], false).unwrap();
         assert!(violations.is_empty(), "identical records gate clean");
         // A filter that matches nothing is an error, not a silent pass.
-        assert!(run(dir, dir, 0.05, Some("BENCH_nope.json"), &[]).is_err());
+        assert!(run(dir, dir, 0.05, Some("BENCH_nope.json"), &[], false).is_err());
+    }
+
+    #[test]
+    fn caps_only_skips_baselines_entirely() {
+        let dir = std::env::temp_dir().join("bench_gate_caps_only_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Only a chaos record exists — no baseline files at all. --caps-only
+        // must gate its budgets without touching the GATES table.
+        std::fs::write(
+            dir.join("BENCH_fleet.json"),
+            "{\"bench\": \"fleet_scale_chaos\", \"retransmits\": 894, \"envelopes_dropped\": 114}\n",
+        )
+        .unwrap();
+        let dir = dir.to_str().unwrap();
+        let caps = vec![
+            (
+                "BENCH_fleet.json".to_string(),
+                "retransmits".to_string(),
+                2000.0,
+            ),
+            (
+                "BENCH_fleet.json".to_string(),
+                "envelopes_dropped".to_string(),
+                500.0,
+            ),
+        ];
+        let violations = run(dir, dir, 0.30, None, &caps, true).unwrap();
+        assert!(violations.is_empty());
+        // Over budget fails; --caps-only with no caps is an error, not a pass.
+        let tight = vec![(
+            "BENCH_fleet.json".to_string(),
+            "retransmits".to_string(),
+            100.0,
+        )];
+        let violations = run(dir, dir, 0.30, None, &tight, true).unwrap();
+        assert!(matches!(&violations[0], Violation::Cap { .. }));
+        assert!(run(dir, dir, 0.30, None, &[], true).is_err());
     }
 
     #[test]
@@ -424,9 +552,25 @@ mod tests {
         };
         // `--only` names a file with no pairwise gates, but the cap still counts
         // toward "something was gated" — a cap-only run is not an error.
-        let violations = run(dir, dir, 0.30, Some("BENCH_fleet_sweep.json"), &cap(1024.0)).unwrap();
+        let violations = run(
+            dir,
+            dir,
+            0.30,
+            Some("BENCH_fleet_sweep.json"),
+            &cap(1024.0),
+            false,
+        )
+        .unwrap();
         assert!(violations.is_empty());
-        let violations = run(dir, dir, 0.30, Some("BENCH_fleet_sweep.json"), &cap(600.0)).unwrap();
+        let violations = run(
+            dir,
+            dir,
+            0.30,
+            Some("BENCH_fleet_sweep.json"),
+            &cap(600.0),
+            false,
+        )
+        .unwrap();
         assert_eq!(violations.len(), 1);
         assert!(matches!(&violations[0], Violation::Cap { .. }));
     }

@@ -27,6 +27,12 @@
 //!   --workers N     worker threads for the parallel configurations (0 = one per core)
 //!   --nodes N       community size (default 256)
 //!   --epochs N      benign throughput epochs (default 4)
+//!   --rounds N      measurement rounds for the throughput scenario (default 1).
+//!                   With N > 1 each scheduler runs one untimed warmup round and
+//!                   then N timed rounds; the flat pages/sec keys in
+//!                   `BENCH_fleet.json` become medians, and a `"spread"` object
+//!                   records median/min/max/MAD/IQR plus the raw samples per
+//!                   metric — the shape `perf_gate` ingests.
 //!   --tree-fanout N merge and push patch plans through a hierarchical manager
 //!                   tree with fan-out N (0 = flat, the default)
 //!   --sweep LIST    scale sweep: for each comma-separated member count (e.g.
@@ -59,7 +65,8 @@ use cv_fleet::{
     TransportKind,
 };
 use cv_inference::{InvariantDatabase, LearnedModel, LearningFrontend};
-use cv_obs::{chrome_trace_json, Summary, TraceEvent};
+use cv_obs::{chrome_trace_json, FixedHistogram, Summary, TraceEvent};
+use cv_perf::MetricStats;
 use cv_runtime::{EnvConfig, ManagedExecutionEnvironment, MonitorConfig};
 use std::time::Instant;
 
@@ -77,6 +84,7 @@ struct Options {
     workers: usize,
     nodes: usize,
     epochs: usize,
+    rounds: usize,
     tree_fanout: usize,
     sweep: Option<Vec<usize>>,
     transport: String,
@@ -103,6 +111,7 @@ fn parse_options() -> Options {
         workers: 0,
         nodes: 256,
         epochs: 4,
+        rounds: 1,
         tree_fanout: 0,
         sweep: None,
         transport: "inprocess".into(),
@@ -123,6 +132,7 @@ fn parse_options() -> Options {
             "--workers" => opts.workers = number("--workers"),
             "--nodes" => opts.nodes = number("--nodes").max(16),
             "--epochs" => opts.epochs = number("--epochs").max(1),
+            "--rounds" => opts.rounds = number("--rounds").max(1),
             "--tree-fanout" => opts.tree_fanout = number("--tree-fanout"),
             "--transport" => {
                 opts.transport = args.next().expect("--transport requires a backend name")
@@ -609,8 +619,11 @@ fn run_sweep(points: &[usize], opts: &Options) {
             )
         })
         .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"fleet_scale_sweep\",\n  \"workers\": {},\n  \"tree_fanout\": {fanout},\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fleet_scale_sweep\",\n  \"workers\": {},\n  \"cores\": {cores},\n  \"rounds\": 1,\n  \"warmups\": 0,\n  \"tree_fanout\": {fanout},\n  \"points\": [\n{}\n  ]\n}}\n",
         opts.workers,
         point_json.join(",\n"),
     );
@@ -872,8 +885,11 @@ fn run_chaos(seed: u64, opts: &Options) {
         ],
     );
 
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"fleet_scale_chaos\",\n  \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"workers\": {},\n  \"partitioned_members\": {},\n  \"epochs_to_immunity\": {epochs_run},\n  \"envelopes_sent\": {},\n  \"envelopes_delivered\": {},\n  \"envelopes_dropped\": {},\n  \"envelopes_duplicated\": {},\n  \"retransmits\": {},\n  \"duplicates_suppressed\": {},\n  \"partition_drops\": {},\n  \"transport_desyncs\": {},\n  \"transport_resyncs\": {},\n  \"transport_delta_resyncs\": {}\n}}\n",
+        "{{\n  \"bench\": \"fleet_scale_chaos\",\n  \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"workers\": {},\n  \"cores\": {cores},\n  \"rounds\": 1,\n  \"warmups\": 0,\n  \"partitioned_members\": {},\n  \"epochs_to_immunity\": {epochs_run},\n  \"envelopes_sent\": {},\n  \"envelopes_delivered\": {},\n  \"envelopes_dropped\": {},\n  \"envelopes_duplicated\": {},\n  \"retransmits\": {},\n  \"duplicates_suppressed\": {},\n  \"partition_drops\": {},\n  \"transport_desyncs\": {},\n  \"transport_resyncs\": {},\n  \"transport_delta_resyncs\": {}\n}}\n",
         opts.workers,
         cut.len(),
         m.envelopes_sent,
@@ -971,9 +987,35 @@ fn main() {
         opts.nodes * 4
     );
 
-    let (seq_pages, seq_secs, seq_rate) = throughput(false, 1, &opts);
-    let (par_pages, par_secs, par_rate) = throughput(true, opts.workers, &opts);
-    assert_eq!(seq_pages, par_pages);
+    // Multi-round measurement: with --rounds N > 1 each scheduler gets one
+    // untimed warmup round, then N timed rounds. The headline numbers are
+    // medians (robust to a single noisy round); the raw samples and the
+    // span-style execution histograms feed the "spread" section of the record.
+    let warmups: usize = if opts.rounds > 1 { 1 } else { 0 };
+    for _ in 0..warmups {
+        throughput(false, 1, &opts);
+        throughput(true, opts.workers, &opts);
+    }
+    let mut seq_rates = Vec::with_capacity(opts.rounds);
+    let mut par_rates = Vec::with_capacity(opts.rounds);
+    let mut seq_hist = FixedHistogram::new();
+    let mut par_hist = FixedHistogram::new();
+    let mut seq_pages = 0u64;
+    for _ in 0..opts.rounds {
+        let (pages, secs, rate) = throughput(false, 1, &opts);
+        let (par_pages, par_secs, par_rate) = throughput(true, opts.workers, &opts);
+        assert_eq!(pages, par_pages);
+        seq_pages = pages;
+        seq_rates.push(rate);
+        par_rates.push(par_rate);
+        seq_hist.record(std::time::Duration::from_secs_f64(secs));
+        par_hist.record(std::time::Duration::from_secs_f64(par_secs));
+    }
+    let seq_stats = MetricStats::from_samples(&seq_rates);
+    let par_stats = MetricStats::from_samples(&par_rates);
+    let (seq_rate, par_rate) = (seq_stats.median, par_stats.median);
+    let seq_secs = seq_hist.total().as_secs_f64() / opts.rounds as f64;
+    let par_secs = par_hist.total().as_secs_f64() / opts.rounds as f64;
     let scheduling_speedup = par_rate / seq_rate;
 
     print_table(
@@ -989,7 +1031,7 @@ fn main() {
             ],
             vec![
                 format!("parallel ({worker_label})"),
-                par_pages.to_string(),
+                seq_pages.to_string(),
                 format!("{par_secs:.3}"),
                 format!("{par_rate:.0}"),
                 format!("{scheduling_speedup:.2}x"),
@@ -1204,10 +1246,22 @@ fn main() {
             Some(s) => format!("{s:.3}"),
             None => "null".to_string(),
         };
+        // Per-metric multi-round statistics in the canonical cv-perf shape:
+        // rate spreads carry their raw samples, execution-time spreads come
+        // from the log2-µs histograms (bounded memory at any round count).
+        let spread_json = format!(
+            ",\n  \"spread\": {{\n    \"pages_per_second_sequential\": {},\n    \"pages_per_second_parallel\": {},\n    \"execution_ms_sequential\": {},\n    \"execution_ms_parallel\": {}\n  }}",
+            seq_stats.to_json(),
+            par_stats.to_json(),
+            MetricStats::from_histogram(&seq_hist).to_json(),
+            MetricStats::from_histogram(&par_hist).to_json(),
+        );
         let json = format!(
-            "{{\n  \"bench\": \"fleet_scale\",\n  \"nodes\": {},\n  \"workers\": {},\n  \"cores\": {cores},\n  \"pages_per_second_sequential\": {seq_rate:.1},\n  \"pages_per_second_parallel\": {par_rate:.1},\n  \"scheduling_speedup\": {scheduling_speedup:.3},\n  \"merge_monolithic_seconds\": {mono:.4},\n  \"merge_sharded_parallel_seconds\": {sharded_par:.4},\n  \"manager_ms_per_epoch_sequential\": {:.4},\n  \"manager_ms_per_epoch_sharded\": {:.4},\n  \"manager_parallel_speedup\": {speedup_json},\n  \"manager_shards\": {MANAGER_SHARDS},\n  \"multi_failure_locations\": {},\n  \"immune_locations\": {},\n  \"time_to_immunity_epochs_max\": {max_immunity},\n  \"time_to_immunity_epochs\": {{ {} }}{churn_json}{metrics_json}\n}}\n",
+            "{{\n  \"bench\": \"fleet_scale\",\n  \"nodes\": {},\n  \"workers\": {},\n  \"cores\": {cores},\n  \"epochs\": {},\n  \"rounds\": {},\n  \"warmups\": {warmups},\n  \"pages_per_second_sequential\": {seq_rate:.1},\n  \"pages_per_second_parallel\": {par_rate:.1},\n  \"scheduling_speedup\": {scheduling_speedup:.3},\n  \"merge_monolithic_seconds\": {mono:.4},\n  \"merge_sharded_parallel_seconds\": {sharded_par:.4},\n  \"manager_ms_per_epoch_sequential\": {:.4},\n  \"manager_ms_per_epoch_sharded\": {:.4},\n  \"manager_parallel_speedup\": {speedup_json},\n  \"manager_shards\": {MANAGER_SHARDS},\n  \"multi_failure_locations\": {},\n  \"immune_locations\": {},\n  \"time_to_immunity_epochs_max\": {max_immunity},\n  \"time_to_immunity_epochs\": {{ {} }}{churn_json}{metrics_json}{spread_json}\n}}\n",
             opts.nodes,
             opts.workers,
+            opts.epochs,
+            opts.rounds,
             seq_run.manager_ms_per_epoch,
             par_run.manager_ms_per_epoch,
             MULTI_FAILURE_TARGETS.len(),

@@ -5,15 +5,20 @@
 //! ns/event, and a heap-allocation proxy for the tracing path, compared against the
 //! retained straightforward `ReferenceFrontend`.
 //!
-//! Run with: `cargo run --release -p cv-bench --bin learning_overhead [-- --json]`
+//! Run with: `cargo run --release -p cv-bench --bin learning_overhead [-- --json] [-- --rounds N]`
 //!
 //! `--json` also writes a `BENCH_learning.json` record (committed alongside
 //! `BENCH_fleet.json` so the perf trajectory is tracked over time).
+//! `--rounds N` replays the captured stream N times per front end (after one
+//! untimed warmup pass each); the flat `events_per_second` keys become medians
+//! and a `"spread"` object carries median/min/max/MAD/IQR plus raw samples —
+//! the shape `perf_gate` ingests.
 
 use cv_apps::{learning_suite, Browser};
 use cv_bench::print_table;
 use cv_inference::{InvariantDatabase, LearningFrontend, ReferenceFrontend};
 use cv_isa::Addr;
+use cv_perf::MetricStats;
 use cv_runtime::{
     CostModel, EnvConfig, ExecEvent, ExecutionStats, ManagedExecutionEnvironment, Tracer,
 };
@@ -194,7 +199,22 @@ fn live_pass(browser: &Browser, pages: &[Vec<u32>]) -> (f64, ExecutionStats) {
 const REPEAT: usize = 20;
 
 fn main() {
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let mut json = false;
+    let mut rounds = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| panic!("--rounds requires a numeric argument"))
+                    .max(1)
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
     let browser = Browser::build();
     let pages = learning_suite();
     let cost = CostModel::default();
@@ -221,27 +241,20 @@ fn main() {
     let (traced_wall, traced) = live_pass(&browser, &workload);
 
     // The front-end data plane in isolation: capture the event stream once, then
-    // replay it through each front end — two passes each (fresh state per pass),
-    // keeping the faster one; the first pass pays cold caches for everybody.
+    // replay it through each front end — one untimed warmup pass each (the first
+    // pass pays cold caches for everybody), then `rounds` timed passes whose
+    // events/sec samples feed the spread statistics. Medians, not fastest-of-N:
+    // one lucky round must not set the record.
+    let warmups = 1usize;
     let runs = capture(&browser, &workload);
-    let fast = {
-        let a = fast_replay(&browser, &runs);
-        let b = fast_replay(&browser, &runs);
-        if a.seconds <= b.seconds {
-            a
-        } else {
-            b
-        }
-    };
-    let reference = {
-        let a = reference_replay(&browser, &runs);
-        let b = reference_replay(&browser, &runs);
-        if a.seconds <= b.seconds {
-            a
-        } else {
-            b
-        }
-    };
+    let _ = fast_replay(&browser, &runs);
+    let fast_passes: Vec<Pass> = (0..rounds).map(|_| fast_replay(&browser, &runs)).collect();
+    let _ = reference_replay(&browser, &runs);
+    let reference_passes: Vec<Pass> = (0..rounds)
+        .map(|_| reference_replay(&browser, &runs))
+        .collect();
+    let fast = fast_passes.last().expect("at least one round");
+    let reference = reference_passes.last().expect("at least one round");
     assert_eq!(
         fast.events, reference.events,
         "frontends must process identical events"
@@ -250,11 +263,26 @@ fn main() {
         fast.db, reference.db,
         "hot-path parity violated — benchmark is void"
     );
+    for pass in fast_passes.iter().chain(&reference_passes) {
+        assert_eq!(pass.events, fast.events, "replay must be deterministic");
+    }
 
-    let events_per_sec = fast.events as f64 / fast.seconds;
-    let ns_per_event = fast.seconds * 1e9 / fast.events as f64;
+    let fast_rates: Vec<f64> = fast_passes
+        .iter()
+        .map(|p| p.events as f64 / p.seconds)
+        .collect();
+    let reference_rates: Vec<f64> = reference_passes
+        .iter()
+        .map(|p| p.events as f64 / p.seconds)
+        .collect();
+    let fast_stats = MetricStats::from_samples(&fast_rates);
+    let reference_stats = MetricStats::from_samples(&reference_rates);
+    let events_per_sec = fast_stats.median;
+    let ns_per_event = 1e9 / events_per_sec;
+    let frontend_seconds = fast.events as f64 / events_per_sec;
     let allocs_per_event = fast.allocs as f64 / fast.events as f64;
-    let ref_events_per_sec = reference.events as f64 / reference.seconds;
+    let ref_events_per_sec = reference_stats.median;
+    let reference_seconds = reference.events as f64 / ref_events_per_sec;
     let speedup = events_per_sec / ref_events_per_sec;
 
     let sim_ratio = cost.cost(&traced) / cost.cost(&untraced);
@@ -304,7 +332,7 @@ fn main() {
             vec![
                 "reference (HashMap<Variable, _>)".into(),
                 format!("{ref_events_per_sec:.0}"),
-                format!("{:.1}", reference.seconds * 1e9 / reference.events as f64),
+                format!("{:.1}", 1e9 / ref_events_per_sec),
                 format!("{:.4}", reference.allocs as f64 / reference.events as f64),
                 "1.00x".into(),
             ],
@@ -332,14 +360,17 @@ fn main() {
     );
 
     if json {
+        let spread_json = format!(
+            "{{\n    \"events_per_second\": {},\n    \"reference_events_per_second\": {}\n  }}",
+            fast_stats.to_json(),
+            reference_stats.to_json(),
+        );
         let record = format!(
-            "{{\n  \"bench\": \"learning_overhead\",\n  \"cores\": {cores},\n  \"pages\": {},\n  \"events\": {},\n  \"invariants\": {},\n  \"frontend_seconds\": {:.4},\n  \"events_per_second\": {events_per_sec:.1},\n  \"ns_per_event\": {ns_per_event:.1},\n  \"allocations\": {},\n  \"allocations_per_event\": {allocs_per_event:.5},\n  \"reference_seconds\": {:.4},\n  \"reference_events_per_second\": {ref_events_per_sec:.1},\n  \"reference_allocations_per_event\": {:.5},\n  \"speedup_vs_reference\": {speedup:.2},\n  \"untraced_seconds\": {untraced_wall:.4},\n  \"traced_seconds\": {traced_wall:.4},\n  \"slowdown_vs_untraced\": {wall_ratio:.1}\n}}\n",
+            "{{\n  \"bench\": \"learning_overhead\",\n  \"cores\": {cores},\n  \"rounds\": {rounds},\n  \"warmups\": {warmups},\n  \"pages\": {},\n  \"events\": {},\n  \"invariants\": {},\n  \"frontend_seconds\": {frontend_seconds:.4},\n  \"events_per_second\": {events_per_sec:.1},\n  \"ns_per_event\": {ns_per_event:.1},\n  \"allocations\": {},\n  \"allocations_per_event\": {allocs_per_event:.5},\n  \"reference_seconds\": {reference_seconds:.4},\n  \"reference_events_per_second\": {ref_events_per_sec:.1},\n  \"reference_allocations_per_event\": {:.5},\n  \"speedup_vs_reference\": {speedup:.2},\n  \"untraced_seconds\": {untraced_wall:.4},\n  \"traced_seconds\": {traced_wall:.4},\n  \"slowdown_vs_untraced\": {wall_ratio:.1},\n  \"spread\": {spread_json}\n}}\n",
             workload.len(),
             fast.events,
             fast.db.len(),
-            fast.seconds,
             fast.allocs,
-            reference.seconds,
             reference.allocs as f64 / reference.events as f64,
         );
         std::fs::write("BENCH_learning.json", &record).expect("write BENCH_learning.json");

@@ -1,0 +1,450 @@
+//! Changepoint gate over the perf history: the verdict layer of the cv-perf
+//! performance version system.
+//!
+//! Where `bench_gate` compares one fresh record against one committed baseline
+//! at a fixed tolerance, `perf_gate` judges the fresh **multi-round medians**
+//! (the `"spread"` sections the bench bins write with `--rounds N`) against the
+//! trailing window of comparable records in the append-only
+//! `perf/history.jsonl`:
+//!
+//! - **changepoint**: fresh median outside `k · noise` of the window median,
+//!   where noise is the scaled MAD of the window medians (floored by the
+//!   within-record spreads and a small fraction of the center) — so a real 15%
+//!   step fails while a noisy-but-flat series passes;
+//! - **drift**: the last few medians plus the fresh one strictly monotone in
+//!   the bad direction with more than `drift_frac` total loss — catching slow
+//!   regressions that stay inside the band at every single step.
+//!
+//! Records are only compared when bench, flags signature, and core count all
+//! match; mismatched history entries are skipped with a warning, never
+//! false-alarmed (a 4-core runner must not page anyone about 1-core numbers).
+//!
+//! Run with:
+//!   `cargo run --release -p cv-bench --bin perf_gate -- [OPTIONS]`
+//!
+//! Options:
+//!   --history PATH    history file (default `perf/history.jsonl`)
+//!   --bench-dir DIR   directory holding the fresh `BENCH_*.json` (default `.`)
+//!   --append          append the fresh records to the history after a clean
+//!                     gate (never after a failure: a regressed run must not
+//!                     quietly become the new normal)
+//!   --commit HASH     commit to stamp into appended records (default:
+//!                     `git rev-parse --short HEAD`, else `"unknown"`)
+//!   --explain         print the full per-key verdict table: the history
+//!                     window (commit → median), window median, noise band,
+//!                     fresh median, and which rule decided
+//!   --k F             changepoint band half-width in noise units (default 4)
+//!   --window N        trailing window size (default 8)
+//!   --min-history N   comparable records required before verdicts fire
+//!                     (default 3; below it the gate passes with a note)
+
+use cv_perf::{
+    evaluate_key, json, Direction, GateConfig, History, KeyVerdict, MetricStats, Outcome,
+    PerfRecord,
+};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// The gated spread keys per bench file. All higher-is-better throughputs —
+/// the same rationale as `bench_gate`'s GATES table (wall-clock latency gating
+/// on shared runners is a flake machine), but over multi-round medians.
+const GATED: &[(&str, &str, &[&str])] = &[
+    (
+        "BENCH_fleet.json",
+        "fleet_scale",
+        &["pages_per_second_sequential", "pages_per_second_parallel"],
+    ),
+    (
+        "BENCH_learning.json",
+        "learning_overhead",
+        &["events_per_second"],
+    ),
+    (
+        "BENCH_snapshot.json",
+        "snapshot",
+        &[
+            "encode_mb_s_1k",
+            "decode_mb_s_1k",
+            "encode_mb_s_10k",
+            "decode_mb_s_10k",
+            "encode_mb_s_50k",
+            "decode_mb_s_50k",
+        ],
+    ),
+];
+
+/// Build the canonical flags signature for one bench record: the sorted
+/// `key=value` pairs of every configuration axis that makes runs
+/// incomparable. Flags capture *workload shape*; `cores` rides separately.
+fn flags_signature(bench: &str, value: &json::Value) -> Result<String, String> {
+    let int = |field: &str| {
+        value
+            .get(field)
+            .and_then(json::Value::as_f64)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("{bench}: record has no numeric {field:?}"))
+    };
+    match bench {
+        "fleet_scale" => Ok(format!(
+            "epochs={},nodes={},workers={}",
+            int("epochs")?,
+            int("nodes")?,
+            int("workers")?
+        )),
+        "learning_overhead" => Ok(format!("pages={}", int("pages")?)),
+        "snapshot" => Ok("sizes=1k,10k,50k".to_string()),
+        other => Err(format!("no flags signature rule for bench {other:?}")),
+    }
+}
+
+/// Convert one fresh `BENCH_*.json` (with a `"spread"` section) into a
+/// [`PerfRecord`] stamped with `commit`.
+fn record_from_bench(
+    text: &str,
+    file: &str,
+    bench: &str,
+    commit: &str,
+) -> Result<PerfRecord, String> {
+    let value = json::parse(text).map_err(|e| format!("{file}: {e}"))?;
+    let got_bench = value
+        .get("bench")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| format!("{file}: no \"bench\" field"))?;
+    if got_bench != bench {
+        return Err(format!(
+            "{file}: expected bench {bench:?}, found {got_bench:?} — was this file \
+             overwritten by a different mode (e.g. --chaos)?"
+        ));
+    }
+    let int = |field: &str| {
+        value
+            .get(field)
+            .and_then(json::Value::as_f64)
+            .map(|n| n as u32)
+            .ok_or_else(|| {
+                format!(
+                    "{file}: no numeric {field:?} — re-run the bench with --rounds \
+                     (old-format records cannot be gated)"
+                )
+            })
+    };
+    let spread = value
+        .get("spread")
+        .and_then(json::Value::as_obj)
+        .ok_or_else(|| {
+            format!(
+                "{file}: no \"spread\" object — re-run the bench with --rounds \
+                 (old-format records cannot be gated)"
+            )
+        })?;
+    let mut metrics = BTreeMap::new();
+    for (key, stats_value) in spread {
+        metrics.insert(key.clone(), MetricStats::from_json(stats_value, key)?);
+    }
+    Ok(PerfRecord {
+        bench: bench.to_string(),
+        commit: commit.to_string(),
+        flags: flags_signature(bench, &value)?,
+        cores: int("cores")?,
+        rounds: int("rounds")?,
+        warmups: int("warmups")?,
+        metrics,
+    })
+}
+
+/// Gate every fresh record's gated keys against the history. Returns all
+/// verdicts in table order.
+fn gate(history: &History, fresh: &[(&str, PerfRecord)], config: &GateConfig) -> Vec<KeyVerdict> {
+    let mut verdicts = Vec::new();
+    for (file, record) in fresh {
+        let keys = GATED
+            .iter()
+            .find(|(f, _, _)| f == file)
+            .map(|(_, _, keys)| *keys)
+            .unwrap_or(&[]);
+        for key in keys {
+            verdicts.push(evaluate_key(
+                history,
+                record,
+                key,
+                Direction::HigherIsBetter,
+                config,
+            ));
+        }
+    }
+    verdicts
+}
+
+/// Render one verdict as the `--explain` block: what the gate saw and why it
+/// decided what it decided.
+fn explain(verdict: &KeyVerdict) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} :: {} [{}]\n",
+        verdict.bench,
+        verdict.key,
+        verdict.rule()
+    ));
+    for (commit, median) in &verdict.history {
+        out.push_str(&format!("    history {commit:>10}  {median:14.1}\n"));
+    }
+    if verdict.skipped_mismatched > 0 {
+        out.push_str(&format!(
+            "    ({} history record(s) skipped: different flags/cores)\n",
+            verdict.skipped_mismatched
+        ));
+    }
+    if let (Some(center), Some(noise)) = (verdict.window_median, verdict.noise) {
+        out.push_str(&format!(
+            "    window median {center:14.1}   noise {noise:10.1}\n"
+        ));
+    }
+    if let Some(fresh) = verdict.fresh_median {
+        out.push_str(&format!("    fresh  median {fresh:14.1}\n"));
+    }
+    match &verdict.outcome {
+        Outcome::Changepoint { limit } => out.push_str(&format!(
+            "    CHANGEPOINT: fresh median crossed the limit {limit:.1}\n"
+        )),
+        Outcome::Drift { total_frac, steps } => out.push_str(&format!(
+            "    DRIFT: {steps} consecutive worsening steps, {:.1}% total\n",
+            total_frac * 100.0
+        )),
+        Outcome::NoHistory => {
+            out.push_str("    no comparable history yet — pass (seeding)\n");
+        }
+        Outcome::ShortHistory { have } => out.push_str(&format!(
+            "    only {have} comparable record(s) — pass until min-history reached\n"
+        )),
+        Outcome::MissingMetric => {
+            out.push_str("    MISSING: gated key absent from the fresh spread\n");
+        }
+        Outcome::Pass => {}
+    }
+    out
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a repo.
+fn head_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() -> ExitCode {
+    let mut history_path = "perf/history.jsonl".to_string();
+    let mut bench_dir = ".".to_string();
+    let mut append = false;
+    let mut commit: Option<String> = None;
+    let mut explain_verdicts = false;
+    let mut config = GateConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires an argument"))
+        };
+        match arg.as_str() {
+            "--history" => history_path = value("--history"),
+            "--bench-dir" => bench_dir = value("--bench-dir"),
+            "--append" => append = true,
+            "--commit" => commit = Some(value("--commit")),
+            "--explain" => explain_verdicts = true,
+            "--k" => config.k = value("--k").parse().expect("--k requires a number"),
+            "--window" => {
+                config.window = value("--window")
+                    .parse()
+                    .expect("--window requires a count")
+            }
+            "--min-history" => {
+                config.min_history = value("--min-history")
+                    .parse()
+                    .expect("--min-history requires a count")
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+    let commit = commit.unwrap_or_else(head_commit);
+
+    let history = match History::load(std::path::Path::new(&history_path)) {
+        Ok(history) => history,
+        Err(error) => {
+            eprintln!("perf_gate error: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "perf_gate: history '{history_path}' ({} record(s)), bench dir '{bench_dir}', commit {commit}",
+        history.records.len()
+    );
+
+    let mut fresh: Vec<(&str, PerfRecord)> = Vec::new();
+    for (file, bench, _) in GATED {
+        let path = format!("{bench_dir}/{file}");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("perf_gate error: cannot read {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match record_from_bench(&text, file, bench, &commit) {
+            Ok(record) => fresh.push((file, record)),
+            Err(error) => {
+                eprintln!("perf_gate error: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let verdicts = gate(&history, &fresh, &config);
+    let mut failures = 0usize;
+    for verdict in &verdicts {
+        if explain_verdicts {
+            println!("{}", explain(verdict));
+        } else {
+            println!(
+                "  {} {} :: {} [{}] (fresh {})",
+                if verdict.is_failure() { "FAIL" } else { "ok  " },
+                verdict.bench,
+                verdict.key,
+                verdict.rule(),
+                verdict
+                    .fresh_median
+                    .map(|m| format!("{m:.1}"))
+                    .unwrap_or_else(|| "absent".to_string()),
+            );
+        }
+        if verdict.is_failure() {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "perf_gate: {failures} verdict(s) failed — fresh medians shifted against \
+             the trailing history window{}",
+            if append {
+                " (records NOT appended)"
+            } else {
+                ""
+            }
+        );
+        return ExitCode::FAILURE;
+    }
+    if append {
+        let records: Vec<PerfRecord> = fresh.iter().map(|(_, r)| r.clone()).collect();
+        if let Err(error) = History::append(std::path::Path::new(&history_path), &records) {
+            eprintln!("perf_gate error: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf_gate: appended {} record(s) for commit {commit} to {history_path}",
+            records.len()
+        );
+    }
+    println!("perf_gate: all gated keys within the history band");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal fleet record with a spread section, as `fleet_scale --json
+    /// --rounds 3` writes it.
+    fn fleet_bench_json(rate: f64) -> String {
+        let stats = MetricStats::from_samples(&[rate * 0.99, rate, rate * 1.01]);
+        format!(
+            "{{\n  \"bench\": \"fleet_scale\",\n  \"nodes\": 64,\n  \"workers\": 2,\n  \"cores\": 1,\n  \"epochs\": 2,\n  \"rounds\": 3,\n  \"warmups\": 1,\n  \"spread\": {{\n    \"pages_per_second_sequential\": {},\n    \"pages_per_second_parallel\": {}\n  }}\n}}\n",
+            stats.to_json(),
+            stats.to_json()
+        )
+    }
+
+    #[test]
+    fn bench_record_conversion_builds_the_flags_signature() {
+        let record = record_from_bench(
+            &fleet_bench_json(1000.0),
+            "BENCH_fleet.json",
+            "fleet_scale",
+            "abc",
+        )
+        .unwrap();
+        assert_eq!(record.flags, "epochs=2,nodes=64,workers=2");
+        assert_eq!(record.cores, 1);
+        assert_eq!(record.rounds, 3);
+        assert_eq!(record.warmups, 1);
+        assert_eq!(record.commit, "abc");
+        assert_eq!(record.metrics["pages_per_second_sequential"].median, 1000.0);
+    }
+
+    #[test]
+    fn old_format_records_are_rejected_with_guidance() {
+        let no_spread = "{\"bench\": \"fleet_scale\", \"nodes\": 64, \"workers\": 2, \"cores\": 1, \"epochs\": 2, \"rounds\": 3, \"warmups\": 1}";
+        let err =
+            record_from_bench(no_spread, "BENCH_fleet.json", "fleet_scale", "abc").unwrap_err();
+        assert!(err.contains("--rounds"), "{err}");
+        // A chaos record left behind in the same file is named, not misread.
+        let chaos = "{\"bench\": \"fleet_scale_chaos\", \"cores\": 1}";
+        let err = record_from_bench(chaos, "BENCH_fleet.json", "fleet_scale", "abc").unwrap_err();
+        assert!(err.contains("fleet_scale_chaos"), "{err}");
+    }
+
+    #[test]
+    fn gate_catches_a_step_against_real_bench_files() {
+        // Build a history of 5 flat records, then gate a 15%-down fresh file.
+        let mut records = Vec::new();
+        for k in 0..5 {
+            let mut record = record_from_bench(
+                &fleet_bench_json(1000.0 + k as f64),
+                "BENCH_fleet.json",
+                "fleet_scale",
+                &format!("c{k}"),
+            )
+            .unwrap();
+            record.commit = format!("c{k}");
+            records.push(record);
+        }
+        let history = History { records };
+        let fresh = record_from_bench(
+            &fleet_bench_json(850.0),
+            "BENCH_fleet.json",
+            "fleet_scale",
+            "fresh",
+        )
+        .unwrap();
+        let verdicts = gate(
+            &history,
+            &[("BENCH_fleet.json", fresh)],
+            &GateConfig::default(),
+        );
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|v| v.is_failure()), "{verdicts:?}");
+        // The explain table names the rule and the window.
+        let text = explain(&verdicts[0]);
+        assert!(text.contains("CHANGEPOINT"), "{text}");
+        assert!(text.contains("history"), "{text}");
+
+        // An unchanged fresh file passes the same window.
+        let fresh = record_from_bench(
+            &fleet_bench_json(1002.0),
+            "BENCH_fleet.json",
+            "fleet_scale",
+            "fresh",
+        )
+        .unwrap();
+        let verdicts = gate(
+            &history,
+            &[("BENCH_fleet.json", fresh)],
+            &GateConfig::default(),
+        );
+        assert!(verdicts.iter().all(|v| !v.is_failure()), "{verdicts:?}");
+    }
+}

@@ -5,10 +5,15 @@
 //! delta-cut comparison: the O(database) materialized diff vs. the O(changed)
 //! incremental cut from the dirty-epoch plane.
 //!
-//! Run with: `cargo run --release -p cv-bench --bin snapshot_bench [-- --json]`
+//! Run with: `cargo run --release -p cv-bench --bin snapshot_bench [-- --json] [-- --rounds N]`
 //!
 //! Options:
-//!   --json   also write a `BENCH_snapshot.json` record
+//!   --json      also write a `BENCH_snapshot.json` record
+//!   --rounds N  repeat each codec measurement N times (default 1; each round
+//!               still averages over the inner `CODEC_ROUNDS` iterations). The
+//!               flat `encode_mb_s`/`decode_mb_s` row values become medians and
+//!               the record gains a `"spread"` object with per-size
+//!               median/min/max/MAD/IQR stats — the shape `perf_gate` ingests.
 
 use cv_apps::{learning_suite, red_team_exploits, Browser};
 use cv_bench::print_table;
@@ -16,6 +21,7 @@ use cv_core::{ClearViewConfig, PatchPlan};
 use cv_fleet::{DeltaSnapshot, Fleet, FleetConfig, Presentation, ShardedInvariantStore, Snapshot};
 use cv_inference::{Invariant, InvariantDatabase, Variable};
 use cv_isa::{Operand, Reg};
+use cv_perf::MetricStats;
 use cv_store::DeltaBuilder;
 use std::time::Instant;
 
@@ -68,14 +74,17 @@ fn synthetic_db(target: usize) -> InvariantDatabase {
     db
 }
 
+/// Untimed warmup passes per codec direction.
+const CODEC_WARMUPS: u32 = 2;
+
 struct CodecRow {
     invariants: usize,
     bytes: usize,
-    encode_mb_s: f64,
-    decode_mb_s: f64,
+    encode: MetricStats,
+    decode: MetricStats,
 }
 
-fn codec_throughput(invariants: usize) -> CodecRow {
+fn codec_throughput(invariants: usize, rounds: usize) -> CodecRow {
     let snap = Snapshot {
         epoch: 1,
         shard_count: 8,
@@ -85,32 +94,40 @@ fn codec_throughput(invariants: usize) -> CodecRow {
     };
     let bytes = snap.encode();
 
-    // Two untimed warmup rounds per direction: allocator and cache state
+    // Untimed warmup rounds per direction: allocator and cache state
     // otherwise dominate the smallest row and make the CI bench gate flaky
     // (same reasoning as fleet_scale's merge warmups).
-    for _ in 0..2 {
+    for _ in 0..CODEC_WARMUPS {
         std::hint::black_box(snap.encode());
         std::hint::black_box(Snapshot::decode(&bytes).expect("decodes"));
     }
 
-    let start = Instant::now();
-    for _ in 0..CODEC_ROUNDS {
-        std::hint::black_box(snap.encode());
-    }
-    let encode_secs = start.elapsed().as_secs_f64() / CODEC_ROUNDS as f64;
-
-    let start = Instant::now();
-    for _ in 0..CODEC_ROUNDS {
-        std::hint::black_box(Snapshot::decode(&bytes).expect("decodes"));
-    }
-    let decode_secs = start.elapsed().as_secs_f64() / CODEC_ROUNDS as f64;
-
+    // One MB/s sample per round, each averaged over the CODEC_ROUNDS inner
+    // iterations; the spread across rounds is what perf_gate reasons about.
     let mb = bytes.len() as f64 / (1024.0 * 1024.0);
+    let mut encode_samples = Vec::with_capacity(rounds);
+    let mut decode_samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..CODEC_ROUNDS {
+            std::hint::black_box(snap.encode());
+        }
+        let encode_secs = start.elapsed().as_secs_f64() / CODEC_ROUNDS as f64;
+        encode_samples.push(mb / encode_secs);
+
+        let start = Instant::now();
+        for _ in 0..CODEC_ROUNDS {
+            std::hint::black_box(Snapshot::decode(&bytes).expect("decodes"));
+        }
+        let decode_secs = start.elapsed().as_secs_f64() / CODEC_ROUNDS as f64;
+        decode_samples.push(mb / decode_secs);
+    }
+
     CodecRow {
         invariants: snap.invariants.len(),
         bytes: bytes.len(),
-        encode_mb_s: mb / encode_secs,
-        decode_mb_s: mb / decode_secs,
+        encode: MetricStats::from_samples(&encode_samples),
+        decode: MetricStats::from_samples(&decode_samples),
     }
 }
 
@@ -270,11 +287,26 @@ fn warm_start() -> WarmStartRun {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let mut json = false;
+    let mut rounds = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| panic!("--rounds requires a numeric argument"))
+                    .max(1)
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
 
     let rows: Vec<CodecRow> = [1_000usize, 10_000, 50_000]
         .into_iter()
-        .map(codec_throughput)
+        .map(|size| codec_throughput(size, rounds))
         .collect();
     print_table(
         &format!("Snapshot codec throughput ({CODEC_ROUNDS} rounds)"),
@@ -292,8 +324,8 @@ fn main() {
                     r.invariants.to_string(),
                     r.bytes.to_string(),
                     format!("{:.1}", r.bytes as f64 / r.invariants as f64),
-                    format!("{:.1}", r.encode_mb_s),
-                    format!("{:.1}", r.decode_mb_s),
+                    format!("{:.1}", r.encode.median),
+                    format!("{:.1}", r.decode.median),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -356,12 +388,32 @@ fn main() {
     );
 
     if json {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let codec_rows: Vec<String> = rows
             .iter()
             .map(|r| {
                 format!(
                     "{{ \"invariants\": {}, \"bytes\": {}, \"encode_mb_s\": {:.2}, \"decode_mb_s\": {:.2} }}",
-                    r.invariants, r.bytes, r.encode_mb_s, r.decode_mb_s
+                    r.invariants, r.bytes, r.encode.median, r.decode.median
+                )
+            })
+            .collect();
+        // Spread keys are unique per database size (the codec rows repeat the
+        // same key names row to row): encode_mb_s_1k … decode_mb_s_50k.
+        let spread_entries: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let suffix = match r.invariants {
+                    n if n < 10_000 => "1k",
+                    n if n < 50_000 => "10k",
+                    _ => "50k",
+                };
+                format!(
+                    "    \"encode_mb_s_{suffix}\": {},\n    \"decode_mb_s_{suffix}\": {}",
+                    r.encode.to_json(),
+                    r.decode.to_json()
                 )
             })
             .collect();
@@ -375,7 +427,7 @@ fn main() {
             })
             .collect();
         let out = format!(
-            "{{\n  \"bench\": \"snapshot\",\n  \"format_version\": {},\n  \"codec\": [\n    {}\n  ],\n  \"delta_cut\": [\n    {}\n  ],\n  \"cold_epochs_to_protected\": {},\n  \"warm_epochs_to_protected\": {},\n  \"snapshot_bytes\": {},\n  \"delta_bytes\": {},\n  \"delta_savings\": {:.2}\n}}\n",
+            "{{\n  \"bench\": \"snapshot\",\n  \"format_version\": {},\n  \"cores\": {cores},\n  \"rounds\": {rounds},\n  \"warmups\": {CODEC_WARMUPS},\n  \"codec\": [\n    {}\n  ],\n  \"delta_cut\": [\n    {}\n  ],\n  \"cold_epochs_to_protected\": {},\n  \"warm_epochs_to_protected\": {},\n  \"snapshot_bytes\": {},\n  \"delta_bytes\": {},\n  \"delta_savings\": {:.2},\n  \"spread\": {{\n{}\n  }}\n}}\n",
             cv_store::FORMAT_VERSION,
             codec_rows.join(",\n    "),
             delta_cut_rows.join(",\n    "),
@@ -384,6 +436,7 @@ fn main() {
             run.snapshot_bytes,
             run.delta_bytes,
             run.full_bytes as f64 / run.delta_bytes.max(1) as f64,
+            spread_entries.join(",\n"),
         );
         std::fs::write("BENCH_snapshot.json", &out).expect("write BENCH_snapshot.json");
         println!("\nwrote BENCH_snapshot.json:\n{out}");

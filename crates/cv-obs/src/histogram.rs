@@ -103,6 +103,16 @@ impl FixedHistogram {
         self.max()
     }
 
+    /// Lower bound of the smallest non-empty bucket — the tightest statement
+    /// the histogram can make about its minimum sample (exporters pair it
+    /// with the exact [`max`](FixedHistogram::max) to bracket the data).
+    pub fn min_bound(&self) -> Duration {
+        self.nonzero_buckets()
+            .next()
+            .map(|(lower, _)| lower)
+            .unwrap_or(Duration::ZERO)
+    }
+
     /// Iterate the non-empty buckets as `(lower bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (Duration, u64)> + '_ {
         self.buckets
@@ -162,5 +172,15 @@ mod tests {
         assert_eq!(h.quantile(0.5), Duration::ZERO);
         assert_eq!(h.mean(), Duration::ZERO);
         assert_eq!(h.nonzero_buckets().count(), 0);
+        assert_eq!(h.min_bound(), Duration::ZERO);
+    }
+
+    #[test]
+    fn min_bound_is_the_first_nonempty_bucket_floor() {
+        let mut h = FixedHistogram::new();
+        h.record(Duration::from_micros(3)); // bucket [2, 4) µs
+        h.record(Duration::from_micros(100));
+        assert_eq!(h.min_bound(), Duration::from_micros(2));
+        assert!(h.min_bound() <= Duration::from_micros(3));
     }
 }

@@ -1,0 +1,176 @@
+//! The append-only, in-repo performance history.
+//!
+//! `perf/history.jsonl` holds one [`PerfRecord`] per line, oldest first — the
+//! Perun idea of profiles as versioned artifacts attached to commit history,
+//! in its simplest durable form. The file is only ever *appended to*: the
+//! writer opens in append mode, and nothing in this module can rewrite or
+//! drop a line. Rewriting history would silently move the gate's baseline;
+//! an append-only log means every verdict is reconstructible later.
+
+use crate::record::PerfRecord;
+use std::io::Write;
+use std::path::Path;
+
+/// A loaded history: records in file order (oldest first).
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Every record, in append order.
+    pub records: Vec<PerfRecord>,
+}
+
+impl History {
+    /// Load a history file. A missing file is an empty history (the bootstrap
+    /// state of a fresh checkout); a *malformed line* is an error naming the
+    /// line number — a corrupt history must never be silently truncated.
+    pub fn load(path: &Path) -> Result<History, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(History::default()),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let mut records = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = PerfRecord::parse(line)
+                .map_err(|e| format!("{}:{}: {e}", path.display(), index + 1))?;
+            records.push(record);
+        }
+        Ok(History { records })
+    }
+
+    /// Append records to the history file (creating it and its parent
+    /// directory if needed). Append is the **only** write primitive: the file
+    /// is opened `O_APPEND`, never truncated.
+    pub fn append(path: &Path, records: &[PerfRecord]) -> Result<(), String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open {} for append: {e}", path.display()))?;
+        for record in records {
+            writeln!(file, "{}", record.to_json_line())
+                .map_err(|e| format!("cannot append to {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+
+    /// The trailing window for gating `fresh`: the last `window` records of
+    /// the same bench that are configuration-comparable with `fresh`
+    /// ([`PerfRecord::comparable_with`]), oldest first, plus how many
+    /// same-bench records were *skipped* as config-mismatched — the caller
+    /// surfaces that as a warning, not an alarm.
+    pub fn window_for<'a>(
+        &'a self,
+        fresh: &PerfRecord,
+        window: usize,
+    ) -> (Vec<&'a PerfRecord>, usize) {
+        let mut matching = Vec::new();
+        let mut skipped = 0usize;
+        for record in &self.records {
+            if record.bench != fresh.bench {
+                continue;
+            }
+            if record.comparable_with(fresh) {
+                matching.push(record);
+            } else {
+                skipped += 1;
+            }
+        }
+        let start = matching.len().saturating_sub(window);
+        (matching.split_off(start), skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MetricStats;
+    use std::collections::BTreeMap;
+
+    fn record(bench: &str, commit: &str, cores: u32, median: f64) -> PerfRecord {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("m".to_string(), MetricStats::from_samples(&[median]));
+        PerfRecord {
+            bench: bench.to_string(),
+            commit: commit.to_string(),
+            flags: "nodes=64".to_string(),
+            cores,
+            rounds: 1,
+            warmups: 0,
+            metrics,
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cv_perf_history_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn append_then_load_round_trips_in_order() {
+        let path = temp_path("round_trip.jsonl");
+        History::append(&path, &[record("a", "c1", 1, 100.0)]).unwrap();
+        History::append(
+            &path,
+            &[record("a", "c2", 1, 101.0), record("b", "c2", 1, 7.0)],
+        )
+        .unwrap();
+        let history = History::load(&path).unwrap();
+        assert_eq!(history.records.len(), 3);
+        assert_eq!(history.records[0].commit, "c1");
+        assert_eq!(history.records[1].commit, "c2");
+        assert_eq!(history.records[2].bench, "b");
+        // Appending again grows the file — never rewrites it.
+        let before = std::fs::read_to_string(&path).unwrap();
+        History::append(&path, &[record("a", "c3", 1, 99.0)]).unwrap();
+        let after = std::fs::read_to_string(&path).unwrap();
+        assert!(after.starts_with(&before), "append-only: old bytes intact");
+    }
+
+    #[test]
+    fn missing_file_is_empty_history_but_corrupt_line_is_an_error() {
+        let path = temp_path("missing.jsonl");
+        assert!(History::load(&path).unwrap().records.is_empty());
+        std::fs::write(&path, "{\"schema\":1}\n").unwrap();
+        let err = History::load(&path).unwrap_err();
+        assert!(err.contains(":1:"), "error names the line: {err}");
+    }
+
+    #[test]
+    fn window_matches_config_and_counts_skips() {
+        let path = temp_path("window.jsonl");
+        let records: Vec<PerfRecord> = (0..10)
+            .map(|i| {
+                record(
+                    "a",
+                    &format!("c{i}"),
+                    if i == 4 { 8 } else { 1 },
+                    100.0 + i as f64,
+                )
+            })
+            .collect();
+        History::append(&path, &records).unwrap();
+        History::append(&path, &[record("other", "cx", 1, 5.0)]).unwrap();
+        let history = History::load(&path).unwrap();
+        let fresh = record("a", "fresh", 1, 100.0);
+        let (window, skipped) = history.window_for(&fresh, 4);
+        assert_eq!(skipped, 1, "the 8-core record is skipped, not compared");
+        let commits: Vec<&str> = window.iter().map(|r| r.commit.as_str()).collect();
+        assert_eq!(
+            commits,
+            vec!["c6", "c7", "c8", "c9"],
+            "last 4, oldest first"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # cv-perf — the performance version system
+//!
+//! ClearView's deployability argument is quantitative (monitoring overhead,
+//! time-to-immunity, wire cost), so this repo treats performance numbers the
+//! way Perun treats profiles: as **versioned artifacts attached to commit
+//! history**, not console output that scrolls away. The plane has three
+//! layers:
+//!
+//! - **Stats core** ([`stats`]): every bench metric is measured over N rounds
+//!   and summarized as median + min/max + MAD/IQR ([`MetricStats`]) — robust
+//!   statistics only, because one noisy round must not move the record.
+//!   [`MetricStats::from_histogram`] bridges `cv-obs` span histograms into the
+//!   same shape.
+//! - **History** ([`record`], [`history`]): one schema-versioned [`PerfRecord`]
+//!   per commit per bench, serialized as canonical single-line JSON
+//!   (encode→decode→re-encode is byte-identical) into the append-only
+//!   `perf/history.jsonl`. Records carry the capture configuration (flags,
+//!   cores, rounds, warmups) so incomparable runs are never compared.
+//! - **Verdict engine** ([`gate`]): the fresh median is judged against the
+//!   trailing window of comparable records — a `k·MAD` changepoint band plus
+//!   a monotone-drift rule — replacing the one-shot 30% threshold that let
+//!   slow regressions compound and real 15% ones pass.
+//!
+//! The `perf_gate` binary in `cv-bench` drives all three from the
+//! `BENCH_*.json` records the bench bins write.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod history;
+pub mod json;
+pub mod record;
+pub mod stats;
+
+pub use gate::{evaluate_key, Direction, GateConfig, KeyVerdict, Outcome};
+pub use history::History;
+pub use record::{PerfRecord, SCHEMA_VERSION};
+pub use stats::{iqr, mad, median, MetricStats, MAD_SCALE};

@@ -1,0 +1,182 @@
+//! Robust multi-round statistics.
+//!
+//! Every benchmark metric is measured as a *set of rounds*, not a single
+//! sample: the summary the rest of the plane works with is the median plus two
+//! robust spread measures — MAD (median absolute deviation) and IQR
+//! (interquartile range). Means and standard deviations are deliberately
+//! absent: one GC pause, page-cache miss, or CI-runner noise burst in a
+//! 5-round set would poison a mean, while the median and MAD ignore it. (This
+//! is the SOPOT-review lesson: benchmarking with no repetitions and no error
+//! bars eventually lies to you.)
+
+use cv_obs::FixedHistogram;
+
+/// Consistency constant turning a MAD into a standard-deviation-comparable
+/// scale for normally distributed noise (`σ ≈ 1.4826 · MAD`). The gate's
+/// `k·MAD` bands use the scaled value so `k` has its familiar "sigmas" feel.
+pub const MAD_SCALE: f64 = 1.4826;
+
+/// Exact nearest-rank quantile of an **already sorted** slice.
+fn nearest_rank_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Exact median (nearest rank — for even counts this is the lower-middle
+/// element, matching `cv-obs::Summary`'s convention so span-derived and
+/// sample-derived medians are comparable).
+pub fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    nearest_rank_sorted(&sorted, 0.5)
+}
+
+/// Median absolute deviation: `median(|x_i - median(x)|)`, unscaled.
+pub fn mad(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let m = median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Interquartile range: `q75 - q25` (nearest rank).
+pub fn iqr(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    nearest_rank_sorted(&sorted, 0.75) - nearest_rank_sorted(&sorted, 0.25)
+}
+
+/// The multi-round summary of one metric: median, extremes, robust spread, and
+/// the raw samples themselves (kept so a later reader can recompute anything —
+/// the history record is the artifact, not the console output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricStats {
+    /// Nearest-rank median of the samples.
+    pub median: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median absolute deviation (unscaled; multiply by [`MAD_SCALE`] for a
+    /// σ-comparable value).
+    pub mad: f64,
+    /// Interquartile range.
+    pub iqr: f64,
+    /// The raw per-round samples, in measurement order.
+    pub samples: Vec<f64>,
+}
+
+impl MetricStats {
+    /// Summarize a set of per-round samples. Panics on an empty set or a
+    /// non-finite sample — a benchmark that measured nothing, or NaN/inf, must
+    /// fail loudly at the source rather than seed the history with poison.
+    pub fn from_samples(samples: &[f64]) -> MetricStats {
+        assert!(
+            !samples.is_empty(),
+            "MetricStats requires at least one sample"
+        );
+        assert!(
+            samples.iter().all(|s| s.is_finite()),
+            "MetricStats requires finite samples, got {samples:?}"
+        );
+        MetricStats {
+            median: median(samples),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mad: mad(samples),
+            iqr: iqr(samples),
+            samples: samples.to_vec(),
+        }
+    }
+
+    /// Summarize a `cv-obs` latency histogram in **milliseconds** — the bridge
+    /// that lands span-derived quantiles in the same record shape as
+    /// sample-derived metrics. Quantiles are the histogram's (within 2× by
+    /// bucket construction); min/max are the bucket floor / exact max; the
+    /// spread fields are quantile-derived (`iqr = q75 − q25`, `mad ≈ iqr/2`).
+    /// `samples` is empty: the histogram is O(1)-memory by design.
+    pub fn from_histogram(histogram: &FixedHistogram) -> MetricStats {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1_000.0;
+        let q25 = ms(histogram.quantile(0.25));
+        let q75 = ms(histogram.quantile(0.75));
+        MetricStats {
+            median: ms(histogram.quantile(0.5)),
+            min: ms(histogram.min_bound()),
+            max: ms(histogram.max()),
+            mad: (q75 - q25) / 2.0,
+            iqr: q75 - q25,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of rounds behind this summary (0 for histogram-derived stats,
+    /// whose samples are not retained).
+    pub fn rounds(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn median_is_nearest_rank() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        // Even count: lower-middle element (nearest-rank), not the mean.
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.0);
+        assert_eq!(median(&[5.0]), 5.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn mad_ignores_a_single_outlier() {
+        // Flat series with one wild outlier: the median stays at the flat
+        // value and the MAD stays zero — the robustness the gate builds on.
+        let series = [100.0, 100.0, 100.0, 5000.0, 100.0];
+        assert_eq!(median(&series), 100.0);
+        assert_eq!(mad(&series), 0.0);
+    }
+
+    #[test]
+    fn mad_and_iqr_measure_spread() {
+        let series = [10.0, 12.0, 14.0, 16.0, 18.0];
+        assert_eq!(median(&series), 14.0);
+        assert_eq!(mad(&series), 2.0);
+        assert_eq!(iqr(&series), 4.0);
+    }
+
+    #[test]
+    fn from_samples_summarizes() {
+        let stats = MetricStats::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(stats.median, 2.0);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 3.0);
+        assert_eq!(stats.rounds(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn from_samples_rejects_nan() {
+        MetricStats::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn from_histogram_bridges_span_quantiles() {
+        let mut h = FixedHistogram::new();
+        for micros in [100u64, 200, 400, 800, 1600] {
+            h.record(Duration::from_micros(micros));
+        }
+        let stats = MetricStats::from_histogram(&h);
+        assert!(stats.median > 0.0);
+        assert_eq!(stats.max, 1.6);
+        assert!(stats.min <= stats.median && stats.median <= stats.max);
+        assert_eq!(stats.rounds(), 0);
+    }
+}

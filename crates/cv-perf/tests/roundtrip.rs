@@ -1,0 +1,99 @@
+//! Property tests for the history record format: encode → decode → re-encode
+//! must be **byte-identical** over randomized records, so the append-only
+//! `perf/history.jsonl` is stable under read-modify-append cycles and a
+//! record can always be reconstructed exactly from its line.
+
+use cv_perf::{History, MetricStats, PerfRecord};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use std::collections::BTreeMap;
+
+/// Finite, round-trippable f64s with diverse shapes: integers, dyadic
+/// fractions, huge and tiny magnitudes.
+fn sample_strategy() -> BoxedStrategy<f64> {
+    (any::<i64>(), 0u32..60)
+        .prop_map(|(mantissa, shift)| (mantissa >> 8) as f64 / (1u64 << shift) as f64)
+        .boxed()
+}
+
+/// Identifier-ish strings plus a few hostile ones (quotes, backslashes,
+/// unicode) — the escape path is part of the format.
+fn name_strategy() -> BoxedStrategy<String> {
+    prop_oneof![
+        (0usize..5).prop_map(|i| {
+            [
+                "fleet_scale",
+                "learning_overhead",
+                "snapshot",
+                "pages_per_second",
+                "m",
+            ][i]
+                .to_string()
+        }),
+        (any::<u32>()).prop_map(|n| format!("key_{n}")),
+        (0usize..3).prop_map(|i| ["quo\"te", "back\\slash", "tab\there — µ"][i].to_string()),
+    ]
+    .boxed()
+}
+
+fn stats_strategy() -> BoxedStrategy<MetricStats> {
+    prop::collection::vec(sample_strategy(), 1..8)
+        .prop_map(|samples| MetricStats::from_samples(&samples))
+        .boxed()
+}
+
+fn record_strategy() -> BoxedStrategy<PerfRecord> {
+    (
+        name_strategy(),
+        any::<u32>(),
+        (1u32..64, 0u32..8, 1u32..16),
+        prop::collection::vec((name_strategy(), stats_strategy()), 0..6),
+    )
+        .prop_map(|(bench, commit, (cores, warmups, rounds), metric_list)| {
+            let mut metrics = BTreeMap::new();
+            for (key, stats) in metric_list {
+                metrics.insert(key, stats);
+            }
+            PerfRecord {
+                bench,
+                commit: format!("{commit:08x}"),
+                flags: "epochs=2,nodes=64,workers=2".to_string(),
+                cores,
+                rounds,
+                warmups,
+                metrics,
+            }
+        })
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_reencode_is_byte_identical(record in record_strategy()) {
+        let line = record.to_json_line();
+        prop_assert!(!line.contains('\n'), "one record = one line");
+        let decoded = PerfRecord::parse(&line).expect("own encoding must parse");
+        prop_assert_eq!(&decoded, &record);
+        prop_assert_eq!(decoded.to_json_line(), line);
+    }
+
+    #[test]
+    fn history_files_round_trip_record_for_record(
+        records in prop::collection::vec(record_strategy(), 1..5),
+        tag in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join("cv_perf_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("h{tag:016x}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        History::append(&path, &records).expect("append");
+        let loaded = History::load(&path).expect("load");
+        prop_assert_eq!(&loaded.records, &records);
+        // Re-appending the loaded records reproduces the exact byte suffix.
+        let first = std::fs::read_to_string(&path).unwrap();
+        History::append(&path, &loaded.records).expect("re-append");
+        let doubled = std::fs::read_to_string(&path).unwrap();
+        prop_assert_eq!(doubled, format!("{first}{first}"));
+        let _ = std::fs::remove_file(&path);
+    }
+}
