@@ -61,8 +61,8 @@ use cv_apps::{
 use cv_bench::print_table;
 use cv_core::{learn_model, ClearViewConfig};
 use cv_fleet::{
-    ChaosConfig, Fleet, FleetConfig, FleetMetrics, Presentation, ShardedInvariantStore,
-    TransportKind,
+    ChaosConfig, Fleet, FleetConfig, FleetMetrics, MembershipOp, Presentation,
+    ShardedInvariantStore, TransportKind,
 };
 use cv_inference::{InvariantDatabase, LearnedModel, LearningFrontend};
 use cv_obs::{chrome_trace_json, FixedHistogram, Summary, TraceEvent};
@@ -412,20 +412,26 @@ fn churn(browser: &Browser, opts: &Options) -> ChurnRun {
     // Rejoin: half by delta against the pre-outage checkpoint, half full.
     let half = kills.len() / 2;
     for &node in &kills[..half] {
-        fleet.rejoin_member(node, Some(&base));
+        fleet.apply_membership(MembershipOp::Rejoin {
+            node,
+            checkpoint: Some(&base),
+        });
     }
     for &node in &kills[half..] {
-        fleet.rejoin_member(node, None);
+        fleet.apply_membership(MembershipOp::Rejoin {
+            node,
+            checkpoint: None,
+        });
     }
-    // Late joiners: warm from the coordinator's snapshot, cold + explicit resync.
+    // Late joiners: warm from the sync source's snapshot, cold + explicit resync.
     let late_warm = 8;
     let late_cold = 2;
     for _ in 0..late_warm {
-        fleet.join_member_warm();
+        fleet.apply_membership(MembershipOp::JoinWarm);
     }
     for _ in 0..late_cold {
-        let node = fleet.join_member_cold();
-        fleet.resync_member(node);
+        let node = fleet.apply_membership(MembershipOp::JoinCold).nodes[0];
+        fleet.apply_membership(MembershipOp::Resync(node));
     }
 
     // Everyone gets attacked; everyone must survive.
@@ -461,7 +467,11 @@ struct ScaleRow {
     pages_per_second: f64,
     bytes_per_member: f64,
     resident_bytes_per_member: f64,
-    tree_depth: u64,
+    tier_depth: u64,
+    tier_sync_bytes: u64,
+    tier_delta_cuts: u64,
+    root_sync_bypass_count: u64,
+    root_sync_bypass_share: f64,
     immune_members: usize,
 }
 
@@ -511,6 +521,28 @@ fn scale_point(browser: &Browser, nodes: usize, opts: &Options) -> ScaleRow {
         "{nodes}-member fleet failed to immunize"
     );
 
+    // A churn wave at scale: a twentieth of the fleet dies mid-epoch and
+    // rejoins, half by delta against the pre-outage checkpoint and half by
+    // full bootstrap — so the sweep also measures the sync plane, which a
+    // fleet larger than the fan-out serves through the manager tree's leaf
+    // tier instead of the root.
+    let base = fleet.checkpoint();
+    let kills: Vec<usize> = (nodes / 2..nodes / 2 + (nodes / 20).max(2)).collect();
+    fleet.run_epoch_churn(&batch, &kills);
+    let half = kills.len() / 2;
+    for &node in &kills[..half] {
+        fleet.apply_membership(MembershipOp::Rejoin {
+            node,
+            checkpoint: Some(&base),
+        });
+    }
+    for &node in &kills[half..] {
+        fleet.apply_membership(MembershipOp::Rejoin {
+            node,
+            checkpoint: None,
+        });
+    }
+
     // One full-fleet benign epoch: every member loads a page through its patched
     // configuration.
     let pages = evaluation_suite();
@@ -546,7 +578,11 @@ fn scale_point(browser: &Browser, nodes: usize, opts: &Options) -> ScaleRow {
         pages_per_second: metrics.pages_per_second(),
         bytes_per_member: metrics.bytes_per_member(),
         resident_bytes_per_member: metrics.member_state_bytes_last as f64 / nodes as f64,
-        tree_depth: metrics.tree_depth_last,
+        tier_depth: metrics.tier_depth_last,
+        tier_sync_bytes: metrics.tier_sync_bytes,
+        tier_delta_cuts: metrics.tier_delta_cuts,
+        root_sync_bypass_count: metrics.root_sync_bypass_count,
+        root_sync_bypass_share: metrics.root_sync_bypass_share(),
         immune_members,
     }
 }
@@ -585,7 +621,9 @@ fn run_sweep(points: &[usize], opts: &Options) {
             "pages/sec",
             "bytes/member",
             "resident B/member",
-            "tree depth",
+            "tier depth",
+            "tier sync B",
+            "root bypass",
             "immune",
         ],
         &rows
@@ -597,7 +635,9 @@ fn run_sweep(points: &[usize], opts: &Options) {
                     format!("{:.0}", r.pages_per_second),
                     format!("{:.1}", r.bytes_per_member),
                     format!("{:.1}", r.resident_bytes_per_member),
-                    r.tree_depth.to_string(),
+                    r.tier_depth.to_string(),
+                    r.tier_sync_bytes.to_string(),
+                    r.root_sync_bypass_count.to_string(),
                     format!("{}/{}", r.immune_members, r.members),
                 ]
             })
@@ -608,13 +648,17 @@ fn run_sweep(points: &[usize], opts: &Options) {
         .iter()
         .map(|r| {
             format!(
-                "    {{\n      \"members\": {},\n      \"epochs_to_immunity\": {},\n      \"pages_per_second\": {:.1},\n      \"bytes_per_member\": {:.1},\n      \"resident_bytes_per_member\": {:.1},\n      \"tree_depth\": {},\n      \"immune_members\": {}\n    }}",
+                "    {{\n      \"members\": {},\n      \"epochs_to_immunity\": {},\n      \"pages_per_second\": {:.1},\n      \"bytes_per_member\": {:.1},\n      \"resident_bytes_per_member\": {:.1},\n      \"tier_depth\": {},\n      \"tier_sync_bytes\": {},\n      \"tier_delta_cuts\": {},\n      \"root_sync_bypass_count\": {},\n      \"root_sync_bypass_share\": {:.3},\n      \"immune_members\": {}\n    }}",
                 r.members,
                 r.epochs_to_immunity,
                 r.pages_per_second,
                 r.bytes_per_member,
                 r.resident_bytes_per_member,
-                r.tree_depth,
+                r.tier_depth,
+                r.tier_sync_bytes,
+                r.tier_delta_cuts,
+                r.root_sync_bypass_count,
+                r.root_sync_bypass_share,
                 r.immune_members,
             )
         })

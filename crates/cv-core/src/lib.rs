@@ -44,4 +44,4 @@ pub use pipeline::{
 };
 pub use repairgen::{generate_repairs, RepairCandidate};
 pub use responder::{DigestStatus, Directive, FailureResponder, Phase, RepairReport, RunDigest};
-pub use tree::{ManagerTree, TierMerge, TierPush};
+pub use tree::{ManagerTree, TierMerge, TierPush, TierRowSpec};

@@ -121,6 +121,37 @@ impl ManagerTree {
     pub fn depth(&self, members: usize) -> usize {
         self.push_tiers(members).len()
     }
+
+    /// The rows of *real* intermediate coordinators for a fleet of `members`:
+    /// one [`TierRowSpec`] per coordinator tier, ordered root-down (tier 1 is
+    /// directly under the root). A tiny fleet (`members <= fanout`) has no
+    /// intermediate coordinators — the root pushes straight to its member
+    /// group — and gets an empty vec, exactly the case where `push_tiers`
+    /// returns a single one-group tier.
+    pub fn coordinator_rows(&self, members: usize) -> Vec<TierRowSpec> {
+        let tiers = self.push_tiers(members);
+        if tiers.len() == 1 && tiers[0].groups == 1 {
+            return Vec::new();
+        }
+        tiers
+            .into_iter()
+            .map(|t| TierRowSpec {
+                tier: t.tier,
+                width: t.groups,
+            })
+            .collect()
+    }
+}
+
+/// One row of intermediate coordinators in the tree: `width` coordinators at
+/// `tier` (1 = directly under the root), each serving at most `fanout`
+/// children in the row below (or a member group at the deepest row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierRowSpec {
+    /// Tier number, 1 = the tier closest to the root coordinator.
+    pub tier: u32,
+    /// Coordinators in this row.
+    pub width: usize,
 }
 
 #[cfg(test)]
@@ -188,5 +219,30 @@ mod tests {
         // Tiny fleets need no intermediate coordinators.
         assert_eq!(tree.push_tiers(10).len(), 1);
         assert!(tree.push_tiers(0).is_empty());
+    }
+
+    #[test]
+    fn coordinator_rows_exist_only_past_the_fanout() {
+        let tree = ManagerTree::new(32);
+        // members <= fanout: the root serves its member group itself.
+        assert!(tree.coordinator_rows(0).is_empty());
+        assert!(tree.coordinator_rows(10).is_empty());
+        assert!(tree.coordinator_rows(32).is_empty());
+        // One past the fan-out: a single real coordinator row appears.
+        let rows = tree.coordinator_rows(33);
+        assert_eq!(rows, vec![TierRowSpec { tier: 1, width: 2 }]);
+        // Deep fleet: rows mirror push_tiers root-down.
+        let widths: Vec<usize> = tree
+            .coordinator_rows(100_000)
+            .iter()
+            .map(|r| r.width)
+            .collect();
+        assert_eq!(widths, vec![4, 98, 3125]);
+        let tiers: Vec<u32> = tree
+            .coordinator_rows(100_000)
+            .iter()
+            .map(|r| r.tier)
+            .collect();
+        assert_eq!(tiers, vec![1, 2, 3]);
     }
 }

@@ -31,9 +31,10 @@ use crate::metrics::{FleetMetrics, MetricEvent};
 use crate::protocol::{BatchLog, FleetMessage, NodeId, Presentation};
 use crate::scheduler::{EpochScheduler, RunRecord};
 use crate::shard::ShardedInvariantStore;
+use crate::sync::{MembershipOp, SyncOutcome, SyncPayload, SyncSource, TierSyncPlane};
 use crate::transport::{
-    ChaosConfig, ChaosControls, DedupeWindow, PeerId, Transport, TransportKind, TransportStats,
-    COORDINATOR,
+    is_coordinator_side, ChaosConfig, ChaosControls, DedupeWindow, PeerId, Transport,
+    TransportKind, TransportStats, COORDINATOR,
 };
 use cv_core::{
     ClearViewConfig, DigestRouter, FailureEvent, FailureResponder, ManagerTree, NetPatchState,
@@ -411,6 +412,17 @@ pub struct Fleet {
     /// Retained per-epoch checkpoints serving delta resyncs (lossy transports
     /// only; pruned to the oldest base a desynced member still references).
     retained: BTreeMap<u64, Snapshot>,
+    /// The tier-sync plane: per-tier coordinator mirrors serving member sync
+    /// from the tree's leaf tier instead of the root (`None` when no manager
+    /// tree is configured). Rows are seeded lazily once the fleet outgrows the
+    /// fan-out; inside a fleet method the plane is taken out of this `Option`
+    /// and put back, never left `None` across a call.
+    tier_sync: Option<TierSyncPlane>,
+    /// Bumped whenever the fleet's state changes outside the epoch counter
+    /// (model replacement, wholesale learning, snapshot restore) so the tier
+    /// plane's `(epoch, state_version)` refresh marker catches same-epoch
+    /// state swaps.
+    state_version: u64,
 }
 
 struct CachedSnapshot {
@@ -513,6 +525,8 @@ impl Fleet {
             transport_desynced: BTreeSet::new(),
             member_base: vec![0; fleet_config.node_count.max(1)],
             retained: BTreeMap::new(),
+            tier_sync: (fleet_config.tree_fanout >= 2).then(TierSyncPlane::new),
+            state_version: 0,
         }
     }
 
@@ -543,6 +557,7 @@ impl Fleet {
         // reasoning as set_model below — and bases at or before the restore
         // label fall back to the materialized diff.
         fleet.store.reset_dirty(snapshot.epoch + 1);
+        fleet.state_version += 1;
         let bootstrap = snapshot.bootstrap_plan();
         fleet.engine.apply_plan(&bootstrap);
         for op in bootstrap.ops() {
@@ -793,16 +808,21 @@ impl Fleet {
     /// [`MAX_RETRANSMIT_ROUNDS`] — unreachable (partitioned) receivers simply
     /// stay unacked and the caller decides what that means.
     fn exchange(&mut self, epoch: u64, mut pending: BTreeMap<u64, Envelope>) -> ExchangeOutcome {
-        let peers: BTreeSet<PeerId> = pending
-            .values()
-            .map(|env| {
-                if env.to == COORDINATOR {
-                    env.from
-                } else {
-                    env.to
-                }
-            })
-            .collect();
+        // Every non-root endpoint an envelope touches needs its inbox pumped:
+        // the member end of each pending envelope, plus any tier-coordinator
+        // origin (members ack back to the tier peer that served them, so the
+        // tier peer's inbox is where those acks land).
+        let mut peers: BTreeSet<PeerId> = BTreeSet::new();
+        for env in pending.values() {
+            peers.insert(if is_coordinator_side(env.to) {
+                env.from
+            } else {
+                env.to
+            });
+            if is_coordinator_side(env.from) && env.from != COORDINATOR {
+                peers.insert(env.from);
+            }
+        }
         let mut acked = BTreeSet::new();
         let mut received = Vec::new();
         let flush = self.transport.flush_ticks().max(1);
@@ -917,15 +937,12 @@ impl Fleet {
         if self.transport_desynced.is_empty() {
             return;
         }
-        self.refresh_snapshot_cache();
-        let (net_plan, full_bytes, full_encoded) = {
-            let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-            (
-                cache.snapshot.plan.clone(),
-                cache.encoded_bytes(),
-                Arc::clone(&cache.encoded),
-            )
-        };
+        // State moves from the sync source: the manager tree's leaf tier when
+        // the tier plane is active (partition healing is served by a member's
+        // parent coordinator, never the root), the root otherwise.
+        let (payload, src_peer, src_tier) = self.sync_source_payload();
+        let (full_bytes, full_encoded) = (payload.bytes(), Arc::clone(&payload.encoded));
+        let net_plan = payload.plan;
         // One delta per distinct covered base epoch — a partition wave shares
         // its base, so the cut and its encode are amortized across members.
         let members: Vec<NodeId> = self.transport_desynced.iter().copied().collect();
@@ -935,8 +952,24 @@ impl Fleet {
             if base_epoch >= epoch || delta_encoded.contains_key(&base_epoch) {
                 continue;
             }
-            if let Some(base) = self.retained.get(&base_epoch).cloned() {
-                let delta = self.delta_since(&base);
+            // Tier cuts and root cuts are byte-identical for the same base —
+            // `DeltaBuilder` output is canonical in the base and the state.
+            let delta = if src_tier > 0 {
+                self.tier_sync
+                    .as_mut()
+                    .and_then(|p| p.leaf_row_mut())
+                    .and_then(|row| {
+                        row.retained_base(base_epoch)
+                            .cloned()
+                            .map(|base| row.delta_since(&base))
+                    })
+            } else {
+                self.retained
+                    .get(&base_epoch)
+                    .cloned()
+                    .map(|base| self.delta_since(&base))
+            };
+            if let Some(delta) = delta {
                 delta_encoded.insert(base_epoch, Arc::new(delta.encode()));
             }
         }
@@ -959,7 +992,7 @@ impl Fleet {
             pending.insert(
                 seq,
                 Envelope {
-                    from: COORDINATOR,
+                    from: src_peer,
                     to: node as PeerId,
                     epoch,
                     seq,
@@ -977,6 +1010,7 @@ impl Fleet {
             self.joiners.insert(node, epoch);
             match delta_info {
                 Some((base_epoch, delta_bytes)) => {
+                    self.record_tier_ship(src_tier, delta_bytes, true, node);
                     self.record(MetricEvent::DeltaSync {
                         delta_bytes,
                         full_bytes,
@@ -991,6 +1025,7 @@ impl Fleet {
                     });
                 }
                 None => {
+                    self.record_tier_ship(src_tier, full_bytes, false, node);
                     self.record(MetricEvent::Bootstrap { bytes: full_bytes });
                     self.record(MetricEvent::TransportResync { delta: false });
                     self.log.push(FleetMessage::Bootstrap {
@@ -1009,6 +1044,7 @@ impl Fleet {
                     ("epoch", epoch),
                     ("node", node as u64),
                     ("delta", delta_info.is_some() as u64),
+                    ("source_tier", src_tier as u64),
                 ],
             );
         }
@@ -1042,6 +1078,15 @@ impl Fleet {
             .min()
             .unwrap_or(epoch);
         self.retained.retain(|&e, _| e >= floor);
+        // The tier rows retain the same checkpoints under the same pruning
+        // floor, so partition healing can cut the same deltas from a parent
+        // coordinator that the root would have cut.
+        if self.tier_sync_active() {
+            self.tier_refresh();
+            if let Some(plane) = self.tier_sync.as_mut() {
+                plane.retain_checkpoints(floor);
+            }
+        }
     }
 
     /// Fold the transport activity since the last `Transport` metric event
@@ -1193,67 +1238,188 @@ impl Fleet {
         encoded_bytes
     }
 
-    /// A brand-new member joins with **no** state transfer: it is alive but
-    /// unsynced (its digests are dropped, it holds no patches) until
-    /// [`Fleet::resync_member`] bootstraps it. This is the no-durability baseline
-    /// the cold-vs-warm experiments measure.
-    pub fn join_member_cold(&mut self) -> NodeId {
-        let node = self.engine.join();
-        self.synced.push(false);
-        self.member_base.push(self.epoch);
-        self.record(MetricEvent::ColdJoin);
-        recorder().instant(
-            "churn.join_cold",
-            "churn",
-            &[
-                ("fleet", self.obs_id),
-                ("epoch", self.epoch),
-                ("node", node as u64),
-            ],
-        );
-        node
+    /// True when member sync is served from the manager tree's leaf tier
+    /// instead of the root: a tree is configured and the fleet has outgrown
+    /// the root's own fan-out (equivalently, `ManagerTree::coordinator_rows`
+    /// is non-empty — intermediate coordinators actually exist).
+    fn tier_sync_active(&self) -> bool {
+        self.tier_sync.is_some() && self.node_count() > self.tree_fanout
     }
 
-    /// A brand-new member warm-starts from the coordinator's snapshot: it decodes
-    /// the current checkpoint, installs its net plan, and participates fully from
-    /// its first epoch.
-    pub fn join_member_warm(&mut self) -> NodeId {
-        self.refresh_snapshot_cache();
-        let (plan, snapshot_bytes) = {
-            let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-            (cache.snapshot.plan.clone(), cache.encoded_bytes())
+    /// Bring the tier-coordinator mirrors up to the root's current state: cut
+    /// **one** delta at the root and relay it down every row. Rows are seeded
+    /// lazily the first time the fleet is large enough to need them, resized
+    /// when membership growth adds tiers, and dropped when the fleet shrinks
+    /// back under the fan-out. Idempotent per `(epoch, state_version)` — a
+    /// sync wave refreshes once, not per member.
+    ///
+    /// The refresh is local mirror maintenance, not transport traffic: the
+    /// relay is accounted (a [`MetricEvent::TierSync`] per row, multiplied by
+    /// the row's coordinator count) but never crosses the chaos plane, so a
+    /// tiered fleet draws exactly the same fault sequence as a flat one.
+    fn tier_refresh(&mut self) {
+        let Some(mut plane) = self.tier_sync.take() else {
+            return;
         };
-        let node = self.engine.join();
-        self.synced.push(true);
-        self.member_base.push(self.epoch);
-        self.engine.reset_and_apply(node, &plan);
-        self.record(MetricEvent::WarmJoin);
-        self.record(MetricEvent::Bootstrap {
-            bytes: snapshot_bytes,
-        });
+        let specs = ManagerTree::new(self.tree_fanout).coordinator_rows(self.node_count());
+        if specs.is_empty() {
+            plane.clear();
+            self.tier_sync = Some(plane);
+            return;
+        }
+        let marker = (self.epoch, self.state_version);
+        if plane.synced_marker() == Some(marker) && plane.matches(&specs) {
+            self.tier_sync = Some(plane);
+            return;
+        }
+        self.refresh_snapshot_cache();
+        let root_state = self
+            .snapshot_cache
+            .as_ref()
+            .expect("cache just refreshed")
+            .snapshot
+            .clone();
+        // A wholesale shard-routing change (a model swap with a different
+        // shard count) makes deltas impossible — reseed the rows outright.
+        if plane
+            .rows()
+            .first()
+            .is_some_and(|row| row.state().shard_count != root_state.shard_count)
+        {
+            plane.clear();
+        }
+        let reseeded = plane.is_empty();
+        plane.resize(&specs, &root_state);
+        if reseeded {
+            // Seeding ships the full snapshot down the tree, once per row.
+            let bytes = self
+                .snapshot_cache
+                .as_ref()
+                .expect("cache just refreshed")
+                .encoded_bytes();
+            for (tier, receivers) in plane
+                .rows()
+                .iter()
+                .map(|row| (row.tier() as u64, row.width() as u64))
+                .collect::<Vec<_>>()
+            {
+                self.record(MetricEvent::TierSync {
+                    tier,
+                    bytes,
+                    receivers,
+                    delta: false,
+                });
+            }
+        } else {
+            let base = plane
+                .rows()
+                .last()
+                .expect("specs are non-empty")
+                .state()
+                .clone();
+            let delta = self.delta_since(&base);
+            let bytes = delta.encode().len() as u64;
+            for (tier, receivers) in plane
+                .rows()
+                .iter()
+                .map(|row| (row.tier() as u64, row.width() as u64))
+                .collect::<Vec<_>>()
+            {
+                self.record(MetricEvent::TierSync {
+                    tier,
+                    bytes,
+                    receivers,
+                    delta: true,
+                });
+            }
+            plane
+                .apply_relayed_all(&delta)
+                .expect("a refresh delta cut against the rows' shared base must apply");
+        }
         recorder().instant(
-            "churn.join_warm",
-            "churn",
+            "tier.refresh",
+            "tier",
             &[
                 ("fleet", self.obs_id),
                 ("epoch", self.epoch),
-                ("node", node as u64),
-                ("bytes", snapshot_bytes),
+                ("rows", plane.rows().len() as u64),
+                ("reseeded", reseeded as u64),
             ],
         );
-        self.joiners.insert(node, self.epoch);
-        self.log.push(FleetMessage::Bootstrap {
-            epoch: self.epoch,
-            members: 1,
-            snapshot_bytes,
-            plan_ops: plan.len(),
-        });
-        node
+        plane.mark_synced(marker);
+        self.tier_sync = Some(plane);
     }
 
-    /// Take `node` down with total state loss (environment, patches — everything).
-    /// The member misses every push until it rejoins and re-syncs.
-    pub fn crash_member(&mut self, node: NodeId) {
+    /// Record that the root served a sync directly. While the tier plane is
+    /// active this is the bottleneck the tree exists to remove, so it books a
+    /// [`MetricEvent::RootSyncBypass`] — structurally unreachable today, held
+    /// at zero by the tree-sync tests.
+    fn root_sync_serves(&mut self) {
+        if self.tier_sync_active() {
+            self.record(MetricEvent::RootSyncBypass);
+        }
+    }
+
+    /// The full-state payload for the next sync, served through a
+    /// [`SyncSource`]: the manager tree's leaf tier when the tier plane is
+    /// active, the root itself otherwise. Returns the payload plus the
+    /// serving `(peer, tier)` (tier 0 = the root). Accounting-free — the
+    /// caller books what actually ships.
+    fn sync_source_payload(&mut self) -> (SyncPayload, PeerId, u32) {
+        if self.tier_sync_active() {
+            self.tier_refresh();
+            if let Some(row) = self.tier_sync.as_mut().and_then(|p| p.leaf_row_mut()) {
+                let (peer, tier) = (row.peer(), row.tier());
+                return (row.snapshot_for(), peer, tier);
+            }
+        }
+        self.root_sync_serves();
+        (SyncSource::snapshot_for(self), COORDINATOR, 0)
+    }
+
+    /// Encoded size of the delta advancing `base` to the current state, from
+    /// the same source that served the sync payload (`tier` as returned by
+    /// [`Fleet::sync_source_payload`]). Tier cuts are byte-identical to root
+    /// cuts — `DeltaBuilder` output is canonical in the base and the state.
+    fn sync_delta_bytes_from(&mut self, tier: u32, base: &Snapshot) -> u64 {
+        if tier > 0 {
+            if let Some(row) = self.tier_sync.as_mut().and_then(|p| p.leaf_row_mut()) {
+                return row.delta_bytes_since(base);
+            }
+        }
+        self.delta_bytes_since(base)
+    }
+
+    /// Book one payload shipped across a tier link to a member: a
+    /// [`MetricEvent::TierSync`] with a single receiver plus a `tier.sync`
+    /// trace instant. No-op for root-direct sync (tier 0).
+    fn record_tier_ship(&mut self, tier: u32, bytes: u64, delta: bool, node: NodeId) {
+        if tier == 0 {
+            return;
+        }
+        self.record(MetricEvent::TierSync {
+            tier: tier as u64,
+            bytes,
+            receivers: 1,
+            delta,
+        });
+        recorder().instant(
+            "tier.sync",
+            "tier",
+            &[
+                ("fleet", self.obs_id),
+                ("epoch", self.epoch),
+                ("tier", tier as u64),
+                ("node", node as u64),
+                ("bytes", bytes),
+                ("delta", delta as u64),
+            ],
+        );
+    }
+
+    /// The real crash body behind [`MembershipOp::Crash`]: total state loss;
+    /// the member misses every push until it rejoins and re-syncs.
+    fn crash_one(&mut self, node: NodeId) {
         self.engine.crash(node);
         self.synced[node] = false;
         self.joiners.remove(&node);
@@ -1270,98 +1436,221 @@ impl Fleet {
         );
     }
 
-    /// Take several members down (see [`Fleet::crash_member`]).
-    pub fn crash_members(&mut self, nodes: &[NodeId]) {
-        for &node in nodes {
-            self.crash_member(node);
+    /// Apply one membership/sync operation — the single entry point every
+    /// membership change and state sync routes through (the legacy per-op
+    /// methods are deprecated wrappers over this). Any state that moves is
+    /// served through a [`SyncSource`]: the manager tree's leaf tier when the
+    /// tier plane is active, the root otherwise — one code path, one
+    /// accounting story, for root-direct and tiered sync alike.
+    pub fn apply_membership(&mut self, op: MembershipOp<'_>) -> SyncOutcome {
+        match op {
+            MembershipOp::Crash(nodes) => {
+                for &node in nodes {
+                    self.crash_one(node);
+                }
+                SyncOutcome {
+                    nodes: nodes.to_vec(),
+                    ..SyncOutcome::default()
+                }
+            }
+            MembershipOp::JoinCold => {
+                let node = self.engine.join();
+                self.synced.push(false);
+                self.member_base.push(self.epoch);
+                self.record(MetricEvent::ColdJoin);
+                recorder().instant(
+                    "churn.join_cold",
+                    "churn",
+                    &[
+                        ("fleet", self.obs_id),
+                        ("epoch", self.epoch),
+                        ("node", node as u64),
+                    ],
+                );
+                SyncOutcome {
+                    nodes: vec![node],
+                    ..SyncOutcome::default()
+                }
+            }
+            MembershipOp::JoinWarm => {
+                let (payload, peer, tier) = self.sync_source_payload();
+                let snapshot_bytes = payload.bytes();
+                let node = self.engine.join();
+                self.synced.push(true);
+                self.member_base.push(self.epoch);
+                self.engine.reset_and_apply(node, &payload.plan);
+                self.record_tier_ship(tier, snapshot_bytes, false, node);
+                self.record(MetricEvent::WarmJoin);
+                self.record(MetricEvent::Bootstrap {
+                    bytes: snapshot_bytes,
+                });
+                recorder().instant(
+                    "churn.join_warm",
+                    "churn",
+                    &[
+                        ("fleet", self.obs_id),
+                        ("epoch", self.epoch),
+                        ("node", node as u64),
+                        ("bytes", snapshot_bytes),
+                    ],
+                );
+                self.joiners.insert(node, self.epoch);
+                self.log.push(FleetMessage::Bootstrap {
+                    epoch: self.epoch,
+                    members: 1,
+                    snapshot_bytes,
+                    plan_ops: payload.plan.len(),
+                });
+                SyncOutcome {
+                    nodes: vec![node],
+                    source_peer: Some(peer),
+                    source_tier: Some(tier),
+                    delta: false,
+                    bytes: snapshot_bytes,
+                }
+            }
+            MembershipOp::Rejoin { node, checkpoint } => {
+                let (payload, peer, tier) = self.sync_source_payload();
+                self.engine.rejoin(node);
+                let full_bytes = payload.bytes();
+                let (delta, bytes) = match checkpoint {
+                    Some(base) => {
+                        let delta_bytes = self.sync_delta_bytes_from(tier, base);
+                        self.engine.reset_and_apply(node, &payload.plan);
+                        self.record_tier_ship(tier, delta_bytes, true, node);
+                        self.record(MetricEvent::DeltaSync {
+                            delta_bytes,
+                            full_bytes,
+                        });
+                        self.log.push(FleetMessage::DeltaSync {
+                            epoch: self.epoch,
+                            members: 1,
+                            base_epoch: base.epoch,
+                            delta_bytes,
+                            full_bytes,
+                        });
+                        (true, delta_bytes)
+                    }
+                    None => {
+                        self.engine.reset_and_apply(node, &payload.plan);
+                        self.record_tier_ship(tier, full_bytes, false, node);
+                        self.record(MetricEvent::Bootstrap { bytes: full_bytes });
+                        self.log.push(FleetMessage::Bootstrap {
+                            epoch: self.epoch,
+                            members: 1,
+                            snapshot_bytes: full_bytes,
+                            plan_ops: payload.plan.len(),
+                        });
+                        (false, full_bytes)
+                    }
+                };
+                self.record(MetricEvent::Rejoin);
+                recorder().instant(
+                    "churn.rejoin",
+                    "churn",
+                    &[
+                        ("fleet", self.obs_id),
+                        ("epoch", self.epoch),
+                        ("node", node as u64),
+                        ("delta", delta as u64),
+                    ],
+                );
+                self.synced[node] = true;
+                self.member_base[node] = self.epoch;
+                self.joiners.insert(node, self.epoch);
+                SyncOutcome {
+                    nodes: vec![node],
+                    source_peer: Some(peer),
+                    source_tier: Some(tier),
+                    delta,
+                    bytes,
+                }
+            }
+            MembershipOp::Resync(node) => {
+                let (payload, peer, tier) = self.sync_source_payload();
+                let snapshot_bytes = payload.bytes();
+                self.engine.reset_and_apply(node, &payload.plan);
+                self.synced[node] = true;
+                self.member_base[node] = self.epoch;
+                self.transport_desynced.remove(&node);
+                self.record_tier_ship(tier, snapshot_bytes, false, node);
+                self.record(MetricEvent::Bootstrap {
+                    bytes: snapshot_bytes,
+                });
+                recorder().instant(
+                    "churn.resync",
+                    "churn",
+                    &[
+                        ("fleet", self.obs_id),
+                        ("epoch", self.epoch),
+                        ("node", node as u64),
+                        ("bytes", snapshot_bytes),
+                    ],
+                );
+                self.joiners.insert(node, self.epoch);
+                self.log.push(FleetMessage::Bootstrap {
+                    epoch: self.epoch,
+                    members: 1,
+                    snapshot_bytes,
+                    plan_ops: payload.plan.len(),
+                });
+                SyncOutcome {
+                    nodes: vec![node],
+                    source_peer: Some(peer),
+                    source_tier: Some(tier),
+                    delta: false,
+                    bytes: snapshot_bytes,
+                }
+            }
         }
+    }
+
+    /// A brand-new member joins with **no** state transfer: it is alive but
+    /// unsynced (its digests are dropped, it holds no patches) until a resync
+    /// bootstraps it. This is the no-durability baseline the cold-vs-warm
+    /// experiments measure.
+    #[deprecated(note = "use `apply_membership(MembershipOp::JoinCold)`")]
+    pub fn join_member_cold(&mut self) -> NodeId {
+        self.apply_membership(MembershipOp::JoinCold).nodes[0]
+    }
+
+    /// A brand-new member warm-starts from the sync source's snapshot: it decodes
+    /// the current checkpoint, installs its net plan, and participates fully from
+    /// its first epoch.
+    #[deprecated(note = "use `apply_membership(MembershipOp::JoinWarm)`")]
+    pub fn join_member_warm(&mut self) -> NodeId {
+        self.apply_membership(MembershipOp::JoinWarm).nodes[0]
+    }
+
+    /// Take `node` down with total state loss (environment, patches — everything).
+    /// The member misses every push until it rejoins and re-syncs.
+    #[deprecated(note = "use `apply_membership(MembershipOp::Crash(&[node]))`")]
+    pub fn crash_member(&mut self, node: NodeId) {
+        self.apply_membership(MembershipOp::Crash(&[node]));
+    }
+
+    /// Take several members down with total state loss.
+    #[deprecated(note = "use `apply_membership(MembershipOp::Crash(nodes))`")]
+    pub fn crash_members(&mut self, nodes: &[NodeId]) {
+        self.apply_membership(MembershipOp::Crash(nodes));
     }
 
     /// Bring a crashed member back up. With `last_checkpoint`, the member is
     /// advanced by a shard-keyed delta (it already holds the base state); without,
     /// it re-downloads the full snapshot. Either way it rejoins fully synced.
+    #[deprecated(note = "use `apply_membership(MembershipOp::Rejoin { node, checkpoint })`")]
     pub fn rejoin_member(&mut self, node: NodeId, last_checkpoint: Option<&Snapshot>) {
-        self.refresh_snapshot_cache();
-        self.engine.rejoin(node);
-        let (plan, full_bytes) = {
-            let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-            (cache.snapshot.plan.clone(), cache.encoded_bytes())
-        };
-        match last_checkpoint {
-            Some(base) => {
-                let delta_bytes = self.delta_bytes_since(base);
-                self.engine.reset_and_apply(node, &plan);
-                self.record(MetricEvent::DeltaSync {
-                    delta_bytes,
-                    full_bytes,
-                });
-                self.log.push(FleetMessage::DeltaSync {
-                    epoch: self.epoch,
-                    members: 1,
-                    base_epoch: base.epoch,
-                    delta_bytes,
-                    full_bytes,
-                });
-            }
-            None => {
-                self.engine.reset_and_apply(node, &plan);
-                self.record(MetricEvent::Bootstrap { bytes: full_bytes });
-                self.log.push(FleetMessage::Bootstrap {
-                    epoch: self.epoch,
-                    members: 1,
-                    snapshot_bytes: full_bytes,
-                    plan_ops: plan.len(),
-                });
-            }
-        }
-        self.record(MetricEvent::Rejoin);
-        recorder().instant(
-            "churn.rejoin",
-            "churn",
-            &[
-                ("fleet", self.obs_id),
-                ("epoch", self.epoch),
-                ("node", node as u64),
-                ("delta", last_checkpoint.is_some() as u64),
-            ],
-        );
-        self.synced[node] = true;
-        self.member_base[node] = self.epoch;
-        self.joiners.insert(node, self.epoch);
+        self.apply_membership(MembershipOp::Rejoin {
+            node,
+            checkpoint: last_checkpoint,
+        });
     }
 
     /// Bootstrap an alive but unsynced member (a cold joiner, typically) to the
-    /// current net configuration from the coordinator's full snapshot.
+    /// current net configuration from the sync source's full snapshot.
+    #[deprecated(note = "use `apply_membership(MembershipOp::Resync(node))`")]
     pub fn resync_member(&mut self, node: NodeId) {
-        self.refresh_snapshot_cache();
-        let (plan, snapshot_bytes) = {
-            let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
-            (cache.snapshot.plan.clone(), cache.encoded_bytes())
-        };
-        self.engine.reset_and_apply(node, &plan);
-        self.synced[node] = true;
-        self.member_base[node] = self.epoch;
-        self.transport_desynced.remove(&node);
-        self.record(MetricEvent::Bootstrap {
-            bytes: snapshot_bytes,
-        });
-        recorder().instant(
-            "churn.resync",
-            "churn",
-            &[
-                ("fleet", self.obs_id),
-                ("epoch", self.epoch),
-                ("node", node as u64),
-                ("bytes", snapshot_bytes),
-            ],
-        );
-        self.joiners.insert(node, self.epoch);
-        self.log.push(FleetMessage::Bootstrap {
-            epoch: self.epoch,
-            members: 1,
-            snapshot_bytes,
-            plan_ops: plan.len(),
-        });
+        self.apply_membership(MembershipOp::Resync(node));
     }
 
     /// Maintainer-facing reports for every failure the fleet has responded to, in
@@ -1408,6 +1697,8 @@ impl Fleet {
         self.model = model;
         self.snapshot_cache = None;
         self.delta_cache = None;
+        // A same-epoch state swap: bump the version so the tier plane refreshes.
+        self.state_version += 1;
     }
 
     /// Amortized parallel learning (Section 3.1): the learning pages are divided among
@@ -1488,6 +1779,9 @@ impl Fleet {
         span.finish();
         self.snapshot_cache = None;
         self.delta_cache = None;
+        // Learning mutates state without advancing the epoch: bump the version
+        // so the tier plane refreshes before the next sync.
+        self.state_version += 1;
     }
 
     /// Execute one epoch: run `presentations` across the fleet in parallel, route
@@ -1531,7 +1825,7 @@ impl Fleet {
         // Mid-epoch churn: these members ran, reported, and then died — the
         // boundary push below will not reach them.
         for &node in kills {
-            self.crash_member(node);
+            self.crash_one(node);
         }
 
         let manager_span = recorder()
@@ -1775,13 +2069,13 @@ impl Fleet {
                 // talks to more than `tree_fanout` nodes.
                 let members = self.alive_count();
                 for t in ManagerTree::new(self.tree_fanout).push_tiers(members) {
-                    self.record(MetricEvent::TreePush {
+                    self.record(MetricEvent::TierPush {
                         tier: t.tier as u64,
                         groups: t.groups as u64,
                         members: members as u64,
                     });
                     recorder().instant(
-                        "fleet.tree_push",
+                        "fleet.tier_push",
                         "fleet",
                         &[
                             ("fleet", self.obs_id),
@@ -1902,6 +2196,33 @@ impl Fleet {
         assert!(node < self.node_count(), "unknown node {node}");
         let mut outcome = self.run_epoch(&[Presentation::new(node, page)]);
         outcome.outcomes.remove(0)
+    }
+}
+
+/// The root coordinator is itself a [`SyncSource`] — the same contract the tier
+/// rows implement, so `apply_membership` serves state through one interface
+/// whether the fleet is flat or tiered.
+impl SyncSource for Fleet {
+    fn checkpoint(&mut self) -> Snapshot {
+        Fleet::checkpoint(self)
+    }
+
+    fn delta_since(&mut self, base: &Snapshot) -> DeltaSnapshot {
+        Fleet::delta_since(self, base)
+    }
+
+    fn snapshot_for(&mut self) -> SyncPayload {
+        self.refresh_snapshot_cache();
+        let cache = self.snapshot_cache.as_ref().expect("cache just refreshed");
+        SyncPayload {
+            epoch: cache.epoch,
+            plan: cache.snapshot.plan.clone(),
+            encoded: Arc::clone(&cache.encoded),
+        }
+    }
+
+    fn covered_floor(&self) -> u64 {
+        self.retained.keys().next().copied().unwrap_or(self.epoch)
     }
 }
 

@@ -51,6 +51,7 @@ mod metrics;
 mod protocol;
 mod scheduler;
 mod shard;
+mod sync;
 mod transport;
 
 pub use engine::EventEngine;
@@ -59,9 +60,13 @@ pub use metrics::{FleetMetrics, ImmunityRecord, MetricEvent};
 pub use protocol::{BatchLog, FleetMessage, NodeId, PatchPushKind, Presentation};
 pub use scheduler::EpochScheduler;
 pub use shard::ShardedInvariantStore;
+pub use sync::{
+    MembershipOp, SyncOutcome, SyncPayload, SyncSource, TierRow, TierSyncError, TierSyncPlane,
+};
 pub use transport::{
-    ChaosConfig, ChaosControls, ChaosTransport, DedupeWindow, InProcessTransport, PeerId,
-    SequencedApplier, SocketTransport, Transport, TransportKind, TransportStats, COORDINATOR,
+    is_coordinator_side, tier_peer, ChaosConfig, ChaosControls, ChaosTransport, DedupeWindow,
+    InProcessTransport, PeerId, SequencedApplier, SocketTransport, Transport, TransportKind,
+    TransportStats, COORDINATOR, MAX_TIER_PEERS,
 };
 
 // The envelope is the unit every transport backend exchanges.

@@ -122,6 +122,12 @@ pub enum MetricEvent {
         /// Members the accounting covers.
         members: u64,
     },
+    // --- Tier plane -------------------------------------------------------
+    // One naming scheme for everything the manager tree does: `TierMerge`
+    // (upward plan merge), `TierPush` (downward plan fan-out), and `TierSync`
+    // (state sync served from a tier coordinator instead of the root).
+    // `RootSyncBypass` counts syncs that *should* have been tier-served but
+    // read root state directly — zero whenever the tier plane is active.
     /// One tier of the hierarchical manager tree merged patch plans.
     TierMerge {
         /// Tier number, 1 = closest to the responder shards.
@@ -132,7 +138,7 @@ pub enum MetricEvent {
         plans_in: u64,
     },
     /// One tier of the hierarchical manager tree forwarded the merged plan.
-    TreePush {
+    TierPush {
         /// Tier number, 1 = closest to the root coordinator.
         tier: u64,
         /// Coordinators (or member groups) receiving the plan at this tier.
@@ -140,6 +146,25 @@ pub enum MetricEvent {
         /// Members the push ultimately reaches.
         members: u64,
     },
+    /// State (a delta or a full snapshot) crossed one tier link of the manager
+    /// tree: a coordinator shipped `bytes` to `receivers` children at `tier`.
+    /// `tier_delta_cuts` counts each **distinct delta payload** once — a tier
+    /// refresh relays one payload to every row, so it counts once per row,
+    /// while a member-serving ship counts per cut payload regardless of how
+    /// many members it reaches.
+    TierSync {
+        /// Tier of the serving coordinator, 1 = directly under the root.
+        tier: u64,
+        /// Encoded payload size in bytes (counted once per receiver).
+        bytes: u64,
+        /// Children the payload was shipped to.
+        receivers: u64,
+        /// Whether the payload was a delta (`false` = full snapshot).
+        delta: bool,
+    },
+    /// A sync read root state directly while the tier plane was active —
+    /// the bottleneck the tree exists to remove. Tests hold this at zero.
+    RootSyncBypass,
     /// One protocol phase's transport accounting, as deltas since the previous
     /// `Transport` event: what the backend sent/delivered/faulted plus the
     /// fleet-side reliability work (retransmits, duplicate suppressions).
@@ -269,9 +294,15 @@ pub struct FleetMetrics {
     /// non-empty plan).
     pub tier_merges: u64,
     /// Manager-tree push tiers recorded.
-    pub tree_pushes: u64,
+    pub tier_pushes: u64,
     /// Depth of the most recent tree push (0 = flat, no tree configured).
-    pub tree_depth_last: u64,
+    pub tier_depth_last: u64,
+    /// Distinct delta payloads cut for tier links (see [`MetricEvent::TierSync`]).
+    pub tier_delta_cuts: u64,
+    /// Bytes shipped across tier links (payload size × receivers, summed).
+    pub tier_sync_bytes: u64,
+    /// Syncs that read root state directly while the tier plane was active.
+    pub root_sync_bypass_count: u64,
     /// Members that crashed with state loss.
     pub crashes: u64,
     /// Members that rejoined after a crash.
@@ -416,10 +447,22 @@ impl FleetMetrics {
                 self.residency_members_last = *members;
             }
             MetricEvent::TierMerge { .. } => self.tier_merges += 1,
-            MetricEvent::TreePush { tier, .. } => {
-                self.tree_pushes += 1;
-                self.tree_depth_last = self.tree_depth_last.max(*tier);
+            MetricEvent::TierPush { tier, .. } => {
+                self.tier_pushes += 1;
+                self.tier_depth_last = self.tier_depth_last.max(*tier);
             }
+            MetricEvent::TierSync {
+                bytes,
+                receivers,
+                delta,
+                ..
+            } => {
+                self.tier_sync_bytes += bytes * receivers;
+                if *delta {
+                    self.tier_delta_cuts += 1;
+                }
+            }
+            MetricEvent::RootSyncBypass => self.root_sync_bypass_count += 1,
             MetricEvent::Transport {
                 sent,
                 delivered,
@@ -519,6 +562,18 @@ impl FleetMetrics {
         }
     }
 
+    /// Share of state syncs (bootstraps + delta syncs) that read root state
+    /// directly while the tier plane was active. 0.0 when no sync has happened
+    /// — and held at exactly 0.0 by the tree-sync tests whenever tiers exist.
+    pub fn root_sync_bypass_share(&self) -> f64 {
+        let syncs = self.bootstraps + self.delta_syncs;
+        if syncs == 0 {
+            0.0
+        } else {
+            self.root_sync_bypass_count as f64 / syncs as f64
+        }
+    }
+
     /// Sustained throughput of the execution phase, in pages per second.
     pub fn pages_per_second(&self) -> f64 {
         let secs = self.execution_time.as_secs_f64();
@@ -595,7 +650,10 @@ impl FleetMetrics {
              {indent}  \"dirty_shards_total\": {},\n{indent}  \"plan_dirty_shards_last\": {},\n\
              {indent}  \"member_state_bytes\": {},\n{indent}  \"shared_state_bytes\": {},\n\
              {indent}  \"bytes_per_member\": {:.1},\n{indent}  \"tier_merges\": {},\n\
-             {indent}  \"tree_pushes\": {},\n{indent}  \"tree_depth\": {},\n\
+             {indent}  \"tier_pushes\": {},\n{indent}  \"tier_depth\": {},\n\
+             {indent}  \"tier_delta_cuts\": {},\n{indent}  \"tier_sync_bytes\": {},\n\
+             {indent}  \"root_sync_bypass_count\": {},\n\
+             {indent}  \"root_sync_bypass_share\": {:.3},\n\
              {indent}  \"crashes\": {},\n{indent}  \"rejoins\": {},\n\
              {indent}  \"cold_joins\": {},\n{indent}  \"warm_joins\": {},\n\
              {indent}  \"envelopes_sent\": {},\n{indent}  \"envelopes_delivered\": {},\n\
@@ -632,8 +690,12 @@ impl FleetMetrics {
             self.shared_state_bytes_last,
             self.bytes_per_member(),
             self.tier_merges,
-            self.tree_pushes,
-            self.tree_depth_last,
+            self.tier_pushes,
+            self.tier_depth_last,
+            self.tier_delta_cuts,
+            self.tier_sync_bytes,
+            self.root_sync_bypass_count,
+            self.root_sync_bypass_share(),
             self.crashes,
             self.rejoins,
             self.cold_joins,
@@ -706,11 +768,22 @@ impl fmt::Display for FleetMetrics {
                 self.bytes_per_member()
             )?;
         }
-        if self.tree_pushes > 0 {
+        if self.tier_pushes > 0 {
             writeln!(
                 f,
                 "  manager tree: {} merge tier(s), {} push tier(s), depth {}",
-                self.tier_merges, self.tree_pushes, self.tree_depth_last
+                self.tier_merges, self.tier_pushes, self.tier_depth_last
+            )?;
+        }
+        if self.tier_sync_bytes > 0 || self.root_sync_bypass_count > 0 {
+            writeln!(
+                f,
+                "  tier sync: {} delta cut(s), {} bytes across tier links, \
+                 {} root bypass(es) ({:.1}% of syncs)",
+                self.tier_delta_cuts,
+                self.tier_sync_bytes,
+                self.root_sync_bypass_count,
+                self.root_sync_bypass_share() * 100.0
             )?;
         }
         if self.snapshots_taken > 0 || self.bootstraps > 0 || self.delta_syncs > 0 {

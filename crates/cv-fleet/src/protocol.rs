@@ -86,6 +86,18 @@ impl PatchPushKind {
 /// Each variant aggregates everything of its kind that happened in one epoch (or one
 /// learning round); the `cv-community` facade expands these back into the legacy
 /// per-event [`cv_community::Message`](../cv_community) stream for compatibility.
+///
+/// Messages are deliberately **sync-source-agnostic**: a [`Bootstrap`] or
+/// [`DeltaSync`] record is the same whether the payload was served by the root
+/// coordinator or cut by a tier coordinator in the manager tree — tier cuts are
+/// byte-identical to root cuts for the same base, so the log stays byte-identical
+/// between flat and tiered fleets (the determinism discipline CI diffs). Which
+/// tier served a sync lives in the metric stream
+/// ([`MetricEvent::TierSync`](crate::MetricEvent)) and the `tier.sync` trace
+/// instants, not in the protocol history.
+///
+/// [`Bootstrap`]: FleetMessage::Bootstrap
+/// [`DeltaSync`]: FleetMessage::DeltaSync
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FleetMessage {
     /// Members uploaded locally inferred invariants (amortized parallel learning).

@@ -43,6 +43,28 @@ pub type PeerId = u32;
 /// `u32::MAX` — the engine would exhaust memory long before).
 pub const COORDINATOR: PeerId = u32::MAX;
 
+/// Deepest tier a coordinator peer id can name: ids in
+/// `(COORDINATOR - MAX_TIER_PEERS) ..= COORDINATOR` are reserved for the
+/// coordinator side of the tree (the root plus up to 64 tiers of intermediate
+/// coordinators), far above any member node id.
+pub const MAX_TIER_PEERS: u32 = 64;
+
+/// The peer id of the tier-`tier` coordinator endpoint (tier 1 = directly
+/// under the root). `tier_peer(0)` is the root itself, [`COORDINATOR`].
+pub fn tier_peer(tier: u32) -> PeerId {
+    debug_assert!(
+        tier <= MAX_TIER_PEERS,
+        "tier {tier} beyond the reserved id range"
+    );
+    COORDINATOR - tier
+}
+
+/// True when `peer` is a coordinator-side endpoint (the root or a tier
+/// coordinator) rather than a member node.
+pub fn is_coordinator_side(peer: PeerId) -> bool {
+    peer >= COORDINATOR - MAX_TIER_PEERS
+}
+
 /// Cumulative delivery accounting a transport reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportStats {

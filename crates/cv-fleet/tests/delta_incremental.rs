@@ -16,7 +16,9 @@
 
 use cv_apps::{learning_suite, red_team_exploits, Browser, MULTI_FAILURE_TARGETS};
 use cv_core::{ClearViewConfig, Directive, NetPatchState, PatchPlan};
-use cv_fleet::{DeltaSnapshot, Fleet, FleetConfig, Presentation, ShardedInvariantStore, Snapshot};
+use cv_fleet::{
+    DeltaSnapshot, Fleet, FleetConfig, MembershipOp, Presentation, ShardedInvariantStore, Snapshot,
+};
 use cv_inference::{Invariant, InvariantDatabase, Variable};
 use cv_isa::{Addr, Operand, Reg};
 use cv_store::DeltaBuilder;
@@ -248,12 +250,21 @@ fn fleet_history_cuts_identical_deltas_incrementally() {
 
     // Churn: delta rejoins against two different generations of checkpoint, a
     // full rejoin, and joiners — all of which cut deltas / snapshots internally.
-    fleet.rejoin_member(30, Some(&bases[0]));
-    fleet.rejoin_member(31, Some(&bases[1]));
-    fleet.rejoin_member(32, None);
-    fleet.join_member_warm();
-    let cold = fleet.join_member_cold();
-    fleet.resync_member(cold);
+    fleet.apply_membership(MembershipOp::Rejoin {
+        node: 30,
+        checkpoint: Some(&bases[0]),
+    });
+    fleet.apply_membership(MembershipOp::Rejoin {
+        node: 31,
+        checkpoint: Some(&bases[1]),
+    });
+    fleet.apply_membership(MembershipOp::Rejoin {
+        node: 32,
+        checkpoint: None,
+    });
+    fleet.apply_membership(MembershipOp::JoinWarm);
+    let cold = fleet.apply_membership(MembershipOp::JoinCold).nodes[0];
+    fleet.apply_membership(MembershipOp::Resync(cold));
     fleet.run_epoch(&batch);
     bases.push(fleet.checkpoint());
 

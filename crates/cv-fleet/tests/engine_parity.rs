@@ -14,7 +14,7 @@
 
 use cv_apps::{evaluation_suite, learning_suite, red_team_exploits, Browser};
 use cv_core::ClearViewConfig;
-use cv_fleet::{EngineKind, Fleet, FleetConfig, Presentation};
+use cv_fleet::{EngineKind, Fleet, FleetConfig, MembershipOp, Presentation};
 use cv_isa::Word;
 use proptest::prelude::*;
 
@@ -108,13 +108,16 @@ fn run_history(
             if down.is_empty() {
                 break;
             }
-            fleet.rejoin_member(down[r % down.len()], None);
+            fleet.apply_membership(MembershipOp::Rejoin {
+                node: down[r % down.len()],
+                checkpoint: None,
+            });
         }
         for &warm in &plan.joins {
             if warm {
-                fleet.join_member_warm();
+                fleet.apply_membership(MembershipOp::JoinWarm);
             } else {
-                fleet.join_member_cold();
+                fleet.apply_membership(MembershipOp::JoinCold);
             }
         }
     }
@@ -195,7 +198,10 @@ fn engines_agree_at_a_thousand_members() {
             fleet.run_epoch_churn(&batch, kills);
             if round == 5 {
                 for node in [40, 41, 42] {
-                    fleet.rejoin_member(node, None);
+                    fleet.apply_membership(MembershipOp::Rejoin {
+                        node,
+                        checkpoint: None,
+                    });
                 }
             }
         }

@@ -16,7 +16,7 @@
 
 use cv_apps::{learning_suite, red_team_exploits, Browser};
 use cv_core::ClearViewConfig;
-use cv_fleet::{Fleet, FleetConfig, FleetMetrics, Presentation};
+use cv_fleet::{Fleet, FleetConfig, FleetMetrics, MembershipOp, Presentation};
 use cv_obs::{recorder, EventKind, Summary, TraceEvent};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -50,9 +50,15 @@ fn run_fleet() -> Fleet {
         fleet.run_epoch(&batch);
     }
     fleet.run_epoch_churn(&batch, &[20, 21]);
-    fleet.rejoin_member(20, Some(&base));
-    fleet.rejoin_member(21, None);
-    fleet.join_member_warm();
+    fleet.apply_membership(MembershipOp::Rejoin {
+        node: 20,
+        checkpoint: Some(&base),
+    });
+    fleet.apply_membership(MembershipOp::Rejoin {
+        node: 21,
+        checkpoint: None,
+    });
+    fleet.apply_membership(MembershipOp::JoinWarm);
 
     let verify: Vec<Presentation> = (0..fleet.node_count())
         .map(|node| Presentation::new(node, exploit.page()))

@@ -139,6 +139,32 @@ impl DeltaSnapshot {
         self.removed.is_empty() && self.shards.is_empty() && self.procs_added.is_empty()
     }
 
+    /// Validate this delta's shard routing against an applier's shard count:
+    /// the shard counts must agree and every entry must route (under
+    /// [`ShardRouter`]) to the shard section that carries it. `apply_delta`
+    /// runs this before mutating anything; intermediate tier coordinators run
+    /// it on relayed deltas so a cross-tier misroute is caught at the tier
+    /// that received it, not only at the root.
+    pub fn validate_routing(&self, shard_count: u32) -> Result<(), StoreError> {
+        if self.shard_count != shard_count {
+            return Err(StoreError::ShardCountMismatch {
+                delta: self.shard_count,
+                snapshot: shard_count,
+            });
+        }
+        let router = ShardRouter::new(shard_count as usize);
+        for shard in &self.shards {
+            for (addr, _) in &shard.entries {
+                if router.shard_of(*addr) as u32 != shard.shard {
+                    return Err(StoreError::Corrupt {
+                        context: "delta entry routed to the wrong shard",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Encode into the versioned container format (same section-table machinery as
     /// full snapshots; shard payloads keyed by `SHARD_SECTION_BASE + shard`).
     pub fn encode(&self) -> Vec<u8> {
@@ -400,22 +426,7 @@ impl Snapshot {
                 found_epoch: self.epoch,
             });
         }
-        if delta.shard_count != self.shard_count {
-            return Err(StoreError::ShardCountMismatch {
-                delta: delta.shard_count,
-                snapshot: self.shard_count,
-            });
-        }
-        let router = ShardRouter::new(self.shard_count as usize);
-        for shard in &delta.shards {
-            for (addr, _) in &shard.entries {
-                if router.shard_of(*addr) as u32 != shard.shard {
-                    return Err(StoreError::Corrupt {
-                        context: "delta entry routed to the wrong shard",
-                    });
-                }
-            }
-        }
+        delta.validate_routing(self.shard_count)?;
         for addr in &delta.removed {
             self.invariants.set_entry(*addr, Vec::new());
         }

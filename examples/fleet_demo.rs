@@ -24,7 +24,7 @@
 
 use clearview::apps::{evaluation_suite, learning_suite, red_team_exploits, Browser};
 use clearview::core::ClearViewConfig;
-use clearview::fleet::{Fleet, FleetConfig, Presentation};
+use clearview::fleet::{Fleet, FleetConfig, MembershipOp, Presentation};
 use clearview::obs::{chrome_trace_json, recorder, Summary};
 
 const NODES: usize = 1_200;
@@ -205,13 +205,21 @@ fn churn_scenario(fleet: &mut Fleet, exploit: &clearview::apps::Exploit, locatio
     // Half rejoin from their checkpoint (delta), half lost everything (full).
     let half = kills.len() / 2;
     for &node in &kills[..half] {
-        fleet.rejoin_member(node, Some(&base));
+        fleet.apply_membership(MembershipOp::Rejoin {
+            node,
+            checkpoint: Some(&base),
+        });
     }
     for &node in &kills[half..] {
-        fleet.rejoin_member(node, None);
+        fleet.apply_membership(MembershipOp::Rejoin {
+            node,
+            checkpoint: None,
+        });
     }
-    // Late joiners warm-start from the coordinator's snapshot.
-    let joiners: Vec<usize> = (0..10).map(|_| fleet.join_member_warm()).collect();
+    // Late joiners warm-start from the sync source's snapshot.
+    let joiners: Vec<usize> = (0..10)
+        .map(|_| fleet.apply_membership(MembershipOp::JoinWarm).nodes[0])
+        .collect();
     println!(
         "rejoined {} by delta sync, {} by full bootstrap; {} late joiners warm-started",
         half,

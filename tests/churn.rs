@@ -6,7 +6,7 @@
 
 use clearview::apps::{learning_suite, red_team_exploits, Browser};
 use clearview::core::ClearViewConfig;
-use clearview::fleet::{Fleet, FleetConfig, Presentation};
+use clearview::fleet::{Fleet, FleetConfig, MembershipOp, Presentation};
 
 const NODES: usize = 1_000;
 const ATTACKERS: [usize; 5] = [0, 123, 456, 789, 999];
@@ -57,20 +57,30 @@ fn a_thousand_member_fleet_with_twenty_percent_churn_reaches_immunity() {
     // Rejoin: 150 members sync by shard-keyed delta from their last checkpoint,
     // the other 50 lost their checkpoint too and re-download the full snapshot.
     for &node in &kills[..150] {
-        fleet.rejoin_member(node, Some(&base));
+        fleet.apply_membership(MembershipOp::Rejoin {
+            node,
+            checkpoint: Some(&base),
+        });
     }
     for &node in &kills[150..] {
-        fleet.rejoin_member(node, None);
+        fleet.apply_membership(MembershipOp::Rejoin {
+            node,
+            checkpoint: None,
+        });
     }
     assert_eq!(fleet.alive_count(), NODES);
 
     // Late joiners: 10 warm-start from the coordinator's snapshot, 3 join cold
     // (no state transfer) and get bootstrapped by an explicit resync.
-    let warm: Vec<usize> = (0..10).map(|_| fleet.join_member_warm()).collect();
-    let cold: Vec<usize> = (0..3).map(|_| fleet.join_member_cold()).collect();
+    let warm: Vec<usize> = (0..10)
+        .map(|_| fleet.apply_membership(MembershipOp::JoinWarm).nodes[0])
+        .collect();
+    let cold: Vec<usize> = (0..3)
+        .map(|_| fleet.apply_membership(MembershipOp::JoinCold).nodes[0])
+        .collect();
     for &node in &cold {
         assert!(!fleet.is_member_synced(node));
-        fleet.resync_member(node);
+        fleet.apply_membership(MembershipOp::Resync(node));
         assert!(fleet.is_member_synced(node));
     }
 
